@@ -1,0 +1,48 @@
+//! Experiment A2 — control-thread handling: which of the three modes of
+//! Algorithm 1 (hyperthread reserve / spare cores / unmapped) is selected on
+//! different machines, and the cost of computing placements with control
+//! threads included.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orwl_bench::ablations::control_mode_ablation;
+use orwl_comm::patterns::{stencil_2d, StencilSpec};
+use orwl_topo::synthetic;
+use orwl_treematch::algorithm::{TreeMatchConfig, TreeMatchMapper};
+use orwl_treematch::control::ControlThreadSpec;
+
+fn bench_control(c: &mut Criterion) {
+    let cases = vec![
+        (synthetic::dual_socket_smt(), 32, 4),
+        (synthetic::cluster2016_subset(2).unwrap(), 8, 4),
+        (synthetic::cluster2016_subset(1).unwrap(), 8, 2),
+    ];
+    let results = control_mode_ablation(&cases);
+    eprintln!("\n=== A2: control-thread handling ===");
+    for r in &results {
+        eprintln!(
+            "{:<22} compute={:<3} control={:<2} mode={:?} bound={:.0}%",
+            r.machine,
+            r.n_compute,
+            r.n_control,
+            r.mode,
+            100.0 * r.bound_control_fraction
+        );
+    }
+    eprintln!();
+
+    let matrix = stencil_2d(&StencilSpec::nine_point_blocks(8, 2048, 8));
+    let mut group = c.benchmark_group("control_threads");
+    group.sample_size(10);
+    for n_control in [0usize, 1, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("placement", n_control), &n_control, |b, &n| {
+            let mapper =
+                TreeMatchMapper::new(TreeMatchConfig { control: ControlThreadSpec::with_count(n) });
+            let topo = synthetic::dual_socket_smt();
+            b.iter(|| mapper.compute_placement(&topo, &matrix));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_control);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Experiment E1/E2 — Figure 1 of the paper: processing time of the three
+//! LK23 implementations (OpenMP, ORWL NoBind, ORWL Bind) as the core count
+//! grows on the simulated 24-socket × 8-core SMP machine, plus the headline
+//! speedups at 192 cores.
+//!
+//! Run with `cargo bench -p orwl-bench --bench figure1`.  The full series
+//! (and its CSV form) is printed to stderr before the Criterion timings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orwl_bench::figure1::{default_socket_counts, figure1_sweep, headline, render_csv, render_table};
+
+fn bench_figure1(c: &mut Criterion) {
+    // Regenerate the whole figure once and print it (this is the artifact
+    // EXPERIMENTS.md records).
+    let rows = figure1_sweep(&default_socket_counts(), 10, 42);
+    eprintln!("\n=== Figure 1 (simulated 24x8-core SMP, LK23 16384^2, scaled to 100 iterations) ===");
+    eprintln!("{}", render_table(&rows));
+    eprintln!("--- CSV ---\n{}", render_csv(&rows));
+    let h = headline(&rows);
+    eprintln!(
+        "headline @ {} cores: ORWL Bind = {:.1}s, speedup vs OpenMP = {:.2} (paper ~5), vs NoBind = {:.2} (paper ~2.8)\n",
+        h.cores, h.orwl_bind_seconds, h.speedup_vs_openmp, h.speedup_vs_nobind
+    );
+
+    // Criterion timings: cost of simulating each configuration at 192 cores.
+    let mut group = c.benchmark_group("figure1_sim");
+    group.sample_size(10);
+    for sockets in [4usize, 24] {
+        group.bench_with_input(BenchmarkId::new("sweep_point", sockets * 8), &sockets, |b, &s| {
+            b.iter(|| figure1_sweep(&[s], 3, 42));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure1);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Experiment A6 — real-execution LK23 micro-benchmarks on the host machine:
+//! sequential sweeps, the OpenMP-like fork-join version and the ORWL version
+//! on small grids (correctness-scale; the NUMA-scale evaluation lives in the
+//! figure1 bench, on the simulator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orwl_core::prelude::RuntimeConfig;
+use orwl_lk23::blocks::BlockDecomposition;
+use orwl_lk23::kernel::{reference_jacobi, Grid};
+use orwl_lk23::openmp_like::run_openmp_like;
+use orwl_lk23::orwl_impl::run_orwl;
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lk23_kernel");
+    group.sample_size(10);
+
+    for n in [128usize, 256] {
+        let grid = Grid::initial(n, n);
+        group.bench_with_input(BenchmarkId::new("sequential", n), &grid, |b, g| {
+            b.iter(|| reference_jacobi(g, 4));
+        });
+        group.bench_with_input(BenchmarkId::new("openmp_like_2t", n), &grid, |b, g| {
+            b.iter(|| run_openmp_like(g, 4, 2));
+        });
+        group.bench_with_input(BenchmarkId::new("orwl_nobind_2x2", n), &grid, |b, g| {
+            b.iter(|| {
+                let decomp = BlockDecomposition::new(n, n, 2, 2).unwrap();
+                let config = RuntimeConfig::no_bind(orwl_topo::discover::discover());
+                run_orwl(g, decomp, 4, config).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Experiment A3 — oversubscription: simulated LK23 processing time as the
+//! number of block tasks grows past the number of cores (Algorithm 1 adds a
+//! virtual level to the topology tree).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orwl_bench::ablations::oversubscription_ablation;
+use orwl_comm::patterns::{stencil_2d, StencilSpec};
+use orwl_topo::synthetic;
+use orwl_treematch::tree_match_assign;
+
+fn bench_oversub(c: &mut Criterion) {
+    let results = oversubscription_ablation(4, &[1, 2, 4, 8], 3);
+    eprintln!("\n=== A3: oversubscription on 32 cores ===");
+    eprintln!("{:>14} {:>9} {:>18}", "tasks-per-core", "tasks", "simulated-time[s]");
+    for r in &results {
+        eprintln!("{:>14} {:>9} {:>18.3}", r.tasks_per_core, r.n_tasks, r.simulated_time);
+    }
+    eprintln!();
+
+    let topo = synthetic::cluster2016_subset(4).unwrap();
+    let shape = topo.shape();
+    let mut group = c.benchmark_group("oversubscription");
+    group.sample_size(10);
+    for factor in [1usize, 2, 4] {
+        let side = (32.0_f64 * factor as f64).sqrt().round() as usize;
+        let matrix = stencil_2d(&StencilSpec::nine_point_blocks(side, 512, 8));
+        group.bench_with_input(BenchmarkId::new("assign", matrix.order()), &matrix, |b, m| {
+            b.iter(|| tree_match_assign(&shape, m));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oversub);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Experiment A1 — placement-policy ablation: communication cost and
+//! simulated LK23 processing time of TreeMatch vs packed / scatter / random
+//! / no-binding placements.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orwl_bench::ablations::{policy_ablation, relative_policy_costs};
+use orwl_lk23::sim_model::Lk23Workload;
+use orwl_topo::synthetic;
+use orwl_treematch::policies::{compute_placement, Policy};
+
+fn bench_policies(c: &mut Criterion) {
+    let topo = synthetic::cluster2016_subset(8).unwrap(); // 64 cores
+    let workload = Lk23Workload::new(8192, 8, 8, 5);
+
+    let results = policy_ablation(&topo, &workload, 5);
+    eprintln!("\n=== A1: placement policies on 64 cores (LK23 8192^2, 64 blocks) ===");
+    eprintln!("{:<12} {:>16} {:>18}", "policy", "mapping-cost", "simulated-time[s]");
+    for r in &results {
+        eprintln!("{:<12} {:>16.3e} {:>18.3}", r.policy, r.mapping_cost, r.simulated_time);
+    }
+    let rel = relative_policy_costs(&topo, &workload.comm_matrix());
+    eprintln!("relative mapping cost (treematch = 1.0): {rel:?}\n");
+
+    let matrix = workload.comm_matrix();
+    let mut group = c.benchmark_group("placement_policies");
+    group.sample_size(10);
+    for policy in Policy::all() {
+        group.bench_with_input(BenchmarkId::new("compute", policy.name()), &policy, |b, &p| {
+            b.iter(|| compute_placement(p, &topo, &matrix, 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Experiment A5 — TreeMatch scaling: cost of computing the placement as the
+//! communication matrix grows (the algorithm runs once at launch time, so it
+//! must stay cheap up to a few thousand tasks).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orwl_comm::patterns::{random_symmetric, stencil_2d, StencilSpec};
+use orwl_topo::synthetic;
+use orwl_treematch::policies::{compute_placement, Policy};
+
+fn bench_treematch_scaling(c: &mut Criterion) {
+    let topo = synthetic::cluster2016_smp192();
+    let mut group = c.benchmark_group("treematch_scaling");
+    group.sample_size(10);
+
+    for side in [8usize, 12, 16] {
+        let matrix = stencil_2d(&StencilSpec::nine_point_blocks(side, 1024, 8));
+        group.bench_with_input(BenchmarkId::new("stencil_tasks", side * side), &matrix, |b, m| {
+            b.iter(|| compute_placement(Policy::TreeMatch, &topo, m, 1));
+        });
+    }
+    for n in [64usize, 192] {
+        let matrix = random_symmetric(n, 0.3, 1.0e6, 7);
+        group.bench_with_input(BenchmarkId::new("random_tasks", n), &matrix, |b, m| {
+            b.iter(|| compute_placement(Policy::TreeMatch, &topo, m, 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_treematch_scaling);
+criterion_main!(benches);

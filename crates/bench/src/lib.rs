@@ -1,0 +1,18 @@
+//! # orwl-bench — experiment harness
+//!
+//! Reusable building blocks for regenerating the paper's evaluation:
+//!
+//! * [`figure1`] — the core-count sweep behind Figure 1 (processing time of
+//!   OpenMP vs ORWL NoBind vs ORWL Bind on the simulated 24-socket machine)
+//!   and the headline speedups quoted in the text;
+//! * [`ablations`] — the placement-policy, control-thread and
+//!   oversubscription studies referenced in DESIGN.md (experiments A1–A3).
+//!
+//! The Criterion benchmarks under `benches/` and the `figure1_sim` example
+//! are thin wrappers around these functions, so the numbers reported in
+//! EXPERIMENTS.md can be regenerated from several entry points.
+
+pub mod ablations;
+pub mod figure1;
+
+pub use figure1::{figure1_sweep, headline, render_table, Figure1Row, Headline};

@@ -1,0 +1,132 @@
+//! Aggregation of communication matrices over groups of threads.
+//!
+//! This is the `AggregateComMatrix` step of Algorithm 1 in the paper: after
+//! threads have been grouped by affinity at one level of the topology tree,
+//! the matrix is collapsed so that the next (upper) level works on the
+//! traffic *between groups*.
+
+use crate::matrix::CommMatrix;
+
+/// A partition of threads into groups.  `groups[g]` lists the thread
+/// indices belonging to group `g`.  Threads may be omitted (e.g. a thread
+/// mapped nowhere), but no thread may appear in two groups.
+pub type Groups = Vec<Vec<usize>>;
+
+/// Collapses `m` according to `groups`: entry `(a, b)` of the result is the
+/// total volume sent from any member of group `a` to any member of group
+/// `b`.  The diagonal of the result therefore holds the *intra-group*
+/// volume, which the grouping step at the upper level ignores.
+///
+/// # Panics
+/// Panics when a thread index is out of range or appears in two groups.
+pub fn aggregate(m: &CommMatrix, groups: &Groups) -> CommMatrix {
+    let mut owner = vec![usize::MAX; m.order()];
+    for (g, members) in groups.iter().enumerate() {
+        for &t in members {
+            assert!(t < m.order(), "thread index {t} out of range for matrix of order {}", m.order());
+            assert!(owner[t] == usize::MAX, "thread {t} appears in more than one group");
+            owner[t] = g;
+        }
+    }
+    let mut agg = CommMatrix::zeros(groups.len());
+    for i in 0..m.order() {
+        if owner[i] == usize::MAX {
+            continue;
+        }
+        for j in 0..m.order() {
+            if owner[j] == usize::MAX {
+                continue;
+            }
+            let v = m.get(i, j);
+            if v != 0.0 {
+                agg.add(owner[i], owner[j], v);
+            }
+        }
+    }
+    agg
+}
+
+/// Volume exchanged between members of the same group (the traffic that the
+/// grouping "keeps local"), summed over all groups.
+pub fn intra_group_volume(m: &CommMatrix, groups: &Groups) -> f64 {
+    let agg = aggregate(m, groups);
+    (0..agg.order()).map(|g| agg.get(g, g)).sum()
+}
+
+/// Volume exchanged between members of different groups (the traffic that
+/// will have to cross the upper topology level).
+pub fn inter_group_volume(m: &CommMatrix, groups: &Groups) -> f64 {
+    let agg = aggregate(m, groups);
+    let mut total = 0.0;
+    for a in 0..agg.order() {
+        for b in 0..agg.order() {
+            if a != b {
+                total += agg.get(a, b);
+            }
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns;
+
+    #[test]
+    fn aggregate_pairs_of_a_chain() {
+        // Chain 0-1-2-3 with volume 1 each way.  Grouping {0,1},{2,3} keeps
+        // two links internal and one link external.
+        let m = patterns::chain(4, 1.0);
+        let groups = vec![vec![0, 1], vec![2, 3]];
+        let agg = aggregate(&m, &groups);
+        assert_eq!(agg.order(), 2);
+        assert_eq!(agg.get(0, 0), 2.0); // 0↔1 both directions
+        assert_eq!(agg.get(1, 1), 2.0);
+        assert_eq!(agg.get(0, 1), 1.0); // 1→2
+        assert_eq!(agg.get(1, 0), 1.0); // 2→1
+        assert_eq!(intra_group_volume(&m, &groups), 4.0);
+        assert_eq!(inter_group_volume(&m, &groups), 2.0);
+        // Total volume is conserved by aggregation.
+        assert_eq!(agg.total_volume(), m.total_volume());
+    }
+
+    #[test]
+    fn aggregate_with_bad_grouping_is_worse() {
+        let m = patterns::chain(4, 1.0);
+        let good = vec![vec![0, 1], vec![2, 3]];
+        let bad = vec![vec![0, 2], vec![1, 3]];
+        assert!(inter_group_volume(&m, &good) < inter_group_volume(&m, &bad));
+    }
+
+    #[test]
+    fn aggregate_ignores_unassigned_threads() {
+        let m = patterns::all_to_all(4, 1.0);
+        let groups = vec![vec![0], vec![1]];
+        let agg = aggregate(&m, &groups);
+        // Only the 0↔1 traffic survives.
+        assert_eq!(agg.total_volume(), 2.0);
+    }
+
+    #[test]
+    fn aggregate_singleton_groups_is_identity_like() {
+        let m = patterns::random_symmetric(6, 0.8, 10.0, 7);
+        let groups: Groups = (0..6).map(|i| vec![i]).collect();
+        let agg = aggregate(&m, &groups);
+        assert_eq!(agg, m);
+    }
+
+    #[test]
+    #[should_panic]
+    fn aggregate_rejects_duplicate_membership() {
+        let m = CommMatrix::zeros(3);
+        aggregate(&m, &vec![vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn aggregate_rejects_out_of_range() {
+        let m = CommMatrix::zeros(3);
+        aggregate(&m, &vec![vec![0, 7]]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Error type of the ORWL runtime.
+
+use std::fmt;
+
+/// Errors returned by ORWL handles and the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OrwlError {
+    /// `acquire` was called on a handle with no posted request.
+    NoPendingRequest,
+    /// `request` was called while a request is already pending or held.
+    RequestAlreadyPosted,
+    /// A write access was attempted through a read guard.
+    WriteThroughReadGuard,
+    /// The runtime was asked to run a program with no tasks.
+    EmptyProgram,
+    /// A task referenced a location id that was never registered.
+    UnknownLocation(u64),
+    /// Thread binding failed (detail in the message).
+    Binding(String),
+    /// A task panicked; the message carries the task name.
+    TaskPanicked(String),
+}
+
+impl fmt::Display for OrwlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OrwlError::NoPendingRequest => write!(f, "acquire called without a pending request"),
+            OrwlError::RequestAlreadyPosted => write!(f, "a request is already posted on this handle"),
+            OrwlError::WriteThroughReadGuard => write!(f, "cannot write through a read guard"),
+            OrwlError::EmptyProgram => write!(f, "the program has no tasks"),
+            OrwlError::UnknownLocation(id) => write!(f, "unknown location id {id}"),
+            OrwlError::Binding(m) => write!(f, "thread binding failed: {m}"),
+            OrwlError::TaskPanicked(name) => write!(f, "task {name:?} panicked"),
+        }
+    }
+}
+
+impl std::error::Error for OrwlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(OrwlError::NoPendingRequest.to_string().contains("pending"));
+        assert!(OrwlError::RequestAlreadyPosted.to_string().contains("already"));
+        assert!(OrwlError::UnknownLocation(7).to_string().contains('7'));
+        assert!(OrwlError::Binding("no cpu".into()).to_string().contains("no cpu"));
+        assert!(OrwlError::TaskPanicked("t3".into()).to_string().contains("t3"));
+        assert!(OrwlError::EmptyProgram.to_string().contains("no tasks"));
+        assert!(OrwlError::WriteThroughReadGuard.to_string().contains("read guard"));
+    }
+}

@@ -1,0 +1,357 @@
+//! The ordered read-write lock FIFO — the heart of the ORWL model.
+//!
+//! Every location owns one [`LockFifo`].  Threads *post* requests (read or
+//! write) into the FIFO ahead of time; the FIFO then grants accesses in
+//! strict insertion order:
+//!
+//! * a **write** request is granted once every earlier request has been
+//!   released (exclusive access);
+//! * a **read** request is granted once every earlier request is either
+//!   released or is itself a read — consecutive readers share the resource.
+//!
+//! Because the order is fixed at insertion time, iterative computations that
+//! re-post their requests on release obtain a periodic, deadlock-free
+//! schedule (Clauss & Gustedt, JPDC 2010).
+
+use crate::request::{AccessMode, RequestState, RequestToken};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+#[derive(Debug)]
+struct Entry {
+    seq: u64,
+    mode: AccessMode,
+    state: RequestState,
+}
+
+#[derive(Debug, Default)]
+struct FifoInner {
+    queue: VecDeque<Entry>,
+    next_seq: u64,
+    /// Total requests ever inserted (statistics).
+    inserted: u64,
+    /// Total requests released (statistics).
+    released: u64,
+}
+
+impl FifoInner {
+    fn position(&self, seq: u64) -> Option<usize> {
+        self.queue.iter().position(|e| e.seq == seq)
+    }
+
+    /// A request is grantable when every entry ahead of it is released, or —
+    /// for read requests — when everything ahead is released or is a read.
+    fn grantable(&self, idx: usize) -> bool {
+        let mode = self.queue[idx].mode;
+        self.queue.iter().take(idx).all(|e| match mode {
+            AccessMode::Write => e.state == RequestState::Released,
+            AccessMode::Read => e.state == RequestState::Released || e.mode == AccessMode::Read,
+        })
+    }
+
+    fn pop_released_prefix(&mut self) {
+        while self.queue.front().map(|e| e.state) == Some(RequestState::Released) {
+            self.queue.pop_front();
+        }
+    }
+}
+
+/// A FIFO of ordered read-write lock requests (one per location).
+#[derive(Debug, Default)]
+pub struct LockFifo {
+    inner: Mutex<FifoInner>,
+    cond: Condvar,
+}
+
+impl LockFifo {
+    /// Creates an empty FIFO.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Posts a new request at the tail of the FIFO and returns its token.
+    /// The request starts in the [`RequestState::Requested`] state.
+    pub fn insert(&self, mode: AccessMode) -> RequestToken {
+        let mut inner = self.inner.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.inserted += 1;
+        inner.queue.push_back(Entry { seq, mode, state: RequestState::Requested });
+        RequestToken::new(seq, mode)
+    }
+
+    /// Non-blocking acquisition attempt: returns `true` (and marks the
+    /// request allocated) when the request is grantable now.
+    /// Idempotent for already-allocated requests.
+    pub fn try_acquire(&self, token: &RequestToken) -> bool {
+        let mut inner = self.inner.lock();
+        let Some(idx) = inner.position(token.seq()) else { return false };
+        match inner.queue[idx].state {
+            RequestState::Allocated => true,
+            RequestState::Released => false,
+            RequestState::Requested => {
+                if inner.grantable(idx) {
+                    inner.queue[idx].state = RequestState::Allocated;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Blocks the calling thread until the request is granted.
+    pub fn acquire(&self, token: &RequestToken) {
+        let mut inner = self.inner.lock();
+        loop {
+            let Some(idx) = inner.position(token.seq()) else {
+                // Unknown/expired token: treat as granted so callers do not
+                // deadlock on a programming error; release will be a no-op.
+                return;
+            };
+            if inner.queue[idx].state == RequestState::Allocated {
+                return;
+            }
+            if inner.queue[idx].state == RequestState::Requested && inner.grantable(idx) {
+                inner.queue[idx].state = RequestState::Allocated;
+                return;
+            }
+            self.cond.wait(&mut inner);
+        }
+    }
+
+    /// Blocks until the request is granted or the timeout expires; returns
+    /// `true` when the request was granted.
+    pub fn acquire_timeout(&self, token: &RequestToken, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut inner = self.inner.lock();
+        loop {
+            let Some(idx) = inner.position(token.seq()) else { return false };
+            if inner.queue[idx].state == RequestState::Allocated {
+                return true;
+            }
+            if inner.queue[idx].state == RequestState::Requested && inner.grantable(idx) {
+                inner.queue[idx].state = RequestState::Allocated;
+                return true;
+            }
+            if self.cond.wait_until(&mut inner, deadline).timed_out() {
+                return false;
+            }
+        }
+    }
+
+    /// Releases a request (whether it was acquired or still pending), wakes
+    /// every waiter, and garbage-collects the released prefix of the queue.
+    pub fn release(&self, token: &RequestToken) {
+        let mut inner = self.inner.lock();
+        if let Some(idx) = inner.position(token.seq()) {
+            inner.queue[idx].state = RequestState::Released;
+            inner.released += 1;
+            inner.pop_released_prefix();
+        }
+        drop(inner);
+        self.cond.notify_all();
+    }
+
+    /// Atomically releases `token` and posts a fresh request of the same
+    /// mode at the tail of the FIFO, returning the new token.
+    ///
+    /// Iterative (ORWL `handle2`) accesses must use this instead of a
+    /// separate `release` + `insert`: if the two steps were distinct, another
+    /// handle could slip its own re-posted request in between and invert the
+    /// periodic schedule (e.g. a reader overtaking the writer it alternates
+    /// with), breaking the deterministic ordering the model guarantees.
+    pub fn release_and_reinsert(&self, token: &RequestToken) -> RequestToken {
+        let mut inner = self.inner.lock();
+        if let Some(idx) = inner.position(token.seq()) {
+            inner.queue[idx].state = RequestState::Released;
+            inner.released += 1;
+            inner.pop_released_prefix();
+        }
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.inserted += 1;
+        inner.queue.push_back(Entry { seq, mode: token.mode(), state: RequestState::Requested });
+        drop(inner);
+        self.cond.notify_all();
+        RequestToken::new(seq, token.mode())
+    }
+
+    /// Current state of a request, `None` when the token has already left
+    /// the queue.
+    pub fn state_of(&self, token: &RequestToken) -> Option<RequestState> {
+        let inner = self.inner.lock();
+        inner.position(token.seq()).map(|i| inner.queue[i].state)
+    }
+
+    /// Number of requests currently in the queue (any state).
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// True when no request is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of requests ever inserted (statistics).
+    pub fn total_inserted(&self) -> u64 {
+        self.inner.lock().inserted
+    }
+
+    /// Total number of requests released (statistics).
+    pub fn total_released(&self) -> u64 {
+        self.inner.lock().released
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_writer_is_granted_immediately() {
+        let fifo = LockFifo::new();
+        let t = fifo.insert(AccessMode::Write);
+        assert_eq!(fifo.state_of(&t), Some(RequestState::Requested));
+        assert!(fifo.try_acquire(&t));
+        assert_eq!(fifo.state_of(&t), Some(RequestState::Allocated));
+        // try_acquire is idempotent once granted.
+        assert!(fifo.try_acquire(&t));
+        fifo.release(&t);
+        assert!(fifo.is_empty());
+        assert_eq!(fifo.total_inserted(), 1);
+        assert_eq!(fifo.total_released(), 1);
+    }
+
+    #[test]
+    fn writers_are_granted_in_fifo_order() {
+        let fifo = LockFifo::new();
+        let w1 = fifo.insert(AccessMode::Write);
+        let w2 = fifo.insert(AccessMode::Write);
+        assert!(fifo.try_acquire(&w1));
+        assert!(!fifo.try_acquire(&w2), "second writer must wait for the first");
+        fifo.release(&w1);
+        assert!(fifo.try_acquire(&w2));
+        fifo.release(&w2);
+        assert_eq!(fifo.len(), 0);
+    }
+
+    #[test]
+    fn consecutive_readers_share_access() {
+        let fifo = LockFifo::new();
+        let r1 = fifo.insert(AccessMode::Read);
+        let r2 = fifo.insert(AccessMode::Read);
+        let w = fifo.insert(AccessMode::Write);
+        assert!(fifo.try_acquire(&r1));
+        assert!(fifo.try_acquire(&r2), "adjacent readers are granted together");
+        assert!(!fifo.try_acquire(&w), "writer waits for all readers");
+        fifo.release(&r1);
+        assert!(!fifo.try_acquire(&w));
+        fifo.release(&r2);
+        assert!(fifo.try_acquire(&w));
+        fifo.release(&w);
+    }
+
+    #[test]
+    fn reader_after_writer_waits() {
+        let fifo = LockFifo::new();
+        let w = fifo.insert(AccessMode::Write);
+        let r = fifo.insert(AccessMode::Read);
+        assert!(fifo.try_acquire(&w));
+        assert!(!fifo.try_acquire(&r), "reader must wait for the earlier writer");
+        fifo.release(&w);
+        assert!(fifo.try_acquire(&r));
+        fifo.release(&r);
+    }
+
+    #[test]
+    fn later_reader_can_be_granted_before_earlier_reader_acquires() {
+        // FIFO order fixes *priority*, but adjacent readers may be granted in
+        // any order among themselves.
+        let fifo = LockFifo::new();
+        let _r1 = fifo.insert(AccessMode::Read);
+        let r2 = fifo.insert(AccessMode::Read);
+        assert!(fifo.try_acquire(&r2));
+    }
+
+    #[test]
+    fn release_of_pending_request_cancels_it() {
+        let fifo = LockFifo::new();
+        let w1 = fifo.insert(AccessMode::Write);
+        let w2 = fifo.insert(AccessMode::Write);
+        // Cancel w1 before it was ever acquired: w2 becomes grantable.
+        fifo.release(&w1);
+        assert!(fifo.try_acquire(&w2));
+        fifo.release(&w2);
+        assert!(fifo.is_empty());
+    }
+
+    #[test]
+    fn acquire_timeout_expires_when_blocked() {
+        let fifo = LockFifo::new();
+        let w1 = fifo.insert(AccessMode::Write);
+        let w2 = fifo.insert(AccessMode::Write);
+        assert!(fifo.try_acquire(&w1));
+        assert!(!fifo.acquire_timeout(&w2, Duration::from_millis(20)));
+        fifo.release(&w1);
+        assert!(fifo.acquire_timeout(&w2, Duration::from_millis(20)));
+        fifo.release(&w2);
+    }
+
+    #[test]
+    fn blocking_acquire_wakes_up_across_threads() {
+        let fifo = Arc::new(LockFifo::new());
+        let w1 = fifo.insert(AccessMode::Write);
+        let w2 = fifo.insert(AccessMode::Write);
+        assert!(fifo.try_acquire(&w1));
+        let f2 = Arc::clone(&fifo);
+        let handle = std::thread::spawn(move || {
+            f2.acquire(&w2); // blocks until w1 released
+            f2.release(&w2);
+            true
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        fifo.release(&w1);
+        assert!(handle.join().unwrap());
+        assert!(fifo.is_empty());
+    }
+
+    #[test]
+    fn fifo_order_is_respected_under_contention() {
+        // N threads each post a write request in a known order; the order in
+        // which they enter the critical section must match.
+        let fifo = Arc::new(LockFifo::new());
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let tokens: Vec<RequestToken> = (0..8).map(|_| fifo.insert(AccessMode::Write)).collect();
+        let mut joins = Vec::new();
+        for (i, tok) in tokens.into_iter().enumerate() {
+            let fifo = Arc::clone(&fifo);
+            let order = Arc::clone(&order);
+            joins.push(std::thread::spawn(move || {
+                fifo.acquire(&tok);
+                order.lock().push(i);
+                fifo.release(&tok);
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(*order.lock(), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unknown_token_is_harmless() {
+        let fifo = LockFifo::new();
+        let t = fifo.insert(AccessMode::Write);
+        fifo.release(&t);
+        // The token has left the queue: state is None, re-release is a no-op,
+        // blocking acquire returns immediately, try_acquire refuses.
+        assert_eq!(fifo.state_of(&t), None);
+        fifo.release(&t);
+        fifo.acquire(&t);
+        assert!(!fifo.try_acquire(&t));
+    }
+}

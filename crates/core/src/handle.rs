@@ -1,0 +1,394 @@
+//! Handles and guards: how a task accesses a location.
+//!
+//! A [`Handle`] binds one task to one location with a fixed access mode,
+//! mirroring `orwl_handle` in the reference C library.  The protocol is
+//!
+//! 1. [`Handle::request`] — post a request in the location's FIFO (this is
+//!    what fixes the global ordering; in iterative programs all tasks post
+//!    their initial requests during a deterministic initialisation phase);
+//! 2. [`Handle::acquire`] — block until the request is granted; returns an
+//!    RAII [`OrwlGuard`] giving access to the data;
+//! 3. drop the guard — releases the lock.  For *iterative* handles
+//!    (`orwl_handle2` in the C library) a new request is automatically
+//!    re-posted at the tail of the FIFO, which yields the periodic schedule
+//!    iterative ORWL applications rely on.
+
+use crate::error::OrwlError;
+use crate::location::Location;
+use crate::request::{AccessMode, RequestToken};
+use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
+use parking_lot::RawRwLock;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A task's handle on a location.
+#[derive(Debug)]
+pub struct Handle<T> {
+    location: Arc<Location<T>>,
+    mode: AccessMode,
+    iterative: bool,
+    pending: Option<RequestToken>,
+    /// Cumulated time spent blocked in `acquire` (statistics).
+    wait_time: Duration,
+    /// Number of successful acquisitions (statistics).
+    acquisitions: u64,
+}
+
+impl<T> Handle<T> {
+    /// Creates a one-shot handle (requests must be re-posted manually).
+    pub fn new(location: Arc<Location<T>>, mode: AccessMode) -> Self {
+        Handle { location, mode, iterative: false, pending: None, wait_time: Duration::ZERO, acquisitions: 0 }
+    }
+
+    /// Creates an iterative handle: every release re-posts a request.
+    pub fn new_iterative(location: Arc<Location<T>>, mode: AccessMode) -> Self {
+        Handle { location, mode, iterative: true, pending: None, wait_time: Duration::ZERO, acquisitions: 0 }
+    }
+
+    /// The location this handle is attached to.
+    pub fn location(&self) -> &Arc<Location<T>> {
+        &self.location
+    }
+
+    /// The access mode of this handle.
+    pub fn mode(&self) -> AccessMode {
+        self.mode
+    }
+
+    /// True when a request is currently posted (or held).
+    pub fn has_pending_request(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// Total time spent blocked in [`Handle::acquire`].
+    pub fn total_wait_time(&self) -> Duration {
+        self.wait_time
+    }
+
+    /// Number of accesses granted so far.
+    pub fn acquisitions(&self) -> u64 {
+        self.acquisitions
+    }
+
+    /// Posts a request in the location's FIFO.
+    ///
+    /// Returns [`OrwlError::RequestAlreadyPosted`] when a request is already
+    /// pending — the ORWL model requires exactly one outstanding request per
+    /// handle.
+    pub fn request(&mut self) -> Result<(), OrwlError> {
+        if self.pending.is_some() {
+            return Err(OrwlError::RequestAlreadyPosted);
+        }
+        self.pending = Some(self.location.fifo().insert(self.mode));
+        Ok(())
+    }
+
+    /// Blocks until the posted request is granted and returns the guard.
+    ///
+    /// Returns [`OrwlError::NoPendingRequest`] when [`Handle::request`] was
+    /// not called first (one-shot handles) and the handle is not iterative.
+    /// Iterative handles post their first request lazily on first acquire.
+    pub fn acquire(&mut self) -> Result<OrwlGuard<'_, T>, OrwlError> {
+        if self.pending.is_none() {
+            if self.iterative {
+                self.request()?;
+            } else {
+                return Err(OrwlError::NoPendingRequest);
+            }
+        }
+        let token = self.pending.expect("request posted above");
+        let start = Instant::now();
+        self.location.fifo().acquire(&token);
+        self.wait_time += start.elapsed();
+        self.acquisitions += 1;
+        let data = match self.mode {
+            AccessMode::Read => GuardData::Read(self.location.data().read_arc()),
+            AccessMode::Write => GuardData::Write(self.location.data().write_arc()),
+        };
+        Ok(OrwlGuard { handle: self, data: Some(data) })
+    }
+
+    /// Non-blocking variant of [`Handle::acquire`]: returns `Ok(None)` when
+    /// the request is not grantable yet.
+    pub fn try_acquire(&mut self) -> Result<Option<OrwlGuard<'_, T>>, OrwlError> {
+        if self.pending.is_none() {
+            if self.iterative {
+                self.request()?;
+            } else {
+                return Err(OrwlError::NoPendingRequest);
+            }
+        }
+        let token = self.pending.expect("request posted above");
+        if !self.location.fifo().try_acquire(&token) {
+            return Ok(None);
+        }
+        self.acquisitions += 1;
+        let data = match self.mode {
+            AccessMode::Read => GuardData::Read(self.location.data().read_arc()),
+            AccessMode::Write => GuardData::Write(self.location.data().write_arc()),
+        };
+        Ok(Some(OrwlGuard { handle: self, data: Some(data) }))
+    }
+
+    /// Cancels the pending request, if any, without accessing the data.
+    pub fn cancel(&mut self) {
+        if let Some(token) = self.pending.take() {
+            self.location.fifo().release(&token);
+        }
+    }
+
+    /// Called by the guard on drop.
+    fn finish_release(&mut self) {
+        if let Some(token) = self.pending.take() {
+            if self.iterative {
+                // Atomically release and re-post so no other handle can slip
+                // a request in between and perturb the periodic schedule.
+                self.pending = Some(self.location.fifo().release_and_reinsert(&token));
+            } else {
+                self.location.fifo().release(&token);
+            }
+        } else if self.iterative {
+            self.pending = Some(self.location.fifo().insert(self.mode));
+        }
+    }
+}
+
+impl<T> Drop for Handle<T> {
+    fn drop(&mut self) {
+        self.cancel();
+    }
+}
+
+enum GuardData<T> {
+    Read(ArcRwLockReadGuard<RawRwLock, T>),
+    Write(ArcRwLockWriteGuard<RawRwLock, T>),
+}
+
+/// RAII guard giving access to a location's data while the lock is held.
+///
+/// Dereference it to read; use [`OrwlGuard::as_mut`] (or `DerefMut`, which
+/// panics on read guards) to write.  Dropping the guard releases the lock
+/// and, for iterative handles, re-posts the next request.
+pub struct OrwlGuard<'a, T> {
+    handle: &'a mut Handle<T>,
+    data: Option<GuardData<T>>,
+}
+
+impl<T> OrwlGuard<'_, T> {
+    /// Mutable access to the data; `None` for read guards.
+    pub fn as_mut(&mut self) -> Option<&mut T> {
+        match self.data.as_mut() {
+            Some(GuardData::Write(g)) => Some(&mut *g),
+            _ => None,
+        }
+    }
+
+    /// The access mode this guard was obtained with.
+    pub fn mode(&self) -> AccessMode {
+        self.handle.mode
+    }
+}
+
+impl<T> std::ops::Deref for OrwlGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        match self.data.as_ref().expect("guard data present until drop") {
+            GuardData::Read(g) => g,
+            GuardData::Write(g) => g,
+        }
+    }
+}
+
+impl<T> std::ops::DerefMut for OrwlGuard<'_, T> {
+    /// # Panics
+    /// Panics when the guard was obtained through a read handle.
+    fn deref_mut(&mut self) -> &mut T {
+        match self.data.as_mut().expect("guard data present until drop") {
+            GuardData::Write(g) => &mut *g,
+            GuardData::Read(_) => panic!("{}", OrwlError::WriteThroughReadGuard),
+        }
+    }
+}
+
+impl<T> Drop for OrwlGuard<'_, T> {
+    fn drop(&mut self) {
+        // Drop the data guard before touching the FIFO so a re-posted writer
+        // can immediately take the RwLock.
+        self.data = None;
+        self.handle.finish_release();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn one_shot_write_handle_roundtrip() {
+        let loc = Location::new("x", 0i64);
+        let mut h = loc.handle(AccessMode::Write);
+        assert!(matches!(h.acquire(), Err(OrwlError::NoPendingRequest)));
+        h.request().unwrap();
+        assert!(matches!(h.request(), Err(OrwlError::RequestAlreadyPosted)));
+        {
+            let mut g = h.acquire().unwrap();
+            *g = 7;
+            assert_eq!(*g, 7);
+            assert_eq!(g.mode(), AccessMode::Write);
+        }
+        assert!(!h.has_pending_request(), "one-shot handles do not re-post");
+        assert_eq!(loc.snapshot(), 7);
+        assert_eq!(h.acquisitions(), 1);
+    }
+
+    #[test]
+    fn read_guard_cannot_write() {
+        let loc = Location::new("x", 5u32);
+        let mut h = loc.handle(AccessMode::Read);
+        h.request().unwrap();
+        let mut g = h.acquire().unwrap();
+        assert_eq!(*g, 5);
+        assert!(g.as_mut().is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn deref_mut_on_read_guard_panics() {
+        let loc = Location::new("x", 5u32);
+        let mut h = loc.handle(AccessMode::Read);
+        h.request().unwrap();
+        let mut g = h.acquire().unwrap();
+        *g = 6;
+    }
+
+    #[test]
+    fn iterative_handle_reposts_on_release() {
+        let loc = Location::new("x", 0u64);
+        let mut h = loc.iterative_handle(AccessMode::Write);
+        for i in 1..=5u64 {
+            let mut g = h.acquire().unwrap(); // first acquire posts lazily
+            *g = i;
+            drop(g);
+            assert!(h.has_pending_request(), "iterative handle re-posts automatically");
+        }
+        assert_eq!(loc.snapshot(), 5);
+        assert_eq!(h.acquisitions(), 5);
+        // The FIFO holds exactly the one re-posted request.
+        assert_eq!(loc.fifo().len(), 1);
+    }
+
+    #[test]
+    fn try_acquire_returns_none_when_blocked() {
+        let loc = Location::new("x", 0u8);
+        let mut first = loc.handle(AccessMode::Write);
+        let mut second = loc.handle(AccessMode::Write);
+        first.request().unwrap();
+        second.request().unwrap();
+        let g = first.acquire().unwrap();
+        assert!(second.try_acquire().unwrap().is_none());
+        drop(g);
+        assert!(second.try_acquire().unwrap().is_some());
+    }
+
+    #[test]
+    fn cancel_releases_queue_slot() {
+        let loc = Location::new("x", 0u8);
+        let mut first = loc.handle(AccessMode::Write);
+        let mut second = loc.handle(AccessMode::Write);
+        first.request().unwrap();
+        second.request().unwrap();
+        first.cancel();
+        assert!(second.try_acquire().unwrap().is_some());
+    }
+
+    #[test]
+    fn dropping_a_handle_releases_its_request() {
+        let loc = Location::new("x", 0u8);
+        {
+            let mut h = loc.handle(AccessMode::Write);
+            h.request().unwrap();
+        } // dropped while holding a queued request
+        let mut h2 = loc.handle(AccessMode::Write);
+        h2.request().unwrap();
+        assert!(h2.try_acquire().unwrap().is_some());
+    }
+
+    #[test]
+    fn writer_excludes_concurrent_writer_across_threads() {
+        let loc = Location::new("counter", 0u64);
+        let mut joins = Vec::new();
+        for _ in 0..4 {
+            let loc = Arc::clone(&loc);
+            joins.push(thread::spawn(move || {
+                let mut h = loc.handle(AccessMode::Write);
+                for _ in 0..1000 {
+                    h.request().unwrap();
+                    let mut g = h.acquire().unwrap();
+                    *g += 1;
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        assert_eq!(loc.snapshot(), 4000);
+    }
+
+    #[test]
+    fn readers_and_writers_alternate_correctly() {
+        // A writer increments; readers observe only monotonically increasing
+        // values and never a torn intermediate (trivially true for u64, but
+        // the test exercises the full request/acquire/release protocol under
+        // concurrency).
+        let loc = Location::new("x", 0u64);
+        let writer_loc = Arc::clone(&loc);
+        let writer = thread::spawn(move || {
+            let mut h = writer_loc.iterative_handle(AccessMode::Write);
+            for _ in 0..200 {
+                let mut g = h.acquire().unwrap();
+                *g += 1;
+            }
+        });
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let loc = Arc::clone(&loc);
+            readers.push(thread::spawn(move || {
+                let mut h = loc.iterative_handle(AccessMode::Read);
+                let mut last = 0u64;
+                for _ in 0..100 {
+                    let g = h.acquire().unwrap();
+                    assert!(*g >= last);
+                    last = *g;
+                }
+            }));
+        }
+        writer.join().unwrap();
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(loc.snapshot(), 200);
+    }
+
+    #[test]
+    fn wait_time_accumulates_when_contended() {
+        let loc = Location::new("x", 0u8);
+        let mut a = loc.handle(AccessMode::Write);
+        a.request().unwrap();
+        let guard = a.acquire().unwrap();
+        let loc2 = Arc::clone(&loc);
+        let t = thread::spawn(move || {
+            let mut b = loc2.handle(AccessMode::Write);
+            b.request().unwrap();
+            let g = b.acquire().unwrap();
+            drop(g);
+            b.total_wait_time()
+        });
+        thread::sleep(Duration::from_millis(30));
+        drop(guard);
+        let waited = t.join().unwrap();
+        assert!(waited >= Duration::from_millis(20), "waited {waited:?}");
+    }
+}

@@ -1,0 +1,85 @@
+//! # orwl-core — the ORWL runtime with topology-aware placement
+//!
+//! A from-scratch Rust implementation of the **Ordered Read-Write Locks**
+//! (ORWL) task-based programming model (Clauss & Gustedt, JPDC 2010),
+//! enriched with the **topology-aware placement add-on** described in
+//! *"Optimizing Locality by Topology-aware Placement for a Task Based
+//! Programming Model"* (Gustedt, Jeannot, Mansouri — IEEE CLUSTER 2016).
+//!
+//! ## The model
+//!
+//! * Shared state lives in [`Location`]s.  Every location owns a FIFO of
+//!   lock requests ([`fifo::LockFifo`]).
+//! * Tasks access locations through [`Handle`]s: they *post* a request,
+//!   *acquire* it when the FIFO grants it (writers exclusively, adjacent
+//!   readers together), and *release* it by dropping the guard.  Iterative
+//!   handles re-post automatically, producing the periodic, deadlock-free
+//!   schedules iterative ORWL applications are built on.
+//! * A program ([`OrwlProgram`]) declares, for every task, the locations it
+//!   will use and the per-iteration volume — from which the runtime builds
+//!   the thread-to-thread communication matrix.
+//! * The runtime ([`OrwlRuntime`]) computes a placement of computation and
+//!   control threads with the TreeMatch-based Algorithm 1 (crate
+//!   `orwl-treematch`), binds each thread ([`orwl_topo::binding`]), runs one
+//!   thread per task plus an event-driven pool of control threads, and
+//!   reports locality and timing statistics.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use orwl_core::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // One shared counter location, four incrementing tasks.
+//! let counter = Location::new("counter", 0u64);
+//! let mut program = OrwlProgram::new();
+//! for t in 0..4 {
+//!     let loc = Arc::clone(&counter);
+//!     program.add_task(
+//!         TaskSpec::new(format!("inc-{t}"), vec![LocationLink::write(counter.id(), 8.0)]),
+//!         move |_ctx| {
+//!             let mut handle = loc.iterative_handle(AccessMode::Write);
+//!             for _ in 0..100 {
+//!                 let mut guard = handle.acquire().unwrap();
+//!                 *guard += 1;
+//!             }
+//!         },
+//!     );
+//! }
+//!
+//! let topo = orwl_topo::discover::discover();
+//! let runtime = OrwlRuntime::new(RuntimeConfig::no_bind(topo));
+//! let report = runtime.run(program).unwrap();
+//! assert_eq!(counter.snapshot(), 400);
+//! assert_eq!(report.stats.tasks_finished, 4);
+//! ```
+
+pub mod error;
+pub mod fifo;
+pub mod handle;
+pub mod location;
+pub mod placement;
+pub mod request;
+pub mod runtime;
+pub mod stats;
+pub mod task;
+
+pub use error::OrwlError;
+pub use handle::{Handle, OrwlGuard};
+pub use location::{Location, LocationId};
+pub use placement::{plan_placement, PlacementPlan};
+pub use request::{AccessMode, RequestState, RequestToken};
+pub use runtime::{ControlEvent, OrwlRuntime, RunReport, RuntimeConfig};
+pub use stats::{RuntimeStats, StatsSnapshot};
+pub use task::{LocationLink, OrwlProgram, TaskContext, TaskId, TaskSpec};
+
+/// Convenient glob import of the most commonly used items.
+pub mod prelude {
+    pub use crate::error::OrwlError;
+    pub use crate::handle::Handle;
+    pub use crate::location::Location;
+    pub use crate::request::AccessMode;
+    pub use crate::runtime::{OrwlRuntime, RunReport, RuntimeConfig};
+    pub use crate::task::{LocationLink, OrwlProgram, TaskContext, TaskSpec};
+    pub use orwl_treematch::policies::Policy;
+}

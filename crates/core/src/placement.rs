@@ -1,0 +1,120 @@
+//! The topology-aware placement add-on (the paper's contribution, glued to
+//! the runtime).
+//!
+//! Given an [`OrwlProgram`], this module extracts the task-to-task
+//! communication matrix from the declared location links, runs the selected
+//! placement policy (TreeMatch for the paper's "Bind" configuration) on the
+//! machine topology, and produces a [`PlacementPlan`] the runtime applies
+//! when it spawns its computation and control threads.
+
+use crate::task::OrwlProgram;
+use orwl_comm::matrix::CommMatrix;
+use orwl_comm::metrics::{traffic_breakdown, TrafficBreakdown};
+use orwl_topo::topology::Topology;
+use orwl_treematch::mapping::Placement;
+use orwl_treematch::policies::{compute_placement, Policy};
+
+/// A computed placement together with the inputs that produced it.
+#[derive(Debug, Clone)]
+pub struct PlacementPlan {
+    /// The policy used.
+    pub policy: Policy,
+    /// The communication matrix extracted from the program.
+    pub matrix: CommMatrix,
+    /// The thread placement (compute + control threads).
+    pub placement: Placement,
+}
+
+impl PlacementPlan {
+    /// Locality breakdown of the plan on `topo`.  Unbound threads are
+    /// assumed to be spread round-robin over the NUMA nodes, which is what
+    /// the OS load balancer does with a set of runnable threads and no
+    /// affinity information.
+    pub fn breakdown(&self, topo: &Topology) -> TrafficBreakdown {
+        let os_guess = compute_placement(Policy::Scatter, topo, &self.matrix, 0);
+        let guess_mapping = os_guess.compute_mapping_or_zero();
+        let mapping = self.placement.compute_mapping_with(|t| guess_mapping[t]);
+        traffic_breakdown(&self.matrix, topo, &mapping)
+    }
+}
+
+/// Extracts the communication matrix of `program` and computes a placement
+/// for its tasks (plus `n_control` control threads) on `topo`.
+pub fn plan_placement(
+    program: &OrwlProgram,
+    topo: &Topology,
+    policy: Policy,
+    n_control: usize,
+) -> PlacementPlan {
+    let matrix = program.comm_matrix();
+    let placement = compute_placement(policy, topo, &matrix, n_control);
+    PlacementPlan { policy, matrix, placement }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::location::Location;
+    use crate::task::{LocationLink, TaskSpec};
+    use orwl_topo::synthetic;
+
+    /// A program of 2 clusters of 4 tasks each, chained through locations so
+    /// that intra-cluster traffic dominates.
+    fn clustered_program() -> OrwlProgram {
+        let mut p = OrwlProgram::new();
+        for c in 0..2 {
+            let locs: Vec<_> = (0..4).map(|i| Location::new(format!("c{c}-l{i}"), 0u64)).collect();
+            for i in 0..4 {
+                let mut links = vec![LocationLink::write(locs[i].id(), 1000.0)];
+                links.push(LocationLink::read(locs[(i + 1) % 4].id(), 1000.0));
+                p.add_task(TaskSpec::new(format!("c{c}-t{i}"), links), |_| {});
+            }
+        }
+        p
+    }
+
+    #[test]
+    fn plan_uses_program_matrix() {
+        let p = clustered_program();
+        let topo = synthetic::cluster2016_subset(2).unwrap();
+        let plan = plan_placement(&p, &topo, Policy::TreeMatch, 1);
+        assert_eq!(plan.matrix.order(), 8);
+        assert!(plan.matrix.total_volume() > 0.0);
+        assert_eq!(plan.placement.n_compute(), 8);
+        assert_eq!(plan.placement.n_control(), 1);
+        plan.placement.validate_against(&topo).unwrap();
+    }
+
+    #[test]
+    fn treematch_plan_keeps_clusters_on_one_socket() {
+        let p = clustered_program();
+        let topo = synthetic::cluster2016_subset(2).unwrap();
+        let plan = plan_placement(&p, &topo, Policy::TreeMatch, 0);
+        let b = plan.breakdown(&topo);
+        // All intra-cluster traffic should stay inside a NUMA node.
+        assert_eq!(b.cross_numa, 0.0, "breakdown: {b:?}");
+        assert_eq!(b.local_fraction(), 1.0);
+    }
+
+    #[test]
+    fn nobind_plan_binds_nothing_but_reports_breakdown() {
+        let p = clustered_program();
+        let topo = synthetic::cluster2016_subset(2).unwrap();
+        let plan = plan_placement(&p, &topo, Policy::NoBind, 2);
+        assert_eq!(plan.placement.bound_fraction(), 0.0);
+        // The breakdown uses the round-robin OS assumption, which spreads the
+        // clusters over both sockets — strictly worse locality.
+        let b = plan.breakdown(&topo);
+        assert!(b.cross_numa > 0.0);
+        assert!(b.local_fraction() < 1.0);
+    }
+
+    #[test]
+    fn empty_program_yields_empty_plan() {
+        let p = OrwlProgram::new();
+        let topo = synthetic::laptop();
+        let plan = plan_placement(&p, &topo, Policy::TreeMatch, 0);
+        assert_eq!(plan.matrix.order(), 0);
+        assert_eq!(plan.placement.n_compute(), 0);
+    }
+}

@@ -1,0 +1,384 @@
+//! The event-based ORWL runtime.
+//!
+//! The runtime executes an [`OrwlProgram`]: it computes a placement for the
+//! program's tasks (and for its own control threads), spawns one thread per
+//! task — exactly as the reference ORWL library runs each operation on an
+//! independent thread — binds every thread according to the placement, and
+//! runs a small pool of *control threads* that drain the runtime's event
+//! channel (task lifecycle notifications, progress accounting).  Control
+//! threads are deliberately real threads doing real work because the
+//! paper's Algorithm 1 places them alongside the computation threads.
+
+use crate::error::OrwlError;
+use crate::placement::{plan_placement, PlacementPlan};
+use crate::stats::{RuntimeStats, StatsSnapshot};
+use crate::task::{OrwlProgram, TaskContext, TaskId};
+use crossbeam::channel;
+use orwl_topo::binding::{Binder, NoopBinder};
+use orwl_topo::topology::Topology;
+use orwl_treematch::policies::Policy;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of a runtime instance.
+#[derive(Clone)]
+pub struct RuntimeConfig {
+    /// The machine topology placements are computed against.
+    pub topology: Topology,
+    /// The placement policy ([`Policy::TreeMatch`] = the paper's "Bind",
+    /// [`Policy::NoBind`] = the unbound baseline).
+    pub policy: Policy,
+    /// Number of control threads the runtime starts.
+    pub control_threads: usize,
+    /// How bindings are applied (real `sched_setaffinity`, recording, or
+    /// no-op).
+    pub binder: Arc<dyn Binder>,
+}
+
+impl RuntimeConfig {
+    /// Topology-aware configuration: TreeMatch placement applied with the
+    /// platform's native binder.
+    pub fn bind(topology: Topology) -> Self {
+        RuntimeConfig {
+            topology,
+            policy: Policy::TreeMatch,
+            control_threads: 1,
+            binder: Arc::from(orwl_topo::binding::native_binder()),
+        }
+    }
+
+    /// The "NoBind" configuration of the paper: same runtime, no binding.
+    pub fn no_bind(topology: Topology) -> Self {
+        RuntimeConfig {
+            topology,
+            policy: Policy::NoBind,
+            control_threads: 1,
+            binder: Arc::new(NoopBinder),
+        }
+    }
+
+    /// Replaces the policy.
+    pub fn with_policy(mut self, policy: Policy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the number of control threads.
+    pub fn with_control_threads(mut self, n: usize) -> Self {
+        self.control_threads = n;
+        self
+    }
+
+    /// Replaces the binder.
+    pub fn with_binder(mut self, binder: Arc<dyn Binder>) -> Self {
+        self.binder = binder;
+        self
+    }
+}
+
+impl std::fmt::Debug for RuntimeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeConfig")
+            .field("topology", &self.topology.name())
+            .field("policy", &self.policy.name())
+            .field("control_threads", &self.control_threads)
+            .field("binder", &self.binder.name())
+            .finish()
+    }
+}
+
+/// Events flowing from computation threads to control threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlEvent {
+    /// A task's thread started executing.
+    TaskStarted(TaskId),
+    /// A task's thread finished executing.
+    TaskFinished(TaskId),
+}
+
+/// Result of running a program.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Wall-clock time of the whole run (placement + execution + join).
+    pub wall_time: Duration,
+    /// The placement that was applied.
+    pub plan: PlacementPlan,
+    /// Per-task execution time, indexed by task id.
+    pub per_task_time: Vec<Duration>,
+    /// Snapshot of the runtime counters at the end of the run.
+    pub stats: StatsSnapshot,
+}
+
+impl RunReport {
+    /// The longest task execution time (the critical path lower bound).
+    pub fn max_task_time(&self) -> Duration {
+        self.per_task_time.iter().copied().max().unwrap_or(Duration::ZERO)
+    }
+}
+
+/// The ORWL runtime.
+#[derive(Debug)]
+pub struct OrwlRuntime {
+    config: RuntimeConfig,
+}
+
+impl OrwlRuntime {
+    /// Creates a runtime with the given configuration.
+    pub fn new(config: RuntimeConfig) -> Self {
+        OrwlRuntime { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Runs a program to completion and reports on the execution.
+    ///
+    /// Every task runs on its own OS thread (the ORWL execution model); the
+    /// calling thread blocks until all tasks and control threads have
+    /// finished.
+    pub fn run(&self, program: OrwlProgram) -> Result<RunReport, OrwlError> {
+        if program.is_empty() {
+            return Err(OrwlError::EmptyProgram);
+        }
+        let started = Instant::now();
+
+        // 1. Placement: extract the communication matrix and map threads.
+        let plan = plan_placement(&program, &self.config.topology, self.config.policy, self.config.control_threads);
+        let compute_cpusets = plan.placement.compute_cpusets();
+        let control_cpusets = plan.placement.control_cpusets();
+
+        let stats = Arc::new(RuntimeStats::new());
+        let (event_tx, event_rx) = channel::unbounded::<ControlEvent>();
+
+        // 2. Control threads: bind them per the placement and let them drain
+        //    the event channel until every sender is gone.
+        let mut control_joins = Vec::new();
+        for k in 0..self.config.control_threads {
+            let rx = event_rx.clone();
+            let stats = Arc::clone(&stats);
+            let binder = Arc::clone(&self.config.binder);
+            let cpuset = control_cpusets.get(k).cloned().flatten();
+            control_joins.push(
+                std::thread::Builder::new()
+                    .name(format!("orwl-control-{k}"))
+                    .spawn(move || {
+                        if let Some(cs) = cpuset {
+                            // Binding failures are not fatal for control
+                            // threads; the OS fallback is what the paper
+                            // describes for the unmappable case.
+                            let _ = binder.bind_current_thread(&cs);
+                        }
+                        while rx.recv().is_ok() {
+                            stats.record_control_event();
+                        }
+                    })
+                    .expect("spawning a control thread cannot fail"),
+            );
+        }
+        drop(event_rx);
+
+        // 3. Computation threads: one per task, bound per the placement.
+        let (specs, bodies) = program.into_parts();
+        let mut task_joins = Vec::new();
+        for (idx, (spec, body)) in specs.iter().cloned().zip(bodies).enumerate() {
+            let cpuset = compute_cpusets.get(idx).cloned().flatten();
+            let binder = Arc::clone(&self.config.binder);
+            let stats = Arc::clone(&stats);
+            let tx = event_tx.clone();
+            let task_id = TaskId(idx);
+            let join = std::thread::Builder::new()
+                .name(format!("orwl-task-{}", spec.name))
+                .spawn(move || {
+                    if let Some(cs) = &cpuset {
+                        binder.bind_current_thread(cs).map_err(|e| OrwlError::Binding(e.to_string()))?;
+                    }
+                    let ctx = TaskContext { task_id, bound_to: cpuset, stats: Arc::clone(&stats) };
+                    let _ = tx.send(ControlEvent::TaskStarted(task_id));
+                    stats.record_task_started();
+                    let t0 = Instant::now();
+                    body(&ctx);
+                    let elapsed = t0.elapsed();
+                    stats.record_task_finished();
+                    let _ = tx.send(ControlEvent::TaskFinished(task_id));
+                    Ok::<Duration, OrwlError>(elapsed)
+                })
+                .expect("spawning a task thread cannot fail");
+            task_joins.push((spec.name.clone(), join));
+        }
+        drop(event_tx);
+
+        // 4. Join computation threads, collecting per-task times.
+        let mut per_task_time = Vec::with_capacity(task_joins.len());
+        let mut first_error = None;
+        for (name, join) in task_joins {
+            match join.join() {
+                Ok(Ok(elapsed)) => per_task_time.push(elapsed),
+                Ok(Err(e)) => {
+                    per_task_time.push(Duration::ZERO);
+                    first_error.get_or_insert(e);
+                }
+                Err(_) => {
+                    per_task_time.push(Duration::ZERO);
+                    first_error.get_or_insert(OrwlError::TaskPanicked(name));
+                }
+            }
+        }
+
+        // 5. Control threads exit once every event sender is dropped.
+        for join in control_joins {
+            let _ = join.join();
+        }
+
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        Ok(RunReport { wall_time: started.elapsed(), plan, per_task_time, stats: stats.snapshot() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::location::Location;
+    use crate::request::AccessMode;
+    use crate::task::{LocationLink, TaskSpec};
+    use orwl_topo::binding::RecordingBinder;
+    use orwl_topo::synthetic;
+
+    fn counter_program(n_tasks: usize, increments: u64) -> (OrwlProgram, Arc<Location<u64>>) {
+        let counter = Location::new("counter", 0u64);
+        let mut program = OrwlProgram::new();
+        for t in 0..n_tasks {
+            let loc = Arc::clone(&counter);
+            program.add_task(
+                TaskSpec::new(format!("inc-{t}"), vec![LocationLink::write(counter.id(), 8.0)]),
+                move |ctx| {
+                    let mut h = loc.iterative_handle(AccessMode::Write);
+                    for _ in 0..increments {
+                        let mut g = h.acquire().unwrap();
+                        *g += 1;
+                    }
+                    ctx.stats.record_acquisitions(increments);
+                },
+            );
+        }
+        (program, counter)
+    }
+
+    #[test]
+    fn empty_program_is_rejected() {
+        let rt = OrwlRuntime::new(RuntimeConfig::no_bind(synthetic::laptop()));
+        assert!(matches!(rt.run(OrwlProgram::new()), Err(OrwlError::EmptyProgram)));
+    }
+
+    #[test]
+    fn runtime_executes_all_tasks_nobind() {
+        let (program, counter) = counter_program(4, 500);
+        let rt = OrwlRuntime::new(RuntimeConfig::no_bind(synthetic::laptop()));
+        let report = rt.run(program).unwrap();
+        assert_eq!(counter.snapshot(), 4 * 500);
+        assert_eq!(report.per_task_time.len(), 4);
+        assert_eq!(report.stats.tasks_started, 4);
+        assert_eq!(report.stats.tasks_finished, 4);
+        assert_eq!(report.stats.lock_acquisitions, 4 * 500);
+        // Two lifecycle events per task were processed by control threads.
+        assert_eq!(report.stats.control_events, 8);
+        assert!(report.wall_time > Duration::ZERO);
+        assert!(report.max_task_time() <= report.wall_time);
+        assert_eq!(report.plan.placement.bound_fraction(), 0.0);
+    }
+
+    #[test]
+    fn runtime_with_recording_binder_applies_treematch_placement() {
+        let (program, counter) = counter_program(4, 100);
+        let binder = Arc::new(RecordingBinder::new());
+        let config = RuntimeConfig::bind(synthetic::laptop())
+            .with_binder(binder.clone() as Arc<dyn Binder>)
+            .with_control_threads(1);
+        let rt = OrwlRuntime::new(config);
+        let report = rt.run(program).unwrap();
+        assert_eq!(counter.snapshot(), 400);
+        // All 4 compute threads were bound (laptop has 8 PUs), plus possibly
+        // the control thread.
+        assert!(binder.anonymous_bindings().len() >= 4, "bindings: {:?}", binder.anonymous_bindings());
+        assert!(report.plan.placement.bound_fraction() > 0.99);
+        assert_eq!(report.plan.policy.name(), "treematch");
+    }
+
+    #[test]
+    fn stencil_like_program_produces_nonzero_matrix() {
+        // 4 tasks in a ring, each writing its own frontier read by the next.
+        let frontiers: Vec<_> = (0..4).map(|i| Location::new(format!("f{i}"), vec![0.0f64; 64])).collect();
+        let mut program = OrwlProgram::new();
+        for t in 0..4 {
+            let me = Arc::clone(&frontiers[t]);
+            let prev = Arc::clone(&frontiers[(t + 3) % 4]);
+            program.add_task(
+                TaskSpec::new(
+                    format!("ring-{t}"),
+                    vec![
+                        LocationLink::write(frontiers[t].id(), 512.0),
+                        LocationLink::read(frontiers[(t + 3) % 4].id(), 512.0),
+                    ],
+                ),
+                move |_| {
+                    let mut wh = me.iterative_handle(AccessMode::Write);
+                    let mut rh = prev.iterative_handle(AccessMode::Read);
+                    for i in 0..20 {
+                        {
+                            let mut g = wh.acquire().unwrap();
+                            g[0] = i as f64;
+                        }
+                        {
+                            let g = rh.acquire().unwrap();
+                            assert!(g[0] >= 0.0);
+                        }
+                    }
+                },
+            );
+        }
+        let rt = OrwlRuntime::new(
+            RuntimeConfig::bind(synthetic::cluster2016_subset(1).unwrap())
+                .with_binder(Arc::new(RecordingBinder::new())),
+        );
+        let report = rt.run(program).unwrap();
+        assert_eq!(report.plan.matrix.order(), 4);
+        assert!(report.plan.matrix.total_volume() > 0.0);
+        report.plan.placement.validate_against(&rt.config().topology).unwrap();
+    }
+
+    #[test]
+    fn task_panic_is_reported_with_name() {
+        let mut program = OrwlProgram::new();
+        program.add_task(TaskSpec::new("ok", vec![]), |_| {});
+        program.add_task(TaskSpec::new("boom", vec![]), |_| panic!("intentional"));
+        let rt = OrwlRuntime::new(RuntimeConfig::no_bind(synthetic::laptop()));
+        match rt.run(program) {
+            Err(OrwlError::TaskPanicked(name)) => assert_eq!(name, "boom"),
+            other => panic!("expected TaskPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_control_threads_is_supported() {
+        let (program, counter) = counter_program(2, 50);
+        let rt = OrwlRuntime::new(
+            RuntimeConfig::no_bind(synthetic::laptop()).with_control_threads(0),
+        );
+        let report = rt.run(program).unwrap();
+        assert_eq!(counter.snapshot(), 100);
+        assert_eq!(report.stats.control_events, 0);
+    }
+
+    #[test]
+    fn config_builders_compose() {
+        let cfg = RuntimeConfig::no_bind(synthetic::laptop())
+            .with_policy(Policy::Packed)
+            .with_control_threads(3);
+        assert_eq!(cfg.policy, Policy::Packed);
+        assert_eq!(cfg.control_threads, 3);
+        assert!(format!("{cfg:?}").contains("packed"));
+    }
+}

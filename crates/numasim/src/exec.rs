@@ -1,0 +1,353 @@
+//! The discrete-event execution engine.
+//!
+//! [`simulate`] plays an iterative [`TaskGraph`] on a [`SimMachine`] under a
+//! given [`ExecutionScenario`] and returns the simulated wall-clock time
+//! together with a breakdown of where the time went.  The engine models:
+//!
+//! * **compute** — `elements × sec_per_element`, inflated by the migration
+//!   penalty when threads are not pinned;
+//! * **working-set accesses** — `private_bytes × per-byte cost`, where the
+//!   per-byte cost depends on whether the data is NUMA-local and on how many
+//!   tasks share the target node's memory controller (bandwidth sharing);
+//! * **halo transfers** — per-edge `bytes × link cost` between the producer
+//!   and consumer PUs, paid before the consumer can start its iteration;
+//! * **interconnect saturation** — the sum of all node-crossing bytes of an
+//!   iteration cannot move faster than the global backplane allows;
+//! * **PU serialisation** — tasks mapped to the same PU run one after the
+//!   other (oversubscription);
+//! * **fork-join barriers** — optional per-iteration synchronisation.
+
+use crate::machine::SimMachine;
+use crate::scenario::ExecutionScenario;
+use crate::taskgraph::TaskGraph;
+
+/// Where the simulated time was spent, summed over all tasks and iterations
+/// (seconds of task-time, not wall-clock).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimeBreakdown {
+    /// Pure computation.
+    pub compute: f64,
+    /// Working-set (private block) memory accesses.
+    pub memory: f64,
+    /// Halo/frontier transfers between tasks.
+    pub halo: f64,
+    /// Barrier synchronisation overhead.
+    pub barrier: f64,
+}
+
+impl TimeBreakdown {
+    /// Total accumulated task-time.
+    pub fn total(&self) -> f64 {
+        self.compute + self.memory + self.halo + self.barrier
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Simulated wall-clock time of the whole run, in seconds.
+    pub total_time: f64,
+    /// Simulated wall-clock time of each iteration.
+    pub iteration_times: Vec<f64>,
+    /// Aggregated task-time breakdown (helps explain *why* a scenario is
+    /// slow; the components overlap in wall-clock time).
+    pub breakdown: TimeBreakdown,
+    /// Bytes crossing NUMA nodes per iteration (working set + halos).
+    pub cross_node_bytes: f64,
+    /// Label copied from the scenario.
+    pub label: String,
+}
+
+impl SimReport {
+    /// Mean iteration time.
+    pub fn mean_iteration_time(&self) -> f64 {
+        if self.iteration_times.is_empty() {
+            0.0
+        } else {
+            self.iteration_times.iter().sum::<f64>() / self.iteration_times.len() as f64
+        }
+    }
+}
+
+/// Simulates `iterations` iterations of `graph` under `scenario`.
+///
+/// # Panics
+/// Panics when the scenario does not cover every task of the graph.
+pub fn simulate(
+    machine: &SimMachine,
+    graph: &TaskGraph,
+    scenario: &ExecutionScenario,
+    iterations: usize,
+) -> SimReport {
+    let n = graph.n_tasks();
+    assert!(
+        scenario.task_pu.len() >= n && scenario.data_node.len() >= n,
+        "scenario covers {} tasks but the graph has {n}",
+        scenario.task_pu.len()
+    );
+    let params = machine.params();
+
+    // --- Static per-placement quantities -----------------------------------
+    // Number of tasks whose working set lives on each node: they share that
+    // node's memory controller every iteration.
+    let mut sharers_per_node = vec![0usize; machine.n_nodes()];
+    for t in 0..n {
+        sharers_per_node[scenario.data_node[t]] += 1;
+    }
+
+    // Per-task duration of one iteration (compute + working-set accesses).
+    let migration = if scenario.migrating { params.migration_penalty } else { 1.0 };
+    let mut task_duration = vec![0.0f64; n];
+    let mut sum_compute = 0.0;
+    let mut sum_memory = 0.0;
+    for t in 0..n {
+        let task = graph.task(t);
+        let compute = task.elements * params.sec_per_element * migration;
+        let exec_node = machine.node_of_pu(scenario.task_pu[t]);
+        let data_node = scenario.data_node[t];
+        // Per-byte cost including the NUMA factor...
+        let byte_cost = machine.access_byte_cost(exec_node, data_node);
+        // ...and bandwidth sharing on the target memory controller: the
+        // controller can stream `node_bandwidth` bytes/s in total, so with
+        // `s` concurrent streams each sees `node_bandwidth / s`.
+        let sharers = sharers_per_node[data_node].max(1) as f64;
+        let controller_limited = task.private_bytes * sharers / params.node_bandwidth;
+        let latency_limited = task.private_bytes * byte_cost;
+        let memory = latency_limited.max(controller_limited);
+        task_duration[t] = compute + memory;
+        sum_compute += compute;
+        sum_memory += memory;
+    }
+
+    // Bytes that cross NUMA nodes every iteration (working sets fetched from
+    // remote nodes plus node-crossing halos): bounded by the backplane.
+    let mut cross_bytes = 0.0;
+    for t in 0..n {
+        let exec_node = machine.node_of_pu(scenario.task_pu[t]);
+        if exec_node != scenario.data_node[t] {
+            cross_bytes += graph.task(t).private_bytes;
+        }
+    }
+    for e in graph.edges() {
+        let a = machine.node_of_pu(scenario.task_pu[e.src]);
+        let b = machine.node_of_pu(scenario.task_pu[e.dst]);
+        if a != b {
+            cross_bytes += e.bytes;
+        }
+    }
+    let interconnect_floor = cross_bytes / params.interconnect_bandwidth;
+
+    // Barrier overhead per iteration (fork-join runtimes only).
+    let barrier_cost = if scenario.fork_join_barrier {
+        params.barrier_cost_per_thread * n as f64
+    } else {
+        0.0
+    };
+
+    // --- Event-driven iteration loop ---------------------------------------
+    let mut finish_prev = vec![0.0f64; n];
+    let mut finish_cur = vec![0.0f64; n];
+    let mut pu_free: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+    let mut iteration_times = Vec::with_capacity(iterations);
+    let mut clock_start_of_iter = 0.0f64;
+    let mut sum_halo = 0.0;
+    let mut sum_barrier = 0.0;
+
+    for _iter in 0..iterations {
+        // Order tasks by the time their dependencies are satisfied so that
+        // PU serialisation favours the task that becomes ready first.
+        let mut ready: Vec<(f64, usize)> = (0..n)
+            .map(|t| {
+                let mut r: f64 = clock_start_of_iter;
+                for e in graph.in_edges(t) {
+                    let link = machine.link_byte_cost(scenario.task_pu[e.src], scenario.task_pu[e.dst]);
+                    let halo_time = e.bytes * link;
+                    sum_halo += halo_time;
+                    r = r.max(finish_prev[e.src] + halo_time);
+                }
+                (r, t)
+            })
+            .collect();
+        ready.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut iter_end = clock_start_of_iter;
+        for (ready_time, t) in ready {
+            let pu = scenario.task_pu[t];
+            let free = pu_free.get(&pu).copied().unwrap_or(0.0);
+            let start = ready_time.max(free);
+            let finish = start + task_duration[t];
+            pu_free.insert(pu, finish);
+            finish_cur[t] = finish;
+            iter_end = iter_end.max(finish);
+        }
+
+        // The node-crossing traffic of this iteration cannot beat the
+        // backplane, whatever the per-task overlap looked like.
+        iter_end = iter_end.max(clock_start_of_iter + interconnect_floor);
+
+        // Fork-join runtimes re-synchronise every iteration.
+        if scenario.fork_join_barrier {
+            iter_end += barrier_cost;
+            sum_barrier += barrier_cost;
+            for f in finish_cur.iter_mut() {
+                *f = iter_end;
+            }
+            for f in pu_free.values_mut() {
+                *f = iter_end;
+            }
+        }
+
+        iteration_times.push(iter_end - clock_start_of_iter);
+        clock_start_of_iter = iter_end;
+        std::mem::swap(&mut finish_prev, &mut finish_cur);
+    }
+
+    SimReport {
+        total_time: clock_start_of_iter,
+        iteration_times,
+        breakdown: TimeBreakdown {
+            compute: sum_compute * iterations as f64,
+            memory: sum_memory * iterations as f64,
+            halo: sum_halo,
+            barrier: sum_barrier,
+        },
+        cross_node_bytes: cross_bytes,
+        label: scenario.label.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costmodel::CostParams;
+    use crate::scenario::ExecutionScenario;
+    use crate::taskgraph::{SimEdge, SimTask};
+    use orwl_comm::patterns::StencilSpec;
+    use orwl_topo::synthetic;
+
+    fn small_machine() -> SimMachine {
+        SimMachine::new(synthetic::cluster2016_subset(4).unwrap(), CostParams::test_exaggerated())
+    }
+
+    fn stencil_graph(side: usize) -> TaskGraph {
+        let spec = StencilSpec::nine_point_blocks(side, 64, 8);
+        TaskGraph::stencil(&spec, 64.0 * 64.0, 8.0)
+    }
+
+    #[test]
+    fn zero_iterations_takes_zero_time() {
+        let m = small_machine();
+        let g = stencil_graph(4);
+        let s = ExecutionScenario::bound(&m, (0..16).collect());
+        let r = simulate(&m, &g, &s, 0);
+        assert_eq!(r.total_time, 0.0);
+        assert!(r.iteration_times.is_empty());
+        assert_eq!(r.mean_iteration_time(), 0.0);
+    }
+
+    #[test]
+    fn time_scales_linearly_with_iterations() {
+        let m = small_machine();
+        let g = stencil_graph(4);
+        let s = ExecutionScenario::bound(&m, (0..16).collect());
+        let r1 = simulate(&m, &g, &s, 10);
+        let r2 = simulate(&m, &g, &s, 20);
+        assert!(r1.total_time > 0.0);
+        // Steady-state: doubling iterations roughly doubles the time.
+        let ratio = r2.total_time / r1.total_time;
+        assert!((ratio - 2.0).abs() < 0.2, "ratio {ratio}");
+        assert_eq!(r1.iteration_times.len(), 10);
+    }
+
+    #[test]
+    fn local_bound_run_beats_remote_unbound_run() {
+        let m = small_machine();
+        let g = stencil_graph(8); // 64 tasks on 32 PUs (oversubscribed ×2)
+        let bound = ExecutionScenario::bound(&m, (0..64).map(|t| t % 32).collect());
+        let nobind = ExecutionScenario::orwl_nobind(&m, 64, 7);
+        let openmp = ExecutionScenario::openmp_static(&m, 64);
+        let rb = simulate(&m, &g, &bound, 5);
+        let rn = simulate(&m, &g, &nobind, 5);
+        let ro = simulate(&m, &g, &openmp, 5);
+        assert!(rb.total_time < rn.total_time, "bind {} vs nobind {}", rb.total_time, rn.total_time);
+        assert!(rn.total_time < ro.total_time, "nobind {} vs openmp {}", rn.total_time, ro.total_time);
+        // The OpenMP run funnels everything through node 0: more cross-node
+        // traffic than the bound run.
+        assert!(ro.cross_node_bytes > rb.cross_node_bytes);
+    }
+
+    #[test]
+    fn breakdown_components_are_positive_and_labelled() {
+        let m = small_machine();
+        let g = stencil_graph(4);
+        let s = ExecutionScenario::openmp_static(&m, 16);
+        let r = simulate(&m, &g, &s, 3);
+        assert!(r.breakdown.compute > 0.0);
+        assert!(r.breakdown.memory > 0.0);
+        assert!(r.breakdown.halo > 0.0);
+        assert!(r.breakdown.barrier > 0.0);
+        assert!(r.breakdown.total() > 0.0);
+        assert_eq!(r.label, "openmp");
+        // A bound ORWL run has no barrier component.
+        let rb = simulate(&m, &g, &ExecutionScenario::bound(&m, (0..16).collect()), 3);
+        assert_eq!(rb.breakdown.barrier, 0.0);
+    }
+
+    #[test]
+    fn pu_serialisation_slows_oversubscribed_placements() {
+        let m = small_machine();
+        let g = stencil_graph(4); // 16 tasks
+        // All tasks stacked on one PU vs spread over 16 PUs.
+        let stacked = ExecutionScenario::bound(&m, vec![0; 16]);
+        let spread = ExecutionScenario::bound(&m, (0..16).collect());
+        let rs = simulate(&m, &g, &stacked, 3);
+        let rp = simulate(&m, &g, &spread, 3);
+        assert!(rs.total_time > rp.total_time * 4.0, "stacked {} spread {}", rs.total_time, rp.total_time);
+    }
+
+    #[test]
+    fn interconnect_floor_limits_remote_heavy_runs() {
+        // A graph with huge working sets all resident on node 0, executed
+        // from node 1: the iteration cannot be faster than cross-bytes /
+        // backplane bandwidth.
+        let m = small_machine();
+        let tasks = vec![SimTask { elements: 1.0, private_bytes: 1.0e9 }; 8];
+        let g = TaskGraph::new(tasks, vec![]);
+        let s = ExecutionScenario {
+            task_pu: (8..16).collect(), // node 1
+            data_node: vec![0; 8],
+            migrating: false,
+            fork_join_barrier: false,
+            label: "remote".to_string(),
+        };
+        let r = simulate(&m, &g, &s, 1);
+        let floor = 8.0e9 / m.params().interconnect_bandwidth;
+        assert!(r.total_time >= floor);
+        assert_eq!(r.cross_node_bytes, 8.0e9);
+    }
+
+    #[test]
+    fn halo_dependencies_delay_consumers() {
+        // Two tasks: task 1 needs a big halo from task 0 each iteration.
+        let m = small_machine();
+        let tasks = vec![SimTask { elements: 1000.0, private_bytes: 0.0 }; 2];
+        let edges = vec![SimEdge { src: 0, dst: 1, bytes: 1.0e6 }];
+        let g = TaskGraph::new(tasks, edges.clone());
+        // Same socket vs different sockets: the cross-socket link is slower,
+        // so the total time grows.
+        let near = ExecutionScenario::bound(&m, vec![0, 1]);
+        let far = ExecutionScenario::bound(&m, vec![0, 8]);
+        let rn = simulate(&m, &g, &near, 4);
+        let rf = simulate(&m, &g, &far, 4);
+        assert!(rf.total_time > rn.total_time);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scenario_must_cover_all_tasks() {
+        let m = small_machine();
+        let g = stencil_graph(4);
+        let s = ExecutionScenario::bound(&m, vec![0, 1]); // only 2 of 16
+        simulate(&m, &g, &s, 1);
+    }
+}

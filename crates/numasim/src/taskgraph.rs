@@ -1,0 +1,177 @@
+//! Iterative task graphs: the workload description consumed by the
+//! simulator.
+//!
+//! A [`TaskGraph`] describes one *iteration* of a bulk-iterative computation
+//! (the LK23 stencil, or any other ORWL program): a set of tasks, each with
+//! a compute cost and a private working set, plus directed edges carrying
+//! the bytes a task must receive from another task's *previous* iteration
+//! before it can start the current one.
+
+use orwl_comm::matrix::CommMatrix;
+use orwl_comm::patterns::StencilSpec;
+
+/// One task of the iterative computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimTask {
+    /// Number of grid elements (or generic work units) processed per
+    /// iteration.
+    pub elements: f64,
+    /// Bytes of the task's own working set streamed from memory per
+    /// iteration.
+    pub private_bytes: f64,
+}
+
+/// A directed dependency: `dst` needs `bytes` produced by `src` during the
+/// previous iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimEdge {
+    /// Producer task index.
+    pub src: usize,
+    /// Consumer task index.
+    pub dst: usize,
+    /// Bytes transferred per iteration.
+    pub bytes: f64,
+}
+
+/// The per-iteration task graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskGraph {
+    tasks: Vec<SimTask>,
+    edges: Vec<SimEdge>,
+    /// For every task, indices into `edges` of its incoming dependencies.
+    in_edges: Vec<Vec<usize>>,
+}
+
+impl TaskGraph {
+    /// Creates a graph from tasks and edges.
+    ///
+    /// # Panics
+    /// Panics when an edge references a task that does not exist.
+    pub fn new(tasks: Vec<SimTask>, edges: Vec<SimEdge>) -> Self {
+        let n = tasks.len();
+        let mut in_edges = vec![Vec::new(); n];
+        for (i, e) in edges.iter().enumerate() {
+            assert!(e.src < n && e.dst < n, "edge {i} references a missing task");
+            in_edges[e.dst].push(i);
+        }
+        TaskGraph { tasks, edges, in_edges }
+    }
+
+    /// Number of tasks.
+    pub fn n_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Task accessor.
+    pub fn task(&self, t: usize) -> &SimTask {
+        &self.tasks[t]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[SimEdge] {
+        &self.edges
+    }
+
+    /// Incoming edges of task `t`.
+    pub fn in_edges(&self, t: usize) -> impl Iterator<Item = &SimEdge> {
+        self.in_edges[t].iter().map(move |&i| &self.edges[i])
+    }
+
+    /// Total bytes exchanged between distinct tasks per iteration.
+    pub fn total_edge_bytes(&self) -> f64 {
+        self.edges.iter().map(|e| e.bytes).sum()
+    }
+
+    /// Total working-set bytes streamed per iteration (sum over tasks).
+    pub fn total_private_bytes(&self) -> f64 {
+        self.tasks.iter().map(|t| t.private_bytes).sum()
+    }
+
+    /// The task × task communication matrix of the graph — exactly the
+    /// matrix the placement algorithm consumes.
+    pub fn comm_matrix(&self) -> CommMatrix {
+        let mut m = CommMatrix::zeros(self.n_tasks());
+        for e in &self.edges {
+            if e.src != e.dst {
+                m.add(e.src, e.dst, e.bytes);
+            }
+        }
+        m
+    }
+
+    /// Builds the task graph of a 2-D block stencil (the LK23 decomposition):
+    /// a `spec.rows × spec.cols` grid of block tasks, each processing
+    /// `block_elements` grid points, streaming `elem_bytes` per point, and
+    /// exchanging edge/corner halos with its neighbours as described by
+    /// `spec`.
+    pub fn stencil(spec: &StencilSpec, block_elements: f64, elem_bytes: f64) -> TaskGraph {
+        let n = spec.tasks();
+        let tasks = vec![
+            SimTask { elements: block_elements, private_bytes: block_elements * elem_bytes };
+            n
+        ];
+        let m = orwl_comm::patterns::stencil_2d(spec);
+        let mut edges = Vec::new();
+        for src in 0..n {
+            for dst in 0..n {
+                let bytes = m.get(src, dst);
+                if bytes > 0.0 {
+                    edges.push(SimEdge { src, dst, bytes });
+                }
+            }
+        }
+        TaskGraph::new(tasks, edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_indexes_incoming_edges() {
+        let tasks = vec![SimTask { elements: 10.0, private_bytes: 80.0 }; 3];
+        let edges = vec![
+            SimEdge { src: 0, dst: 1, bytes: 8.0 },
+            SimEdge { src: 2, dst: 1, bytes: 4.0 },
+            SimEdge { src: 1, dst: 2, bytes: 2.0 },
+        ];
+        let g = TaskGraph::new(tasks, edges);
+        assert_eq!(g.n_tasks(), 3);
+        assert_eq!(g.in_edges(1).count(), 2);
+        assert_eq!(g.in_edges(0).count(), 0);
+        assert_eq!(g.total_edge_bytes(), 14.0);
+        assert_eq!(g.total_private_bytes(), 240.0);
+        assert_eq!(g.task(0).elements, 10.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn graph_rejects_dangling_edges() {
+        TaskGraph::new(vec![SimTask { elements: 1.0, private_bytes: 1.0 }], vec![SimEdge { src: 0, dst: 3, bytes: 1.0 }]);
+    }
+
+    #[test]
+    fn stencil_graph_matches_comm_matrix() {
+        let spec = StencilSpec { rows: 4, cols: 4, edge_volume: 128.0, corner_volume: 8.0 };
+        let g = TaskGraph::stencil(&spec, 1_000.0, 8.0);
+        assert_eq!(g.n_tasks(), 16);
+        // The graph's communication matrix equals the pattern generator's.
+        let expected = orwl_comm::patterns::stencil_2d(&spec);
+        assert_eq!(g.comm_matrix(), expected);
+        // Interior task has 8 incoming halos.
+        assert_eq!(g.in_edges(5).count(), 8);
+        // Corner task has 3.
+        assert_eq!(g.in_edges(0).count(), 3);
+        // Private bytes per task = elements × elem size.
+        assert_eq!(g.task(0).private_bytes, 8_000.0);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = TaskGraph::new(vec![], vec![]);
+        assert_eq!(g.n_tasks(), 0);
+        assert_eq!(g.total_edge_bytes(), 0.0);
+        assert_eq!(g.comm_matrix().order(), 0);
+    }
+}

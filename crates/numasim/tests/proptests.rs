@@ -1,0 +1,98 @@
+//! Property-based tests of the simulator: monotonicity and sanity
+//! invariants that must hold for any workload and placement.
+
+use orwl_comm::patterns::StencilSpec;
+use orwl_numasim::costmodel::CostParams;
+use orwl_numasim::exec::simulate;
+use orwl_numasim::machine::SimMachine;
+use orwl_numasim::scenario::ExecutionScenario;
+use orwl_numasim::taskgraph::TaskGraph;
+use orwl_topo::synthetic;
+use proptest::prelude::*;
+
+fn machine(sockets: usize) -> SimMachine {
+    SimMachine::new(synthetic::cluster2016_subset(sockets).unwrap(), CostParams::cluster2016())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn simulated_time_is_positive_and_finite(
+        side in 2usize..6,
+        sockets in 1usize..5,
+        iterations in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        let m = machine(sockets);
+        let spec = StencilSpec::nine_point_blocks(side, 128, 8);
+        let g = TaskGraph::stencil(&spec, (128 * 128) as f64, 8.0);
+        let n = g.n_tasks();
+        let pus = m.topology().pu_os_indices();
+        for scenario in [
+            ExecutionScenario::bound(&m, (0..n).map(|t| pus[t % pus.len()]).collect()),
+            ExecutionScenario::orwl_nobind(&m, n, seed),
+            ExecutionScenario::openmp_static(&m, n),
+        ] {
+            let r = simulate(&m, &g, &scenario, iterations);
+            prop_assert!(r.total_time.is_finite());
+            prop_assert!(r.total_time > 0.0);
+            prop_assert_eq!(r.iteration_times.len(), iterations);
+            // Wall-clock equals the sum of per-iteration durations.
+            let sum: f64 = r.iteration_times.iter().sum();
+            prop_assert!((sum - r.total_time).abs() < 1e-9 * r.total_time.max(1.0));
+            prop_assert!(r.breakdown.total() > 0.0);
+        }
+    }
+
+    #[test]
+    fn more_iterations_never_run_faster(side in 2usize..5, sockets in 1usize..4) {
+        let m = machine(sockets);
+        let spec = StencilSpec::nine_point_blocks(side, 128, 8);
+        let g = TaskGraph::stencil(&spec, (128 * 128) as f64, 8.0);
+        let n = g.n_tasks();
+        let pus = m.topology().pu_os_indices();
+        let s = ExecutionScenario::bound(&m, (0..n).map(|t| pus[t % pus.len()]).collect());
+        let t3 = simulate(&m, &g, &s, 3).total_time;
+        let t6 = simulate(&m, &g, &s, 6).total_time;
+        prop_assert!(t6 >= t3);
+    }
+
+    #[test]
+    fn local_data_never_slower_than_all_remote(side in 2usize..5) {
+        // Same executing PUs, but data either local or all on the last node:
+        // the local variant can never be slower.
+        let m = machine(4);
+        let spec = StencilSpec::nine_point_blocks(side, 256, 8);
+        let g = TaskGraph::stencil(&spec, (256 * 256) as f64, 8.0);
+        let n = g.n_tasks();
+        let pus = m.topology().pu_os_indices();
+        let task_pu: Vec<usize> = (0..n).map(|t| pus[t % pus.len()]).collect();
+        let local = ExecutionScenario::bound(&m, task_pu.clone());
+        let remote = ExecutionScenario {
+            task_pu,
+            data_node: vec![m.n_nodes() - 1; n],
+            migrating: false,
+            fork_join_barrier: false,
+            label: "all-remote".to_string(),
+        };
+        let tl = simulate(&m, &g, &local, 3).total_time;
+        let tr = simulate(&m, &g, &remote, 3).total_time;
+        prop_assert!(tl <= tr + 1e-12, "local {tl} > remote {tr}");
+    }
+
+    #[test]
+    fn migration_penalty_never_helps(side in 2usize..5, sockets in 1usize..4) {
+        let m = machine(sockets);
+        let spec = StencilSpec::nine_point_blocks(side, 128, 8);
+        let g = TaskGraph::stencil(&spec, (128 * 128) as f64, 8.0);
+        let n = g.n_tasks();
+        let pus = m.topology().pu_os_indices();
+        let pinned = ExecutionScenario::bound(&m, (0..n).map(|t| pus[t % pus.len()]).collect());
+        let mut drifting = pinned.clone();
+        drifting.migrating = true;
+        let tp = simulate(&m, &g, &pinned, 2).total_time;
+        let td = simulate(&m, &g, &drifting, 2).total_time;
+        prop_assert!(tp <= td + 1e-12);
+    }
+}

@@ -1,0 +1,429 @@
+//! CPU sets represented as growable bitmaps.
+//!
+//! This is the equivalent of `hwloc_bitmap_t` in the HWLOC library: a set of
+//! non-negative integers (processing-unit indices) with the usual set algebra
+//! (union, intersection, difference), inclusion tests and iteration.
+//!
+//! The representation is a vector of 64-bit words; index `i` is stored in
+//! word `i / 64`, bit `i % 64`.  Trailing zero words are trimmed so that two
+//! bitmaps representing the same set always compare equal.
+
+use std::fmt;
+
+const BITS_PER_WORD: usize = 64;
+
+/// A set of processing-unit indices (the HWLOC "cpuset"/"bitmap" equivalent).
+///
+/// `CpuSet` is an ordinary value type: cloning it copies the underlying
+/// words, and equality is structural (two sets are equal iff they contain
+/// exactly the same indices).
+///
+/// # Examples
+///
+/// ```
+/// use orwl_topo::bitmap::CpuSet;
+///
+/// let mut a = CpuSet::new();
+/// a.set(0);
+/// a.set(5);
+/// let b = CpuSet::from_range(0..4);
+/// assert_eq!(a.and(&b).weight(), 1);
+/// assert_eq!(format!("{}", b), "0-3");
+/// ```
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct CpuSet {
+    words: Vec<u64>,
+}
+
+impl CpuSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        CpuSet { words: Vec::new() }
+    }
+
+    /// Creates a set containing exactly the indices of `iter`.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = CpuSet::new();
+        for i in iter {
+            s.set(i);
+        }
+        s
+    }
+
+    /// Creates a set containing every index in the half-open range.
+    pub fn from_range(range: std::ops::Range<usize>) -> Self {
+        Self::from_indices(range)
+    }
+
+    /// Creates a set containing the single index `idx`.
+    pub fn singleton(idx: usize) -> Self {
+        let mut s = CpuSet::new();
+        s.set(idx);
+        s
+    }
+
+    /// Returns `true` when no index is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of indices contained in the set.
+    pub fn weight(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Adds `idx` to the set.
+    pub fn set(&mut self, idx: usize) {
+        let word = idx / BITS_PER_WORD;
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        self.words[word] |= 1u64 << (idx % BITS_PER_WORD);
+    }
+
+    /// Removes `idx` from the set (no-op when absent).
+    pub fn clear(&mut self, idx: usize) {
+        let word = idx / BITS_PER_WORD;
+        if word < self.words.len() {
+            self.words[word] &= !(1u64 << (idx % BITS_PER_WORD));
+            self.trim();
+        }
+    }
+
+    /// Removes every index from the set.
+    pub fn clear_all(&mut self) {
+        self.words.clear();
+    }
+
+    /// Tests whether `idx` is in the set.
+    pub fn is_set(&self, idx: usize) -> bool {
+        let word = idx / BITS_PER_WORD;
+        word < self.words.len() && (self.words[word] >> (idx % BITS_PER_WORD)) & 1 == 1
+    }
+
+    /// Smallest index in the set, or `None` if empty.
+    pub fn first(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * BITS_PER_WORD + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Largest index in the set, or `None` if empty.
+    pub fn last(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate().rev() {
+            if w != 0 {
+                return Some(wi * BITS_PER_WORD + (BITS_PER_WORD - 1 - w.leading_zeros() as usize));
+            }
+        }
+        None
+    }
+
+    /// Keeps only the smallest index (HWLOC's `hwloc_bitmap_singlify`).
+    ///
+    /// Binding a thread uses a singlified set so that the OS scheduler cannot
+    /// migrate it between the PUs of a wider set.
+    pub fn singlify(&mut self) {
+        if let Some(f) = self.first() {
+            self.clear_all();
+            self.set(f);
+        }
+    }
+
+    /// Set union, returning a new set.
+    pub fn or(&self, other: &CpuSet) -> CpuSet {
+        let n = self.words.len().max(other.words.len());
+        let mut words = vec![0u64; n];
+        for (i, w) in words.iter_mut().enumerate() {
+            let a = self.words.get(i).copied().unwrap_or(0);
+            let b = other.words.get(i).copied().unwrap_or(0);
+            *w = a | b;
+        }
+        let mut s = CpuSet { words };
+        s.trim();
+        s
+    }
+
+    /// Set intersection, returning a new set.
+    pub fn and(&self, other: &CpuSet) -> CpuSet {
+        let n = self.words.len().min(other.words.len());
+        let mut words = vec![0u64; n];
+        for (i, w) in words.iter_mut().enumerate() {
+            *w = self.words[i] & other.words[i];
+        }
+        let mut s = CpuSet { words };
+        s.trim();
+        s
+    }
+
+    /// Set difference `self \ other`, returning a new set.
+    pub fn andnot(&self, other: &CpuSet) -> CpuSet {
+        let mut words = self.words.clone();
+        for (i, w) in words.iter_mut().enumerate() {
+            let b = other.words.get(i).copied().unwrap_or(0);
+            *w &= !b;
+        }
+        let mut s = CpuSet { words };
+        s.trim();
+        s
+    }
+
+    /// Symmetric difference, returning a new set.
+    pub fn xor(&self, other: &CpuSet) -> CpuSet {
+        let n = self.words.len().max(other.words.len());
+        let mut words = vec![0u64; n];
+        for (i, w) in words.iter_mut().enumerate() {
+            let a = self.words.get(i).copied().unwrap_or(0);
+            let b = other.words.get(i).copied().unwrap_or(0);
+            *w = a ^ b;
+        }
+        let mut s = CpuSet { words };
+        s.trim();
+        s
+    }
+
+    /// In-place union.
+    pub fn or_assign(&mut self, other: &CpuSet) {
+        *self = self.or(other);
+    }
+
+    /// Tests whether the two sets have at least one common index.
+    pub fn intersects(&self, other: &CpuSet) -> bool {
+        let n = self.words.len().min(other.words.len());
+        (0..n).any(|i| self.words[i] & other.words[i] != 0)
+    }
+
+    /// Tests whether every index of `self` is also in `other`.
+    pub fn is_subset_of(&self, other: &CpuSet) -> bool {
+        for (i, &w) in self.words.iter().enumerate() {
+            let b = other.words.get(i).copied().unwrap_or(0);
+            if w & !b != 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Iterates over the contained indices in increasing order.
+    pub fn iter(&self) -> CpuSetIter<'_> {
+        CpuSetIter { set: self, word: 0, mask: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// Collects the contained indices into a vector, in increasing order.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    /// Index of the `n`-th (0-based) set bit, or `None` when `n >= weight()`.
+    pub fn nth(&self, n: usize) -> Option<usize> {
+        self.iter().nth(n)
+    }
+
+    /// Parses the canonical list syntax produced by [`fmt::Display`], e.g.
+    /// `"0-3,8,12-15"`.  The empty string parses to the empty set.
+    pub fn parse_list(s: &str) -> Result<CpuSet, String> {
+        let mut set = CpuSet::new();
+        let s = s.trim();
+        if s.is_empty() {
+            return Ok(set);
+        }
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            if let Some((a, b)) = part.split_once('-') {
+                let a: usize = a.trim().parse().map_err(|e| format!("bad index {part:?}: {e}"))?;
+                let b: usize = b.trim().parse().map_err(|e| format!("bad index {part:?}: {e}"))?;
+                if b < a {
+                    return Err(format!("descending range {part:?}"));
+                }
+                for i in a..=b {
+                    set.set(i);
+                }
+            } else {
+                let i: usize = part.parse().map_err(|e| format!("bad index {part:?}: {e}"))?;
+                set.set(i);
+            }
+        }
+        Ok(set)
+    }
+
+    fn trim(&mut self) {
+        while self.words.last() == Some(&0) {
+            self.words.pop();
+        }
+    }
+}
+
+impl FromIterator<usize> for CpuSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        CpuSet::from_indices(iter)
+    }
+}
+
+/// Iterator over the indices of a [`CpuSet`] in increasing order.
+pub struct CpuSetIter<'a> {
+    set: &'a CpuSet,
+    word: usize,
+    mask: u64,
+}
+
+impl Iterator for CpuSetIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.mask != 0 {
+                let bit = self.mask.trailing_zeros() as usize;
+                self.mask &= self.mask - 1;
+                return Some(self.word * BITS_PER_WORD + bit);
+            }
+            self.word += 1;
+            if self.word >= self.set.words.len() {
+                return None;
+            }
+            self.mask = self.set.words[self.word];
+        }
+    }
+}
+
+impl fmt::Display for CpuSet {
+    /// Formats as a comma-separated list of indices and inclusive ranges,
+    /// HWLOC "list" style: `0-3,8,12-15`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        let mut iter = self.iter().peekable();
+        while let Some(start) = iter.next() {
+            let mut end = start;
+            while iter.peek() == Some(&(end + 1)) {
+                end = iter.next().unwrap();
+            }
+            if !first {
+                write!(f, ",")?;
+            }
+            first = false;
+            if end == start {
+                write!(f, "{start}")?;
+            } else {
+                write!(f, "{start}-{end}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for CpuSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CpuSet{{{self}}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_no_members() {
+        let s = CpuSet::new();
+        assert!(s.is_empty());
+        assert_eq!(s.weight(), 0);
+        assert_eq!(s.first(), None);
+        assert_eq!(s.last(), None);
+        assert!(!s.is_set(0));
+        assert_eq!(s.to_vec(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn set_and_clear_roundtrip() {
+        let mut s = CpuSet::new();
+        s.set(3);
+        s.set(70);
+        assert!(s.is_set(3));
+        assert!(s.is_set(70));
+        assert_eq!(s.weight(), 2);
+        s.clear(3);
+        assert!(!s.is_set(3));
+        assert_eq!(s.weight(), 1);
+        s.clear(70);
+        assert!(s.is_empty());
+        // After trimming, equal to a freshly created set.
+        assert_eq!(s, CpuSet::new());
+    }
+
+    #[test]
+    fn from_range_and_display() {
+        let s = CpuSet::from_range(0..8);
+        assert_eq!(s.weight(), 8);
+        assert_eq!(format!("{s}"), "0-7");
+        let t = CpuSet::from_indices([0, 1, 2, 5, 9, 10]);
+        assert_eq!(format!("{t}"), "0-2,5,9-10");
+        assert_eq!(format!("{}", CpuSet::new()), "");
+    }
+
+    #[test]
+    fn parse_list_roundtrip() {
+        for text in ["", "0", "0-3", "0-2,5,9-10", "64-130,200"] {
+            let s = CpuSet::parse_list(text).unwrap();
+            assert_eq!(format!("{s}"), text);
+        }
+        assert!(CpuSet::parse_list("3-1").is_err());
+        assert!(CpuSet::parse_list("x").is_err());
+    }
+
+    #[test]
+    fn boolean_algebra() {
+        let a = CpuSet::from_range(0..10);
+        let b = CpuSet::from_range(5..15);
+        assert_eq!(a.and(&b), CpuSet::from_range(5..10));
+        assert_eq!(a.or(&b), CpuSet::from_range(0..15));
+        assert_eq!(a.andnot(&b), CpuSet::from_range(0..5));
+        assert_eq!(a.xor(&b), CpuSet::from_range(0..5).or(&CpuSet::from_range(10..15)));
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&CpuSet::from_range(20..30)));
+        assert!(CpuSet::from_range(2..4).is_subset_of(&a));
+        assert!(!b.is_subset_of(&a));
+        assert!(CpuSet::new().is_subset_of(&a));
+    }
+
+    #[test]
+    fn first_last_nth_across_word_boundaries() {
+        let s = CpuSet::from_indices([63, 64, 65, 200]);
+        assert_eq!(s.first(), Some(63));
+        assert_eq!(s.last(), Some(200));
+        assert_eq!(s.nth(0), Some(63));
+        assert_eq!(s.nth(2), Some(65));
+        assert_eq!(s.nth(3), Some(200));
+        assert_eq!(s.nth(4), None);
+    }
+
+    #[test]
+    fn singlify_keeps_lowest() {
+        let mut s = CpuSet::from_indices([9, 17, 33]);
+        s.singlify();
+        assert_eq!(s.to_vec(), vec![9]);
+        let mut e = CpuSet::new();
+        e.singlify();
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn singleton_and_from_iterator() {
+        let s = CpuSet::singleton(42);
+        assert_eq!(s.to_vec(), vec![42]);
+        let t: CpuSet = [1usize, 2, 3].into_iter().collect();
+        assert_eq!(t.weight(), 3);
+    }
+
+    #[test]
+    fn equality_ignores_trailing_capacity() {
+        let mut a = CpuSet::new();
+        a.set(500);
+        a.clear(500);
+        a.set(1);
+        let b = CpuSet::singleton(1);
+        assert_eq!(a, b);
+    }
+}

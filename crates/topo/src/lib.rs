@@ -1,0 +1,58 @@
+//! # orwl-topo — portable hardware topology modelling
+//!
+//! This crate is the reproduction's substitute for the **HWLOC** (Hardware
+//! Locality) library used by the paper *"Optimizing Locality by
+//! Topology-aware Placement for a Task Based Programming Model"*
+//! (Gustedt, Jeannot, Mansouri — IEEE CLUSTER 2016).  It provides:
+//!
+//! * [`bitmap::CpuSet`] — sets of processing-unit indices (HWLOC bitmaps);
+//! * [`object`] / [`topology`] — the hardware containment tree (machine →
+//!   NUMA node → package → caches → core → PU) with the queries the
+//!   placement algorithm needs (levels, arities, common ancestors, the
+//!   balanced [`topology::TreeShape`]);
+//! * [`synthetic`] — building topologies from description strings and the
+//!   named presets used in the evaluation, including the paper's
+//!   24-socket × 8-core SMP machine;
+//! * [`discover`] — best-effort discovery of the host topology from Linux
+//!   sysfs, with a portable fallback;
+//! * [`distance`] — PU-to-PU relative cost matrices derived from the tree;
+//! * [`binding`] — applying thread → PU placements (`sched_setaffinity` on
+//!   Linux, recording and no-op binders everywhere).
+//!
+//! # Quick example
+//!
+//! ```
+//! use orwl_topo::prelude::*;
+//!
+//! // The machine used in the paper's evaluation: 24 sockets × 8 cores.
+//! let topo = orwl_topo::synthetic::cluster2016_smp192();
+//! assert_eq!(topo.nb_pus(), 192);
+//!
+//! // The balanced tree shape consumed by the TreeMatch algorithm.
+//! let shape = topo.shape();
+//! assert_eq!(shape.leaves(), 192);
+//!
+//! // Cores 0 and 1 share a socket; cores 0 and 8 do not.
+//! assert!(topo.hop_distance(0, 1) < topo.hop_distance(0, 8));
+//! ```
+
+pub mod binding;
+pub mod bitmap;
+pub mod discover;
+pub mod distance;
+pub mod object;
+pub mod synthetic;
+pub mod topology;
+
+pub use binding::{BindError, Binder, NoopBinder, RecordingBinder};
+pub use bitmap::CpuSet;
+pub use object::{ObjId, ObjectType, TopoObject};
+pub use topology::{LevelSpec, Topology, TopologyError, TreeShape};
+
+/// Convenient glob import of the most commonly used items.
+pub mod prelude {
+    pub use crate::binding::{Binder, NoopBinder, RecordingBinder};
+    pub use crate::bitmap::CpuSet;
+    pub use crate::object::{ObjId, ObjectType};
+    pub use crate::topology::{LevelSpec, Topology, TreeShape};
+}

@@ -1,0 +1,257 @@
+//! The `GroupProcesses` step of Algorithm 1.
+//!
+//! Given a communication matrix of order `p` and the arity `a` of the
+//! current topology level, partition the `p` entities into `⌈p/a⌉` groups of
+//! at most `a` members so that as much communication volume as possible
+//! stays *inside* groups.  Entities grouped together will later be assigned
+//! to the children of a single topology node (the same cache, the same NUMA
+//! node, …), so intra-group volume is the volume the placement keeps local.
+//!
+//! Finding the optimal partition is NP-hard (it generalises graph
+//! partitioning); like TreeMatch we use a constructive greedy phase followed
+//! by a local-refinement phase (pairwise swaps à la Kernighan–Lin), which is
+//! exact on the small instances the unit tests check and close to optimal on
+//! stencil-like matrices.
+
+use orwl_comm::aggregate::Groups;
+use orwl_comm::matrix::CommMatrix;
+
+/// Partitions the `m.order()` entities into groups of at most `arity`
+/// members, maximising intra-group communication volume.
+///
+/// The returned groups are ordered by their smallest member, and members are
+/// sorted within each group, so the result is deterministic.
+///
+/// # Panics
+/// Panics when `arity == 0`.
+pub fn group_processes(m: &CommMatrix, arity: usize) -> Groups {
+    assert!(arity > 0, "arity must be at least 1");
+    let p = m.order();
+    if p == 0 {
+        return Vec::new();
+    }
+    // Work on the symmetrised matrix: grouping only cares about the total
+    // volume between two entities, not its direction.
+    let s = m.symmetrized();
+    let n_groups = p.div_ceil(arity);
+
+    let mut groups = greedy_grouping(&s, arity, n_groups);
+    refine_by_swaps(&s, &mut groups);
+
+    // Canonical order: sort members, then groups by first member.
+    for g in &mut groups {
+        g.sort_unstable();
+    }
+    groups.sort_by_key(|g| g.first().copied().unwrap_or(usize::MAX));
+    groups
+}
+
+/// Greedy construction: seed each group with the heaviest-traffic unassigned
+/// entity, then repeatedly add the unassigned entity with the strongest
+/// connection to the group.
+fn greedy_grouping(s: &CommMatrix, arity: usize, n_groups: usize) -> Groups {
+    let p = s.order();
+    let mut assigned = vec![false; p];
+    let mut order: Vec<usize> = (0..p).collect();
+    // Heaviest communicators first so they get to pick their partners.
+    order.sort_by(|&a, &b| {
+        s.traffic_of(b).partial_cmp(&s.traffic_of(a)).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+
+    let mut groups: Groups = Vec::with_capacity(n_groups);
+    for &seed in &order {
+        if assigned[seed] {
+            continue;
+        }
+        if groups.len() == n_groups {
+            break;
+        }
+        let mut group = vec![seed];
+        assigned[seed] = true;
+        while group.len() < arity {
+            // Entity with maximum connectivity to the current group.
+            let mut best: Option<(usize, f64)> = None;
+            for cand in 0..p {
+                if assigned[cand] {
+                    continue;
+                }
+                let conn: f64 = group.iter().map(|&g| s.get(g, cand)).sum();
+                match best {
+                    Some((_, bconn)) if conn <= bconn => {}
+                    _ => best = Some((cand, conn)),
+                }
+            }
+            match best {
+                Some((cand, _)) => {
+                    assigned[cand] = true;
+                    group.push(cand);
+                }
+                None => break,
+            }
+        }
+        groups.push(group);
+    }
+    // Any leftovers (can happen when the greedy loop filled n_groups early)
+    // go into the emptiest groups that still have room.
+    for e in 0..p {
+        if !assigned[e] {
+            let slot = groups
+                .iter_mut()
+                .filter(|g| g.len() < arity)
+                .min_by_key(|g| g.len());
+            match slot {
+                Some(g) => g.push(e),
+                None => groups.push(vec![e]),
+            }
+            assigned[e] = true;
+        }
+    }
+    groups
+}
+
+/// Local refinement: repeatedly swap a pair of entities between two groups
+/// when the swap increases the total intra-group volume.  Terminates because
+/// the intra-group volume strictly increases at every accepted swap.
+fn refine_by_swaps(s: &CommMatrix, groups: &mut Groups) {
+    const MAX_PASSES: usize = 8;
+    for _ in 0..MAX_PASSES {
+        let mut improved = false;
+        for ga in 0..groups.len() {
+            for gb in (ga + 1)..groups.len() {
+                for ia in 0..groups[ga].len() {
+                    for ib in 0..groups[gb].len() {
+                        let a = groups[ga][ia];
+                        let b = groups[gb][ib];
+                        let gain = swap_gain(s, &groups[ga], &groups[gb], a, b);
+                        if gain > 1e-12 {
+                            groups[ga][ia] = b;
+                            groups[gb][ib] = a;
+                            improved = true;
+                        }
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+}
+
+/// Increase in intra-group volume obtained by swapping `a` (in `ga`) with
+/// `b` (in `gb`).
+fn swap_gain(s: &CommMatrix, ga: &[usize], gb: &[usize], a: usize, b: usize) -> f64 {
+    let conn = |x: usize, group: &[usize], exclude: usize| -> f64 {
+        group.iter().filter(|&&g| g != exclude).map(|&g| s.get(x, g)).sum()
+    };
+    let before = conn(a, ga, a) + conn(b, gb, b);
+    let after = conn(a, gb, b) + conn(b, ga, a);
+    after - before
+}
+
+/// Total intra-group volume of a grouping (the objective maximised by
+/// [`group_processes`]).  Exposed for tests and diagnostics.
+pub fn intra_volume(m: &CommMatrix, groups: &Groups) -> f64 {
+    orwl_comm::aggregate::intra_group_volume(&m.symmetrized(), groups) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orwl_comm::patterns;
+
+    fn group_of(groups: &Groups, x: usize) -> usize {
+        groups.iter().position(|g| g.contains(&x)).unwrap()
+    }
+
+    #[test]
+    fn chain_pairs_adjacent_entities() {
+        // 0-1-2-3 chain, arity 2: optimal grouping is {0,1},{2,3}.
+        let m = patterns::chain(4, 1.0);
+        let groups = group_processes(&m, 2);
+        assert_eq!(groups, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn clustered_matrix_recovers_clusters() {
+        // 4 clusters of 4 with strong intra traffic: grouping with arity 4
+        // must recover the clusters exactly.
+        let m = patterns::clustered(4, 4, 100.0, 1.0);
+        let groups = group_processes(&m, 4);
+        assert_eq!(groups.len(), 4);
+        for c in 0..4 {
+            let members: Vec<usize> = (0..4).map(|i| c * 4 + i).collect();
+            let g = group_of(&groups, members[0]);
+            for &x in &members {
+                assert_eq!(group_of(&groups, x), g, "cluster {c} split across groups: {groups:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn group_count_is_ceil_p_over_a() {
+        for (p, a) in [(8, 2), (8, 3), (7, 3), (5, 8), (1, 1), (9, 4)] {
+            let m = patterns::random_symmetric(p, 0.6, 10.0, 3);
+            let groups = group_processes(&m, a);
+            assert_eq!(groups.len(), p.div_ceil(a), "p={p} a={a}");
+            assert!(groups.iter().all(|g| g.len() <= a));
+            // Every entity appears exactly once.
+            let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..p).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn arity_one_gives_singletons() {
+        let m = patterns::all_to_all(5, 3.0);
+        let groups = group_processes(&m, 1);
+        assert_eq!(groups, (0..5).map(|i| vec![i]).collect::<Groups>());
+    }
+
+    #[test]
+    fn arity_larger_than_order_gives_single_group() {
+        let m = patterns::chain(3, 1.0);
+        let groups = group_processes(&m, 10);
+        assert_eq!(groups, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn empty_matrix_gives_no_groups() {
+        let m = CommMatrix::zeros(0);
+        assert!(group_processes(&m, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_arity_panics() {
+        group_processes(&CommMatrix::zeros(4), 0);
+    }
+
+    #[test]
+    fn grouping_beats_naive_split_on_stencil() {
+        // 4×4 stencil grouped by 4: affinity grouping must keep at least as
+        // much volume internal as the naive row-major split.
+        let spec = patterns::StencilSpec { rows: 4, cols: 4, edge_volume: 100.0, corner_volume: 1.0 };
+        let m = patterns::stencil_2d(&spec);
+        let groups = group_processes(&m, 4);
+        let naive: Groups = (0..4).map(|g| (0..4).map(|i| g * 4 + i).collect()).collect();
+        assert!(intra_volume(&m, &groups) >= intra_volume(&m, &naive));
+    }
+
+    #[test]
+    fn grouping_is_deterministic() {
+        let m = patterns::random_symmetric(12, 0.5, 50.0, 11);
+        let a = group_processes(&m, 3);
+        let b = group_processes(&m, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn asymmetric_matrix_uses_total_volume() {
+        // Directed edges only: 0→1 heavy, 2→3 heavy, 1→2 light.
+        let m = CommMatrix::from_edges(4, &[(0, 1, 100.0), (2, 3, 100.0), (1, 2, 1.0)]);
+        let groups = group_processes(&m, 2);
+        assert_eq!(groups, vec![vec![0, 1], vec![2, 3]]);
+    }
+}

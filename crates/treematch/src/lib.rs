@@ -1,0 +1,58 @@
+//! # orwl-treematch — topology-aware thread placement (Algorithm 1)
+//!
+//! This crate implements the placement algorithm at the heart of the paper
+//! *"Optimizing Locality by Topology-aware Placement for a Task Based
+//! Programming Model"* (CLUSTER 2016): a TreeMatch-derived mapping of
+//! communicating threads onto the leaves of the hardware topology tree,
+//! extended to handle
+//!
+//! * **control threads** — the ORWL runtime's event-management threads are
+//!   reserved a hyperthread per core, placed on spare cores, or left to the
+//!   OS (module [`control`]);
+//! * **oversubscription** — when there are more threads than processing
+//!   units, a virtual level is appended to the tree (module [`oversub`]).
+//!
+//! The individual steps of Algorithm 1 are exposed as separate, testable
+//! functions: [`grouping::group_processes`] (`GroupProcesses`),
+//! [`orwl_comm::aggregate::aggregate`] (`AggregateComMatrix`) and
+//! [`algorithm::tree_match_assign`] (the grouping loop plus `MapGroups`).
+//! Baseline policies used in the evaluation (packed, scatter, random,
+//! no-binding) live in [`policies`].
+//!
+//! # Example
+//!
+//! ```
+//! use orwl_treematch::prelude::*;
+//! use orwl_comm::patterns;
+//! use orwl_topo::synthetic;
+//!
+//! // Four groups of eight threads with strong intra-group traffic...
+//! let matrix = patterns::clustered(4, 8, 1000.0, 1.0);
+//! // ...placed on four sockets of eight cores.
+//! let topo = synthetic::cluster2016_subset(4).unwrap();
+//!
+//! let placement = TreeMatchMapper::compute_only().compute_placement(&topo, &matrix);
+//! assert!(placement.is_injective());
+//! assert_eq!(placement.numa_nodes_used(&topo), 4);
+//! ```
+
+pub mod algorithm;
+pub mod control;
+pub mod grouping;
+pub mod mapping;
+pub mod oversub;
+pub mod policies;
+
+pub use algorithm::{tree_match_assign, TreeMatchConfig, TreeMatchMapper};
+pub use control::{ControlPlacementMode, ControlThreadSpec};
+pub use mapping::Placement;
+pub use oversub::OversubPlan;
+pub use policies::{compute_placement, Policy};
+
+/// Convenient glob import of the most commonly used items.
+pub mod prelude {
+    pub use crate::algorithm::{TreeMatchConfig, TreeMatchMapper};
+    pub use crate::control::ControlThreadSpec;
+    pub use crate::mapping::Placement;
+    pub use crate::policies::{compute_placement, Policy};
+}

@@ -1,0 +1,231 @@
+//! Baseline placement policies.
+//!
+//! The paper compares its topology-aware placement ("ORWL Bind") against an
+//! unbound ORWL run and against OpenMP's default behaviour.  These policies
+//! model those baselines — plus the classic `packed`/`scatter`/`random`
+//! bindings found in batch schedulers — behind one enum so benchmarks can
+//! sweep over them.
+
+use crate::algorithm::{TreeMatchConfig, TreeMatchMapper};
+use crate::control::ControlThreadSpec;
+use crate::mapping::Placement;
+use orwl_comm::matrix::CommMatrix;
+use orwl_topo::object::ObjectType;
+use orwl_topo::topology::Topology;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A thread-placement policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Policy {
+    /// No binding at all: every thread is left to the OS scheduler.  This is
+    /// the paper's "ORWL NoBind" configuration (and how the OpenMP baseline
+    /// ran).
+    NoBind,
+    /// Threads fill PUs in topology order: thread 0 → PU 0, thread 1 → PU 1…
+    /// Consecutive threads share caches and sockets (compact placement).
+    Packed,
+    /// Threads are distributed round-robin over NUMA nodes, then packed
+    /// inside each node (OpenMP's `spread`/ SLURM's cyclic distribution).
+    Scatter,
+    /// Threads are bound to PUs chosen by a seeded random permutation.
+    Random(u64),
+    /// The topology-aware placement of the paper (Algorithm 1).
+    TreeMatch,
+}
+
+impl Policy {
+    /// Short machine-friendly name (used in benchmark CSV output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::NoBind => "nobind",
+            Policy::Packed => "packed",
+            Policy::Scatter => "scatter",
+            Policy::Random(_) => "random",
+            Policy::TreeMatch => "treematch",
+        }
+    }
+
+    /// All policies with default parameters, for sweeps.
+    pub fn all() -> Vec<Policy> {
+        vec![Policy::NoBind, Policy::Packed, Policy::Scatter, Policy::Random(0xC0FFEE), Policy::TreeMatch]
+    }
+}
+
+/// Computes a placement of `n_compute` threads (whose communication matrix
+/// is `m`) and `n_control` control threads on `topo` according to `policy`.
+///
+/// Only [`Policy::TreeMatch`] uses the communication matrix and binds control
+/// threads; the baselines ignore both (mirroring what non-topology-aware
+/// runtimes actually do).
+pub fn compute_placement(
+    policy: Policy,
+    topo: &Topology,
+    m: &CommMatrix,
+    n_control: usize,
+) -> Placement {
+    let n_compute = m.order();
+    match policy {
+        Policy::NoBind => Placement::unbound(n_compute, n_control),
+        Policy::Packed => {
+            let pus = topo.pu_os_indices();
+            let compute = (0..n_compute).map(|t| Some(pus[t % pus.len()])).collect();
+            Placement { compute, control: vec![None; n_control] }
+        }
+        Policy::Scatter => {
+            let compute = scatter_mapping(topo, n_compute).into_iter().map(Some).collect();
+            Placement { compute, control: vec![None; n_control] }
+        }
+        Policy::Random(seed) => {
+            let mut pus = topo.pu_os_indices();
+            let mut rng = StdRng::seed_from_u64(seed);
+            pus.shuffle(&mut rng);
+            let compute = (0..n_compute).map(|t| Some(pus[t % pus.len()])).collect();
+            Placement { compute, control: vec![None; n_control] }
+        }
+        Policy::TreeMatch => {
+            let mapper = TreeMatchMapper::new(TreeMatchConfig {
+                control: ControlThreadSpec::with_count(n_control),
+            });
+            mapper.compute_placement(topo, m)
+        }
+    }
+}
+
+/// Round-robin over NUMA nodes (falling back to packages, then to the whole
+/// machine), packing threads inside each node in PU order.
+fn scatter_mapping(topo: &Topology, n_compute: usize) -> Vec<usize> {
+    let nodes = {
+        let numa = topo.objects_of_type(ObjectType::NumaNode);
+        if !numa.is_empty() {
+            numa
+        } else {
+            let pkg = topo.objects_of_type(ObjectType::Package);
+            if !pkg.is_empty() {
+                pkg
+            } else {
+                vec![topo.root()]
+            }
+        }
+    };
+    let per_node_pus: Vec<Vec<usize>> = nodes.iter().map(|n| n.cpuset.to_vec()).collect();
+    let mut cursor = vec![0usize; nodes.len()];
+    let mut out = Vec::with_capacity(n_compute);
+    for t in 0..n_compute {
+        let node = t % nodes.len();
+        let pus = &per_node_pus[node];
+        let pu = pus[cursor[node] % pus.len()];
+        cursor[node] += 1;
+        out.push(pu);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orwl_comm::metrics::mapping_cost_default;
+    use orwl_comm::patterns;
+    use orwl_topo::synthetic;
+
+    #[test]
+    fn policy_names_are_distinct() {
+        let names: std::collections::HashSet<&str> = Policy::all().iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), Policy::all().len());
+    }
+
+    #[test]
+    fn nobind_binds_nothing() {
+        let topo = synthetic::laptop();
+        let m = patterns::chain(4, 1.0);
+        let p = compute_placement(Policy::NoBind, &topo, &m, 2);
+        assert_eq!(p.bound_fraction(), 0.0);
+        assert_eq!(p.n_control(), 2);
+    }
+
+    #[test]
+    fn packed_fills_pus_in_order() {
+        let topo = synthetic::cluster2016_subset(2).unwrap();
+        let m = patterns::chain(6, 1.0);
+        let p = compute_placement(Policy::Packed, &topo, &m, 0);
+        assert_eq!(p.compute, (0..6).map(Some).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn packed_wraps_around_under_oversubscription() {
+        let topo = synthetic::cluster2016_subset(1).unwrap(); // 8 PUs
+        let m = patterns::chain(10, 1.0);
+        let p = compute_placement(Policy::Packed, &topo, &m, 0);
+        assert_eq!(p.compute[8], Some(0));
+        assert_eq!(p.compute[9], Some(1));
+    }
+
+    #[test]
+    fn scatter_round_robins_over_sockets() {
+        let topo = synthetic::cluster2016_subset(4).unwrap(); // 4 sockets × 8 cores
+        let m = patterns::chain(8, 1.0);
+        let p = compute_placement(Policy::Scatter, &topo, &m, 0);
+        // Threads 0..4 land on sockets 0..4, thread 4 back on socket 0.
+        let sockets: Vec<usize> = p.compute.iter().map(|pu| pu.unwrap() / 8).collect();
+        assert_eq!(sockets, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        // Second thread on a socket uses the next core of that socket.
+        assert_eq!(p.compute[4], Some(1));
+        assert_eq!(p.numa_nodes_used(&topo), 4);
+    }
+
+    #[test]
+    fn scatter_falls_back_without_numa_level() {
+        let topo = synthetic::laptop(); // no NUMA, one package
+        let m = patterns::chain(4, 1.0);
+        let p = compute_placement(Policy::Scatter, &topo, &m, 0);
+        assert!(p.compute.iter().all(Option::is_some));
+        p.validate_against(&topo).unwrap();
+    }
+
+    #[test]
+    fn random_is_seeded_and_valid() {
+        let topo = synthetic::cluster2016_subset(2).unwrap();
+        let m = patterns::chain(16, 1.0);
+        let a = compute_placement(Policy::Random(7), &topo, &m, 0);
+        let b = compute_placement(Policy::Random(7), &topo, &m, 0);
+        let c = compute_placement(Policy::Random(8), &topo, &m, 0);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        a.validate_against(&topo).unwrap();
+        assert!(a.is_injective());
+    }
+
+    #[test]
+    fn treematch_policy_beats_baselines_on_clustered_workload() {
+        let topo = synthetic::cluster2016_subset(4).unwrap();
+        let m = patterns::clustered(4, 8, 1000.0, 1.0);
+        let tm = compute_placement(Policy::TreeMatch, &topo, &m, 0);
+        let tm_cost = mapping_cost_default(&m, &topo, &tm.compute_mapping_or_zero());
+        for baseline in [Policy::Scatter, Policy::Random(123)] {
+            let p = compute_placement(baseline, &topo, &m, 0);
+            let cost = mapping_cost_default(&m, &topo, &p.compute_mapping_or_zero());
+            assert!(
+                tm_cost <= cost,
+                "treematch ({tm_cost}) should beat {} ({cost})",
+                baseline.name()
+            );
+        }
+    }
+
+    #[test]
+    fn all_policies_produce_valid_placements() {
+        let topo = synthetic::dual_socket_smt();
+        let m = patterns::stencil_2d(&patterns::StencilSpec {
+            rows: 4,
+            cols: 4,
+            edge_volume: 64.0,
+            corner_volume: 1.0,
+        });
+        for policy in Policy::all() {
+            let p = compute_placement(policy, &topo, &m, 2);
+            assert_eq!(p.n_compute(), 16, "{}", policy.name());
+            p.validate_against(&topo).unwrap();
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the placement algorithm: structural guarantees
+//! of grouping and mapping, and the core quality claim (TreeMatch never does
+//! worse than random placement on clustered workloads).
+
+use orwl_comm::matrix::CommMatrix;
+use orwl_comm::metrics::mapping_cost_default;
+use orwl_comm::patterns;
+use orwl_topo::synthetic;
+use orwl_topo::topology::TreeShape;
+use orwl_treematch::grouping::group_processes;
+use orwl_treematch::oversub::manage_oversubscription;
+use orwl_treematch::policies::{compute_placement, Policy};
+use orwl_treematch::tree_match_assign;
+use proptest::prelude::*;
+
+/// Strategy producing small random symmetric matrices.
+fn matrix_strategy() -> impl Strategy<Value = CommMatrix> {
+    (2usize..20, 0u64..1000).prop_map(|(n, seed)| patterns::random_symmetric(n, 0.5, 100.0, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn grouping_is_a_partition(m in matrix_strategy(), arity in 1usize..6) {
+        let groups = group_processes(&m, arity);
+        prop_assert_eq!(groups.len(), m.order().div_ceil(arity));
+        let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..m.order()).collect::<Vec<_>>());
+        prop_assert!(groups.iter().all(|g| !g.is_empty() && g.len() <= arity));
+    }
+
+    #[test]
+    fn oversubscription_always_fits(entities in 1usize..200, a1 in 1usize..5, a2 in 1usize..5) {
+        let shape = TreeShape::new(vec![a1, a2]);
+        let plan = manage_oversubscription(&shape, entities);
+        prop_assert!(plan.shape.leaves() >= entities);
+        // The factor is minimal: one less would not fit (unless factor is 1).
+        if plan.factor > 1 {
+            prop_assert!(shape.leaves() * (plan.factor - 1) < entities);
+        }
+        // Virtual leaves map onto valid physical leaves.
+        for v in 0..plan.shape.leaves() {
+            prop_assert!(plan.physical_leaf(v) < shape.leaves());
+        }
+    }
+
+    #[test]
+    fn assignment_targets_valid_leaves(m in matrix_strategy(), a1 in 1usize..4, a2 in 1usize..4, a3 in 1usize..4) {
+        let shape = TreeShape::new(vec![a1, a2, a3]);
+        let leaves = tree_match_assign(&shape, &m);
+        prop_assert_eq!(leaves.len(), m.order());
+        prop_assert!(leaves.iter().all(|&l| l < shape.leaves()));
+        // Load balance under oversubscription: no leaf gets more than
+        // ceil(entities / leaves) + small slack from alignment padding.
+        let cap = m.order().div_ceil(shape.leaves());
+        let mut counts = vec![0usize; shape.leaves()];
+        for &l in &leaves {
+            counts[l] += 1;
+        }
+        prop_assert!(counts.iter().all(|&c| c <= cap.max(1) * a3.max(1)),
+            "counts={counts:?} cap={cap}");
+    }
+
+    #[test]
+    fn assignment_without_oversubscription_is_injective(seed in 0u64..500, n in 2usize..16) {
+        let m = patterns::random_symmetric(n, 0.6, 50.0, seed);
+        let shape = TreeShape::new(vec![4, 4]); // 16 leaves ≥ n
+        let leaves = tree_match_assign(&shape, &m);
+        let mut uniq = leaves.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        prop_assert_eq!(uniq.len(), n);
+    }
+
+    #[test]
+    fn treematch_not_worse_than_random_on_clustered(groups in 2usize..5, seed in 0u64..100) {
+        let topo = synthetic::cluster2016_subset(groups).unwrap();
+        let m = patterns::clustered(groups, 8, 500.0, 1.0);
+        let tm = compute_placement(Policy::TreeMatch, &topo, &m, 0);
+        let rnd = compute_placement(Policy::Random(seed), &topo, &m, 0);
+        let tm_cost = mapping_cost_default(&m, &topo, &tm.compute_mapping_or_zero());
+        let rnd_cost = mapping_cost_default(&m, &topo, &rnd.compute_mapping_or_zero());
+        prop_assert!(tm_cost <= rnd_cost + 1e-9, "tm={tm_cost} rnd={rnd_cost}");
+    }
+
+    #[test]
+    fn placements_are_always_valid(n in 1usize..40, ctl in 0usize..4, seed in 0u64..50) {
+        let topo = synthetic::dual_socket_smt();
+        let m = patterns::random_symmetric(n, 0.4, 100.0, seed);
+        for policy in [Policy::Packed, Policy::Scatter, Policy::Random(seed), Policy::TreeMatch] {
+            let p = compute_placement(policy, &topo, &m, ctl);
+            prop_assert_eq!(p.n_compute(), n);
+            prop_assert_eq!(p.n_control(), ctl);
+            prop_assert!(p.validate_against(&topo).is_ok());
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Full regeneration of Figure 1 on the simulated 24-socket machine.
+//!
+//! Sweeps the number of sockets (8 → 192 cores), simulates the three LK23
+//! implementations with the paper's workload (16384² doubles, 100
+//! iterations), prints the figure as a table + CSV, and reports the headline
+//! speedups the paper quotes (≈5× vs OpenMP, ≈2.8× vs ORWL NoBind, ≈11 s for
+//! the bound version at 192 cores).
+//!
+//! ```text
+//! cargo run --release --example figure1_sim [iterations]
+//! ```
+
+use orwl_bench::figure1::{default_socket_counts, figure1_sweep, headline, render_csv, render_table};
+
+fn main() {
+    let iterations: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20);
+    println!("{}", orwl_repro::banner());
+    println!(
+        "Figure 1 reproduction: LK23 16384x16384, 100 iterations (simulated via {iterations} steady-state iterations), 24x8-core SMP\n"
+    );
+
+    let rows = figure1_sweep(&default_socket_counts(), iterations, 42);
+    println!("{}", render_table(&rows));
+
+    let h = headline(&rows);
+    println!("headline at {} cores:", h.cores);
+    println!("  ORWL Bind processing time : {:>6.1} s   (paper: ~11 s)", h.orwl_bind_seconds);
+    println!("  speedup vs OpenMP         : {:>6.2}     (paper: ~5)", h.speedup_vs_openmp);
+    println!("  speedup vs ORWL NoBind    : {:>6.2}     (paper: ~2.8)", h.speedup_vs_nobind);
+
+    println!("\nCSV:\n{}", render_csv(&rows));
+}

@@ -1,0 +1,67 @@
+//! Placement explorer: see what Algorithm 1 does on a chosen machine and
+//! workload, compared with the baseline policies.
+//!
+//! ```text
+//! cargo run --release --example placement_explorer [preset] [stencil_side]
+//! ```
+//!
+//! `preset` is one of the named topologies (`cluster2016-smp192`,
+//! `dual-socket-smt`, `quad-socket-l3`, `laptop`, `uniprocessor`);
+//! `stencil_side` is the side of the block-task grid (default 8, i.e. 64
+//! communicating tasks).
+
+use orwl_comm::metrics::{mapping_cost_default, traffic_breakdown};
+use orwl_comm::patterns::{stencil_2d, StencilSpec};
+use orwl_topo::synthetic;
+use orwl_treematch::policies::{compute_placement, Policy};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let preset = args.next().unwrap_or_else(|| "cluster2016-smp192".to_string());
+    let side: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+
+    let Some(topo) = synthetic::preset(&preset) else {
+        eprintln!("unknown preset {preset:?}; available: {:?}", synthetic::preset_names());
+        std::process::exit(1);
+    };
+
+    println!("{}", orwl_repro::banner());
+    println!("machine: {} ({} PUs, {} cores, SMT: {})", topo.name(), topo.nb_pus(), topo.nb_cores(), topo.has_hyperthreading());
+    println!("workload: {side}x{side} LK23-style block tasks (9-point stencil)\n");
+    println!("{}", topo.render_ascii());
+
+    let matrix = stencil_2d(&StencilSpec::nine_point_blocks(side, 2048, 8));
+    let pus = topo.pu_os_indices();
+
+    println!(
+        "{:<12} {:>16} {:>12} {:>14} {:>12}",
+        "policy", "comm cost", "hop-bytes", "NUMA-local %", "nodes used"
+    );
+    for policy in Policy::all() {
+        let placement = compute_placement(policy, &topo, &matrix, 1);
+        let mapping = placement.compute_mapping_with(|t| pus[t % pus.len()]);
+        let cost = mapping_cost_default(&matrix, &topo, &mapping);
+        let hops = orwl_comm::metrics::hop_bytes(&matrix, &topo, &mapping);
+        let breakdown = traffic_breakdown(&matrix, &topo, &mapping);
+        println!(
+            "{:<12} {:>16.3e} {:>12.3e} {:>13.1}% {:>12}",
+            policy.name(),
+            cost,
+            hops,
+            100.0 * breakdown.local_fraction(),
+            placement.numa_nodes_used(&topo)
+        );
+    }
+
+    println!("\nDetailed TreeMatch placement (first 16 tasks):");
+    let placement = compute_placement(Policy::TreeMatch, &topo, &matrix, 1);
+    for (t, pu) in placement.compute.iter().take(16).enumerate() {
+        match pu {
+            Some(p) => println!("  task {t:>3} -> PU {p}"),
+            None => println!("  task {t:>3} -> (os)"),
+        }
+    }
+    if let Some(Some(pu)) = placement.control.first() {
+        println!("  control 0 -> PU {pu}");
+    }
+}

@@ -1,0 +1,46 @@
+//! # orwl-repro — umbrella crate
+//!
+//! Reproduction of *"Optimizing Locality by Topology-aware Placement for a
+//! Task Based Programming Model"* (Gustedt, Jeannot, Mansouri — IEEE CLUSTER
+//! 2016) as a Rust workspace.  This crate re-exports the workspace members
+//! and hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`).
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`orwl_topo`] | hardware topology model (HWLOC substitute), cpusets, binding |
+//! | [`orwl_comm`] | communication matrices, workload patterns, locality metrics |
+//! | [`orwl_treematch`] | Algorithm 1 (TreeMatch + control-thread and oversubscription extensions), baseline policies |
+//! | [`orwl_numasim`] | discrete-event NUMA machine simulator (substitute for the 192-core testbed) |
+//! | [`orwl_core`] | the ORWL runtime (locations, FIFOs, handles, tasks, event runtime, placement add-on) |
+//! | [`orwl_lk23`] | Livermore Kernel 23: sequential, OpenMP-like, ORWL, simulator models |
+//! | [`orwl_bench`] | experiment harness regenerating Figure 1 and the ablations |
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system inventory,
+//! and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use orwl_bench;
+pub use orwl_comm;
+pub use orwl_core;
+pub use orwl_lk23;
+pub use orwl_numasim;
+pub use orwl_topo;
+pub use orwl_treematch;
+
+/// Human-readable version banner used by the examples.
+pub fn banner() -> String {
+    format!(
+        "orwl-repro {} — ORWL topology-aware placement reproduction (CLUSTER 2016)",
+        env!("CARGO_PKG_VERSION")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn banner_mentions_the_paper_venue() {
+        let b = super::banner();
+        assert!(b.contains("CLUSTER 2016"));
+        assert!(b.contains(env!("CARGO_PKG_VERSION")));
+    }
+}

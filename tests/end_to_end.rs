@@ -1,0 +1,124 @@
+//! Cross-crate integration tests: the real ORWL runtime executing the LK23
+//! workload end to end under every placement policy, with the placement
+//! pipeline (program → matrix → Algorithm 1 → binding) checked against the
+//! geometry of the decomposition.
+
+use orwl_core::prelude::*;
+use orwl_lk23::blocks::BlockDecomposition;
+use orwl_lk23::kernel::{reference_jacobi, Grid};
+use orwl_lk23::openmp_like::run_openmp_like;
+use orwl_lk23::orwl_impl::{build_program, run_orwl};
+use orwl_topo::binding::RecordingBinder;
+use orwl_topo::synthetic;
+use std::sync::Arc;
+
+#[test]
+fn orwl_bind_nobind_and_openmp_agree_with_the_reference() {
+    let n = 48;
+    let iterations = 5;
+    let initial = Grid::initial(n, n);
+    let reference = reference_jacobi(&initial, iterations);
+    let decomp = BlockDecomposition::new(n, n, 3, 3).unwrap();
+
+    // OpenMP-like fork-join baseline.
+    let openmp = run_openmp_like(&initial, iterations, 4);
+    assert_eq!(openmp.max_abs_diff(&reference), 0.0);
+
+    // ORWL without binding.
+    let (nobind, _) = run_orwl(
+        &initial,
+        decomp,
+        iterations,
+        RuntimeConfig::no_bind(synthetic::cluster2016_subset(2).unwrap()),
+    )
+    .unwrap();
+    assert_eq!(nobind.max_abs_diff(&reference), 0.0);
+
+    // ORWL with the topology-aware binding (recording binder so the test is
+    // independent of the host's real CPU count).
+    let binder = Arc::new(RecordingBinder::new());
+    let config = RuntimeConfig::bind(synthetic::cluster2016_subset(2).unwrap()).with_binder(binder.clone());
+    let (bind, report) = run_orwl(&initial, decomp, iterations, config).unwrap();
+    assert_eq!(bind.max_abs_diff(&reference), 0.0);
+
+    // The placement bound every block task and the binder was exercised.
+    assert!(report.plan.placement.bound_fraction() > 0.99);
+    assert!(binder.anonymous_bindings().len() >= decomp.n_blocks());
+}
+
+#[test]
+fn extracted_comm_matrix_matches_decomposition_geometry() {
+    let n = 64;
+    let initial = Grid::initial(n, n);
+    let decomp = BlockDecomposition::new(n, n, 4, 4).unwrap();
+    let built = build_program(&initial, decomp, 1);
+    // The matrix the runtime derives from the handles equals the matrix
+    // derived from pure geometry — this is the paper's claim that the
+    // runtime can extract affinity automatically from the program.
+    assert_eq!(built.program.comm_matrix(), decomp.comm_matrix(8));
+}
+
+#[test]
+fn treematch_placement_has_better_locality_than_scatter_for_lk23() {
+    use orwl_comm::metrics::mapping_cost_default;
+    use orwl_treematch::policies::{compute_placement, Policy};
+
+    let n = 128;
+    let initial = Grid::initial(n, n);
+    let decomp = BlockDecomposition::new(n, n, 8, 8).unwrap();
+    let built = build_program(&initial, decomp, 1);
+    let matrix = built.program.comm_matrix();
+    let topo = synthetic::cluster2016_subset(8).unwrap(); // 64 cores
+
+    let pus = topo.pu_os_indices();
+    let tm = compute_placement(Policy::TreeMatch, &topo, &matrix, 0);
+    let scatter = compute_placement(Policy::Scatter, &topo, &matrix, 0);
+    let random = compute_placement(Policy::Random(3), &topo, &matrix, 0);
+
+    let cost = |p: &orwl_treematch::Placement| {
+        mapping_cost_default(&matrix, &topo, &p.compute_mapping_with(|t| pus[t % pus.len()]))
+    };
+    assert!(cost(&tm) < cost(&scatter), "treematch {} vs scatter {}", cost(&tm), cost(&scatter));
+    assert!(cost(&tm) < cost(&random), "treematch {} vs random {}", cost(&tm), cost(&random));
+}
+
+#[test]
+fn every_policy_runs_the_real_workload_correctly() {
+    let n = 32;
+    let iterations = 3;
+    let initial = Grid::initial(n, n);
+    let reference = reference_jacobi(&initial, iterations);
+    let decomp = BlockDecomposition::new(n, n, 2, 2).unwrap();
+    let topo = synthetic::laptop();
+
+    for policy in orwl_treematch::Policy::all() {
+        let config = RuntimeConfig::no_bind(topo.clone())
+            .with_policy(policy)
+            .with_binder(Arc::new(RecordingBinder::new()));
+        let (result, report) = run_orwl(&initial, decomp, iterations, config).unwrap();
+        assert_eq!(
+            result.max_abs_diff(&reference),
+            0.0,
+            "policy {} changed the numerical result",
+            policy.name()
+        );
+        report.plan.placement.validate_against(&topo).unwrap();
+    }
+}
+
+#[test]
+fn runtime_reports_are_consistent() {
+    let n = 32;
+    let initial = Grid::initial(n, n);
+    let decomp = BlockDecomposition::new(n, n, 2, 2).unwrap();
+    let config = RuntimeConfig::no_bind(synthetic::laptop()).with_control_threads(2);
+    let (_, report) = run_orwl(&initial, decomp, 2, config).unwrap();
+
+    assert_eq!(report.per_task_time.len(), 4);
+    assert_eq!(report.stats.tasks_started, 4);
+    assert_eq!(report.stats.tasks_finished, 4);
+    // Two lifecycle events per task, all drained by the control threads.
+    assert_eq!(report.stats.control_events, 8);
+    assert!(report.max_task_time() <= report.wall_time);
+    assert_eq!(report.plan.matrix.order(), 4);
+}

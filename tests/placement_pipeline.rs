@@ -1,0 +1,107 @@
+//! Integration tests of the placement pipeline across crates: topology →
+//! communication matrix → Algorithm 1 → metrics → simulator, without the
+//! ORWL runtime in the loop.
+
+use orwl_comm::metrics::{mapping_cost_default, traffic_breakdown};
+use orwl_comm::patterns::{stencil_2d, StencilSpec};
+use orwl_numasim::costmodel::CostParams;
+use orwl_numasim::exec::simulate;
+use orwl_numasim::machine::SimMachine;
+use orwl_numasim::scenario::ExecutionScenario;
+use orwl_numasim::taskgraph::TaskGraph;
+use orwl_topo::synthetic;
+use orwl_treematch::policies::{compute_placement, Policy};
+
+#[test]
+fn better_mapping_cost_translates_into_better_simulated_time() {
+    // The static metric (volume × distance) and the dynamic simulator must
+    // agree on the ranking of placements — otherwise one of the two models
+    // is inconsistent.
+    let topo = synthetic::cluster2016_subset(4).unwrap();
+    let machine = SimMachine::new(topo.clone(), CostParams::cluster2016());
+    let spec = StencilSpec::nine_point_blocks(8, 2048, 8); // 64 tasks on 32 cores
+    let matrix = stencil_2d(&spec);
+    let graph = TaskGraph::stencil(&spec, 2048.0 * 2048.0, 8.0);
+    let pus = topo.pu_os_indices();
+
+    let mut measured: Vec<(String, f64, f64)> = Vec::new();
+    for policy in [Policy::TreeMatch, Policy::Packed, Policy::Scatter, Policy::Random(5)] {
+        let placement = compute_placement(policy, &topo, &matrix, 0);
+        let mapping = placement.compute_mapping_with(|t| pus[t % pus.len()]);
+        let cost = mapping_cost_default(&matrix, &topo, &mapping);
+        let time = simulate(&machine, &graph, &ExecutionScenario::bound(&machine, mapping), 3).total_time;
+        measured.push((policy.name().to_string(), cost, time));
+    }
+    let tm = measured.iter().find(|(n, _, _)| n == "treematch").unwrap().clone();
+    for (name, cost, time) in &measured {
+        if name != "treematch" {
+            assert!(tm.1 <= cost * 1.01, "cost ranking violated by {name}");
+            assert!(tm.2 <= time * 1.01, "time ranking violated by {name}");
+        }
+    }
+}
+
+#[test]
+fn treematch_keeps_stencil_neighbours_on_the_same_socket() {
+    let topo = synthetic::cluster2016_subset(8).unwrap(); // 64 cores
+    let matrix = stencil_2d(&StencilSpec::nine_point_blocks(8, 2048, 8)); // 64 tasks
+    let placement = compute_placement(Policy::TreeMatch, &topo, &matrix, 0);
+    let mapping = placement.compute_mapping_or_zero();
+    let breakdown = traffic_breakdown(&matrix, &topo, &mapping);
+    // The 9-point stencil on 8 sockets cannot be fully local, but the
+    // topology-aware placement must keep a clear majority of the halo
+    // traffic inside NUMA nodes — substantially more than scatter does.
+    let scatter = compute_placement(Policy::Scatter, &topo, &matrix, 0).compute_mapping_or_zero();
+    let scatter_breakdown = traffic_breakdown(&matrix, &topo, &scatter);
+    assert!(breakdown.local_fraction() > 0.6, "treematch locality {breakdown:?}");
+    assert!(
+        breakdown.local_fraction() > scatter_breakdown.local_fraction() + 0.05,
+        "treematch local fraction {} should clearly beat scatter {}",
+        breakdown.local_fraction(),
+        scatter_breakdown.local_fraction()
+    );
+}
+
+#[test]
+fn control_threads_share_the_socket_of_their_compute_threads() {
+    use orwl_treematch::algorithm::{TreeMatchConfig, TreeMatchMapper};
+    use orwl_treematch::control::ControlThreadSpec;
+
+    // On the no-SMT paper machine with spare cores, the control threads must
+    // end up on the same NUMA nodes as the threads they serve.
+    let topo = synthetic::cluster2016_subset(2).unwrap(); // 16 cores
+    let matrix = stencil_2d(&StencilSpec::nine_point_blocks(3, 1024, 8)); // 9 tasks
+    let mapper = TreeMatchMapper::new(TreeMatchConfig { control: ControlThreadSpec::with_count(2) });
+    let placement = mapper.compute_placement(&topo, &matrix);
+    assert!(placement.control.iter().all(Option::is_some));
+    let compute_nodes: std::collections::HashSet<usize> =
+        placement.compute.iter().flatten().map(|pu| pu / 8).collect();
+    for pu in placement.control.iter().flatten() {
+        assert!(compute_nodes.contains(&(pu / 8)), "control thread on an idle socket (PU {pu})");
+    }
+}
+
+#[test]
+fn oversubscribed_placement_balances_and_simulates_faster_than_stacking() {
+    let topo = synthetic::cluster2016_subset(2).unwrap(); // 16 cores
+    let machine = SimMachine::new(topo.clone(), CostParams::cluster2016());
+    let spec = StencilSpec::nine_point_blocks(8, 1024, 8); // 64 tasks on 16 cores
+    let matrix = stencil_2d(&spec);
+    let graph = TaskGraph::stencil(&spec, 1024.0 * 1024.0, 8.0);
+
+    let placement = compute_placement(Policy::TreeMatch, &topo, &matrix, 0);
+    let mapping = placement.compute_mapping_or_zero();
+    // Load balance: every PU hosts exactly 4 tasks.
+    let mut counts = std::collections::HashMap::new();
+    for pu in &mapping {
+        *counts.entry(*pu).or_insert(0usize) += 1;
+    }
+    assert_eq!(counts.len(), 16);
+    assert!(counts.values().all(|&c| c == 4), "unbalanced: {counts:?}");
+
+    // And it beats stacking everything on one socket.
+    let stacked: Vec<usize> = (0..64).map(|t| t % 8).collect();
+    let t_tm = simulate(&machine, &graph, &ExecutionScenario::bound(&machine, mapping), 3).total_time;
+    let t_stacked = simulate(&machine, &graph, &ExecutionScenario::bound(&machine, stacked), 3).total_time;
+    assert!(t_tm < t_stacked);
+}
