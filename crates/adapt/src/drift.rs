@@ -1,0 +1,195 @@
+//! Drift detection: has the live communication pattern moved far enough
+//! from the one the current placement was computed for?
+//!
+//! The detector compares two matrices **under the same mapping** with the
+//! cost metric the placement itself optimises
+//! ([`orwl_comm::metrics::mapping_cost_default`]).  Both matrices are
+//! volume-normalised first, so a uniform speed-up or slow-down of the whole
+//! application (same structure, different rate) produces a delta of zero —
+//! only *structural* change counts.  Firing is guarded two ways:
+//!
+//! * **patience** — the relative delta must exceed the threshold for a
+//!   number of consecutive epochs, filtering one-epoch noise;
+//! * **cooldown** — after a fire (typically followed by a migration) the
+//!   detector holds off for a few epochs so the system settles before the
+//!   next decision, preventing oscillation (hysteresis).
+
+use orwl_comm::matrix::CommMatrix;
+use orwl_comm::metrics::mapping_cost_default;
+use orwl_topo::topology::Topology;
+
+/// Tuning of a [`DriftDetector`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Relative cost-delta above which an epoch counts as drifted.
+    pub threshold: f64,
+    /// Consecutive drifted epochs required before firing.
+    pub patience: usize,
+    /// Epochs to ignore right after a fire / reset (hysteresis).
+    pub cooldown: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig { threshold: 0.15, patience: 1, cooldown: 1 }
+    }
+}
+
+/// One epoch's drift measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftObservation {
+    /// Cost of the current mapping on the (normalised) baseline matrix.
+    pub baseline_cost: f64,
+    /// Cost of the current mapping on the (normalised) live matrix.
+    pub live_cost: f64,
+    /// Relative structural delta in `[0, 1]`.
+    pub delta: f64,
+    /// Whether this epoch was over the threshold.
+    pub over_threshold: bool,
+    /// Whether the detector fired (threshold + patience + cooldown).
+    pub fired: bool,
+}
+
+/// Stateful drift detector (see the module docs for the decision rule).
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    config: DriftConfig,
+    consecutive_over: usize,
+    cooldown_left: usize,
+}
+
+impl DriftDetector {
+    /// Creates a detector; no cooldown is pending initially.
+    pub fn new(config: DriftConfig) -> Self {
+        DriftDetector { config, consecutive_over: 0, cooldown_left: 0 }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+
+    /// Measures the structural delta between `baseline` (what the current
+    /// placement was computed from) and `live` (what the monitor observed),
+    /// both evaluated under `mapping` on `topo`, and advances the
+    /// patience/cooldown state machine.
+    pub fn observe(
+        &mut self,
+        topo: &Topology,
+        mapping: &[usize],
+        baseline: &CommMatrix,
+        live: &CommMatrix,
+    ) -> DriftObservation {
+        let baseline_cost = mapping_cost_default(&baseline.volume_normalized(), topo, mapping);
+        let live_cost = mapping_cost_default(&live.volume_normalized(), topo, mapping);
+        // Relative to the larger of the two costs: symmetric in the inputs,
+        // bounded by 1, and well-defined when the baseline cost is zero
+        // (perfectly local placement drifting to non-local traffic).
+        let scale = baseline_cost.max(live_cost);
+        let delta = if scale <= f64::EPSILON { 0.0 } else { (live_cost - baseline_cost).abs() / scale };
+
+        let over_threshold = delta > self.config.threshold;
+        let fired = if self.cooldown_left > 0 {
+            self.cooldown_left -= 1;
+            // Cooldown epochs do not accumulate patience either.
+            self.consecutive_over = 0;
+            false
+        } else {
+            if over_threshold {
+                self.consecutive_over += 1;
+            } else {
+                self.consecutive_over = 0;
+            }
+            self.consecutive_over >= self.config.patience.max(1)
+        };
+        if fired {
+            self.arm_cooldown();
+        }
+        DriftObservation { baseline_cost, live_cost, delta, over_threshold, fired }
+    }
+
+    /// Resets the patience counter and starts a cooldown window — called
+    /// after the baseline is re-anchored (e.g. following a migration).
+    pub fn arm_cooldown(&mut self) {
+        self.consecutive_over = 0;
+        self.cooldown_left = self.config.cooldown;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orwl_comm::patterns::{stencil_2d_directional, stencil_2d_rotated, StencilSpec};
+    use orwl_topo::synthetic;
+    use orwl_treematch::policies::{compute_placement, Policy};
+
+    fn setup() -> (Topology, CommMatrix, Vec<usize>) {
+        let topo = synthetic::cluster2016_subset(2).unwrap(); // 16 PUs
+        let spec = StencilSpec { rows: 4, cols: 4, edge_volume: 0.0, corner_volume: 8.0 };
+        let baseline = stencil_2d_directional(&spec, 4096.0, 64.0);
+        let placement = compute_placement(Policy::TreeMatch, &topo, &baseline, 0);
+        (topo, baseline, placement.compute_mapping_or_zero())
+    }
+
+    #[test]
+    fn stationary_pattern_never_fires() {
+        let (topo, baseline, mapping) = setup();
+        let mut det = DriftDetector::new(DriftConfig { threshold: 0.01, patience: 1, cooldown: 0 });
+        for scale in [1.0, 0.5, 3.0, 10.0] {
+            // Same structure at a different rate: no structural drift.
+            let live = baseline.scaled(scale);
+            let obs = det.observe(&topo, &mapping, &baseline, &live);
+            assert!(!obs.fired, "fired on stationary traffic scaled by {scale}: {obs:?}");
+            assert!(obs.delta < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rotated_stencil_fires_and_cooldown_holds() {
+        let (topo, baseline, mapping) = setup();
+        let spec = StencilSpec { rows: 4, cols: 4, edge_volume: 0.0, corner_volume: 8.0 };
+        let rotated = stencil_2d_rotated(&spec, 4096.0, 64.0);
+        let mut det = DriftDetector::new(DriftConfig { threshold: 0.15, patience: 2, cooldown: 2 });
+
+        // Patience: the first drifted epoch does not fire yet.
+        let first = det.observe(&topo, &mapping, &baseline, &rotated);
+        assert!(first.over_threshold, "delta {} must exceed threshold", first.delta);
+        assert!(!first.fired);
+        let second = det.observe(&topo, &mapping, &baseline, &rotated);
+        assert!(second.fired);
+
+        // Cooldown: immediately after firing, the same drift is ignored.
+        let third = det.observe(&topo, &mapping, &baseline, &rotated);
+        assert!(!third.fired);
+        let fourth = det.observe(&topo, &mapping, &baseline, &rotated);
+        assert!(!fourth.fired);
+        // Cooldown over: patience accumulates again.
+        let fifth = det.observe(&topo, &mapping, &baseline, &rotated);
+        assert!(!fifth.fired);
+        let sixth = det.observe(&topo, &mapping, &baseline, &rotated);
+        assert!(sixth.fired);
+    }
+
+    #[test]
+    fn noise_below_threshold_resets_patience() {
+        let (topo, baseline, mapping) = setup();
+        let spec = StencilSpec { rows: 4, cols: 4, edge_volume: 0.0, corner_volume: 8.0 };
+        let rotated = stencil_2d_rotated(&spec, 4096.0, 64.0);
+        let mut det = DriftDetector::new(DriftConfig { threshold: 0.15, patience: 2, cooldown: 0 });
+        assert!(!det.observe(&topo, &mapping, &baseline, &rotated).fired);
+        // A clean epoch in between resets the streak.
+        assert!(!det.observe(&topo, &mapping, &baseline, &baseline).fired);
+        assert!(!det.observe(&topo, &mapping, &baseline, &rotated).fired);
+        assert!(det.observe(&topo, &mapping, &baseline, &rotated).fired);
+    }
+
+    #[test]
+    fn empty_matrices_are_quiet() {
+        let (topo, _, mapping) = setup();
+        let zero = CommMatrix::zeros(16);
+        let mut det = DriftDetector::new(DriftConfig::default());
+        let obs = det.observe(&topo, &mapping, &zero, &zero);
+        assert_eq!(obs.delta, 0.0);
+        assert!(!obs.fired);
+    }
+}

@@ -1,0 +1,37 @@
+//! # orwl-adapt — online communication monitoring and adaptive re-placement
+//!
+//! The paper's pipeline is *static*: build a communication matrix offline,
+//! run TreeMatch (Algorithm 1), bind once, execute.  This crate closes that
+//! measure → aggregate → map → bind loop **online** for workloads whose
+//! communication patterns are unknown up front or drift over time:
+//!
+//! * [`online`] — [`OnlineCommMatrix`](online::OnlineCommMatrix), an
+//!   epoch-windowed accumulator with exponential decay fed by the transfer
+//!   hooks in `orwl_core::monitor` (real runtime) and
+//!   `orwl_numasim::exec::SimMonitor` (simulator);
+//! * [`drift`] — [`DriftDetector`](drift::DriftDetector), comparing the
+//!   live matrix against the matrix the current placement was computed
+//!   from (normalised `mapping_cost_default` delta, with patience and
+//!   cooldown hysteresis);
+//! * [`replace`] — [`Replacer`](replace::Replacer), recomputing the
+//!   TreeMatch placement and charging a migration-cost model (bytes moved
+//!   × inter-leaf hop distance) against the predicted hop-byte savings;
+//! * [`engine`] — [`AdaptiveEngine`](engine::AdaptiveEngine), wiring the
+//!   three into `orwl_core`'s event runtime via
+//!   [`RuntimeConfig::adaptive`](orwl_core::RuntimeConfig::adaptive)
+//!   (threads re-bind cooperatively at lock acquisitions);
+//! * [`sim`] — the same loop driven against the discrete-event simulator,
+//!   including the rotated-stencil phase-change workload and the
+//!   static/adaptive/oracle comparison harness used by the acceptance
+//!   tests and benchmarks.
+
+pub mod drift;
+pub mod engine;
+pub mod online;
+pub mod replace;
+pub mod sim;
+
+pub use drift::{DriftConfig, DriftDetector, DriftObservation};
+pub use engine::{adaptive_runtime_config, AdaptConfig, AdaptiveEngine, EpochRecord};
+pub use online::OnlineCommMatrix;
+pub use replace::{Decision, KeepReason, MigrationCostModel, Replacer, ReplacerConfig};

@@ -1,0 +1,340 @@
+//! The adaptive loop driven against the discrete-event simulator, plus the
+//! phase-changing workload and the static/adaptive/oracle harness.
+//!
+//! The simulator plays the role of the paper's 192-core testbed, so this
+//! module is where the subsystem's headline claim is measured: on a
+//! workload whose stencil pattern rotates mid-run, the adaptive policy's
+//! cumulative hop-bytes must beat the static initial placement and come
+//! close to an *oracle* that re-maps for free at the exact phase boundary.
+//!
+//! The adaptive driver is honest about its information: the detector sees
+//! only what the [`SimMonitor`] hooks observed, epoch by epoch — it has no
+//! knowledge of where phase boundaries are.
+
+use crate::drift::{DriftConfig, DriftDetector};
+use crate::online::OnlineCommMatrix;
+use crate::replace::{Decision, Replacer, ReplacerConfig};
+use orwl_comm::matrix::CommMatrix;
+use orwl_comm::metrics::hop_bytes;
+use orwl_comm::patterns::{stencil_2d_directional, stencil_2d_rotated, StencilSpec};
+use orwl_numasim::exec::{simulate_monitored, SimMonitor};
+use orwl_numasim::machine::SimMachine;
+use orwl_numasim::scenario::ExecutionScenario;
+use orwl_numasim::taskgraph::TaskGraph;
+use orwl_treematch::algorithm::{TreeMatchConfig, TreeMatchMapper};
+use orwl_treematch::control::ControlThreadSpec;
+use orwl_treematch::mapping::Placement;
+
+/// One phase of a phase-changing workload.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    /// The task graph executed during the phase.
+    pub graph: TaskGraph,
+    /// Number of iterations the phase lasts.
+    pub iterations: usize,
+}
+
+/// A workload whose communication pattern changes at known (to the harness,
+/// not to the adaptive policy) phase boundaries.
+#[derive(Debug, Clone)]
+pub struct PhasedWorkload {
+    /// The phases, executed in order.
+    pub phases: Vec<Phase>,
+}
+
+impl PhasedWorkload {
+    /// Total iterations over all phases.
+    pub fn total_iterations(&self) -> usize {
+        self.phases.iter().map(|p| p.iterations).sum()
+    }
+
+    /// Number of tasks (identical across phases by construction).
+    ///
+    /// # Panics
+    /// Panics when phases disagree on the task count or none exist.
+    pub fn n_tasks(&self) -> usize {
+        let n = self.phases.first().expect("workload has at least one phase").graph.n_tasks();
+        assert!(self.phases.iter().all(|p| p.graph.n_tasks() == n), "phases must share the task set");
+        n
+    }
+
+    /// The canonical phase-changing workload of the evaluation: a
+    /// directionally-swept stencil whose sweep axis rotates 90° between
+    /// phases (heavy east-west halos, then heavy north-south).
+    ///
+    /// `side × side` tasks; `heavy`/`light` are the per-axis halo volumes;
+    /// each task computes `elements` points over `phase_iterations.len()`
+    /// phases (phase `k` uses the rotated pattern when `k` is odd).
+    pub fn rotating_stencil(
+        side: usize,
+        heavy: f64,
+        light: f64,
+        elements: f64,
+        private_bytes: f64,
+        phase_iterations: &[usize],
+    ) -> Self {
+        let spec = StencilSpec { rows: side, cols: side, edge_volume: 0.0, corner_volume: light / 8.0 };
+        let a = stencil_2d_directional(&spec, heavy, light);
+        let b = stencil_2d_rotated(&spec, heavy, light);
+        let phases = phase_iterations
+            .iter()
+            .enumerate()
+            .map(|(k, &iterations)| Phase {
+                graph: TaskGraph::from_matrix(if k % 2 == 0 { &a } else { &b }, elements, private_bytes),
+                iterations,
+            })
+            .collect();
+        PhasedWorkload { phases }
+    }
+}
+
+/// Tuning of the simulator-side adaptive driver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimAdaptConfig {
+    /// Iterations per monitoring epoch.
+    pub epoch_iterations: usize,
+    /// Decay of the online matrix.
+    pub decay: f64,
+    /// Drift-detector tuning.
+    pub drift: DriftConfig,
+    /// Replacer tuning.
+    pub replacer: ReplacerConfig,
+}
+
+impl Default for SimAdaptConfig {
+    fn default() -> Self {
+        SimAdaptConfig {
+            epoch_iterations: 4,
+            decay: 0.25,
+            drift: DriftConfig::default(),
+            replacer: ReplacerConfig::default(),
+        }
+    }
+}
+
+/// Outcome of one policy on a [`PhasedWorkload`].
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Simulated wall-clock seconds, including migration stalls.
+    pub total_time: f64,
+    /// Cumulative hop-bytes over every iteration (plus, for the adaptive
+    /// policy, the hop-bytes of migrating task state).
+    pub cumulative_hop_bytes: f64,
+    /// Migrations performed.
+    pub migrations: usize,
+    /// Per-epoch drift deltas observed (adaptive policy only).
+    pub drift_deltas: Vec<f64>,
+    /// Policy label.
+    pub label: String,
+}
+
+fn treematch_placement(machine: &SimMachine, m: &CommMatrix) -> Placement {
+    let mapper = TreeMatchMapper::new(TreeMatchConfig { control: ControlThreadSpec::with_count(0) });
+    mapper.compute_placement(machine.topology(), m)
+}
+
+fn mapping_of(machine: &SimMachine, placement: &Placement) -> Vec<usize> {
+    let pus = machine.topology().pu_os_indices();
+    placement.compute_mapping_with(|t| pus[t % pus.len()])
+}
+
+/// Runs `workload` with the placement computed from the *first* phase and
+/// never re-mapped — the paper's static pipeline applied to a drifting
+/// workload.
+pub fn run_static(machine: &SimMachine, workload: &PhasedWorkload) -> SimOutcome {
+    let placement = treematch_placement(machine, &workload.phases[0].graph.comm_matrix().symmetrized());
+    run_fixed_schedule(machine, workload, |_phase| placement.clone(), "static-initial")
+}
+
+/// Runs `workload` with an oracle that re-maps **for free** at every phase
+/// boundary: the unbeatable reference the adaptive policy is measured
+/// against.
+pub fn run_oracle(machine: &SimMachine, workload: &PhasedWorkload) -> SimOutcome {
+    let placements: Vec<Placement> = workload
+        .phases
+        .iter()
+        .map(|p| treematch_placement(machine, &p.graph.comm_matrix().symmetrized()))
+        .collect();
+    run_fixed_schedule(machine, workload, |phase| placements[phase].clone(), "oracle")
+}
+
+fn run_fixed_schedule(
+    machine: &SimMachine,
+    workload: &PhasedWorkload,
+    placement_for_phase: impl Fn(usize) -> Placement,
+    label: &str,
+) -> SimOutcome {
+    let mut total_time = 0.0;
+    let mut cumulative_hop_bytes = 0.0;
+    for (k, phase) in workload.phases.iter().enumerate() {
+        let placement = placement_for_phase(k);
+        let mapping = mapping_of(machine, &placement);
+        let scenario = ExecutionScenario::bound(machine, mapping.clone()).with_label(label);
+        let report = orwl_numasim::exec::simulate(machine, &phase.graph, &scenario, phase.iterations);
+        total_time += report.total_time;
+        cumulative_hop_bytes +=
+            phase.iterations as f64 * hop_bytes(&phase.graph.comm_matrix(), machine.topology(), &mapping);
+    }
+    SimOutcome {
+        total_time,
+        cumulative_hop_bytes,
+        migrations: 0,
+        drift_deltas: Vec::new(),
+        label: label.to_string(),
+    }
+}
+
+struct RecordingMonitor<'a> {
+    online: &'a mut OnlineCommMatrix,
+}
+
+impl SimMonitor for RecordingMonitor<'_> {
+    fn on_transfer(&mut self, _iteration: usize, src: usize, dst: usize, bytes: f64) {
+        self.online.record(src, dst, bytes);
+    }
+}
+
+/// Runs `workload` under the full online loop: monitor (through the
+/// executor's [`SimMonitor`] hooks) → epoch roll → drift detection →
+/// budgeted re-placement, paying for every migration both in time (moving
+/// task state across the interconnect) and in hop-bytes.
+pub fn run_adaptive(machine: &SimMachine, workload: &PhasedWorkload, config: &SimAdaptConfig) -> SimOutcome {
+    let n = workload.n_tasks();
+    let topo = machine.topology();
+    let mut placement = treematch_placement(machine, &workload.phases[0].graph.comm_matrix().symmetrized());
+    let mut baseline = workload.phases[0].graph.comm_matrix().symmetrized();
+    let mut online = OnlineCommMatrix::new(n, config.decay);
+    let mut detector = DriftDetector::new(config.drift);
+    let replacer = Replacer::new(config.replacer);
+
+    let mut total_time = 0.0;
+    let mut cumulative_hop_bytes = 0.0;
+    let mut migrations = 0usize;
+    let mut drift_deltas = Vec::new();
+
+    for phase in &workload.phases {
+        let phase_matrix = phase.graph.comm_matrix();
+        let mut done = 0usize;
+        while done < phase.iterations {
+            let chunk = config.epoch_iterations.min(phase.iterations - done);
+            let mapping = mapping_of(machine, &placement);
+            let scenario = ExecutionScenario::bound(machine, mapping.clone()).with_label("adaptive");
+            let mut monitor = RecordingMonitor { online: &mut online };
+            let report = simulate_monitored(machine, &phase.graph, &scenario, chunk, &mut monitor);
+            total_time += report.total_time;
+            cumulative_hop_bytes += chunk as f64 * hop_bytes(&phase_matrix, topo, &mapping);
+            done += chunk;
+
+            // Epoch boundary: roll the window and decide.
+            online.roll_epoch();
+            if !online.is_warmed_up() {
+                continue;
+            }
+            let live = online.smoothed_symmetric();
+            let observation = detector.observe(topo, &mapping, &baseline, &live);
+            drift_deltas.push(observation.delta);
+            if !observation.fired {
+                continue;
+            }
+            if let Decision::Migrate { placement: next, migration_cost, .. } =
+                replacer.evaluate(topo, &live, &placement, 0)
+            {
+                // Pay for the migration: the moved bytes are charged both
+                // as hop-bytes (the metric) and as interconnect time (the
+                // simulated stall while working sets move).
+                cumulative_hop_bytes += migration_cost;
+                total_time += migration_cost / machine.params().interconnect_bandwidth;
+                placement = next;
+                baseline = live.clone();
+                detector.arm_cooldown();
+                migrations += 1;
+            }
+        }
+    }
+    SimOutcome { total_time, cumulative_hop_bytes, migrations, drift_deltas, label: "adaptive".to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::replace::MigrationCostModel;
+    use orwl_numasim::costmodel::CostParams;
+    use orwl_topo::synthetic;
+
+    fn machine() -> SimMachine {
+        SimMachine::new(synthetic::cluster2016_subset(2).unwrap(), CostParams::cluster2016())
+    }
+
+    fn workload() -> PhasedWorkload {
+        PhasedWorkload::rotating_stencil(4, 65536.0, 1024.0, 16384.0, 131072.0, &[24, 200])
+    }
+
+    fn config() -> SimAdaptConfig {
+        SimAdaptConfig {
+            epoch_iterations: 4,
+            decay: 0.2,
+            drift: DriftConfig { threshold: 0.15, patience: 1, cooldown: 2 },
+            replacer: ReplacerConfig {
+                model: MigrationCostModel { task_state_bytes: 131072.0 },
+                horizon_epochs: 20.0,
+                min_relative_gain: 0.05,
+            },
+        }
+    }
+
+    #[test]
+    fn workload_shape_is_consistent() {
+        let w = workload();
+        assert_eq!(w.n_tasks(), 16);
+        assert_eq!(w.total_iterations(), 224);
+        // The two phases carry the same total traffic but different matrices.
+        let a = w.phases[0].graph.comm_matrix();
+        let b = w.phases[1].graph.comm_matrix();
+        assert!((a.total_volume() - b.total_volume()).abs() < 1e-6);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn single_phase_workload_never_migrates() {
+        let m = machine();
+        let w = PhasedWorkload::rotating_stencil(4, 65536.0, 1024.0, 16384.0, 131072.0, &[40]);
+        let adaptive = run_adaptive(&m, &w, &config());
+        assert_eq!(adaptive.migrations, 0);
+        // With no drift the adaptive run's hop-bytes equal the static run's.
+        let fixed = run_static(&m, &w);
+        assert!((adaptive.cumulative_hop_bytes - fixed.cumulative_hop_bytes).abs() < 1e-6);
+    }
+
+    #[test]
+    fn adaptive_beats_static_and_approaches_oracle() {
+        let m = machine();
+        let w = workload();
+        let cfg = config();
+        let fixed = run_static(&m, &w);
+        let oracle = run_oracle(&m, &w);
+        let adaptive = run_adaptive(&m, &w, &cfg);
+
+        assert!(adaptive.migrations >= 1, "phase change must trigger a migration: {adaptive:?}");
+        assert!(
+            adaptive.cumulative_hop_bytes < fixed.cumulative_hop_bytes,
+            "adaptive {} must beat static {}",
+            adaptive.cumulative_hop_bytes,
+            fixed.cumulative_hop_bytes
+        );
+        assert!(
+            oracle.cumulative_hop_bytes <= adaptive.cumulative_hop_bytes + 1e-9,
+            "the free-remap oracle is a lower bound"
+        );
+        let ratio = adaptive.cumulative_hop_bytes / oracle.cumulative_hop_bytes;
+        assert!(ratio <= 1.10, "adaptive must be within 10% of the oracle, got {ratio:.3}");
+    }
+
+    #[test]
+    fn oracle_wall_clock_is_no_worse_than_static() {
+        let m = machine();
+        let w = workload();
+        let fixed = run_static(&m, &w);
+        let oracle = run_oracle(&m, &w);
+        assert!(oracle.total_time <= fixed.total_time * 1.0001);
+    }
+}

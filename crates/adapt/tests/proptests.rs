@@ -1,0 +1,92 @@
+//! Property-based tests of the adaptive subsystem's two load-bearing
+//! guarantees:
+//!
+//! * the [`OnlineCommMatrix`] decay update preserves symmetry and
+//!   non-negativity for arbitrary record/roll schedules;
+//! * the [`DriftDetector`] never fires while the pattern is stationary
+//!   (whatever its absolute rate does) and always fires after a
+//!   rotated-stencil phase change.
+
+use orwl_adapt::drift::{DriftConfig, DriftDetector};
+use orwl_adapt::online::OnlineCommMatrix;
+use orwl_comm::patterns::{stencil_2d_directional, stencil_2d_rotated, StencilSpec};
+use orwl_topo::synthetic;
+use orwl_treematch::policies::{compute_placement, Policy};
+use proptest::prelude::*;
+
+/// Strategy producing a batch of symmetric transfer records over `order`
+/// tasks: `(src, dst, volume)` plus its mirror.
+fn symmetric_records(order: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    proptest::collection::vec((0usize..order, 0usize..order, 0.0f64..1000.0), 0..64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn decay_preserves_symmetry_and_nonnegativity(
+        decay in 0.0f64..0.95,
+        epochs in proptest::collection::vec(symmetric_records(12), 1..8),
+    ) {
+        let mut online = OnlineCommMatrix::new(12, decay);
+        for batch in &epochs {
+            for &(a, b, v) in batch {
+                online.record(a, b, v);
+                online.record(b, a, v);
+            }
+            online.roll_epoch();
+            let m = online.smoothed();
+            prop_assert!(m.is_symmetric(), "smoothed estimate must stay symmetric");
+            prop_assert!(m.as_slice().iter().all(|&x| x >= 0.0), "entries must stay non-negative");
+            prop_assert!(m.as_slice().iter().all(|&x| x.is_finite()));
+        }
+        prop_assert_eq!(online.epochs(), epochs.len() as u64);
+    }
+
+    #[test]
+    fn detector_never_fires_on_a_stationary_pattern(
+        side in 3usize..7,
+        scale_seq in proptest::collection::vec(0.1f64..10.0, 1..12),
+        threshold in 0.01f64..0.5,
+    ) {
+        let n_tasks = side * side;
+        let sockets = n_tasks.div_ceil(8).max(2);
+        let topo = synthetic::cluster2016_subset(sockets).unwrap();
+        let spec = StencilSpec { rows: side, cols: side, edge_volume: 0.0, corner_volume: 128.0 };
+        let baseline = stencil_2d_directional(&spec, 65536.0, 1024.0);
+        let mapping = compute_placement(Policy::TreeMatch, &topo, &baseline, 0).compute_mapping_or_zero();
+        let mut det = DriftDetector::new(DriftConfig { threshold, patience: 1, cooldown: 0 });
+        for &scale in &scale_seq {
+            // Same structure at a varying rate: never a (structural) drift.
+            let obs = det.observe(&topo, &mapping, &baseline, &baseline.scaled(scale));
+            prop_assert!(!obs.fired, "fired on stationary traffic (scale {scale}): {obs:?}");
+        }
+    }
+
+    #[test]
+    fn detector_always_fires_after_a_rotated_stencil_phase_change(
+        // side ≥ 4: the grid must span several sockets for the rotation to
+        // move traffic across placement groups at all — a 3×3 grid fits one
+        // socket, where every mapping costs the same and there is nothing
+        // to detect (and nothing to gain from re-placement either).
+        side in 4usize..8,
+        warmup_epochs in 1usize..5,
+    ) {
+        let n_tasks = side * side;
+        let sockets = n_tasks.div_ceil(8).max(2);
+        let topo = synthetic::cluster2016_subset(sockets).unwrap();
+        let spec = StencilSpec { rows: side, cols: side, edge_volume: 0.0, corner_volume: 128.0 };
+        let before = stencil_2d_directional(&spec, 65536.0, 1024.0);
+        let after = stencil_2d_rotated(&spec, 65536.0, 1024.0);
+        let mapping = compute_placement(Policy::TreeMatch, &topo, &before, 0).compute_mapping_or_zero();
+        let mut det = DriftDetector::new(DriftConfig { threshold: 0.10, patience: 1, cooldown: 0 });
+        // Stationary warmup epochs must stay quiet...
+        for _ in 0..warmup_epochs {
+            prop_assert!(!det.observe(&topo, &mapping, &before, &before).fired);
+        }
+        // ...and the rotated phase must be caught immediately.
+        let obs = det.observe(&topo, &mapping, &before, &after);
+        prop_assert!(obs.fired, "rotation not detected: {obs:?}");
+        prop_assert!(obs.delta > 0.10);
+    }
+}

@@ -1,0 +1,129 @@
+//! Experiment E-adapt — cost of the online adaptation loop:
+//!
+//! * per-epoch monitoring overhead: the price of recording transfers into
+//!   the `OnlineCommMatrix` and rolling the window, at several task counts;
+//! * the full decision stack (drift observation + budgeted re-placement)
+//!   once per epoch;
+//! * time-to-converge: simulated epochs between a rotated-stencil phase
+//!   change and the adaptive policy's migration, printed before the
+//!   Criterion timings.
+//!
+//! Run with `cargo bench -p orwl-bench --bench adaptive_replacement`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orwl_adapt::drift::{DriftConfig, DriftDetector};
+use orwl_adapt::online::OnlineCommMatrix;
+use orwl_adapt::replace::{MigrationCostModel, Replacer, ReplacerConfig};
+use orwl_adapt::sim::{run_adaptive, PhasedWorkload, SimAdaptConfig};
+use orwl_comm::patterns::{stencil_2d_directional, stencil_2d_rotated, StencilSpec};
+use orwl_numasim::costmodel::CostParams;
+use orwl_numasim::machine::SimMachine;
+use orwl_topo::synthetic;
+use orwl_treematch::policies::{compute_placement, Policy};
+
+fn sim_adapt_config() -> SimAdaptConfig {
+    SimAdaptConfig {
+        epoch_iterations: 4,
+        decay: 0.2,
+        drift: DriftConfig { threshold: 0.15, patience: 1, cooldown: 2 },
+        replacer: ReplacerConfig {
+            model: MigrationCostModel { task_state_bytes: 131072.0 },
+            horizon_epochs: 20.0,
+            min_relative_gain: 0.05,
+        },
+    }
+}
+
+/// Epochs from the phase boundary to the first migration, on the rotating
+/// stencil — the subsystem's reaction latency.
+fn time_to_converge(side: usize) -> Option<usize> {
+    let sockets = (side * side).div_ceil(8).max(2);
+    let machine = SimMachine::new(synthetic::cluster2016_subset(sockets).unwrap(), CostParams::cluster2016());
+    let config = sim_adapt_config();
+    let phase1 = 24usize;
+    let workload = PhasedWorkload::rotating_stencil(side, 65536.0, 1024.0, 16384.0, 131072.0, &[phase1, 120]);
+    let outcome = run_adaptive(&machine, &workload, &config);
+    if outcome.migrations == 0 {
+        return None;
+    }
+    // Deltas are recorded once per warmed epoch; find the first epoch after
+    // the boundary whose delta exceeded the threshold, then count epochs
+    // until the migration reset the baseline (delta drops back down).
+    let boundary_epoch = phase1 / config.epoch_iterations;
+    let fired_at = outcome
+        .drift_deltas
+        .iter()
+        .enumerate()
+        .position(|(e, &d)| e + 1 > boundary_epoch && d > config.drift.threshold)?;
+    Some(fired_at + 1 - boundary_epoch)
+}
+
+fn bench_adaptive(c: &mut Criterion) {
+    // --- headline numbers printed once, like the figure1 harness ---------
+    for side in [4usize, 6, 8] {
+        match time_to_converge(side) {
+            Some(epochs) => eprintln!(
+                "time-to-converge ({}x{side} tasks): {epochs} epoch(s) after the phase boundary",
+                side
+            ),
+            None => eprintln!("time-to-converge ({side}x{side} tasks): no migration (unexpected)"),
+        }
+    }
+
+    // --- per-epoch monitoring overhead -----------------------------------
+    let mut group = c.benchmark_group("adaptive_replacement");
+    group.sample_size(20);
+    for side in [4usize, 8, 12] {
+        let n = side * side;
+        let spec = StencilSpec { rows: side, cols: side, edge_volume: 0.0, corner_volume: 128.0 };
+        let matrix = stencil_2d_directional(&spec, 65536.0, 1024.0);
+        group.bench_with_input(BenchmarkId::new("record_and_roll_epoch", n), &matrix, |b, m| {
+            let mut online = OnlineCommMatrix::new(n, 0.2);
+            b.iter(|| {
+                for src in 0..n {
+                    for dst in 0..n {
+                        let v = m.get(src, dst);
+                        if v > 0.0 {
+                            online.record(src, dst, v);
+                        }
+                    }
+                }
+                criterion::black_box(online.roll_epoch())
+            });
+        });
+    }
+
+    // --- the per-epoch decision stack (drift + replacement budget) --------
+    for side in [4usize, 8] {
+        let n = side * side;
+        let sockets = n.div_ceil(8).max(2);
+        let topo = synthetic::cluster2016_subset(sockets).unwrap();
+        let spec = StencilSpec { rows: side, cols: side, edge_volume: 0.0, corner_volume: 128.0 };
+        let before = stencil_2d_directional(&spec, 65536.0, 1024.0);
+        let after = stencil_2d_rotated(&spec, 65536.0, 1024.0);
+        let placement = compute_placement(Policy::TreeMatch, &topo, &before, 0);
+        let mapping = placement.compute_mapping_or_zero();
+        group.bench_with_input(BenchmarkId::new("drift_and_replace_decision", n), &after, |b, live| {
+            let replacer = Replacer::new(sim_adapt_config().replacer);
+            b.iter(|| {
+                let mut detector = DriftDetector::new(sim_adapt_config().drift);
+                let obs = detector.observe(&topo, &mapping, &before, live);
+                if obs.fired {
+                    criterion::black_box(replacer.evaluate(&topo, live, &placement, 0));
+                }
+            });
+        });
+    }
+
+    // --- the whole loop on the phase-changing workload --------------------
+    let machine = SimMachine::new(synthetic::cluster2016_subset(2).unwrap(), CostParams::cluster2016());
+    let workload = PhasedWorkload::rotating_stencil(4, 65536.0, 1024.0, 16384.0, 131072.0, &[24, 72]);
+    let config = sim_adapt_config();
+    group.bench_function("full_adaptive_sim_96_iters", |b| {
+        b.iter(|| criterion::black_box(run_adaptive(&machine, &workload, &config)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptive);
+criterion_main!(benches);

@@ -35,8 +35,7 @@ fn bench_control(c: &mut Criterion) {
     group.sample_size(10);
     for n_control in [0usize, 1, 4, 8] {
         group.bench_with_input(BenchmarkId::new("placement", n_control), &n_control, |b, &n| {
-            let mapper =
-                TreeMatchMapper::new(TreeMatchConfig { control: ControlThreadSpec::with_count(n) });
+            let mapper = TreeMatchMapper::new(TreeMatchConfig { control: ControlThreadSpec::with_count(n) });
             let topo = synthetic::dual_socket_smt();
             b.iter(|| mapper.compute_placement(&topo, &matrix));
         });

@@ -85,11 +85,10 @@ pub fn control_mode_ablation(cases: &[(Topology, usize, usize)]) -> Vec<ControlM
                 corner_volume: 0.0,
             });
             let mode = decide_control_mode(topo, *n_compute, *n_control);
-            let mapper = orwl_treematch::algorithm::TreeMatchMapper::new(
-                orwl_treematch::algorithm::TreeMatchConfig {
+            let mapper =
+                orwl_treematch::algorithm::TreeMatchMapper::new(orwl_treematch::algorithm::TreeMatchConfig {
                     control: ControlThreadSpec::with_count(*n_control),
-                },
-            );
+                });
             let placement = mapper.compute_placement(topo, &matrix);
             let bound = placement.control.iter().filter(|c| c.is_some()).count();
             ControlModeResult {
@@ -97,11 +96,7 @@ pub fn control_mode_ablation(cases: &[(Topology, usize, usize)]) -> Vec<ControlM
                 n_compute: *n_compute,
                 n_control: *n_control,
                 mode,
-                bound_control_fraction: if *n_control == 0 {
-                    1.0
-                } else {
-                    bound as f64 / *n_control as f64
-                },
+                bound_control_fraction: if *n_control == 0 { 1.0 } else { bound as f64 / *n_control as f64 },
             }
         })
         .collect()
@@ -121,11 +116,7 @@ pub struct OversubResult {
 
 /// Runs the oversubscription ablation (A3) on `sockets` sockets of the
 /// paper machine.
-pub fn oversubscription_ablation(
-    sockets: usize,
-    factors: &[usize],
-    iterations: usize,
-) -> Vec<OversubResult> {
+pub fn oversubscription_ablation(sockets: usize, factors: &[usize], iterations: usize) -> Vec<OversubResult> {
     let topo = orwl_topo::synthetic::cluster2016_subset(sockets).expect("1..=24 sockets");
     let machine = SimMachine::new(topo.clone(), CostParams::cluster2016());
     let cores = sockets * 8;
@@ -158,11 +149,8 @@ pub fn relative_policy_costs(topo: &Topology, matrix: &CommMatrix) -> Vec<(Strin
         .into_iter()
         .map(|p| {
             let placement = compute_placement(p, topo, matrix, 0);
-            let cost = mapping_cost_default(
-                matrix,
-                topo,
-                &placement.compute_mapping_with(|t| pus[t % pus.len()]),
-            );
+            let cost =
+                mapping_cost_default(matrix, topo, &placement.compute_mapping_with(|t| pus[t % pus.len()]));
             (p.name().to_string(), cost / tm_cost)
         })
         .collect()
@@ -201,7 +189,7 @@ mod tests {
     #[test]
     fn control_mode_ablation_covers_all_three_modes() {
         let cases = vec![
-            (synthetic::dual_socket_smt(), 32, 2),          // hyperthread reserve
+            (synthetic::dual_socket_smt(), 32, 2),             // hyperthread reserve
             (synthetic::cluster2016_subset(2).unwrap(), 8, 2), // spare cores
             (synthetic::cluster2016_subset(1).unwrap(), 8, 2), // unmapped
         ];

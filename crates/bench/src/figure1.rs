@@ -178,11 +178,7 @@ mod tests {
             "speedup vs NoBind {}",
             h.speedup_vs_nobind
         );
-        assert!(
-            h.orwl_bind_seconds > 2.0 && h.orwl_bind_seconds < 40.0,
-            "bind time {}",
-            h.orwl_bind_seconds
-        );
+        assert!(h.orwl_bind_seconds > 2.0 && h.orwl_bind_seconds < 40.0, "bind time {}", h.orwl_bind_seconds);
     }
 
     #[test]

@@ -154,6 +154,48 @@ pub fn random_symmetric(n: usize, density: f64, max_volume: f64, seed: u64) -> C
     m
 }
 
+/// A *directional* stencil: east/west halos carry `horizontal` bytes per
+/// iteration, north/south halos carry `vertical` bytes, diagonal halos
+/// carry `spec.corner_volume` (the `edge_volume` field of `spec` is ignored
+/// in favour of the explicit per-axis volumes).
+///
+/// Directionally-swept solvers (ADI, line relaxation, LK23-style pipelined
+/// sweeps) produce exactly this shape: the halo traffic is dominated by the
+/// current sweep axis.  Note that for the *uniform* stencil a 90° rotation
+/// is an automorphism of the communication graph — it changes nothing — so
+/// the anisotropy is what makes [`stencil_2d_rotated`] a genuine phase
+/// change for the adaptive-placement evaluation.
+pub fn stencil_2d_directional(spec: &StencilSpec, horizontal: f64, vertical: f64) -> CommMatrix {
+    let n = spec.tasks();
+    let mut m = CommMatrix::zeros(n);
+    for r in 0..spec.rows {
+        for c in 0..spec.cols {
+            let me = spec.task_at(r, c);
+            for (dr, dc, volume) in
+                [(-1isize, 0isize, vertical), (1, 0, vertical), (0, -1, horizontal), (0, 1, horizontal)]
+            {
+                if let Some(other) = neighbor(spec, r, c, dr, dc) {
+                    m.add(me, other, volume);
+                }
+            }
+            for (dr, dc) in [(-1isize, -1isize), (-1, 1), (1, -1), (1, 1)] {
+                if let Some(other) = neighbor(spec, r, c, dr, dc) {
+                    m.add(me, other, spec.corner_volume);
+                }
+            }
+        }
+    }
+    m
+}
+
+/// The directional stencil after a quarter (90°) rotation of the sweep
+/// direction: horizontal and vertical halo volumes swap axes.  This is the
+/// "rotated stencil" phase change used by `orwl-adapt`'s evaluation — same
+/// tasks, same total traffic, different heavy neighbours.
+pub fn stencil_2d_rotated(spec: &StencilSpec, horizontal: f64, vertical: f64) -> CommMatrix {
+    stencil_2d_directional(spec, vertical, horizontal)
+}
+
 /// A 1-D chain: task `i` exchanges `volume` bytes with `i+1` (both ways).
 pub fn chain(n: usize, volume: f64) -> CommMatrix {
     let mut m = CommMatrix::zeros(n);
@@ -270,6 +312,39 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn directional_stencil_weights_axes_independently() {
+        let spec = StencilSpec { rows: 3, cols: 3, edge_volume: 0.0, corner_volume: 1.0 };
+        let m = stencil_2d_directional(&spec, 100.0, 5.0);
+        let center = spec.task_at(1, 1);
+        assert_eq!(m.get(center, spec.task_at(1, 0)), 100.0); // west
+        assert_eq!(m.get(center, spec.task_at(1, 2)), 100.0); // east
+        assert_eq!(m.get(center, spec.task_at(0, 1)), 5.0); // north
+        assert_eq!(m.get(center, spec.task_at(2, 1)), 5.0); // south
+        assert_eq!(m.get(center, spec.task_at(0, 0)), 1.0); // corner
+        assert!(m.is_symmetric());
+        // Uniform volumes reproduce the classic stencil.
+        let uniform = StencilSpec { rows: 3, cols: 3, edge_volume: 7.0, corner_volume: 1.0 };
+        assert_eq!(stencil_2d_directional(&uniform, 7.0, 7.0), stencil_2d(&uniform));
+    }
+
+    #[test]
+    fn rotation_swaps_axes_and_is_a_real_phase_change() {
+        let spec = StencilSpec { rows: 4, cols: 4, edge_volume: 0.0, corner_volume: 2.0 };
+        let a = stencil_2d_directional(&spec, 100.0, 5.0);
+        let b = stencil_2d_rotated(&spec, 100.0, 5.0);
+        // Same total traffic, symmetric, but a different matrix...
+        assert_eq!(a.total_volume(), b.total_volume());
+        assert!(b.is_symmetric());
+        assert_ne!(a, b);
+        // ...while rotating the *uniform* stencil is an automorphism (the
+        // degenerate case the adaptive evaluation must avoid).
+        let u = stencil_2d_directional(&spec, 5.0, 5.0);
+        assert_eq!(stencil_2d_rotated(&spec, 5.0, 5.0), u);
+        // Rotating twice restores the original pattern.
+        assert_eq!(stencil_2d_rotated(&spec, 5.0, 100.0), a);
     }
 
     #[test]

@@ -101,6 +101,7 @@ impl<T> Handle<T> {
         self.location.fifo().acquire(&token);
         self.wait_time += start.elapsed();
         self.acquisitions += 1;
+        crate::monitor::on_lock_granted(self.location.id(), self.mode);
         let data = match self.mode {
             AccessMode::Read => GuardData::Read(self.location.data().read_arc()),
             AccessMode::Write => GuardData::Write(self.location.data().write_arc()),
@@ -123,6 +124,7 @@ impl<T> Handle<T> {
             return Ok(None);
         }
         self.acquisitions += 1;
+        crate::monitor::on_lock_granted(self.location.id(), self.mode);
         let data = match self.mode {
             AccessMode::Read => GuardData::Read(self.location.data().read_arc()),
             AccessMode::Write => GuardData::Write(self.location.data().write_arc()),

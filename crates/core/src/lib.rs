@@ -58,6 +58,7 @@ pub mod error;
 pub mod fifo;
 pub mod handle;
 pub mod location;
+pub mod monitor;
 pub mod placement;
 pub mod request;
 pub mod runtime;
@@ -67,9 +68,12 @@ pub mod task;
 pub use error::OrwlError;
 pub use handle::{Handle, OrwlGuard};
 pub use location::{Location, LocationId};
+pub use monitor::{AccessSink, RebindPlan, SinkRegistration};
 pub use placement::{plan_placement, PlacementPlan};
 pub use request::{AccessMode, RequestState, RequestToken};
-pub use runtime::{ControlEvent, OrwlRuntime, RunReport, RuntimeConfig};
+pub use runtime::{
+    AdaptReport, AdaptiveController, AdaptiveSpec, ControlEvent, OrwlRuntime, RunReport, RuntimeConfig,
+};
 pub use stats::{RuntimeStats, StatsSnapshot};
 pub use task::{LocationLink, OrwlProgram, TaskContext, TaskId, TaskSpec};
 

@@ -10,15 +10,57 @@
 //! paper's Algorithm 1 places them alongside the computation threads.
 
 use crate::error::OrwlError;
+use crate::monitor::{self, AccessSink, RebindPlan};
 use crate::placement::{plan_placement, PlacementPlan};
 use crate::stats::{RuntimeStats, StatsSnapshot};
-use crate::task::{OrwlProgram, TaskContext, TaskId};
+use crate::task::{OrwlProgram, TaskContext, TaskId, TaskSpec};
 use crossbeam::channel;
 use orwl_topo::binding::{Binder, NoopBinder};
 use orwl_topo::topology::Topology;
+use orwl_treematch::mapping::Placement;
 use orwl_treematch::policies::Policy;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// The brain of an adaptive run, implemented by `orwl_adapt::AdaptiveEngine`
+/// (kept as a trait here so `orwl-core` does not depend on `orwl-adapt`).
+///
+/// The runtime drives it: `on_run_start` once with the initial plan, then
+/// `on_epoch` at every epoch boundary from the monitor thread.  Returning a
+/// new [`Placement`] from `on_epoch` publishes it to the task threads, which
+/// re-bind cooperatively at their next lock acquisition.
+pub trait AdaptiveController: Send + Sync {
+    /// The access sink to register for the duration of the run.
+    fn sink(&self) -> Arc<dyn AccessSink>;
+
+    /// Called once before threads start, with the program's task specs, the
+    /// initial placement plan and the machine topology.
+    fn on_run_start(&self, specs: &[TaskSpec], plan: &PlacementPlan, topo: &Topology);
+
+    /// Called at every epoch boundary; `epoch` counts from 1.  Returns a
+    /// replacement [`Placement`] when the controller decides to migrate.
+    fn on_epoch(&self, epoch: u64) -> Option<Placement>;
+}
+
+/// Adaptive-mode settings carried by [`RuntimeConfig`].
+#[derive(Clone)]
+pub struct AdaptiveSpec {
+    /// The drift-detection / re-placement engine.
+    pub controller: Arc<dyn AdaptiveController>,
+    /// Wall-clock length of one monitoring epoch.
+    pub epoch: Duration,
+}
+
+/// Counters describing the adaptive machinery's activity during a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdaptReport {
+    /// Epoch boundaries the monitor thread processed.
+    pub epochs: u64,
+    /// Re-placements published (i.e. `on_epoch` returned `Some`).
+    pub replacements: u64,
+    /// Individual thread re-bindings applied by task threads.
+    pub rebinds_applied: u64,
+}
 
 /// Configuration of a runtime instance.
 #[derive(Clone)]
@@ -33,6 +75,8 @@ pub struct RuntimeConfig {
     /// How bindings are applied (real `sched_setaffinity`, recording, or
     /// no-op).
     pub binder: Arc<dyn Binder>,
+    /// Online monitoring + adaptive re-placement, when enabled.
+    pub adaptive: Option<AdaptiveSpec>,
 }
 
 impl RuntimeConfig {
@@ -44,6 +88,7 @@ impl RuntimeConfig {
             policy: Policy::TreeMatch,
             control_threads: 1,
             binder: Arc::from(orwl_topo::binding::native_binder()),
+            adaptive: None,
         }
     }
 
@@ -54,7 +99,17 @@ impl RuntimeConfig {
             policy: Policy::NoBind,
             control_threads: 1,
             binder: Arc::new(NoopBinder),
+            adaptive: None,
         }
+    }
+
+    /// Adaptive configuration: TreeMatch initial placement plus online
+    /// monitoring, drift detection and epoch-boundary re-placement driven
+    /// by `controller` (see `orwl_adapt::AdaptiveEngine`).
+    pub fn adaptive(topology: Topology, controller: Arc<dyn AdaptiveController>, epoch: Duration) -> Self {
+        let mut config = RuntimeConfig::bind(topology);
+        config.adaptive = Some(AdaptiveSpec { controller, epoch });
+        config
     }
 
     /// Replaces the policy.
@@ -83,6 +138,7 @@ impl std::fmt::Debug for RuntimeConfig {
             .field("policy", &self.policy.name())
             .field("control_threads", &self.control_threads)
             .field("binder", &self.binder.name())
+            .field("adaptive", &self.adaptive.as_ref().map(|a| a.epoch))
             .finish()
     }
 }
@@ -107,6 +163,8 @@ pub struct RunReport {
     pub per_task_time: Vec<Duration>,
     /// Snapshot of the runtime counters at the end of the run.
     pub stats: StatsSnapshot,
+    /// Adaptive-machinery counters; `None` for non-adaptive runs.
+    pub adapt: Option<AdaptReport>,
 }
 
 impl RunReport {
@@ -145,12 +203,74 @@ impl OrwlRuntime {
         let started = Instant::now();
 
         // 1. Placement: extract the communication matrix and map threads.
-        let plan = plan_placement(&program, &self.config.topology, self.config.policy, self.config.control_threads);
+        let plan =
+            plan_placement(&program, &self.config.topology, self.config.policy, self.config.control_threads);
         let compute_cpusets = plan.placement.compute_cpusets();
         let control_cpusets = plan.placement.control_cpusets();
 
         let stats = Arc::new(RuntimeStats::new());
         let (event_tx, event_rx) = channel::unbounded::<ControlEvent>();
+
+        // 1b. Adaptive mode: hand the controller the initial plan, register
+        //     its access sink for the duration of the run, and start the
+        //     epoch monitor thread.  Task threads pick re-placements up
+        //     cooperatively through the shared RebindPlan.
+        let rebind_plan = self
+            .config
+            .adaptive
+            .as_ref()
+            .map(|_| RebindPlan::new(program.n_tasks(), Arc::clone(&self.config.binder)));
+        let mut sink_registration = None;
+        let mut monitor_thread = None;
+        let monitor_stop = Arc::new(std::sync::Mutex::new(false));
+        let monitor_cv = Arc::new(std::sync::Condvar::new());
+        let epochs = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let replacements = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        if let Some(spec) = &self.config.adaptive {
+            spec.controller.on_run_start(program.specs(), &plan, &self.config.topology);
+            sink_registration = Some(monitor::register_sink(spec.controller.sink()));
+            let controller = Arc::clone(&spec.controller);
+            let epoch_len = spec.epoch;
+            let plan_handle = Arc::clone(rebind_plan.as_ref().expect("rebind plan exists in adaptive mode"));
+            let stop = Arc::clone(&monitor_stop);
+            let cv = Arc::clone(&monitor_cv);
+            let epochs = Arc::clone(&epochs);
+            let replacements = Arc::clone(&replacements);
+            monitor_thread = Some(
+                std::thread::Builder::new()
+                    .name("orwl-adapt-monitor".to_string())
+                    .spawn(move || {
+                        let mut epoch_no = 0u64;
+                        'epochs: loop {
+                            // Sleep out the full epoch: a spurious condvar
+                            // wakeup re-waits on the remaining deadline
+                            // instead of being miscounted as a boundary.
+                            let deadline = Instant::now() + epoch_len;
+                            let mut guard = stop.lock().unwrap_or_else(|e| e.into_inner());
+                            loop {
+                                if *guard {
+                                    break 'epochs;
+                                }
+                                let now = Instant::now();
+                                if now >= deadline {
+                                    break;
+                                }
+                                let (g, _) =
+                                    cv.wait_timeout(guard, deadline - now).unwrap_or_else(|e| e.into_inner());
+                                guard = g;
+                            }
+                            drop(guard);
+                            epoch_no += 1;
+                            epochs.store(epoch_no, std::sync::atomic::Ordering::Relaxed);
+                            if let Some(placement) = controller.on_epoch(epoch_no) {
+                                replacements.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                plan_handle.publish(placement.compute);
+                            }
+                        }
+                    })
+                    .expect("spawning the adapt monitor thread cannot fail"),
+            );
+        }
 
         // 2. Control threads: bind them per the placement and let them drain
         //    the event channel until every sender is gone.
@@ -188,12 +308,14 @@ impl OrwlRuntime {
             let stats = Arc::clone(&stats);
             let tx = event_tx.clone();
             let task_id = TaskId(idx);
+            let task_rebind = rebind_plan.clone();
             let join = std::thread::Builder::new()
                 .name(format!("orwl-task-{}", spec.name))
                 .spawn(move || {
                     if let Some(cs) = &cpuset {
                         binder.bind_current_thread(cs).map_err(|e| OrwlError::Binding(e.to_string()))?;
                     }
+                    let _monitor_tag = monitor::enter_task(task_id, task_rebind);
                     let ctx = TaskContext { task_id, bound_to: cpuset, stats: Arc::clone(&stats) };
                     let _ = tx.send(ControlEvent::TaskStarted(task_id));
                     stats.record_task_started();
@@ -231,10 +353,24 @@ impl OrwlRuntime {
             let _ = join.join();
         }
 
+        // 6. Stop the adaptive machinery: wake the monitor thread, join it,
+        //    and unregister the access sink.
+        let adapt = monitor_thread.map(|join| {
+            *monitor_stop.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            monitor_cv.notify_all();
+            let _ = join.join();
+            AdaptReport {
+                epochs: epochs.load(std::sync::atomic::Ordering::Relaxed),
+                replacements: replacements.load(std::sync::atomic::Ordering::Relaxed),
+                rebinds_applied: rebind_plan.as_ref().map(|p| p.rebinds_applied()).unwrap_or(0),
+            }
+        });
+        drop(sink_registration);
+
         if let Some(e) = first_error {
             return Err(e);
         }
-        Ok(RunReport { wall_time: started.elapsed(), plan, per_task_time, stats: stats.snapshot() })
+        Ok(RunReport { wall_time: started.elapsed(), plan, per_task_time, stats: stats.snapshot(), adapt })
     }
 }
 
@@ -364,9 +500,7 @@ mod tests {
     #[test]
     fn zero_control_threads_is_supported() {
         let (program, counter) = counter_program(2, 50);
-        let rt = OrwlRuntime::new(
-            RuntimeConfig::no_bind(synthetic::laptop()).with_control_threads(0),
-        );
+        let rt = OrwlRuntime::new(RuntimeConfig::no_bind(synthetic::laptop()).with_control_threads(0));
         let report = rt.run(program).unwrap();
         assert_eq!(counter.snapshot(), 100);
         assert_eq!(report.stats.control_events, 0);
@@ -374,9 +508,8 @@ mod tests {
 
     #[test]
     fn config_builders_compose() {
-        let cfg = RuntimeConfig::no_bind(synthetic::laptop())
-            .with_policy(Policy::Packed)
-            .with_control_threads(3);
+        let cfg =
+            RuntimeConfig::no_bind(synthetic::laptop()).with_policy(Policy::Packed).with_control_threads(3);
         assert_eq!(cfg.policy, Policy::Packed);
         assert_eq!(cfg.control_threads, 3);
         assert!(format!("{cfg:?}").contains("packed"));

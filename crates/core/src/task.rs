@@ -88,11 +88,7 @@ impl OrwlProgram {
     }
 
     /// Adds a task and returns its id.
-    pub fn add_task(
-        &mut self,
-        spec: TaskSpec,
-        body: impl FnOnce(&TaskContext) + Send + 'static,
-    ) -> TaskId {
+    pub fn add_task(&mut self, spec: TaskSpec, body: impl FnOnce(&TaskContext) + Send + 'static) -> TaskId {
         self.specs.push(spec);
         self.bodies.push(Box::new(body));
         TaskId(self.specs.len() - 1)
@@ -144,8 +140,12 @@ pub fn build_comm_matrix(specs: &[TaskSpec]) -> CommMatrix {
     for (t, spec) in specs.iter().enumerate() {
         for link in &spec.links {
             match link.mode {
-                AccessMode::Write => writers.entry(link.location).or_default().push((t, link.bytes_per_iteration)),
-                AccessMode::Read => readers.entry(link.location).or_default().push((t, link.bytes_per_iteration)),
+                AccessMode::Write => {
+                    writers.entry(link.location).or_default().push((t, link.bytes_per_iteration))
+                }
+                AccessMode::Read => {
+                    readers.entry(link.location).or_default().push((t, link.bytes_per_iteration))
+                }
             }
         }
     }
@@ -218,10 +218,7 @@ mod tests {
         let l12 = Location::new("l12", 0u8);
         let specs = vec![
             TaskSpec::new("t0", vec![LocationLink::write(l01.id(), 8.0)]),
-            TaskSpec::new(
-                "t1",
-                vec![LocationLink::read(l01.id(), 8.0), LocationLink::write(l12.id(), 8.0)],
-            ),
+            TaskSpec::new("t1", vec![LocationLink::read(l01.id(), 8.0), LocationLink::write(l12.id(), 8.0)]),
             TaskSpec::new("t2", vec![LocationLink::read(l12.id(), 8.0)]),
         ];
         let m = build_comm_matrix(&specs);

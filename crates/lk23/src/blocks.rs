@@ -496,11 +496,11 @@ mod tests {
             .collect();
         // Halo exchange.
         let snapshots = views.clone();
-        for idx in 0..d.n_blocks() {
+        for (idx, view) in views.iter_mut().enumerate() {
             for dir in Direction::all() {
                 if let Some(nb) = d.neighbor(idx, dir) {
                     let values = snapshots[nb].edge(dir.opposite());
-                    views[idx].set_ghost(dir, &values);
+                    view.set_ghost(dir, &values);
                 }
             }
         }

@@ -111,11 +111,7 @@ impl Grid {
     pub fn max_abs_diff(&self, other: &Grid) -> f64 {
         assert_eq!(self.rows, other.rows, "grid row mismatch");
         assert_eq!(self.cols, other.cols, "grid column mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 
     /// Sum of all elements (a cheap checksum used by benchmarks).

@@ -47,12 +47,7 @@ pub fn run_openmp_like(initial: &Grid, iterations: usize, n_threads: usize) -> G
 
 /// Splits a row-major buffer into up to `parts` contiguous row bands.
 /// Returns `(first_row, band_slice)` pairs; bands are non-empty.
-fn split_rows_mut(
-    data: &mut [f64],
-    rows: usize,
-    cols: usize,
-    parts: usize,
-) -> Vec<(usize, &mut [f64])> {
+fn split_rows_mut(data: &mut [f64], rows: usize, cols: usize, parts: usize) -> Vec<(usize, &mut [f64])> {
     let parts = parts.min(rows).max(1);
     let base = rows / parts;
     let rem = rows % parts;
@@ -106,11 +101,7 @@ mod tests {
         for threads in [2, 3, 4, 7] {
             let parallel = run_openmp_like(&g0, 3, threads);
             let reference = reference_jacobi(&g0, 3);
-            assert_eq!(
-                parallel.max_abs_diff(&reference),
-                0.0,
-                "mismatch with {threads} threads"
-            );
+            assert_eq!(parallel.max_abs_diff(&reference), 0.0, "mismatch with {threads} threads");
         }
     }
 

@@ -34,7 +34,11 @@ pub struct Lk23OrwlProgram {
 
 /// Builds the ORWL program computing `iterations` LK23 sweeps of `initial`
 /// under the given block decomposition.
-pub fn build_program(initial: &Grid, decomposition: BlockDecomposition, iterations: usize) -> Lk23OrwlProgram {
+pub fn build_program(
+    initial: &Grid,
+    decomposition: BlockDecomposition,
+    iterations: usize,
+) -> Lk23OrwlProgram {
     let grid_rows = initial.rows();
     let grid_cols = initial.cols();
     let n_blocks = decomposition.n_blocks();
@@ -61,10 +65,7 @@ pub fn build_program(initial: &Grid, decomposition: BlockDecomposition, iteratio
         let mut per_dir = HashMap::new();
         for dir in Direction::all() {
             if decomposition.neighbor(idx, dir).is_some() {
-                per_dir.insert(
-                    dir,
-                    Location::new(format!("block-{idx}-frontier-{dir:?}"), view.edge(dir)),
-                );
+                per_dir.insert(dir, Location::new(format!("block-{idx}-frontier-{dir:?}"), view.edge(dir)));
             }
         }
         frontiers.push(per_dir);
@@ -74,9 +75,9 @@ pub fn build_program(initial: &Grid, decomposition: BlockDecomposition, iteratio
     // post every owner's write request first, then every neighbour's read
     // request, so the per-location schedule alternates write → read.
     let mut write_handles: Vec<HashMap<Direction, Handle<Vec<f64>>>> = Vec::with_capacity(n_blocks);
-    for idx in 0..n_blocks {
+    for block_frontiers in frontiers.iter().take(n_blocks) {
         let mut per_dir = HashMap::new();
-        for (&dir, loc) in &frontiers[idx] {
+        for (&dir, loc) in block_frontiers {
             let mut h = loc.iterative_handle(AccessMode::Write);
             h.request().expect("fresh handle has no pending request");
             per_dir.insert(dir, h);
@@ -110,19 +111,16 @@ pub fn build_program(initial: &Grid, decomposition: BlockDecomposition, iteratio
         // extracts.  Frontier writes/reads carry the halo volumes; the main
         // location carries the block's private working set.
         let mut links = vec![LocationLink::write(main_loc.id(), (view.rows * view.cols) as f64 * elem)];
-        for (&dir, _) in &my_writes {
+        for &dir in my_writes.keys() {
             links.push(LocationLink::write(frontiers[idx][&dir].id(), view.edge_bytes(dir)));
         }
         for (&dir, h) in &my_reads {
             links.push(LocationLink::read(h.location().id(), view.edge_bytes(dir)));
         }
 
-        program.add_task(
-            TaskSpec::new(format!("lk23-block-{idx}"), links),
-            move |_ctx| {
-                run_block_task(view, my_writes, my_reads, main_loc, iterations, grid_rows, grid_cols);
-            },
-        );
+        program.add_task(TaskSpec::new(format!("lk23-block-{idx}"), links), move |_ctx| {
+            run_block_task(view, my_writes, my_reads, main_loc, iterations, grid_rows, grid_cols);
+        });
     }
 
     Lk23OrwlProgram { program, result_blocks, decomposition }
@@ -218,8 +216,8 @@ mod tests {
         let g = initial(32);
         let d = BlockDecomposition::new(32, 32, 4, 2).unwrap();
         let binder = Arc::new(orwl_topo::binding::RecordingBinder::new());
-        let config = RuntimeConfig::bind(synthetic::cluster2016_subset(1).unwrap())
-            .with_binder(binder.clone());
+        let config =
+            RuntimeConfig::bind(synthetic::cluster2016_subset(1).unwrap()).with_binder(binder.clone());
         let (result, report) = run_orwl(&g, d, 3, config).unwrap();
         let reference = reference_jacobi(&g, 3);
         assert_eq!(result.max_abs_diff(&reference), 0.0);

@@ -82,10 +82,7 @@ impl Lk23Workload {
             .map(|idx| {
                 let (bi, bj) = d.block_coords(idx);
                 let elements = (d.row_range(bi).len() * d.col_range(bj).len()) as f64;
-                orwl_numasim::taskgraph::SimTask {
-                    elements,
-                    private_bytes: elements * SIM_BYTES_PER_POINT,
-                }
+                orwl_numasim::taskgraph::SimTask { elements, private_bytes: elements * SIM_BYTES_PER_POINT }
             })
             .collect();
         let m = self.comm_matrix();
@@ -108,7 +105,7 @@ pub fn near_square_factors(n: usize) -> (usize, usize) {
     let mut best = (1, n);
     let mut d = 1;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             best = (d, n / d);
         }
         d += 1;
@@ -156,15 +153,15 @@ pub fn build_scenario(
         ImplKind::OrwlBind => {
             // The same Algorithm 1 the real runtime uses, with one control
             // thread accounted for.
-            let mapper = TreeMatchMapper::new(TreeMatchConfig {
-                control: ControlThreadSpec::with_count(1),
-            });
+            let mapper = TreeMatchMapper::new(TreeMatchConfig { control: ControlThreadSpec::with_count(1) });
             let placement = mapper.compute_placement(machine.topology(), &workload.comm_matrix());
             let pus = machine.topology().pu_os_indices();
             let task_pu = placement.compute_mapping_with(|t| pus[t % pus.len()]);
             ExecutionScenario::bound(machine, task_pu).with_label(kind.label())
         }
-        ImplKind::OrwlNoBind => ExecutionScenario::orwl_nobind(machine, n_tasks, seed).with_label(kind.label()),
+        ImplKind::OrwlNoBind => {
+            ExecutionScenario::orwl_nobind(machine, n_tasks, seed).with_label(kind.label())
+        }
         ImplKind::OpenMp => ExecutionScenario::openmp_static(machine, n_tasks).with_label(kind.label()),
     }
 }
@@ -218,8 +215,7 @@ mod tests {
 
     #[test]
     fn scenarios_differ_as_expected() {
-        let machine =
-            SimMachine::new(synthetic::cluster2016_subset(4).unwrap(), CostParams::cluster2016());
+        let machine = SimMachine::new(synthetic::cluster2016_subset(4).unwrap(), CostParams::cluster2016());
         let w = Lk23Workload::new(1024, 4, 8, 10);
         let bind = build_scenario(&machine, &w, ImplKind::OrwlBind, 1);
         let nobind = build_scenario(&machine, &w, ImplKind::OrwlNoBind, 1);
@@ -235,8 +231,7 @@ mod tests {
     fn figure1_ordering_holds_on_a_small_machine() {
         // Even on a 4-socket subset the qualitative result of Figure 1 must
         // hold: Bind < NoBind < OpenMP.
-        let machine =
-            SimMachine::new(synthetic::cluster2016_subset(4).unwrap(), CostParams::cluster2016());
+        let machine = SimMachine::new(synthetic::cluster2016_subset(4).unwrap(), CostParams::cluster2016());
         let w = Lk23Workload::new(4096, 4, 8, 10);
         let t_bind = simulate_implementation(&machine, &w, ImplKind::OrwlBind, 3).total_time;
         let t_nobind = simulate_implementation(&machine, &w, ImplKind::OrwlNoBind, 3).total_time;

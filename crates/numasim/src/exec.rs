@@ -21,6 +21,27 @@ use crate::machine::SimMachine;
 use crate::scenario::ExecutionScenario;
 use crate::taskgraph::TaskGraph;
 
+/// Observer of the simulated execution, the simulator-side analogue of
+/// `orwl_core::monitor::AccessSink`.  `orwl-adapt` feeds its online
+/// communication matrix from these callbacks.
+pub trait SimMonitor {
+    /// Called once per halo edge per iteration: `src` sent `bytes` to `dst`.
+    fn on_transfer(&mut self, iteration: usize, src: usize, dst: usize, bytes: f64);
+
+    /// Called when an iteration's simulated execution completes.
+    fn on_iteration_end(&mut self, iteration: usize, elapsed: f64) {
+        let _ = (iteration, elapsed);
+    }
+}
+
+/// A monitor that observes nothing (the default for [`simulate`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopSimMonitor;
+
+impl SimMonitor for NoopSimMonitor {
+    fn on_transfer(&mut self, _iteration: usize, _src: usize, _dst: usize, _bytes: f64) {}
+}
+
 /// Where the simulated time was spent, summed over all tasks and iterations
 /// (seconds of task-time, not wall-clock).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -79,6 +100,19 @@ pub fn simulate(
     scenario: &ExecutionScenario,
     iterations: usize,
 ) -> SimReport {
+    simulate_monitored(machine, graph, scenario, iterations, &mut NoopSimMonitor)
+}
+
+/// [`simulate`] with a [`SimMonitor`] observing every halo transfer and
+/// iteration boundary — the hook `orwl-adapt` uses to monitor the simulated
+/// executor online.
+pub fn simulate_monitored(
+    machine: &SimMachine,
+    graph: &TaskGraph,
+    scenario: &ExecutionScenario,
+    iterations: usize,
+    monitor: &mut dyn SimMonitor,
+) -> SimReport {
     let n = graph.n_tasks();
     assert!(
         scenario.task_pu.len() >= n && scenario.data_node.len() >= n,
@@ -100,7 +134,7 @@ pub fn simulate(
     let mut task_duration = vec![0.0f64; n];
     let mut sum_compute = 0.0;
     let mut sum_memory = 0.0;
-    for t in 0..n {
+    for (t, duration) in task_duration.iter_mut().enumerate() {
         let task = graph.task(t);
         let compute = task.elements * params.sec_per_element * migration;
         let exec_node = machine.node_of_pu(scenario.task_pu[t]);
@@ -114,7 +148,7 @@ pub fn simulate(
         let controller_limited = task.private_bytes * sharers / params.node_bandwidth;
         let latency_limited = task.private_bytes * byte_cost;
         let memory = latency_limited.max(controller_limited);
-        task_duration[t] = compute + memory;
+        *duration = compute + memory;
         sum_compute += compute;
         sum_memory += memory;
     }
@@ -138,11 +172,8 @@ pub fn simulate(
     let interconnect_floor = cross_bytes / params.interconnect_bandwidth;
 
     // Barrier overhead per iteration (fork-join runtimes only).
-    let barrier_cost = if scenario.fork_join_barrier {
-        params.barrier_cost_per_thread * n as f64
-    } else {
-        0.0
-    };
+    let barrier_cost =
+        if scenario.fork_join_barrier { params.barrier_cost_per_thread * n as f64 } else { 0.0 };
 
     // --- Event-driven iteration loop ---------------------------------------
     let mut finish_prev = vec![0.0f64; n];
@@ -153,7 +184,7 @@ pub fn simulate(
     let mut sum_halo = 0.0;
     let mut sum_barrier = 0.0;
 
-    for _iter in 0..iterations {
+    for iter in 0..iterations {
         // Order tasks by the time their dependencies are satisfied so that
         // PU serialisation favours the task that becomes ready first.
         let mut ready: Vec<(f64, usize)> = (0..n)
@@ -163,6 +194,7 @@ pub fn simulate(
                     let link = machine.link_byte_cost(scenario.task_pu[e.src], scenario.task_pu[e.dst]);
                     let halo_time = e.bytes * link;
                     sum_halo += halo_time;
+                    monitor.on_transfer(iter, e.src, e.dst, e.bytes);
                     r = r.max(finish_prev[e.src] + halo_time);
                 }
                 (r, t)
@@ -198,6 +230,7 @@ pub fn simulate(
         }
 
         iteration_times.push(iter_end - clock_start_of_iter);
+        monitor.on_iteration_end(iter, iter_end - clock_start_of_iter);
         clock_start_of_iter = iter_end;
         std::mem::swap(&mut finish_prev, &mut finish_cur);
     }
@@ -297,7 +330,7 @@ mod tests {
     fn pu_serialisation_slows_oversubscribed_placements() {
         let m = small_machine();
         let g = stencil_graph(4); // 16 tasks
-        // All tasks stacked on one PU vs spread over 16 PUs.
+                                  // All tasks stacked on one PU vs spread over 16 PUs.
         let stacked = ExecutionScenario::bound(&m, vec![0; 16]);
         let spread = ExecutionScenario::bound(&m, (0..16).collect());
         let rs = simulate(&m, &g, &stacked, 3);

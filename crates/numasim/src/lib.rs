@@ -48,7 +48,7 @@ pub mod scenario;
 pub mod taskgraph;
 
 pub use costmodel::{CostParams, LinkCosts};
-pub use exec::{simulate, SimReport, TimeBreakdown};
+pub use exec::{simulate, simulate_monitored, NoopSimMonitor, SimMonitor, SimReport, TimeBreakdown};
 pub use machine::SimMachine;
 pub use scenario::ExecutionScenario;
 pub use taskgraph::{SimEdge, SimTask, TaskGraph};

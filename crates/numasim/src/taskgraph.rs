@@ -99,6 +99,25 @@ impl TaskGraph {
         m
     }
 
+    /// Builds a task graph from an arbitrary communication matrix: one task
+    /// per row with uniform compute cost, one edge per non-zero entry.
+    /// Used by the adaptive evaluation to turn phase-specific matrices
+    /// (e.g. [`orwl_comm::patterns::stencil_2d_rotated`]) into workloads.
+    pub fn from_matrix(m: &CommMatrix, elements_per_task: f64, private_bytes_per_task: f64) -> TaskGraph {
+        let n = m.order();
+        let tasks = vec![SimTask { elements: elements_per_task, private_bytes: private_bytes_per_task }; n];
+        let mut edges = Vec::new();
+        for src in 0..n {
+            for dst in 0..n {
+                let bytes = m.get(src, dst);
+                if src != dst && bytes > 0.0 {
+                    edges.push(SimEdge { src, dst, bytes });
+                }
+            }
+        }
+        TaskGraph::new(tasks, edges)
+    }
+
     /// Builds the task graph of a 2-D block stencil (the LK23 decomposition):
     /// a `spec.rows × spec.cols` grid of block tasks, each processing
     /// `block_elements` grid points, streaming `elem_bytes` per point, and
@@ -106,10 +125,7 @@ impl TaskGraph {
     /// `spec`.
     pub fn stencil(spec: &StencilSpec, block_elements: f64, elem_bytes: f64) -> TaskGraph {
         let n = spec.tasks();
-        let tasks = vec![
-            SimTask { elements: block_elements, private_bytes: block_elements * elem_bytes };
-            n
-        ];
+        let tasks = vec![SimTask { elements: block_elements, private_bytes: block_elements * elem_bytes }; n];
         let m = orwl_comm::patterns::stencil_2d(spec);
         let mut edges = Vec::new();
         for src in 0..n {
@@ -148,7 +164,10 @@ mod tests {
     #[test]
     #[should_panic]
     fn graph_rejects_dangling_edges() {
-        TaskGraph::new(vec![SimTask { elements: 1.0, private_bytes: 1.0 }], vec![SimEdge { src: 0, dst: 3, bytes: 1.0 }]);
+        TaskGraph::new(
+            vec![SimTask { elements: 1.0, private_bytes: 1.0 }],
+            vec![SimEdge { src: 0, dst: 3, bytes: 1.0 }],
+        );
     }
 
     #[test]

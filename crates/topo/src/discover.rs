@@ -20,8 +20,7 @@ use std::collections::BTreeMap;
 /// description when the OS gives no detail.  Never fails: the worst case is
 /// a uniprocessor topology.
 pub fn discover() -> Topology {
-    discover_sysfs(std::path::Path::new("/sys/devices/system/cpu"))
-        .unwrap_or_else(|_| fallback_flat())
+    discover_sysfs(std::path::Path::new("/sys/devices/system/cpu")).unwrap_or_else(|_| fallback_flat())
 }
 
 /// Flat topology with one core per available hardware thread.
@@ -109,12 +108,10 @@ fn build_from_cpuinfo(name: &str, cpus: &[CpuInfo]) -> Topology {
 
     let mut objects: Vec<TopoObject> = Vec::new();
     let root = push(&mut objects, ObjectType::Machine, 0, 0, 0, None);
-    let mut pkg_logical = 0;
     let mut core_logical = 0;
     let mut pu_logical = 0;
-    for (pkg_id, cores) in &packages {
+    for (pkg_logical, (pkg_id, cores)) in packages.iter().enumerate() {
         let pkg = push(&mut objects, ObjectType::Package, 1, pkg_logical, *pkg_id, Some(root));
-        pkg_logical += 1;
         for (core_id, pus) in cores {
             let core = push(&mut objects, ObjectType::Core, 2, core_logical, *core_id, Some(pkg));
             core_logical += 1;

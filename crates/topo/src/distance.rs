@@ -44,7 +44,9 @@ impl LevelCosts {
             Some(ObjectType::Core) | Some(ObjectType::PU) => self.same_core,
             Some(ObjectType::L1Cache) | Some(ObjectType::L2Cache) => self.shared_l2,
             Some(ObjectType::L3Cache) => self.shared_l3,
-            Some(ObjectType::NumaNode) | Some(ObjectType::Package) | Some(ObjectType::Group) => self.same_numa,
+            Some(ObjectType::NumaNode) | Some(ObjectType::Package) | Some(ObjectType::Group) => {
+                self.same_numa
+            }
             Some(ObjectType::Machine) | None => self.remote_numa,
         }
     }
@@ -99,7 +101,12 @@ impl DistanceMatrix {
     /// Smallest non-zero cost in the matrix (0.0 when the matrix is all
     /// zeros, e.g. for a uniprocessor).
     pub fn min_nonzero_cost(&self) -> f64 {
-        self.values.iter().cloned().filter(|&v| v > 0.0).fold(f64::INFINITY, f64::min).min(f64::INFINITY)
+        self.values
+            .iter()
+            .cloned()
+            .filter(|&v| v > 0.0)
+            .fold(f64::INFINITY, f64::min)
+            .min(f64::INFINITY)
             .pipe_finite()
     }
 }

@@ -24,9 +24,8 @@ pub fn parse_synthetic(desc: &str) -> Result<Vec<LevelSpec>, TopologyError> {
             .split_once(':')
             .ok_or_else(|| TopologyError::Parse(format!("item {item:?} is not of the form type:count")))?;
         let ty = ObjectType::parse(ty).map_err(TopologyError::Parse)?;
-        let count: usize = count
-            .parse()
-            .map_err(|e| TopologyError::Parse(format!("bad count in {item:?}: {e}")))?;
+        let count: usize =
+            count.parse().map_err(|e| TopologyError::Parse(format!("bad count in {item:?}: {e}")))?;
         levels.push(LevelSpec::new(ty, count));
     }
     if levels.is_empty() {
@@ -53,32 +52,21 @@ pub fn to_synthetic(topo: &Topology) -> Option<String> {
     if spec.is_empty() {
         return None;
     }
-    Some(
-        spec.iter()
-            .map(|l| format!("{}:{}", l.obj_type, l.count))
-            .collect::<Vec<_>>()
-            .join(" "),
-    )
+    Some(spec.iter().map(|l| format!("{}:{}", l.obj_type, l.count)).collect::<Vec<_>>().join(" "))
 }
 
 /// The evaluation machine of the paper: an SMP system with 24 sockets of
 /// 8 cores each (192 cores total), no hyperthreading.  Each socket is a NUMA
 /// node with its own L3 cache.
 pub fn cluster2016_smp192() -> Topology {
-    from_synthetic(
-        "cluster2016-smp192",
-        "numa:24 package:1 l3:1 core:8 pu:1",
-    )
-    .expect("preset is valid")
+    from_synthetic("cluster2016-smp192", "numa:24 package:1 l3:1 core:8 pu:1").expect("preset is valid")
 }
 
 /// The same machine as [`cluster2016_smp192`] but restricted to the first
 /// `sockets` sockets — used for the core-count sweep of Figure 1.
 pub fn cluster2016_subset(sockets: usize) -> Result<Topology, TopologyError> {
     if sockets == 0 || sockets > 24 {
-        return Err(TopologyError::InvalidLevel(format!(
-            "socket count {sockets} outside 1..=24"
-        )));
+        return Err(TopologyError::InvalidLevel(format!("socket count {sockets} outside 1..=24")));
     }
     from_synthetic(
         &format!("cluster2016-smp{}", sockets * 8),

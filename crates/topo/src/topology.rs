@@ -284,9 +284,7 @@ impl Topology {
 
     /// Depth of the first level whose objects have the given type, if any.
     pub fn depth_of_type(&self, ty: ObjectType) -> Option<usize> {
-        (0..self.depth()).find(|&d| {
-            self.levels[d].first().map(|id| self.object(*id).obj_type) == Some(ty)
-        })
+        (0..self.depth()).find(|&d| self.levels[d].first().map(|id| self.object(*id).obj_type) == Some(ty))
     }
 
     /// All objects of a given type, in left-to-right order.
@@ -391,12 +389,7 @@ impl Topology {
     pub fn shape(&self) -> TreeShape {
         let mut arities = Vec::new();
         for d in 0..self.depth() - 1 {
-            let max_arity = self
-                .objects_at_depth(d)
-                .map(|o| o.arity())
-                .max()
-                .unwrap_or(0)
-                .max(1);
+            let max_arity = self.objects_at_depth(d).map(|o| o.arity()).max().unwrap_or(0).max(1);
             arities.push(max_arity);
         }
         TreeShape { arities }
@@ -443,10 +436,7 @@ impl Topology {
                 }
             }
             if !o.children.is_empty() {
-                let union = o
-                    .children
-                    .iter()
-                    .fold(CpuSet::new(), |acc, c| acc.or(&self.object(*c).cpuset));
+                let union = o.children.iter().fold(CpuSet::new(), |acc, c| acc.or(&self.object(*c).cpuset));
                 if union != o.cpuset {
                     return Err(TopologyError::Invariant(format!(
                         "cpuset of {} is not the union of its children",
@@ -465,10 +455,7 @@ impl Topology {
         let mut seen = std::collections::HashSet::new();
         for pu in self.pus() {
             if !seen.insert(pu.os_index) {
-                return Err(TopologyError::Invariant(format!(
-                    "duplicate PU os_index {}",
-                    pu.os_index
-                )));
+                return Err(TopologyError::Invariant(format!("duplicate PU os_index {}", pu.os_index)));
             }
         }
         Ok(())
@@ -492,7 +479,12 @@ impl Topology {
             let first = self.object(o.children[0]);
             let last = self.object(*o.children.last().unwrap());
             out.push_str(&" ".repeat((indent + 1) * 2));
-            out.push_str(&format!("{} .. {} ({} PUs)\n", first.describe(), last.describe(), o.children.len()));
+            out.push_str(&format!(
+                "{} .. {} ({} PUs)\n",
+                first.describe(),
+                last.describe(),
+                o.children.len()
+            ));
             return;
         }
         for &c in &o.children {

@@ -28,17 +28,11 @@ use orwl_topo::object::ObjectType;
 use orwl_topo::topology::{Topology, TreeShape};
 
 /// Configuration of the mapping algorithm.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct TreeMatchConfig {
     /// Control threads the runtime will start (set `count` to 0 when the
     /// caller only wants compute threads placed).
     pub control: ControlThreadSpec,
-}
-
-impl Default for TreeMatchConfig {
-    fn default() -> Self {
-        TreeMatchConfig { control: ControlThreadSpec::default() }
-    }
 }
 
 /// The TreeMatch-based placement algorithm (Algorithm 1).
@@ -146,10 +140,7 @@ impl TreeMatchMapper {
         let shape = topo.shape();
         let entity_to_leaf = tree_match_assign(&shape, m);
         let pus = topo.pus();
-        entity_to_leaf
-            .iter()
-            .map(|&leaf| pus.get(leaf % pus.len()).map(|pu| pu.os_index))
-            .collect()
+        entity_to_leaf.iter().map(|&leaf| pus.get(leaf % pus.len()).map(|pu| pu.os_index)).collect()
     }
 }
 
@@ -298,8 +289,7 @@ mod tests {
         // Every cluster of 8 threads must land on a single socket (8 cores
         // per socket, intra-cluster volume dominates).
         for c in 0..4 {
-            let sockets: std::collections::HashSet<usize> =
-                (0..8).map(|i| mapping[c * 8 + i] / 8).collect();
+            let sockets: std::collections::HashSet<usize> = (0..8).map(|i| mapping[c * 8 + i] / 8).collect();
             assert_eq!(sockets.len(), 1, "cluster {c} spread over sockets {sockets:?}");
         }
     }

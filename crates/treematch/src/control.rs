@@ -145,8 +145,8 @@ mod tests {
     #[test]
     fn smt_machine_with_too_many_compute_threads_uses_spare_pus() {
         let smt = synthetic::dual_socket_smt(); // 32 cores, 64 PUs
-        // More compute threads than cores: cannot reserve a hyperthread per
-        // core, but there are still spare PUs.
+                                                // More compute threads than cores: cannot reserve a hyperthread per
+                                                // core, but there are still spare PUs.
         assert_eq!(decide_control_mode(&smt, 40, 8), ControlPlacementMode::SpareCores);
         assert_eq!(decide_control_mode(&smt, 63, 2), ControlPlacementMode::Unmapped);
     }

@@ -71,8 +71,8 @@ fn greedy_grouping(s: &CommMatrix, arity: usize, n_groups: usize) -> Groups {
         while group.len() < arity {
             // Entity with maximum connectivity to the current group.
             let mut best: Option<(usize, f64)> = None;
-            for cand in 0..p {
-                if assigned[cand] {
+            for (cand, &taken) in assigned.iter().enumerate() {
+                if taken {
                     continue;
                 }
                 let conn: f64 = group.iter().map(|&g| s.get(g, cand)).sum();
@@ -93,17 +93,14 @@ fn greedy_grouping(s: &CommMatrix, arity: usize, n_groups: usize) -> Groups {
     }
     // Any leftovers (can happen when the greedy loop filled n_groups early)
     // go into the emptiest groups that still have room.
-    for e in 0..p {
-        if !assigned[e] {
-            let slot = groups
-                .iter_mut()
-                .filter(|g| g.len() < arity)
-                .min_by_key(|g| g.len());
+    for (e, taken) in assigned.iter_mut().enumerate() {
+        if !*taken {
+            let slot = groups.iter_mut().filter(|g| g.len() < arity).min_by_key(|g| g.len());
             match slot {
                 Some(g) => g.push(e),
                 None => groups.push(vec![e]),
             }
-            assigned[e] = true;
+            *taken = true;
         }
     }
     groups

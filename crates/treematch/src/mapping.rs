@@ -40,11 +40,7 @@ impl Placement {
     /// PU for every thread; for unbound threads the conventional stand-in is
     /// a round-robin guess of where the OS might run them.
     pub fn compute_mapping_with<F: Fn(usize) -> usize>(&self, fallback: F) -> Vec<usize> {
-        self.compute
-            .iter()
-            .enumerate()
-            .map(|(t, pu)| pu.unwrap_or_else(|| fallback(t)))
-            .collect()
+        self.compute.iter().enumerate().map(|(t, pu)| pu.unwrap_or_else(|| fallback(t))).collect()
     }
 
     /// Dense compute mapping where unbound threads default to PU 0.

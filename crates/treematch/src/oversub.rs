@@ -68,7 +68,7 @@ mod tests {
     #[test]
     fn extension_factor_is_ceiling() {
         let shape = TreeShape::new(vec![2, 4]); // 8 leaves
-        // 9..16 entities need factor 2, 17..24 need factor 3.
+                                                // 9..16 entities need factor 2, 17..24 need factor 3.
         let plan9 = manage_oversubscription(&shape, 9);
         assert_eq!(plan9.factor, 2);
         assert!(plan9.is_oversubscribed());

@@ -59,12 +59,7 @@ impl Policy {
 /// Only [`Policy::TreeMatch`] uses the communication matrix and binds control
 /// threads; the baselines ignore both (mirroring what non-topology-aware
 /// runtimes actually do).
-pub fn compute_placement(
-    policy: Policy,
-    topo: &Topology,
-    m: &CommMatrix,
-    n_control: usize,
-) -> Placement {
+pub fn compute_placement(policy: Policy, topo: &Topology, m: &CommMatrix, n_control: usize) -> Placement {
     let n_compute = m.order();
     match policy {
         Policy::NoBind => Placement::unbound(n_compute, n_control),
@@ -85,9 +80,8 @@ pub fn compute_placement(
             Placement { compute, control: vec![None; n_control] }
         }
         Policy::TreeMatch => {
-            let mapper = TreeMatchMapper::new(TreeMatchConfig {
-                control: ControlThreadSpec::with_count(n_control),
-            });
+            let mapper =
+                TreeMatchMapper::new(TreeMatchConfig { control: ControlThreadSpec::with_count(n_control) });
             mapper.compute_placement(topo, m)
         }
     }
@@ -205,11 +199,7 @@ mod tests {
         for baseline in [Policy::Scatter, Policy::Random(123)] {
             let p = compute_placement(baseline, &topo, &m, 0);
             let cost = mapping_cost_default(&m, &topo, &p.compute_mapping_or_zero());
-            assert!(
-                tm_cost <= cost,
-                "treematch ({tm_cost}) should beat {} ({cost})",
-                baseline.name()
-            );
+            assert!(tm_cost <= cost, "treematch ({tm_cost}) should beat {} ({cost})", baseline.name());
         }
     }
 

@@ -26,7 +26,13 @@ fn main() {
     };
 
     println!("{}", orwl_repro::banner());
-    println!("machine: {} ({} PUs, {} cores, SMT: {})", topo.name(), topo.nb_pus(), topo.nb_cores(), topo.has_hyperthreading());
+    println!(
+        "machine: {} ({} PUs, {} cores, SMT: {})",
+        topo.name(),
+        topo.nb_pus(),
+        topo.nb_cores(),
+        topo.has_hyperthreading()
+    );
     println!("workload: {side}x{side} LK23-style block tasks (9-point stencil)\n");
     println!("{}", topo.render_ascii());
 

@@ -60,12 +60,7 @@ fn run_with(label: &str, config: RuntimeConfig) {
 fn main() {
     println!("{}\n", orwl_repro::banner());
     let topo = orwl_topo::discover::discover();
-    println!(
-        "host topology: {} ({} PUs, {} cores)\n",
-        topo.name(),
-        topo.nb_pus(),
-        topo.nb_cores()
-    );
+    println!("host topology: {} ({} PUs, {} cores)\n", topo.name(), topo.nb_pus(), topo.nb_cores());
 
     // The paper's two ORWL configurations.
     run_with("ORWL NoBind", RuntimeConfig::no_bind(topo.clone()));

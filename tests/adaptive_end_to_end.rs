@@ -1,0 +1,154 @@
+//! End-to-end tests of the `orwl-adapt` subsystem.
+//!
+//! * On the simulated machine: the acceptance criterion — the adaptive
+//!   policy on a phase-changing workload accumulates strictly fewer
+//!   hop-bytes than the static TreeMatch placement computed from the
+//!   initial phase, and lands within 10% of an oracle that re-maps for
+//!   free at the phase boundary.
+//! * On the real event runtime: a drifting program drives the whole loop —
+//!   monitoring hooks → online matrix → drift detection → re-placement →
+//!   cooperative re-binding of live task threads.
+
+use orwl_adapt::drift::DriftConfig;
+use orwl_adapt::engine::{adaptive_runtime_config, AdaptConfig, AdaptiveEngine};
+use orwl_adapt::replace::{MigrationCostModel, ReplacerConfig};
+use orwl_adapt::sim::{run_adaptive, run_oracle, run_static, PhasedWorkload, SimAdaptConfig};
+use orwl_core::prelude::*;
+use orwl_core::Location;
+use orwl_numasim::costmodel::CostParams;
+use orwl_numasim::machine::SimMachine;
+use orwl_topo::binding::RecordingBinder;
+use orwl_topo::synthetic;
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn adaptive_beats_static_and_stays_within_ten_percent_of_oracle() {
+    let machine = SimMachine::new(synthetic::cluster2016_subset(2).unwrap(), CostParams::cluster2016());
+    // 16 tasks; heavy east-west sweep for 24 iterations, then the sweep
+    // rotates 90° for 200 iterations.  The adaptive driver does not know
+    // where the boundary is.
+    let workload = PhasedWorkload::rotating_stencil(4, 65536.0, 1024.0, 16384.0, 131072.0, &[24, 200]);
+    let config = SimAdaptConfig {
+        epoch_iterations: 4,
+        decay: 0.2,
+        drift: DriftConfig { threshold: 0.15, patience: 1, cooldown: 2 },
+        replacer: ReplacerConfig {
+            model: MigrationCostModel { task_state_bytes: 131072.0 },
+            horizon_epochs: 20.0,
+            min_relative_gain: 0.05,
+        },
+    };
+
+    let fixed = run_static(&machine, &workload);
+    let oracle = run_oracle(&machine, &workload);
+    let adaptive = run_adaptive(&machine, &workload, &config);
+
+    assert!(adaptive.migrations >= 1, "the phase change must be acted on: {adaptive:?}");
+    assert!(
+        adaptive.cumulative_hop_bytes < fixed.cumulative_hop_bytes,
+        "adaptive hop-bytes {} must be strictly below static {}",
+        adaptive.cumulative_hop_bytes,
+        fixed.cumulative_hop_bytes,
+    );
+    assert!(oracle.cumulative_hop_bytes <= adaptive.cumulative_hop_bytes + 1e-9);
+    let ratio = adaptive.cumulative_hop_bytes / oracle.cumulative_hop_bytes;
+    assert!(ratio <= 1.10, "adaptive must be within 10% of the free-remap oracle, got {ratio:.4}");
+    // The time model agrees with the metric: adapting is also faster.
+    assert!(adaptive.total_time < fixed.total_time);
+}
+
+/// A paired-exchange program: task `t` writes its own buffer every
+/// iteration and reads a partner's.  For the first `phase1` iterations the
+/// partner is the declared one (`t XOR 1`, which TreeMatch co-locates);
+/// afterwards every task switches to `(t + 2) % n`, crossing all the
+/// original pairs.
+fn drifting_program(
+    n: usize,
+    phase1: u64,
+    phase2: u64,
+    pace: Duration,
+) -> (OrwlProgram, Vec<Arc<Location<u64>>>) {
+    let locs: Vec<_> = (0..n).map(|i| Location::new(format!("pair-{i}"), 0u64)).collect();
+    let mut program = OrwlProgram::new();
+    for t in 0..n {
+        let own = Arc::clone(&locs[t]);
+        let first = Arc::clone(&locs[t ^ 1]);
+        let second = Arc::clone(&locs[(t + 2) % n]);
+        let links =
+            vec![LocationLink::write(locs[t].id(), 4096.0), LocationLink::read(locs[t ^ 1].id(), 4096.0)];
+        program.add_task(TaskSpec::new(format!("pair-task-{t}"), links), move |_ctx| {
+            let mut write = own.iterative_handle(AccessMode::Write);
+            let mut read1 = first.iterative_handle(AccessMode::Read);
+            for i in 0..phase1 {
+                *write.acquire().unwrap() = i;
+                let _ = *read1.acquire().unwrap();
+                std::thread::sleep(pace);
+            }
+            drop(read1);
+            let mut read2 = second.iterative_handle(AccessMode::Read);
+            for i in 0..phase2 {
+                *write.acquire().unwrap() = phase1 + i;
+                let _ = *read2.acquire().unwrap();
+                std::thread::sleep(pace);
+            }
+        });
+    }
+    (program, locs)
+}
+
+#[test]
+fn real_runtime_detects_drift_and_rebinds_live_threads() {
+    let n = 16;
+    let engine = AdaptiveEngine::new(AdaptConfig {
+        decay: 0.0,
+        drift: DriftConfig { threshold: 0.10, patience: 1, cooldown: 1 },
+        replacer: ReplacerConfig {
+            model: MigrationCostModel { task_state_bytes: 1.0 },
+            horizon_epochs: 50.0,
+            min_relative_gain: 0.0,
+        },
+    });
+    let binder = Arc::new(RecordingBinder::new());
+    let config = adaptive_runtime_config(
+        synthetic::cluster2016_subset(4).unwrap(),
+        Arc::clone(&engine),
+        Duration::from_millis(15),
+    )
+    .with_binder(binder.clone());
+
+    let (program, locs) = drifting_program(n, 120, 400, Duration::from_micros(300));
+    let report = OrwlRuntime::new(config).run(program).unwrap();
+
+    // The workload ran to completion under adaptation.
+    assert_eq!(report.stats.tasks_finished, n as u64);
+    for loc in &locs {
+        assert_eq!(loc.snapshot(), 120 + 400 - 1);
+    }
+
+    // The adaptive machinery engaged: epochs elapsed, the phase change was
+    // detected and acted on, and live threads actually re-bound.
+    let adapt = report.adapt.expect("adaptive runs report adapt counters");
+    assert!(adapt.epochs >= 3, "report: {adapt:?}");
+    assert!(
+        adapt.replacements >= 1,
+        "no re-placement was published: {adapt:?}; timeline: {:?}",
+        engine.timeline()
+    );
+    assert!(adapt.rebinds_applied >= 1, "no thread ever re-bound: {adapt:?}");
+    assert!(engine.migrations() >= 1);
+
+    // The published placement is valid for the topology and the binder saw
+    // both the initial bindings and the re-bindings.
+    let placement = engine.current_placement();
+    placement.validate_against(&synthetic::cluster2016_subset(4).unwrap()).unwrap();
+    assert!(binder.anonymous_bindings().len() >= n + adapt.rebinds_applied as usize);
+}
+
+#[test]
+fn non_adaptive_runs_report_no_adapt_counters() {
+    let (program, _locs) = drifting_program(4, 3, 3, Duration::ZERO);
+    let config = RuntimeConfig::no_bind(synthetic::laptop());
+    let report = OrwlRuntime::new(config).run(program).unwrap();
+    assert!(report.adapt.is_none());
+}

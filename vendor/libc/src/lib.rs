@@ -1,0 +1,80 @@
+//! Offline stand-in for the tiny subset of [`libc`] this workspace uses:
+//! the Linux CPU-affinity interface (`cpu_set_t`, `CPU_*` helpers and
+//! `sched_{set,get}affinity`).
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! minimal, API-compatible implementations of its external dependencies
+//! under `vendor/`.  The layout of [`cpu_set_t`] matches glibc (1024 bits).
+
+#![allow(non_camel_case_types, non_snake_case)]
+
+/// Process/thread id, as in `<sys/types.h>`.
+pub type pid_t = i32;
+
+const CPU_SETSIZE: usize = 1024;
+const BITS: usize = 64;
+
+/// Fixed-size CPU mask matching glibc's `cpu_set_t` (128 bytes).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct cpu_set_t {
+    bits: [u64; CPU_SETSIZE / BITS],
+}
+
+/// Clears every CPU in `set`.
+pub fn CPU_ZERO(set: &mut cpu_set_t) {
+    set.bits = [0; CPU_SETSIZE / BITS];
+}
+
+/// Adds `cpu` to `set`; out-of-range indices are ignored, as in glibc.
+pub fn CPU_SET(cpu: usize, set: &mut cpu_set_t) {
+    if cpu < CPU_SETSIZE {
+        set.bits[cpu / BITS] |= 1u64 << (cpu % BITS);
+    }
+}
+
+/// True when `cpu` is in `set`; out-of-range indices report `false`.
+pub fn CPU_ISSET(cpu: usize, set: &cpu_set_t) -> bool {
+    cpu < CPU_SETSIZE && set.bits[cpu / BITS] & (1u64 << (cpu % BITS)) != 0
+}
+
+#[cfg(target_os = "linux")]
+extern "C" {
+    /// Binds thread `pid` (0 = caller) to the CPUs of `mask`.
+    pub fn sched_setaffinity(pid: pid_t, cpusetsize: usize, mask: *const cpu_set_t) -> i32;
+    /// Reads the affinity mask of thread `pid` (0 = caller) into `mask`.
+    pub fn sched_getaffinity(pid: pid_t, cpusetsize: usize, mask: *mut cpu_set_t) -> i32;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_set_and_test_roundtrip() {
+        let mut set: cpu_set_t = unsafe { std::mem::zeroed() };
+        CPU_ZERO(&mut set);
+        assert!(!CPU_ISSET(0, &set));
+        CPU_SET(0, &mut set);
+        CPU_SET(63, &mut set);
+        CPU_SET(64, &mut set);
+        CPU_SET(1023, &mut set);
+        CPU_SET(4096, &mut set); // ignored
+        assert!(CPU_ISSET(0, &set));
+        assert!(CPU_ISSET(63, &set));
+        assert!(CPU_ISSET(64, &set));
+        assert!(CPU_ISSET(1023, &set));
+        assert!(!CPU_ISSET(1, &set));
+        assert!(!CPU_ISSET(4096, &set));
+        assert_eq!(std::mem::size_of::<cpu_set_t>(), 128, "glibc layout");
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn getaffinity_reports_at_least_one_cpu() {
+        let mut set: cpu_set_t = unsafe { std::mem::zeroed() };
+        let rc = unsafe { sched_getaffinity(0, std::mem::size_of::<cpu_set_t>(), &mut set) };
+        assert_eq!(rc, 0);
+        assert!((0..CPU_SETSIZE).any(|c| CPU_ISSET(c, &set)));
+    }
+}

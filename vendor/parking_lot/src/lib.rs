@@ -1,0 +1,395 @@
+//! Offline stand-in for the subset of [`parking_lot`] this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! minimal, API-compatible implementations of its external dependencies
+//! under `vendor/`.  This crate covers:
+//!
+//! * [`Mutex`] / [`MutexGuard`] — `lock()` without poisoning;
+//! * [`Condvar`] with `wait(&mut guard)` / `wait_until(..)` signatures;
+//! * [`RwLock`] with the `arc_lock` extensions `read_arc` / `write_arc`
+//!   returning owned guards ([`lock_api::ArcRwLockReadGuard`] /
+//!   [`lock_api::ArcRwLockWriteGuard`]).
+//!
+//! Semantics match `std` primitives (poisoning is swallowed, matching
+//! parking_lot's behaviour of not poisoning at all).
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// A mutual-exclusion lock whose `lock()` returns the guard directly.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex { inner: std::sync::Mutex::new(value) }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        MutexGuard { inner: Some(guard) }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.try_lock() {
+            Ok(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            Err(_) => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+/// RAII guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    /// `Some` except transiently inside [`Condvar::wait`].
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present outside Condvar::wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present outside Condvar::wait")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Result of a timed wait: whether the timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait returned because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable usable with [`MutexGuard`] taken by `&mut`.
+#[derive(Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Blocks until notified, releasing the guard's lock while waiting.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard present before wait");
+        let g = self.inner.wait(g).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(g);
+    }
+
+    /// Blocks until notified or until `deadline`, whichever comes first.
+    pub fn wait_until<T>(&self, guard: &mut MutexGuard<'_, T>, deadline: Instant) -> WaitTimeoutResult {
+        let g = guard.inner.take().expect("guard present before wait");
+        let timeout = deadline.saturating_duration_since(Instant::now());
+        let (g, res) = self.inner.wait_timeout(g, timeout).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(g);
+        WaitTimeoutResult(res.timed_out())
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiting thread.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock with owned (Arc) guards
+// ---------------------------------------------------------------------------
+
+/// Marker type standing in for parking_lot's raw lock parameter in the
+/// [`lock_api`] guard types.
+pub struct RawRwLock {
+    _priv: (),
+}
+
+#[derive(Debug, Default)]
+struct RwState {
+    readers: usize,
+    writer: bool,
+}
+
+/// A readers-writer lock supporting both borrowed and `Arc`-owned guards.
+pub struct RwLock<T: ?Sized> {
+    state: std::sync::Mutex<RwState>,
+    cond: std::sync::Condvar,
+    data: UnsafeCell<T>,
+}
+
+// Safety: access to `data` is serialised by `state` exactly like a standard
+// readers-writer lock (shared readers xor one writer).
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    /// Creates a new lock protecting `value`.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            state: std::sync::Mutex::new(RwState::default()),
+            cond: std::sync::Condvar::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    fn lock_shared(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while s.writer {
+            s = self.cond.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.readers += 1;
+    }
+
+    fn lock_exclusive(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while s.writer || s.readers > 0 {
+            s = self.cond.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.writer = true;
+    }
+
+    fn unlock_shared(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.readers -= 1;
+        if s.readers == 0 {
+            self.cond.notify_all();
+        }
+    }
+
+    fn unlock_exclusive(&self) {
+        let mut s = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        s.writer = false;
+        self.cond.notify_all();
+    }
+
+    /// Acquires shared (read) access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.lock_shared();
+        RwLockReadGuard { lock: self }
+    }
+
+    /// Acquires exclusive (write) access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.lock_exclusive();
+        RwLockWriteGuard { lock: self }
+    }
+
+    /// Acquires shared access through an `Arc`, returning an owned guard.
+    pub fn read_arc(self: &Arc<Self>) -> lock_api::ArcRwLockReadGuard<RawRwLock, T> {
+        self.lock_shared();
+        lock_api::ArcRwLockReadGuard { lock: Arc::clone(self), _raw: std::marker::PhantomData }
+    }
+
+    /// Acquires exclusive access through an `Arc`, returning an owned guard.
+    pub fn write_arc(self: &Arc<Self>) -> lock_api::ArcRwLockWriteGuard<RawRwLock, T> {
+        self.lock_exclusive();
+        lock_api::ArcRwLockWriteGuard { lock: Arc::clone(self), _raw: std::marker::PhantomData }
+    }
+}
+
+impl<T: ?Sized> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("RwLock")
+    }
+}
+
+/// Borrowed shared guard.
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: shared access held.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.unlock_shared();
+    }
+}
+
+/// Borrowed exclusive guard.
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T: ?Sized> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: exclusive access held.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: exclusive access held.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.unlock_exclusive();
+    }
+}
+
+/// Owned-guard types mirroring `parking_lot::lock_api`.
+pub mod lock_api {
+    use super::{RawRwLock, RwLock};
+    use std::marker::PhantomData;
+    use std::sync::Arc;
+
+    /// Owned shared guard holding the lock's `Arc`.
+    pub struct ArcRwLockReadGuard<R, T: ?Sized> {
+        pub(crate) lock: Arc<RwLock<T>>,
+        pub(crate) _raw: PhantomData<R>,
+    }
+
+    impl<T: ?Sized> std::ops::Deref for ArcRwLockReadGuard<RawRwLock, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // Safety: shared access held until drop.
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<R, T: ?Sized> Drop for ArcRwLockReadGuard<R, T> {
+        fn drop(&mut self) {
+            self.lock.unlock_shared();
+        }
+    }
+
+    /// Owned exclusive guard holding the lock's `Arc`.
+    pub struct ArcRwLockWriteGuard<R, T: ?Sized> {
+        pub(crate) lock: Arc<RwLock<T>>,
+        pub(crate) _raw: PhantomData<R>,
+    }
+
+    impl<T: ?Sized> std::ops::Deref for ArcRwLockWriteGuard<RawRwLock, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            // Safety: exclusive access held until drop.
+            unsafe { &*self.lock.data.get() }
+        }
+    }
+
+    impl<T: ?Sized> std::ops::DerefMut for ArcRwLockWriteGuard<RawRwLock, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            // Safety: exclusive access held until drop.
+            unsafe { &mut *self.lock.data.get() }
+        }
+    }
+
+    impl<R, T: ?Sized> Drop for ArcRwLockWriteGuard<R, T> {
+        fn drop(&mut self) {
+            self.lock.unlock_exclusive();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn mutex_and_condvar_roundtrip() {
+        let m = Arc::new(Mutex::new(0u32));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let t = std::thread::spawn(move || {
+            let mut g = m2.lock();
+            while *g == 0 {
+                cv2.wait(&mut g);
+            }
+            *g
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        *m.lock() = 7;
+        cv.notify_all();
+        assert_eq!(t.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn wait_until_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_until(&mut g, Instant::now() + Duration::from_millis(10));
+        assert!(res.timed_out());
+    }
+
+    #[test]
+    fn rwlock_arc_guards_share_and_exclude() {
+        let l = Arc::new(RwLock::new(5i32));
+        let r1 = l.read_arc();
+        let r2 = l.read_arc();
+        assert_eq!(*r1 + *r2, 10);
+        drop((r1, r2));
+        let mut w = l.write_arc();
+        *w = 6;
+        drop(w);
+        assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn writer_blocks_until_readers_leave() {
+        let l = Arc::new(RwLock::new(0u64));
+        let r = l.read_arc();
+        let l2 = Arc::clone(&l);
+        let t = std::thread::spawn(move || {
+            let mut w = l2.write_arc();
+            *w += 1;
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(*r, 0, "writer must not run while a reader holds the lock");
+        drop(r);
+        t.join().unwrap();
+        assert_eq!(*l.read(), 1);
+    }
+}
