@@ -1,9 +1,8 @@
 //! The adaptive engine: closes the paper's measure → aggregate → map → bind
 //! loop *online* for the real event runtime.
 //!
-//! An [`AdaptiveEngine`] is handed to
-//! [`RuntimeConfig::adaptive`](orwl_core::RuntimeConfig::adaptive).  The
-//! runtime then
+//! An [`AdaptiveEngine`] is wrapped by [`adaptive_session_spec`] and handed
+//! to `Session::builder().adaptive(..)`.  The runtime then
 //!
 //! 1. calls [`AdaptiveController::on_run_start`] with the program's task
 //!    specs and the initial TreeMatch plan (the *baseline*);
@@ -52,6 +51,26 @@ pub struct AdaptConfig {
 impl Default for AdaptConfig {
     fn default() -> Self {
         AdaptConfig { decay: 0.25, drift: DriftConfig::default(), replacer: ReplacerConfig::default() }
+    }
+}
+
+impl AdaptConfig {
+    /// The tuning used throughout the evaluation (acceptance tests, the
+    /// `adaptive_stencil` demo and the adaptive benchmarks) on the
+    /// rotating-sweep stencil: one shared definition so the acceptance
+    /// test, the golden pin, the bench and the demo cannot silently
+    /// de-synchronise.
+    #[must_use]
+    pub fn evaluation() -> Self {
+        AdaptConfig {
+            decay: 0.2,
+            drift: DriftConfig { threshold: 0.15, patience: 1, cooldown: 2 },
+            replacer: ReplacerConfig {
+                model: crate::replace::MigrationCostModel { task_state_bytes: 131072.0 },
+                horizon_epochs: 20.0,
+                min_relative_gain: 0.05,
+            },
+        }
     }
 }
 
@@ -250,7 +269,7 @@ impl AdaptiveEngine {
     }
 }
 
-/// `Arc`-aware wrapper used by [`adaptive_runtime_config`]: implements the
+/// `Arc`-aware wrapper used by [`adaptive_session_spec`]: implements the
 /// controller by delegating to the inner engine and can hand out the sink
 /// handle the runtime needs.
 struct ArcEngine(Arc<AdaptiveEngine>);
@@ -269,14 +288,28 @@ impl AdaptiveController for ArcEngine {
     }
 }
 
+/// Builds the [`AdaptiveSpec`](orwl_core::runtime::AdaptiveSpec) that plugs
+/// `engine` into a `Session`: hand the result to
+/// [`SessionBuilder::adaptive`](orwl_core::session::SessionBuilder::adaptive)
+/// and the thread backend will monitor in wall-clock `epoch`s with the
+/// engine as controller.
+pub fn adaptive_session_spec(
+    engine: Arc<AdaptiveEngine>,
+    epoch: std::time::Duration,
+) -> orwl_core::runtime::AdaptiveSpec {
+    orwl_core::runtime::AdaptiveSpec::with_controller(Arc::new(ArcEngine(engine)), epoch)
+}
+
 /// Builds an adaptive [`RuntimeConfig`](orwl_core::RuntimeConfig) around
 /// `engine`: TreeMatch initial placement, the engine as controller, and
 /// `epoch` as the monitoring period.
+#[deprecated(since = "0.1.0", note = "use `Session::builder().adaptive(adaptive_session_spec(..))` instead")]
 pub fn adaptive_runtime_config(
     topology: Topology,
     engine: Arc<AdaptiveEngine>,
     epoch: std::time::Duration,
 ) -> orwl_core::RuntimeConfig {
+    #[allow(deprecated)]
     orwl_core::RuntimeConfig::adaptive(topology, Arc::new(ArcEngine(engine)), epoch)
 }
 

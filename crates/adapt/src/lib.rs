@@ -5,33 +5,34 @@
 //! measure → aggregate → map → bind loop **online** for workloads whose
 //! communication patterns are unknown up front or drift over time:
 //!
-//! * [`online`] — [`OnlineCommMatrix`](online::OnlineCommMatrix), an
-//!   epoch-windowed accumulator with exponential decay fed by the transfer
-//!   hooks in `orwl_core::monitor` (real runtime) and
-//!   `orwl_numasim::exec::SimMonitor` (simulator);
-//! * [`drift`] — [`DriftDetector`](drift::DriftDetector), comparing the
-//!   live matrix against the matrix the current placement was computed
-//!   from (normalised `mapping_cost_default` delta, with patience and
-//!   cooldown hysteresis);
-//! * [`replace`] — [`Replacer`](replace::Replacer), recomputing the
-//!   TreeMatch placement and charging a migration-cost model (bytes moved
-//!   × inter-leaf hop distance) against the predicted hop-byte savings;
-//! * [`engine`] — [`AdaptiveEngine`](engine::AdaptiveEngine), wiring the
-//!   three into `orwl_core`'s event runtime via
-//!   [`RuntimeConfig::adaptive`](orwl_core::RuntimeConfig::adaptive)
-//!   (threads re-bind cooperatively at lock acquisitions);
-//! * [`sim`] — the same loop driven against the discrete-event simulator,
-//!   including the rotated-stencil phase-change workload and the
-//!   static/adaptive/oracle comparison harness used by the acceptance
-//!   tests and benchmarks.
+//! * [`online`] — [`OnlineCommMatrix`], an epoch-windowed accumulator with
+//!   exponential decay fed by the transfer hooks in `orwl_core::monitor`
+//!   (real runtime) and `orwl_numasim::exec::SimMonitor` (simulator);
+//! * [`drift`] — [`DriftDetector`], comparing the live matrix against the
+//!   matrix the current placement was computed from (normalised
+//!   `mapping_cost_default` delta, with patience and cooldown hysteresis);
+//! * [`replace`] — [`Replacer`], recomputing the TreeMatch placement and
+//!   charging a migration-cost model (bytes moved × inter-leaf hop
+//!   distance) against the predicted hop-byte savings;
+//! * [`engine`] — [`AdaptiveEngine`], wiring the three into `orwl_core`'s
+//!   event runtime: build the spec with [`adaptive_session_spec`] and hand
+//!   it to `Session::builder().adaptive(..)` (threads re-bind
+//!   cooperatively at lock acquisitions);
+//! * [`backend`] — [`SimBackend`], the discrete-event simulator as a
+//!   `Session` [`ExecutionBackend`](orwl_core::session::ExecutionBackend)
+//!   with static/adaptive/oracle run modes;
+//! * [`sim`] — the deprecated pre-`Session` harness, kept verbatim as the
+//!   golden reference the new backend is pinned against.
 
+pub mod backend;
 pub mod drift;
 pub mod engine;
 pub mod online;
 pub mod replace;
 pub mod sim;
 
+pub use backend::SimBackend;
 pub use drift::{DriftConfig, DriftDetector, DriftObservation};
-pub use engine::{adaptive_runtime_config, AdaptConfig, AdaptiveEngine, EpochRecord};
+pub use engine::{adaptive_session_spec, AdaptConfig, AdaptiveEngine, EpochRecord};
 pub use online::OnlineCommMatrix;
 pub use replace::{Decision, KeepReason, MigrationCostModel, Replacer, ReplacerConfig};

@@ -11,27 +11,31 @@
 //! Run with `cargo bench -p orwl-bench --bench adaptive_replacement`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use orwl_adapt::drift::{DriftConfig, DriftDetector};
+use orwl_adapt::backend::SimBackend;
+use orwl_adapt::drift::DriftDetector;
+use orwl_adapt::engine::AdaptConfig;
 use orwl_adapt::online::OnlineCommMatrix;
-use orwl_adapt::replace::{MigrationCostModel, Replacer, ReplacerConfig};
-use orwl_adapt::sim::{run_adaptive, PhasedWorkload, SimAdaptConfig};
+use orwl_adapt::replace::Replacer;
 use orwl_comm::patterns::{stencil_2d_directional, stencil_2d_rotated, StencilSpec};
+use orwl_core::runtime::AdaptiveSpec;
+use orwl_core::session::Session;
 use orwl_numasim::costmodel::CostParams;
 use orwl_numasim::machine::SimMachine;
+use orwl_numasim::workload::PhasedWorkload;
 use orwl_topo::synthetic;
 use orwl_treematch::policies::{compute_placement, Policy};
 
-fn sim_adapt_config() -> SimAdaptConfig {
-    SimAdaptConfig {
-        epoch_iterations: 4,
-        decay: 0.2,
-        drift: DriftConfig { threshold: 0.15, patience: 1, cooldown: 2 },
-        replacer: ReplacerConfig {
-            model: MigrationCostModel { task_state_bytes: 131072.0 },
-            horizon_epochs: 20.0,
-            min_relative_gain: 0.05,
-        },
-    }
+const EPOCH_ITERATIONS: usize = 4;
+
+fn adaptive_session(machine: &SimMachine) -> Session {
+    Session::builder()
+        .topology(machine.topology().clone())
+        .policy(Policy::TreeMatch)
+        .control_threads(0)
+        .adaptive(AdaptiveSpec::per_iterations(EPOCH_ITERATIONS))
+        .backend(SimBackend::new(machine.clone()).with_adapt_config(AdaptConfig::evaluation()))
+        .build()
+        .expect("the adaptive bench configuration is valid")
 }
 
 /// Epochs from the phase boundary to the first migration, on the rotating
@@ -39,22 +43,22 @@ fn sim_adapt_config() -> SimAdaptConfig {
 fn time_to_converge(side: usize) -> Option<usize> {
     let sockets = (side * side).div_ceil(8).max(2);
     let machine = SimMachine::new(synthetic::cluster2016_subset(sockets).unwrap(), CostParams::cluster2016());
-    let config = sim_adapt_config();
     let phase1 = 24usize;
     let workload = PhasedWorkload::rotating_stencil(side, 65536.0, 1024.0, 16384.0, 131072.0, &[phase1, 120]);
-    let outcome = run_adaptive(&machine, &workload, &config);
-    if outcome.migrations == 0 {
+    let report = adaptive_session(&machine).run(workload).expect("the convergence workload simulates");
+    let adapt = report.adapt.expect("adaptive sessions report counters");
+    if adapt.replacements == 0 {
         return None;
     }
     // Deltas are recorded once per warmed epoch; find the first epoch after
     // the boundary whose delta exceeded the threshold, then count epochs
     // until the migration reset the baseline (delta drops back down).
-    let boundary_epoch = phase1 / config.epoch_iterations;
-    let fired_at = outcome
+    let boundary_epoch = phase1 / EPOCH_ITERATIONS;
+    let fired_at = adapt
         .drift_deltas
         .iter()
         .enumerate()
-        .position(|(e, &d)| e + 1 > boundary_epoch && d > config.drift.threshold)?;
+        .position(|(e, &d)| e + 1 > boundary_epoch && d > AdaptConfig::evaluation().drift.threshold)?;
     Some(fired_at + 1 - boundary_epoch)
 }
 
@@ -104,9 +108,9 @@ fn bench_adaptive(c: &mut Criterion) {
         let placement = compute_placement(Policy::TreeMatch, &topo, &before, 0);
         let mapping = placement.compute_mapping_or_zero();
         group.bench_with_input(BenchmarkId::new("drift_and_replace_decision", n), &after, |b, live| {
-            let replacer = Replacer::new(sim_adapt_config().replacer);
+            let replacer = Replacer::new(AdaptConfig::evaluation().replacer);
             b.iter(|| {
-                let mut detector = DriftDetector::new(sim_adapt_config().drift);
+                let mut detector = DriftDetector::new(AdaptConfig::evaluation().drift);
                 let obs = detector.observe(&topo, &mapping, &before, live);
                 if obs.fired {
                     criterion::black_box(replacer.evaluate(&topo, live, &placement, 0));
@@ -118,9 +122,12 @@ fn bench_adaptive(c: &mut Criterion) {
     // --- the whole loop on the phase-changing workload --------------------
     let machine = SimMachine::new(synthetic::cluster2016_subset(2).unwrap(), CostParams::cluster2016());
     let workload = PhasedWorkload::rotating_stencil(4, 65536.0, 1024.0, 16384.0, 131072.0, &[24, 72]);
-    let config = sim_adapt_config();
+    let session = adaptive_session(&machine);
     group.bench_function("full_adaptive_sim_96_iters", |b| {
-        b.iter(|| criterion::black_box(run_adaptive(&machine, &workload, &config)));
+        // `run` consumes its workload, so the clone is inside the timed
+        // region; it copies two 16-task graphs (~microseconds) against a
+        // 96-iteration simulation (~milliseconds), i.e. noise.
+        b.iter(|| criterion::black_box(session.run(workload.clone()).unwrap()));
     });
     group.finish();
 }

@@ -4,7 +4,7 @@
 //! figure1 bench, on the simulator).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use orwl_core::prelude::RuntimeConfig;
+use orwl_core::prelude::*;
 use orwl_lk23::blocks::BlockDecomposition;
 use orwl_lk23::kernel::{reference_jacobi, Grid};
 use orwl_lk23::openmp_like::run_openmp_like;
@@ -14,6 +14,12 @@ fn bench_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("lk23_kernel");
     group.sample_size(10);
 
+    let session = Session::builder()
+        .topology(orwl_topo::discover::discover())
+        .policy(Policy::NoBind)
+        .backend(ThreadBackend)
+        .build()
+        .expect("the host topology supports one control thread");
     for n in [128usize, 256] {
         let grid = Grid::initial(n, n);
         group.bench_with_input(BenchmarkId::new("sequential", n), &grid, |b, g| {
@@ -25,8 +31,7 @@ fn bench_kernel(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("orwl_nobind_2x2", n), &grid, |b, g| {
             b.iter(|| {
                 let decomp = BlockDecomposition::new(n, n, 2, 2).unwrap();
-                let config = RuntimeConfig::no_bind(orwl_topo::discover::discover());
-                run_orwl(g, decomp, 4, config).unwrap()
+                run_orwl(g, decomp, 4, &session).unwrap()
             });
         });
     }

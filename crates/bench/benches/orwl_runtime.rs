@@ -55,6 +55,12 @@ fn bench_lock_throughput(c: &mut Criterion) {
 fn bench_runtime_end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("orwl_runtime");
     group.sample_size(10);
+    let session = Session::builder()
+        .topology(orwl_topo::discover::discover())
+        .policy(Policy::NoBind)
+        .backend(ThreadBackend)
+        .build()
+        .expect("the host topology supports one control thread");
     for tasks in [2usize, 8] {
         group.bench_with_input(BenchmarkId::new("ring_program", tasks), &tasks, |b, &n| {
             b.iter(|| {
@@ -81,8 +87,7 @@ fn bench_runtime_end_to_end(c: &mut Criterion) {
                         },
                     );
                 }
-                let rt = OrwlRuntime::new(RuntimeConfig::no_bind(orwl_topo::discover::discover()));
-                rt.run(program).unwrap()
+                session.run(program).unwrap()
             });
         });
     }

@@ -6,13 +6,14 @@
 //! over simpler policies, the three control-thread handling modes, and the
 //! oversubscription extension.
 
+use orwl_adapt::backend::SimBackend;
 use orwl_comm::matrix::CommMatrix;
 use orwl_comm::metrics::mapping_cost_default;
+use orwl_core::session::Session;
 use orwl_lk23::sim_model::Lk23Workload;
 use orwl_numasim::costmodel::CostParams;
-use orwl_numasim::exec::simulate;
 use orwl_numasim::machine::SimMachine;
-use orwl_numasim::scenario::ExecutionScenario;
+use orwl_numasim::workload::PhasedWorkload;
 use orwl_topo::topology::Topology;
 use orwl_treematch::control::{decide_control_mode, ControlPlacementMode, ControlThreadSpec};
 use orwl_treematch::policies::{compute_placement, Policy};
@@ -31,6 +32,11 @@ pub struct PolicyResult {
 }
 
 /// Runs the placement-policy ablation (A1) for an LK23 workload on `topo`.
+///
+/// The static metric (volume × distance) is computed directly; the
+/// simulated execution goes through the unified `Session` front door (the
+/// simulator backend models `NoBind` as unpinned, migrating threads and
+/// pins every other policy).
 pub fn policy_ablation(topo: &Topology, workload: &Lk23Workload, iterations: usize) -> Vec<PolicyResult> {
     let matrix = workload.comm_matrix();
     let machine = SimMachine::new(topo.clone(), CostParams::cluster2016());
@@ -43,15 +49,21 @@ pub fn policy_ablation(topo: &Topology, workload: &Lk23Workload, iterations: usi
             let placement = compute_placement(policy, topo, &matrix, 0);
             let mapping = placement.compute_mapping_with(|t| pus[t % pus.len()]);
             let mapping_cost = mapping_cost_default(&matrix, topo, &mapping);
-            // NoBind executes unpinned (migrating); every other policy pins.
-            let scenario = if policy == Policy::NoBind {
-                ExecutionScenario::orwl_nobind(&machine, workload.n_tasks(), 0xC0FFEE)
-            } else {
-                ExecutionScenario::bound(&machine, mapping)
+            let session = Session::builder()
+                .topology(topo.clone())
+                .policy(policy)
+                .control_threads(0)
+                .backend(SimBackend::new(machine.clone()))
+                .build()
+                .expect("the ablation configuration is valid");
+            let report = session
+                .run(PhasedWorkload::single_phase(graph.clone(), iterations))
+                .expect("the ablation workload simulates");
+            PolicyResult {
+                policy: policy.name().to_string(),
+                mapping_cost,
+                simulated_time: report.time.seconds(),
             }
-            .with_label(policy.name());
-            let simulated_time = simulate(&machine, &graph, &scenario, iterations).total_time;
-            PolicyResult { policy: policy.name().to_string(), mapping_cost, simulated_time }
         })
         .collect()
 }
@@ -120,19 +132,23 @@ pub fn oversubscription_ablation(sockets: usize, factors: &[usize], iterations: 
     let topo = orwl_topo::synthetic::cluster2016_subset(sockets).expect("1..=24 sockets");
     let machine = SimMachine::new(topo.clone(), CostParams::cluster2016());
     let cores = sockets * 8;
+    let session = Session::builder()
+        .topology(topo)
+        .policy(Policy::TreeMatch)
+        .control_threads(0)
+        .backend(SimBackend::new(machine))
+        .build()
+        .expect("the oversubscription configuration is valid");
     factors
         .iter()
         .map(|&f| {
             let n_tasks = cores * f;
             let (br, bc) = orwl_lk23::sim_model::near_square_factors(n_tasks);
             let workload = Lk23Workload::new(16384, br, bc, iterations);
-            let matrix = workload.comm_matrix();
-            let placement = compute_placement(Policy::TreeMatch, &topo, &matrix, 0);
-            let pus = topo.pu_os_indices();
-            let mapping = placement.compute_mapping_with(|t| pus[t % pus.len()]);
-            let scenario = ExecutionScenario::bound(&machine, mapping);
-            let simulated_time = simulate(&machine, &workload.task_graph(), &scenario, iterations).total_time;
-            OversubResult { tasks_per_core: f, n_tasks, simulated_time }
+            let report = session
+                .run(PhasedWorkload::single_phase(workload.task_graph(), iterations))
+                .expect("the oversubscription workload simulates");
+            OversubResult { tasks_per_core: f, n_tasks, simulated_time: report.time.seconds() }
         })
         .collect()
 }

@@ -11,10 +11,14 @@
 //! sockets of the simulated machine; [`headline`] extracts the 192-core
 //! summary.
 
+use orwl_adapt::backend::SimBackend;
+use orwl_core::session::Session;
 use orwl_lk23::sim_model::{simulate_implementation, ImplKind, Lk23Workload};
 use orwl_numasim::costmodel::CostParams;
 use orwl_numasim::machine::SimMachine;
+use orwl_numasim::workload::PhasedWorkload;
 use orwl_topo::synthetic;
+use orwl_treematch::policies::Policy;
 
 /// One point of the Figure 1 sweep: processing times (in simulated seconds)
 /// of the three implementations on `cores` cores.
@@ -58,12 +62,27 @@ pub fn figure1_sweep(socket_counts: &[usize], iterations: usize, seed: u64) -> V
         workload.iterations = iterations;
 
         let scale = 100.0 / iterations as f64;
-        let run = |kind| simulate_implementation(&machine, &workload, kind, seed).total_time * scale;
+        // The two ORWL configurations go through the one front door: a
+        // `Session` over the simulator backend, with the same single
+        // control thread the real runtime accounts for.
+        let run_orwl = |policy: Policy| {
+            let session = Session::builder()
+                .topology(machine.topology().clone())
+                .policy(policy)
+                .control_threads(1)
+                .backend(SimBackend::new(machine.clone()).with_nobind_seed(seed))
+                .build()
+                .expect("the Figure 1 configuration is valid");
+            let phased = PhasedWorkload::single_phase(workload.task_graph(), iterations);
+            session.run(phased).expect("the Figure 1 workload simulates").time.seconds() * scale
+        };
         rows.push(Figure1Row {
             cores,
-            openmp: run(ImplKind::OpenMp),
-            orwl_nobind: run(ImplKind::OrwlNoBind),
-            orwl_bind: run(ImplKind::OrwlBind),
+            // OpenMP is not an ORWL program — it keeps its bespoke
+            // fork-join scenario model.
+            openmp: simulate_implementation(&machine, &workload, ImplKind::OpenMp, seed).total_time * scale,
+            orwl_nobind: run_orwl(Policy::NoBind),
+            orwl_bind: run_orwl(Policy::TreeMatch),
         });
     }
     rows

@@ -8,7 +8,7 @@
 //! * [`patterns`] — generators for the workloads used in the evaluation
 //!   (2-D 9-point stencil à la Livermore Kernel 23, ring, all-to-all,
 //!   clustered, random);
-//! * [`aggregate`] — the `AggregateComMatrix` step of Algorithm 1 (collapse
+//! * [`aggregate`](mod@aggregate) — the `AggregateComMatrix` step of Algorithm 1 (collapse
 //!   a matrix over groups of threads);
 //! * [`metrics`] — mapping-quality metrics (communication cost, hop-bytes,
 //!   traffic breakdown per hardware level).

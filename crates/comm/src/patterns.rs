@@ -196,6 +196,19 @@ pub fn stencil_2d_rotated(spec: &StencilSpec, horizontal: f64, vertical: f64) ->
     stencil_2d_directional(spec, vertical, horizontal)
 }
 
+/// The two matrices of the canonical *rotating-sweep* stencil workload: a
+/// `side × side` grid of tasks whose sweep axis carries `heavy` bytes per
+/// halo and whose cross axis carries `light` bytes (diagonals carry
+/// `light / 8`), before and after a 90° rotation of the sweep direction.
+///
+/// This is the phase-change workload of the adaptive-placement evaluation;
+/// keeping its construction here guarantees the simulator harness, the
+/// examples and the tests all measure exactly the same drift.
+pub fn rotating_sweep_matrices(side: usize, heavy: f64, light: f64) -> (CommMatrix, CommMatrix) {
+    let spec = StencilSpec { rows: side, cols: side, edge_volume: 0.0, corner_volume: light / 8.0 };
+    (stencil_2d_directional(&spec, heavy, light), stencil_2d_rotated(&spec, heavy, light))
+}
+
 /// A 1-D chain: task `i` exchanges `volume` bytes with `i+1` (both ways).
 pub fn chain(n: usize, volume: f64) -> CommMatrix {
     let mut m = CommMatrix::zeros(n);
@@ -345,6 +358,16 @@ mod tests {
         assert_eq!(stencil_2d_rotated(&spec, 5.0, 5.0), u);
         // Rotating twice restores the original pattern.
         assert_eq!(stencil_2d_rotated(&spec, 5.0, 100.0), a);
+    }
+
+    #[test]
+    fn rotating_sweep_matrices_are_a_rotated_pair() {
+        let (a, b) = rotating_sweep_matrices(4, 100.0, 4.0);
+        let spec = StencilSpec { rows: 4, cols: 4, edge_volume: 0.0, corner_volume: 0.5 };
+        assert_eq!(a, stencil_2d_directional(&spec, 100.0, 4.0));
+        assert_eq!(b, stencil_2d_rotated(&spec, 100.0, 4.0));
+        assert_eq!(a.total_volume(), b.total_volume());
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -1,6 +1,119 @@
-//! Error type of the ORWL runtime.
+//! Error types of the ORWL runtime and the `Session` front door.
 
 use std::fmt;
+
+/// A configuration rejected by [`Session`](crate::session::Session)
+/// validation — every way a builder or a run request can be wrong is a
+/// typed variant here, never a panic or a silently clamped value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `build` was called without a topology.
+    MissingTopology,
+    /// `build` was called without an execution backend.
+    MissingBackend,
+    /// Adaptive mode was requested on a backend that needs an
+    /// [`AdaptiveController`](crate::runtime::AdaptiveController), but the
+    /// [`AdaptiveSpec`](crate::runtime::AdaptiveSpec) carries none.
+    MissingController,
+    /// The workload handed to `run` has no tasks.
+    EmptyProgram,
+    /// Adaptive mode with a zero-length epoch (wall-clock or iterations):
+    /// the monitor would spin without ever observing anything.
+    ZeroAdaptiveEpoch,
+    /// More control threads requested than the topology has PUs.
+    ControlThreadOverflow {
+        /// Control threads requested on the builder.
+        requested: usize,
+        /// PUs available on the session's topology.
+        available: usize,
+    },
+    /// The backend does not support the requested run mode (e.g. `Oracle`
+    /// on the real thread runtime, which cannot look into the future).
+    UnsupportedMode {
+        /// Backend name.
+        backend: String,
+        /// Mode name.
+        mode: String,
+    },
+    /// The backend cannot execute this kind of workload (e.g. a phased
+    /// task-graph workload handed to the thread runtime).
+    WorkloadMismatch {
+        /// Backend name.
+        backend: String,
+        /// The workload kind the backend expects.
+        expected: String,
+    },
+    /// The session topology is not the one the backend models (e.g. a
+    /// simulator backend wrapping a different machine).
+    TopologyMismatch {
+        /// Backend name.
+        backend: String,
+        /// Name of the topology the backend models.
+        expected: String,
+        /// Name of the topology the session was built with.
+        got: String,
+    },
+    /// The [`AdaptiveSpec`](crate::runtime::AdaptiveSpec) carries a
+    /// controller, but this backend drives adaptation with its own engine
+    /// and would silently ignore it.
+    UnsupportedController {
+        /// Backend name.
+        backend: String,
+    },
+    /// The phases of a phased workload disagree on the task count.
+    MismatchedPhases {
+        /// Index of the offending phase.
+        phase: usize,
+        /// Task count of the first phase.
+        expected: usize,
+        /// Task count of the offending phase.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::MissingTopology => write!(f, "session builder has no topology"),
+            ConfigError::MissingBackend => write!(f, "session builder has no execution backend"),
+            ConfigError::MissingController => {
+                write!(f, "adaptive mode on this backend requires a controller")
+            }
+            ConfigError::EmptyProgram => write!(f, "the workload has no tasks"),
+            ConfigError::ZeroAdaptiveEpoch => {
+                write!(f, "adaptive mode requires a non-zero epoch length")
+            }
+            ConfigError::ControlThreadOverflow { requested, available } => {
+                write!(f, "{requested} control threads requested but the topology has only {available} PUs")
+            }
+            ConfigError::UnsupportedMode { backend, mode } => {
+                write!(f, "backend {backend:?} does not support the {mode:?} run mode")
+            }
+            ConfigError::WorkloadMismatch { backend, expected } => {
+                write!(f, "backend {backend:?} expects a {expected} workload")
+            }
+            ConfigError::TopologyMismatch { backend, expected, got } => {
+                write!(
+                    f,
+                    "backend {backend:?} models topology {expected:?} but the session was built \
+                     with {got:?}"
+                )
+            }
+            ConfigError::UnsupportedController { backend } => {
+                write!(
+                    f,
+                    "backend {backend:?} drives adaptation with its own engine; use \
+                     AdaptiveSpec::per_iterations instead of a controller"
+                )
+            }
+            ConfigError::MismatchedPhases { phase, expected, got } => {
+                write!(f, "phase {phase} has {got} tasks but the first phase has {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
 
 /// Errors returned by ORWL handles and the runtime.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,6 +132,14 @@ pub enum OrwlError {
     Binding(String),
     /// A task panicked; the message carries the task name.
     TaskPanicked(String),
+    /// The session configuration was rejected (see [`ConfigError`]).
+    Config(ConfigError),
+}
+
+impl From<ConfigError> for OrwlError {
+    fn from(e: ConfigError) -> Self {
+        OrwlError::Config(e)
+    }
 }
 
 impl fmt::Display for OrwlError {
@@ -31,6 +152,7 @@ impl fmt::Display for OrwlError {
             OrwlError::UnknownLocation(id) => write!(f, "unknown location id {id}"),
             OrwlError::Binding(m) => write!(f, "thread binding failed: {m}"),
             OrwlError::TaskPanicked(name) => write!(f, "task {name:?} panicked"),
+            OrwlError::Config(e) => write!(f, "invalid session configuration: {e}"),
         }
     }
 }
@@ -50,5 +172,32 @@ mod tests {
         assert!(OrwlError::TaskPanicked("t3".into()).to_string().contains("t3"));
         assert!(OrwlError::EmptyProgram.to_string().contains("no tasks"));
         assert!(OrwlError::WriteThroughReadGuard.to_string().contains("read guard"));
+    }
+
+    #[test]
+    fn config_errors_convert_and_display() {
+        let e: OrwlError = ConfigError::MissingTopology.into();
+        assert_eq!(e, OrwlError::Config(ConfigError::MissingTopology));
+        assert!(e.to_string().contains("topology"));
+        assert!(ConfigError::MissingBackend.to_string().contains("backend"));
+        assert!(ConfigError::MissingController.to_string().contains("controller"));
+        assert!(ConfigError::EmptyProgram.to_string().contains("no tasks"));
+        assert!(ConfigError::ZeroAdaptiveEpoch.to_string().contains("epoch"));
+        let overflow = ConfigError::ControlThreadOverflow { requested: 9, available: 8 };
+        assert!(overflow.to_string().contains('9') && overflow.to_string().contains('8'));
+        let mode = ConfigError::UnsupportedMode { backend: "threads".into(), mode: "oracle".into() };
+        assert!(mode.to_string().contains("oracle"));
+        let kind = ConfigError::WorkloadMismatch { backend: "numasim".into(), expected: "phased".into() };
+        assert!(kind.to_string().contains("phased"));
+        let topo = ConfigError::TopologyMismatch {
+            backend: "numasim".into(),
+            expected: "cluster".into(),
+            got: "laptop".into(),
+        };
+        assert!(topo.to_string().contains("cluster") && topo.to_string().contains("laptop"));
+        let ctrl = ConfigError::UnsupportedController { backend: "numasim".into() };
+        assert!(ctrl.to_string().contains("per_iterations"));
+        let phases = ConfigError::MismatchedPhases { phase: 1, expected: 16, got: 25 };
+        assert!(phases.to_string().contains("16") && phases.to_string().contains("25"));
     }
 }

@@ -18,11 +18,13 @@
 //! * A program ([`OrwlProgram`]) declares, for every task, the locations it
 //!   will use and the per-iteration volume — from which the runtime builds
 //!   the thread-to-thread communication matrix.
-//! * The runtime ([`OrwlRuntime`]) computes a placement of computation and
-//!   control threads with the TreeMatch-based Algorithm 1 (crate
-//!   `orwl-treematch`), binds each thread ([`orwl_topo::binding`]), runs one
-//!   thread per task plus an event-driven pool of control threads, and
-//!   reports locality and timing statistics.
+//! * A [`Session`] (built with [`Session::builder`]) is the single front
+//!   door: it validates the configuration (topology, policy, control
+//!   threads, run mode) and executes workloads on an [`ExecutionBackend`] —
+//!   [`ThreadBackend`] for the real event runtime (one thread per task,
+//!   TreeMatch placement via crate `orwl-treematch`, binding via
+//!   [`orwl_topo::binding`]), or the NUMA simulator backend from
+//!   `orwl-adapt`.
 //!
 //! ## Quick example
 //!
@@ -47,11 +49,15 @@
 //!     );
 //! }
 //!
-//! let topo = orwl_topo::discover::discover();
-//! let runtime = OrwlRuntime::new(RuntimeConfig::no_bind(topo));
-//! let report = runtime.run(program).unwrap();
+//! let session = Session::builder()
+//!     .topology(orwl_topo::discover::discover())
+//!     .policy(Policy::NoBind)
+//!     .backend(ThreadBackend)
+//!     .build()
+//!     .unwrap();
+//! let report = session.run(program).unwrap();
 //! assert_eq!(counter.snapshot(), 400);
-//! assert_eq!(report.stats.tasks_finished, 4);
+//! assert_eq!(report.thread.unwrap().stats.tasks_finished, 4);
 //! ```
 
 pub mod error;
@@ -62,10 +68,11 @@ pub mod monitor;
 pub mod placement;
 pub mod request;
 pub mod runtime;
+pub mod session;
 pub mod stats;
 pub mod task;
 
-pub use error::OrwlError;
+pub use error::{ConfigError, OrwlError};
 pub use handle::{Handle, OrwlGuard};
 pub use location::{Location, LocationId};
 pub use monitor::{AccessSink, RebindPlan, SinkRegistration};
@@ -74,16 +81,21 @@ pub use request::{AccessMode, RequestState, RequestToken};
 pub use runtime::{
     AdaptReport, AdaptiveController, AdaptiveSpec, ControlEvent, OrwlRuntime, RunReport, RuntimeConfig,
 };
+pub use session::{
+    ExecutionBackend, Mode, Report, RunTime, Session, SessionBuilder, SessionConfig, ThreadBackend,
+    ThreadDetails, Workload,
+};
 pub use stats::{RuntimeStats, StatsSnapshot};
 pub use task::{LocationLink, OrwlProgram, TaskContext, TaskId, TaskSpec};
 
 /// Convenient glob import of the most commonly used items.
 pub mod prelude {
-    pub use crate::error::OrwlError;
+    pub use crate::error::{ConfigError, OrwlError};
     pub use crate::handle::Handle;
     pub use crate::location::Location;
     pub use crate::request::AccessMode;
-    pub use crate::runtime::{OrwlRuntime, RunReport, RuntimeConfig};
+    pub use crate::runtime::{AdaptiveSpec, OrwlRuntime, RunReport, RuntimeConfig};
+    pub use crate::session::{Mode, Report, RunTime, Session, ThreadBackend, Workload};
     pub use crate::task::{LocationLink, OrwlProgram, TaskContext, TaskSpec};
     pub use orwl_treematch::policies::Policy;
 }

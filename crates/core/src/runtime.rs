@@ -42,24 +42,78 @@ pub trait AdaptiveController: Send + Sync {
     fn on_epoch(&self, epoch: u64) -> Option<Placement>;
 }
 
-/// Adaptive-mode settings carried by [`RuntimeConfig`].
+/// Adaptive-mode settings, shared by every execution backend: real-time
+/// backends monitor in wall-clock [`epoch`](AdaptiveSpec::epoch)s driven by
+/// a [`controller`](AdaptiveSpec::controller); discrete (simulated) backends
+/// monitor every [`epoch_iterations`](AdaptiveSpec::epoch_iterations)
+/// iterations with their own built-in engine.
 #[derive(Clone)]
 pub struct AdaptiveSpec {
-    /// The drift-detection / re-placement engine.
-    pub controller: Arc<dyn AdaptiveController>,
-    /// Wall-clock length of one monitoring epoch.
+    /// The drift-detection / re-placement engine, for backends that need an
+    /// external brain (the thread runtime).  Discrete backends carry their
+    /// own engine and reject controller-bearing specs
+    /// ([`ConfigError::UnsupportedController`](crate::error::ConfigError)).
+    pub controller: Option<Arc<dyn AdaptiveController>>,
+    /// Wall-clock length of one monitoring epoch (real-time backends).
     pub epoch: Duration,
+    /// Iterations per monitoring epoch (discrete backends).
+    pub epoch_iterations: usize,
+}
+
+impl AdaptiveSpec {
+    /// Iterations per epoch used when a spec is built for the thread
+    /// runtime without an explicit override.
+    pub const DEFAULT_EPOCH_ITERATIONS: usize = 4;
+    /// Wall-clock epoch used when a spec is built for a simulator backend
+    /// without an explicit override.
+    pub const DEFAULT_EPOCH: Duration = Duration::from_millis(15);
+
+    /// A spec for real-time backends: `controller` drives the adaptation,
+    /// one epoch per `epoch` of wall time.
+    #[must_use]
+    pub fn with_controller(controller: Arc<dyn AdaptiveController>, epoch: Duration) -> Self {
+        AdaptiveSpec { controller: Some(controller), epoch, epoch_iterations: Self::DEFAULT_EPOCH_ITERATIONS }
+    }
+
+    /// A spec for discrete backends: one epoch every `epoch_iterations`
+    /// simulated iterations, the backend's own engine doing the adaptation.
+    #[must_use]
+    pub fn per_iterations(epoch_iterations: usize) -> Self {
+        AdaptiveSpec { controller: None, epoch: Self::DEFAULT_EPOCH, epoch_iterations }
+    }
+
+    /// Replaces the iteration-epoch length.
+    #[must_use]
+    pub fn with_epoch_iterations(mut self, epoch_iterations: usize) -> Self {
+        self.epoch_iterations = epoch_iterations;
+        self
+    }
+}
+
+impl std::fmt::Debug for AdaptiveSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptiveSpec")
+            .field("controller", &self.controller.as_ref().map(|_| "<dyn AdaptiveController>"))
+            .field("epoch", &self.epoch)
+            .field("epoch_iterations", &self.epoch_iterations)
+            .finish()
+    }
 }
 
 /// Counters describing the adaptive machinery's activity during a run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AdaptReport {
-    /// Epoch boundaries the monitor thread processed.
+    /// Epoch boundaries the monitor processed.
     pub epochs: u64,
     /// Re-placements published (i.e. `on_epoch` returned `Some`).
     pub replacements: u64,
-    /// Individual thread re-bindings applied by task threads.
+    /// Individual thread re-bindings applied by task threads (real thread
+    /// backends only; simulated migrations re-bind atomically).
     pub rebinds_applied: u64,
+    /// Per-epoch structural drift deltas, when the backend records them
+    /// (the simulator backend does; the thread runtime's controller keeps
+    /// its own timeline).
+    pub drift_deltas: Vec<f64>,
 }
 
 /// Configuration of a runtime instance.
@@ -82,6 +136,7 @@ pub struct RuntimeConfig {
 impl RuntimeConfig {
     /// Topology-aware configuration: TreeMatch placement applied with the
     /// platform's native binder.
+    #[deprecated(since = "0.1.0", note = "use `Session::builder()` with a `ThreadBackend` instead")]
     pub fn bind(topology: Topology) -> Self {
         RuntimeConfig {
             topology,
@@ -93,6 +148,10 @@ impl RuntimeConfig {
     }
 
     /// The "NoBind" configuration of the paper: same runtime, no binding.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Session::builder().policy(Policy::NoBind)` with a `ThreadBackend` instead"
+    )]
     pub fn no_bind(topology: Topology) -> Self {
         RuntimeConfig {
             topology,
@@ -106,25 +165,36 @@ impl RuntimeConfig {
     /// Adaptive configuration: TreeMatch initial placement plus online
     /// monitoring, drift detection and epoch-boundary re-placement driven
     /// by `controller` (see `orwl_adapt::AdaptiveEngine`).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Session::builder().adaptive(AdaptiveSpec::with_controller(..))` instead"
+    )]
     pub fn adaptive(topology: Topology, controller: Arc<dyn AdaptiveController>, epoch: Duration) -> Self {
-        let mut config = RuntimeConfig::bind(topology);
-        config.adaptive = Some(AdaptiveSpec { controller, epoch });
-        config
+        RuntimeConfig {
+            topology,
+            policy: Policy::TreeMatch,
+            control_threads: 1,
+            binder: Arc::from(orwl_topo::binding::native_binder()),
+            adaptive: Some(AdaptiveSpec::with_controller(controller, epoch)),
+        }
     }
 
     /// Replaces the policy.
+    #[must_use]
     pub fn with_policy(mut self, policy: Policy) -> Self {
         self.policy = policy;
         self
     }
 
     /// Replaces the number of control threads.
+    #[must_use]
     pub fn with_control_threads(mut self, n: usize) -> Self {
         self.control_threads = n;
         self
     }
 
     /// Replaces the binder.
+    #[must_use]
     pub fn with_binder(mut self, binder: Arc<dyn Binder>) -> Self {
         self.binder = binder;
         self
@@ -169,6 +239,7 @@ pub struct RunReport {
 
 impl RunReport {
     /// The longest task execution time (the critical path lower bound).
+    #[must_use]
     pub fn max_task_time(&self) -> Duration {
         self.per_task_time.iter().copied().max().unwrap_or(Duration::ZERO)
     }
@@ -227,9 +298,13 @@ impl OrwlRuntime {
         let epochs = Arc::new(std::sync::atomic::AtomicU64::new(0));
         let replacements = Arc::new(std::sync::atomic::AtomicU64::new(0));
         if let Some(spec) = &self.config.adaptive {
-            spec.controller.on_run_start(program.specs(), &plan, &self.config.topology);
-            sink_registration = Some(monitor::register_sink(spec.controller.sink()));
-            let controller = Arc::clone(&spec.controller);
+            let controller = Arc::clone(
+                spec.controller
+                    .as_ref()
+                    .ok_or(OrwlError::Config(crate::error::ConfigError::MissingController))?,
+            );
+            controller.on_run_start(program.specs(), &plan, &self.config.topology);
+            sink_registration = Some(monitor::register_sink(controller.sink()));
             let epoch_len = spec.epoch;
             let plan_handle = Arc::clone(rebind_plan.as_ref().expect("rebind plan exists in adaptive mode"));
             let stop = Arc::clone(&monitor_stop);
@@ -363,6 +438,7 @@ impl OrwlRuntime {
                 epochs: epochs.load(std::sync::atomic::Ordering::Relaxed),
                 replacements: replacements.load(std::sync::atomic::Ordering::Relaxed),
                 rebinds_applied: rebind_plan.as_ref().map(|p| p.rebinds_applied()).unwrap_or(0),
+                drift_deltas: Vec::new(),
             }
         });
         drop(sink_registration);
@@ -376,6 +452,10 @@ impl OrwlRuntime {
 
 #[cfg(test)]
 mod tests {
+    // The deprecated constructors remain the runtime's own unit-test
+    // surface; everything above this layer goes through `Session`.
+    #![allow(deprecated)]
+
     use super::*;
     use crate::location::Location;
     use crate::request::AccessMode;

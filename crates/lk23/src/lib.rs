@@ -20,12 +20,17 @@
 //! use orwl_lk23::kernel::{Grid, reference_jacobi};
 //! use orwl_lk23::blocks::BlockDecomposition;
 //! use orwl_lk23::orwl_impl::run_orwl;
-//! use orwl_core::prelude::RuntimeConfig;
+//! use orwl_core::prelude::*;
 //!
 //! let initial = Grid::initial(32, 32);
 //! let decomp = BlockDecomposition::new(32, 32, 2, 2).unwrap();
-//! let config = RuntimeConfig::no_bind(orwl_topo::synthetic::laptop());
-//! let (result, _report) = run_orwl(&initial, decomp, 3, config).unwrap();
+//! let session = Session::builder()
+//!     .topology(orwl_topo::synthetic::laptop())
+//!     .policy(Policy::NoBind)
+//!     .backend(ThreadBackend)
+//!     .build()
+//!     .unwrap();
+//! let (result, _report) = run_orwl(&initial, decomp, 3, &session).unwrap();
 //! assert_eq!(result.max_abs_diff(&reference_jacobi(&initial, 3)), 0.0);
 //! ```
 

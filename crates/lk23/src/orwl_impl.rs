@@ -17,7 +17,7 @@
 use crate::blocks::{BlockDecomposition, BlockView, Direction};
 use crate::kernel::Grid;
 use orwl_core::prelude::*;
-use orwl_core::{Location, RunReport};
+use orwl_core::Location;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -159,17 +159,16 @@ fn run_block_task(
     *guard = cur;
 }
 
-/// Runs the ORWL LK23 program under the given runtime configuration and
-/// returns the assembled result grid together with the runtime report.
+/// Runs the ORWL LK23 program through the given [`Session`] and returns
+/// the assembled result grid together with the unified run report.
 pub fn run_orwl(
     initial: &Grid,
     decomposition: BlockDecomposition,
     iterations: usize,
-    config: RuntimeConfig,
-) -> Result<(Grid, RunReport), OrwlError> {
+    session: &Session,
+) -> Result<(Grid, Report), OrwlError> {
     let built = build_program(initial, decomposition, iterations);
-    let runtime = OrwlRuntime::new(config);
-    let report = runtime.run(built.program)?;
+    let report = session.run(built.program)?;
     let mut result = Grid::zeros(initial.rows(), initial.cols());
     for loc in &built.result_blocks {
         loc.snapshot().write_back(&mut result);
@@ -185,6 +184,10 @@ mod tests {
 
     fn initial(n: usize) -> Grid {
         Grid::initial(n, n)
+    }
+
+    fn nobind_session(topo: orwl_topo::topology::Topology) -> Session {
+        Session::builder().topology(topo).policy(Policy::NoBind).backend(ThreadBackend).build().unwrap()
     }
 
     #[test]
@@ -204,11 +207,11 @@ mod tests {
     fn orwl_nobind_matches_sequential_reference() {
         let g = initial(24);
         let d = BlockDecomposition::new(24, 24, 2, 3).unwrap();
-        let config = RuntimeConfig::no_bind(synthetic::laptop());
-        let (result, report) = run_orwl(&g, d, 4, config).unwrap();
+        let session = nobind_session(synthetic::laptop());
+        let (result, report) = run_orwl(&g, d, 4, &session).unwrap();
         let reference = reference_jacobi(&g, 4);
         assert_eq!(result.max_abs_diff(&reference), 0.0);
-        assert_eq!(report.stats.tasks_finished, 6);
+        assert_eq!(report.thread.unwrap().stats.tasks_finished, 6);
     }
 
     #[test]
@@ -216,9 +219,13 @@ mod tests {
         let g = initial(32);
         let d = BlockDecomposition::new(32, 32, 4, 2).unwrap();
         let binder = Arc::new(orwl_topo::binding::RecordingBinder::new());
-        let config =
-            RuntimeConfig::bind(synthetic::cluster2016_subset(1).unwrap()).with_binder(binder.clone());
-        let (result, report) = run_orwl(&g, d, 3, config).unwrap();
+        let session = Session::builder()
+            .topology(synthetic::cluster2016_subset(1).unwrap())
+            .binder(binder.clone())
+            .backend(ThreadBackend)
+            .build()
+            .unwrap();
+        let (result, report) = run_orwl(&g, d, 3, &session).unwrap();
         let reference = reference_jacobi(&g, 3);
         assert_eq!(result.max_abs_diff(&reference), 0.0);
         // The TreeMatch placement bound every block task.
@@ -230,8 +237,8 @@ mod tests {
     fn single_block_degenerates_to_sequential() {
         let g = initial(12);
         let d = BlockDecomposition::new(12, 12, 1, 1).unwrap();
-        let config = RuntimeConfig::no_bind(synthetic::uniprocessor());
-        let (result, _) = run_orwl(&g, d, 5, config).unwrap();
+        let session = nobind_session(synthetic::uniprocessor());
+        let (result, _) = run_orwl(&g, d, 5, &session).unwrap();
         assert_eq!(result.max_abs_diff(&reference_jacobi(&g, 5)), 0.0);
     }
 
@@ -239,8 +246,8 @@ mod tests {
     fn zero_iterations_returns_initial_grid() {
         let g = initial(16);
         let d = BlockDecomposition::new(16, 16, 2, 2).unwrap();
-        let config = RuntimeConfig::no_bind(synthetic::laptop());
-        let (result, _) = run_orwl(&g, d, 0, config).unwrap();
+        let session = nobind_session(synthetic::laptop());
+        let (result, _) = run_orwl(&g, d, 0, &session).unwrap();
         assert_eq!(result.max_abs_diff(&g), 0.0);
     }
 
@@ -250,8 +257,8 @@ mod tests {
         // the FIFO schedule must still be deadlock-free and correct.
         let g = initial(32);
         let d = BlockDecomposition::new(32, 32, 4, 4).unwrap();
-        let config = RuntimeConfig::no_bind(synthetic::uniprocessor());
-        let (result, _) = run_orwl(&g, d, 3, config).unwrap();
+        let session = nobind_session(synthetic::uniprocessor());
+        let (result, _) = run_orwl(&g, d, 3, &session).unwrap();
         assert_eq!(result.max_abs_diff(&reference_jacobi(&g, 3)), 0.0);
     }
 }

@@ -15,6 +15,8 @@
 //! * [`taskgraph`] — iterative task graphs (stencil builder included);
 //! * [`scenario`] — thread/data placement scenarios for the three
 //!   implementations compared in Figure 1;
+//! * [`workload`] — phased (pattern-changing) workloads, the unit of
+//!   execution of the `Session` API's simulator backend;
 //! * [`exec`] — the simulation engine ([`exec::simulate`]).
 //!
 //! # Example: one socket vs four sockets
@@ -46,12 +48,14 @@ pub mod exec;
 pub mod machine;
 pub mod scenario;
 pub mod taskgraph;
+pub mod workload;
 
 pub use costmodel::{CostParams, LinkCosts};
 pub use exec::{simulate, simulate_monitored, NoopSimMonitor, SimMonitor, SimReport, TimeBreakdown};
 pub use machine::SimMachine;
 pub use scenario::ExecutionScenario;
 pub use taskgraph::{SimEdge, SimTask, TaskGraph};
+pub use workload::{Phase, PhasedWorkload};
 
 /// Convenient glob import of the most commonly used items.
 pub mod prelude {

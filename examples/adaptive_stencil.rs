@@ -1,27 +1,32 @@
-//! Demo of the `orwl-adapt` subsystem, in two acts:
+//! Demo of the `orwl-adapt` subsystem through the unified `Session` API,
+//! in two acts:
 //!
 //! 1. on the simulated machine, a directionally-swept stencil whose sweep
-//!    axis rotates 90° mid-run, executed under three policies — the static
-//!    initial TreeMatch placement, the online adaptive loop, and an oracle
-//!    that re-maps for free at the phase boundary;
+//!    axis rotates 90° mid-run, executed under the three run modes of the
+//!    simulator backend — `Static` (the initial TreeMatch placement, never
+//!    re-mapped), `Adaptive` (the online loop) and `Oracle` (free re-maps
+//!    at the phase boundary);
 //! 2. on the **real event runtime**, a paired-exchange program that
 //!    switches partners mid-run: the monitoring hooks, drift detector and
 //!    cooperative thread re-binding do the whole loop live.
 //!
 //! Run with `cargo run --example adaptive_stencil --release`.
 
+use orwl_adapt::backend::SimBackend;
 use orwl_adapt::drift::DriftConfig;
-use orwl_adapt::engine::{adaptive_runtime_config, AdaptConfig, AdaptiveEngine};
+use orwl_adapt::engine::{adaptive_session_spec, AdaptConfig, AdaptiveEngine};
 use orwl_adapt::replace::{MigrationCostModel, ReplacerConfig};
-use orwl_adapt::sim::{run_adaptive, run_oracle, run_static, PhasedWorkload, SimAdaptConfig};
 use orwl_core::prelude::*;
 use orwl_core::Location;
 use orwl_numasim::costmodel::CostParams;
 use orwl_numasim::machine::SimMachine;
+use orwl_numasim::workload::PhasedWorkload;
 use orwl_topo::binding::RecordingBinder;
 use orwl_topo::synthetic;
 use std::sync::Arc;
 use std::time::Duration;
+
+const EPOCH_ITERATIONS: usize = 4;
 
 fn main() {
     println!("{}", orwl_repro::banner());
@@ -29,16 +34,7 @@ fn main() {
 
     let machine = SimMachine::new(synthetic::cluster2016_subset(4).unwrap(), CostParams::cluster2016());
     let workload = PhasedWorkload::rotating_stencil(6, 65536.0, 1024.0, 16384.0, 131072.0, &[40, 280]);
-    let config = SimAdaptConfig {
-        epoch_iterations: 4,
-        decay: 0.2,
-        drift: DriftConfig { threshold: 0.15, patience: 1, cooldown: 2 },
-        replacer: ReplacerConfig {
-            model: MigrationCostModel { task_state_bytes: 131072.0 },
-            horizon_epochs: 20.0,
-            min_relative_gain: 0.05,
-        },
-    };
+    let config = AdaptConfig::evaluation();
 
     println!(
         "workload: {} tasks, {} iterations, sweep rotates after {} iterations",
@@ -47,30 +43,45 @@ fn main() {
         workload.phases[0].iterations,
     );
     println!(
-        "policy: epoch = {} iterations, drift threshold = {}, migration state = {} KiB/task\n",
-        config.epoch_iterations,
+        "policy: epoch = {EPOCH_ITERATIONS} iterations, drift threshold = {}, migration state = {} KiB/task\n",
         config.drift.threshold,
         config.replacer.model.task_state_bytes / 1024.0,
     );
 
-    let fixed = run_static(&machine, &workload);
-    let adaptive = run_adaptive(&machine, &workload, &config);
-    let oracle = run_oracle(&machine, &workload);
+    // One builder, three run modes — everything else identical.
+    let session_in = |mode: Mode| {
+        Session::builder()
+            .topology(machine.topology().clone())
+            .policy(Policy::TreeMatch)
+            .control_threads(0)
+            .mode(mode)
+            .backend(SimBackend::new(machine.clone()).with_adapt_config(AdaptConfig::evaluation()))
+            .build()
+            .expect("the simulated configuration is valid")
+    };
+    let run = |mode: Mode| session_in(mode).run(workload.clone()).expect("the workload simulates");
 
-    println!("{:<16} {:>18} {:>14} {:>12}", "policy", "cumulative hop-B", "sim time (s)", "migrations");
-    for outcome in [&fixed, &adaptive, &oracle] {
+    let fixed = run(Mode::Static);
+    let adaptive = run(Mode::Adaptive(AdaptiveSpec::per_iterations(EPOCH_ITERATIONS)));
+    let oracle = run(Mode::Oracle);
+
+    println!("{:<16} {:>18} {:>14} {:>12}", "mode", "cumulative hop-B", "sim time (s)", "migrations");
+    for report in [&fixed, &adaptive, &oracle] {
         println!(
             "{:<16} {:>18.3e} {:>14.4} {:>12}",
-            outcome.label, outcome.cumulative_hop_bytes, outcome.total_time, outcome.migrations
+            report.mode,
+            report.hop_bytes,
+            report.time.seconds(),
+            report.adapt.as_ref().map_or(0, |a| a.replacements),
         );
     }
 
-    let vs_static = 100.0 * (1.0 - adaptive.cumulative_hop_bytes / fixed.cumulative_hop_bytes);
-    let vs_oracle = 100.0 * (adaptive.cumulative_hop_bytes / oracle.cumulative_hop_bytes - 1.0);
+    let vs_static = 100.0 * (1.0 - adaptive.hop_bytes / fixed.hop_bytes);
+    let vs_oracle = 100.0 * (adaptive.hop_bytes / oracle.hop_bytes - 1.0);
     println!("\nadaptive saves {vs_static:.1}% of the static placement's hop-bytes");
     println!("and is within {vs_oracle:.2}% of the free-remap oracle");
-    if let Some(max_delta) =
-        adaptive.drift_deltas.iter().cloned().fold(None::<f64>, |a, d| Some(a.map_or(d, |m| m.max(d))))
+    let deltas = &adaptive.adapt.as_ref().expect("adaptive runs report counters").drift_deltas;
+    if let Some(max_delta) = deltas.iter().cloned().fold(None::<f64>, |a, d| Some(a.map_or(d, |m| m.max(d))))
     {
         println!("largest per-epoch drift delta observed: {max_delta:.3}");
     }
@@ -97,31 +108,46 @@ fn real_runtime_act() {
     // A recording binder keeps the demo independent of the host's real CPU
     // count (the CI container has a single core).
     let binder = Arc::new(RecordingBinder::new());
-    let config = adaptive_runtime_config(
-        synthetic::cluster2016_subset(4).unwrap(),
-        Arc::clone(&engine),
-        Duration::from_millis(15),
-    )
-    .with_binder(binder.clone());
+    let session = Session::builder()
+        .topology(synthetic::cluster2016_subset(4).unwrap())
+        .binder(binder.clone())
+        .adaptive(adaptive_session_spec(Arc::clone(&engine), Duration::from_millis(15)))
+        .backend(ThreadBackend)
+        .build()
+        .expect("the live configuration is valid");
 
     let locs: Vec<_> = (0..n).map(|i| Location::new(format!("pair-{i}"), 0u64)).collect();
+    // The partner switch is an ORWL re-initialisation phase: the new read
+    // requests are posted between two barriers, before any writer advances
+    // past the boundary, so the new periodic schedule starts deadlock-free.
+    let rendezvous = Arc::new(std::sync::Barrier::new(n));
     let mut program = OrwlProgram::new();
     for t in 0..n {
         let own = Arc::clone(&locs[t]);
         let first = Arc::clone(&locs[t ^ 1]);
         let second = Arc::clone(&locs[(t + 2) % n]);
+        let rendezvous = Arc::clone(&rendezvous);
         let links =
             vec![LocationLink::write(locs[t].id(), 4096.0), LocationLink::read(locs[t ^ 1].id(), 4096.0)];
         program.add_task(TaskSpec::new(format!("pair-{t}"), links), move |_| {
+            // Deterministic init: every request is posted before any task
+            // starts acquiring, so no reader can land behind a write it
+            // will never outwait.
             let mut write = own.iterative_handle(AccessMode::Write);
+            write.request().unwrap();
             let mut read = first.iterative_handle(AccessMode::Read);
+            read.request().unwrap();
+            rendezvous.wait();
             for i in 0..120u64 {
                 *write.acquire().unwrap() = i;
                 let _ = *read.acquire().unwrap();
                 std::thread::sleep(Duration::from_micros(300));
             }
             drop(read);
+            rendezvous.wait();
             let mut read = second.iterative_handle(AccessMode::Read);
+            read.request().unwrap();
+            rendezvous.wait();
             for i in 0..400u64 {
                 *write.acquire().unwrap() = 120 + i;
                 let _ = *read.acquire().unwrap();
@@ -130,9 +156,14 @@ fn real_runtime_act() {
         });
     }
 
-    let report = OrwlRuntime::new(config).run(program).expect("adaptive run completes");
+    let report = session.run(program).expect("adaptive run completes");
     let adapt = report.adapt.expect("adaptive runs report counters");
-    println!("{} tasks finished, wall time {:?}", report.stats.tasks_finished, report.wall_time);
+    let thread = report.thread.expect("thread backend reports details");
+    println!(
+        "{} tasks finished, wall time {:?}",
+        thread.stats.tasks_finished,
+        report.time.as_wall().unwrap()
+    );
     println!(
         "epochs: {}, re-placements published: {}, live thread re-bindings applied: {}",
         adapt.epochs, adapt.replacements, adapt.rebinds_applied

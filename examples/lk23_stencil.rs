@@ -11,7 +11,7 @@
 //! cargo run --release --example lk23_stencil [grid_size] [blocks_per_side] [iterations]
 //! ```
 
-use orwl_core::prelude::RuntimeConfig;
+use orwl_core::prelude::*;
 use orwl_lk23::blocks::BlockDecomposition;
 use orwl_lk23::kernel::{reference_jacobi, Grid};
 use orwl_lk23::openmp_like::run_openmp_like;
@@ -41,20 +41,22 @@ fn main() {
         openmp.max_abs_diff(&reference)
     );
 
-    for (label, config) in [
-        ("orwl-nobind", RuntimeConfig::no_bind(topo.clone())),
-        ("orwl-bind   ", RuntimeConfig::bind(topo.clone())),
-    ] {
+    for (label, policy) in [("orwl-nobind", Policy::NoBind), ("orwl-bind   ", Policy::TreeMatch)] {
+        let session = Session::builder()
+            .topology(topo.clone())
+            .policy(policy)
+            .backend(ThreadBackend)
+            .build()
+            .expect("the LK23 configuration is valid");
         let t0 = std::time::Instant::now();
-        let (result, report) = run_orwl(&initial, decomp, iterations, config).expect("orwl run");
+        let (result, report) = run_orwl(&initial, decomp, iterations, &session).expect("orwl run");
         let elapsed = t0.elapsed();
-        let breakdown = report.plan.breakdown(&topo);
         println!(
             "{label}: {:>10.3?}  max|diff| vs reference = {:.3e}  bound = {:>3.0}%  NUMA-local traffic = {:>5.1}%",
             elapsed,
             result.max_abs_diff(&reference),
             100.0 * report.plan.placement.bound_fraction(),
-            100.0 * breakdown.local_fraction(),
+            100.0 * report.breakdown.local_fraction(),
         );
     }
 

@@ -1,5 +1,7 @@
 //! Placement explorer: see what Algorithm 1 does on a chosen machine and
-//! workload, compared with the baseline policies.
+//! workload, compared with the baseline policies — both through the static
+//! metrics and through a short simulated execution of each policy via the
+//! `Session` API.
 //!
 //! ```text
 //! cargo run --release --example placement_explorer [preset] [stencil_side]
@@ -10,8 +12,14 @@
 //! `stencil_side` is the side of the block-task grid (default 8, i.e. 64
 //! communicating tasks).
 
+use orwl_adapt::backend::SimBackend;
 use orwl_comm::metrics::{mapping_cost_default, traffic_breakdown};
 use orwl_comm::patterns::{stencil_2d, StencilSpec};
+use orwl_core::session::Session;
+use orwl_numasim::costmodel::CostParams;
+use orwl_numasim::machine::SimMachine;
+use orwl_numasim::taskgraph::TaskGraph;
+use orwl_numasim::workload::PhasedWorkload;
 use orwl_topo::synthetic;
 use orwl_treematch::policies::{compute_placement, Policy};
 
@@ -36,12 +44,15 @@ fn main() {
     println!("workload: {side}x{side} LK23-style block tasks (9-point stencil)\n");
     println!("{}", topo.render_ascii());
 
-    let matrix = stencil_2d(&StencilSpec::nine_point_blocks(side, 2048, 8));
+    let spec = StencilSpec::nine_point_blocks(side, 2048, 8);
+    let matrix = stencil_2d(&spec);
     let pus = topo.pu_os_indices();
+    let machine = SimMachine::new(topo.clone(), CostParams::cluster2016());
+    let graph = TaskGraph::stencil(&spec, 2048.0 * 2048.0, 8.0);
 
     println!(
-        "{:<12} {:>16} {:>12} {:>14} {:>12}",
-        "policy", "comm cost", "hop-bytes", "NUMA-local %", "nodes used"
+        "{:<12} {:>16} {:>12} {:>14} {:>12} {:>13}",
+        "policy", "comm cost", "hop-bytes", "NUMA-local %", "nodes used", "sim time (s)"
     );
     for policy in Policy::all() {
         let placement = compute_placement(policy, &topo, &matrix, 1);
@@ -49,13 +60,25 @@ fn main() {
         let cost = mapping_cost_default(&matrix, &topo, &mapping);
         let hops = orwl_comm::metrics::hop_bytes(&matrix, &topo, &mapping);
         let breakdown = traffic_breakdown(&matrix, &topo, &mapping);
+        // A short simulated execution of the same placement, through the
+        // unified Session front door.
+        let session = Session::builder()
+            .topology(topo.clone())
+            .policy(policy)
+            .control_threads(1)
+            .backend(SimBackend::new(machine.clone()))
+            .build()
+            .expect("the explorer configuration is valid");
+        let report =
+            session.run(PhasedWorkload::single_phase(graph.clone(), 3)).expect("the workload simulates");
         println!(
-            "{:<12} {:>16.3e} {:>12.3e} {:>13.1}% {:>12}",
+            "{:<12} {:>16.3e} {:>12.3e} {:>13.1}% {:>12} {:>13.4}",
             policy.name(),
             cost,
             hops,
             100.0 * breakdown.local_fraction(),
-            placement.numa_nodes_used(&topo)
+            placement.numa_nodes_used(&topo),
+            report.time.seconds(),
         );
     }
 

@@ -10,7 +10,7 @@
 //! ```
 
 use orwl_core::prelude::*;
-use orwl_core::Location;
+use orwl_core::{Handle, Location};
 use std::sync::Arc;
 
 fn build_program(n_tasks: usize, iterations: u64) -> (OrwlProgram, Arc<Location<u64>>) {
@@ -18,20 +18,38 @@ fn build_program(n_tasks: usize, iterations: u64) -> (OrwlProgram, Arc<Location<
     // A ring of token locations so that tasks really communicate.
     let tokens: Vec<_> = (0..n_tasks).map(|i| Location::new(format!("token-{i}"), 0u64)).collect();
 
-    let mut program = OrwlProgram::new();
+    // Deterministic initialisation phase (the ORWL model's "init" step):
+    // post every request before any task thread runs — writers first, then
+    // readers — so each location's schedule alternates write → read from
+    // the start.  Posting lazily from racing threads can order a reader
+    // behind a writer's *next* request, which deadlocks once that writer
+    // finishes and parks.
+    let mut counter_handles: Vec<Handle<u64>> = Vec::with_capacity(n_tasks);
+    let mut write_handles: Vec<Handle<u64>> = Vec::with_capacity(n_tasks);
+    let mut read_handles: Vec<Handle<u64>> = Vec::with_capacity(n_tasks);
+    for token in &tokens {
+        let mut h = counter.iterative_handle(AccessMode::Write);
+        h.request().expect("fresh handle has no pending request");
+        counter_handles.push(h);
+        let mut h = token.iterative_handle(AccessMode::Write);
+        h.request().expect("fresh handle has no pending request");
+        write_handles.push(h);
+    }
     for t in 0..n_tasks {
-        let counter_loc = Arc::clone(&counter);
-        let my_token = Arc::clone(&tokens[t]);
-        let prev_token = Arc::clone(&tokens[(t + n_tasks - 1) % n_tasks]);
+        let mut h = tokens[(t + n_tasks - 1) % n_tasks].iterative_handle(AccessMode::Read);
+        h.request().expect("fresh handle has no pending request");
+        read_handles.push(h);
+    }
+
+    let mut program = OrwlProgram::new();
+    let handles = counter_handles.into_iter().zip(write_handles).zip(read_handles);
+    for (t, ((mut counter_h, mut write_h), mut read_h)) in handles.enumerate() {
         let links = vec![
             LocationLink::write(counter.id(), 8.0),
             LocationLink::write(tokens[t].id(), 8.0),
             LocationLink::read(tokens[(t + n_tasks - 1) % n_tasks].id(), 8.0),
         ];
         program.add_task(TaskSpec::new(format!("worker-{t}"), links), move |ctx| {
-            let mut counter_h = counter_loc.iterative_handle(AccessMode::Write);
-            let mut write_h = my_token.iterative_handle(AccessMode::Write);
-            let mut read_h = prev_token.iterative_handle(AccessMode::Read);
             for i in 0..iterations {
                 *counter_h.acquire().unwrap() += 1;
                 *write_h.acquire().unwrap() = i;
@@ -43,17 +61,26 @@ fn build_program(n_tasks: usize, iterations: u64) -> (OrwlProgram, Arc<Location<
     (program, counter)
 }
 
-fn run_with(label: &str, config: RuntimeConfig) {
+fn run_with(label: &str, topo: orwl_topo::topology::Topology, policy: Policy) {
     let (program, counter) = build_program(4, 1_000);
-    let runtime = OrwlRuntime::new(config);
-    let report = runtime.run(program).expect("program runs to completion");
+    // The one front door: a Session over the real thread runtime.
+    let session = Session::builder()
+        .topology(topo)
+        .policy(policy)
+        .control_threads(1)
+        .backend(ThreadBackend)
+        .build()
+        .expect("the quickstart configuration is valid");
+    let report = session.run(program).expect("program runs to completion");
+    let thread = report.thread.as_ref().expect("thread backend reports details");
     println!("--- {label} ---");
     println!("counter value        : {}", counter.snapshot());
-    println!("wall time            : {:?}", report.wall_time);
-    println!("lock acquisitions    : {}", report.stats.lock_acquisitions);
-    println!("control events       : {}", report.stats.control_events);
+    println!("wall time            : {:?}", report.time.as_wall().unwrap());
+    println!("lock acquisitions    : {}", thread.stats.lock_acquisitions);
+    println!("control events       : {}", thread.stats.control_events);
     println!("bound compute threads: {:.0}%", 100.0 * report.plan.placement.bound_fraction());
     println!("communication matrix : order {}", report.plan.matrix.order());
+    println!("NUMA-local traffic   : {:.1}%", 100.0 * report.breakdown.local_fraction());
     println!("placement:\n{}", report.plan.placement);
 }
 
@@ -63,6 +90,6 @@ fn main() {
     println!("host topology: {} ({} PUs, {} cores)\n", topo.name(), topo.nb_pus(), topo.nb_cores());
 
     // The paper's two ORWL configurations.
-    run_with("ORWL NoBind", RuntimeConfig::no_bind(topo.clone()));
-    run_with("ORWL Bind (TreeMatch)", RuntimeConfig::bind(topo));
+    run_with("ORWL NoBind", topo.clone(), Policy::NoBind);
+    run_with("ORWL Bind (TreeMatch)", topo, Policy::TreeMatch);
 }

@@ -12,13 +12,24 @@
 //! | [`orwl_comm`] | communication matrices, workload patterns, locality metrics |
 //! | [`orwl_treematch`] | Algorithm 1 (TreeMatch + control-thread and oversubscription extensions), baseline policies |
 //! | [`orwl_numasim`] | discrete-event NUMA machine simulator (substitute for the 192-core testbed) |
-//! | [`orwl_core`] | the ORWL runtime (locations, FIFOs, handles, tasks, event runtime, placement add-on) |
+//! | [`orwl_core`] | the ORWL runtime (locations, FIFOs, handles, tasks, event runtime, placement add-on, the `Session` API) |
+//! | [`orwl_adapt`] | online monitoring, drift detection, adaptive re-placement, the simulator backend |
 //! | [`orwl_lk23`] | Livermore Kernel 23: sequential, OpenMP-like, ORWL, simulator models |
 //! | [`orwl_bench`] | experiment harness regenerating Figure 1 and the ablations |
 //!
 //! See `README.md` for a guided tour, `DESIGN.md` for the system inventory,
 //! and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ## The front door
+//!
+//! The whole pipeline is driven through one API, re-exported here: build a
+//! [`Session`] (topology, policy, control threads, run mode, backend) and
+//! [`run`](Session::run) a workload on it.  [`ThreadBackend`] executes real
+//! ORWL programs on the event runtime; [`SimBackend`] executes phased
+//! task-graph workloads on the simulated NUMA machine.  Both return the
+//! same [`Report`].
 
+pub use orwl_adapt;
 pub use orwl_bench;
 pub use orwl_comm;
 pub use orwl_core;
@@ -26,6 +37,18 @@ pub use orwl_lk23;
 pub use orwl_numasim;
 pub use orwl_topo;
 pub use orwl_treematch;
+
+pub use orwl_adapt::backend::SimBackend;
+pub use orwl_adapt::engine::{adaptive_session_spec, AdaptiveEngine};
+pub use orwl_core::error::{ConfigError, OrwlError};
+pub use orwl_core::runtime::{AdaptReport, AdaptiveSpec};
+pub use orwl_core::session::{
+    ExecutionBackend, Mode, Report, RunTime, Session, SessionBuilder, SessionConfig, ThreadBackend,
+    ThreadDetails, Workload,
+};
+pub use orwl_core::task::OrwlProgram;
+pub use orwl_numasim::workload::PhasedWorkload;
+pub use orwl_treematch::policies::Policy;
 
 /// Human-readable version banner used by the examples.
 pub fn banner() -> String {

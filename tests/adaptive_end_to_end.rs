@@ -9,14 +9,15 @@
 //!   monitoring hooks → online matrix → drift detection → re-placement →
 //!   cooperative re-binding of live task threads.
 
+use orwl_adapt::backend::SimBackend;
 use orwl_adapt::drift::DriftConfig;
-use orwl_adapt::engine::{adaptive_runtime_config, AdaptConfig, AdaptiveEngine};
+use orwl_adapt::engine::{adaptive_session_spec, AdaptConfig, AdaptiveEngine};
 use orwl_adapt::replace::{MigrationCostModel, ReplacerConfig};
-use orwl_adapt::sim::{run_adaptive, run_oracle, run_static, PhasedWorkload, SimAdaptConfig};
 use orwl_core::prelude::*;
 use orwl_core::Location;
 use orwl_numasim::costmodel::CostParams;
 use orwl_numasim::machine::SimMachine;
+use orwl_numasim::workload::PhasedWorkload;
 use orwl_topo::binding::RecordingBinder;
 use orwl_topo::synthetic;
 use std::sync::Arc;
@@ -29,33 +30,38 @@ fn adaptive_beats_static_and_stays_within_ten_percent_of_oracle() {
     // rotates 90° for 200 iterations.  The adaptive driver does not know
     // where the boundary is.
     let workload = PhasedWorkload::rotating_stencil(4, 65536.0, 1024.0, 16384.0, 131072.0, &[24, 200]);
-    let config = SimAdaptConfig {
-        epoch_iterations: 4,
-        decay: 0.2,
-        drift: DriftConfig { threshold: 0.15, patience: 1, cooldown: 2 },
-        replacer: ReplacerConfig {
-            model: MigrationCostModel { task_state_bytes: 131072.0 },
-            horizon_epochs: 20.0,
-            min_relative_gain: 0.05,
-        },
+    let adapt = AdaptConfig::evaluation();
+
+    // One builder, three run modes, one report type.
+    let run = |mode: Mode| {
+        Session::builder()
+            .topology(machine.topology().clone())
+            .policy(Policy::TreeMatch)
+            .control_threads(0)
+            .mode(mode)
+            .backend(SimBackend::new(machine.clone()).with_adapt_config(adapt))
+            .build()
+            .unwrap()
+            .run(workload.clone())
+            .unwrap()
     };
+    let fixed = run(Mode::Static);
+    let oracle = run(Mode::Oracle);
+    let adaptive = run(Mode::Adaptive(AdaptiveSpec::per_iterations(4)));
 
-    let fixed = run_static(&machine, &workload);
-    let oracle = run_oracle(&machine, &workload);
-    let adaptive = run_adaptive(&machine, &workload, &config);
-
-    assert!(adaptive.migrations >= 1, "the phase change must be acted on: {adaptive:?}");
+    let counters = adaptive.adapt.as_ref().expect("adaptive runs report counters");
+    assert!(counters.replacements >= 1, "the phase change must be acted on: {counters:?}");
     assert!(
-        adaptive.cumulative_hop_bytes < fixed.cumulative_hop_bytes,
+        adaptive.hop_bytes < fixed.hop_bytes,
         "adaptive hop-bytes {} must be strictly below static {}",
-        adaptive.cumulative_hop_bytes,
-        fixed.cumulative_hop_bytes,
+        adaptive.hop_bytes,
+        fixed.hop_bytes,
     );
-    assert!(oracle.cumulative_hop_bytes <= adaptive.cumulative_hop_bytes + 1e-9);
-    let ratio = adaptive.cumulative_hop_bytes / oracle.cumulative_hop_bytes;
+    assert!(oracle.hop_bytes <= adaptive.hop_bytes + 1e-9);
+    let ratio = adaptive.hop_bytes / oracle.hop_bytes;
     assert!(ratio <= 1.10, "adaptive must be within 10% of the free-remap oracle, got {ratio:.4}");
     // The time model agrees with the metric: adapting is also faster.
-    assert!(adaptive.total_time < fixed.total_time);
+    assert!(adaptive.time.seconds() < fixed.time.seconds());
 }
 
 /// A paired-exchange program: task `t` writes its own buffer every
@@ -63,6 +69,13 @@ fn adaptive_beats_static_and_stays_within_ten_percent_of_oracle() {
 /// partner is the declared one (`t XOR 1`, which TreeMatch co-locates);
 /// afterwards every task switches to `(t + 2) % n`, crossing all the
 /// original pairs.
+///
+/// The partner switch is a *re-initialisation phase* in the ORWL sense:
+/// every task posts its new read request between two barriers, before any
+/// writer advances past the boundary.  Posting mid-run without that fence
+/// can land a read request one write too late on every edge of a partner
+/// cycle — a circular wait (readers wait for the writers' *next*
+/// iteration, writers wait for their own readers).
 fn drifting_program(
     n: usize,
     phase1: u64,
@@ -70,23 +83,34 @@ fn drifting_program(
     pace: Duration,
 ) -> (OrwlProgram, Vec<Arc<Location<u64>>>) {
     let locs: Vec<_> = (0..n).map(|i| Location::new(format!("pair-{i}"), 0u64)).collect();
+    let rendezvous = Arc::new(std::sync::Barrier::new(n));
     let mut program = OrwlProgram::new();
     for t in 0..n {
         let own = Arc::clone(&locs[t]);
         let first = Arc::clone(&locs[t ^ 1]);
         let second = Arc::clone(&locs[(t + 2) % n]);
+        let rendezvous = Arc::clone(&rendezvous);
         let links =
             vec![LocationLink::write(locs[t].id(), 4096.0), LocationLink::read(locs[t ^ 1].id(), 4096.0)];
         program.add_task(TaskSpec::new(format!("pair-task-{t}"), links), move |_ctx| {
+            // Deterministic init: every request is posted before any task
+            // starts acquiring, so no reader can land behind a write it
+            // will never outwait.
             let mut write = own.iterative_handle(AccessMode::Write);
+            write.request().unwrap();
             let mut read1 = first.iterative_handle(AccessMode::Read);
+            read1.request().unwrap();
+            rendezvous.wait();
             for i in 0..phase1 {
                 *write.acquire().unwrap() = i;
                 let _ = *read1.acquire().unwrap();
                 std::thread::sleep(pace);
             }
             drop(read1);
+            rendezvous.wait();
             let mut read2 = second.iterative_handle(AccessMode::Read);
+            read2.request().unwrap();
+            rendezvous.wait();
             for i in 0..phase2 {
                 *write.acquire().unwrap() = phase1 + i;
                 let _ = *read2.acquire().unwrap();
@@ -110,18 +134,19 @@ fn real_runtime_detects_drift_and_rebinds_live_threads() {
         },
     });
     let binder = Arc::new(RecordingBinder::new());
-    let config = adaptive_runtime_config(
-        synthetic::cluster2016_subset(4).unwrap(),
-        Arc::clone(&engine),
-        Duration::from_millis(15),
-    )
-    .with_binder(binder.clone());
+    let session = Session::builder()
+        .topology(synthetic::cluster2016_subset(4).unwrap())
+        .binder(binder.clone())
+        .adaptive(adaptive_session_spec(Arc::clone(&engine), Duration::from_millis(15)))
+        .backend(ThreadBackend)
+        .build()
+        .unwrap();
 
     let (program, locs) = drifting_program(n, 120, 400, Duration::from_micros(300));
-    let report = OrwlRuntime::new(config).run(program).unwrap();
+    let report = session.run(program).unwrap();
 
     // The workload ran to completion under adaptation.
-    assert_eq!(report.stats.tasks_finished, n as u64);
+    assert_eq!(report.thread.as_ref().unwrap().stats.tasks_finished, n as u64);
     for loc in &locs {
         assert_eq!(loc.snapshot(), 120 + 400 - 1);
     }
@@ -148,7 +173,12 @@ fn real_runtime_detects_drift_and_rebinds_live_threads() {
 #[test]
 fn non_adaptive_runs_report_no_adapt_counters() {
     let (program, _locs) = drifting_program(4, 3, 3, Duration::ZERO);
-    let config = RuntimeConfig::no_bind(synthetic::laptop());
-    let report = OrwlRuntime::new(config).run(program).unwrap();
+    let session = Session::builder()
+        .topology(synthetic::laptop())
+        .policy(Policy::NoBind)
+        .backend(ThreadBackend)
+        .build()
+        .unwrap();
+    let report = session.run(program).unwrap();
     assert!(report.adapt.is_none());
 }

@@ -25,20 +25,25 @@ fn orwl_bind_nobind_and_openmp_agree_with_the_reference() {
     assert_eq!(openmp.max_abs_diff(&reference), 0.0);
 
     // ORWL without binding.
-    let (nobind, _) = run_orwl(
-        &initial,
-        decomp,
-        iterations,
-        RuntimeConfig::no_bind(synthetic::cluster2016_subset(2).unwrap()),
-    )
-    .unwrap();
+    let nobind_session = Session::builder()
+        .topology(synthetic::cluster2016_subset(2).unwrap())
+        .policy(Policy::NoBind)
+        .backend(ThreadBackend)
+        .build()
+        .unwrap();
+    let (nobind, _) = run_orwl(&initial, decomp, iterations, &nobind_session).unwrap();
     assert_eq!(nobind.max_abs_diff(&reference), 0.0);
 
     // ORWL with the topology-aware binding (recording binder so the test is
     // independent of the host's real CPU count).
     let binder = Arc::new(RecordingBinder::new());
-    let config = RuntimeConfig::bind(synthetic::cluster2016_subset(2).unwrap()).with_binder(binder.clone());
-    let (bind, report) = run_orwl(&initial, decomp, iterations, config).unwrap();
+    let bind_session = Session::builder()
+        .topology(synthetic::cluster2016_subset(2).unwrap())
+        .binder(binder.clone())
+        .backend(ThreadBackend)
+        .build()
+        .unwrap();
+    let (bind, report) = run_orwl(&initial, decomp, iterations, &bind_session).unwrap();
     assert_eq!(bind.max_abs_diff(&reference), 0.0);
 
     // The placement bound every block task and the binder was exercised.
@@ -92,10 +97,14 @@ fn every_policy_runs_the_real_workload_correctly() {
     let topo = synthetic::laptop();
 
     for policy in orwl_treematch::Policy::all() {
-        let config = RuntimeConfig::no_bind(topo.clone())
-            .with_policy(policy)
-            .with_binder(Arc::new(RecordingBinder::new()));
-        let (result, report) = run_orwl(&initial, decomp, iterations, config).unwrap();
+        let session = Session::builder()
+            .topology(topo.clone())
+            .policy(policy)
+            .binder(Arc::new(RecordingBinder::new()))
+            .backend(ThreadBackend)
+            .build()
+            .unwrap();
+        let (result, report) = run_orwl(&initial, decomp, iterations, &session).unwrap();
         assert_eq!(
             result.max_abs_diff(&reference),
             0.0,
@@ -111,14 +120,24 @@ fn runtime_reports_are_consistent() {
     let n = 32;
     let initial = Grid::initial(n, n);
     let decomp = BlockDecomposition::new(n, n, 2, 2).unwrap();
-    let config = RuntimeConfig::no_bind(synthetic::laptop()).with_control_threads(2);
-    let (_, report) = run_orwl(&initial, decomp, 2, config).unwrap();
+    let session = Session::builder()
+        .topology(synthetic::laptop())
+        .policy(Policy::NoBind)
+        .control_threads(2)
+        .backend(ThreadBackend)
+        .build()
+        .unwrap();
+    let (_, report) = run_orwl(&initial, decomp, 2, &session).unwrap();
 
-    assert_eq!(report.per_task_time.len(), 4);
-    assert_eq!(report.stats.tasks_started, 4);
-    assert_eq!(report.stats.tasks_finished, 4);
+    let thread = report.thread.as_ref().expect("thread backend reports details");
+    assert_eq!(thread.per_task_time.len(), 4);
+    assert_eq!(thread.stats.tasks_started, 4);
+    assert_eq!(thread.stats.tasks_finished, 4);
     // Two lifecycle events per task, all drained by the control threads.
-    assert_eq!(report.stats.control_events, 8);
-    assert!(report.max_task_time() <= report.wall_time);
+    assert_eq!(thread.stats.control_events, 8);
+    assert!(thread.max_task_time() <= report.time.as_wall().unwrap());
     assert_eq!(report.plan.matrix.order(), 4);
+    // The unified report carries the locality metrics directly.
+    assert!(report.breakdown.total() > 0.0);
+    assert!(report.hop_bytes >= 0.0);
 }

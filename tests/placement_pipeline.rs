@@ -2,13 +2,16 @@
 //! communication matrix → Algorithm 1 → metrics → simulator, without the
 //! ORWL runtime in the loop.
 
+use orwl_adapt::backend::SimBackend;
 use orwl_comm::metrics::{mapping_cost_default, traffic_breakdown};
 use orwl_comm::patterns::{stencil_2d, StencilSpec};
+use orwl_core::session::Session;
 use orwl_numasim::costmodel::CostParams;
 use orwl_numasim::exec::simulate;
 use orwl_numasim::machine::SimMachine;
 use orwl_numasim::scenario::ExecutionScenario;
 use orwl_numasim::taskgraph::TaskGraph;
+use orwl_numasim::workload::PhasedWorkload;
 use orwl_topo::synthetic;
 use orwl_treematch::policies::{compute_placement, Policy};
 
@@ -29,7 +32,15 @@ fn better_mapping_cost_translates_into_better_simulated_time() {
         let placement = compute_placement(policy, &topo, &matrix, 0);
         let mapping = placement.compute_mapping_with(|t| pus[t % pus.len()]);
         let cost = mapping_cost_default(&matrix, &topo, &mapping);
-        let time = simulate(&machine, &graph, &ExecutionScenario::bound(&machine, mapping), 3).total_time;
+        // The simulated execution goes through the Session front door.
+        let session = Session::builder()
+            .topology(topo.clone())
+            .policy(policy)
+            .control_threads(0)
+            .backend(SimBackend::new(machine.clone()))
+            .build()
+            .unwrap();
+        let time = session.run(PhasedWorkload::single_phase(graph.clone(), 3)).unwrap().time.seconds();
         measured.push((policy.name().to_string(), cost, time));
     }
     let tm = measured.iter().find(|(n, _, _)| n == "treematch").unwrap().clone();
@@ -99,9 +110,17 @@ fn oversubscribed_placement_balances_and_simulates_faster_than_stacking() {
     assert_eq!(counts.len(), 16);
     assert!(counts.values().all(|&c| c == 4), "unbalanced: {counts:?}");
 
-    // And it beats stacking everything on one socket.
+    // And it beats stacking everything on one socket (the stacked mapping
+    // is not a policy, so it exercises the raw simulator directly).
     let stacked: Vec<usize> = (0..64).map(|t| t % 8).collect();
-    let t_tm = simulate(&machine, &graph, &ExecutionScenario::bound(&machine, mapping), 3).total_time;
+    let session = Session::builder()
+        .topology(topo.clone())
+        .policy(Policy::TreeMatch)
+        .control_threads(0)
+        .backend(SimBackend::new(machine.clone()))
+        .build()
+        .unwrap();
+    let t_tm = session.run(PhasedWorkload::single_phase(graph.clone(), 3)).unwrap().time.seconds();
     let t_stacked = simulate(&machine, &graph, &ExecutionScenario::bound(&machine, stacked), 3).total_time;
     assert!(t_tm < t_stacked);
 }

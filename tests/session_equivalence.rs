@@ -1,0 +1,101 @@
+//! Golden equivalence: the `Session` simulator backend must reproduce the
+//! legacy `run_static` / `run_adaptive` / `run_oracle` harness **to the
+//! bit** on the rotating-sweep workload, for hop-bytes, simulated time and
+//! migration counts.  This is the safety net that lets the deprecated trio
+//! be deleted later without silently changing the evaluation.
+
+#![allow(deprecated)]
+
+use orwl_adapt::backend::SimBackend;
+use orwl_adapt::drift::DriftConfig;
+use orwl_adapt::engine::AdaptConfig;
+use orwl_adapt::replace::{MigrationCostModel, ReplacerConfig};
+use orwl_adapt::sim::{run_adaptive, run_oracle, run_static, SimAdaptConfig};
+use orwl_core::prelude::*;
+use orwl_numasim::costmodel::CostParams;
+use orwl_numasim::machine::SimMachine;
+use orwl_numasim::workload::PhasedWorkload;
+use orwl_topo::synthetic;
+
+const EPOCH_ITERATIONS: usize = 4;
+
+fn machine() -> SimMachine {
+    SimMachine::new(synthetic::cluster2016_subset(2).unwrap(), CostParams::cluster2016())
+}
+
+fn workload() -> PhasedWorkload {
+    PhasedWorkload::rotating_stencil(4, 65536.0, 1024.0, 16384.0, 131072.0, &[24, 200])
+}
+
+fn legacy_config() -> SimAdaptConfig {
+    SimAdaptConfig {
+        epoch_iterations: EPOCH_ITERATIONS,
+        decay: 0.2,
+        drift: DriftConfig { threshold: 0.15, patience: 1, cooldown: 2 },
+        replacer: ReplacerConfig {
+            model: MigrationCostModel { task_state_bytes: 131072.0 },
+            horizon_epochs: 20.0,
+            min_relative_gain: 0.05,
+        },
+    }
+}
+
+fn session(mode: Mode) -> Session {
+    let legacy = legacy_config();
+    let adapt = AdaptConfig { decay: legacy.decay, drift: legacy.drift, replacer: legacy.replacer };
+    Session::builder()
+        .topology(machine().topology().clone())
+        .policy(Policy::TreeMatch)
+        .control_threads(0)
+        .mode(mode)
+        .backend(SimBackend::new(machine()).with_adapt_config(adapt))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn static_mode_reproduces_run_static_exactly() {
+    let old = run_static(&machine(), &workload());
+    let new = session(Mode::Static).run(workload()).unwrap();
+    assert_eq!(new.hop_bytes, old.cumulative_hop_bytes, "hop-bytes must be bit-identical");
+    assert_eq!(new.time.seconds(), old.total_time, "simulated time must be bit-identical");
+    assert!(new.adapt.is_none());
+}
+
+#[test]
+fn oracle_mode_reproduces_run_oracle_exactly() {
+    let old = run_oracle(&machine(), &workload());
+    let new = session(Mode::Oracle).run(workload()).unwrap();
+    assert_eq!(new.hop_bytes, old.cumulative_hop_bytes, "hop-bytes must be bit-identical");
+    assert_eq!(new.time.seconds(), old.total_time, "simulated time must be bit-identical");
+}
+
+#[test]
+fn adaptive_mode_reproduces_run_adaptive_exactly() {
+    let old = run_adaptive(&machine(), &workload(), &legacy_config());
+    let new =
+        session(Mode::Adaptive(AdaptiveSpec::per_iterations(EPOCH_ITERATIONS))).run(workload()).unwrap();
+    assert_eq!(new.hop_bytes, old.cumulative_hop_bytes, "hop-bytes must be bit-identical");
+    assert_eq!(new.time.seconds(), old.total_time, "simulated time must be bit-identical");
+    let adapt = new.adapt.expect("adaptive sessions report counters");
+    assert_eq!(adapt.replacements as usize, old.migrations);
+    assert_eq!(adapt.drift_deltas, old.drift_deltas, "per-epoch drift deltas must match");
+}
+
+#[test]
+fn equivalence_holds_across_workload_shapes() {
+    // A single-phase and a three-phase workload, pinned the same way.
+    for phases in [vec![40usize], vec![16, 16, 60]] {
+        let w = PhasedWorkload::rotating_stencil(4, 65536.0, 1024.0, 16384.0, 131072.0, &phases);
+        let old_static = run_static(&machine(), &w);
+        let old_oracle = run_oracle(&machine(), &w);
+        let old_adaptive = run_adaptive(&machine(), &w, &legacy_config());
+        let new_static = session(Mode::Static).run(w.clone()).unwrap();
+        let new_oracle = session(Mode::Oracle).run(w.clone()).unwrap();
+        let new_adaptive =
+            session(Mode::Adaptive(AdaptiveSpec::per_iterations(EPOCH_ITERATIONS))).run(w).unwrap();
+        assert_eq!(new_static.hop_bytes, old_static.cumulative_hop_bytes, "phases {phases:?}");
+        assert_eq!(new_oracle.hop_bytes, old_oracle.cumulative_hop_bytes, "phases {phases:?}");
+        assert_eq!(new_adaptive.hop_bytes, old_adaptive.cumulative_hop_bytes, "phases {phases:?}");
+    }
+}

@@ -1,4 +1,4 @@
-//! Offline stand-in for the subset of [`crossbeam`] this workspace uses:
+//! Offline stand-in for the subset of `crossbeam` this workspace uses:
 //! the multi-producer **multi-consumer** unbounded channel.
 //!
 //! The build environment has no access to crates.io, so the workspace ships

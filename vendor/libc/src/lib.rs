@@ -1,4 +1,4 @@
-//! Offline stand-in for the tiny subset of [`libc`] this workspace uses:
+//! Offline stand-in for the tiny subset of `libc` this workspace uses:
 //! the Linux CPU-affinity interface (`cpu_set_t`, `CPU_*` helpers and
 //! `sched_{set,get}affinity`).
 //!

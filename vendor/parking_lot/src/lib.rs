@@ -1,4 +1,4 @@
-//! Offline stand-in for the subset of [`parking_lot`] this workspace uses.
+//! Offline stand-in for the subset of `parking_lot` this workspace uses.
 //!
 //! The build environment has no access to crates.io, so the workspace ships
 //! minimal, API-compatible implementations of its external dependencies
