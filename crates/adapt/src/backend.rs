@@ -1,7 +1,7 @@
 //! The NUMA simulator as an [`ExecutionBackend`]: the `Session` front door
 //! for phased workloads, with the static / adaptive / oracle run modes that
 //! used to be the bespoke `run_static` / `run_adaptive` / `run_oracle` trio
-//! of [`crate::sim`].
+//! of the deleted pre-`Session` harness.
 //!
 //! The backend plays the role of the paper's 192-core testbed.  Under
 //! [`Mode::Static`](orwl_core::session::Mode) it places once from the first
@@ -14,8 +14,8 @@
 //! The adaptive driver is honest about its information: the detector sees
 //! only what the executor's [`SimMonitor`] hooks observed, epoch by epoch —
 //! it has no knowledge of where phase boundaries are.  The backend is
-//! pinned bit-for-bit against the legacy harness by the
-//! `session_equivalence` integration test.
+//! pinned against golden values (captured from the bit-for-bit-equivalent
+//! original harness) by the `session_equivalence` integration test.
 
 use crate::drift::DriftDetector;
 use crate::engine::AdaptConfig;
@@ -183,7 +183,13 @@ impl SimBackend {
         }
         let plan =
             PlacementPlan::new(config.policy, workload.phases[0].graph.comm_matrix().symmetrized(), initial);
-        let adapt = AdaptReport { epochs, replacements: migrations, rebinds_applied: 0, drift_deltas };
+        let adapt = AdaptReport {
+            epochs,
+            replacements: migrations,
+            rebinds_applied: 0,
+            node_reshards: 0,
+            drift_deltas,
+        };
         (plan, total_time, cumulative_hop_bytes, adapt)
     }
 }
@@ -258,6 +264,7 @@ impl ExecutionBackend for SimBackend {
             hop_bytes: cumulative_hop_bytes,
             adapt,
             thread: None,
+            fabric: None,
         })
     }
 }

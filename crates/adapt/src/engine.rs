@@ -300,19 +300,6 @@ pub fn adaptive_session_spec(
     orwl_core::runtime::AdaptiveSpec::with_controller(Arc::new(ArcEngine(engine)), epoch)
 }
 
-/// Builds an adaptive [`RuntimeConfig`](orwl_core::RuntimeConfig) around
-/// `engine`: TreeMatch initial placement, the engine as controller, and
-/// `epoch` as the monitoring period.
-#[deprecated(since = "0.1.0", note = "use `Session::builder().adaptive(adaptive_session_spec(..))` instead")]
-pub fn adaptive_runtime_config(
-    topology: Topology,
-    engine: Arc<AdaptiveEngine>,
-    epoch: std::time::Duration,
-) -> orwl_core::RuntimeConfig {
-    #[allow(deprecated)]
-    orwl_core::RuntimeConfig::adaptive(topology, Arc::new(ArcEngine(engine)), epoch)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -20,16 +20,13 @@
 //!   cooperatively at lock acquisitions);
 //! * [`backend`] — [`SimBackend`], the discrete-event simulator as a
 //!   `Session` [`ExecutionBackend`](orwl_core::session::ExecutionBackend)
-//!   with static/adaptive/oracle run modes;
-//! * [`sim`] — the deprecated pre-`Session` harness, kept verbatim as the
-//!   golden reference the new backend is pinned against.
+//!   with static/adaptive/oracle run modes.
 
 pub mod backend;
 pub mod drift;
 pub mod engine;
 pub mod online;
 pub mod replace;
-pub mod sim;
 
 pub use backend::SimBackend;
 pub use drift::{DriftConfig, DriftDetector, DriftObservation};

@@ -1,0 +1,43 @@
+//! Experiment C1 — cluster scaling: cost of the two-level placement and of
+//! one simulated multi-node step as the node count grows (2 → 8 nodes).
+//! The placement runs once at launch (and once per accepted adaptive
+//! migration), so it must stay cheap; the per-step simulation cost bounds
+//! the sweep throughput of the experiment harness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orwl_cluster::{hierarchical_placement, simulate_cluster, ClusterMachine};
+use orwl_comm::patterns::{stencil_2d, StencilSpec};
+use orwl_numasim::exec::NoopSimMonitor;
+use orwl_numasim::taskgraph::TaskGraph;
+
+fn workload_for(machine: &ClusterMachine) -> TaskGraph {
+    // One task per PU, the paper's 9-point stencil decomposition.
+    let side = (machine.n_pus() as f64).sqrt().round() as usize;
+    let matrix = stencil_2d(&StencilSpec::nine_point_blocks(side, 1024, 8));
+    TaskGraph::from_matrix(&matrix, 16384.0, 131072.0)
+}
+
+fn bench_cluster_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_scaling");
+    group.sample_size(10);
+
+    for n_nodes in [2usize, 4, 8] {
+        let machine = ClusterMachine::paper(n_nodes);
+        let graph = workload_for(&machine);
+        let matrix = graph.comm_matrix().symmetrized();
+
+        group.bench_with_input(BenchmarkId::new("two_level_placement", n_nodes), &matrix, |b, m| {
+            b.iter(|| hierarchical_placement(&machine, m));
+        });
+
+        let placement = hierarchical_placement(&machine, &matrix);
+        let mapping = placement.global_mapping(&machine);
+        group.bench_with_input(BenchmarkId::new("simulated_step", n_nodes), &graph, |b, g| {
+            b.iter(|| simulate_cluster(&machine, g, &mapping, 1, &mut NoopSimMonitor));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_scaling);
+criterion_main!(benches);

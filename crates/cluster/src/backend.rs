@@ -1,0 +1,530 @@
+//! The multi-node cluster as a `Session` [`ExecutionBackend`].
+//!
+//! [`ClusterBackend`] is the third backend behind the unified `Session`
+//! front door (after `ThreadBackend` and `SimBackend`): build the session
+//! with the cluster's [flattened](orwl_topo::cluster::ClusterTopology::flatten)
+//! topology and a `ClusterBackend`, and run phased workloads unchanged.
+//!
+//! * **Static** — two-level placement from the first phase's matrix
+//!   ([`Policy::Hierarchical`]; flat policies are mapped onto the
+//!   flattened tree), never re-mapped.
+//! * **Oracle** — free two-level re-placement at every phase boundary.
+//! * **Adaptive** — the online loop of `orwl-adapt` lifted to cluster
+//!   scale: the executor's transfer hooks feed an `OnlineCommMatrix`,
+//!   drift is detected on the flattened topology, and a re-placement is a
+//!   fresh *two-level* computation — so drift can trigger **node-level
+//!   re-sharding** (tasks change machines, paying fabric transfer costs)
+//!   as well as intra-node re-binding.  The two are reported separately
+//!   ([`AdaptReport::node_reshards`] vs
+//!   [`AdaptReport::replacements`](orwl_core::runtime::AdaptReport)).
+
+use crate::exec::simulate_cluster;
+use crate::machine::ClusterMachine;
+use crate::metrics::{cluster_cost, inter_node_bytes, split_hop_bytes};
+use crate::placement::{hierarchical_placement, ClusterPlacement};
+use orwl_adapt::drift::DriftDetector;
+use orwl_adapt::engine::AdaptConfig;
+use orwl_adapt::online::OnlineCommMatrix;
+use orwl_comm::matrix::CommMatrix;
+use orwl_core::error::{ConfigError, OrwlError};
+use orwl_core::placement::PlacementPlan;
+use orwl_core::runtime::AdaptReport;
+use orwl_core::session::{ClusterTraffic, ExecutionBackend, Mode, Report, RunTime, SessionConfig, Workload};
+use orwl_numasim::workload::PhasedWorkload;
+use orwl_treematch::mapping::Placement;
+use orwl_treematch::policies::{compute_placement, Policy};
+
+/// Cumulative counters of one cluster run.
+#[derive(Debug, Clone, Copy, Default)]
+struct RunTotals {
+    time: f64,
+    hop_bytes: f64,
+    intra_hop_bytes: f64,
+    inter_hop_bytes: f64,
+    inter_bytes: f64,
+}
+
+/// The multi-node discrete-event simulator as a `Session` backend.
+#[derive(Debug, Clone)]
+pub struct ClusterBackend {
+    machine: ClusterMachine,
+    adapt: AdaptConfig,
+    nobind_seed: u64,
+}
+
+impl ClusterBackend {
+    /// Wraps a cluster machine with the default adaptive tuning.
+    #[must_use]
+    pub fn new(machine: ClusterMachine) -> Self {
+        ClusterBackend { machine, adapt: AdaptConfig::default(), nobind_seed: 0xC0FFEE }
+    }
+
+    /// Replaces the engine tuning used in adaptive mode.
+    #[must_use]
+    pub fn with_adapt_config(mut self, adapt: AdaptConfig) -> Self {
+        self.adapt = adapt;
+        self
+    }
+
+    /// Replaces the seed of the OS-placement model used for
+    /// [`Policy::NoBind`] runs.
+    #[must_use]
+    pub fn with_nobind_seed(mut self, seed: u64) -> Self {
+        self.nobind_seed = seed;
+        self
+    }
+
+    /// The simulated cluster machine.
+    #[must_use]
+    pub fn machine(&self) -> &ClusterMachine {
+        &self.machine
+    }
+
+    /// Two-level placement for [`Policy::Hierarchical`]; flat policies run
+    /// on the flattened topology and get their node assignment read back
+    /// from the mapping (this is what makes Scatter-on-a-cluster the
+    /// instructive baseline: it round-robins blissfully across machines).
+    /// [`Policy::NoBind`] is the OS-spread model: a seeded random PU
+    /// permutation with no affinity, mirroring `SimBackend` (migration
+    /// penalties and data non-locality are not modelled at cluster scale).
+    fn placement_for(&self, config: &SessionConfig, matrix: &CommMatrix) -> ClusterPlacement {
+        let mapping: Vec<usize> = match config.policy {
+            Policy::Hierarchical => return hierarchical_placement(&self.machine, matrix),
+            Policy::NoBind => {
+                use rand::seq::SliceRandom;
+                use rand::SeedableRng;
+                let mut pus = self.machine.topology().pu_os_indices();
+                let mut rng = rand::rngs::StdRng::seed_from_u64(self.nobind_seed);
+                pus.shuffle(&mut rng);
+                (0..matrix.order()).map(|t| pus[t % pus.len()]).collect()
+            }
+            policy => {
+                let flat = self.machine.topology();
+                let placement = compute_placement(policy, flat, matrix, config.control_threads);
+                let pus = flat.pu_os_indices();
+                placement.compute_mapping_with(|t| pus[t % pus.len()])
+            }
+        };
+        let node_of_task = mapping.iter().map(|&pu| self.machine.cluster().node_of_pu(pu)).collect();
+        ClusterPlacement {
+            node_of_task,
+            placement: Placement { compute: mapping.into_iter().map(Some).collect(), control: Vec::new() },
+        }
+    }
+
+    /// One simulated phase chunk, with its metrics folded into `totals`.
+    fn run_chunk(
+        &self,
+        cp: &ClusterPlacement,
+        graph: &orwl_numasim::taskgraph::TaskGraph,
+        matrix: &CommMatrix,
+        iterations: usize,
+        monitor: &mut dyn orwl_numasim::exec::SimMonitor,
+        totals: &mut RunTotals,
+    ) {
+        let mapping = cp.global_mapping(&self.machine);
+        let report = simulate_cluster(&self.machine, graph, &mapping, iterations, monitor);
+        let (intra, inter) = split_hop_bytes(self.machine.cluster(), matrix, &mapping);
+        let iters = iterations as f64;
+        totals.time += report.total_time;
+        totals.hop_bytes += iters * (intra + inter);
+        totals.intra_hop_bytes += iters * intra;
+        totals.inter_hop_bytes += iters * inter;
+        totals.inter_bytes += iters * inter_node_bytes(self.machine.cluster(), matrix, &mapping);
+    }
+
+    /// Static and oracle modes: a fixed placement schedule, re-computed per
+    /// phase only for the oracle.
+    fn run_fixed_schedule(
+        &self,
+        config: &SessionConfig,
+        workload: &PhasedWorkload,
+        oracle: bool,
+    ) -> (ClusterPlacement, RunTotals) {
+        let initial = self.placement_for(config, &workload.phases[0].graph.comm_matrix().symmetrized());
+        let mut totals = RunTotals::default();
+        for (k, phase) in workload.phases.iter().enumerate() {
+            let cp = if oracle && k > 0 {
+                self.placement_for(config, &phase.graph.comm_matrix().symmetrized())
+            } else {
+                initial.clone()
+            };
+            let matrix = phase.graph.comm_matrix();
+            self.run_chunk(
+                &cp,
+                &phase.graph,
+                &matrix,
+                phase.iterations,
+                &mut orwl_numasim::exec::NoopSimMonitor,
+                &mut totals,
+            );
+        }
+        (initial, totals)
+    }
+
+    /// The online loop lifted to cluster scale: monitor → epoch roll →
+    /// drift detection → two-level re-placement with a fabric-aware
+    /// migration budget.
+    fn run_adaptive(
+        &self,
+        config: &SessionConfig,
+        workload: &PhasedWorkload,
+        epoch_iterations: usize,
+    ) -> (ClusterPlacement, RunTotals, AdaptReport) {
+        let n = workload.n_tasks();
+        let flat = self.machine.topology();
+        let initial = self.placement_for(config, &workload.phases[0].graph.comm_matrix().symmetrized());
+        let mut current = initial.clone();
+        let mut baseline = workload.phases[0].graph.comm_matrix().symmetrized();
+        let mut online = OnlineCommMatrix::new(n, self.adapt.decay);
+        let mut detector = DriftDetector::new(self.adapt.drift);
+        let replacer = self.adapt.replacer;
+
+        let mut totals = RunTotals::default();
+        let mut epochs = 0u64;
+        let mut replacements = 0u64;
+        let mut node_reshards = 0u64;
+        let mut drift_deltas = Vec::new();
+
+        for phase in &workload.phases {
+            let matrix = phase.graph.comm_matrix();
+            let mut done = 0usize;
+            while done < phase.iterations {
+                let chunk = epoch_iterations.min(phase.iterations - done);
+                let mut monitor = Recording { online: &mut online };
+                self.run_chunk(&current, &phase.graph, &matrix, chunk, &mut monitor, &mut totals);
+                done += chunk;
+
+                epochs += 1;
+                online.roll_epoch();
+                if !online.is_warmed_up() {
+                    continue;
+                }
+                let live = online.smoothed_symmetric();
+                let mapping = current.global_mapping(&self.machine);
+                let observation = detector.observe(flat, &mapping, &baseline, &live);
+                drift_deltas.push(observation.delta);
+                if !observation.fired {
+                    continue;
+                }
+
+                // Re-placement is a fresh two-level computation, so node
+                // assignment and intra-node binding can both change.
+                let candidate = hierarchical_placement(&self.machine, &live);
+                let new_mapping = candidate.global_mapping(&self.machine);
+                let current_cost = cluster_cost(&self.machine, &live, &mapping);
+                let candidate_cost = cluster_cost(&self.machine, &live, &new_mapping);
+                let gain_per_iteration = current_cost - candidate_cost;
+                if gain_per_iteration <= 0.0
+                    || (current_cost > 0.0 && gain_per_iteration / current_cost < replacer.min_relative_gain)
+                {
+                    continue;
+                }
+                // Migration bill in seconds: every re-bound task streams its
+                // state over the link between its old and new PU (fabric
+                // latency + bandwidth across nodes, NUMA links within one).
+                // The moved bytes are also traffic, split at the machine
+                // boundary like any other, so the reported fabric split
+                // stays consistent with the cumulative hop-bytes.
+                let mut migration_seconds = 0.0;
+                let mut migration_intra_hop = 0.0;
+                let mut migration_inter_hop = 0.0;
+                let mut migration_inter_bytes = 0.0;
+                let mut moved_nodes = false;
+                for (t, (&old_pu, &new_pu)) in mapping.iter().zip(&new_mapping).enumerate() {
+                    if old_pu == new_pu {
+                        continue;
+                    }
+                    let bytes = replacer.model.task_state_bytes;
+                    migration_seconds += self.machine.message_latency(old_pu, new_pu)
+                        + bytes * self.machine.link_byte_cost(old_pu, new_pu);
+                    let hop_bytes = bytes * flat.hop_distance(old_pu, new_pu) as f64;
+                    if candidate.node_of_task[t] != current.node_of_task[t] {
+                        moved_nodes = true;
+                        migration_inter_hop += hop_bytes;
+                        migration_inter_bytes += bytes;
+                    } else {
+                        migration_intra_hop += hop_bytes;
+                    }
+                }
+                let horizon_iterations = replacer.horizon_epochs * epoch_iterations as f64;
+                if gain_per_iteration * horizon_iterations <= migration_seconds {
+                    continue;
+                }
+                totals.time += migration_seconds;
+                totals.hop_bytes += migration_intra_hop + migration_inter_hop;
+                totals.intra_hop_bytes += migration_intra_hop;
+                totals.inter_hop_bytes += migration_inter_hop;
+                totals.inter_bytes += migration_inter_bytes;
+                current = candidate;
+                baseline = live.clone();
+                detector.arm_cooldown();
+                replacements += 1;
+                if moved_nodes {
+                    node_reshards += 1;
+                }
+            }
+        }
+        let adapt = AdaptReport { epochs, replacements, rebinds_applied: 0, node_reshards, drift_deltas };
+        (initial, totals, adapt)
+    }
+}
+
+struct Recording<'a> {
+    online: &'a mut OnlineCommMatrix,
+}
+
+impl orwl_numasim::exec::SimMonitor for Recording<'_> {
+    fn on_transfer(&mut self, _iteration: usize, src: usize, dst: usize, bytes: f64) {
+        self.online.record(src, dst, bytes);
+    }
+}
+
+impl ExecutionBackend for ClusterBackend {
+    fn name(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn run(&self, config: &SessionConfig, workload: Workload) -> Result<Report, OrwlError> {
+        let Workload::Phased(workload) = workload else {
+            return Err(ConfigError::WorkloadMismatch {
+                backend: self.name().to_string(),
+                expected: "phased".to_string(),
+            }
+            .into());
+        };
+        let modelled = self.machine.topology();
+        if config.topology.name() != modelled.name()
+            || config.topology.nb_pus() != modelled.nb_pus()
+            || config.topology.level_spec() != modelled.level_spec()
+        {
+            return Err(ConfigError::TopologyMismatch {
+                backend: self.name().to_string(),
+                expected: modelled.name().to_string(),
+                got: config.topology.name().to_string(),
+            }
+            .into());
+        }
+        let (initial, totals, adapt) = match &config.mode {
+            Mode::Static => {
+                let (cp, totals) = self.run_fixed_schedule(config, &workload, false);
+                (cp, totals, None)
+            }
+            Mode::Oracle => {
+                let (cp, totals) = self.run_fixed_schedule(config, &workload, true);
+                (cp, totals, None)
+            }
+            Mode::Adaptive(spec) => {
+                if spec.controller.is_some() {
+                    return Err(
+                        ConfigError::UnsupportedController { backend: self.name().to_string() }.into()
+                    );
+                }
+                let (cp, totals, adapt) = self.run_adaptive(config, &workload, spec.epoch_iterations);
+                (cp, totals, Some(adapt))
+            }
+        };
+        let matrix = workload.phases[0].graph.comm_matrix().symmetrized();
+        // The plan reports what the *policy* binds: for `NoBind` that is
+        // nothing (the OS-spread execution model above is not a binding),
+        // exactly as the other backends report it.
+        let placement = match config.policy {
+            Policy::NoBind => Placement::unbound(matrix.order(), config.control_threads),
+            _ => {
+                let mut p = initial.placement;
+                p.control = vec![None; config.control_threads];
+                p
+            }
+        };
+        let plan = PlacementPlan::new(config.policy, matrix, placement);
+        let breakdown = plan.breakdown(&config.topology);
+        Ok(Report {
+            backend: self.name().to_string(),
+            mode: config.mode.name(),
+            time: RunTime::Simulated(totals.time),
+            plan,
+            breakdown,
+            hop_bytes: totals.hop_bytes,
+            adapt,
+            thread: None,
+            fabric: Some(ClusterTraffic {
+                n_nodes: self.machine.n_nodes(),
+                intra_node_hop_bytes: totals.intra_hop_bytes,
+                inter_node_hop_bytes: totals.inter_hop_bytes,
+                inter_node_bytes: totals.inter_bytes,
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orwl_core::runtime::AdaptiveSpec;
+    use orwl_core::session::Session;
+
+    fn machine() -> ClusterMachine {
+        ClusterMachine::paper(4)
+    }
+
+    fn session(policy: Policy, mode: Mode) -> Session {
+        Session::builder()
+            .topology(machine().topology().clone())
+            .policy(policy)
+            .control_threads(0)
+            .mode(mode)
+            .backend(ClusterBackend::new(machine()).with_adapt_config(AdaptConfig::evaluation()))
+            .build()
+            .unwrap()
+    }
+
+    fn workload(phases: &[usize]) -> PhasedWorkload {
+        PhasedWorkload::rotating_stencil(8, 65536.0, 1024.0, 16384.0, 131072.0, phases)
+    }
+
+    #[test]
+    fn reports_carry_the_fabric_split() {
+        let report = session(Policy::Hierarchical, Mode::Static).run(workload(&[10])).unwrap();
+        assert_eq!(report.backend, "cluster");
+        let fabric = report.fabric.expect("cluster runs report the fabric split");
+        assert_eq!(fabric.n_nodes, 4);
+        assert!(fabric.intra_node_hop_bytes > 0.0);
+        assert!((fabric.intra_node_hop_bytes + fabric.inter_node_hop_bytes - report.hop_bytes).abs() < 1e-6);
+        // The plan-level breakdown splits the same boundary.
+        assert!(report.breakdown.cross_node > 0.0 || fabric.inter_node_hop_bytes == 0.0);
+        assert!(report.time.seconds() > 0.0);
+        assert!(report.time.as_wall().is_none());
+    }
+
+    #[test]
+    fn hierarchical_cuts_less_fabric_traffic_than_scatter() {
+        let w = workload(&[10]);
+        let hier = session(Policy::Hierarchical, Mode::Static).run(w.clone()).unwrap();
+        let scatter = session(Policy::Scatter, Mode::Static).run(w).unwrap();
+        let (hf, sf) = (hier.fabric.unwrap(), scatter.fabric.unwrap());
+        assert!(
+            hf.inter_node_hop_bytes < sf.inter_node_hop_bytes,
+            "hierarchical {} vs scatter {}",
+            hf.inter_node_hop_bytes,
+            sf.inter_node_hop_bytes
+        );
+        assert!(hier.time.seconds() < scatter.time.seconds());
+    }
+
+    #[test]
+    fn oracle_is_a_lower_bound_for_static() {
+        let w = workload(&[12, 60]);
+        let fixed = session(Policy::Hierarchical, Mode::Static).run(w.clone()).unwrap();
+        let oracle = session(Policy::Hierarchical, Mode::Oracle).run(w).unwrap();
+        assert!(oracle.hop_bytes <= fixed.hop_bytes + 1e-9);
+        assert!(oracle.time.seconds() <= fixed.time.seconds() * 1.0001);
+    }
+
+    #[test]
+    fn adaptive_reshards_across_nodes_on_drift() {
+        let w = workload(&[12, 100]);
+        let fixed = session(Policy::Hierarchical, Mode::Static).run(w.clone()).unwrap();
+        let adaptive =
+            session(Policy::Hierarchical, Mode::Adaptive(AdaptiveSpec::per_iterations(4))).run(w).unwrap();
+        let adapt = adaptive.adapt.expect("adaptive runs report counters");
+        assert!(adapt.replacements >= 1, "drift must trigger a migration: {adapt:?}");
+        assert!(adapt.node_reshards >= 1, "the rotation must re-shard across nodes: {adapt:?}");
+        assert!(adapt.node_reshards <= adapt.replacements);
+        // The fabric split stays consistent with the cumulative hop-bytes
+        // even with migration traffic folded in.
+        let fabric = adaptive.fabric.expect("cluster runs report the fabric split");
+        assert!(
+            (fabric.intra_node_hop_bytes + fabric.inter_node_hop_bytes - adaptive.hop_bytes).abs() < 1e-6,
+            "split {} + {} != total {}",
+            fabric.intra_node_hop_bytes,
+            fabric.inter_node_hop_bytes,
+            adaptive.hop_bytes
+        );
+        assert!(
+            adaptive.hop_bytes < fixed.hop_bytes,
+            "adaptive {} must beat static {}",
+            adaptive.hop_bytes,
+            fixed.hop_bytes
+        );
+    }
+
+    #[test]
+    fn nobind_models_the_os_spread_not_packed_pinning() {
+        let w = workload(&[6]);
+        let nobind = session(Policy::NoBind, Mode::Static).run(w.clone()).unwrap();
+        let packed = session(Policy::Packed, Mode::Static).run(w).unwrap();
+        // The plan binds nothing — NoBind is the unbound baseline.
+        assert_eq!(nobind.plan.placement.bound_fraction(), 0.0);
+        // The execution model is a seeded random spread, not packed order:
+        // it pays more fabric traffic than the locality-blind-but-contiguous
+        // packed placement on this stencil.
+        let (nf, pf) = (nobind.fabric.unwrap(), packed.fabric.unwrap());
+        assert!(
+            nf.inter_node_hop_bytes > pf.inter_node_hop_bytes,
+            "nobind {} should shred locality vs packed {}",
+            nf.inter_node_hop_bytes,
+            pf.inter_node_hop_bytes
+        );
+        // Reproducible per seed, different across seeds.
+        let again = session(Policy::NoBind, Mode::Static).run(workload(&[6])).unwrap();
+        assert_eq!(again.hop_bytes, nobind.hop_bytes);
+        let reseeded = Session::builder()
+            .topology(machine().topology().clone())
+            .policy(Policy::NoBind)
+            .control_threads(0)
+            .backend(ClusterBackend::new(machine()).with_nobind_seed(7))
+            .build()
+            .unwrap()
+            .run(workload(&[6]))
+            .unwrap();
+        assert_ne!(reseeded.hop_bytes, nobind.hop_bytes);
+    }
+
+    #[test]
+    fn mismatched_topology_and_workload_are_rejected() {
+        let err =
+            session(Policy::Hierarchical, Mode::Static).run(orwl_core::task::OrwlProgram::new()).unwrap_err();
+        assert_eq!(err, OrwlError::Config(ConfigError::EmptyProgram));
+        let mut program = orwl_core::task::OrwlProgram::new();
+        program.add_task(orwl_core::task::TaskSpec::new("t", vec![]), |_| {});
+        match session(Policy::Hierarchical, Mode::Static).run(program).unwrap_err() {
+            OrwlError::Config(ConfigError::WorkloadMismatch { backend, expected }) => {
+                assert_eq!(backend, "cluster");
+                assert_eq!(expected, "phased");
+            }
+            other => panic!("expected WorkloadMismatch, got {other:?}"),
+        }
+        let wrong_topo = Session::builder()
+            .topology(orwl_topo::synthetic::laptop())
+            .control_threads(0)
+            .backend(ClusterBackend::new(machine()))
+            .build()
+            .unwrap();
+        match wrong_topo.run(workload(&[2])).unwrap_err() {
+            OrwlError::Config(ConfigError::TopologyMismatch { backend, got, .. }) => {
+                assert_eq!(backend, "cluster");
+                assert_eq!(got, "laptop");
+            }
+            other => panic!("expected TopologyMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn controller_bearing_specs_are_rejected() {
+        let engine = orwl_adapt::engine::AdaptiveEngine::new(AdaptConfig::default());
+        let spec = orwl_adapt::engine::adaptive_session_spec(engine, std::time::Duration::from_millis(5));
+        let session = Session::builder()
+            .topology(machine().topology().clone())
+            .control_threads(0)
+            .adaptive(spec)
+            .backend(ClusterBackend::new(machine()))
+            .build()
+            .unwrap();
+        match session.run(workload(&[2])).unwrap_err() {
+            OrwlError::Config(ConfigError::UnsupportedController { backend }) => {
+                assert_eq!(backend, "cluster")
+            }
+            other => panic!("expected UnsupportedController, got {other:?}"),
+        }
+    }
+}

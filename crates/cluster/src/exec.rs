@@ -1,0 +1,275 @@
+//! The multi-node discrete-event execution engine.
+//!
+//! [`simulate_cluster`] plays an iterative task graph on a
+//! [`ClusterMachine`]: every node behaves like the single-node NUMA model
+//! of `orwl_numasim::exec` (compute + bandwidth-shared working-set
+//! accesses + PU serialisation), and node-crossing halo edges become
+//! **fabric messages** — a remote lock grant plus the location transfer —
+//! paying the fabric's per-message latency and per-byte cost, with the sum
+//! of all fabric bytes per iteration bounded by the fabric's aggregate
+//! bandwidth.
+//!
+//! Data follows the first-touch-by-owner rule of the bound scenarios: a
+//! task's working set lives on the node (and NUMA domain) of the PU it is
+//! pinned to, which is exactly the invariant the two-level placement
+//! guarantees (see `tests/proptests.rs`).
+
+use crate::machine::ClusterMachine;
+use orwl_numasim::exec::SimMonitor;
+use orwl_numasim::taskgraph::TaskGraph;
+
+/// Result of a cluster simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSimReport {
+    /// Simulated wall-clock time of the whole run, in seconds.
+    pub total_time: f64,
+    /// Simulated wall-clock time of each iteration.
+    pub iteration_times: Vec<f64>,
+    /// Halo bytes per iteration staying inside a node.
+    pub intra_node_bytes: f64,
+    /// Halo bytes per iteration crossing the fabric.
+    pub inter_node_bytes: f64,
+    /// Fabric messages per iteration (remote lock grants / transfers).
+    pub fabric_messages: usize,
+    /// Label for reports.
+    pub label: String,
+}
+
+impl ClusterSimReport {
+    /// Mean iteration time.
+    pub fn mean_iteration_time(&self) -> f64 {
+        if self.iteration_times.is_empty() {
+            0.0
+        } else {
+            self.iteration_times.iter().sum::<f64>() / self.iteration_times.len() as f64
+        }
+    }
+}
+
+/// Simulates `iterations` iterations of `graph` with every task pinned to
+/// the *global* PU `task_pu[t]`, reporting every halo transfer to
+/// `monitor` (task indices, like the single-node executor).
+///
+/// # Panics
+/// Panics when `task_pu` does not cover every task of the graph or names a
+/// PU outside the machine.
+pub fn simulate_cluster(
+    machine: &ClusterMachine,
+    graph: &TaskGraph,
+    task_pu: &[usize],
+    iterations: usize,
+    monitor: &mut dyn SimMonitor,
+) -> ClusterSimReport {
+    let n = graph.n_tasks();
+    assert!(task_pu.len() >= n, "mapping covers {} tasks but the graph has {n}", task_pu.len());
+    let cluster = machine.cluster();
+    let node_sim = machine.node_machine();
+    let params = node_sim.params();
+    let fabric = machine.fabric();
+
+    // --- Static per-placement quantities -----------------------------------
+    // Working sets are first-touched by their pinned owner: the data's NUMA
+    // domain is the executing PU's, and accessors sharing one memory
+    // controller split its bandwidth.  Controllers are per (node, NUMA
+    // domain) pair.
+    let numa_domains_per_node = node_sim.n_nodes();
+    let mut sharers = vec![0usize; cluster.n_nodes() * numa_domains_per_node];
+    let domain_of = |g: usize| -> usize {
+        cluster.node_of_pu(g) * numa_domains_per_node + node_sim.node_of_pu(cluster.local_pu(g))
+    };
+    for t in 0..n {
+        sharers[domain_of(task_pu[t])] += 1;
+    }
+
+    let mut task_duration = vec![0.0f64; n];
+    for (t, duration) in task_duration.iter_mut().enumerate() {
+        let task = graph.task(t);
+        let compute = task.elements * params.sec_per_element;
+        let s = sharers[domain_of(task_pu[t])].max(1) as f64;
+        let latency_limited = task.private_bytes * params.local_byte_cost;
+        let controller_limited = task.private_bytes * s / params.node_bandwidth;
+        *duration = compute + latency_limited.max(controller_limited);
+    }
+
+    // Per-edge halo time and the per-iteration traffic split.
+    let mut edge_time = Vec::with_capacity(graph.edges().len());
+    let mut intra_node_bytes = 0.0;
+    let mut inter_node_bytes = 0.0;
+    let mut fabric_messages = 0usize;
+    // Bytes crossing each node's socket interconnect (intra-node halos that
+    // cross NUMA domains, plus every fabric byte entering or leaving).
+    let mut node_backplane_bytes = vec![0.0f64; cluster.n_nodes()];
+    for e in graph.edges() {
+        let (a, b) = (task_pu[e.src], task_pu[e.dst]);
+        let (na, nb) = (cluster.node_of_pu(a), cluster.node_of_pu(b));
+        if na == nb {
+            intra_node_bytes += e.bytes;
+            edge_time.push(e.bytes * node_sim.link_byte_cost(cluster.local_pu(a), cluster.local_pu(b)));
+            if node_sim.node_of_pu(cluster.local_pu(a)) != node_sim.node_of_pu(cluster.local_pu(b)) {
+                node_backplane_bytes[na] += e.bytes;
+            }
+        } else {
+            inter_node_bytes += e.bytes;
+            fabric_messages += 1;
+            // One fabric message per halo per iteration: the remote lock
+            // grant (latency) plus the location transfer (serialisation).
+            edge_time.push(machine.message_latency(a, b) + e.bytes * machine.link_byte_cost(a, b));
+            node_backplane_bytes[na] += e.bytes;
+            node_backplane_bytes[nb] += e.bytes;
+        }
+    }
+
+    // Per-iteration floors: no overlap trick can beat the fabric's
+    // aggregate bandwidth, nor any single node's socket interconnect.
+    let fabric_floor = inter_node_bytes / fabric.aggregate_bandwidth;
+    let node_floor =
+        node_backplane_bytes.iter().map(|b| b / params.interconnect_bandwidth).fold(0.0f64, f64::max);
+    let iteration_floor = fabric_floor.max(node_floor);
+
+    // Per-task incoming edge indices (to pair each edge with its time).
+    let mut in_edges = vec![Vec::new(); n];
+    for (k, e) in graph.edges().iter().enumerate() {
+        in_edges[e.dst].push(k);
+    }
+
+    // --- Event-driven iteration loop ---------------------------------------
+    let mut finish_prev = vec![0.0f64; n];
+    let mut finish_cur = vec![0.0f64; n];
+    let mut pu_free: std::collections::HashMap<usize, f64> = std::collections::HashMap::new();
+    let mut iteration_times = Vec::with_capacity(iterations);
+    let mut clock = 0.0f64;
+
+    for iter in 0..iterations {
+        let mut ready: Vec<(f64, usize)> = (0..n)
+            .map(|t| {
+                let mut r: f64 = clock;
+                for &k in &in_edges[t] {
+                    let e = &graph.edges()[k];
+                    monitor.on_transfer(iter, e.src, e.dst, e.bytes);
+                    r = r.max(finish_prev[e.src] + edge_time[k]);
+                }
+                (r, t)
+            })
+            .collect();
+        ready.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut iter_end = clock;
+        for (ready_time, t) in ready {
+            let pu = task_pu[t];
+            let free = pu_free.get(&pu).copied().unwrap_or(0.0);
+            let start = ready_time.max(free);
+            let finish = start + task_duration[t];
+            pu_free.insert(pu, finish);
+            finish_cur[t] = finish;
+            iter_end = iter_end.max(finish);
+        }
+        iter_end = iter_end.max(clock + iteration_floor);
+
+        iteration_times.push(iter_end - clock);
+        monitor.on_iteration_end(iter, iter_end - clock);
+        clock = iter_end;
+        std::mem::swap(&mut finish_prev, &mut finish_cur);
+    }
+
+    ClusterSimReport {
+        total_time: clock,
+        iteration_times,
+        intra_node_bytes,
+        inter_node_bytes,
+        fabric_messages,
+        label: String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orwl_numasim::exec::NoopSimMonitor;
+    use orwl_numasim::taskgraph::{SimEdge, SimTask};
+
+    fn pair_graph(bytes: f64) -> TaskGraph {
+        TaskGraph::new(
+            vec![SimTask { elements: 1000.0, private_bytes: 1024.0 }; 2],
+            vec![SimEdge { src: 0, dst: 1, bytes }, SimEdge { src: 1, dst: 0, bytes }],
+        )
+    }
+
+    #[test]
+    fn fabric_crossings_are_slower_than_local_halos() {
+        let m = ClusterMachine::paper(2);
+        let g = pair_graph(64.0 * 1024.0);
+        let local = simulate_cluster(&m, &g, &[0, 1], 10, &mut NoopSimMonitor);
+        let cross = simulate_cluster(&m, &g, &[0, 16], 10, &mut NoopSimMonitor);
+        assert!(cross.total_time > 2.0 * local.total_time, "{} vs {}", cross.total_time, local.total_time);
+        assert_eq!(local.inter_node_bytes, 0.0);
+        assert_eq!(local.fabric_messages, 0);
+        assert_eq!(cross.inter_node_bytes, 2.0 * 64.0 * 1024.0);
+        assert_eq!(cross.fabric_messages, 2);
+        assert_eq!(cross.intra_node_bytes, 0.0);
+    }
+
+    #[test]
+    fn latency_dominates_small_fabric_messages() {
+        let m = ClusterMachine::paper(2);
+        let g = pair_graph(8.0); // tiny halos: latency-bound across the fabric
+        let cross = simulate_cluster(&m, &g, &[0, 16], 5, &mut NoopSimMonitor);
+        let latency = m.fabric().same_rack.latency;
+        assert!(cross.mean_iteration_time() >= latency, "{} < {latency}", cross.mean_iteration_time());
+    }
+
+    #[test]
+    fn aggregate_fabric_bandwidth_floors_the_iteration() {
+        // Huge all-to-all across 2 nodes: the cut cannot move faster than
+        // the aggregate fabric bandwidth.
+        let m = ClusterMachine::paper(2);
+        let n = 8;
+        let tasks = vec![SimTask { elements: 1.0, private_bytes: 1.0 }; n];
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    edges.push(SimEdge { src: i, dst: j, bytes: 1.0e8 });
+                }
+            }
+        }
+        let g = TaskGraph::new(tasks, edges);
+        let mapping: Vec<usize> = (0..n).map(|t| if t < 4 { t } else { 16 + t - 4 }).collect();
+        let r = simulate_cluster(&m, &g, &mapping, 1, &mut NoopSimMonitor);
+        let floor = r.inter_node_bytes / m.fabric().aggregate_bandwidth;
+        assert!(r.total_time >= floor);
+        assert!(r.inter_node_bytes > 0.0);
+    }
+
+    #[test]
+    fn pu_serialisation_applies_globally() {
+        let m = ClusterMachine::paper(2);
+        let tasks = vec![SimTask { elements: 1.0e6, private_bytes: 0.0 }; 4];
+        let g = TaskGraph::new(tasks, vec![]);
+        let stacked = simulate_cluster(&m, &g, &[0, 0, 0, 0], 3, &mut NoopSimMonitor);
+        let spread = simulate_cluster(&m, &g, &[0, 1, 16, 17], 3, &mut NoopSimMonitor);
+        assert!(stacked.total_time > 3.0 * spread.total_time);
+    }
+
+    #[test]
+    fn monitor_sees_every_halo_edge() {
+        struct Count(usize);
+        impl SimMonitor for Count {
+            fn on_transfer(&mut self, _i: usize, _s: usize, _d: usize, _b: f64) {
+                self.0 += 1;
+            }
+        }
+        let m = ClusterMachine::paper(2);
+        let g = pair_graph(1024.0);
+        let mut c = Count(0);
+        simulate_cluster(&m, &g, &[0, 16], 7, &mut c);
+        assert_eq!(c.0, 2 * 7);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mapping_must_cover_the_graph() {
+        let m = ClusterMachine::paper(2);
+        let g = pair_graph(1.0);
+        simulate_cluster(&m, &g, &[0], 1, &mut NoopSimMonitor);
+    }
+}

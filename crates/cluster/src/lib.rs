@@ -1,0 +1,59 @@
+//! # orwl-cluster — hierarchical multi-node backend with two-level
+//! topology-aware placement
+//!
+//! The source paper (CLUSTER 2016) targets cluster-scale ORWL; this crate
+//! takes the reproduction beyond one shared-memory machine.  It has three
+//! layers:
+//!
+//! 1. **Hierarchical topology** — [`ClusterMachine`] wraps a
+//!    [`ClusterTopology`](orwl_topo::cluster::ClusterTopology) (cluster →
+//!    node → socket/NUMA → core) with the single-node NUMA cost model and
+//!    the inter-node fabric cost model
+//!    ([`FabricParams`](orwl_numasim::costmodel::FabricParams): latency +
+//!    bandwidth per link class, rack-aware).
+//! 2. **Two-level placement** — [`hierarchical_placement`] shards the task
+//!    graph across nodes minimising the fabric-weighted inter-node cut
+//!    ([`mod@orwl_treematch::partition`]), then runs the paper's TreeMatch
+//!    *inside* each node; surfaced through the unified `Session` API as
+//!    [`Policy::Hierarchical`](orwl_treematch::policies::Policy).
+//! 3. **Execution** — [`exec::simulate_cluster`], a
+//!    discrete-event multi-node simulator (per-node NUMA machines coupled
+//!    by fabric messages for remote lock grants and location transfers),
+//!    plugged in as the third `ExecutionBackend`: [`ClusterBackend`].
+//!    Reports carry the inter-node vs intra-node traffic split
+//!    (`Report::fabric`, `TrafficBreakdown::cross_node`), and adaptive
+//!    runs can re-shard across nodes on drift
+//!    (`AdaptReport::node_reshards`).
+//!
+//! ```
+//! use orwl_cluster::{ClusterBackend, ClusterMachine};
+//! use orwl_core::session::{Mode, Session};
+//! use orwl_numasim::workload::PhasedWorkload;
+//! use orwl_treematch::policies::Policy;
+//!
+//! let machine = ClusterMachine::paper(4); // 4 nodes × 2 sockets × 8 cores
+//! let session = Session::builder()
+//!     .topology(machine.topology().clone())
+//!     .policy(Policy::Hierarchical)
+//!     .control_threads(0)
+//!     .backend(ClusterBackend::new(machine))
+//!     .build()
+//!     .unwrap();
+//! let workload = PhasedWorkload::rotating_stencil(8, 65536.0, 1024.0, 16384.0, 131072.0, &[4]);
+//! let report = session.run(workload).unwrap();
+//! let fabric = report.fabric.unwrap();
+//! assert_eq!(fabric.n_nodes, 4);
+//! assert!(fabric.inter_node_fraction() < 0.5);
+//! ```
+
+pub mod backend;
+pub mod exec;
+pub mod machine;
+pub mod metrics;
+pub mod placement;
+
+pub use backend::ClusterBackend;
+pub use exec::{simulate_cluster, ClusterSimReport};
+pub use machine::ClusterMachine;
+pub use metrics::{cluster_cost, inter_node_bytes, split_hop_bytes};
+pub use placement::{hierarchical_placement, ClusterPlacement};

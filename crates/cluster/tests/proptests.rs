@@ -1,0 +1,66 @@
+//! Property tests of the two-level placement invariants.
+
+use orwl_cluster::{hierarchical_placement, ClusterMachine};
+use orwl_comm::matrix::CommMatrix;
+use orwl_treematch::partition::cut_bytes;
+use proptest::prelude::*;
+
+/// A random symmetric matrix of `n` tasks from a seed.
+fn random_matrix(n: usize, seed: u64) -> CommMatrix {
+    orwl_comm::patterns::random_symmetric(n, 0.4, 1000.0, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // The invariant the cluster executor's data model relies on: two-level
+    // placement never splits a task's location off-node from its owner —
+    // every task is bound to a PU of exactly the node its partition
+    // assigned, so first-touch data is always node-local to the owner.
+    #[test]
+    fn placement_never_splits_a_task_from_its_node(
+        n_nodes in 2usize..5,
+        n_tasks in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let machine = ClusterMachine::paper(n_nodes);
+        let m = random_matrix(n_tasks, seed);
+        let p = hierarchical_placement(&machine, &m);
+        prop_assert_eq!(p.node_of_task.len(), n_tasks);
+        for (t, pu) in p.placement.compute.iter().enumerate() {
+            let pu = pu.expect("two-level placement binds every task");
+            prop_assert!(pu < machine.n_pus());
+            prop_assert_eq!(
+                machine.cluster().node_of_pu(pu), p.node_of_task[t],
+                "task {} bound off its assigned node", t
+            );
+        }
+        // The node assignment respects the relaxed per-node capacity.
+        let capacity = machine.cluster().pus_per_node().max(n_tasks.div_ceil(n_nodes));
+        let mut load = vec![0usize; n_nodes];
+        for &node in &p.node_of_task {
+            prop_assert!(node < n_nodes);
+            load[node] += 1;
+        }
+        prop_assert!(load.iter().all(|&l| l <= capacity), "overloaded node: {:?}", load);
+    }
+
+    // The mapping must reproduce the partition's fabric cut exactly: the
+    // cut bytes read back from the global PU mapping equal the ones the
+    // partitioning stage optimised.
+    #[test]
+    fn mapped_cut_equals_partition_cut(
+        n_nodes in 2usize..4,
+        n_tasks in 2usize..30,
+        seed in 0u64..1000,
+    ) {
+        let machine = ClusterMachine::paper(n_nodes);
+        let m = random_matrix(n_tasks, seed);
+        let p = hierarchical_placement(&machine, &m);
+        let mapping = p.global_mapping(&machine);
+        let from_mapping =
+            orwl_cluster::inter_node_bytes(machine.cluster(), &m, &mapping);
+        let from_partition = cut_bytes(&m, &p.node_of_task);
+        prop_assert!((from_mapping - from_partition).abs() < 1e-6);
+    }
+}

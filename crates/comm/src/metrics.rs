@@ -64,14 +64,18 @@ pub struct TrafficBreakdown {
     pub shared_cache: f64,
     /// Volume within one NUMA node / package, not covered above.
     pub same_numa: f64,
-    /// Volume crossing NUMA nodes.
+    /// Volume crossing NUMA nodes (within one machine).
     pub cross_numa: f64,
+    /// Volume crossing *machine* boundaries — the inter-node fabric traffic
+    /// of a multi-node (cluster) topology, where the depth-1 level is one
+    /// `Group` per node.  Always `0` on single-machine topologies.
+    pub cross_node: f64,
 }
 
 impl TrafficBreakdown {
     /// Total volume accounted for.
     pub fn total(&self) -> f64 {
-        self.same_pu + self.same_core + self.shared_cache + self.same_numa + self.cross_numa
+        self.same_pu + self.same_core + self.shared_cache + self.same_numa + self.cross_numa + self.cross_node
     }
 
     /// Fraction of the traffic that stays within a NUMA node (including
@@ -82,13 +86,34 @@ impl TrafficBreakdown {
         if t == 0.0 {
             return 1.0;
         }
-        (t - self.cross_numa) / t
+        (t - self.cross_numa - self.cross_node) / t
+    }
+
+    /// Fraction of the traffic that stays within one machine of a cluster
+    /// (`1.0` on single-machine topologies).  This is the quantity the
+    /// two-level placement's partitioning stage minimises the complement of.
+    pub fn intra_node_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            return 1.0;
+        }
+        (t - self.cross_node) / t
     }
 }
 
 /// Computes the [`TrafficBreakdown`] of a mapping.
+///
+/// On a cluster topology flattened with one `Group` per node at depth 1
+/// (see `orwl_topo::cluster::ClusterTopology::flatten`), traffic whose
+/// endpoints share only the root is classified as
+/// [`cross_node`](TrafficBreakdown::cross_node); on single-machine
+/// topologies it stays in [`cross_numa`](TrafficBreakdown::cross_numa).
 pub fn traffic_breakdown(m: &CommMatrix, topo: &Topology, mapping: &[usize]) -> TrafficBreakdown {
     assert!(mapping.len() >= m.order(), "mapping must cover every thread of the matrix");
+    // A `Group` level right below the machine root marks a flattened
+    // multi-node cluster: only then does "shares nothing but the root"
+    // mean crossing a machine boundary.
+    let node_level_is_group = topo.objects_at_depth(1).next().map(|o| o.obj_type) == Some(ObjectType::Group);
     let mut out = TrafficBreakdown::default();
     for i in 0..m.order() {
         for j in 0..m.order() {
@@ -106,9 +131,13 @@ pub fn traffic_breakdown(m: &CommMatrix, topo: &Topology, mapping: &[usize]) -> 
             match ty {
                 Some(ObjectType::Core) | Some(ObjectType::PU) => out.same_core += v,
                 Some(t) if t.is_cache() => out.shared_cache += v,
+                // Sharing only the per-node Group of a flattened cluster
+                // means "same machine, nothing deeper": NUMA was crossed.
+                Some(ObjectType::Group) if node_level_is_group && depth == 1 => out.cross_numa += v,
                 Some(ObjectType::NumaNode) | Some(ObjectType::Package) | Some(ObjectType::Group) => {
                     out.same_numa += v
                 }
+                _ if node_level_is_group => out.cross_node += v,
                 _ => out.cross_numa += v,
             }
         }
@@ -159,6 +188,28 @@ mod tests {
         let b = traffic_breakdown(&m, &topo, &mapping);
         assert_eq!(b.cross_numa, 0.0);
         assert_eq!(b.local_fraction(), 1.0);
+    }
+
+    #[test]
+    fn flattened_cluster_splits_cross_node_from_cross_numa() {
+        // Two "nodes" of two sockets each, flattened with a Group per node.
+        let topo = synthetic::from_synthetic("mini-cluster", "group:2 numa:2 core:2 pu:1").unwrap();
+        let m = patterns::chain(3, 10.0);
+        // Thread 0 and 1 on node 0 (different sockets), thread 2 on node 1.
+        let b = traffic_breakdown(&m, &topo, &[0, 2, 4]);
+        let link = m.get(0, 1) + m.get(1, 0);
+        assert_eq!(b.cross_numa, link, "same node, different sockets");
+        assert_eq!(b.cross_node, link, "different nodes");
+        assert_eq!(b.same_numa, 0.0);
+        assert!((b.total() - m.total_volume()).abs() < 1e-9);
+        assert!((b.intra_node_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(b.local_fraction(), 0.0);
+        // On a single machine the same traffic is all intra-node.
+        let single = synthetic::from_synthetic("single", "numa:4 core:2 pu:1").unwrap();
+        let bs = traffic_breakdown(&m, &single, &[0, 2, 4]);
+        assert_eq!(bs.cross_node, 0.0);
+        assert_eq!(bs.intra_node_fraction(), 1.0);
+        assert_eq!(bs.cross_numa, m.total_volume());
     }
 
     #[test]

@@ -23,6 +23,117 @@ struct Entry {
     seq: u64,
     mode: AccessMode,
     state: RequestState,
+    /// Debug builds remember which thread posted the request, so the cycle
+    /// detector can build the wait-for graph (see the `deadlock` module).
+    #[cfg(debug_assertions)]
+    owner: std::thread::ThreadId,
+}
+
+impl Entry {
+    fn new(seq: u64, mode: AccessMode) -> Self {
+        Entry {
+            seq,
+            mode,
+            state: RequestState::Requested,
+            #[cfg(debug_assertions)]
+            owner: std::thread::current().id(),
+        }
+    }
+}
+
+/// Debug-mode circular-wait detection.
+///
+/// A schedule deadlock in ORWL is a cycle across *several* FIFOs: thread A
+/// parks behind an entry B posted, while B parks (in another location's
+/// FIFO) behind an entry A posted.  The classic way to create one is the
+/// lazily-posted iterative-handle pattern — posting requests mid-run
+/// instead of during a fenced initialisation phase, so a reader lands one
+/// write behind its partner on every edge of a partner cycle.
+///
+/// In debug builds every blocking [`LockFifo::acquire`] registers the
+/// waiting thread and the owners of the entries blocking it in a global
+/// wait-for graph before parking; if that registration closes a cycle, the
+/// acquiring thread panics with the cycle instead of deadlocking.  An
+/// entry queued by a parked thread can only be released by that thread, so
+/// a cycle in this graph is a genuine deadlock, never a false positive.
+/// Release builds compile all of this out.
+#[cfg(debug_assertions)]
+mod deadlock {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    use std::thread::ThreadId;
+
+    struct Waiter {
+        name: String,
+        blockers: Vec<ThreadId>,
+    }
+
+    fn graph() -> &'static Mutex<HashMap<ThreadId, Waiter>> {
+        static GRAPH: OnceLock<Mutex<HashMap<ThreadId, Waiter>>> = OnceLock::new();
+        GRAPH.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    /// Registers the current thread as blocked on `blockers` and panics
+    /// with the cycle when this closes one.
+    pub(super) fn register_waiting(blockers: Vec<ThreadId>) {
+        let me = std::thread::current().id();
+        let mut g = graph().lock().unwrap_or_else(|e| e.into_inner());
+        g.insert(me, Waiter { name: thread_label(), blockers });
+        let mut path = Vec::new();
+        if dfs(&g, me, me, &mut path) {
+            let names: Vec<String> = path
+                .iter()
+                .map(|id| g.get(id).map_or_else(|| format!("{id:?}"), |w| w.name.clone()))
+                .collect();
+            g.remove(&me);
+            drop(g);
+            panic!(
+                "ORWL deadlock detected: circular wait among parked handles [{}] — \
+                 post iterative requests in a fenced initialisation phase instead of lazily mid-run",
+                names.join(" -> ")
+            );
+        }
+    }
+
+    /// Depth-first search along blocker edges; on success `path` holds the
+    /// cycle starting at `start`.
+    fn dfs(
+        g: &HashMap<ThreadId, Waiter>,
+        start: ThreadId,
+        current: ThreadId,
+        path: &mut Vec<ThreadId>,
+    ) -> bool {
+        let Some(waiter) = g.get(&current) else { return false };
+        path.push(current);
+        for &next in &waiter.blockers {
+            if next == start {
+                return true;
+            }
+            if !path.contains(&next) && dfs(g, start, next, path) {
+                return true;
+            }
+        }
+        path.pop();
+        false
+    }
+
+    /// Removes the current thread from the wait-for graph (on grant or on
+    /// leaving `acquire` for any reason).
+    pub(super) fn unregister_waiting() {
+        unregister_thread(std::thread::current().id());
+    }
+
+    /// Removes a specific thread's registration — called by a releasing
+    /// thread for every thread parked on the released FIFO, whose wait-for
+    /// evidence just went stale.
+    pub(super) fn unregister_thread(id: ThreadId) {
+        graph().lock().unwrap_or_else(|e| e.into_inner()).remove(&id);
+    }
+
+    fn thread_label() -> String {
+        let t = std::thread::current();
+        t.name().map_or_else(|| format!("{:?}", t.id()), str::to_string)
+    }
 }
 
 #[derive(Debug, Default)]
@@ -33,6 +144,13 @@ struct FifoInner {
     inserted: u64,
     /// Total requests released (statistics).
     released: u64,
+    /// Threads currently parked in [`LockFifo::acquire`] (debug builds):
+    /// a release invalidates their wait-for registrations, because what
+    /// they are blocked on just changed (they re-register on wake if still
+    /// blocked).  Without this, a notified-but-not-yet-scheduled thread's
+    /// stale registration could close a cycle that no longer exists.
+    #[cfg(debug_assertions)]
+    parked: Vec<std::thread::ThreadId>,
 }
 
 impl FifoInner {
@@ -77,7 +195,7 @@ impl LockFifo {
         let seq = inner.next_seq;
         inner.next_seq += 1;
         inner.inserted += 1;
-        inner.queue.push_back(Entry { seq, mode, state: RequestState::Requested });
+        inner.queue.push_back(Entry::new(seq, mode));
         RequestToken::new(seq, mode)
     }
 
@@ -102,20 +220,64 @@ impl LockFifo {
     }
 
     /// Blocks the calling thread until the request is granted.
+    ///
+    /// In debug builds, a blocking acquire that would close a circular wait
+    /// among parked handles panics with the cycle instead of deadlocking
+    /// (see the `deadlock` module).
     pub fn acquire(&self, token: &RequestToken) {
         let mut inner = self.inner.lock();
+        #[cfg(debug_assertions)]
+        let mut registered = false;
+        #[cfg(debug_assertions)]
+        macro_rules! leave {
+            ($inner:expr) => {
+                if registered {
+                    let me = std::thread::current().id();
+                    $inner.parked.retain(|&t| t != me);
+                    deadlock::unregister_waiting();
+                }
+            };
+        }
+        #[cfg(not(debug_assertions))]
+        macro_rules! leave {
+            ($inner:expr) => {};
+        }
         loop {
             let Some(idx) = inner.position(token.seq()) else {
                 // Unknown/expired token: treat as granted so callers do not
                 // deadlock on a programming error; release will be a no-op.
+                leave!(inner);
                 return;
             };
             if inner.queue[idx].state == RequestState::Allocated {
+                leave!(inner);
                 return;
             }
             if inner.queue[idx].state == RequestState::Requested && inner.grantable(idx) {
                 inner.queue[idx].state = RequestState::Allocated;
+                leave!(inner);
                 return;
+            }
+            // About to park: publish who we are waiting on, and panic with
+            // the cycle if that closes a circular wait (debug builds only).
+            #[cfg(debug_assertions)]
+            {
+                let mode = inner.queue[idx].mode;
+                let blockers: Vec<_> = inner
+                    .queue
+                    .iter()
+                    .take(idx)
+                    .filter(|e| match mode {
+                        AccessMode::Write => e.state != RequestState::Released,
+                        AccessMode::Read => e.state != RequestState::Released && e.mode != AccessMode::Read,
+                    })
+                    .map(|e| e.owner)
+                    .collect();
+                if !registered {
+                    inner.parked.push(std::thread::current().id());
+                    registered = true;
+                }
+                deadlock::register_waiting(blockers);
             }
             self.cond.wait(&mut inner);
         }
@@ -149,6 +311,13 @@ impl LockFifo {
             inner.queue[idx].state = RequestState::Released;
             inner.released += 1;
             inner.pop_released_prefix();
+            // What this FIFO's parked threads are blocked on just changed:
+            // their wait-for registrations are stale until they wake and
+            // re-evaluate (debug-mode cycle detector).
+            #[cfg(debug_assertions)]
+            for &t in &inner.parked {
+                deadlock::unregister_thread(t);
+            }
         }
         drop(inner);
         self.cond.notify_all();
@@ -168,11 +337,16 @@ impl LockFifo {
             inner.queue[idx].state = RequestState::Released;
             inner.released += 1;
             inner.pop_released_prefix();
+            // See `release`: invalidate stale wait-for registrations.
+            #[cfg(debug_assertions)]
+            for &t in &inner.parked {
+                deadlock::unregister_thread(t);
+            }
         }
         let seq = inner.next_seq;
         inner.next_seq += 1;
         inner.inserted += 1;
-        inner.queue.push_back(Entry { seq, mode: token.mode(), state: RequestState::Requested });
+        inner.queue.push_back(Entry::new(seq, token.mode()));
         drop(inner);
         self.cond.notify_all();
         RequestToken::new(seq, token.mode())

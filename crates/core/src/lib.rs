@@ -82,8 +82,8 @@ pub use runtime::{
     AdaptReport, AdaptiveController, AdaptiveSpec, ControlEvent, OrwlRuntime, RunReport, RuntimeConfig,
 };
 pub use session::{
-    ExecutionBackend, Mode, Report, RunTime, Session, SessionBuilder, SessionConfig, ThreadBackend,
-    ThreadDetails, Workload,
+    ClusterTraffic, ExecutionBackend, Mode, Report, RunTime, Session, SessionBuilder, SessionConfig,
+    ThreadBackend, ThreadDetails, Workload,
 };
 pub use stats::{RuntimeStats, StatsSnapshot};
 pub use task::{LocationLink, OrwlProgram, TaskContext, TaskId, TaskSpec};

@@ -110,6 +110,10 @@ pub struct AdaptReport {
     /// Individual thread re-bindings applied by task threads (real thread
     /// backends only; simulated migrations re-bind atomically).
     pub rebinds_applied: u64,
+    /// Re-placements that moved at least one task to a *different node*
+    /// (cluster backends only — node-level re-sharding is strictly more
+    /// expensive than intra-node re-binding and is counted separately).
+    pub node_reshards: u64,
     /// Per-epoch structural drift deltas, when the backend records them
     /// (the simulator backend does; the thread runtime's controller keeps
     /// its own timeline).
@@ -134,49 +138,13 @@ pub struct RuntimeConfig {
 }
 
 impl RuntimeConfig {
-    /// Topology-aware configuration: TreeMatch placement applied with the
-    /// platform's native binder.
-    #[deprecated(since = "0.1.0", note = "use `Session::builder()` with a `ThreadBackend` instead")]
-    pub fn bind(topology: Topology) -> Self {
-        RuntimeConfig {
-            topology,
-            policy: Policy::TreeMatch,
-            control_threads: 1,
-            binder: Arc::from(orwl_topo::binding::native_binder()),
-            adaptive: None,
-        }
-    }
-
-    /// The "NoBind" configuration of the paper: same runtime, no binding.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Session::builder().policy(Policy::NoBind)` with a `ThreadBackend` instead"
-    )]
-    pub fn no_bind(topology: Topology) -> Self {
-        RuntimeConfig {
-            topology,
-            policy: Policy::NoBind,
-            control_threads: 1,
-            binder: Arc::new(NoopBinder),
-            adaptive: None,
-        }
-    }
-
-    /// Adaptive configuration: TreeMatch initial placement plus online
-    /// monitoring, drift detection and epoch-boundary re-placement driven
-    /// by `controller` (see `orwl_adapt::AdaptiveEngine`).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `Session::builder().adaptive(AdaptiveSpec::with_controller(..))` instead"
-    )]
-    pub fn adaptive(topology: Topology, controller: Arc<dyn AdaptiveController>, epoch: Duration) -> Self {
-        RuntimeConfig {
-            topology,
-            policy: Policy::TreeMatch,
-            control_threads: 1,
-            binder: Arc::from(orwl_topo::binding::native_binder()),
-            adaptive: Some(AdaptiveSpec::with_controller(controller, epoch)),
-        }
+    /// A configuration with the paper's defaults for `topology` and
+    /// `policy`: one control thread, no-op binding (callers supply a real
+    /// binder with [`with_binder`](RuntimeConfig::with_binder)), no
+    /// adaptation.  The `Session` builder is the public front door; this
+    /// constructor serves code that drives [`OrwlRuntime`] directly.
+    pub fn new(topology: Topology, policy: Policy) -> Self {
+        RuntimeConfig { topology, policy, control_threads: 1, binder: Arc::new(NoopBinder), adaptive: None }
     }
 
     /// Replaces the policy.
@@ -438,6 +406,7 @@ impl OrwlRuntime {
                 epochs: epochs.load(std::sync::atomic::Ordering::Relaxed),
                 replacements: replacements.load(std::sync::atomic::Ordering::Relaxed),
                 rebinds_applied: rebind_plan.as_ref().map(|p| p.rebinds_applied()).unwrap_or(0),
+                node_reshards: 0,
                 drift_deltas: Vec::new(),
             }
         });
@@ -452,10 +421,6 @@ impl OrwlRuntime {
 
 #[cfg(test)]
 mod tests {
-    // The deprecated constructors remain the runtime's own unit-test
-    // surface; everything above this layer goes through `Session`.
-    #![allow(deprecated)]
-
     use super::*;
     use crate::location::Location;
     use crate::request::AccessMode;
@@ -485,14 +450,14 @@ mod tests {
 
     #[test]
     fn empty_program_is_rejected() {
-        let rt = OrwlRuntime::new(RuntimeConfig::no_bind(synthetic::laptop()));
+        let rt = OrwlRuntime::new(RuntimeConfig::new(synthetic::laptop(), Policy::NoBind));
         assert!(matches!(rt.run(OrwlProgram::new()), Err(OrwlError::EmptyProgram)));
     }
 
     #[test]
     fn runtime_executes_all_tasks_nobind() {
         let (program, counter) = counter_program(4, 500);
-        let rt = OrwlRuntime::new(RuntimeConfig::no_bind(synthetic::laptop()));
+        let rt = OrwlRuntime::new(RuntimeConfig::new(synthetic::laptop(), Policy::NoBind));
         let report = rt.run(program).unwrap();
         assert_eq!(counter.snapshot(), 4 * 500);
         assert_eq!(report.per_task_time.len(), 4);
@@ -510,7 +475,7 @@ mod tests {
     fn runtime_with_recording_binder_applies_treematch_placement() {
         let (program, counter) = counter_program(4, 100);
         let binder = Arc::new(RecordingBinder::new());
-        let config = RuntimeConfig::bind(synthetic::laptop())
+        let config = RuntimeConfig::new(synthetic::laptop(), Policy::TreeMatch)
             .with_binder(binder.clone() as Arc<dyn Binder>)
             .with_control_threads(1);
         let rt = OrwlRuntime::new(config);
@@ -556,7 +521,7 @@ mod tests {
             );
         }
         let rt = OrwlRuntime::new(
-            RuntimeConfig::bind(synthetic::cluster2016_subset(1).unwrap())
+            RuntimeConfig::new(synthetic::cluster2016_subset(1).unwrap(), Policy::TreeMatch)
                 .with_binder(Arc::new(RecordingBinder::new())),
         );
         let report = rt.run(program).unwrap();
@@ -570,7 +535,7 @@ mod tests {
         let mut program = OrwlProgram::new();
         program.add_task(TaskSpec::new("ok", vec![]), |_| {});
         program.add_task(TaskSpec::new("boom", vec![]), |_| panic!("intentional"));
-        let rt = OrwlRuntime::new(RuntimeConfig::no_bind(synthetic::laptop()));
+        let rt = OrwlRuntime::new(RuntimeConfig::new(synthetic::laptop(), Policy::NoBind));
         match rt.run(program) {
             Err(OrwlError::TaskPanicked(name)) => assert_eq!(name, "boom"),
             other => panic!("expected TaskPanicked, got {other:?}"),
@@ -580,7 +545,8 @@ mod tests {
     #[test]
     fn zero_control_threads_is_supported() {
         let (program, counter) = counter_program(2, 50);
-        let rt = OrwlRuntime::new(RuntimeConfig::no_bind(synthetic::laptop()).with_control_threads(0));
+        let rt =
+            OrwlRuntime::new(RuntimeConfig::new(synthetic::laptop(), Policy::NoBind).with_control_threads(0));
         let report = rt.run(program).unwrap();
         assert_eq!(counter.snapshot(), 100);
         assert_eq!(report.stats.control_events, 0);
@@ -588,8 +554,9 @@ mod tests {
 
     #[test]
     fn config_builders_compose() {
-        let cfg =
-            RuntimeConfig::no_bind(synthetic::laptop()).with_policy(Policy::Packed).with_control_threads(3);
+        let cfg = RuntimeConfig::new(synthetic::laptop(), Policy::NoBind)
+            .with_policy(Policy::Packed)
+            .with_control_threads(3);
         assert_eq!(cfg.policy, Policy::Packed);
         assert_eq!(cfg.control_threads, 3);
         assert!(format!("{cfg:?}").contains("packed"));

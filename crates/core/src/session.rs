@@ -218,6 +218,38 @@ impl ThreadDetails {
     }
 }
 
+/// Cumulative inter-node vs intra-node traffic of a multi-node run,
+/// reported by cluster backends (`None` on single-machine backends).
+///
+/// The static, per-iteration analogue is the
+/// [`cross_node`](TrafficBreakdown::cross_node) component of the plan's
+/// [`TrafficBreakdown`]; this struct carries the *cumulative* split over
+/// the whole run, including migration traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ClusterTraffic {
+    /// Number of simulated nodes.
+    pub n_nodes: usize,
+    /// Cumulative hop-bytes of traffic that stayed inside a node.
+    pub intra_node_hop_bytes: f64,
+    /// Cumulative hop-bytes of traffic that crossed the fabric.
+    pub inter_node_hop_bytes: f64,
+    /// Cumulative bytes that crossed the fabric (the unweighted cut).
+    pub inter_node_bytes: f64,
+}
+
+impl ClusterTraffic {
+    /// Fraction of the cumulative hop-bytes that crossed the fabric.
+    #[must_use]
+    pub fn inter_node_fraction(&self) -> f64 {
+        let t = self.intra_node_hop_bytes + self.inter_node_hop_bytes;
+        if t == 0.0 {
+            0.0
+        } else {
+            self.inter_node_hop_bytes / t
+        }
+    }
+}
+
 /// The unified result of a [`Session`] run, whatever the backend.
 #[must_use]
 #[derive(Debug, Clone)]
@@ -241,6 +273,9 @@ pub struct Report {
     pub adapt: Option<AdaptReport>,
     /// Thread-backend details; `None` for simulated runs.
     pub thread: Option<ThreadDetails>,
+    /// Cumulative inter-node vs intra-node traffic split; `None` on
+    /// single-machine backends.
+    pub fabric: Option<ClusterTraffic>,
 }
 
 /// The validated, backend-independent settings of a [`Session`].
@@ -485,6 +520,7 @@ impl ExecutionBackend for ThreadBackend {
             hop_bytes,
             adapt,
             thread: Some(ThreadDetails { per_task_time, stats }),
+            fabric: None,
         })
     }
 }

@@ -8,6 +8,7 @@
 //! deliberately simple — the reproduction target is the *shape* of Figure 1
 //! (who wins and by roughly what factor), not absolute seconds.
 
+use orwl_topo::cluster::FabricClass;
 use orwl_topo::object::ObjectType;
 
 /// Per-byte transfer cost between two PUs, by the deepest hardware level the
@@ -125,6 +126,101 @@ impl Default for CostParams {
     }
 }
 
+/// One class of inter-node fabric link: a latency per message plus a
+/// per-flow sustainable bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricLink {
+    /// One-way message latency, in seconds (paid per fabric message, e.g. a
+    /// remote lock grant or the header of a location transfer).
+    pub latency: f64,
+    /// Sustainable bandwidth of one flow over the link, in bytes/second.
+    pub bandwidth: f64,
+}
+
+impl FabricLink {
+    /// Seconds per byte streamed over the link.
+    pub fn per_byte(&self) -> f64 {
+        1.0 / self.bandwidth
+    }
+
+    /// Time for one message of `bytes` payload: latency + serialisation.
+    pub fn transfer_time(&self, bytes: f64) -> f64 {
+        self.latency + bytes * self.per_byte()
+    }
+}
+
+/// The inter-node fabric cost model: one [`FabricLink`] per
+/// [`FabricClass`], plus the aggregate bandwidth of the whole fabric
+/// (the analogue of [`CostParams::interconnect_bandwidth`] one level up —
+/// the sum of all node-crossing bytes of an iteration cannot move faster
+/// than this, whatever the per-link overlap).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricParams {
+    /// Links between nodes of the same rack (one switch hop).
+    pub same_rack: FabricLink,
+    /// Links between racks (through the spine).
+    pub cross_rack: FabricLink,
+    /// Aggregate bandwidth of the whole fabric, in bytes/second.
+    pub aggregate_bandwidth: f64,
+}
+
+impl FabricParams {
+    /// A commodity 10 GbE-class fabric to go with
+    /// [`CostParams::cluster2016`]: per-flow bandwidth well below any
+    /// on-node link, microsecond-scale latencies, a spine that halves the
+    /// per-flow rate across racks.
+    pub fn cluster2016() -> Self {
+        FabricParams {
+            same_rack: FabricLink { latency: 5.0e-6, bandwidth: 1.0e9 },
+            cross_rack: FabricLink { latency: 12.0e-6, bandwidth: 0.5e9 },
+            aggregate_bandwidth: 8.0e9,
+        }
+    }
+
+    /// Exaggerated constants for unit tests: fabric crossings are so
+    /// expensive that node-placement effects dominate everything else.
+    pub fn test_exaggerated() -> Self {
+        FabricParams {
+            same_rack: FabricLink { latency: 50.0e-6, bandwidth: 0.05e9 },
+            cross_rack: FabricLink { latency: 200.0e-6, bandwidth: 0.0125e9 },
+            aggregate_bandwidth: 0.25e9,
+        }
+    }
+
+    /// The link serving a fabric class; `None` for
+    /// [`FabricClass::SameNode`], which crosses no fabric.
+    pub fn link(&self, class: FabricClass) -> Option<FabricLink> {
+        match class {
+            FabricClass::SameNode => None,
+            FabricClass::SameRack => Some(self.same_rack),
+            FabricClass::CrossRack => Some(self.cross_rack),
+        }
+    }
+
+    /// Seconds per byte over the given class (`0` within a node).
+    pub fn per_byte(&self, class: FabricClass) -> f64 {
+        self.link(class).map_or(0.0, |l| l.per_byte())
+    }
+
+    /// One-way latency of the given class (`0` within a node).
+    pub fn latency(&self, class: FabricClass) -> f64 {
+        self.link(class).map_or(0.0, |l| l.latency)
+    }
+
+    /// Time for one `bytes`-payload message over the given class (`0`
+    /// within a node — intra-node transfers are priced by
+    /// [`LinkCosts`], not by the fabric).
+    pub fn transfer_time(&self, bytes: f64, class: FabricClass) -> f64 {
+        self.link(class).map_or(0.0, |l| l.transfer_time(bytes))
+    }
+}
+
+impl Default for FabricParams {
+    fn default() -> Self {
+        FabricParams::cluster2016()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +244,37 @@ mod tests {
         assert_eq!(l.for_shared_type(Some(ObjectType::NumaNode)), l.same_numa);
         assert_eq!(l.for_shared_type(None), l.remote_numa);
         assert_eq!(l.for_shared_type(Some(ObjectType::Machine)), l.remote_numa);
+    }
+
+    #[test]
+    fn fabric_links_are_ordered_and_slower_than_on_node_links() {
+        for (params, fabric) in [
+            (CostParams::cluster2016(), FabricParams::cluster2016()),
+            (CostParams::test_exaggerated(), FabricParams::test_exaggerated()),
+        ] {
+            // Per-byte: on-node remote-NUMA < same-rack fabric < cross-rack.
+            assert!(params.link.remote_numa < fabric.per_byte(FabricClass::SameRack));
+            assert!(fabric.per_byte(FabricClass::SameRack) < fabric.per_byte(FabricClass::CrossRack));
+            // Latency ordering and the free same-node class.
+            assert!(fabric.latency(FabricClass::SameRack) < fabric.latency(FabricClass::CrossRack));
+            assert_eq!(fabric.per_byte(FabricClass::SameNode), 0.0);
+            assert_eq!(fabric.latency(FabricClass::SameNode), 0.0);
+            assert_eq!(fabric.transfer_time(1.0e6, FabricClass::SameNode), 0.0);
+            assert!(fabric.link(FabricClass::SameNode).is_none());
+            assert!(fabric.aggregate_bandwidth > 0.0);
+        }
+    }
+
+    #[test]
+    fn fabric_transfer_time_combines_latency_and_serialisation() {
+        let fabric = FabricParams::cluster2016();
+        let link = fabric.link(FabricClass::SameRack).unwrap();
+        let t = fabric.transfer_time(1.0e6, FabricClass::SameRack);
+        assert!((t - (link.latency + 1.0e6 / link.bandwidth)).abs() < 1e-15);
+        // Latency dominates small messages, bandwidth dominates large ones.
+        assert!(fabric.transfer_time(1.0, FabricClass::SameRack) < 2.0 * link.latency);
+        assert!(fabric.transfer_time(1.0e9, FabricClass::SameRack) > 100.0 * link.latency);
+        assert_eq!(FabricParams::default(), fabric);
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! * [`synthetic`] — building topologies from description strings and the
 //!   named presets used in the evaluation, including the paper's
 //!   24-socket × 8-core SMP machine;
+//! * [`cluster`] — hierarchical multi-node topologies (cluster → node →
+//!   socket/NUMA → core) with rack-aware fabric link classes and a
+//!   flattened single-tree view for flat policies and metrics;
 //! * [`discover`] — best-effort discovery of the host topology from Linux
 //!   sysfs, with a portable fallback;
 //! * [`distance`] — PU-to-PU relative cost matrices derived from the tree;
@@ -38,6 +41,7 @@
 
 pub mod binding;
 pub mod bitmap;
+pub mod cluster;
 pub mod discover;
 pub mod distance;
 pub mod object;
@@ -46,6 +50,7 @@ pub mod topology;
 
 pub use binding::{BindError, Binder, NoopBinder, RecordingBinder};
 pub use bitmap::CpuSet;
+pub use cluster::{ClusterError, ClusterTopology, FabricClass};
 pub use object::{ObjId, ObjectType, TopoObject};
 pub use topology::{LevelSpec, Topology, TopologyError, TreeShape};
 

@@ -10,7 +10,11 @@
 //!   reserved a hyperthread per core, placed on spare cores, or left to the
 //!   OS (module [`control`]);
 //! * **oversubscription** — when there are more threads than processing
-//!   units, a virtual level is appended to the tree (module [`oversub`]).
+//!   units, a virtual level is appended to the tree (module [`oversub`]);
+//! * **two-level cluster placement** — a capacity-bounded k-way
+//!   partitioning stage (module [`mod@partition`]) shards tasks across the
+//!   depth-1 subtrees (cluster nodes) before TreeMatch maps each shard,
+//!   surfaced as [`policies::Policy::Hierarchical`].
 //!
 //! The individual steps of Algorithm 1 are exposed as separate, testable
 //! functions: [`grouping::group_processes`] (`GroupProcesses`),
@@ -41,12 +45,14 @@ pub mod control;
 pub mod grouping;
 pub mod mapping;
 pub mod oversub;
+pub mod partition;
 pub mod policies;
 
 pub use algorithm::{tree_match_assign, TreeMatchConfig, TreeMatchMapper};
 pub use control::{ControlPlacementMode, ControlThreadSpec};
 pub use mapping::Placement;
 pub use oversub::OversubPlan;
+pub use partition::{cut_bytes, cut_cost, partition, PartCosts};
 pub use policies::{compute_placement, Policy};
 
 /// Convenient glob import of the most commonly used items.

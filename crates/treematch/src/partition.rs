@@ -1,0 +1,446 @@
+//! Capacity-bounded k-way graph partitioning: the *node-assignment* stage
+//! of two-level (cluster-scale) placement.
+//!
+//! Before TreeMatch maps threads inside a machine, cluster placement must
+//! first decide **which machine each task runs on**, minimising the traffic
+//! that crosses the fabric.  This module partitions the entities of a
+//! communication matrix into `k` parts of bounded capacity so that the
+//! weighted inter-part cut is small: a constructive greedy phase (seeded by
+//! the heaviest communicators, like [`crate::grouping`]) followed by a
+//! Kernighan–Lin-style refinement of single moves and pairwise swaps.
+//!
+//! Parts can be non-uniformly "far" from each other (racks!): the cut is
+//! weighted by a caller-supplied part-distance matrix, so a partitioner
+//! aware of the fabric prefers spilling across nearby parts.
+
+use crate::algorithm::TreeMatchMapper;
+use orwl_comm::matrix::CommMatrix;
+use orwl_topo::topology::Topology;
+
+/// Stage 2 of two-level placement, shared by `Policy::Hierarchical` and
+/// the cluster backend's fabric-aware placement: run TreeMatch *inside*
+/// each part of `assignment` on `part_topo` (the per-part subtree), and
+/// reindex the part-local PUs into the global space — part `q`'s subtree
+/// owns the contiguous global range `q * pus_per_part ..`.
+pub fn treematch_within_parts(
+    part_topo: &Topology,
+    m: &CommMatrix,
+    assignment: &[usize],
+    n_parts: usize,
+    pus_per_part: usize,
+) -> Vec<Option<usize>> {
+    let n = m.order();
+    let mut compute = vec![None; n];
+    for part in 0..n_parts {
+        let members: Vec<usize> = (0..n).filter(|&t| assignment[t] == part).collect();
+        if members.is_empty() {
+            continue;
+        }
+        let sub = m.select(&members);
+        let local = TreeMatchMapper::compute_only().compute_placement(part_topo, &sub);
+        for (i, &t) in members.iter().enumerate() {
+            compute[t] = local.compute[i].map(|pu| part * pus_per_part + pu);
+        }
+    }
+    compute
+}
+
+/// Relative communication cost between parts: `cost(a, b)` scales every
+/// byte cut between parts `a` and `b`.  Must be symmetric with a zero
+/// diagonal.
+#[derive(Debug, Clone)]
+pub struct PartCosts {
+    n_parts: usize,
+    costs: Vec<f64>,
+}
+
+impl PartCosts {
+    /// Uniform costs: every inter-part byte costs `1`, intra-part is free.
+    pub fn uniform(n_parts: usize) -> Self {
+        let mut costs = vec![1.0; n_parts * n_parts];
+        for p in 0..n_parts {
+            costs[p * n_parts + p] = 0.0;
+        }
+        PartCosts { n_parts, costs }
+    }
+
+    /// Builds costs from a function over part pairs; the diagonal is forced
+    /// to zero and the matrix is symmetrised by averaging.
+    pub fn from_fn(n_parts: usize, f: impl Fn(usize, usize) -> f64) -> Self {
+        let mut costs = vec![0.0; n_parts * n_parts];
+        for a in 0..n_parts {
+            for b in 0..n_parts {
+                costs[a * n_parts + b] = if a == b { 0.0 } else { (f(a, b) + f(b, a)) / 2.0 };
+            }
+        }
+        PartCosts { n_parts, costs }
+    }
+
+    /// Number of parts.
+    pub fn n_parts(&self) -> usize {
+        self.n_parts
+    }
+
+    /// The relative cost between two parts.
+    pub fn cost(&self, a: usize, b: usize) -> f64 {
+        self.costs[a * self.n_parts + b]
+    }
+}
+
+/// The weighted cut of an assignment: `Σ m[i][j] · cost(part_i, part_j)`.
+/// With [`PartCosts::uniform`] this is exactly the inter-part cut bytes.
+pub fn cut_cost(m: &CommMatrix, assignment: &[usize], costs: &PartCosts) -> f64 {
+    assert!(assignment.len() >= m.order(), "assignment must cover every entity of the matrix");
+    let mut cut = 0.0;
+    for i in 0..m.order() {
+        for j in 0..m.order() {
+            let v = m.get(i, j);
+            if v != 0.0 {
+                cut += v * costs.cost(assignment[i], assignment[j]);
+            }
+        }
+    }
+    cut
+}
+
+/// Bytes crossing part boundaries under an assignment (the unweighted cut).
+pub fn cut_bytes(m: &CommMatrix, assignment: &[usize]) -> f64 {
+    assert!(assignment.len() >= m.order(), "assignment must cover every entity of the matrix");
+    let mut cut = 0.0;
+    for i in 0..m.order() {
+        for j in 0..m.order() {
+            if assignment[i] != assignment[j] {
+                cut += m.get(i, j);
+            }
+        }
+    }
+    cut
+}
+
+/// Partitions the `m.order()` entities into `costs.n_parts()` parts holding
+/// at most `capacity` entities each, minimising the weighted cut
+/// ([`cut_cost`]).  Deterministic; ties resolve towards lower part indices.
+///
+/// # Panics
+/// Panics when `capacity × n_parts` cannot hold every entity, or when
+/// `capacity == 0` with a non-empty matrix.
+pub fn partition(m: &CommMatrix, costs: &PartCosts, capacity: usize) -> Vec<usize> {
+    let p = m.order();
+    let k = costs.n_parts();
+    if p == 0 {
+        return Vec::new();
+    }
+    assert!(capacity > 0, "part capacity must be at least 1");
+    assert!(k * capacity >= p, "{k} parts of capacity {capacity} cannot hold {p} entities");
+    let s = m.symmetrized();
+
+    // --- Greedy construction ------------------------------------------------
+    // Aim for balanced parts (⌈p/k⌉) during construction so the refinement
+    // starts from a feasible, load-balanced state; `capacity` only matters
+    // when p does not divide evenly.
+    let target = p.div_ceil(k).min(capacity);
+    let mut order: Vec<usize> = (0..p).collect();
+    order.sort_by(|&a, &b| {
+        s.traffic_of(b).partial_cmp(&s.traffic_of(a)).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+    });
+
+    let mut assignment = vec![usize::MAX; p];
+    let mut load = vec![0usize; k];
+    for &seed in &order {
+        if assignment[seed] != usize::MAX {
+            continue;
+        }
+        // Open the next empty part for this seed; when all parts are seeded,
+        // fall through to the affinity rule below.
+        let part = match (0..k).find(|&q| load[q] == 0) {
+            Some(q) => q,
+            None => best_part(&s, &assignment, &load, seed, costs, target, capacity),
+        };
+        assignment[seed] = part;
+        load[part] += 1;
+        // Grow the part around the seed up to the balanced target.
+        while load[part] < target {
+            let mut best: Option<(usize, f64)> = None;
+            for cand in 0..p {
+                if assignment[cand] != usize::MAX {
+                    continue;
+                }
+                let conn: f64 = (0..p).filter(|&e| assignment[e] == part).map(|e| s.get(e, cand)).sum();
+                if best.is_none_or(|(_, bc)| conn > bc) {
+                    best = Some((cand, conn));
+                }
+            }
+            match best {
+                Some((cand, conn)) if conn > 0.0 || load[part] == 0 => {
+                    assignment[cand] = part;
+                    load[part] += 1;
+                }
+                // No connected candidate left: stop growing, let the
+                // remaining entities pick their own seeds / best parts.
+                _ => break,
+            }
+        }
+    }
+    // Anything still unassigned (disconnected entities) goes to the
+    // cheapest part with room.
+    for e in 0..p {
+        if assignment[e] == usize::MAX {
+            let part = best_part(&s, &assignment, &load, e, costs, target, capacity);
+            assignment[e] = part;
+            load[part] += 1;
+        }
+    }
+
+    refine(&s, &mut assignment, &mut load, costs, capacity);
+    assignment
+}
+
+/// The part the entity is most attracted to among those with room: highest
+/// connectivity, then lowest load, then lowest index.
+fn best_part(
+    s: &CommMatrix,
+    assignment: &[usize],
+    load: &[usize],
+    entity: usize,
+    costs: &PartCosts,
+    target: usize,
+    capacity: usize,
+) -> usize {
+    let k = load.len();
+    // Prefer parts under the balanced target; allow up to capacity when
+    // every part has reached it.
+    let limit = if load.iter().all(|&l| l >= target) { capacity } else { target };
+    let mut best: Option<(usize, f64)> = None;
+    for q in 0..k {
+        if load[q] >= limit {
+            continue;
+        }
+        // Attraction = volume kept local minus fabric-weighted volume to the
+        // entities already placed elsewhere.
+        let mut score = 0.0;
+        for (e, &part) in assignment.iter().enumerate() {
+            if part == usize::MAX {
+                continue;
+            }
+            let v = s.get(e, entity);
+            if v != 0.0 {
+                score -= v * costs.cost(part, q);
+            }
+        }
+        let better = match best {
+            None => true,
+            Some((bq, bs)) => score > bs || (score == bs && (load[q], q) < (load[bq], bq)),
+        };
+        if better {
+            best = Some((q, score));
+        }
+    }
+    best.map(|(q, _)| q).expect("capacity assertion guarantees a part with room")
+}
+
+/// Kernighan–Lin-style local refinement: greedily apply the single move or
+/// pairwise swap with the largest cut improvement until none remains (or a
+/// safety bound on passes is hit).
+fn refine(s: &CommMatrix, assignment: &mut [usize], load: &mut [usize], costs: &PartCosts, capacity: usize) {
+    let p = s.order();
+    let k = load.len();
+    // External cost of entity `e` if it were in part `q`.
+    let cost_in = |assignment: &[usize], e: usize, q: usize| -> f64 {
+        let mut c = 0.0;
+        for (other, &part) in assignment.iter().enumerate().take(p) {
+            if other == e {
+                continue;
+            }
+            let v = s.get(e, other);
+            if v != 0.0 {
+                c += v * costs.cost(q, part);
+            }
+        }
+        c
+    };
+
+    for _pass in 0..2 * p.max(4) {
+        let mut best_gain = 1e-12;
+        let mut best_action: Option<(usize, Option<usize>, usize)> = None; // (a, Some(b)=swap / None=move, dest)
+        for a in 0..p {
+            let pa = assignment[a];
+            let here = cost_in(assignment, a, pa);
+            // Single moves to any part with room.
+            for (q, &part_load) in load.iter().enumerate().take(k) {
+                if q == pa || part_load >= capacity {
+                    continue;
+                }
+                let gain = here - cost_in(assignment, a, q);
+                if gain > best_gain {
+                    best_gain = gain;
+                    best_action = Some((a, None, q));
+                }
+            }
+            // Pairwise swaps.
+            for b in (a + 1)..p {
+                let pb = assignment[b];
+                if pb == pa {
+                    continue;
+                }
+                let before = here + cost_in(assignment, b, pb);
+                // `cost_in` is evaluated against the *unswapped* assignment,
+                // where the a↔b term vanishes (each sees the other still in
+                // the destination part); after the swap the pair straddles
+                // pa↔pb again, so add the term back for both directions.
+                let after = cost_in(assignment, a, pb)
+                    + cost_in(assignment, b, pa)
+                    + 2.0 * s.get(a, b) * costs.cost(pa, pb);
+                let gain = before - after;
+                if gain > best_gain {
+                    best_gain = gain;
+                    best_action = Some((a, Some(b), pb));
+                }
+            }
+        }
+        match best_action {
+            Some((a, None, q)) => {
+                load[assignment[a]] -= 1;
+                assignment[a] = q;
+                load[q] += 1;
+            }
+            Some((a, Some(b), _)) => {
+                assignment.swap(a, b);
+            }
+            None => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orwl_comm::patterns;
+
+    #[test]
+    fn uniform_costs_have_zero_diagonal() {
+        let c = PartCosts::uniform(3);
+        assert_eq!(c.n_parts(), 3);
+        for a in 0..3 {
+            assert_eq!(c.cost(a, a), 0.0);
+            for b in 0..3 {
+                if a != b {
+                    assert_eq!(c.cost(a, b), 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn from_fn_symmetrises_and_zeroes_diagonal() {
+        let c = PartCosts::from_fn(3, |a, b| (a + 2 * b) as f64);
+        assert_eq!(c.cost(1, 1), 0.0);
+        assert_eq!(c.cost(0, 1), c.cost(1, 0));
+        assert_eq!(c.cost(0, 2), 3.0); // ((0+4) + (2+0)) / 2
+    }
+
+    #[test]
+    fn clustered_pattern_is_cut_perfectly() {
+        // 4 groups of 4 with heavy intra-group traffic: each group must land
+        // in its own part, cutting only the light inter-group ring.
+        let m = patterns::clustered(4, 4, 1000.0, 1.0);
+        let assignment = partition(&m, &PartCosts::uniform(4), 4);
+        for g in 0..4 {
+            let parts: std::collections::HashSet<usize> = (0..4).map(|i| assignment[g * 4 + i]).collect();
+            assert_eq!(parts.len(), 1, "group {g} split across parts {parts:?}");
+        }
+        // Only the inter-group ring volume is cut.
+        let cut = cut_bytes(&m, &assignment);
+        let intra: f64 = (0..16)
+            .flat_map(|i| (0..16).map(move |j| (i, j)))
+            .filter(|&(i, j)| i / 4 == j / 4)
+            .map(|(i, j)| m.get(i, j))
+            .sum();
+        assert!((cut - (m.total_volume() - intra)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partition_respects_capacity() {
+        let m = patterns::all_to_all(10, 1.0);
+        let assignment = partition(&m, &PartCosts::uniform(4), 3);
+        let mut load = [0usize; 4];
+        for &q in &assignment {
+            assert!(q < 4);
+            load[q] += 1;
+        }
+        assert!(load.iter().all(|&l| l <= 3), "capacity violated: {load:?}");
+        assert_eq!(load.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn insufficient_capacity_panics() {
+        let m = patterns::chain(10, 1.0);
+        partition(&m, &PartCosts::uniform(2), 4);
+    }
+
+    #[test]
+    fn chain_is_split_into_contiguous_runs() {
+        // A heavy chain of 8 into 2 parts of 4: the optimal cut severs one
+        // edge, i.e. the parts are {0..3} and {4..7}.
+        let m = patterns::chain(8, 100.0);
+        let assignment = partition(&m, &PartCosts::uniform(2), 4);
+        // The optimal cut severs exactly one chain link (both directions).
+        let one_link = m.get(3, 4) + m.get(4, 3);
+        assert_eq!(cut_bytes(&m, &assignment), one_link, "assignment {assignment:?}");
+        assert_eq!(assignment[0], assignment[1]);
+        assert_eq!(assignment[4], assignment[7]);
+        assert_ne!(assignment[0], assignment[7]);
+    }
+
+    #[test]
+    fn weighted_costs_pull_spill_towards_cheap_parts() {
+        // 3 groups of 2 on 3 parts of capacity 2; parts 0-1 are "same rack"
+        // (cost 1), part 2 is far (cost 10 from both).  The pattern is a
+        // heavy pair per group plus a medium 0↔2 bridge between the first
+        // two groups and a light 0↔4 link to the third: the bridge endpoints
+        // should stay on the near parts.
+        let m = CommMatrix::from_edges(
+            6,
+            &[(0, 1, 1000.0), (2, 3, 1000.0), (4, 5, 1000.0), (0, 2, 50.0), (0, 4, 1.0)],
+        );
+        let costs = PartCosts::from_fn(3, |a, b| if a.max(b) == 2 { 10.0 } else { 1.0 });
+        let assignment = partition(&m, &costs, 2);
+        // Pairs stay together.
+        assert_eq!(assignment[0], assignment[1]);
+        assert_eq!(assignment[2], assignment[3]);
+        assert_eq!(assignment[4], assignment[5]);
+        // The bridged groups occupy the two near parts; the light group is
+        // pushed to the far part.
+        let far = assignment[4];
+        assert_eq!(costs.cost(assignment[0], far).max(costs.cost(assignment[2], far)), 10.0);
+        assert_eq!(costs.cost(assignment[0], assignment[2]), 1.0);
+    }
+
+    #[test]
+    fn cut_cost_matches_cut_bytes_under_uniform_costs() {
+        let m = patterns::stencil_2d(&patterns::StencilSpec {
+            rows: 4,
+            cols: 4,
+            edge_volume: 64.0,
+            corner_volume: 8.0,
+        });
+        let assignment = partition(&m, &PartCosts::uniform(4), 4);
+        let uniform = PartCosts::uniform(4);
+        assert!((cut_cost(&m, &assignment, &uniform) - cut_bytes(&m, &assignment)).abs() < 1e-9);
+        // The stencil partition keeps at least half of the traffic local.
+        assert!(cut_bytes(&m, &assignment) < 0.5 * m.total_volume());
+    }
+
+    #[test]
+    fn empty_matrix_yields_empty_assignment() {
+        assert!(partition(&CommMatrix::zeros(0), &PartCosts::uniform(2), 1).is_empty());
+    }
+
+    #[test]
+    fn refinement_is_deterministic() {
+        let m = patterns::random_symmetric(12, 0.5, 100.0, 42);
+        let a = partition(&m, &PartCosts::uniform(3), 4);
+        let b = partition(&m, &PartCosts::uniform(3), 4);
+        assert_eq!(a, b);
+    }
+}

@@ -33,6 +33,14 @@ pub enum Policy {
     Random(u64),
     /// The topology-aware placement of the paper (Algorithm 1).
     TreeMatch,
+    /// Two-level cluster placement: partition the tasks over the topology's
+    /// depth-1 subtrees (the per-node `Group`s of a flattened
+    /// [`ClusterTopology`](orwl_topo::cluster::ClusterTopology), or the
+    /// NUMA/package level of a single machine) minimising the inter-subtree
+    /// cut ([`mod@crate::partition`]), then run TreeMatch *inside* each subtree.
+    /// Falls back to plain TreeMatch when the topology has no level to
+    /// partition over.
+    Hierarchical,
 }
 
 impl Policy {
@@ -44,12 +52,20 @@ impl Policy {
             Policy::Scatter => "scatter",
             Policy::Random(_) => "random",
             Policy::TreeMatch => "treematch",
+            Policy::Hierarchical => "hierarchical",
         }
     }
 
     /// All policies with default parameters, for sweeps.
     pub fn all() -> Vec<Policy> {
-        vec![Policy::NoBind, Policy::Packed, Policy::Scatter, Policy::Random(0xC0FFEE), Policy::TreeMatch]
+        vec![
+            Policy::NoBind,
+            Policy::Packed,
+            Policy::Scatter,
+            Policy::Random(0xC0FFEE),
+            Policy::TreeMatch,
+            Policy::Hierarchical,
+        ]
     }
 }
 
@@ -84,7 +100,45 @@ pub fn compute_placement(policy: Policy, topo: &Topology, m: &CommMatrix, n_cont
                 TreeMatchMapper::new(TreeMatchConfig { control: ControlThreadSpec::with_count(n_control) });
             mapper.compute_placement(topo, m)
         }
+        Policy::Hierarchical => hierarchical_placement(topo, m, n_control),
     }
+}
+
+/// Two-level placement on a flat topology: partition the tasks over the
+/// depth-1 subtrees, then TreeMatch each part on the subtree's own shape.
+///
+/// The partition level is the synthetic spec's first level — the per-node
+/// `Group` of a flattened cluster, or the NUMA/package level of a single
+/// machine.  Control threads are left to the OS (`None`): at cluster scale
+/// each node runs its own control threads, a concern of the backend rather
+/// than of the global placement.
+fn hierarchical_placement(topo: &Topology, m: &CommMatrix, n_control: usize) -> Placement {
+    let spec = topo.level_spec();
+    let n_compute = m.order();
+    if n_compute == 0 {
+        return Placement::unbound(0, n_control);
+    }
+    // No level to partition over (discovered topology or a single-level
+    // spec): two-level placement degenerates to plain TreeMatch.
+    if spec.len() < 2 {
+        let placement = TreeMatchMapper::compute_only().compute_placement(topo, m);
+        return Placement { compute: placement.compute, control: vec![None; n_control] };
+    }
+    let n_parts = spec[0].count;
+    let sub_levels = &spec[1..];
+    let pus_per_part: usize = sub_levels.iter().map(|l| l.count).product();
+    // Oversubscription beyond the whole machine: relax the per-part
+    // capacity so every task still gets a slot (TreeMatch then stacks
+    // tasks inside the part, exactly like the flat oversubscription path).
+    let capacity = pus_per_part.max(n_compute.div_ceil(n_parts));
+
+    let assignment = crate::partition::partition(m, &crate::partition::PartCosts::uniform(n_parts), capacity);
+
+    // Synthetic subtrees own contiguous PU ranges in global order.
+    let sub_topo = Topology::from_levels("subtree", sub_levels)
+        .expect("levels below a valid topology's first level are a valid topology");
+    let compute = crate::partition::treematch_within_parts(&sub_topo, m, &assignment, n_parts, pus_per_part);
+    Placement { compute, control: vec![None; n_control] }
 }
 
 /// Round-robin over NUMA nodes (falling back to packages, then to the whole
@@ -201,6 +255,45 @@ mod tests {
             let cost = mapping_cost_default(&m, &topo, &p.compute_mapping_or_zero());
             assert!(tm_cost <= cost, "treematch ({tm_cost}) should beat {} ({cost})", baseline.name());
         }
+    }
+
+    #[test]
+    fn hierarchical_keeps_clusters_inside_numa_subtrees() {
+        let topo = synthetic::cluster2016_subset(4).unwrap(); // 4 sockets × 8 cores
+        let m = patterns::clustered(4, 8, 1000.0, 1.0);
+        let p = compute_placement(Policy::Hierarchical, &topo, &m, 0);
+        p.validate_against(&topo).unwrap();
+        assert!(p.is_injective());
+        // Every heavy cluster of 8 lands on a single socket.
+        let mapping = p.compute_mapping_or_zero();
+        for c in 0..4 {
+            let sockets: std::collections::HashSet<usize> = (0..8).map(|i| mapping[c * 8 + i] / 8).collect();
+            assert_eq!(sockets.len(), 1, "cluster {c} spread over sockets {sockets:?}");
+        }
+        // And matches or beats flat TreeMatch on the locality metric.
+        let tm = compute_placement(Policy::TreeMatch, &topo, &m, 0);
+        let h_cost = mapping_cost_default(&m, &topo, &mapping);
+        let tm_cost = mapping_cost_default(&m, &topo, &tm.compute_mapping_or_zero());
+        assert!(h_cost <= tm_cost + 1e-9, "hierarchical {h_cost} vs treematch {tm_cost}");
+    }
+
+    #[test]
+    fn hierarchical_handles_oversubscription_and_degenerate_topologies() {
+        // More tasks than PUs: 24 tasks on 8 PUs.
+        let topo = synthetic::cluster2016_subset(1).unwrap();
+        let m = patterns::chain(24, 10.0);
+        let p = compute_placement(Policy::Hierarchical, &topo, &m, 0);
+        p.validate_against(&topo).unwrap();
+        assert!(p.compute.iter().all(Option::is_some));
+        // Degenerate single-level spec falls back to TreeMatch.
+        let flat = orwl_topo::topology::Topology::from_levels(
+            "flat",
+            &[orwl_topo::topology::LevelSpec::new(orwl_topo::object::ObjectType::PU, 4)],
+        )
+        .unwrap();
+        let p = compute_placement(Policy::Hierarchical, &flat, &patterns::chain(4, 1.0), 1);
+        p.validate_against(&flat).unwrap();
+        assert_eq!(p.n_control(), 1);
     }
 
     #[test]

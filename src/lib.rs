@@ -14,6 +14,7 @@
 //! | [`orwl_numasim`] | discrete-event NUMA machine simulator (substitute for the 192-core testbed) |
 //! | [`orwl_core`] | the ORWL runtime (locations, FIFOs, handles, tasks, event runtime, placement add-on, the `Session` API) |
 //! | [`orwl_adapt`] | online monitoring, drift detection, adaptive re-placement, the simulator backend |
+//! | [`orwl_cluster`] | hierarchical multi-node backend: two-level placement, fabric-coupled simulator |
 //! | [`orwl_lk23`] | Livermore Kernel 23: sequential, OpenMP-like, ORWL, simulator models |
 //! | [`orwl_bench`] | experiment harness regenerating Figure 1 and the ablations |
 //!
@@ -26,11 +27,13 @@
 //! [`Session`] (topology, policy, control threads, run mode, backend) and
 //! [`run`](Session::run) a workload on it.  [`ThreadBackend`] executes real
 //! ORWL programs on the event runtime; [`SimBackend`] executes phased
-//! task-graph workloads on the simulated NUMA machine.  Both return the
-//! same [`Report`].
+//! task-graph workloads on the simulated NUMA machine; [`ClusterBackend`]
+//! executes them on a simulated multi-node cluster with two-level
+//! topology-aware placement.  All three return the same [`Report`].
 
 pub use orwl_adapt;
 pub use orwl_bench;
+pub use orwl_cluster;
 pub use orwl_comm;
 pub use orwl_core;
 pub use orwl_lk23;
@@ -40,14 +43,16 @@ pub use orwl_treematch;
 
 pub use orwl_adapt::backend::SimBackend;
 pub use orwl_adapt::engine::{adaptive_session_spec, AdaptiveEngine};
+pub use orwl_cluster::{ClusterBackend, ClusterMachine};
 pub use orwl_core::error::{ConfigError, OrwlError};
 pub use orwl_core::runtime::{AdaptReport, AdaptiveSpec};
 pub use orwl_core::session::{
-    ExecutionBackend, Mode, Report, RunTime, Session, SessionBuilder, SessionConfig, ThreadBackend,
-    ThreadDetails, Workload,
+    ClusterTraffic, ExecutionBackend, Mode, Report, RunTime, Session, SessionBuilder, SessionConfig,
+    ThreadBackend, ThreadDetails, Workload,
 };
 pub use orwl_core::task::OrwlProgram;
 pub use orwl_numasim::workload::PhasedWorkload;
+pub use orwl_topo::cluster::ClusterTopology;
 pub use orwl_treematch::policies::Policy;
 
 /// Human-readable version banner used by the examples.

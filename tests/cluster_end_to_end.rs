@@ -1,0 +1,131 @@
+//! End-to-end acceptance of the cluster subsystem (ISSUE 3): on
+//! rotating-sweep workloads across ≥ 4 simulated nodes,
+//! `Policy::Hierarchical` must yield strictly lower inter-node hop-bytes
+//! than Scatter and no worse total hop-bytes than flat TreeMatch on the
+//! flattened topology — all through the unchanged `Session::builder()`
+//! surface.
+
+use orwl_repro::{AdaptiveSpec, ClusterBackend, ClusterMachine, Mode, PhasedWorkload, Policy, Session};
+
+const NODES: usize = 4;
+
+fn machine() -> ClusterMachine {
+    ClusterMachine::paper(NODES) // 4 nodes × 2 sockets × 8 cores
+}
+
+fn session(policy: Policy, mode: Mode) -> Session {
+    Session::builder()
+        .topology(machine().topology().clone())
+        .policy(policy)
+        .control_threads(0)
+        .mode(mode)
+        .backend(ClusterBackend::new(machine()))
+        .build()
+        .expect("the cluster backend plugs into the unchanged builder surface")
+}
+
+fn rotating_sweep(phases: &[usize]) -> PhasedWorkload {
+    // 64 tasks (one per PU), heavy east-west halos rotating to north-south.
+    PhasedWorkload::rotating_stencil(8, 65536.0, 1024.0, 16384.0, 131072.0, phases)
+}
+
+#[test]
+fn hierarchical_beats_scatter_on_inter_node_hop_bytes() {
+    let w = rotating_sweep(&[20]);
+    let hier = session(Policy::Hierarchical, Mode::Static).run(w.clone()).unwrap();
+    let scatter = session(Policy::Scatter, Mode::Static).run(w).unwrap();
+    let (hf, sf) = (hier.fabric.unwrap(), scatter.fabric.unwrap());
+    assert_eq!(hf.n_nodes, NODES);
+    assert!(
+        hf.inter_node_hop_bytes < sf.inter_node_hop_bytes,
+        "hierarchical inter-node hop-bytes {} must be strictly below scatter's {}",
+        hf.inter_node_hop_bytes,
+        sf.inter_node_hop_bytes
+    );
+    // The fabric-aware partition also wins on the simulated clock.
+    assert!(hier.time.seconds() < scatter.time.seconds());
+}
+
+#[test]
+fn hierarchical_is_no_worse_than_flat_treematch_on_total_hop_bytes() {
+    let w = rotating_sweep(&[20]);
+    let hier = session(Policy::Hierarchical, Mode::Static).run(w.clone()).unwrap();
+    let flat = session(Policy::TreeMatch, Mode::Static).run(w).unwrap();
+    assert!(
+        hier.hop_bytes <= flat.hop_bytes + 1e-9,
+        "hierarchical total hop-bytes {} must not exceed flat TreeMatch's {}",
+        hier.hop_bytes,
+        flat.hop_bytes
+    );
+    // And it must not buy that with more fabric traffic either.
+    let (hf, ff) = (hier.fabric.unwrap(), flat.fabric.unwrap());
+    assert!(hf.inter_node_hop_bytes <= ff.inter_node_hop_bytes + 1e-9);
+}
+
+#[test]
+fn the_builder_surface_is_unchanged_beyond_the_new_variants() {
+    // Same builder calls, three backends: only the backend / policy
+    // variants differ.  The report shape is the unified one.
+    let report = session(Policy::Hierarchical, Mode::Static).run(rotating_sweep(&[4])).unwrap();
+    assert_eq!(report.backend, "cluster");
+    assert_eq!(report.mode, "static");
+    assert_eq!(report.plan.policy, Policy::Hierarchical);
+    assert!(report.hop_bytes > 0.0);
+    assert!(report.breakdown.cross_node >= 0.0);
+    assert!(report.thread.is_none());
+    // The static per-iteration split agrees with the cumulative one on a
+    // single-phase run: same inter/intra proportions.
+    let fabric = report.fabric.unwrap();
+    let static_split = report.breakdown.cross_node / report.breakdown.total();
+    assert!((static_split > 0.0) == (fabric.inter_node_hop_bytes > 0.0));
+}
+
+#[test]
+fn adaptive_cluster_mode_reshards_and_beats_static_on_drift() {
+    let w = rotating_sweep(&[12, 100]);
+    let fixed = session(Policy::Hierarchical, Mode::Static).run(w.clone()).unwrap();
+    let oracle = session(Policy::Hierarchical, Mode::Oracle).run(w.clone()).unwrap();
+    let adaptive =
+        session(Policy::Hierarchical, Mode::Adaptive(AdaptiveSpec::per_iterations(4))).run(w).unwrap();
+    let adapt = adaptive.adapt.expect("adaptive runs report counters");
+    assert!(adapt.replacements >= 1);
+    assert!(adapt.node_reshards >= 1, "the rotation must trigger node-level re-sharding: {adapt:?}");
+    assert!(adaptive.hop_bytes < fixed.hop_bytes);
+    assert!(oracle.hop_bytes <= adaptive.hop_bytes + 1e-9);
+}
+
+#[test]
+fn acceptance_holds_across_node_counts() {
+    for nodes in [2usize, 4, 8] {
+        let machine = ClusterMachine::paper(nodes);
+        let tasks_side = 2 * nodes; // keeps tasks ≥ nodes as the cluster grows
+        let w = PhasedWorkload::rotating_stencil(tasks_side, 65536.0, 1024.0, 16384.0, 131072.0, &[6]);
+        let mk = |policy: Policy| {
+            Session::builder()
+                .topology(machine.topology().clone())
+                .policy(policy)
+                .control_threads(0)
+                .backend(ClusterBackend::new(machine.clone()))
+                .build()
+                .unwrap()
+                .run(w.clone())
+                .unwrap()
+        };
+        let hier = mk(Policy::Hierarchical);
+        let scatter = mk(Policy::Scatter);
+        let flat = mk(Policy::TreeMatch);
+        let (hf, sf) = (hier.fabric.unwrap(), scatter.fabric.unwrap());
+        assert!(
+            hf.inter_node_hop_bytes < sf.inter_node_hop_bytes,
+            "{nodes} nodes: hierarchical {} vs scatter {}",
+            hf.inter_node_hop_bytes,
+            sf.inter_node_hop_bytes
+        );
+        assert!(
+            hier.hop_bytes <= flat.hop_bytes + 1e-9,
+            "{nodes} nodes: hierarchical {} vs flat treematch {}",
+            hier.hop_bytes,
+            flat.hop_bytes
+        );
+    }
+}

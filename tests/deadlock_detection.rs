@@ -1,0 +1,107 @@
+//! Regression test for the debug-mode circular-wait detector (ROADMAP PR 2
+//! hazard): iterative handles posted **lazily mid-run** instead of in a
+//! fenced initialisation phase can land one write behind their partner on
+//! every edge of a partner cycle — a schedule deadlock the runtime used to
+//! sit in forever.  In debug builds the [`LockFifo`] cycle detector must
+//! panic with the cycle instead.
+//!
+//! The old hazard pattern, distilled to its two-task core: each task holds
+//! the write lock on its own frontier (granted immediately — its request
+//! was first in that FIFO) and only *then* lazily posts its read of the
+//! partner's frontier.  Both reads queue behind a write that will never be
+//! released, because each writer is parked in the other's FIFO.
+
+#![cfg(debug_assertions)]
+
+use orwl_core::prelude::*;
+use orwl_core::Location;
+use std::sync::{Arc, Barrier};
+
+#[test]
+fn lazily_posted_iterative_handles_panic_instead_of_deadlocking() {
+    let frontier_a = Location::new("frontier-a", 0u64);
+    let frontier_b = Location::new("frontier-b", 0u64);
+    // Both tasks acquire their own write before either posts its read —
+    // the fence reproduces the lazy-posting schedule deterministically.
+    let writes_granted = Arc::new(Barrier::new(2));
+
+    let mut joins = Vec::new();
+    for (mine, partner) in [(&frontier_a, &frontier_b), (&frontier_b, &frontier_a)] {
+        let mine = Arc::clone(mine);
+        let partner = Arc::clone(partner);
+        let fence = Arc::clone(&writes_granted);
+        joins.push(
+            std::thread::Builder::new()
+                .name(format!("orwl-task-{}", mine.name()))
+                .spawn(move || {
+                    let mut write = mine.iterative_handle(AccessMode::Write);
+                    let mut read = partner.iterative_handle(AccessMode::Read);
+                    let guard = write.acquire().unwrap(); // lazily posts + grants
+                    fence.wait();
+                    // Lazily posts the read behind the partner's parked
+                    // write: the second thread to get here closes the cycle.
+                    let r = read.acquire().unwrap();
+                    drop(r);
+                    drop(guard);
+                })
+                .unwrap(),
+        );
+    }
+
+    let outcomes: Vec<_> = joins.into_iter().map(|j| j.join()).collect();
+    let panics: Vec<String> = outcomes
+        .into_iter()
+        .filter_map(|o| o.err())
+        .map(|e| {
+            e.downcast_ref::<String>()
+                .cloned()
+                .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default()
+        })
+        .collect();
+    assert_eq!(panics.len(), 1, "exactly the cycle-closing thread must panic: {panics:?}");
+    assert!(panics[0].contains("ORWL deadlock detected"), "unexpected panic message: {}", panics[0]);
+    // The report names the parked task threads forming the cycle.
+    assert!(panics[0].contains("orwl-task-frontier-a") && panics[0].contains("orwl-task-frontier-b"));
+}
+
+#[test]
+fn fenced_initialisation_does_not_trip_the_detector() {
+    // The corrected pattern: every request is posted in a deterministic
+    // init phase *before* any acquire, yielding the periodic deadlock-free
+    // schedule — the detector must stay silent through real contention.
+    let frontier_a = Location::new("fa", 0u64);
+    let frontier_b = Location::new("fb", 0u64);
+    let posted = Arc::new(Barrier::new(2));
+
+    let mut joins = Vec::new();
+    for (mine, partner) in [(&frontier_a, &frontier_b), (&frontier_b, &frontier_a)] {
+        let mine = Arc::clone(mine);
+        let partner = Arc::clone(partner);
+        let fence = Arc::clone(&posted);
+        joins.push(std::thread::spawn(move || {
+            let mut write = mine.iterative_handle(AccessMode::Write);
+            let mut read = partner.iterative_handle(AccessMode::Read);
+            write.request().unwrap();
+            read.request().unwrap();
+            fence.wait(); // every request is queued before any acquire
+            for i in 1..=50u64 {
+                {
+                    let mut g = write.acquire().unwrap();
+                    *g = i;
+                }
+                {
+                    let g = read.acquire().unwrap();
+                    assert!(*g <= 50);
+                }
+            }
+            write.cancel();
+            read.cancel();
+        }));
+    }
+    for j in joins {
+        j.join().expect("the fenced schedule must run to completion");
+    }
+    assert_eq!(frontier_a.snapshot(), 50);
+    assert_eq!(frontier_b.snapshot(), 50);
+}

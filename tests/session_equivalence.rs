@@ -1,16 +1,17 @@
-//! Golden equivalence: the `Session` simulator backend must reproduce the
-//! legacy `run_static` / `run_adaptive` / `run_oracle` harness **to the
-//! bit** on the rotating-sweep workload, for hop-bytes, simulated time and
-//! migration counts.  This is the safety net that lets the deprecated trio
-//! be deleted later without silently changing the evaluation.
-
-#![allow(deprecated)]
+//! Golden pins of the `Session` simulator backend on the rotating-sweep
+//! workload.
+//!
+//! The backend was originally pinned bit-for-bit against the legacy
+//! `run_static` / `run_adaptive` / `run_oracle` harness; with that trio
+//! deleted, these constants (captured from the pinned implementation) are
+//! the remaining safety net: a change to the simulator, the TreeMatch
+//! mapper or the adaptive engine that shifts the evaluation numbers fails
+//! here instead of silently re-baselining every experiment.
 
 use orwl_adapt::backend::SimBackend;
 use orwl_adapt::drift::DriftConfig;
 use orwl_adapt::engine::AdaptConfig;
 use orwl_adapt::replace::{MigrationCostModel, ReplacerConfig};
-use orwl_adapt::sim::{run_adaptive, run_oracle, run_static, SimAdaptConfig};
 use orwl_core::prelude::*;
 use orwl_numasim::costmodel::CostParams;
 use orwl_numasim::machine::SimMachine;
@@ -23,13 +24,15 @@ fn machine() -> SimMachine {
     SimMachine::new(synthetic::cluster2016_subset(2).unwrap(), CostParams::cluster2016())
 }
 
-fn workload() -> PhasedWorkload {
-    PhasedWorkload::rotating_stencil(4, 65536.0, 1024.0, 16384.0, 131072.0, &[24, 200])
+fn workload(phases: &[usize]) -> PhasedWorkload {
+    PhasedWorkload::rotating_stencil(4, 65536.0, 1024.0, 16384.0, 131072.0, phases)
 }
 
-fn legacy_config() -> SimAdaptConfig {
-    SimAdaptConfig {
-        epoch_iterations: EPOCH_ITERATIONS,
+fn session(mode: Mode) -> Session {
+    // The evaluation tuning, spelled out rather than taken from
+    // `AdaptConfig::evaluation()` so a drive-by change to that preset
+    // cannot silently re-baseline the pins.
+    let adapt = AdaptConfig {
         decay: 0.2,
         drift: DriftConfig { threshold: 0.15, patience: 1, cooldown: 2 },
         replacer: ReplacerConfig {
@@ -37,12 +40,7 @@ fn legacy_config() -> SimAdaptConfig {
             horizon_epochs: 20.0,
             min_relative_gain: 0.05,
         },
-    }
-}
-
-fn session(mode: Mode) -> Session {
-    let legacy = legacy_config();
-    let adapt = AdaptConfig { decay: legacy.decay, drift: legacy.drift, replacer: legacy.replacer };
+    };
     Session::builder()
         .topology(machine().topology().clone())
         .policy(Policy::TreeMatch)
@@ -53,49 +51,63 @@ fn session(mode: Mode) -> Session {
         .unwrap()
 }
 
-#[test]
-fn static_mode_reproduces_run_static_exactly() {
-    let old = run_static(&machine(), &workload());
-    let new = session(Mode::Static).run(workload()).unwrap();
-    assert_eq!(new.hop_bytes, old.cumulative_hop_bytes, "hop-bytes must be bit-identical");
-    assert_eq!(new.time.seconds(), old.total_time, "simulated time must be bit-identical");
-    assert!(new.adapt.is_none());
+/// Relative-tolerance pin: tight enough that any behavioural change trips
+/// it, loose enough to survive benign float-formatting differences.
+fn pin(actual: f64, golden: f64, what: &str) {
+    let rel = (actual - golden).abs() / golden.abs().max(1e-300);
+    assert!(rel < 1e-6, "{what}: {actual:.9e} drifted from golden {golden:.9e} (rel {rel:.3e})");
 }
 
 #[test]
-fn oracle_mode_reproduces_run_oracle_exactly() {
-    let old = run_oracle(&machine(), &workload());
-    let new = session(Mode::Oracle).run(workload()).unwrap();
-    assert_eq!(new.hop_bytes, old.cumulative_hop_bytes, "hop-bytes must be bit-identical");
-    assert_eq!(new.time.seconds(), old.total_time, "simulated time must be bit-identical");
+fn static_mode_matches_the_golden_baseline() {
+    let report = session(Mode::Static).run(workload(&[24, 200])).unwrap();
+    pin(report.hop_bytes, 2.067825e9, "static hop-bytes");
+    pin(report.time.seconds(), 2.529165312e-2, "static simulated time");
+    assert!(report.adapt.is_none());
 }
 
 #[test]
-fn adaptive_mode_reproduces_run_adaptive_exactly() {
-    let old = run_adaptive(&machine(), &workload(), &legacy_config());
-    let new =
-        session(Mode::Adaptive(AdaptiveSpec::per_iterations(EPOCH_ITERATIONS))).run(workload()).unwrap();
-    assert_eq!(new.hop_bytes, old.cumulative_hop_bytes, "hop-bytes must be bit-identical");
-    assert_eq!(new.time.seconds(), old.total_time, "simulated time must be bit-identical");
-    let adapt = new.adapt.expect("adaptive sessions report counters");
-    assert_eq!(adapt.replacements as usize, old.migrations);
-    assert_eq!(adapt.drift_deltas, old.drift_deltas, "per-epoch drift deltas must match");
+fn oracle_mode_matches_the_golden_baseline() {
+    let report = session(Mode::Oracle).run(workload(&[24, 200])).unwrap();
+    pin(report.hop_bytes, 1.448509e9, "oracle hop-bytes");
+    pin(report.time.seconds(), 1.585446912e-2, "oracle simulated time");
 }
 
 #[test]
-fn equivalence_holds_across_workload_shapes() {
-    // A single-phase and a three-phase workload, pinned the same way.
-    for phases in [vec![40usize], vec![16, 16, 60]] {
-        let w = PhasedWorkload::rotating_stencil(4, 65536.0, 1024.0, 16384.0, 131072.0, &phases);
-        let old_static = run_static(&machine(), &w);
-        let old_oracle = run_oracle(&machine(), &w);
-        let old_adaptive = run_adaptive(&machine(), &w, &legacy_config());
-        let new_static = session(Mode::Static).run(w.clone()).unwrap();
-        let new_oracle = session(Mode::Oracle).run(w.clone()).unwrap();
-        let new_adaptive =
-            session(Mode::Adaptive(AdaptiveSpec::per_iterations(EPOCH_ITERATIONS))).run(w).unwrap();
-        assert_eq!(new_static.hop_bytes, old_static.cumulative_hop_bytes, "phases {phases:?}");
-        assert_eq!(new_oracle.hop_bytes, old_oracle.cumulative_hop_bytes, "phases {phases:?}");
-        assert_eq!(new_adaptive.hop_bytes, old_adaptive.cumulative_hop_bytes, "phases {phases:?}");
+fn adaptive_mode_matches_the_golden_baseline() {
+    let report = session(Mode::Adaptive(AdaptiveSpec::per_iterations(EPOCH_ITERATIONS)))
+        .run(workload(&[24, 200]))
+        .unwrap();
+    pin(report.hop_bytes, 1.473479e9, "adaptive hop-bytes");
+    pin(report.time.seconds(), 1.616904192e-2, "adaptive simulated time");
+    let adapt = report.adapt.expect("adaptive sessions report counters");
+    assert_eq!(adapt.replacements, 1, "exactly one migration at the phase boundary");
+    assert_eq!(adapt.drift_deltas.len(), 56, "one delta per warmed-up epoch");
+}
+
+#[test]
+fn golden_pins_hold_across_workload_shapes() {
+    // (phases, static hop, oracle hop, adaptive hop, migrations)
+    let golden: [(&[usize], f64, f64, f64, u64); 2] = [
+        (&[40], 2.586624e8, 2.586624e8, 2.586624e8, 0),
+        (&[16, 16, 60], 6.444687e8, 5.949235e8, 6.696346e8, 2),
+    ];
+    for (phases, g_static, g_oracle, g_adaptive, migrations) in golden {
+        let w = workload(phases);
+        let s = session(Mode::Static).run(w.clone()).unwrap();
+        let o = session(Mode::Oracle).run(w.clone()).unwrap();
+        let a = session(Mode::Adaptive(AdaptiveSpec::per_iterations(EPOCH_ITERATIONS))).run(w).unwrap();
+        pin(s.hop_bytes, g_static, &format!("static hop-bytes, phases {phases:?}"));
+        pin(o.hop_bytes, g_oracle, &format!("oracle hop-bytes, phases {phases:?}"));
+        pin(a.hop_bytes, g_adaptive, &format!("adaptive hop-bytes, phases {phases:?}"));
+        assert_eq!(a.adapt.unwrap().replacements, migrations, "phases {phases:?}");
+        // The oracle stays the unbeatable lower bound of the trio.
+        assert!(o.hop_bytes <= s.hop_bytes + 1e-9);
+        assert!(o.hop_bytes <= a.hop_bytes + 1e-9);
+        // A single-phase workload never migrates: the three modes coincide.
+        if phases.len() == 1 {
+            assert_eq!(s.hop_bytes, o.hop_bytes);
+            assert_eq!(s.hop_bytes, a.hop_bytes);
+        }
     }
 }
