@@ -1,0 +1,125 @@
+//! `lab_sweep` — run the lab's experiment grid and emit the versioned,
+//! schema-checked `BENCH_lab.json` artifact.
+//!
+//! ```sh
+//! cargo run --release -p orwl-bench --bin lab_sweep                 # full grid
+//! cargo run --release -p orwl-bench --bin lab_sweep -- --smoke      # CI-sized grid
+//! cargo run --release -p orwl-bench --bin lab_sweep -- --seed 7 --out /tmp/lab.json
+//! cargo run --release -p orwl-bench --bin lab_sweep -- --validate BENCH_lab.json
+//! ```
+//!
+//! The artifact is deterministic: the same grid and seed always produce
+//! byte-identical bytes (wall-clock values are never recorded), so the
+//! committed file doubles as a regression baseline — re-run and `diff`.
+
+use orwl_core::json::Json;
+use orwl_lab::report::{render_table, sweep_to_json, validate};
+use orwl_lab::sweep::{run_sweep, SweepConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: lab_sweep [--smoke|--full] [--seed N] [--out PATH] [--validate PATH] [--quiet]";
+
+struct Args {
+    smoke: bool,
+    seed: u64,
+    out: String,
+    validate_only: Option<String>,
+    quiet: bool,
+    help: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        seed: 42,
+        out: "BENCH_lab.json".to_string(),
+        validate_only: None,
+        quiet: false,
+        help: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--full" => args.smoke = false,
+            "--quiet" => args.quiet = true,
+            "--seed" => {
+                args.seed =
+                    it.next().and_then(|s| s.parse().ok()).ok_or("--seed expects a non-negative integer")?;
+            }
+            "--out" => args.out = it.next().ok_or("--out expects a path")?,
+            "--validate" => args.validate_only = Some(it.next().ok_or("--validate expects a path")?),
+            "--help" | "-h" => args.help = true,
+            other => return Err(format!("unknown argument {other:?}; try --help")),
+        }
+    }
+    Ok(args)
+}
+
+fn validate_file(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    validate(&doc).map_err(|e| format!("{path}: {e}"))?;
+    let rows = doc.get("n_rows").and_then(Json::as_f64).unwrap_or(0.0);
+    println!("{path}: valid {} document, {rows} rows", orwl_lab::SCHEMA_VERSION);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &args.validate_only {
+        return match validate_file(path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let config = if args.smoke { SweepConfig::smoke(args.seed) } else { SweepConfig::full(args.seed) };
+    let grid = if args.smoke { "smoke" } else { "full" };
+    eprintln!("lab_sweep: running the {grid} grid (seed {})...", args.seed);
+    let result = match run_sweep(&config) {
+        Ok(result) => result,
+        Err(error) => {
+            eprintln!("lab_sweep: sweep failed: {error}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let doc = sweep_to_json(&result);
+    if let Err(violation) = validate(&doc) {
+        eprintln!("lab_sweep: emitted document violates its own schema: {violation}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(error) = std::fs::write(&args.out, doc.pretty()) {
+        eprintln!("lab_sweep: cannot write {}: {error}", args.out);
+        return ExitCode::FAILURE;
+    }
+
+    if !args.quiet {
+        print!("{}", render_table(&result));
+    }
+    println!(
+        "\n{} rows ({} grid, seed {}) -> {} [{}]",
+        result.rows.len(),
+        grid,
+        result.seed,
+        args.out,
+        orwl_lab::SCHEMA_VERSION,
+    );
+    ExitCode::SUCCESS
+}

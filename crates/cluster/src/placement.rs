@@ -69,7 +69,8 @@ pub fn hierarchical_placement(machine: &ClusterMachine, m: &CommMatrix) -> Clust
     // Stage 1: shard over nodes, cut weighted by the rack-aware fabric.
     let costs = PartCosts::from_fn(n_nodes, |a, b| machine.relative_node_cost(a, b));
     let capacity = per_node.max(n_tasks.div_ceil(n_nodes));
-    let node_of_task = partition(m, &costs, capacity);
+    let node_of_task =
+        partition(m, &costs, capacity).expect("capacity is relaxed to ceil(tasks/nodes), which always fits");
 
     // Stage 2: TreeMatch inside each node on the restricted matrix (the
     // shared stage-2 of `Policy::Hierarchical`; node subtrees own

@@ -209,6 +209,89 @@ pub fn rotating_sweep_matrices(side: usize, heavy: f64, light: f64) -> (CommMatr
     (stencil_2d_directional(&spec, heavy, light), stencil_2d_rotated(&spec, heavy, light))
 }
 
+/// An irregular *power-law* communication graph: degrees follow a rich-get-
+/// richer preferential-attachment process, so a few tasks concentrate most
+/// of the edges — the shape of sparse-matrix, graph-analytics and
+/// master-worker-ish workloads that stencil-tuned placement handles worst.
+///
+/// Construction (deterministic for a given `seed`): tasks join one at a
+/// time; each new task draws `edges_per_task` partners among the existing
+/// tasks with probability proportional to their current degree (plus one,
+/// so isolated tasks stay reachable).  Each edge carries a volume drawn
+/// uniformly from `(0, max_volume]`; the matrix is symmetric.
+pub fn power_law(n: usize, edges_per_task: usize, max_volume: f64, seed: u64) -> CommMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = CommMatrix::zeros(n);
+    if n < 2 {
+        return m;
+    }
+    let mut degree = vec![1.0f64; n]; // +1 smoothing: everyone is reachable
+    for joiner in 1..n {
+        for _ in 0..edges_per_task.max(1) {
+            // Roulette-wheel draw over the already-joined tasks.
+            let mut ticket = rng.gen::<f64>() * degree[..joiner].iter().sum::<f64>();
+            let mut partner = 0;
+            for (t, &d) in degree[..joiner].iter().enumerate() {
+                ticket -= d;
+                if ticket <= 0.0 {
+                    partner = t;
+                    break;
+                }
+            }
+            let volume = (1.0 - rng.gen::<f64>()) * max_volume; // (0, max]
+            m.add(joiner, partner, volume);
+            m.add(partner, joiner, volume);
+            degree[joiner] += 1.0;
+            degree[partner] += 1.0;
+        }
+    }
+    m
+}
+
+/// An owner-skewed *hotspot* pattern: `hubs` owner tasks hold the hot data
+/// and every other task exchanges `spoke_volume` bytes with its (seeded,
+/// randomly chosen) owner, while the owners gossip `hub_volume` bytes with
+/// each other all-to-all.  This is the contended-lock / parameter-server
+/// shape: placement should pack each owner with its clients, not spread
+/// them.
+pub fn hotspot(n: usize, hubs: usize, hub_volume: f64, spoke_volume: f64, seed: u64) -> CommMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut m = CommMatrix::zeros(n);
+    let hubs = hubs.clamp(1, n.max(1));
+    if n < 2 {
+        return m;
+    }
+    // Hubs are tasks 0..hubs; they gossip pairwise.
+    for a in 0..hubs {
+        for b in 0..hubs {
+            if a != b {
+                m.set(a, b, hub_volume);
+            }
+        }
+    }
+    // Every spoke picks one owner, uniformly at random (seeded).
+    for spoke in hubs..n {
+        let owner = rng.gen_index(hubs);
+        m.add(spoke, owner, spoke_volume);
+        m.add(owner, spoke, spoke_volume);
+    }
+    m
+}
+
+/// The convex blend `(1-t)·a + t·b` of two equally-sized matrices — the
+/// building block of *drifting-mix* workloads whose pattern morphs
+/// gradually from one shape into another across phases, instead of
+/// switching abruptly like the rotated stencil.
+///
+/// # Panics
+/// Panics when the matrices differ in order.
+pub fn blend(a: &CommMatrix, b: &CommMatrix, t: f64) -> CommMatrix {
+    assert_eq!(a.order(), b.order(), "blend requires equally-sized matrices");
+    let mut out = a.scaled(1.0 - t);
+    out.add_scaled(b, t);
+    out
+}
+
 /// A 1-D chain: task `i` exchanges `volume` bytes with `i+1` (both ways).
 pub fn chain(n: usize, volume: f64) -> CommMatrix {
     let mut m = CommMatrix::zeros(n);
@@ -368,6 +451,59 @@ mod tests {
         assert_eq!(b, stencil_2d_rotated(&spec, 100.0, 4.0));
         assert_eq!(a.total_volume(), b.total_volume());
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn power_law_concentrates_degree_and_is_reproducible() {
+        let a = power_law(64, 2, 1000.0, 7);
+        let b = power_law(64, 2, 1000.0, 7);
+        let c = power_law(64, 2, 1000.0, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a.is_symmetric());
+        // Preferential attachment: the heaviest-degree task sees far more
+        // partners than the median task.
+        let degrees: Vec<usize> = (0..64).map(|i| (0..64).filter(|&j| a.get(i, j) > 0.0).count()).collect();
+        let max = *degrees.iter().max().unwrap();
+        let mut sorted = degrees.clone();
+        sorted.sort_unstable();
+        let median = sorted[32];
+        assert!(max >= 3 * median, "no hub emerged: max {max}, median {median}");
+        // Degenerate sizes are quiet.
+        assert_eq!(power_law(1, 3, 10.0, 1).total_volume(), 0.0);
+        assert_eq!(power_law(0, 3, 10.0, 1).order(), 0);
+    }
+
+    #[test]
+    fn hotspot_wires_spokes_to_owners() {
+        let m = hotspot(16, 2, 50.0, 500.0, 3);
+        assert!(m.is_symmetric());
+        // Hubs gossip with each other.
+        assert_eq!(m.get(0, 1), 50.0);
+        // Every spoke talks to exactly one hub and to nobody else.
+        for spoke in 2..16 {
+            let partners: Vec<usize> = (0..16).filter(|&j| m.get(spoke, j) > 0.0).collect();
+            assert_eq!(partners.len(), 1, "spoke {spoke} has partners {partners:?}");
+            assert!(partners[0] < 2);
+            assert_eq!(m.get(spoke, partners[0]), 500.0);
+        }
+        // Deterministic per seed.
+        assert_eq!(m, hotspot(16, 2, 50.0, 500.0, 3));
+        assert_ne!(m, hotspot(16, 2, 50.0, 500.0, 4));
+        // Hub count is clamped into [1, n].
+        let single = hotspot(4, 0, 10.0, 5.0, 1);
+        assert_eq!(single.get(1, 0), 5.0);
+    }
+
+    #[test]
+    fn blend_interpolates_between_patterns() {
+        let a = ring(4, 100.0);
+        let b = all_to_all(4, 10.0);
+        let mid = blend(&a, &b, 0.5);
+        assert_eq!(mid.get(0, 1), 0.5 * 100.0 + 0.5 * 10.0);
+        assert_eq!(mid.get(0, 2), 5.0);
+        assert_eq!(blend(&a, &b, 0.0), a);
+        assert_eq!(blend(&a, &b, 1.0), b);
     }
 
     #[test]

@@ -63,6 +63,7 @@
 pub mod error;
 pub mod fifo;
 pub mod handle;
+pub mod json;
 pub mod location;
 pub mod monitor;
 pub mod placement;
@@ -74,6 +75,7 @@ pub mod task;
 
 pub use error::{ConfigError, OrwlError};
 pub use handle::{Handle, OrwlGuard};
+pub use json::{Json, JsonError, ToJson};
 pub use location::{Location, LocationId};
 pub use monitor::{AccessSink, RebindPlan, SinkRegistration};
 pub use placement::{plan_placement, PlacementPlan};

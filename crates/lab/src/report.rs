@@ -1,0 +1,345 @@
+//! The JSON reporter: a versioned, schema-checked benchmark artifact.
+//!
+//! [`sweep_to_json`] lowers a [`SweepResult`] into the `BENCH_lab.json`
+//! document (schema [`SCHEMA_VERSION`]); [`validate`] checks any parsed
+//! document against that schema — required keys, types, nullability, and
+//! the closed vocabularies of backends and modes — so CI fails loudly when
+//! the artifact shape drifts; [`render_table`] prints the human view the
+//! examples show.
+//!
+//! The document is deterministic end to end: ordered objects, sorted grid
+//! rows (the sweep already emits them in grid order), shortest-roundtrip
+//! float formatting, and no wall-clock values.  Running the same sweep with
+//! the same seed twice yields byte-identical bytes — the property the
+//! `lab_determinism` integration test pins.
+
+use crate::sweep::{SweepResult, SweepRow};
+use orwl_core::json::Json;
+use std::fmt::Write as _;
+
+/// The artifact schema identifier; bump on any shape change.
+pub const SCHEMA_VERSION: &str = "orwl-lab/v1";
+
+fn opt_num(v: Option<f64>) -> Json {
+    v.map_or(Json::Null, Json::Num)
+}
+
+fn row_to_json(row: &SweepRow) -> Json {
+    let mut o = Json::obj();
+    o.push("section", row.section)
+        .push("scenario", row.scenario.as_str())
+        .push("family", row.family)
+        .push("tasks", row.tasks)
+        .push("backend", row.backend)
+        .push("topology", row.topology.as_str())
+        .push("nodes", row.nodes.map(|n| n as f64).map_or(Json::Null, Json::Num))
+        .push("oversubscription", row.oversubscription.map(|n| n as f64).map_or(Json::Null, Json::Num))
+        .push("policy", row.policy)
+        .push("mode", row.mode)
+        .push("hop_bytes", row.hop_bytes)
+        .push("sim_seconds", opt_num(row.sim_seconds))
+        .push("local_fraction", row.local_fraction)
+        .push("inter_node_hop_bytes", opt_num(row.inter_node_hop_bytes))
+        .push("inter_node_fraction", opt_num(row.inter_node_fraction))
+        .push("adapt_epochs", row.adapt_epochs.map(|n| n as f64).map_or(Json::Null, Json::Num))
+        .push("adapt_replacements", row.adapt_replacements.map(|n| n as f64).map_or(Json::Null, Json::Num))
+        .push("adapt_node_reshards", row.adapt_node_reshards.map(|n| n as f64).map_or(Json::Null, Json::Num))
+        .push("vs_scatter", opt_num(row.vs_scatter))
+        .push("vs_flat_treematch", opt_num(row.vs_flat_treematch));
+    o
+}
+
+/// Lowers a sweep result into the versioned `BENCH_lab.json` document.
+#[must_use]
+pub fn sweep_to_json(result: &SweepResult) -> Json {
+    let mut o = Json::obj();
+    let families: Vec<&str> = {
+        let mut seen = Vec::new();
+        for row in &result.rows {
+            if !seen.contains(&row.family) {
+                seen.push(row.family);
+            }
+        }
+        seen
+    };
+    let backends: Vec<&str> = {
+        let mut seen = Vec::new();
+        for row in &result.rows {
+            if !seen.contains(&row.backend) {
+                seen.push(row.backend);
+            }
+        }
+        seen
+    };
+    o.push("schema", SCHEMA_VERSION)
+        .push("seed", result.seed)
+        .push("n_rows", result.rows.len())
+        .push("families", Json::Arr(families.into_iter().map(Json::from).collect()))
+        .push("backends", Json::Arr(backends.into_iter().map(Json::from).collect()))
+        .push("rows", Json::Arr(result.rows.iter().map(row_to_json).collect()));
+    o
+}
+
+/// A schema violation: where, and what was wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError {
+    /// JSON-pointer-ish location (`rows[3].hop_bytes`).
+    pub path: String,
+    /// What the schema expected.
+    pub message: String,
+}
+
+impl std::fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "schema violation at {}: {}", self.path, self.message)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+fn fail(path: impl Into<String>, message: impl Into<String>) -> Result<(), SchemaError> {
+    Err(SchemaError { path: path.into(), message: message.into() })
+}
+
+/// Field kinds of the row schema.
+enum Field {
+    Str,
+    FiniteNum,
+    /// A finite number or `null`.
+    NullableNum,
+}
+
+const ROW_FIELDS: &[(&str, Field)] = &[
+    ("section", Field::Str),
+    ("scenario", Field::Str),
+    ("family", Field::Str),
+    ("tasks", Field::FiniteNum),
+    ("backend", Field::Str),
+    ("topology", Field::Str),
+    ("nodes", Field::NullableNum),
+    ("oversubscription", Field::NullableNum),
+    ("policy", Field::Str),
+    ("mode", Field::Str),
+    ("hop_bytes", Field::FiniteNum),
+    ("sim_seconds", Field::NullableNum),
+    ("local_fraction", Field::FiniteNum),
+    ("inter_node_hop_bytes", Field::NullableNum),
+    ("inter_node_fraction", Field::NullableNum),
+    ("adapt_epochs", Field::NullableNum),
+    ("adapt_replacements", Field::NullableNum),
+    ("adapt_node_reshards", Field::NullableNum),
+    ("vs_scatter", Field::NullableNum),
+    ("vs_flat_treematch", Field::NullableNum),
+];
+
+const KNOWN_BACKENDS: &[&str] = &["threads", "numasim", "cluster"];
+const KNOWN_MODES: &[&str] = &["static", "adaptive", "oracle"];
+
+/// Validates a parsed document against the [`SCHEMA_VERSION`] schema.
+pub fn validate(doc: &Json) -> Result<(), SchemaError> {
+    let schema = doc.get("schema").and_then(Json::as_str);
+    if schema != Some(SCHEMA_VERSION) {
+        return fail("schema", format!("expected {SCHEMA_VERSION:?}, got {schema:?}"));
+    }
+    match doc.get("seed").and_then(Json::as_f64) {
+        Some(s) if s.is_finite() && s >= 0.0 => {}
+        other => return fail("seed", format!("expected a non-negative number, got {other:?}")),
+    }
+    for key in ["families", "backends"] {
+        let list = doc.get(key).and_then(Json::as_arr);
+        match list {
+            Some(items) if !items.is_empty() => {
+                for (i, item) in items.iter().enumerate() {
+                    if item.as_str().is_none() {
+                        return fail(format!("{key}[{i}]"), "expected a string");
+                    }
+                }
+            }
+            _ => return fail(key, "expected a non-empty array of strings"),
+        }
+    }
+    let rows = match doc.get("rows").and_then(Json::as_arr) {
+        Some(rows) if !rows.is_empty() => rows,
+        _ => return fail("rows", "expected a non-empty array"),
+    };
+    if doc.get("n_rows").and_then(Json::as_f64) != Some(rows.len() as f64) {
+        return fail("n_rows", format!("must equal rows.len() = {}", rows.len()));
+    }
+    for (i, row) in rows.iter().enumerate() {
+        let path = |field: &str| format!("rows[{i}].{field}");
+        if !matches!(row, Json::Obj(_)) {
+            return fail(format!("rows[{i}]"), "expected an object");
+        }
+        for (field, kind) in ROW_FIELDS {
+            let value = row.get(field);
+            match (kind, value) {
+                (_, None) => return fail(path(field), "missing required field"),
+                (Field::Str, Some(v)) if v.as_str().is_some() => {}
+                (Field::FiniteNum, Some(v)) if v.as_f64().is_some_and(f64::is_finite) => {}
+                (Field::NullableNum, Some(v)) if v.is_null() || v.as_f64().is_some_and(f64::is_finite) => {}
+                (_, Some(v)) => return fail(path(field), format!("wrong type: {v}")),
+            }
+        }
+        let backend = row.get("backend").and_then(Json::as_str).expect("checked above");
+        if !KNOWN_BACKENDS.contains(&backend) {
+            return fail(path("backend"), format!("unknown backend {backend:?}"));
+        }
+        let mode = row.get("mode").and_then(Json::as_str).expect("checked above");
+        if !KNOWN_MODES.contains(&mode) {
+            return fail(path("mode"), format!("unknown mode {mode:?}"));
+        }
+        // Cross-field consistency: cluster rows carry fabric numbers and
+        // node counts, thread rows never carry simulated time.
+        let is_cluster = backend == "cluster";
+        for field in ["nodes", "oversubscription", "inter_node_hop_bytes", "inter_node_fraction"] {
+            let present = !row.get(field).expect("checked above").is_null();
+            if present != is_cluster {
+                return fail(
+                    path(field),
+                    format!("must be {} on {backend} rows", if is_cluster { "set" } else { "null" }),
+                );
+            }
+        }
+        let has_time = !row.get("sim_seconds").expect("checked above").is_null();
+        if has_time == (backend == "threads") {
+            return fail(path("sim_seconds"), "wall time must not be recorded; simulated time must be");
+        }
+    }
+    Ok(())
+}
+
+/// The human-readable sweep table shown by the examples (one line per row,
+/// grouped by section).
+#[must_use]
+pub fn render_table(result: &SweepResult) -> String {
+    let mut out = String::new();
+    let mut section = "";
+    for row in &result.rows {
+        if row.section != section {
+            section = row.section;
+            let _ = writeln!(
+                out,
+                "\n[{section}]\n{:<26} {:>8} {:<8} {:<12} {:<9} {:>13} {:>8} {:>8} {:>9}",
+                "scenario",
+                "backend",
+                "mode",
+                "policy",
+                "oversub",
+                "hop-bytes",
+                "inter%",
+                "vs-scat",
+                "migr/resh"
+            );
+        }
+        let inter = row.inter_node_fraction.map_or_else(|| "-".to_string(), |f| format!("{:.1}%", 100.0 * f));
+        let vs = row.vs_scatter.map_or_else(|| "-".to_string(), |r| format!("{r:.3}"));
+        let oversub = row.oversubscription.map_or_else(|| "-".to_string(), |o| format!("{o}x"));
+        let adapt = match (row.adapt_replacements, row.adapt_node_reshards) {
+            (Some(m), Some(r)) => format!("{m}/{r}"),
+            _ => "-".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<26} {:>8} {:<8} {:<12} {:<9} {:>13.4e} {:>8} {:>8} {:>9}",
+            row.scenario, row.backend, row.mode, row.policy, oversub, row.hop_bytes, inter, vs, adapt
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{ScenarioFamily, ScenarioSpec};
+    use crate::sweep::{run_sweep, BackendSpec, ModeKind, SweepConfig, SweepSection};
+    use orwl_treematch::policies::Policy;
+
+    fn small_result() -> SweepResult {
+        run_sweep(&SweepConfig {
+            seed: 7,
+            epoch_iterations: 4,
+            thread_iterations: 1,
+            sections: vec![SweepSection {
+                label: "unit",
+                scenarios: vec![ScenarioSpec::new(ScenarioFamily::Hotspot, 12, 7)],
+                backends: vec![BackendSpec::NumaSim { sockets: 2 }],
+                policies: vec![Policy::TreeMatch],
+                modes: vec![ModeKind::Static],
+            }],
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn emitted_document_validates_and_round_trips() {
+        let result = small_result();
+        let doc = sweep_to_json(&result);
+        validate(&doc).unwrap();
+        let reparsed = Json::parse(&doc.pretty()).unwrap();
+        validate(&reparsed).unwrap();
+        assert_eq!(reparsed, doc);
+        assert_eq!(doc.get("schema").unwrap().as_str().unwrap(), SCHEMA_VERSION);
+        assert_eq!(doc.get("n_rows").unwrap().as_f64().unwrap() as usize, result.rows.len());
+    }
+
+    #[test]
+    fn validator_rejects_shape_drift() {
+        let doc = sweep_to_json(&small_result());
+        let text = doc.to_string();
+
+        // Wrong schema string.
+        let mut bad = Json::parse(&text.replace("orwl-lab/v1", "orwl-lab/v0")).unwrap();
+        assert_eq!(validate(&bad).unwrap_err().path, "schema");
+
+        // A row missing a required field.
+        bad = doc.clone();
+        if let Json::Obj(pairs) = &mut bad {
+            if let Some((_, Json::Arr(rows))) = pairs.iter_mut().find(|(k, _)| k == "rows") {
+                if let Json::Obj(row) = &mut rows[0] {
+                    row.retain(|(k, _)| k != "hop_bytes");
+                }
+            }
+        }
+        assert!(validate(&bad).unwrap_err().path.contains("hop_bytes"));
+
+        // n_rows out of sync.
+        bad = doc.clone();
+        if let Json::Obj(pairs) = &mut bad {
+            for (k, v) in pairs.iter_mut() {
+                if k == "n_rows" {
+                    *v = Json::Num(99.0);
+                }
+            }
+        }
+        assert_eq!(validate(&bad).unwrap_err().path, "n_rows");
+
+        // A numasim row must not carry fabric numbers.
+        bad = doc.clone();
+        if let Json::Obj(pairs) = &mut bad {
+            if let Some((_, Json::Arr(rows))) = pairs.iter_mut().find(|(k, _)| k == "rows") {
+                if let Json::Obj(row) = &mut rows[0] {
+                    for (k, v) in row.iter_mut() {
+                        if k == "nodes" {
+                            *v = Json::Num(2.0);
+                        }
+                    }
+                }
+            }
+        }
+        assert!(validate(&bad).unwrap_err().path.contains("nodes"));
+
+        // Unknown mode vocabulary.
+        bad = Json::parse(&text.replace("\"static\"", "\"warp\"")).unwrap();
+        assert!(validate(&bad).unwrap_err().message.contains("unknown mode"));
+    }
+
+    #[test]
+    fn table_renders_every_row() {
+        let result = small_result();
+        let table = render_table(&result);
+        assert!(table.contains("[unit]"));
+        assert!(table.contains("hotspot"));
+        assert!(table.contains("scatter"));
+        assert_eq!(table.matches("numasim").count(), result.rows.len());
+    }
+}

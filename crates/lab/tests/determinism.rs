@@ -1,0 +1,87 @@
+//! Acceptance pin: the lab pipeline is deterministic end to end — the same
+//! grid with the same seed produces byte-identical JSON artifacts, and the
+//! smoke grid (what CI ships as `BENCH_lab.json`) validates against the
+//! schema while covering every scenario family on all three backends.
+
+use orwl_lab::report::{render_table, sweep_to_json, validate};
+use orwl_lab::scenario::ScenarioSpec;
+use orwl_lab::sweep::{run_sweep, BackendSpec, ModeKind, SweepConfig, SweepSection};
+use orwl_treematch::policies::Policy;
+
+/// A grid small enough to run twice in a test, but spanning the thread
+/// backend (real threads!), the NUMA simulator and the cluster simulator.
+fn cross_backend_grid(seed: u64) -> SweepConfig {
+    SweepConfig {
+        seed,
+        epoch_iterations: 4,
+        thread_iterations: 1,
+        sections: vec![SweepSection {
+            label: "determinism",
+            scenarios: ScenarioSpec::catalog(9, seed)
+                .into_iter()
+                .map(|s| s.with_phases(vec![6, 6]))
+                .collect(),
+            backends: vec![
+                BackendSpec::Threads,
+                BackendSpec::NumaSim { sockets: 2 },
+                BackendSpec::Cluster { nodes: 2, oversubscription: 1 },
+            ],
+            policies: vec![Policy::TreeMatch, Policy::Scatter],
+            modes: vec![ModeKind::Static],
+        }],
+    }
+}
+
+#[test]
+fn identical_seeds_produce_byte_identical_artifacts() {
+    let first = run_sweep(&cross_backend_grid(42)).unwrap();
+    let second = run_sweep(&cross_backend_grid(42)).unwrap();
+    let (a, b) = (sweep_to_json(&first).pretty(), sweep_to_json(&second).pretty());
+    assert_eq!(a, b, "two identical sweeps must serialise to identical bytes");
+    // A different seed produces a different (but equally valid) artifact.
+    let other = run_sweep(&cross_backend_grid(43)).unwrap();
+    let c = sweep_to_json(&other).pretty();
+    assert_ne!(a, c);
+    validate(&orwl_core::json::Json::parse(&c).unwrap()).unwrap();
+}
+
+#[test]
+fn cross_backend_grid_validates_and_covers_the_catalog() {
+    let result = run_sweep(&cross_backend_grid(42)).unwrap();
+    let doc = sweep_to_json(&result);
+    validate(&doc).unwrap();
+
+    // Every family appears on every backend.
+    let families: Vec<&str> =
+        doc.get("families").unwrap().as_arr().unwrap().iter().filter_map(|f| f.as_str()).collect();
+    assert!(families.len() >= 6, "at least six families: {families:?}");
+    let backends: Vec<&str> =
+        doc.get("backends").unwrap().as_arr().unwrap().iter().filter_map(|b| b.as_str()).collect();
+    assert_eq!(backends, vec!["threads", "numasim", "cluster"]);
+    for family in &families {
+        for backend in &backends {
+            assert!(
+                result.rows.iter().any(|r| &r.family == family && &r.backend == backend),
+                "family {family} missing on backend {backend}"
+            );
+        }
+    }
+
+    // Thread rows never leak wall time; cluster rows always carry fabric.
+    for row in &result.rows {
+        match row.backend {
+            "threads" => assert!(row.sim_seconds.is_none()),
+            _ => assert!(row.sim_seconds.is_some()),
+        }
+        assert_eq!(row.backend == "cluster", row.inter_node_hop_bytes.is_some());
+        // Baseline ratios anchor every row.
+        assert!(row.vs_scatter.unwrap() > 0.0);
+        assert!(row.vs_flat_treematch.unwrap() > 0.0);
+    }
+
+    // The human table mentions every scenario of the grid.
+    let table = render_table(&result);
+    for row in &result.rows {
+        assert!(table.contains(&row.scenario), "table misses {}", row.scenario);
+    }
+}

@@ -1,0 +1,116 @@
+//! Satellite pin: `DriftDetector` patience/cooldown boundary behaviour,
+//! driven by a **captured lab trace** instead of hand-built matrices — the
+//! detector sees exactly the epoch timeline a monitored run produced.
+//!
+//! The rotated-stencil scenario (phases 12 + 28, epochs of 4) captures to
+//! ten epochs: three of the east-west sweep, then seven of the rotated
+//! north-south sweep.  Drift therefore first appears at epoch index 3,
+//! which makes the boundary arithmetic exact:
+//!
+//! * patience `p` ⇒ the detector fires at epoch `3 + p - 1` and not one
+//!   epoch earlier;
+//! * cooldown `c` ⇒ after a fire, the next `c` epochs never fire and do
+//!   not accumulate patience, so the next fire lands at `fire + c + p`.
+
+use orwl_adapt::drift::{DriftConfig, DriftDetector};
+use orwl_comm::matrix::CommMatrix;
+use orwl_lab::scenario::{ScenarioFamily, ScenarioSpec};
+use orwl_lab::trace::{capture_trace, Trace};
+use orwl_numasim::costmodel::CostParams;
+use orwl_numasim::machine::SimMachine;
+use orwl_topo::topology::Topology;
+use orwl_treematch::policies::{compute_placement, Policy};
+
+const FIRST_DRIFTED_EPOCH: usize = 3; // 12 iterations of phase A in epochs of 4
+
+struct Replay {
+    topo: Topology,
+    mapping: Vec<usize>,
+    baseline: CommMatrix,
+    epochs: Vec<CommMatrix>,
+}
+
+/// Captures the canonical drifting scenario and prepares the epoch
+/// timeline the detector replays.
+fn replayed() -> Replay {
+    let machine =
+        SimMachine::new(orwl_topo::synthetic::cluster2016_subset(2).unwrap(), CostParams::cluster2016());
+    let spec = ScenarioSpec::new(ScenarioFamily::RotatedStencil, 16, 42).with_phases(vec![12, 28]);
+    let trace: Trace = capture_trace(&machine, Policy::TreeMatch, &spec.workload(), 4);
+    assert_eq!(trace.epochs.len(), 10, "12+28 iterations in epochs of 4");
+
+    let topo = machine.topology().clone();
+    let baseline = trace.epochs[0].mean_matrix().symmetrized();
+    let placement = compute_placement(Policy::TreeMatch, &topo, &baseline, 0);
+    let mapping = placement.compute_mapping_or_zero();
+    let epochs = trace.epochs.iter().map(|e| e.mean_matrix().symmetrized()).collect();
+    Replay { topo, mapping, baseline, epochs }
+}
+
+/// Runs the detector over the replayed timeline, returning the epoch
+/// indices at which it fired.
+fn fires(replay: &Replay, config: DriftConfig) -> Vec<usize> {
+    let mut detector = DriftDetector::new(config);
+    replay
+        .epochs
+        .iter()
+        .enumerate()
+        .filter_map(|(k, live)| {
+            detector.observe(&replay.topo, &replay.mapping, &replay.baseline, live).fired.then_some(k)
+        })
+        .collect()
+}
+
+#[test]
+fn detector_fires_exactly_at_patience_not_one_epoch_earlier() {
+    let replay = replayed();
+    for patience in 1..=3 {
+        let config = DriftConfig { threshold: 0.15, patience, cooldown: 100 };
+        let fired = fires(&replay, config);
+        assert_eq!(
+            fired.first().copied(),
+            Some(FIRST_DRIFTED_EPOCH + patience - 1),
+            "patience {patience}: fire epochs {fired:?}"
+        );
+        // The large cooldown guarantees exactly one fire in this window.
+        assert_eq!(fired.len(), 1, "patience {patience}: {fired:?}");
+    }
+    // Patience longer than the remaining drifted epochs never fires.
+    let too_patient = DriftConfig { threshold: 0.15, patience: 8, cooldown: 0 };
+    assert!(fires(&replay, too_patient).is_empty());
+}
+
+#[test]
+fn cooldown_window_is_respected_to_the_epoch() {
+    let replay = replayed();
+    // patience 2, cooldown 3: first fire at epoch 4; epochs 5-7 are the
+    // cooldown window (no patience accumulation); 8 and 9 re-accumulate;
+    // second fire lands exactly at epoch 9 = 4 + 3 + 2.
+    let config = DriftConfig { threshold: 0.15, patience: 2, cooldown: 3 };
+    assert_eq!(fires(&replay, config), vec![4, 9]);
+
+    // Zero cooldown: patience resets on fire but drift persists, so the
+    // detector re-fires every `patience` epochs until the trace ends.
+    let config = DriftConfig { threshold: 0.15, patience: 2, cooldown: 0 };
+    assert_eq!(fires(&replay, config), vec![4, 6, 8]);
+
+    // Cooldown 1 delays each subsequent fire by exactly one epoch.
+    let config = DriftConfig { threshold: 0.15, patience: 1, cooldown: 1 };
+    assert_eq!(fires(&replay, config), vec![3, 5, 7, 9]);
+}
+
+#[test]
+fn stationary_epochs_of_the_trace_never_fire() {
+    let replay = replayed();
+    // Only the first (undrifted) epochs, repeated: no fire at any patience.
+    let stationary = Replay {
+        topo: replay.topo.clone(),
+        mapping: replay.mapping.clone(),
+        baseline: replay.baseline.clone(),
+        epochs: vec![replay.epochs[0].clone(); 8],
+    };
+    for patience in 1..=3 {
+        let config = DriftConfig { threshold: 0.15, patience, cooldown: 0 };
+        assert!(fires(&stationary, config).is_empty(), "patience {patience}");
+    }
+}

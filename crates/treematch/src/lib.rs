@@ -52,7 +52,7 @@ pub use algorithm::{tree_match_assign, TreeMatchConfig, TreeMatchMapper};
 pub use control::{ControlPlacementMode, ControlThreadSpec};
 pub use mapping::Placement;
 pub use oversub::OversubPlan;
-pub use partition::{cut_bytes, cut_cost, partition, PartCosts};
+pub use partition::{cut_bytes, cut_cost, partition, PartCosts, PartitionError};
 pub use policies::{compute_placement, Policy};
 
 /// Convenient glob import of the most commonly used items.

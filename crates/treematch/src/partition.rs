@@ -117,21 +117,61 @@ pub fn cut_bytes(m: &CommMatrix, assignment: &[usize]) -> f64 {
     cut
 }
 
+/// Why a partition request is infeasible (see [`partition`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionError {
+    /// `capacity == 0` with a non-empty matrix: no entity can be placed
+    /// anywhere.
+    ZeroCapacity {
+        /// Number of entities that needed a part.
+        entities: usize,
+    },
+    /// `capacity × n_parts` cannot hold every entity.
+    InsufficientCapacity {
+        /// Number of parts available.
+        parts: usize,
+        /// Per-part capacity requested.
+        capacity: usize,
+        /// Number of entities to place.
+        entities: usize,
+    },
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::ZeroCapacity { entities } => {
+                write!(f, "part capacity is 0 but {entities} entities need a part")
+            }
+            PartitionError::InsufficientCapacity { parts, capacity, entities } => {
+                write!(f, "{parts} parts of capacity {capacity} cannot hold {entities} entities")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
 /// Partitions the `m.order()` entities into `costs.n_parts()` parts holding
 /// at most `capacity` entities each, minimising the weighted cut
 /// ([`cut_cost`]).  Deterministic; ties resolve towards lower part indices.
 ///
-/// # Panics
-/// Panics when `capacity × n_parts` cannot hold every entity, or when
-/// `capacity == 0` with a non-empty matrix.
-pub fn partition(m: &CommMatrix, costs: &PartCosts, capacity: usize) -> Vec<usize> {
+/// An infeasible request (zero capacity, or `capacity × n_parts <
+/// entities`) is a typed [`PartitionError`], never a panic: callers that
+/// derive the capacity from a machine (cluster placement) `expect` it,
+/// callers forwarding user input (the lab sweep grid) surface it.
+pub fn partition(m: &CommMatrix, costs: &PartCosts, capacity: usize) -> Result<Vec<usize>, PartitionError> {
     let p = m.order();
     let k = costs.n_parts();
     if p == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
-    assert!(capacity > 0, "part capacity must be at least 1");
-    assert!(k * capacity >= p, "{k} parts of capacity {capacity} cannot hold {p} entities");
+    if capacity == 0 {
+        return Err(PartitionError::ZeroCapacity { entities: p });
+    }
+    if k * capacity < p {
+        return Err(PartitionError::InsufficientCapacity { parts: k, capacity, entities: p });
+    }
     let s = m.symmetrized();
 
     // --- Greedy construction ------------------------------------------------
@@ -192,7 +232,7 @@ pub fn partition(m: &CommMatrix, costs: &PartCosts, capacity: usize) -> Vec<usiz
     }
 
     refine(&s, &mut assignment, &mut load, costs, capacity);
-    assignment
+    Ok(assignment)
 }
 
 /// The part the entity is most attracted to among those with room: highest
@@ -343,7 +383,7 @@ mod tests {
         // 4 groups of 4 with heavy intra-group traffic: each group must land
         // in its own part, cutting only the light inter-group ring.
         let m = patterns::clustered(4, 4, 1000.0, 1.0);
-        let assignment = partition(&m, &PartCosts::uniform(4), 4);
+        let assignment = partition(&m, &PartCosts::uniform(4), 4).unwrap();
         for g in 0..4 {
             let parts: std::collections::HashSet<usize> = (0..4).map(|i| assignment[g * 4 + i]).collect();
             assert_eq!(parts.len(), 1, "group {g} split across parts {parts:?}");
@@ -361,7 +401,7 @@ mod tests {
     #[test]
     fn partition_respects_capacity() {
         let m = patterns::all_to_all(10, 1.0);
-        let assignment = partition(&m, &PartCosts::uniform(4), 3);
+        let assignment = partition(&m, &PartCosts::uniform(4), 3).unwrap();
         let mut load = [0usize; 4];
         for &q in &assignment {
             assert!(q < 4);
@@ -372,10 +412,52 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn insufficient_capacity_panics() {
+    fn infeasible_capacity_is_a_typed_error_not_a_panic() {
         let m = patterns::chain(10, 1.0);
-        partition(&m, &PartCosts::uniform(2), 4);
+        assert_eq!(
+            partition(&m, &PartCosts::uniform(2), 4).unwrap_err(),
+            PartitionError::InsufficientCapacity { parts: 2, capacity: 4, entities: 10 }
+        );
+        let zero = partition(&m, &PartCosts::uniform(2), 0).unwrap_err();
+        assert_eq!(zero, PartitionError::ZeroCapacity { entities: 10 });
+        // The errors carry a human-readable story.
+        assert!(zero.to_string().contains("capacity is 0"));
+        assert!(partition(&m, &PartCosts::uniform(2), 4)
+            .unwrap_err()
+            .to_string()
+            .contains("cannot hold 10 entities"));
+    }
+
+    #[test]
+    fn capacities_exactly_met_fill_every_slot() {
+        // 12 entities into 3 parts of exactly 4: a perfectly tight fit must
+        // succeed with every part filled to the brim.
+        let m = patterns::all_to_all(12, 1.0);
+        let assignment = partition(&m, &PartCosts::uniform(3), 4).unwrap();
+        let mut load = [0usize; 3];
+        for &q in &assignment {
+            load[q] += 1;
+        }
+        assert_eq!(load, [4, 4, 4]);
+        // Same at capacity 1 with n parts: a forced perfect matching.
+        let tiny = patterns::ring(3, 5.0);
+        let forced = partition(&tiny, &PartCosts::uniform(3), 1).unwrap();
+        let mut seen: Vec<usize> = forced.clone();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_part_takes_everything_and_cuts_nothing() {
+        let m = patterns::random_symmetric(6, 0.8, 50.0, 9);
+        let assignment = partition(&m, &PartCosts::uniform(1), 6).unwrap();
+        assert!(assignment.iter().all(|&q| q == 0));
+        assert_eq!(cut_bytes(&m, &assignment), 0.0);
+        // A single part below the entity count is infeasible, not a hang.
+        assert_eq!(
+            partition(&m, &PartCosts::uniform(1), 5).unwrap_err(),
+            PartitionError::InsufficientCapacity { parts: 1, capacity: 5, entities: 6 }
+        );
     }
 
     #[test]
@@ -383,7 +465,7 @@ mod tests {
         // A heavy chain of 8 into 2 parts of 4: the optimal cut severs one
         // edge, i.e. the parts are {0..3} and {4..7}.
         let m = patterns::chain(8, 100.0);
-        let assignment = partition(&m, &PartCosts::uniform(2), 4);
+        let assignment = partition(&m, &PartCosts::uniform(2), 4).unwrap();
         // The optimal cut severs exactly one chain link (both directions).
         let one_link = m.get(3, 4) + m.get(4, 3);
         assert_eq!(cut_bytes(&m, &assignment), one_link, "assignment {assignment:?}");
@@ -404,7 +486,7 @@ mod tests {
             &[(0, 1, 1000.0), (2, 3, 1000.0), (4, 5, 1000.0), (0, 2, 50.0), (0, 4, 1.0)],
         );
         let costs = PartCosts::from_fn(3, |a, b| if a.max(b) == 2 { 10.0 } else { 1.0 });
-        let assignment = partition(&m, &costs, 2);
+        let assignment = partition(&m, &costs, 2).unwrap();
         // Pairs stay together.
         assert_eq!(assignment[0], assignment[1]);
         assert_eq!(assignment[2], assignment[3]);
@@ -424,7 +506,7 @@ mod tests {
             edge_volume: 64.0,
             corner_volume: 8.0,
         });
-        let assignment = partition(&m, &PartCosts::uniform(4), 4);
+        let assignment = partition(&m, &PartCosts::uniform(4), 4).unwrap();
         let uniform = PartCosts::uniform(4);
         assert!((cut_cost(&m, &assignment, &uniform) - cut_bytes(&m, &assignment)).abs() < 1e-9);
         // The stencil partition keeps at least half of the traffic local.
@@ -433,14 +515,17 @@ mod tests {
 
     #[test]
     fn empty_matrix_yields_empty_assignment() {
-        assert!(partition(&CommMatrix::zeros(0), &PartCosts::uniform(2), 1).is_empty());
+        // Even with zero capacity: there is nothing to place, so the empty
+        // assignment is the (vacuously feasible) answer.
+        assert!(partition(&CommMatrix::zeros(0), &PartCosts::uniform(2), 1).unwrap().is_empty());
+        assert!(partition(&CommMatrix::zeros(0), &PartCosts::uniform(2), 0).unwrap().is_empty());
     }
 
     #[test]
     fn refinement_is_deterministic() {
         let m = patterns::random_symmetric(12, 0.5, 100.0, 42);
-        let a = partition(&m, &PartCosts::uniform(3), 4);
-        let b = partition(&m, &PartCosts::uniform(3), 4);
+        let a = partition(&m, &PartCosts::uniform(3), 4).unwrap();
+        let b = partition(&m, &PartCosts::uniform(3), 4).unwrap();
         assert_eq!(a, b);
     }
 }

@@ -132,7 +132,8 @@ fn hierarchical_placement(topo: &Topology, m: &CommMatrix, n_control: usize) -> 
     // tasks inside the part, exactly like the flat oversubscription path).
     let capacity = pus_per_part.max(n_compute.div_ceil(n_parts));
 
-    let assignment = crate::partition::partition(m, &crate::partition::PartCosts::uniform(n_parts), capacity);
+    let assignment = crate::partition::partition(m, &crate::partition::PartCosts::uniform(n_parts), capacity)
+        .expect("capacity is relaxed to ceil(tasks/parts), which always fits");
 
     // Synthetic subtrees own contiguous PU ranges in global order.
     let sub_topo = Topology::from_levels("subtree", sub_levels)

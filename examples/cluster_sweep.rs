@@ -1,73 +1,70 @@
 //! Multi-node sweep: the rotating-sweep stencil on a simulated cluster,
-//! comparing placement policies and run modes through the one `Session`
-//! front door.
+//! comparing placement policies and run modes — now routed through the
+//! `orwl-lab` sweep runner and JSON reporter instead of ad-hoc printing.
 //!
 //! ```sh
 //! cargo run --release --example cluster_sweep            # 4 nodes
 //! cargo run --release --example cluster_sweep -- 8       # 8 nodes
 //! ```
 //!
-//! Prints, per policy: total and inter-node hop-bytes, the inter-node
-//! fraction, and the simulated time — then the static/adaptive/oracle
-//! comparison under drift for the hierarchical policy.
+//! Prints the lab's sweep table (per policy: hop-bytes, inter-node share,
+//! Scatter ratio; per mode under drift: migrations and node re-shards) and
+//! writes the schema-checked `BENCH_cluster_sweep.json` artifact.
 
-use orwl_repro::{AdaptiveSpec, ClusterBackend, ClusterMachine, Mode, PhasedWorkload, Policy, Session};
+use orwl_lab::prelude::*;
+use orwl_lab::sweep::SweepSection;
+use orwl_repro::ClusterMachine;
 
 fn main() {
     let n_nodes: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
     let machine = ClusterMachine::paper(n_nodes);
     println!("{}", orwl_repro::banner());
     println!(
-        "cluster: {} nodes x {} PUs ({} total), fabric {:.1} GB/s aggregate\n",
+        "cluster: {} nodes x {} PUs ({} total), fabric {:.1} GB/s aggregate",
         n_nodes,
         machine.cluster().pus_per_node(),
         machine.n_pus(),
         machine.fabric().aggregate_bandwidth / 1e9,
     );
 
-    let session = |policy: Policy, mode: Mode| {
-        Session::builder()
-            .topology(machine.topology().clone())
-            .policy(policy)
-            .control_threads(0)
-            .mode(mode)
-            .backend(ClusterBackend::new(machine.clone()))
-            .build()
-            .expect("valid cluster session")
+    let seed = 42;
+    let cluster = BackendSpec::Cluster { nodes: n_nodes, oversubscription: 1 };
+    let config = SweepConfig {
+        seed,
+        epoch_iterations: 4,
+        thread_iterations: 1,
+        sections: vec![
+            // Steady state: one rotating-stencil phase, every policy.
+            SweepSection {
+                label: "steady",
+                scenarios: vec![
+                    ScenarioSpec::new(ScenarioFamily::RotatedStencil, 16, seed).with_phases(vec![40])
+                ],
+                backends: vec![cluster],
+                policies: vec![Policy::Hierarchical, Policy::TreeMatch, Policy::Scatter, Policy::Packed],
+                modes: vec![ModeKind::Static],
+            },
+            // Drift: the sweep axis rotates a quarter of the way in — the
+            // static / adaptive / oracle comparison for the hierarchical
+            // policy.
+            SweepSection {
+                label: "drift",
+                scenarios: vec![
+                    ScenarioSpec::new(ScenarioFamily::RotatedStencil, 16, seed).with_phases(vec![20, 140])
+                ],
+                backends: vec![cluster],
+                policies: vec![Policy::Hierarchical],
+                modes: vec![ModeKind::Static, ModeKind::Adaptive, ModeKind::Oracle],
+            },
+        ],
     };
 
-    // One task per PU, heavy east-west halos.
-    let side = (machine.n_pus() as f64).sqrt().round() as usize;
-    let steady = PhasedWorkload::rotating_stencil(side, 65536.0, 1024.0, 16384.0, 131072.0, &[40]);
+    let result = run_sweep(&config).expect("cluster sweep runs");
+    print!("{}", render_table(&result));
 
-    println!("policy        total hop-bytes   inter-node hop-bytes   inter%   sim time");
-    for policy in [Policy::Hierarchical, Policy::TreeMatch, Policy::Scatter, Policy::Packed] {
-        let report = session(policy, Mode::Static).run(steady.clone()).expect("run succeeds");
-        let fabric = report.fabric.expect("cluster reports carry the fabric split");
-        println!(
-            "{:<12}  {:>15.4e}   {:>19.4e}   {:>5.1}%   {:.4} s",
-            policy.name(),
-            report.hop_bytes,
-            fabric.inter_node_hop_bytes,
-            100.0 * fabric.inter_node_fraction(),
-            report.time.seconds(),
-        );
-    }
-
-    // Drift: the sweep axis rotates a quarter of the way in.
-    let drifting = PhasedWorkload::rotating_stencil(side, 65536.0, 1024.0, 16384.0, 131072.0, &[20, 140]);
-    println!("\nrotating mid-run ({} tasks, phases 20+140), hierarchical policy:", side * side);
-    for mode in [Mode::Static, Mode::Adaptive(AdaptiveSpec::per_iterations(4)), Mode::Oracle] {
-        let report = session(Policy::Hierarchical, mode).run(drifting.clone()).expect("run succeeds");
-        let reshards = report.adapt.as_ref().map_or(0, |a| a.node_reshards);
-        let migrations = report.adapt.as_ref().map_or(0, |a| a.replacements);
-        println!(
-            "  {:<9} hop-bytes {:.4e}, time {:.4} s, migrations {}, node re-shards {}",
-            report.mode,
-            report.hop_bytes,
-            report.time.seconds(),
-            migrations,
-            reshards,
-        );
-    }
+    let doc = sweep_to_json(&result);
+    validate(&doc).expect("emitted document matches the schema");
+    let out = "BENCH_cluster_sweep.json";
+    std::fs::write(out, doc.pretty()).expect("artifact is writable");
+    println!("\n{} rows -> {out} [{}]", result.rows.len(), SCHEMA_VERSION);
 }

@@ -15,6 +15,7 @@
 //! | [`orwl_core`] | the ORWL runtime (locations, FIFOs, handles, tasks, event runtime, placement add-on, the `Session` API) |
 //! | [`orwl_adapt`] | online monitoring, drift detection, adaptive re-placement, the simulator backend |
 //! | [`orwl_cluster`] | hierarchical multi-node backend: two-level placement, fabric-coupled simulator |
+//! | [`orwl_lab`] | experiment subsystem: scenario DSL, trace capture/replay, sweep runner, JSON reporting |
 //! | [`orwl_lk23`] | Livermore Kernel 23: sequential, OpenMP-like, ORWL, simulator models |
 //! | [`orwl_bench`] | experiment harness regenerating Figure 1 and the ablations |
 //!
@@ -36,6 +37,7 @@ pub use orwl_bench;
 pub use orwl_cluster;
 pub use orwl_comm;
 pub use orwl_core;
+pub use orwl_lab;
 pub use orwl_lk23;
 pub use orwl_numasim;
 pub use orwl_topo;
@@ -45,12 +47,14 @@ pub use orwl_adapt::backend::SimBackend;
 pub use orwl_adapt::engine::{adaptive_session_spec, AdaptiveEngine};
 pub use orwl_cluster::{ClusterBackend, ClusterMachine};
 pub use orwl_core::error::{ConfigError, OrwlError};
+pub use orwl_core::json::{Json, ToJson};
 pub use orwl_core::runtime::{AdaptReport, AdaptiveSpec};
 pub use orwl_core::session::{
     ClusterTraffic, ExecutionBackend, Mode, Report, RunTime, Session, SessionBuilder, SessionConfig,
     ThreadBackend, ThreadDetails, Workload,
 };
 pub use orwl_core::task::OrwlProgram;
+pub use orwl_lab::{ScenarioFamily, ScenarioSpec, SweepConfig, Trace};
 pub use orwl_numasim::workload::PhasedWorkload;
 pub use orwl_topo::cluster::ClusterTopology;
 pub use orwl_treematch::policies::Policy;
