@@ -32,6 +32,7 @@ use orwl_core::runtime::AdaptiveController;
 use orwl_core::task::{TaskId, TaskSpec};
 use orwl_core::LocationId;
 use orwl_topo::topology::Topology;
+use orwl_treematch::algorithm::PlacementScratch;
 use orwl_treematch::mapping::Placement;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -108,6 +109,10 @@ struct EngineState {
     placement: Placement,
     detector: DriftDetector,
     replacer: Replacer,
+    /// Dense placement buffers reused by every epoch's re-placement
+    /// evaluation, so the adaptive loop stops allocating per-level
+    /// matrices once warm.
+    scratch: PlacementScratch,
     timeline: Vec<EpochRecord>,
 }
 
@@ -133,6 +138,7 @@ impl AdaptiveEngine {
                 placement: Placement::unbound(0, 0),
                 detector: DriftDetector::new(config.drift),
                 replacer: Replacer::new(config.replacer),
+                scratch: PlacementScratch::new(),
                 timeline: Vec::new(),
             }),
         })
@@ -244,13 +250,17 @@ impl AdaptiveEngine {
             // thread's lock grant, and stalling all of them for the length
             // of a placement computation would pause the whole application.
             // Only the monitor thread calls `on_epoch`, so `placement` /
-            // `baseline` cannot change underneath us while unlocked.
+            // `baseline` cannot change underneath us while unlocked — and
+            // the scratch buffers travel out of the state for the same
+            // reason (taken, used unlocked, put back).
             let placement = state.placement.clone();
             let n_control = state.n_control;
             let replacer = state.replacer.clone();
+            let mut scratch = std::mem::take(&mut state.scratch);
             drop(state);
-            let decision = replacer.evaluate(&topo, &live, &placement, n_control);
+            let decision = replacer.evaluate_with(&topo, &live, &placement, n_control, &mut scratch);
             state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+            state.scratch = scratch;
             if let Decision::Migrate { placement, .. } = decision {
                 state.placement = placement.clone();
                 state.baseline = live.clone();

@@ -11,7 +11,7 @@
 use orwl_comm::matrix::CommMatrix;
 use orwl_comm::metrics::hop_bytes;
 use orwl_topo::topology::Topology;
-use orwl_treematch::algorithm::{TreeMatchConfig, TreeMatchMapper};
+use orwl_treematch::algorithm::{PlacementScratch, TreeMatchConfig, TreeMatchMapper};
 use orwl_treematch::control::ControlThreadSpec;
 use orwl_treematch::mapping::Placement;
 
@@ -129,9 +129,24 @@ impl Replacer {
         current: &Placement,
         n_control: usize,
     ) -> Decision {
+        self.evaluate_with(topo, live, current, n_control, &mut PlacementScratch::new())
+    }
+
+    /// Allocation-reusing variant of [`Replacer::evaluate`]: the candidate
+    /// TreeMatch placement is computed through the caller's
+    /// [`PlacementScratch`], so an engine evaluating a migration every
+    /// drift epoch stops allocating dense per-level matrices.
+    pub fn evaluate_with(
+        &self,
+        topo: &Topology,
+        live: &CommMatrix,
+        current: &Placement,
+        n_control: usize,
+        scratch: &mut PlacementScratch,
+    ) -> Decision {
         let mapper =
             TreeMatchMapper::new(TreeMatchConfig { control: ControlThreadSpec::with_count(n_control) });
-        let candidate = mapper.compute_placement(topo, live);
+        let candidate = mapper.compute_placement_with(topo, live, scratch);
 
         let current_cost = hop_bytes(live, topo, &current.compute_mapping_or_zero());
         let candidate_cost = hop_bytes(live, topo, &candidate.compute_mapping_or_zero());

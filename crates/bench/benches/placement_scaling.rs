@@ -1,0 +1,32 @@
+//! Experiment E-scaling — placement cost at scale: the incremental-gain
+//! TreeMatch pipeline (greedy accumulators, screened KL refinement, scratch
+//! reuse) on the `BENCH_scaling.json` grid's matrix families, up to the
+//! 1024-task cell the acceptance criterion regresses (≥ 5× over the
+//! pre-optimisation recompute-everything implementation; see EXPERIMENTS.md
+//! for the recorded before/after numbers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orwl_bench::scaling::matrix_for;
+use orwl_topo::synthetic;
+use orwl_treematch::{PlacementScratch, TreeMatchMapper};
+
+fn bench_placement_scaling(c: &mut Criterion) {
+    let topo = synthetic::cluster2016_smp192();
+    let mapper = TreeMatchMapper::compute_only();
+    let mut group = c.benchmark_group("placement_scaling");
+    group.sample_size(10);
+
+    for family in ["stencil", "power_law", "clustered"] {
+        for p in [256usize, 1024] {
+            let matrix = matrix_for(family, p, 42);
+            let mut scratch = PlacementScratch::new();
+            group.bench_with_input(BenchmarkId::new(family, p), &matrix, |b, m| {
+                b.iter(|| mapper.compute_placement_with(&topo, m, &mut scratch));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_placement_scaling);
+criterion_main!(benches);

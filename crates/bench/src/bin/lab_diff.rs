@@ -1,0 +1,87 @@
+//! `lab_diff` — compare two `orwl-lab/v1` artifacts row by row with
+//! tolerances (the ROADMAP's artifact-diff tool).
+//!
+//! ```sh
+//! cargo run -p orwl-bench --bin lab_diff -- A.json B.json                 # exact match
+//! cargo run -p orwl-bench --bin lab_diff -- A.json B.json --tol-ratio 0.01
+//! ```
+//!
+//! Exit status: `0` when the artifacts agree within the tolerance, `1` on
+//! any drift (missing/extra rows or metric columns beyond tolerance), `2`
+//! on usage or parse errors — so CI can `lab_diff` two sweep runs the same
+//! way it `cmp`s byte-identical ones, but with headroom for cost-model
+//! changes.
+
+use orwl_core::json::Json;
+use orwl_lab::diff::diff_documents;
+use orwl_lab::report::validate;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: lab_diff A.json B.json [--tol-ratio F]";
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    validate(&doc).map_err(|e| format!("{path}: {e}"))?;
+    Ok(doc)
+}
+
+fn main() -> ExitCode {
+    let mut paths: Vec<String> = Vec::new();
+    let mut tol_ratio = 0.0f64;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tol-ratio" => {
+                tol_ratio = match it.next().and_then(|s| s.parse().ok()).filter(|t: &f64| *t >= 0.0) {
+                    Some(t) => t,
+                    None => {
+                        eprintln!("--tol-ratio expects a non-negative number");
+                        eprintln!("{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => paths.push(other.to_string()),
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("expected exactly two artifact paths, got {}", paths.len());
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let (first, second) = match (load(&paths[0]), load(&paths[1])) {
+        (Ok(a), Ok(b)) => (a, b),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("lab_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let entries = match diff_documents(&first, &second, tol_ratio) {
+        Ok(entries) => entries,
+        Err(e) => {
+            eprintln!("lab_diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if entries.is_empty() {
+        println!("lab_diff: {} and {} agree (tol-ratio {tol_ratio})", paths[0], paths[1]);
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "lab_diff: {} disagreement(s) between {} and {} (tol-ratio {tol_ratio}):",
+        entries.len(),
+        paths[0],
+        paths[1]
+    );
+    for entry in &entries {
+        eprintln!("  {entry}");
+    }
+    ExitCode::FAILURE
+}

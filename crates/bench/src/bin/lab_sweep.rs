@@ -14,14 +14,16 @@
 
 use orwl_core::json::Json;
 use orwl_lab::report::{render_table, sweep_to_json, validate};
-use orwl_lab::sweep::{run_sweep, SweepConfig};
+use orwl_lab::sweep::{default_sweep_threads, run_sweep_with_threads, SweepConfig};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: lab_sweep [--smoke|--full] [--seed N] [--out PATH] [--validate PATH] [--quiet]";
+const USAGE: &str =
+    "usage: lab_sweep [--smoke|--full] [--seed N] [--threads N] [--out PATH] [--validate PATH] [--quiet]";
 
 struct Args {
     smoke: bool,
     seed: u64,
+    threads: usize,
     out: String,
     validate_only: Option<String>,
     quiet: bool,
@@ -32,6 +34,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         smoke: false,
         seed: 42,
+        threads: default_sweep_threads(),
         out: "BENCH_lab.json".to_string(),
         validate_only: None,
         quiet: false,
@@ -46,6 +49,10 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => {
                 args.seed =
                     it.next().and_then(|s| s.parse().ok()).ok_or("--seed expects a non-negative integer")?;
+            }
+            "--threads" => {
+                args.threads =
+                    it.next().and_then(|s| s.parse().ok()).ok_or("--threads expects a positive integer")?;
             }
             "--out" => args.out = it.next().ok_or("--out expects a path")?,
             "--validate" => args.validate_only = Some(it.next().ok_or("--validate expects a path")?),
@@ -91,8 +98,8 @@ fn main() -> ExitCode {
 
     let config = if args.smoke { SweepConfig::smoke(args.seed) } else { SweepConfig::full(args.seed) };
     let grid = if args.smoke { "smoke" } else { "full" };
-    eprintln!("lab_sweep: running the {grid} grid (seed {})...", args.seed);
-    let result = match run_sweep(&config) {
+    eprintln!("lab_sweep: running the {grid} grid (seed {}, {} threads)...", args.seed, args.threads);
+    let result = match run_sweep_with_threads(&config, args.threads) {
         Ok(result) => result,
         Err(error) => {
             eprintln!("lab_sweep: sweep failed: {error}");

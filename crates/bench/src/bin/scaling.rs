@@ -1,0 +1,138 @@
+//! `scaling` — measure placement cost at scale and emit the versioned
+//! `BENCH_scaling.json` artifact.
+//!
+//! ```sh
+//! cargo run --release -p orwl-bench --bin scaling                    # full grid
+//! cargo run --release -p orwl-bench --bin scaling -- --smoke         # CI-sized grid
+//! cargo run --release -p orwl-bench --bin scaling -- --smoke --budget-seconds 30
+//! ```
+//!
+//! The artifact is `orwl-lab/v1`-shaped (validate it with
+//! `lab_sweep --validate BENCH_scaling.json`) with one extra column,
+//! `placement_wall_seconds`.  Wall times are machine-dependent by design —
+//! CI validates the schema and asserts the 512-task stencil placement
+//! finishes within a generous `--budget-seconds` bound instead of
+//! `cmp`ing bytes.
+
+use orwl_bench::scaling::{run_scaling, scaling_to_json};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: scaling [--smoke] [--seed N] [--out PATH] [--budget-seconds F] [--quiet]";
+
+struct Args {
+    smoke: bool,
+    seed: u64,
+    out: String,
+    budget_seconds: Option<f64>,
+    quiet: bool,
+    help: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        smoke: false,
+        seed: 42,
+        out: "BENCH_scaling.json".to_string(),
+        budget_seconds: None,
+        quiet: false,
+        help: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => args.smoke = true,
+            "--quiet" => args.quiet = true,
+            "--seed" => {
+                args.seed =
+                    it.next().and_then(|s| s.parse().ok()).ok_or("--seed expects a non-negative integer")?;
+            }
+            "--out" => args.out = it.next().ok_or("--out expects a path")?,
+            "--budget-seconds" => {
+                args.budget_seconds = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|b: &f64| *b > 0.0)
+                        .ok_or("--budget-seconds expects a positive number")?,
+                );
+            }
+            "--help" | "-h" => args.help = true,
+            other => return Err(format!("unknown argument {other:?}; try --help")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.help {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+
+    let grid = if args.smoke { "smoke" } else { "full" };
+    eprintln!("scaling: running the {grid} grid (seed {})...", args.seed);
+    let cells = run_scaling(args.smoke, args.seed);
+
+    if !args.quiet {
+        println!(
+            "{:<12} {:>6} {:>14} {:>14} {:>8}",
+            "family", "tasks", "placement [s]", "hop-bytes", "local%"
+        );
+        for cell in &cells {
+            println!(
+                "{:<12} {:>6} {:>14.6} {:>14.4e} {:>7.1}%",
+                cell.family,
+                cell.tasks,
+                cell.wall_seconds,
+                cell.hop_bytes,
+                100.0 * cell.local_fraction
+            );
+        }
+    }
+
+    let doc = scaling_to_json(&cells, args.seed);
+    if let Err(violation) = orwl_lab::report::validate(&doc) {
+        eprintln!("scaling: emitted document violates the lab schema: {violation}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(error) = std::fs::write(&args.out, doc.pretty()) {
+        eprintln!("scaling: cannot write {}: {error}", args.out);
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "{} cells ({grid} grid, seed {}) -> {} [{}]",
+        cells.len(),
+        args.seed,
+        args.out,
+        orwl_lab::SCHEMA_VERSION
+    );
+
+    // The CI latch: the 512-task stencil placement — the paper-scale cell —
+    // must finish within the budget.
+    if let Some(budget) = args.budget_seconds {
+        match cells.iter().find(|c| c.family == "stencil" && c.tasks == 512) {
+            Some(cell) if cell.wall_seconds <= budget => {
+                println!("budget ok: stencil/512 placed in {:.4}s (budget {budget}s)", cell.wall_seconds);
+            }
+            Some(cell) => {
+                eprintln!(
+                    "scaling: budget exceeded: stencil/512 took {:.4}s (budget {budget}s)",
+                    cell.wall_seconds
+                );
+                return ExitCode::FAILURE;
+            }
+            None => {
+                eprintln!("scaling: --budget-seconds given but the grid has no stencil/512 cell");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

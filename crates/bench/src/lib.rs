@@ -6,7 +6,10 @@
 //!   OpenMP vs ORWL NoBind vs ORWL Bind on the simulated 24-socket machine)
 //!   and the headline speedups quoted in the text;
 //! * [`ablations`] — the placement-policy, control-thread and
-//!   oversubscription studies referenced in DESIGN.md (experiments A1–A3).
+//!   oversubscription studies referenced in DESIGN.md (experiments A1–A3);
+//! * [`scaling`] — placement cost at scale (experiment E-scaling): the
+//!   timed grid behind `BENCH_scaling.json` and the `placement_scaling`
+//!   criterion bench.
 //!
 //! The Criterion benchmarks under `benches/` and the `figure1_sim` example
 //! are thin wrappers around these functions, so the numbers reported in
@@ -14,5 +17,6 @@
 
 pub mod ablations;
 pub mod figure1;
+pub mod scaling;
 
 pub use figure1::{figure1_sweep, headline, render_table, Figure1Row, Headline};

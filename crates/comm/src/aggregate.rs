@@ -12,6 +12,13 @@ use crate::matrix::CommMatrix;
 /// mapped nowhere), but no thread may appear in two groups.
 pub type Groups = Vec<Vec<usize>>;
 
+/// Reusable buffers of [`aggregate_into`], so the per-level aggregation of
+/// `tree_match_assign` allocates nothing once warm.
+#[derive(Debug, Default, Clone)]
+pub struct AggregateScratch {
+    owner: Vec<usize>,
+}
+
 /// Collapses `m` according to `groups`: entry `(a, b)` of the result is the
 /// total volume sent from any member of group `a` to any member of group
 /// `b`.  The diagonal of the result therefore holds the *intra-group*
@@ -20,7 +27,23 @@ pub type Groups = Vec<Vec<usize>>;
 /// # Panics
 /// Panics when a thread index is out of range or appears in two groups.
 pub fn aggregate(m: &CommMatrix, groups: &Groups) -> CommMatrix {
-    let mut owner = vec![usize::MAX; m.order()];
+    let mut agg = CommMatrix::zeros(groups.len());
+    aggregate_into(m, groups, &mut AggregateScratch::default(), &mut agg);
+    agg
+}
+
+/// In-place variant of [`aggregate`]: fills `out` (reshaped to
+/// `groups.len()`) reusing both `out`'s buffer and the `scratch` owner
+/// table, so repeated aggregation — once per tree level, every placement —
+/// stops allocating.  Produces bit-identical entries to [`aggregate`]
+/// (same accumulation order).
+///
+/// # Panics
+/// Panics when a thread index is out of range or appears in two groups.
+pub fn aggregate_into(m: &CommMatrix, groups: &Groups, scratch: &mut AggregateScratch, out: &mut CommMatrix) {
+    let owner = &mut scratch.owner;
+    owner.clear();
+    owner.resize(m.order(), usize::MAX);
     for (g, members) in groups.iter().enumerate() {
         for &t in members {
             assert!(t < m.order(), "thread index {t} out of range for matrix of order {}", m.order());
@@ -28,7 +51,7 @@ pub fn aggregate(m: &CommMatrix, groups: &Groups) -> CommMatrix {
             owner[t] = g;
         }
     }
-    let mut agg = CommMatrix::zeros(groups.len());
+    out.reset_to_order(groups.len());
     for i in 0..m.order() {
         if owner[i] == usize::MAX {
             continue;
@@ -39,11 +62,10 @@ pub fn aggregate(m: &CommMatrix, groups: &Groups) -> CommMatrix {
             }
             let v = m.get(i, j);
             if v != 0.0 {
-                agg.add(owner[i], owner[j], v);
+                out.add(owner[i], owner[j], v);
             }
         }
     }
-    agg
 }
 
 /// Volume exchanged between members of the same group (the traffic that the
@@ -114,6 +136,21 @@ mod tests {
         let groups: Groups = (0..6).map(|i| vec![i]).collect();
         let agg = aggregate(&m, &groups);
         assert_eq!(agg, m);
+    }
+
+    #[test]
+    fn aggregate_into_reuses_buffers_and_matches_aggregate() {
+        let m = patterns::random_symmetric(9, 0.7, 25.0, 13);
+        let groups = vec![vec![0, 4, 8], vec![1, 2], vec![3, 5, 6, 7]];
+        let mut scratch = AggregateScratch::default();
+        let mut out = CommMatrix::zeros(17); // stale shape on purpose
+        aggregate_into(&m, &groups, &mut scratch, &mut out);
+        assert_eq!(out, aggregate(&m, &groups));
+        // A second call with a smaller matrix reuses the buffers cleanly.
+        let m2 = patterns::chain(4, 1.0);
+        let groups2 = vec![vec![0, 1], vec![2, 3]];
+        aggregate_into(&m2, &groups2, &mut scratch, &mut out);
+        assert_eq!(out, aggregate(&m2, &groups2));
     }
 
     #[test]

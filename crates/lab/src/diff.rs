@@ -1,0 +1,286 @@
+//! Tolerant comparison of two `orwl-lab/v1` artifacts — the library behind
+//! the `lab_diff` tool (`cargo run -p orwl-bench --bin lab_diff`).
+//!
+//! Rows are matched by their identity key (section, scenario, backend,
+//! topology, nodes, oversubscription, policy, mode); the numeric metric
+//! columns of matched rows are compared within a relative tolerance.
+//! Missing or extra rows and metric drift beyond tolerance are reported as
+//! [`DiffEntry`]s — an empty report means the artifacts agree.
+//!
+//! The primary uses are sanity-checking the parallel sweep against a
+//! sequential run (tolerance `0` — the artifacts must agree exactly) and
+//! comparing benchmark artifacts across machines or branches with a
+//! tolerance that absorbs simulator cost-model tweaks.
+
+use crate::report::SchemaError;
+use orwl_core::json::Json;
+
+/// The numeric metric columns compared per matched row.  Key columns and
+/// non-schema extras (e.g. `placement_wall_seconds`, machine-dependent by
+/// design) are excluded.
+const METRIC_FIELDS: &[&str] = &[
+    "tasks",
+    "hop_bytes",
+    "sim_seconds",
+    "local_fraction",
+    "inter_node_hop_bytes",
+    "inter_node_fraction",
+    "adapt_epochs",
+    "adapt_replacements",
+    "adapt_node_reshards",
+    "vs_scatter",
+    "vs_flat_treematch",
+];
+
+/// The columns identifying a row across artifacts.
+const KEY_FIELDS: &[&str] =
+    &["section", "scenario", "backend", "topology", "nodes", "oversubscription", "policy", "mode"];
+
+/// One disagreement between two artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DiffEntry {
+    /// A row of the first artifact has no counterpart in the second.
+    OnlyInFirst {
+        /// The row's identity key.
+        key: String,
+    },
+    /// A row of the second artifact has no counterpart in the first.
+    OnlyInSecond {
+        /// The row's identity key.
+        key: String,
+    },
+    /// A metric of a matched row drifted beyond the tolerance.
+    MetricDrift {
+        /// The row's identity key.
+        key: String,
+        /// The drifted column.
+        field: &'static str,
+        /// Value in the first artifact (`None` = JSON null).
+        first: Option<f64>,
+        /// Value in the second artifact.
+        second: Option<f64>,
+        /// The relative difference that exceeded the tolerance.
+        relative: f64,
+    },
+}
+
+impl std::fmt::Display for DiffEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiffEntry::OnlyInFirst { key } => write!(f, "only in first:  {key}"),
+            DiffEntry::OnlyInSecond { key } => write!(f, "only in second: {key}"),
+            DiffEntry::MetricDrift { key, field, first, second, relative } => {
+                let show = |v: &Option<f64>| v.map_or("null".to_string(), |x| format!("{x}"));
+                write!(
+                    f,
+                    "{key}: {field} drifted {:.3}% ({} vs {})",
+                    100.0 * relative,
+                    show(first),
+                    show(second)
+                )
+            }
+        }
+    }
+}
+
+fn row_key(row: &Json) -> String {
+    let mut parts = Vec::with_capacity(KEY_FIELDS.len());
+    for field in KEY_FIELDS {
+        let v = row.get(field);
+        parts.push(match v {
+            Some(Json::Null) | None => "-".to_string(),
+            Some(v) => v.as_str().map_or_else(|| v.to_string(), str::to_string),
+        });
+    }
+    parts.join("/")
+}
+
+/// The relative difference used by the tolerance test: `|a − b|` scaled by
+/// the larger magnitude (`0` when both are zero).
+fn relative_diff(a: f64, b: f64) -> f64 {
+    let scale = a.abs().max(b.abs());
+    if scale == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / scale
+    }
+}
+
+/// Compares two **schema-valid** `orwl-lab/v1` documents row by row.
+/// Returns the disagreements (empty = agreement within `tol_ratio`), or a
+/// [`SchemaError`] when a document is not the expected shape — run
+/// [`crate::report::validate`] first for a precise report.
+pub fn diff_documents(first: &Json, second: &Json, tol_ratio: f64) -> Result<Vec<DiffEntry>, SchemaError> {
+    let rows_of = |doc: &Json, which: &str| -> Result<Vec<Json>, SchemaError> {
+        doc.get("rows").and_then(Json::as_arr).map(<[Json]>::to_vec).ok_or(SchemaError {
+            path: format!("{which}.rows"),
+            message: "expected a rows array (is this an orwl-lab/v1 document?)".to_string(),
+        })
+    };
+    let first_rows = rows_of(first, "first")?;
+    let second_rows = rows_of(second, "second")?;
+
+    // Index the second artifact's rows by key (duplicate keys keep their
+    // first occurrence; the sweep never emits duplicates).
+    let mut second_by_key: Vec<(String, &Json)> = Vec::with_capacity(second_rows.len());
+    for row in &second_rows {
+        second_by_key.push((row_key(row), row));
+    }
+
+    let mut entries = Vec::new();
+    let mut matched = vec![false; second_by_key.len()];
+    for row in &first_rows {
+        let key = row_key(row);
+        let Some(pos) = second_by_key.iter().position(|(k, _)| *k == key) else {
+            entries.push(DiffEntry::OnlyInFirst { key });
+            continue;
+        };
+        matched[pos] = true;
+        let other = second_by_key[pos].1;
+        for &field in METRIC_FIELDS {
+            let a = row.get(field).and_then(Json::as_f64);
+            let b = other.get(field).and_then(Json::as_f64);
+            match (a, b) {
+                (None, None) => {}
+                (Some(x), Some(y)) => {
+                    let relative = relative_diff(x, y);
+                    if relative > tol_ratio {
+                        entries.push(DiffEntry::MetricDrift {
+                            key: key.clone(),
+                            field,
+                            first: a,
+                            second: b,
+                            relative,
+                        });
+                    }
+                }
+                _ => entries.push(DiffEntry::MetricDrift {
+                    key: key.clone(),
+                    field,
+                    first: a,
+                    second: b,
+                    relative: f64::INFINITY,
+                }),
+            }
+        }
+    }
+    for (pos, (key, _)) in second_by_key.iter().enumerate() {
+        if !matched[pos] {
+            entries.push(DiffEntry::OnlyInSecond { key: key.clone() });
+        }
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::sweep_to_json;
+    use crate::scenario::{ScenarioFamily, ScenarioSpec};
+    use crate::sweep::{run_sweep, BackendSpec, ModeKind, SweepConfig, SweepSection};
+    use orwl_treematch::policies::Policy;
+
+    fn doc(seed: u64) -> Json {
+        sweep_to_json(
+            &run_sweep(&SweepConfig {
+                seed,
+                epoch_iterations: 4,
+                thread_iterations: 1,
+                sections: vec![SweepSection {
+                    label: "diff",
+                    scenarios: vec![ScenarioSpec::new(ScenarioFamily::Hotspot, 12, seed)],
+                    backends: vec![BackendSpec::NumaSim { sockets: 2 }],
+                    policies: vec![Policy::TreeMatch],
+                    modes: vec![ModeKind::Static],
+                }],
+            })
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn identical_documents_have_no_diff() {
+        let a = doc(7);
+        assert_eq!(diff_documents(&a, &a, 0.0).unwrap(), Vec::new());
+        // Round-tripping through text changes nothing either.
+        let b = Json::parse(&a.pretty()).unwrap();
+        assert_eq!(diff_documents(&a, &b, 0.0).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn metric_drift_is_reported_and_tolerance_absorbs_it() {
+        let a = doc(7);
+        let mut b = Json::parse(&a.pretty()).unwrap();
+        // Nudge one hop_bytes value by 0.5%.
+        if let Json::Obj(pairs) = &mut b {
+            if let Some((_, Json::Arr(rows))) = pairs.iter_mut().find(|(k, _)| k == "rows") {
+                if let Json::Obj(row) = &mut rows[0] {
+                    for (k, v) in row.iter_mut() {
+                        if k == "hop_bytes" {
+                            let x = v.as_f64().unwrap();
+                            *v = Json::Num(x * 1.005);
+                        }
+                    }
+                }
+            }
+        }
+        let drift = diff_documents(&a, &b, 0.0).unwrap();
+        assert_eq!(drift.len(), 1);
+        match &drift[0] {
+            DiffEntry::MetricDrift { field, relative, .. } => {
+                assert_eq!(*field, "hop_bytes");
+                assert!(*relative > 0.004 && *relative < 0.006);
+                // The rendering names the field and both values.
+                assert!(drift[0].to_string().contains("hop_bytes"));
+            }
+            other => panic!("expected MetricDrift, got {other:?}"),
+        }
+        // 1% tolerance absorbs the nudge.
+        assert_eq!(diff_documents(&a, &b, 0.01).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn missing_and_extra_rows_are_reported() {
+        let a = doc(7);
+        let mut b = Json::parse(&a.pretty()).unwrap();
+        if let Json::Obj(pairs) = &mut b {
+            if let Some((_, Json::Arr(rows))) = pairs.iter_mut().find(|(k, _)| k == "rows") {
+                rows.remove(0);
+            }
+        }
+        let drift = diff_documents(&a, &b, 0.0).unwrap();
+        assert_eq!(drift.len(), 1);
+        assert!(matches!(&drift[0], DiffEntry::OnlyInFirst { .. }));
+        let reverse = diff_documents(&b, &a, 0.0).unwrap();
+        assert!(matches!(&reverse[0], DiffEntry::OnlyInSecond { .. }));
+    }
+
+    #[test]
+    fn null_vs_number_is_infinite_drift() {
+        let a = doc(7);
+        let mut b = Json::parse(&a.pretty()).unwrap();
+        if let Json::Obj(pairs) = &mut b {
+            if let Some((_, Json::Arr(rows))) = pairs.iter_mut().find(|(k, _)| k == "rows") {
+                if let Json::Obj(row) = &mut rows[0] {
+                    for (k, v) in row.iter_mut() {
+                        if k == "sim_seconds" {
+                            *v = Json::Null;
+                        }
+                    }
+                }
+            }
+        }
+        let drift = diff_documents(&a, &b, 1.0e9).unwrap();
+        assert!(matches!(
+            &drift[0],
+            DiffEntry::MetricDrift { field: "sim_seconds", relative, .. } if relative.is_infinite()
+        ));
+    }
+
+    #[test]
+    fn non_lab_documents_are_a_typed_error() {
+        let junk = Json::parse("{\"hello\": 1}").unwrap();
+        let err = diff_documents(&junk, &doc(7), 0.0).unwrap_err();
+        assert!(err.path.contains("first"));
+    }
+}

@@ -52,14 +52,19 @@
 //! [`OrwlProgram`]: orwl_core::task::OrwlProgram
 //! [`Trace`]: trace::Trace
 
+pub mod diff;
 pub mod report;
 pub mod scenario;
 pub mod sweep;
 pub mod trace;
 
+pub use diff::{diff_documents, DiffEntry};
 pub use report::{render_table, sweep_to_json, validate, SchemaError, SCHEMA_VERSION};
 pub use scenario::{ScenarioFamily, ScenarioSpec};
-pub use sweep::{run_sweep, BackendSpec, ModeKind, SweepConfig, SweepResult, SweepRow, SweepSection};
+pub use sweep::{
+    default_sweep_threads, run_sweep, run_sweep_with_threads, BackendSpec, ModeKind, SweepConfig,
+    SweepResult, SweepRow, SweepSection,
+};
 pub use trace::{capture_trace, AccessTraceRecorder, Trace, TraceEpoch, TraceRecorder};
 
 /// The usual lab imports.

@@ -354,13 +354,27 @@ fn run_cell(
     }
 }
 
-/// Executes the whole grid, baselines included, and computes the per-group
-/// baseline ratios.  Rows appear in deterministic grid order: sections,
+/// One executable cell of the flattened grid (see [`plan_cells`]).
+struct PlannedCell {
+    /// Index into `config.sections` (for the row's label).
+    section: usize,
+    backend: BackendSpec,
+    /// The scenario, already resized for the backend.
+    spec: ScenarioSpec,
+    mode: ModeKind,
+    policy: Policy,
+    /// Ratio-group id: rows of one (section, backend, scenario, mode)
+    /// share their Scatter / flat-TreeMatch anchors.
+    group: usize,
+}
+
+/// Flattens the grid into cells in deterministic grid order: sections,
 /// then backends, then scenarios, then modes, then policies (baselines
 /// appended last within a group when they were not already on the axis).
-pub fn run_sweep(config: &SweepConfig) -> Result<SweepResult, OrwlError> {
-    let mut rows = Vec::new();
-    for section in &config.sections {
+fn plan_cells(config: &SweepConfig) -> Vec<PlannedCell> {
+    let mut cells = Vec::new();
+    let mut group = 0;
+    for (section_idx, section) in config.sections.iter().enumerate() {
         // Scatter and flat TreeMatch always run: they anchor the ratios.
         let mut policies = section.policies.clone();
         for baseline in [Policy::Scatter, Policy::TreeMatch] {
@@ -372,59 +386,151 @@ pub fn run_sweep(config: &SweepConfig) -> Result<SweepResult, OrwlError> {
             for spec in &section.scenarios {
                 let spec = resized_for(spec, backend);
                 for &mode in section.modes.iter().filter(|&&m| backend.supports(m)) {
-                    let group_start = rows.len();
-                    let mut scatter_hop = None;
-                    let mut treematch_hop = None;
                     for &policy in &policies {
-                        let (report, topology) = run_cell(config, backend, &spec, policy, mode)?;
-                        if policy == Policy::Scatter {
-                            scatter_hop = Some(report.hop_bytes);
-                        }
-                        if policy == Policy::TreeMatch {
-                            treematch_hop = Some(report.hop_bytes);
-                        }
-                        let (nodes, oversubscription) = match *backend {
-                            BackendSpec::Cluster { nodes, oversubscription } => {
-                                (Some(nodes), Some(oversubscription))
-                            }
-                            _ => (None, None),
-                        };
-                        rows.push(SweepRow {
-                            section: section.label,
-                            scenario: spec.name(),
-                            family: spec.family.name(),
-                            tasks: spec.n_tasks(),
-                            backend: backend.backend_name(),
-                            topology,
-                            nodes,
-                            oversubscription,
-                            policy: policy.name(),
-                            mode: mode.name(),
-                            hop_bytes: report.hop_bytes,
-                            sim_seconds: match report.time {
-                                orwl_core::session::RunTime::Simulated(s) => Some(s),
-                                orwl_core::session::RunTime::Wall(_) => None,
-                            },
-                            local_fraction: report.breakdown.local_fraction(),
-                            inter_node_hop_bytes: report.fabric.map(|f| f.inter_node_hop_bytes),
-                            inter_node_fraction: report.fabric.map(|f| f.inter_node_fraction()),
-                            adapt_epochs: report.adapt.as_ref().map(|a| a.epochs),
-                            adapt_replacements: report.adapt.as_ref().map(|a| a.replacements),
-                            adapt_node_reshards: report.adapt.as_ref().map(|a| a.node_reshards),
-                            vs_scatter: None,
-                            vs_flat_treematch: None,
+                        cells.push(PlannedCell {
+                            section: section_idx,
+                            backend: *backend,
+                            spec: spec.clone(),
+                            mode,
+                            policy,
+                            group,
                         });
                     }
-                    // Anchor the group's ratios now that the baselines ran.
-                    let ratio = |hop: f64, base: Option<f64>| {
-                        base.and_then(|b| if b > 0.0 { Some(hop / b) } else { None })
-                    };
-                    for row in &mut rows[group_start..] {
-                        row.vs_scatter = ratio(row.hop_bytes, scatter_hop);
-                        row.vs_flat_treematch = ratio(row.hop_bytes, treematch_hop);
-                    }
+                    group += 1;
                 }
             }
+        }
+    }
+    cells
+}
+
+/// The worker count [`run_sweep`] uses: the machine's available
+/// parallelism, capped at 8 (cells are coarse; more workers only add
+/// thread-backend oversubscription noise to *wall time*, never to
+/// results).
+#[must_use]
+pub fn default_sweep_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(8)
+}
+
+/// Executes the whole grid, baselines included, and computes the per-group
+/// baseline ratios.  Rows appear in deterministic grid order: sections,
+/// then backends, then scenarios, then modes, then policies (baselines
+/// appended last within a group when they were not already on the axis).
+///
+/// Cells fan out over [`default_sweep_threads`] workers; see
+/// [`run_sweep_with_threads`] for the determinism argument.
+pub fn run_sweep(config: &SweepConfig) -> Result<SweepResult, OrwlError> {
+    run_sweep_with_threads(config, default_sweep_threads())
+}
+
+/// [`run_sweep`] with an explicit worker count (`0` and `1` both mean
+/// in-place sequential execution).
+///
+/// # Determinism
+///
+/// Cells are planned upfront in grid order and are mutually independent —
+/// each builds its own `Session` on its own topology, and every recorded
+/// quantity is either simulated time or a placement metric (wall time is
+/// never recorded).  Workers pull cells from a shared counter and send
+/// `(cell index, result)` back; rows are assembled *by cell index*, so the
+/// row order and every value are independent of scheduling: the artifact
+/// is byte-for-byte identical whatever `threads` is (pinned by the
+/// `parallel_sweep` integration test and the CI `lab_smoke` `cmp`).
+pub fn run_sweep_with_threads(config: &SweepConfig, threads: usize) -> Result<SweepResult, OrwlError> {
+    let cells = plan_cells(config);
+    let n = cells.len();
+
+    // Execute every cell, results indexed by planned position.
+    let mut results: Vec<Option<Result<(Report, String), OrwlError>>> = Vec::with_capacity(n);
+    results.resize_with(n, || None);
+    let workers = threads.min(n);
+    if workers <= 1 {
+        for (slot, cell) in results.iter_mut().zip(&cells) {
+            *slot = Some(run_cell(config, &cell.backend, &cell.spec, cell.policy, cell.mode));
+        }
+    } else {
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let (next, cells) = (&next, &cells);
+                scope.spawn(move || loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let cell = &cells[i];
+                    let result = run_cell(config, &cell.backend, &cell.spec, cell.policy, cell.mode);
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, result) in rx {
+                results[i] = Some(result);
+            }
+        });
+    }
+
+    // Assemble rows in planned order; a failed cell surfaces as the
+    // sweep's error (the earliest in grid order, independent of which
+    // worker hit it first).
+    let mut rows = Vec::with_capacity(n);
+    let mut group_start = 0;
+    let mut scatter_hop = None;
+    let mut treematch_hop = None;
+    let ratio = |hop: f64, base: Option<f64>| base.and_then(|b| if b > 0.0 { Some(hop / b) } else { None });
+    for (i, cell) in cells.iter().enumerate() {
+        let (report, topology) = results[i].take().expect("every planned cell was executed exactly once")?;
+        if cell.policy == Policy::Scatter {
+            scatter_hop = Some(report.hop_bytes);
+        }
+        if cell.policy == Policy::TreeMatch {
+            treematch_hop = Some(report.hop_bytes);
+        }
+        let (nodes, oversubscription) = match cell.backend {
+            BackendSpec::Cluster { nodes, oversubscription } => (Some(nodes), Some(oversubscription)),
+            _ => (None, None),
+        };
+        rows.push(SweepRow {
+            section: config.sections[cell.section].label,
+            scenario: cell.spec.name(),
+            family: cell.spec.family.name(),
+            tasks: cell.spec.n_tasks(),
+            backend: cell.backend.backend_name(),
+            topology,
+            nodes,
+            oversubscription,
+            policy: cell.policy.name(),
+            mode: cell.mode.name(),
+            hop_bytes: report.hop_bytes,
+            sim_seconds: match report.time {
+                orwl_core::session::RunTime::Simulated(s) => Some(s),
+                orwl_core::session::RunTime::Wall(_) => None,
+            },
+            local_fraction: report.breakdown.local_fraction(),
+            inter_node_hop_bytes: report.fabric.map(|f| f.inter_node_hop_bytes),
+            inter_node_fraction: report.fabric.map(|f| f.inter_node_fraction()),
+            adapt_epochs: report.adapt.as_ref().map(|a| a.epochs),
+            adapt_replacements: report.adapt.as_ref().map(|a| a.replacements),
+            adapt_node_reshards: report.adapt.as_ref().map(|a| a.node_reshards),
+            vs_scatter: None,
+            vs_flat_treematch: None,
+        });
+        // Anchor the group's ratios once its last cell (and therefore both
+        // baselines) ran.
+        let group_ends = cells.get(i + 1).is_none_or(|next| next.group != cell.group);
+        if group_ends {
+            for row in &mut rows[group_start..] {
+                row.vs_scatter = ratio(row.hop_bytes, scatter_hop);
+                row.vs_flat_treematch = ratio(row.hop_bytes, treematch_hop);
+            }
+            group_start = rows.len();
+            scatter_hop = None;
+            treematch_hop = None;
         }
     }
     Ok(SweepResult { seed: config.seed, rows })

@@ -1,0 +1,74 @@
+//! Acceptance pin for the parallel sweep runner: fanning the grid's cells
+//! over a worker pool must not change a single byte of the artifact —
+//! rows are assembled by planned cell index, so order and values are
+//! scheduling-independent.  This is the property that lets `run_sweep`
+//! default to multi-core while `BENCH_lab.json` stays `cmp`-checked in CI.
+
+use orwl_lab::report::{sweep_to_json, validate};
+use orwl_lab::scenario::ScenarioSpec;
+use orwl_lab::sweep::{
+    default_sweep_threads, run_sweep_with_threads, BackendSpec, ModeKind, SweepConfig, SweepSection,
+};
+use orwl_treematch::policies::Policy;
+
+/// A grid spanning all three backends, both simulator modes and the
+/// baseline-appending path — small enough to run three times in a test.
+fn grid(seed: u64) -> SweepConfig {
+    SweepConfig {
+        seed,
+        epoch_iterations: 4,
+        thread_iterations: 1,
+        sections: vec![SweepSection {
+            label: "parallel",
+            scenarios: ScenarioSpec::catalog(9, seed).into_iter().take(4).collect(),
+            backends: vec![
+                BackendSpec::Threads,
+                BackendSpec::NumaSim { sockets: 2 },
+                BackendSpec::Cluster { nodes: 2, oversubscription: 1 },
+            ],
+            policies: vec![Policy::Hierarchical],
+            modes: vec![ModeKind::Static, ModeKind::Adaptive],
+        }],
+    }
+}
+
+#[test]
+fn parallel_and_sequential_sweeps_are_byte_identical() {
+    let sequential = run_sweep_with_threads(&grid(42), 1).unwrap();
+    let parallel = run_sweep_with_threads(&grid(42), 4).unwrap();
+    assert_eq!(sequential, parallel, "results must be scheduling-independent");
+
+    let (a, b) = (sweep_to_json(&sequential).pretty(), sweep_to_json(&parallel).pretty());
+    assert_eq!(a, b, "artifacts must be byte-identical across worker counts");
+    validate(&orwl_core::json::Json::parse(&a).unwrap()).unwrap();
+
+    // An oversubscribed worker pool (more workers than cells) too.
+    let storm = run_sweep_with_threads(&grid(42), 64).unwrap();
+    assert_eq!(sweep_to_json(&storm).pretty(), a);
+}
+
+#[test]
+fn worker_count_zero_and_one_mean_sequential() {
+    let zero = run_sweep_with_threads(&grid(7), 0).unwrap();
+    let one = run_sweep_with_threads(&grid(7), 1).unwrap();
+    assert_eq!(zero, one);
+    assert!(default_sweep_threads() >= 1);
+}
+
+#[test]
+fn baseline_ratios_are_anchored_per_group_in_parallel_runs() {
+    let result = run_sweep_with_threads(&grid(42), 4).unwrap();
+    for row in &result.rows {
+        // Every row carries both ratios (the baselines always run), and the
+        // baseline rows are their own anchors.
+        let vs_scatter = row.vs_scatter.expect("scatter baseline ran in the group");
+        assert!(vs_scatter > 0.0 && vs_scatter.is_finite(), "{row:?}");
+        assert!(row.vs_flat_treematch.unwrap() > 0.0);
+        if row.policy == "scatter" {
+            assert!((vs_scatter - 1.0).abs() < 1e-12);
+        }
+        if row.policy == "treematch" {
+            assert!((row.vs_flat_treematch.unwrap() - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -19,13 +19,38 @@
 //! when the hardware allows it — for every control thread.
 
 use crate::control::{decide_control_mode, extend_for_control, ControlPlacementMode, ControlThreadSpec};
-use crate::grouping::group_processes;
+use crate::grouping::{group_processes_with, GroupingScratch};
 use crate::mapping::Placement;
 use crate::oversub::manage_oversubscription;
-use orwl_comm::aggregate::{aggregate, Groups};
+use orwl_comm::aggregate::{aggregate_into, AggregateScratch, Groups};
 use orwl_comm::matrix::CommMatrix;
 use orwl_topo::object::ObjectType;
 use orwl_topo::topology::{Topology, TreeShape};
+
+/// Reusable buffers of the whole placement pipeline: the per-level
+/// current/aggregated matrices of [`tree_match_assign`] plus the grouping
+/// and aggregation scratch.  A caller that computes placements repeatedly —
+/// the adaptive engine re-placing every drift epoch, a policy sweep, the
+/// scaling harness — holds one `PlacementScratch` and stops paying a dense
+/// `O(p²)` allocation per tree level per placement.
+#[derive(Debug, Default, Clone)]
+pub struct PlacementScratch {
+    /// The matrix of the level being grouped.
+    cur: CommMatrix,
+    /// The aggregated matrix the next level will group.
+    next: CommMatrix,
+    /// Aggregation owner table.
+    agg: AggregateScratch,
+    /// Grouping-phase buffers.
+    grouping: GroupingScratch,
+}
+
+impl PlacementScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        PlacementScratch::default()
+    }
+}
 
 /// Configuration of the mapping algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -62,6 +87,20 @@ impl TreeMatchMapper {
     ///
     /// Returns an all-unbound placement when the matrix is empty.
     pub fn compute_placement(&self, topo: &Topology, m: &CommMatrix) -> Placement {
+        self.compute_placement_with(topo, m, &mut PlacementScratch::new())
+    }
+
+    /// Allocation-reusing variant of
+    /// [`compute_placement`](TreeMatchMapper::compute_placement): identical
+    /// output, but every dense intermediate lives in `scratch` and is
+    /// reused across calls — the form the adaptive engine uses so epoch
+    /// re-placements stop allocating.
+    pub fn compute_placement_with(
+        &self,
+        topo: &Topology,
+        m: &CommMatrix,
+        scratch: &mut PlacementScratch,
+    ) -> Placement {
         let n_compute = m.order();
         let n_control = self.config.control.count;
         if n_compute == 0 {
@@ -70,10 +109,10 @@ impl TreeMatchMapper {
 
         let mode = decide_control_mode(topo, n_compute, n_control);
         match mode {
-            ControlPlacementMode::HyperthreadReserve => self.place_with_hyperthread_reserve(topo, m),
-            ControlPlacementMode::SpareCores => self.place_with_spare_cores(topo, m),
+            ControlPlacementMode::HyperthreadReserve => self.place_with_hyperthread_reserve(topo, m, scratch),
+            ControlPlacementMode::SpareCores => self.place_with_spare_cores(topo, m, scratch),
             ControlPlacementMode::Unmapped => {
-                let compute = self.place_on_pus(topo, m);
+                let compute = self.place_on_pus(topo, m, scratch);
                 Placement { compute, control: vec![None; n_control] }
             }
         }
@@ -83,14 +122,19 @@ impl TreeMatchMapper {
     /// one per physical core (first hardware thread), and put each control
     /// thread on the sibling hardware thread of the core hosting the compute
     /// thread it exchanges the most with.
-    fn place_with_hyperthread_reserve(&self, topo: &Topology, m: &CommMatrix) -> Placement {
+    fn place_with_hyperthread_reserve(
+        &self,
+        topo: &Topology,
+        m: &CommMatrix,
+        scratch: &mut PlacementScratch,
+    ) -> Placement {
         let n_compute = m.order();
         let n_control = self.config.control.count;
 
         // Tree with the cores as leaves: drop the PU level.
         let full = topo.shape();
         let core_shape = TreeShape::new(full.arities[..full.arities.len() - 1].to_vec());
-        let entity_to_core = tree_match_assign(&core_shape, m);
+        let entity_to_core = tree_match_assign_with(&core_shape, m, scratch);
 
         let cores = topo.objects_of_type(ObjectType::Core);
         let compute: Vec<Option<usize>> = entity_to_core
@@ -125,20 +169,30 @@ impl TreeMatchMapper {
 
     /// Line 1 variant (b): no SMT but spare cores — extend the matrix with
     /// the control threads and map everything onto the PUs.
-    fn place_with_spare_cores(&self, topo: &Topology, m: &CommMatrix) -> Placement {
+    fn place_with_spare_cores(
+        &self,
+        topo: &Topology,
+        m: &CommMatrix,
+        scratch: &mut PlacementScratch,
+    ) -> Placement {
         let n_compute = m.order();
         let n_control = self.config.control.count;
         let ext = extend_for_control(m, &self.config.control);
-        let all = self.place_on_pus(topo, &ext);
+        let all = self.place_on_pus(topo, &ext, scratch);
         let compute = all[..n_compute].to_vec();
         let control = all[n_compute..n_compute + n_control].to_vec();
         Placement { compute, control }
     }
 
     /// Core of the algorithm: map every entity of `m` to a PU of `topo`.
-    fn place_on_pus(&self, topo: &Topology, m: &CommMatrix) -> Vec<Option<usize>> {
+    fn place_on_pus(
+        &self,
+        topo: &Topology,
+        m: &CommMatrix,
+        scratch: &mut PlacementScratch,
+    ) -> Vec<Option<usize>> {
         let shape = topo.shape();
-        let entity_to_leaf = tree_match_assign(&shape, m);
+        let entity_to_leaf = tree_match_assign_with(&shape, m, scratch);
         let pus = topo.pus();
         entity_to_leaf.iter().map(|&leaf| pus.get(leaf % pus.len()).map(|pu| pu.os_index)).collect()
     }
@@ -148,6 +202,17 @@ impl TreeMatchMapper {
 /// entity of the matrix, the index of the **physical leaf** it is assigned
 /// to (several entities may share a leaf under oversubscription).
 pub fn tree_match_assign(shape: &TreeShape, m: &CommMatrix) -> Vec<usize> {
+    tree_match_assign_with(shape, m, &mut PlacementScratch::new())
+}
+
+/// Allocation-reusing variant of [`tree_match_assign`]: identical output,
+/// with the per-level matrices ping-ponging between the two scratch
+/// buffers instead of being cloned and reallocated at every level.
+pub fn tree_match_assign_with(
+    shape: &TreeShape,
+    m: &CommMatrix,
+    scratch: &mut PlacementScratch,
+) -> Vec<usize> {
     let p = m.order();
     if p == 0 {
         return Vec::new();
@@ -163,12 +228,16 @@ pub fn tree_match_assign(shape: &TreeShape, m: &CommMatrix) -> Vec<usize> {
     let levels = arities.len();
 
     // Lines 4–7: group from the leaves towards the root, aggregating the
-    // matrix between levels.
+    // matrix between levels.  The level matrices ping-pong between the two
+    // scratch buffers: `cur` is grouped, aggregated into `next`, then the
+    // roles swap — no per-level clone or allocation once the buffers are
+    // warm.
     let mut partitions: Vec<Groups> = Vec::with_capacity(levels);
-    let mut current = m.clone();
+    scratch.cur.copy_from(m);
     for l in (0..levels).rev() {
-        let groups = group_processes(&current, arities[l]);
-        current = aggregate(&current, &groups);
+        let groups = group_processes_with(&scratch.cur, arities[l], &mut scratch.grouping);
+        aggregate_into(&scratch.cur, &groups, &mut scratch.agg, &mut scratch.next);
+        std::mem::swap(&mut scratch.cur, &mut scratch.next);
         partitions.push(groups);
     }
 

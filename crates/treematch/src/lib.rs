@@ -48,7 +48,9 @@ pub mod oversub;
 pub mod partition;
 pub mod policies;
 
-pub use algorithm::{tree_match_assign, TreeMatchConfig, TreeMatchMapper};
+pub use algorithm::{
+    tree_match_assign, tree_match_assign_with, PlacementScratch, TreeMatchConfig, TreeMatchMapper,
+};
 pub use control::{ControlPlacementMode, ControlThreadSpec};
 pub use mapping::Placement;
 pub use oversub::OversubPlan;

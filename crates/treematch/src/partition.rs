@@ -152,6 +152,73 @@ impl std::fmt::Display for PartitionError {
 
 impl std::error::Error for PartitionError {}
 
+/// Gain a refinement action must exceed to be applied (matches the
+/// grouping threshold so both local-search stages terminate).
+const GAIN_THRESHOLD: f64 = 1e-12;
+
+/// Relative slack of the incremental screens, mirroring
+/// `orwl_treematch::grouping`: screened values are trusted to within
+/// `SCREEN_EPS × (magnitudes involved)` of the naive ordered sums, which
+/// holds with ≈ 10⁷ operations of headroom because volumes and part costs
+/// are non-negative.
+const SCREEN_EPS: f64 = 1e-9;
+
+/// `vol[e · k + q] ≈ Σ s[e][other]` over the entities currently assigned
+/// to part `q` (excluding `e` itself): the incremental attraction table
+/// both greedy growth and KL refinement screen against.  Values differ
+/// from the naive index-order sums only by floating-point rounding, which
+/// the screens' slack absorbs; every accept/compare decision falls back to
+/// the naive sums.
+struct VolToPart {
+    k: usize,
+    vol: Vec<f64>,
+}
+
+impl VolToPart {
+    fn new(p: usize, k: usize) -> Self {
+        VolToPart { k, vol: vec![0.0; p * k] }
+    }
+
+    fn get(&self, e: usize, q: usize) -> f64 {
+        self.vol[e * self.k + q]
+    }
+
+    /// Accounts entity `x` joining part `q` (row access on the symmetric
+    /// matrix: `s[x][e]` is bitwise `s[e][x]`).
+    fn on_assign(&mut self, s: &CommMatrix, x: usize, q: usize) {
+        for e in 0..s.order() {
+            if e != x {
+                self.vol[e * self.k + q] += s.get(x, e);
+            }
+        }
+    }
+
+    /// Accounts entity `x` leaving part `from` for part `to`.
+    fn on_move(&mut self, s: &CommMatrix, x: usize, from: usize, to: usize) {
+        for e in 0..s.order() {
+            if e != x {
+                let v = s.get(x, e);
+                self.vol[e * self.k + from] -= v;
+                self.vol[e * self.k + to] += v;
+            }
+        }
+    }
+
+    /// Rebuilds the table from an assignment (entities with
+    /// `assignment[e] == usize::MAX` are not yet placed and contribute
+    /// nothing).
+    fn rebuild(&mut self, s: &CommMatrix, assignment: &[usize]) {
+        self.vol.fill(0.0);
+        for e in 0..s.order() {
+            for (other, &q) in assignment.iter().enumerate() {
+                if other != e && q != usize::MAX {
+                    self.vol[e * self.k + q] += s.get(e, other);
+                }
+            }
+        }
+    }
+}
+
 /// Partitions the `m.order()` entities into `costs.n_parts()` parts holding
 /// at most `capacity` entities each, minimising the weighted cut
 /// ([`cut_cost`]).  Deterministic; ties resolve towards lower part indices.
@@ -160,6 +227,13 @@ impl std::error::Error for PartitionError {}
 /// entities`) is a typed [`PartitionError`], never a panic: callers that
 /// derive the capacity from a machine (cluster placement) `expect` it,
 /// callers forwarding user input (the lab sweep grid) surface it.
+///
+/// Like [`crate::grouping::group_processes`], the greedy growth and the KL
+/// refinement maintain incremental attraction tables (`VolToPart`) used
+/// as sound screens over the naive from-scratch sums, so the output is
+/// **exactly** the pre-optimisation implementation's (pinned by proptests
+/// against the retained `naive` reference below) while the dominant
+/// per-candidate/per-action cost drops from `O(p)` to `O(1)`–`O(k)`.
 pub fn partition(m: &CommMatrix, costs: &PartCosts, capacity: usize) -> Result<Vec<usize>, PartitionError> {
     let p = m.order();
     let k = costs.n_parts();
@@ -179,13 +253,17 @@ pub fn partition(m: &CommMatrix, costs: &PartCosts, capacity: usize) -> Result<V
     // starts from a feasible, load-balanced state; `capacity` only matters
     // when p does not divide evenly.
     let target = p.div_ceil(k).min(capacity);
+    // Precomputed seed-sort keys (a `traffic_of` call in the comparator
+    // would cost O(p) per comparison).
+    let traffic: Vec<f64> = (0..p).map(|i| crate::grouping::symmetric_traffic_of(&s, i)).collect();
     let mut order: Vec<usize> = (0..p).collect();
     order.sort_by(|&a, &b| {
-        s.traffic_of(b).partial_cmp(&s.traffic_of(a)).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        traffic[b].partial_cmp(&traffic[a]).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
     });
 
     let mut assignment = vec![usize::MAX; p];
     let mut load = vec![0usize; k];
+    let mut vol = VolToPart::new(p, k);
     for &seed in &order {
         if assignment[seed] != usize::MAX {
             continue;
@@ -198,14 +276,32 @@ pub fn partition(m: &CommMatrix, costs: &PartCosts, capacity: usize) -> Result<V
         };
         assignment[seed] = part;
         load[part] += 1;
-        // Grow the part around the seed up to the balanced target.
+        vol.on_assign(&s, seed, part);
+        // Grow the part around the seed up to the balanced target.  The
+        // naive per-candidate connectivity rescan is screened by the
+        // incremental table: only candidates that may beat the running
+        // best are re-summed from scratch, and the comparisons always use
+        // those naive sums.
         while load[part] < target {
             let mut best: Option<(usize, f64)> = None;
             for cand in 0..p {
                 if assignment[cand] != usize::MAX {
                     continue;
                 }
-                let conn: f64 = (0..p).filter(|&e| assignment[e] == part).map(|e| s.get(e, cand)).sum();
+                let approx = vol.get(cand, part);
+                // Volumes are non-negative, so an exactly-zero screened sum
+                // means the naive sum is exactly zero too.
+                let conn = if approx == 0.0 {
+                    0.0
+                } else {
+                    match best {
+                        Some((_, bc)) if approx + SCREEN_EPS * approx <= bc => continue,
+                        // Row access: bitwise equal to the naive
+                        // `s.get(e, cand)` column walk on the symmetric
+                        // matrix.
+                        _ => (0..p).filter(|&e| assignment[e] == part).map(|e| s.get(cand, e)).sum(),
+                    }
+                };
                 if best.is_none_or(|(_, bc)| conn > bc) {
                     best = Some((cand, conn));
                 }
@@ -214,6 +310,7 @@ pub fn partition(m: &CommMatrix, costs: &PartCosts, capacity: usize) -> Result<V
                 Some((cand, conn)) if conn > 0.0 || load[part] == 0 => {
                     assignment[cand] = part;
                     load[part] += 1;
+                    vol.on_assign(&s, cand, part);
                 }
                 // No connected candidate left: stop growing, let the
                 // remaining entities pick their own seeds / best parts.
@@ -231,7 +328,7 @@ pub fn partition(m: &CommMatrix, costs: &PartCosts, capacity: usize) -> Result<V
         }
     }
 
-    refine(&s, &mut assignment, &mut load, costs, capacity);
+    refine(&s, &mut assignment, &mut load, costs, capacity, &mut vol);
     Ok(assignment)
 }
 
@@ -281,7 +378,23 @@ fn best_part(
 /// Kernighan–Lin-style local refinement: greedily apply the single move or
 /// pairwise swap with the largest cut improvement until none remains (or a
 /// safety bound on passes is hit).
-fn refine(s: &CommMatrix, assignment: &mut [usize], load: &mut [usize], costs: &PartCosts, capacity: usize) {
+///
+/// The naive formulation recomputed `cost_in` — an `O(p)` scan — for every
+/// candidate action of every pass, an `O(p³)` bill per applied action.
+/// Here an *approximate* entity × part cost table (derived from the
+/// incremental `VolToPart` attractions, `O(k)` per entry) screens the
+/// candidate actions in `O(1)`; only actions whose screened gain could
+/// beat the running best are re-evaluated with the naive `cost_in`, and
+/// the best-action choice and the accept threshold always use those naive
+/// values — so the refined assignment is exactly the naive one.
+fn refine(
+    s: &CommMatrix,
+    assignment: &mut [usize],
+    load: &mut [usize],
+    costs: &PartCosts,
+    capacity: usize,
+    vol: &mut VolToPart,
+) {
     let p = s.order();
     let k = load.len();
     // External cost of entity `e` if it were in part `q`.
@@ -298,18 +411,50 @@ fn refine(s: &CommMatrix, assignment: &mut [usize], load: &mut [usize], costs: &
         }
         c
     };
+    // The greedy phase's incremental table misses the leftover placements
+    // (and carries their rounding history); re-anchor it once.
+    vol.rebuild(s, assignment);
+    // Additive slack term covering cancellation residue left in `vol` by
+    // `on_move` deltas (current magnitudes alone underestimate the
+    // accumulated rounding after near-total cancellation).
+    let s_max = s.as_slice().iter().fold(0.0f64, |m, v| m.max(v.abs()));
+    let c_max = (0..k)
+        .flat_map(|a| (0..k).map(move |b| (a, b)))
+        .fold(0.0f64, |m, (a, b)| m.max(costs.cost(a, b).abs()));
+    let abs_slack = SCREEN_EPS * s_max * c_max * 2.0;
+    // ac[e · k + q] ≈ cost_in(e, q), refreshed from `vol` every pass;
+    // volumes and costs are non-negative, so each entry doubles as the
+    // magnitude bound its screen's slack is scaled by.
+    let mut ac = vec![0.0f64; p * k];
 
     for _pass in 0..2 * p.max(4) {
-        let mut best_gain = 1e-12;
+        for e in 0..p {
+            for q in 0..k {
+                let mut c = 0.0;
+                for qq in 0..k {
+                    c += costs.cost(q, qq) * vol.get(e, qq);
+                }
+                ac[e * k + q] = c;
+            }
+        }
+        let mut best_gain = GAIN_THRESHOLD;
         let mut best_action: Option<(usize, Option<usize>, usize)> = None; // (a, Some(b)=swap / None=move, dest)
         for a in 0..p {
             let pa = assignment[a];
-            let here = cost_in(assignment, a, pa);
+            // The naive `here` is computed lazily, at most once per `a`.
+            let mut here_exact: Option<f64> = None;
+            let approx_here = ac[a * k + pa];
             // Single moves to any part with room.
             for (q, &part_load) in load.iter().enumerate().take(k) {
                 if q == pa || part_load >= capacity {
                     continue;
                 }
+                let approx_there = ac[a * k + q];
+                let slack = SCREEN_EPS * (approx_here.abs() + approx_there.abs()) + abs_slack;
+                if approx_here - approx_there + slack <= best_gain {
+                    continue; // certain reject at naive precision
+                }
+                let here = *here_exact.get_or_insert_with(|| cost_in(assignment, a, pa));
                 let gain = here - cost_in(assignment, a, q);
                 if gain > best_gain {
                     best_gain = gain;
@@ -322,14 +467,20 @@ fn refine(s: &CommMatrix, assignment: &mut [usize], load: &mut [usize], costs: &
                 if pb == pa {
                     continue;
                 }
+                let cross = 2.0 * s.get(a, b) * costs.cost(pa, pb);
+                let approx_before = approx_here + ac[b * k + pb];
+                let approx_after = ac[a * k + pb] + ac[b * k + pa] + cross;
+                let slack = SCREEN_EPS * (approx_before.abs() + approx_after.abs()) + abs_slack;
+                if approx_before - approx_after + slack <= best_gain {
+                    continue;
+                }
+                let here = *here_exact.get_or_insert_with(|| cost_in(assignment, a, pa));
                 let before = here + cost_in(assignment, b, pb);
                 // `cost_in` is evaluated against the *unswapped* assignment,
                 // where the a↔b term vanishes (each sees the other still in
                 // the destination part); after the swap the pair straddles
                 // pa↔pb again, so add the term back for both directions.
-                let after = cost_in(assignment, a, pb)
-                    + cost_in(assignment, b, pa)
-                    + 2.0 * s.get(a, b) * costs.cost(pa, pb);
+                let after = cost_in(assignment, a, pb) + cost_in(assignment, b, pa) + cross;
                 let gain = before - after;
                 if gain > best_gain {
                     best_gain = gain;
@@ -339,14 +490,163 @@ fn refine(s: &CommMatrix, assignment: &mut [usize], load: &mut [usize], costs: &
         }
         match best_action {
             Some((a, None, q)) => {
-                load[assignment[a]] -= 1;
+                let pa = assignment[a];
+                load[pa] -= 1;
                 assignment[a] = q;
                 load[q] += 1;
+                vol.on_move(s, a, pa, q);
             }
             Some((a, Some(b), _)) => {
+                let (pa, pb) = (assignment[a], assignment[b]);
                 assignment.swap(a, b);
+                vol.on_move(s, a, pa, pb);
+                vol.on_move(s, b, pb, pa);
             }
             None => break,
+        }
+    }
+}
+
+/// The pre-optimisation partitioner, retained verbatim as the reference
+/// the screened incremental one is pinned against (proptests below).
+#[cfg(test)]
+pub(crate) mod naive {
+    use super::*;
+
+    pub fn partition(
+        m: &CommMatrix,
+        costs: &PartCosts,
+        capacity: usize,
+    ) -> Result<Vec<usize>, PartitionError> {
+        let p = m.order();
+        let k = costs.n_parts();
+        if p == 0 {
+            return Ok(Vec::new());
+        }
+        if capacity == 0 {
+            return Err(PartitionError::ZeroCapacity { entities: p });
+        }
+        if k * capacity < p {
+            return Err(PartitionError::InsufficientCapacity { parts: k, capacity, entities: p });
+        }
+        let s = m.symmetrized();
+
+        let target = p.div_ceil(k).min(capacity);
+        let mut order: Vec<usize> = (0..p).collect();
+        order.sort_by(|&a, &b| {
+            s.traffic_of(b).partial_cmp(&s.traffic_of(a)).unwrap_or(std::cmp::Ordering::Equal).then(a.cmp(&b))
+        });
+
+        let mut assignment = vec![usize::MAX; p];
+        let mut load = vec![0usize; k];
+        for &seed in &order {
+            if assignment[seed] != usize::MAX {
+                continue;
+            }
+            let part = match (0..k).find(|&q| load[q] == 0) {
+                Some(q) => q,
+                None => best_part(&s, &assignment, &load, seed, costs, target, capacity),
+            };
+            assignment[seed] = part;
+            load[part] += 1;
+            while load[part] < target {
+                let mut best: Option<(usize, f64)> = None;
+                for cand in 0..p {
+                    if assignment[cand] != usize::MAX {
+                        continue;
+                    }
+                    let conn: f64 = (0..p).filter(|&e| assignment[e] == part).map(|e| s.get(e, cand)).sum();
+                    if best.is_none_or(|(_, bc)| conn > bc) {
+                        best = Some((cand, conn));
+                    }
+                }
+                match best {
+                    Some((cand, conn)) if conn > 0.0 || load[part] == 0 => {
+                        assignment[cand] = part;
+                        load[part] += 1;
+                    }
+                    _ => break,
+                }
+            }
+        }
+        for e in 0..p {
+            if assignment[e] == usize::MAX {
+                let part = best_part(&s, &assignment, &load, e, costs, target, capacity);
+                assignment[e] = part;
+                load[part] += 1;
+            }
+        }
+
+        refine(&s, &mut assignment, &mut load, costs, capacity);
+        Ok(assignment)
+    }
+
+    fn refine(
+        s: &CommMatrix,
+        assignment: &mut [usize],
+        load: &mut [usize],
+        costs: &PartCosts,
+        capacity: usize,
+    ) {
+        let p = s.order();
+        let k = load.len();
+        let cost_in = |assignment: &[usize], e: usize, q: usize| -> f64 {
+            let mut c = 0.0;
+            for (other, &part) in assignment.iter().enumerate().take(p) {
+                if other == e {
+                    continue;
+                }
+                let v = s.get(e, other);
+                if v != 0.0 {
+                    c += v * costs.cost(q, part);
+                }
+            }
+            c
+        };
+
+        for _pass in 0..2 * p.max(4) {
+            let mut best_gain = GAIN_THRESHOLD;
+            let mut best_action: Option<(usize, Option<usize>, usize)> = None;
+            for a in 0..p {
+                let pa = assignment[a];
+                let here = cost_in(assignment, a, pa);
+                for (q, &part_load) in load.iter().enumerate().take(k) {
+                    if q == pa || part_load >= capacity {
+                        continue;
+                    }
+                    let gain = here - cost_in(assignment, a, q);
+                    if gain > best_gain {
+                        best_gain = gain;
+                        best_action = Some((a, None, q));
+                    }
+                }
+                for b in (a + 1)..p {
+                    let pb = assignment[b];
+                    if pb == pa {
+                        continue;
+                    }
+                    let before = here + cost_in(assignment, b, pb);
+                    let after = cost_in(assignment, a, pb)
+                        + cost_in(assignment, b, pa)
+                        + 2.0 * s.get(a, b) * costs.cost(pa, pb);
+                    let gain = before - after;
+                    if gain > best_gain {
+                        best_gain = gain;
+                        best_action = Some((a, Some(b), pb));
+                    }
+                }
+            }
+            match best_action {
+                Some((a, None, q)) => {
+                    load[assignment[a]] -= 1;
+                    assignment[a] = q;
+                    load[q] += 1;
+                }
+                Some((a, Some(b), _)) => {
+                    assignment.swap(a, b);
+                }
+                None => break,
+            }
         }
     }
 }
@@ -355,6 +655,7 @@ fn refine(s: &CommMatrix, assignment: &mut [usize], load: &mut [usize], costs: &
 mod tests {
     use super::*;
     use orwl_comm::patterns;
+    use proptest::prelude::*;
 
     #[test]
     fn uniform_costs_have_zero_diagonal() {
@@ -527,5 +828,75 @@ mod tests {
         let a = partition(&m, &PartCosts::uniform(3), 4).unwrap();
         let b = partition(&m, &PartCosts::uniform(3), 4).unwrap();
         assert_eq!(a, b);
+    }
+
+    /// Regression pin: exact outputs of the pre-optimisation partitioner on
+    /// fixed seeded matrices.
+    #[test]
+    fn partition_outputs_are_pinned() {
+        let pins: [(u64, Vec<usize>); 2] = [
+            (3, vec![2, 1, 0, 3, 2, 0, 3, 0, 1, 1, 1, 1, 0, 2, 3, 0, 3, 2, 1, 0, 3, 2, 3, 2]),
+            (11, vec![3, 1, 1, 3, 3, 3, 0, 0, 0, 2, 1, 3, 1, 3, 0, 2, 2, 0, 2, 0, 1, 1, 2, 2]),
+        ];
+        for (seed, expected) in pins {
+            let m = patterns::random_symmetric(24, 0.6, 100.0, seed);
+            assert_eq!(partition(&m, &PartCosts::uniform(4), 6).unwrap(), expected, "seed {seed}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        // The screened incremental partitioner is output-identical to the
+        // retained naive reference on random float-valued matrices, across
+        // part counts, capacities (incl. infeasible ones) and weighted
+        // part-distance matrices.
+        #[test]
+        fn incremental_matches_naive_reference(
+            n in 1usize..22,
+            k in 1usize..6,
+            extra_cap in 0usize..4,
+            seed in 0u64..400,
+        ) {
+            let m = patterns::random_symmetric(n, 0.6, 987.654321, seed);
+            let capacity = n.div_ceil(k) + extra_cap;
+            let costs = PartCosts::from_fn(k, |a, b| 1.0 + ((a * 7 + b * 3) % 5) as f64 / 3.0);
+            prop_assert_eq!(
+                partition(&m, &costs, capacity),
+                naive::partition(&m, &costs, capacity)
+            );
+            let uniform = PartCosts::uniform(k);
+            prop_assert_eq!(
+                partition(&m, &uniform, capacity),
+                naive::partition(&m, &uniform, capacity)
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        // Same identity on the structured shapes the cluster sweep runs
+        // (stencils with inexact volumes, power-law graphs).
+        #[test]
+        fn incremental_matches_naive_on_structured_patterns(side in 2usize..6, k in 2usize..5, seed in 0u64..100) {
+            let stencil = patterns::stencil_2d(&patterns::StencilSpec {
+                rows: side,
+                cols: side + 1,
+                edge_volume: 4096.0 * 0.2,
+                corner_volume: 64.0 * 0.2,
+            });
+            let n = stencil.order();
+            let costs = PartCosts::uniform(k);
+            prop_assert_eq!(
+                partition(&stencil, &costs, n.div_ceil(k)),
+                naive::partition(&stencil, &costs, n.div_ceil(k))
+            );
+            let pl = patterns::power_law(n, 3, 1.0e6, seed);
+            prop_assert_eq!(
+                partition(&pl, &costs, n.div_ceil(k)),
+                naive::partition(&pl, &costs, n.div_ceil(k))
+            );
+        }
     }
 }
