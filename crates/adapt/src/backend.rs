@@ -30,6 +30,7 @@ use orwl_numasim::exec::{simulate_monitored, SimMonitor};
 use orwl_numasim::machine::SimMachine;
 use orwl_numasim::scenario::ExecutionScenario;
 use orwl_numasim::workload::PhasedWorkload;
+use orwl_obs::{ClockKind, EventKind, Recorder};
 use orwl_treematch::mapping::Placement;
 use orwl_treematch::policies::{compute_placement, Policy};
 
@@ -96,6 +97,7 @@ impl SimBackend {
         config: &SessionConfig,
         workload: &PhasedWorkload,
         oracle: bool,
+        obs: Option<&Recorder>,
     ) -> (PlacementPlan, f64, f64) {
         let initial = self.placement_for(config, workload, 0);
         let mut total_time = 0.0;
@@ -108,8 +110,15 @@ impl SimBackend {
             let report =
                 orwl_numasim::exec::simulate(&self.machine, &phase.graph, &scenario, phase.iterations);
             total_time += report.total_time;
-            cumulative_hop_bytes += phase.iterations as f64
+            let phase_bytes = phase.iterations as f64
                 * hop_bytes(&phase.graph.comm_matrix(), self.machine.topology(), &scenario.task_pu);
+            cumulative_hop_bytes += phase_bytes;
+            if let Some(obs) = obs {
+                // One epoch per phase: the fixed schedules have no finer
+                // decision boundary.
+                obs.set_sim_now(total_time);
+                obs.record(EventKind::Epoch { epoch: k as u64 + 1, bytes: phase_bytes });
+            }
         }
         let plan =
             PlacementPlan::new(config.policy, workload.phases[0].graph.comm_matrix().symmetrized(), initial);
@@ -125,6 +134,7 @@ impl SimBackend {
         config: &SessionConfig,
         workload: &PhasedWorkload,
         epoch_iterations: usize,
+        obs: Option<&Recorder>,
     ) -> (PlacementPlan, f64, f64, AdaptReport) {
         let n = workload.n_tasks();
         let topo = self.machine.topology();
@@ -148,8 +158,9 @@ impl SimBackend {
                 let chunk = epoch_iterations.min(phase.iterations - done);
                 let mapping = self.mapping_of(&placement);
                 let scenario = self.scenario_for(config, mapping.clone(), n);
-                let mut monitor = RecordingMonitor { online: &mut online };
+                let mut monitor = RecordingMonitor { online: &mut online, bytes: 0.0 };
                 let report = simulate_monitored(&self.machine, &phase.graph, &scenario, chunk, &mut monitor);
+                let chunk_bytes = monitor.bytes;
                 total_time += report.total_time;
                 cumulative_hop_bytes += chunk as f64 * hop_bytes(&phase_matrix, topo, &scenario.task_pu);
                 done += chunk;
@@ -157,12 +168,22 @@ impl SimBackend {
                 // Epoch boundary: roll the window and decide.
                 epochs += 1;
                 online.roll_epoch();
+                if let Some(obs) = obs {
+                    obs.set_sim_now(total_time);
+                    obs.record(EventKind::Epoch { epoch: epochs, bytes: chunk_bytes });
+                }
                 if !online.is_warmed_up() {
                     continue;
                 }
                 let live = online.smoothed_symmetric();
                 let observation = detector.observe(topo, &scenario.task_pu, &baseline, &live);
                 drift_deltas.push(observation.delta);
+                if let Some(obs) = obs {
+                    obs.record(EventKind::DriftDecision {
+                        outcome: observation.outcome(),
+                        delta: observation.delta,
+                    });
+                }
                 if !observation.fired {
                     continue;
                 }
@@ -174,6 +195,16 @@ impl SimBackend {
                     // time (the simulated stall while working sets move).
                     cumulative_hop_bytes += migration_cost;
                     total_time += migration_cost / self.machine.params().interconnect_bandwidth;
+                    if let Some(obs) = obs {
+                        let next_mapping = self.mapping_of(&next);
+                        let tasks_moved = mapping.iter().zip(&next_mapping).filter(|(a, b)| a != b).count();
+                        obs.set_sim_now(total_time);
+                        obs.record(EventKind::Migration {
+                            tasks_moved,
+                            bytes: migration_cost,
+                            cross_node: false,
+                        });
+                    }
                     placement = next;
                     baseline = live.clone();
                     detector.arm_cooldown();
@@ -196,11 +227,15 @@ impl SimBackend {
 
 struct RecordingMonitor<'a> {
     online: &'a mut OnlineCommMatrix,
+    /// Bytes the executor reported this chunk — becomes the epoch event's
+    /// traffic volume in the telemetry timeline.
+    bytes: f64,
 }
 
 impl SimMonitor for RecordingMonitor<'_> {
     fn on_transfer(&mut self, _iteration: usize, src: usize, dst: usize, bytes: f64) {
         self.online.record(src, dst, bytes);
+        self.bytes += bytes;
     }
 }
 
@@ -232,13 +267,19 @@ impl ExecutionBackend for SimBackend {
             }
             .into());
         }
+        // Simulated clock: event timestamps advance with the cost model's
+        // notion of time, not the host's.  The recorder is also installed
+        // globally so the placement-solve phase spans emitted from inside
+        // TreeMatch land in the same timeline.
+        let recorder = config.observe.map(|cfg| Recorder::new(ClockKind::Simulated, cfg));
+        let registration = recorder.as_ref().map(orwl_obs::install);
         let (plan, total_time, cumulative_hop_bytes, adapt) = match &config.mode {
             Mode::Static => {
-                let (plan, t, h) = self.run_fixed_schedule(config, &workload, false);
+                let (plan, t, h) = self.run_fixed_schedule(config, &workload, false, recorder.as_deref());
                 (plan, t, h, None)
             }
             Mode::Oracle => {
-                let (plan, t, h) = self.run_fixed_schedule(config, &workload, true);
+                let (plan, t, h) = self.run_fixed_schedule(config, &workload, true, recorder.as_deref());
                 (plan, t, h, None)
             }
             Mode::Adaptive(spec) => {
@@ -250,10 +291,12 @@ impl ExecutionBackend for SimBackend {
                         ConfigError::UnsupportedController { backend: self.name().to_string() }.into()
                     );
                 }
-                let (plan, t, h, adapt) = self.run_adaptive(config, &workload, spec.epoch_iterations);
+                let (plan, t, h, adapt) =
+                    self.run_adaptive(config, &workload, spec.epoch_iterations, recorder.as_deref());
                 (plan, t, h, Some(adapt))
             }
         };
+        drop(registration);
         let breakdown = plan.breakdown(&config.topology);
         Ok(Report {
             backend: self.name().to_string(),
@@ -265,6 +308,7 @@ impl ExecutionBackend for SimBackend {
             adapt,
             thread: None,
             fabric: None,
+            obs: recorder.map(|r| r.finish(self.name())),
         })
     }
 }

@@ -46,8 +46,27 @@ pub struct DriftObservation {
     pub delta: f64,
     /// Whether this epoch was over the threshold.
     pub over_threshold: bool,
+    /// Whether this epoch landed inside a post-fire cooldown window.
+    pub in_cooldown: bool,
     /// Whether the detector fired (threshold + patience + cooldown).
     pub fired: bool,
+}
+
+impl DriftObservation {
+    /// The decision as a telemetry outcome (how the epoch is classified in
+    /// the `orwl-obs/v1` timeline).
+    #[must_use]
+    pub fn outcome(&self) -> orwl_obs::DriftOutcome {
+        if self.fired {
+            orwl_obs::DriftOutcome::Fired
+        } else if self.in_cooldown {
+            orwl_obs::DriftOutcome::Cooldown
+        } else if self.over_threshold {
+            orwl_obs::DriftOutcome::SuppressedByPatience
+        } else {
+            orwl_obs::DriftOutcome::Quiet
+        }
+    }
 }
 
 /// Stateful drift detector (see the module docs for the decision rule).
@@ -89,7 +108,8 @@ impl DriftDetector {
         let delta = if scale <= f64::EPSILON { 0.0 } else { (live_cost - baseline_cost).abs() / scale };
 
         let over_threshold = delta > self.config.threshold;
-        let fired = if self.cooldown_left > 0 {
+        let in_cooldown = self.cooldown_left > 0;
+        let fired = if in_cooldown {
             self.cooldown_left -= 1;
             // Cooldown epochs do not accumulate patience either.
             self.consecutive_over = 0;
@@ -105,7 +125,7 @@ impl DriftDetector {
         if fired {
             self.arm_cooldown();
         }
-        DriftObservation { baseline_cost, live_cost, delta, over_threshold, fired }
+        DriftObservation { baseline_cost, live_cost, delta, over_threshold, in_cooldown, fired }
     }
 
     /// Resets the patience counter and starts a cooldown window — called

@@ -243,6 +243,10 @@ impl AdaptiveEngine {
             let baseline = state.baseline.clone();
             state.detector.observe(&topo, &mapping, &baseline, &live)
         };
+        orwl_obs::emit(orwl_obs::EventKind::DriftDecision {
+            outcome: observation.outcome(),
+            delta: observation.delta,
+        });
         let mut migrated = None;
         if observation.fired {
             // Run the (comparatively expensive) TreeMatch re-placement
@@ -261,7 +265,16 @@ impl AdaptiveEngine {
             let decision = replacer.evaluate_with(&topo, &live, &placement, n_control, &mut scratch);
             state = self.state.lock().unwrap_or_else(|e| e.into_inner());
             state.scratch = scratch;
-            if let Decision::Migrate { placement, .. } = decision {
+            if let Decision::Migrate { placement, migration_cost, .. } = decision {
+                if orwl_obs::enabled() {
+                    let next = placement.compute_mapping_or_zero();
+                    let tasks_moved = mapping.iter().zip(&next).filter(|(a, b)| a != b).count();
+                    orwl_obs::emit(orwl_obs::EventKind::Migration {
+                        tasks_moved,
+                        bytes: migration_cost,
+                        cross_node: false,
+                    });
+                }
                 state.placement = placement.clone();
                 state.baseline = live.clone();
                 state.detector.arm_cooldown();

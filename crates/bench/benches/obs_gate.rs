@@ -1,0 +1,103 @@
+//! Experiment E-obs — the price of observability:
+//!
+//! * the disabled fast path: one relaxed atomic load per would-be event,
+//!   measured raw and on the adaptive-stencil hot path (`Session::run`
+//!   without `.observe`, gate compiled in but closed) — the acceptance
+//!   budget is <2% against the same binary with the gate removed being
+//!   unmeasurable, so we compare against run-to-run noise instead;
+//! * the enabled path: the same workload with `.observe(ObsConfig::default())`,
+//!   paying ring-buffer appends and metric increments.
+//!
+//! A headline line prints the measured off/on medians and the relative
+//! overhead before the Criterion timings, so CI logs carry the number.
+//!
+//! Run with `cargo bench -p orwl-bench --bench obs_gate`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use orwl_adapt::backend::SimBackend;
+use orwl_adapt::engine::AdaptConfig;
+use orwl_core::runtime::AdaptiveSpec;
+use orwl_core::session::Session;
+use orwl_numasim::costmodel::CostParams;
+use orwl_numasim::machine::SimMachine;
+use orwl_numasim::workload::PhasedWorkload;
+use orwl_obs::ObsConfig;
+use orwl_topo::synthetic;
+use orwl_treematch::policies::Policy;
+use std::time::Instant;
+
+fn machine() -> SimMachine {
+    SimMachine::new(synthetic::cluster2016_subset(2).unwrap(), CostParams::cluster2016())
+}
+
+fn workload() -> PhasedWorkload {
+    PhasedWorkload::rotating_stencil(4, 65536.0, 1024.0, 16384.0, 131072.0, &[24, 72])
+}
+
+fn session(observe: bool) -> Session {
+    let builder = Session::builder()
+        .topology(machine().topology().clone())
+        .policy(Policy::TreeMatch)
+        .control_threads(0)
+        .adaptive(AdaptiveSpec::per_iterations(4))
+        .backend(SimBackend::new(machine()).with_adapt_config(AdaptConfig::evaluation()));
+    let builder = if observe { builder.observe(ObsConfig::default()) } else { builder };
+    builder.build().expect("the obs bench configuration is valid")
+}
+
+/// Median wall time of `runs` full adaptive simulations.
+fn median_run_ns(observe: bool, runs: usize) -> f64 {
+    let session = session(observe);
+    let workload = workload();
+    // Warm-up: fault in code paths and allocator state outside the timing.
+    for _ in 0..3 {
+        let _ = criterion::black_box(session.run(workload.clone()).unwrap());
+    }
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            let _ = criterion::black_box(session.run(workload.clone()).unwrap());
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn bench_obs_gate(c: &mut Criterion) {
+    // --- headline overhead number, printed once ---------------------------
+    let off = median_run_ns(false, 15);
+    let on = median_run_ns(true, 15);
+    let overhead = (on - off) / off * 100.0;
+    eprintln!(
+        "obs gate on adaptive-stencil (96 sim iters): off {:.3} ms, on {:.3} ms, overhead {overhead:+.2}%",
+        off / 1e6,
+        on / 1e6,
+    );
+
+    // --- the raw disabled fast path ---------------------------------------
+    let mut group = c.benchmark_group("obs_gate");
+    group.sample_size(50);
+    group.bench_function("enabled_check_disabled", |b| {
+        b.iter(|| criterion::black_box(orwl_obs::enabled()));
+    });
+    group.bench_function("emit_while_disabled", |b| {
+        b.iter(|| orwl_obs::emit(orwl_obs::EventKind::Rebind { task: 0, pu: 0 }));
+    });
+
+    // --- the hot path, gate closed vs. gate open ---------------------------
+    group.sample_size(20);
+    let closed = session(false);
+    let payload = workload();
+    group.bench_function("adaptive_stencil_obs_off", |b| {
+        b.iter(|| criterion::black_box(closed.run(payload.clone()).unwrap()));
+    });
+    let open = session(true);
+    group.bench_function("adaptive_stencil_obs_on", |b| {
+        b.iter(|| criterion::black_box(open.run(payload.clone()).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_gate);
+criterion_main!(benches);

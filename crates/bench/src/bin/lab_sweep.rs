@@ -14,17 +14,20 @@
 
 use orwl_core::json::Json;
 use orwl_lab::report::{render_table, sweep_to_json, validate};
-use orwl_lab::sweep::{default_sweep_threads, run_sweep_with_threads, SweepConfig};
+use orwl_lab::sweep::{default_sweep_threads, run_sweep_observed, run_sweep_with_threads, SweepConfig};
+use orwl_obs::export::{validate_chrome_trace, validate_obs};
+use orwl_obs::{ObsConfig, ToJson};
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: lab_sweep [--smoke|--full] [--seed N] [--threads N] [--out PATH] [--validate PATH] [--quiet]";
+const USAGE: &str = "usage: lab_sweep [--smoke|--full] [--seed N] [--threads N] [--out PATH] \
+                     [--obs-dir DIR] [--validate PATH] [--quiet]";
 
 struct Args {
     smoke: bool,
     seed: u64,
     threads: usize,
     out: String,
+    obs_dir: Option<String>,
     validate_only: Option<String>,
     quiet: bool,
     help: bool,
@@ -36,6 +39,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         threads: default_sweep_threads(),
         out: "BENCH_lab.json".to_string(),
+        obs_dir: None,
         validate_only: None,
         quiet: false,
         help: false,
@@ -55,12 +59,32 @@ fn parse_args() -> Result<Args, String> {
                     it.next().and_then(|s| s.parse().ok()).ok_or("--threads expects a positive integer")?;
             }
             "--out" => args.out = it.next().ok_or("--out expects a path")?,
+            "--obs-dir" => args.obs_dir = Some(it.next().ok_or("--obs-dir expects a directory")?),
             "--validate" => args.validate_only = Some(it.next().ok_or("--validate expects a path")?),
             "--help" | "-h" => args.help = true,
             other => return Err(format!("unknown argument {other:?}; try --help")),
         }
     }
     Ok(args)
+}
+
+/// Writes one `<label>.obs.json` + `<label>.trace.json` pair per observed
+/// cell into `dir`, re-validating each artifact against its schema before
+/// it lands on disk.
+fn write_obs_artifacts(dir: &str, cells: &[orwl_lab::sweep::ObservedCell]) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    for cell in cells {
+        let obs = cell.telemetry.to_json();
+        validate_obs(&obs).map_err(|e| format!("{}: invalid orwl-obs/v1 artifact: {e}", cell.label))?;
+        let trace = cell.telemetry.chrome_trace();
+        validate_chrome_trace(&trace).map_err(|e| format!("{}: invalid Chrome trace: {e}", cell.label))?;
+        let stem = format!("{dir}/{}", cell.label);
+        std::fs::write(format!("{stem}.obs.json"), obs.pretty())
+            .map_err(|e| format!("cannot write {stem}.obs.json: {e}"))?;
+        std::fs::write(format!("{stem}.trace.json"), trace.pretty())
+            .map_err(|e| format!("cannot write {stem}.trace.json: {e}"))?;
+    }
+    Ok(())
 }
 
 fn validate_file(path: &str) -> Result<(), String> {
@@ -99,13 +123,26 @@ fn main() -> ExitCode {
     let config = if args.smoke { SweepConfig::smoke(args.seed) } else { SweepConfig::full(args.seed) };
     let grid = if args.smoke { "smoke" } else { "full" };
     eprintln!("lab_sweep: running the {grid} grid (seed {}, {} threads)...", args.seed, args.threads);
-    let result = match run_sweep_with_threads(&config, args.threads) {
-        Ok(result) => result,
+    let sweep_outcome = match &args.obs_dir {
+        // Observation forces sequential cells (one process-global recorder
+        // at a time); the rows themselves are unchanged by it.
+        Some(_) => run_sweep_observed(&config, ObsConfig::default()),
+        None => run_sweep_with_threads(&config, args.threads).map(|result| (result, Vec::new())),
+    };
+    let (result, observed) = match sweep_outcome {
+        Ok(outcome) => outcome,
         Err(error) => {
             eprintln!("lab_sweep: sweep failed: {error}");
             return ExitCode::FAILURE;
         }
     };
+    if let Some(dir) = &args.obs_dir {
+        if let Err(message) = write_obs_artifacts(dir, &observed) {
+            eprintln!("lab_sweep: {message}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("lab_sweep: {} telemetry artifact pairs -> {dir}/", observed.len());
+    }
 
     let doc = sweep_to_json(&result);
     if let Err(violation) = validate(&doc) {

@@ -31,8 +31,18 @@ use orwl_core::placement::PlacementPlan;
 use orwl_core::runtime::AdaptReport;
 use orwl_core::session::{ClusterTraffic, ExecutionBackend, Mode, Report, RunTime, SessionConfig, Workload};
 use orwl_numasim::workload::PhasedWorkload;
+use orwl_obs::{ClockKind, EventKind, FabricLane, Recorder};
+use orwl_topo::cluster::FabricClass;
 use orwl_treematch::mapping::Placement;
 use orwl_treematch::policies::{compute_placement, Policy};
+
+fn lane_of(class: FabricClass) -> FabricLane {
+    match class {
+        FabricClass::SameNode => FabricLane::SameNode,
+        FabricClass::SameRack => FabricLane::SameRack,
+        FabricClass::CrossRack => FabricLane::CrossRack,
+    }
+}
 
 /// Cumulative counters of one cluster run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -113,6 +123,7 @@ impl ClusterBackend {
     }
 
     /// One simulated phase chunk, with its metrics folded into `totals`.
+    #[allow(clippy::too_many_arguments)]
     fn run_chunk(
         &self,
         cp: &ClusterPlacement,
@@ -121,6 +132,7 @@ impl ClusterBackend {
         iterations: usize,
         monitor: &mut dyn orwl_numasim::exec::SimMonitor,
         totals: &mut RunTotals,
+        obs: Option<&Recorder>,
     ) {
         let mapping = cp.global_mapping(&self.machine);
         let report = simulate_cluster(&self.machine, graph, &mapping, iterations, monitor);
@@ -131,6 +143,30 @@ impl ClusterBackend {
         totals.intra_hop_bytes += iters * intra;
         totals.inter_hop_bytes += iters * inter;
         totals.inter_bytes += iters * inter_node_bytes(self.machine.cluster(), matrix, &mapping);
+        if let Some(obs) = obs {
+            // One aggregate transfer event per fabric lane per chunk: the
+            // timeline stays proportional to chunks, not to matrix entries.
+            let cluster = self.machine.cluster();
+            let mut by_lane = [0.0f64; 3];
+            let n = matrix.order();
+            for src in 0..n {
+                for dst in 0..n {
+                    let volume = matrix.get(src, dst);
+                    if src != dst && volume > 0.0 {
+                        by_lane[lane_of(cluster.link_class(mapping[src], mapping[dst])) as usize] +=
+                            iters * volume;
+                    }
+                }
+            }
+            obs.set_sim_now(totals.time);
+            for (lane, &bytes) in
+                [FabricLane::SameNode, FabricLane::SameRack, FabricLane::CrossRack].iter().zip(&by_lane)
+            {
+                if bytes > 0.0 {
+                    obs.record(EventKind::FabricTransfer { lane: *lane, bytes });
+                }
+            }
+        }
     }
 
     /// Static and oracle modes: a fixed placement schedule, re-computed per
@@ -140,6 +176,7 @@ impl ClusterBackend {
         config: &SessionConfig,
         workload: &PhasedWorkload,
         oracle: bool,
+        obs: Option<&Recorder>,
     ) -> (ClusterPlacement, RunTotals) {
         let initial = self.placement_for(config, &workload.phases[0].graph.comm_matrix().symmetrized());
         let mut totals = RunTotals::default();
@@ -150,6 +187,7 @@ impl ClusterBackend {
                 initial.clone()
             };
             let matrix = phase.graph.comm_matrix();
+            let before = totals.hop_bytes;
             self.run_chunk(
                 &cp,
                 &phase.graph,
@@ -157,7 +195,12 @@ impl ClusterBackend {
                 phase.iterations,
                 &mut orwl_numasim::exec::NoopSimMonitor,
                 &mut totals,
+                obs,
             );
+            if let Some(obs) = obs {
+                obs.set_sim_now(totals.time);
+                obs.record(EventKind::Epoch { epoch: k as u64 + 1, bytes: totals.hop_bytes - before });
+            }
         }
         (initial, totals)
     }
@@ -170,6 +213,7 @@ impl ClusterBackend {
         config: &SessionConfig,
         workload: &PhasedWorkload,
         epoch_iterations: usize,
+        obs: Option<&Recorder>,
     ) -> (ClusterPlacement, RunTotals, AdaptReport) {
         let n = workload.n_tasks();
         let flat = self.machine.topology();
@@ -191,12 +235,17 @@ impl ClusterBackend {
             let mut done = 0usize;
             while done < phase.iterations {
                 let chunk = epoch_iterations.min(phase.iterations - done);
-                let mut monitor = Recording { online: &mut online };
-                self.run_chunk(&current, &phase.graph, &matrix, chunk, &mut monitor, &mut totals);
+                let mut monitor = Recording { online: &mut online, bytes: 0.0 };
+                self.run_chunk(&current, &phase.graph, &matrix, chunk, &mut monitor, &mut totals, obs);
+                let chunk_bytes = monitor.bytes;
                 done += chunk;
 
                 epochs += 1;
                 online.roll_epoch();
+                if let Some(obs) = obs {
+                    obs.set_sim_now(totals.time);
+                    obs.record(EventKind::Epoch { epoch: epochs, bytes: chunk_bytes });
+                }
                 if !online.is_warmed_up() {
                     continue;
                 }
@@ -204,6 +253,12 @@ impl ClusterBackend {
                 let mapping = current.global_mapping(&self.machine);
                 let observation = detector.observe(flat, &mapping, &baseline, &live);
                 drift_deltas.push(observation.delta);
+                if let Some(obs) = obs {
+                    obs.record(EventKind::DriftDecision {
+                        outcome: observation.outcome(),
+                        delta: observation.delta,
+                    });
+                }
                 if !observation.fired {
                     continue;
                 }
@@ -231,10 +286,12 @@ impl ClusterBackend {
                 let mut migration_inter_hop = 0.0;
                 let mut migration_inter_bytes = 0.0;
                 let mut moved_nodes = false;
+                let mut tasks_moved = 0usize;
                 for (t, (&old_pu, &new_pu)) in mapping.iter().zip(&new_mapping).enumerate() {
                     if old_pu == new_pu {
                         continue;
                     }
+                    tasks_moved += 1;
                     let bytes = replacer.model.task_state_bytes;
                     migration_seconds += self.machine.message_latency(old_pu, new_pu)
                         + bytes * self.machine.link_byte_cost(old_pu, new_pu);
@@ -256,6 +313,14 @@ impl ClusterBackend {
                 totals.intra_hop_bytes += migration_intra_hop;
                 totals.inter_hop_bytes += migration_inter_hop;
                 totals.inter_bytes += migration_inter_bytes;
+                if let Some(obs) = obs {
+                    obs.set_sim_now(totals.time);
+                    obs.record(EventKind::Migration {
+                        tasks_moved,
+                        bytes: tasks_moved as f64 * replacer.model.task_state_bytes,
+                        cross_node: moved_nodes,
+                    });
+                }
                 current = candidate;
                 baseline = live.clone();
                 detector.arm_cooldown();
@@ -272,11 +337,15 @@ impl ClusterBackend {
 
 struct Recording<'a> {
     online: &'a mut OnlineCommMatrix,
+    /// Bytes the executor reported this chunk — the epoch event's traffic
+    /// volume in the telemetry timeline.
+    bytes: f64,
 }
 
 impl orwl_numasim::exec::SimMonitor for Recording<'_> {
     fn on_transfer(&mut self, _iteration: usize, src: usize, dst: usize, bytes: f64) {
         self.online.record(src, dst, bytes);
+        self.bytes += bytes;
     }
 }
 
@@ -305,13 +374,18 @@ impl ExecutionBackend for ClusterBackend {
             }
             .into());
         }
+        // Simulated clock, installed globally so the two-level placement
+        // solves (which run through TreeMatch) land their phase spans in
+        // the same timeline as the fabric and drift events.
+        let recorder = config.observe.map(|cfg| Recorder::new(ClockKind::Simulated, cfg));
+        let registration = recorder.as_ref().map(orwl_obs::install);
         let (initial, totals, adapt) = match &config.mode {
             Mode::Static => {
-                let (cp, totals) = self.run_fixed_schedule(config, &workload, false);
+                let (cp, totals) = self.run_fixed_schedule(config, &workload, false, recorder.as_deref());
                 (cp, totals, None)
             }
             Mode::Oracle => {
-                let (cp, totals) = self.run_fixed_schedule(config, &workload, true);
+                let (cp, totals) = self.run_fixed_schedule(config, &workload, true, recorder.as_deref());
                 (cp, totals, None)
             }
             Mode::Adaptive(spec) => {
@@ -320,10 +394,12 @@ impl ExecutionBackend for ClusterBackend {
                         ConfigError::UnsupportedController { backend: self.name().to_string() }.into()
                     );
                 }
-                let (cp, totals, adapt) = self.run_adaptive(config, &workload, spec.epoch_iterations);
+                let (cp, totals, adapt) =
+                    self.run_adaptive(config, &workload, spec.epoch_iterations, recorder.as_deref());
                 (cp, totals, Some(adapt))
             }
         };
+        drop(registration);
         let matrix = workload.phases[0].graph.comm_matrix().symmetrized();
         // The plan reports what the *policy* binds: for `NoBind` that is
         // nothing (the OS-spread execution model above is not a binding),
@@ -353,6 +429,7 @@ impl ExecutionBackend for ClusterBackend {
                 inter_node_hop_bytes: totals.inter_hop_bytes,
                 inter_node_bytes: totals.inter_bytes,
             }),
+            obs: recorder.map(|r| r.finish(self.name())),
         })
     }
 }

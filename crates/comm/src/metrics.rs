@@ -72,6 +72,20 @@ pub struct TrafficBreakdown {
     pub cross_node: f64,
 }
 
+impl orwl_obs::ToJson for TrafficBreakdown {
+    fn to_json(&self) -> orwl_obs::Json {
+        let mut o = orwl_obs::Json::obj();
+        o.push("same_pu", self.same_pu)
+            .push("same_core", self.same_core)
+            .push("shared_cache", self.shared_cache)
+            .push("same_numa", self.same_numa)
+            .push("cross_numa", self.cross_numa)
+            .push("cross_node", self.cross_node)
+            .push("local_fraction", self.local_fraction());
+        o
+    }
+}
+
 impl TrafficBreakdown {
     /// Total volume accounted for.
     pub fn total(&self) -> f64 {

@@ -99,8 +99,12 @@ impl<T> Handle<T> {
         let token = self.pending.expect("request posted above");
         let start = Instant::now();
         self.location.fifo().acquire(&token);
-        self.wait_time += start.elapsed();
+        let waited = start.elapsed();
+        self.wait_time += waited;
         self.acquisitions += 1;
+        if orwl_obs::enabled() {
+            orwl_obs::lock_wait(self.location.id().0, waited.as_nanos() as u64);
+        }
         crate::monitor::on_lock_granted(self.location.id(), self.mode);
         let data = match self.mode {
             AccessMode::Read => GuardData::Read(self.location.data().read_arc()),

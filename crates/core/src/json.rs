@@ -1,533 +1,19 @@
-//! Minimal hand-rolled JSON: a value tree, a deterministic writer and a
-//! strict parser.
+//! JSON support for the `Session` API's report types.
 //!
-//! The offline vendor set has no `serde`, but the experiment subsystem
-//! (`orwl-lab`) needs machine-readable, *byte-reproducible* benchmark
-//! artifacts.  This module is the whole JSON story of the workspace:
-//!
-//! * [`Json`] — a value tree whose objects are **ordered** (a `Vec` of
-//!   pairs, not a hash map), so serialisation order is exactly insertion
-//!   order and two identical runs emit identical bytes;
-//! * the `Display` impl / [`Json::pretty`] — compact and indented writers.
-//!   Numbers use Rust's shortest-roundtrip `f64` formatting (deterministic
-//!   across runs and platforms); non-finite numbers serialise as `null`;
-//! * [`Json::parse`] — a strict recursive-descent parser (UTF-8, no
-//!   trailing garbage, `\uXXXX` escapes including surrogate pairs), used by
-//!   the lab's schema validator and by tests to round-trip artifacts;
-//! * [`ToJson`] — implemented by the report types of the `Session` API
-//!   ([`Report`], [`TrafficBreakdown`], [`AdaptReport`], [`ClusterTraffic`],
-//!   [`RunTime`]), so any backend's result can be logged as one JSON object.
+//! The value tree, writer, parser and [`ToJson`] trait themselves live in
+//! the dependency-free `orwl-obs` leaf crate (see `orwl_obs::json`) so the
+//! observability exporters and the lab share one deterministic
+//! implementation; this module re-exports them under the historical
+//! `orwl_core::json` path and implements [`ToJson`] for the core report
+//! types ([`Report`], [`AdaptReport`], [`ClusterTraffic`], [`RunTime`]), so
+//! any backend's result can be logged as one JSON object.  (The
+//! `TrafficBreakdown` impl lives next to its type in `orwl-comm`; the
+//! orphan rule keeps it out of this crate.)
+
+pub use orwl_obs::json::{Json, JsonError, ToJson};
 
 use crate::runtime::AdaptReport;
 use crate::session::{ClusterTraffic, Report, RunTime, ThreadDetails};
-use orwl_comm::metrics::TrafficBreakdown;
-use std::fmt;
-
-/// A JSON value with insertion-ordered objects (deterministic output).
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// A finite number (non-finite values serialise as `null`).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object: insertion-ordered key/value pairs.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// An empty object, ready for [`push`](Json::push).
-    #[must_use]
-    pub fn obj() -> Json {
-        Json::Obj(Vec::new())
-    }
-
-    /// Appends a key/value pair to an object (panics on non-objects —
-    /// builder misuse, not data errors).
-    pub fn push(&mut self, key: &str, value: impl Into<Json>) -> &mut Self {
-        match self {
-            Json::Obj(pairs) => pairs.push((key.to_string(), value.into())),
-            other => panic!("Json::push on a non-object: {other:?}"),
-        }
-        self
-    }
-
-    /// Object field lookup (first match); `None` on non-objects.
-    #[must_use]
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The numeric value, when this is a number.
-    #[must_use]
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(x) => Some(*x),
-            _ => None,
-        }
-    }
-
-    /// The string value, when this is a string.
-    #[must_use]
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The elements, when this is an array.
-    #[must_use]
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// True when the value is `null`.
-    #[must_use]
-    pub fn is_null(&self) -> bool {
-        matches!(self, Json::Null)
-    }
-
-    /// Renders with two-space indentation (trailing newline included), the
-    /// format of the committed benchmark artifacts.
-    #[must_use]
-    pub fn pretty(&self) -> String {
-        let mut out = String::new();
-        self.write_pretty(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write_pretty(&self, out: &mut String, depth: usize) {
-        match self {
-            Json::Arr(items) if !items.is_empty() => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    out.push_str(if i == 0 { "\n" } else { ",\n" });
-                    out.push_str(&"  ".repeat(depth + 1));
-                    item.write_pretty(out, depth + 1);
-                }
-                out.push('\n');
-                out.push_str(&"  ".repeat(depth));
-                out.push(']');
-            }
-            Json::Obj(pairs) if !pairs.is_empty() => {
-                out.push('{');
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    out.push_str(if i == 0 { "\n" } else { ",\n" });
-                    out.push_str(&"  ".repeat(depth + 1));
-                    write_escaped(out, k);
-                    out.push_str(": ");
-                    v.write_pretty(out, depth + 1);
-                }
-                out.push('\n');
-                out.push_str(&"  ".repeat(depth));
-                out.push('}');
-            }
-            compact => {
-                use fmt::Write;
-                let _ = write!(out, "{compact}");
-            }
-        }
-    }
-
-    /// Parses a complete JSON document (strict: rejects trailing garbage).
-    pub fn parse(text: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
-        p.skip_ws();
-        let value = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(JsonError { pos: p.pos, message: "trailing characters after the document" });
-        }
-        Ok(value)
-    }
-}
-
-impl From<bool> for Json {
-    fn from(b: bool) -> Json {
-        Json::Bool(b)
-    }
-}
-
-impl From<f64> for Json {
-    fn from(x: f64) -> Json {
-        Json::Num(x)
-    }
-}
-
-impl From<usize> for Json {
-    fn from(x: usize) -> Json {
-        Json::Num(x as f64)
-    }
-}
-
-impl From<u64> for Json {
-    fn from(x: u64) -> Json {
-        Json::Num(x as f64)
-    }
-}
-
-impl From<&str> for Json {
-    fn from(s: &str) -> Json {
-        Json::Str(s.to_string())
-    }
-}
-
-impl From<String> for Json {
-    fn from(s: String) -> Json {
-        Json::Str(s)
-    }
-}
-
-impl From<Vec<Json>> for Json {
-    fn from(items: Vec<Json>) -> Json {
-        Json::Arr(items)
-    }
-}
-
-impl<T: Into<Json>> From<Option<T>> for Json {
-    fn from(opt: Option<T>) -> Json {
-        opt.map_or(Json::Null, Into::into)
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                use fmt::Write;
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-impl fmt::Display for Json {
-    /// Compact rendering: no whitespace, insertion-ordered object keys.
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Json::Null => f.write_str("null"),
-            Json::Bool(b) => write!(f, "{b}"),
-            Json::Num(x) if !x.is_finite() => f.write_str("null"),
-            // An integral f64 prints without the trailing ".0" Rust would
-            // add for Display-of-float — JSON readers expect `3`, not `3.0`,
-            // for counts.
-            Json::Num(x) if *x == x.trunc() && x.abs() < 9.0e15 => write!(f, "{}", *x as i64),
-            Json::Num(x) => write!(f, "{x}"),
-            Json::Str(s) => {
-                let mut out = String::new();
-                write_escaped(&mut out, s);
-                f.write_str(&out)
-            }
-            Json::Arr(items) => {
-                f.write_str("[")?;
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        f.write_str(",")?;
-                    }
-                    write!(f, "{item}")?;
-                }
-                f.write_str("]")
-            }
-            Json::Obj(pairs) => {
-                f.write_str("{")?;
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        f.write_str(",")?;
-                    }
-                    let mut key = String::new();
-                    write_escaped(&mut key, k);
-                    write!(f, "{key}:{v}")?;
-                }
-                f.write_str("}")
-            }
-        }
-    }
-}
-
-/// A parse failure: byte offset plus a static description.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JsonError {
-    /// Byte offset of the failure in the input.
-    pub pos: usize,
-    /// What went wrong.
-    pub message: &'static str,
-}
-
-impl fmt::Display for JsonError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.pos, self.message)
-    }
-}
-
-impl std::error::Error for JsonError {}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl Parser<'_> {
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn err(&self, message: &'static str) -> JsonError {
-        JsonError { pos: self.pos, message }
-    }
-
-    fn eat(&mut self, b: u8, message: &'static str) -> Result<(), JsonError> {
-        if self.bytes.get(self.pos) == Some(&b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(message))
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(self.err("invalid literal"))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, JsonError> {
-        match self.bytes.get(self.pos) {
-            None => Err(self.err("unexpected end of input")),
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'"') => self.string().map(Json::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            Some(_) => Err(self.err("unexpected character")),
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, JsonError> {
-        self.eat(b'[', "expected '['")?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.bytes.get(self.pos) {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected ',' or ']' in array")),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, JsonError> {
-        self.eat(b'{', "expected '{'")?;
-        let mut pairs = Vec::new();
-        self.skip_ws();
-        if self.bytes.get(self.pos) == Some(&b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(pairs));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.eat(b':', "expected ':' after object key")?;
-            self.skip_ws();
-            let value = self.value()?;
-            pairs.push((key, value));
-            self.skip_ws();
-            match self.bytes.get(self.pos) {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(pairs));
-                }
-                _ => return Err(self.err("expected ',' or '}' in object")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, JsonError> {
-        self.eat(b'"', "expected '\"'")?;
-        let mut out = String::new();
-        loop {
-            let start = self.pos;
-            // Fast path: run of plain bytes.
-            while let Some(&b) = self.bytes.get(self.pos) {
-                if b == b'"' || b == b'\\' || b < 0x20 {
-                    break;
-                }
-                self.pos += 1;
-            }
-            out.push_str(
-                std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|_| self.err("invalid UTF-8 in string"))?,
-            );
-            match self.bytes.get(self.pos) {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.bytes.get(self.pos) {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'u') => {
-                            self.pos += 1;
-                            let hi = self.hex4()?;
-                            let c = if (0xD800..0xDC00).contains(&hi) {
-                                // Surrogate pair: a second \uXXXX must follow.
-                                if self.bytes.get(self.pos) != Some(&b'\\')
-                                    || self.bytes.get(self.pos + 1) != Some(&b'u')
-                                {
-                                    return Err(self.err("unpaired surrogate"));
-                                }
-                                self.pos += 2;
-                                let lo = self.hex4()?;
-                                if !(0xDC00..0xE000).contains(&lo) {
-                                    return Err(self.err("invalid low surrogate"));
-                                }
-                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
-                                char::from_u32(code).ok_or_else(|| self.err("invalid code point"))?
-                            } else {
-                                char::from_u32(hi).ok_or_else(|| self.err("invalid code point"))?
-                            };
-                            out.push(c);
-                            continue; // hex4 already advanced past the digits
-                        }
-                        _ => return Err(self.err("invalid escape sequence")),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => return Err(self.err("unescaped control character in string")),
-            }
-        }
-    }
-
-    fn hex4(&mut self) -> Result<u32, JsonError> {
-        let mut value = 0u32;
-        for _ in 0..4 {
-            let digit = match self.bytes.get(self.pos) {
-                Some(&b @ b'0'..=b'9') => (b - b'0') as u32,
-                Some(&b @ b'a'..=b'f') => (b - b'a' + 10) as u32,
-                Some(&b @ b'A'..=b'F') => (b - b'A' + 10) as u32,
-                _ => return Err(self.err("expected four hex digits")),
-            };
-            value = value * 16 + digit;
-            self.pos += 1;
-        }
-        Ok(value)
-    }
-
-    fn number(&mut self) -> Result<Json, JsonError> {
-        let start = self.pos;
-        if self.bytes.get(self.pos) == Some(&b'-') {
-            self.pos += 1;
-        }
-        let digits = |p: &mut Self| {
-            let from = p.pos;
-            while matches!(p.bytes.get(p.pos), Some(b'0'..=b'9')) {
-                p.pos += 1;
-            }
-            p.pos > from
-        };
-        // RFC 8259 integer part: a single `0`, or a nonzero digit followed
-        // by digits — leading zeros are invalid JSON.
-        match self.bytes.get(self.pos) {
-            Some(b'0') => self.pos += 1,
-            Some(b'1'..=b'9') => {
-                digits(self);
-            }
-            _ => return Err(self.err("expected digits")),
-        }
-        if matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
-            return Err(self.err("leading zeros are not allowed"));
-        }
-        if self.bytes.get(self.pos) == Some(&b'.') {
-            self.pos += 1;
-            if !digits(self) {
-                return Err(self.err("expected digits after the decimal point"));
-            }
-        }
-        if matches!(self.bytes.get(self.pos), Some(b'e' | b'E')) {
-            self.pos += 1;
-            if matches!(self.bytes.get(self.pos), Some(b'+' | b'-')) {
-                self.pos += 1;
-            }
-            if !digits(self) {
-                return Err(self.err("expected digits in the exponent"));
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ASCII number bytes");
-        text.parse::<f64>().map(Json::Num).map_err(|_| self.err("number out of range"))
-    }
-}
-
-/// Types that render themselves as a JSON value.
-pub trait ToJson {
-    /// The JSON representation.
-    fn to_json(&self) -> Json;
-}
-
-impl ToJson for TrafficBreakdown {
-    fn to_json(&self) -> Json {
-        let mut o = Json::obj();
-        o.push("same_pu", self.same_pu)
-            .push("same_core", self.same_core)
-            .push("shared_cache", self.shared_cache)
-            .push("same_numa", self.same_numa)
-            .push("cross_numa", self.cross_numa)
-            .push("cross_node", self.cross_node)
-            .push("local_fraction", self.local_fraction());
-        o
-    }
-}
 
 impl ToJson for AdaptReport {
     fn to_json(&self) -> Json {
@@ -587,7 +73,8 @@ impl ToJson for Report {
             .push("breakdown", self.breakdown.to_json())
             .push("adapt", self.adapt.as_ref().map(ToJson::to_json))
             .push("thread", self.thread.as_ref().map(ToJson::to_json))
-            .push("fabric", self.fabric.as_ref().map(ToJson::to_json));
+            .push("fabric", self.fabric.as_ref().map(ToJson::to_json))
+            .push("obs", self.obs.as_ref().map(ToJson::to_json));
         o
     }
 }
@@ -595,96 +82,7 @@ impl ToJson for Report {
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn compact_rendering_is_ordered_and_escaped() {
-        let mut o = Json::obj();
-        o.push("b", 1.5).push("a", "x\"y\n\u{1}").push("arr", Json::Arr(vec![Json::Null, Json::Bool(true)]));
-        assert_eq!(o.to_string(), r#"{"b":1.5,"a":"x\"y\n\u0001","arr":[null,true]}"#);
-    }
-
-    #[test]
-    fn integral_floats_print_without_fraction() {
-        assert_eq!(Json::Num(3.0).to_string(), "3");
-        assert_eq!(Json::Num(-2.0).to_string(), "-2");
-        assert_eq!(Json::Num(0.25).to_string(), "0.25");
-        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
-        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
-        // Very large magnitudes stay in float form rather than lying about
-        // integer precision.
-        assert_eq!(Json::Num(1.0e16).to_string(), "10000000000000000");
-        let huge = Json::Num(1.23e300).to_string();
-        assert!(huge.parse::<f64>().unwrap() == 1.23e300);
-    }
-
-    #[test]
-    fn parse_round_trips_compact_output() {
-        let mut o = Json::obj();
-        o.push("name", "trace")
-            .push("values", Json::Arr(vec![Json::Num(1.0), Json::Num(2.5), Json::Num(-3.0e-2)]))
-            .push("nested", {
-                let mut n = Json::obj();
-                n.push("ok", true).push("none", Json::Null);
-                n
-            });
-        let text = o.to_string();
-        assert_eq!(Json::parse(&text).unwrap(), o);
-        // Pretty output parses back to the same tree.
-        assert_eq!(Json::parse(&o.pretty()).unwrap(), o);
-    }
-
-    #[test]
-    fn parse_accepts_escapes_and_unicode() {
-        let v = Json::parse(r#"{"s": "a\u00e9\n\t\"\\\u0041", "pair": "\ud83d\ude00"}"#).unwrap();
-        assert_eq!(v.get("s").unwrap().as_str().unwrap(), "aé\n\t\"\\A");
-        assert_eq!(v.get("pair").unwrap().as_str().unwrap(), "😀");
-    }
-
-    #[test]
-    fn parse_rejects_malformed_documents() {
-        for bad in [
-            "",
-            "{",
-            "[1,",
-            "tru",
-            "{\"a\" 1}",
-            "{\"a\":1,}",
-            "[1 2]",
-            "\"unterminated",
-            "1.2.3",
-            "01x",
-            "{}extra",
-            "\"\\ud800\"",
-        ] {
-            assert!(Json::parse(bad).is_err(), "accepted malformed input {bad:?}");
-        }
-        // Numbers must have digits where the grammar requires them.
-        assert!(Json::parse("-").is_err());
-        assert!(Json::parse("1.").is_err());
-        assert!(Json::parse("1e").is_err());
-        // RFC 8259: no leading zeros.
-        assert!(Json::parse("01").is_err());
-        assert!(Json::parse("[-012.5]").is_err());
-        assert!(Json::parse("{\"seed\": 042}").is_err());
-        // ...but a lone zero (and 0.x / 0e+x) is fine.
-        assert_eq!(Json::parse("0").unwrap(), Json::Num(0.0));
-        assert_eq!(Json::parse("-0.5").unwrap(), Json::Num(-0.5));
-        assert_eq!(Json::parse("0e+2").unwrap(), Json::Num(0.0));
-    }
-
-    #[test]
-    fn option_and_accessors_behave() {
-        let v: Json = Some(2usize).into();
-        assert_eq!(v, Json::Num(2.0));
-        let n: Json = Option::<bool>::None.into();
-        assert!(n.is_null());
-        let mut o = Json::obj();
-        o.push("k", 7u64);
-        assert_eq!(o.get("k").unwrap().as_f64().unwrap(), 7.0);
-        assert!(o.get("missing").is_none());
-        assert!(Json::Num(1.0).get("k").is_none());
-        assert_eq!(Json::Arr(vec![Json::Null]).as_arr().unwrap().len(), 1);
-    }
+    use orwl_comm::metrics::TrafficBreakdown;
 
     #[test]
     fn breakdown_and_adapt_reports_serialise_with_stable_keys() {

@@ -134,6 +134,7 @@ impl RebindPlan {
             // affinity, exactly like the unmappable case of Algorithm 1.
             if self.binder.bind_current_thread(&CpuSet::singleton(pu)).is_ok() {
                 self.rebinds_applied.fetch_add(1, Ordering::Relaxed);
+                orwl_obs::emit(orwl_obs::EventKind::Rebind { task: task.0, pu });
             }
         }
     }

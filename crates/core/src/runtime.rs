@@ -135,6 +135,9 @@ pub struct RuntimeConfig {
     pub binder: Arc<dyn Binder>,
     /// Online monitoring + adaptive re-placement, when enabled.
     pub adaptive: Option<AdaptiveSpec>,
+    /// Telemetry recorder the runtime stamps epoch boundaries into and
+    /// publishes its final counters to, when observation is enabled.
+    pub observer: Option<Arc<orwl_obs::Recorder>>,
 }
 
 impl RuntimeConfig {
@@ -144,7 +147,14 @@ impl RuntimeConfig {
     /// adaptation.  The `Session` builder is the public front door; this
     /// constructor serves code that drives [`OrwlRuntime`] directly.
     pub fn new(topology: Topology, policy: Policy) -> Self {
-        RuntimeConfig { topology, policy, control_threads: 1, binder: Arc::new(NoopBinder), adaptive: None }
+        RuntimeConfig {
+            topology,
+            policy,
+            control_threads: 1,
+            binder: Arc::new(NoopBinder),
+            adaptive: None,
+            observer: None,
+        }
     }
 
     /// Replaces the policy.
@@ -167,6 +177,13 @@ impl RuntimeConfig {
         self.binder = binder;
         self
     }
+
+    /// Attaches a telemetry recorder.
+    #[must_use]
+    pub fn with_observer(mut self, observer: Arc<orwl_obs::Recorder>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
 }
 
 impl std::fmt::Debug for RuntimeConfig {
@@ -177,6 +194,7 @@ impl std::fmt::Debug for RuntimeConfig {
             .field("control_threads", &self.control_threads)
             .field("binder", &self.binder.name())
             .field("adaptive", &self.adaptive.as_ref().map(|a| a.epoch))
+            .field("observer", &self.observer.is_some())
             .finish()
     }
 }
@@ -279,6 +297,7 @@ impl OrwlRuntime {
             let cv = Arc::clone(&monitor_cv);
             let epochs = Arc::clone(&epochs);
             let replacements = Arc::clone(&replacements);
+            let observer = self.config.observer.clone();
             monitor_thread = Some(
                 std::thread::Builder::new()
                     .name("orwl-adapt-monitor".to_string())
@@ -305,6 +324,9 @@ impl OrwlRuntime {
                             drop(guard);
                             epoch_no += 1;
                             epochs.store(epoch_no, std::sync::atomic::Ordering::Relaxed);
+                            if let Some(obs) = &observer {
+                                obs.record(orwl_obs::EventKind::Epoch { epoch: epoch_no, bytes: 0.0 });
+                            }
                             if let Some(placement) = controller.on_epoch(epoch_no) {
                                 replacements.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                                 plan_handle.publish(placement.compute);
@@ -415,7 +437,11 @@ impl OrwlRuntime {
         if let Some(e) = first_error {
             return Err(e);
         }
-        Ok(RunReport { wall_time: started.elapsed(), plan, per_task_time, stats: stats.snapshot(), adapt })
+        let snapshot = stats.snapshot();
+        if let Some(obs) = &self.config.observer {
+            snapshot.publish(obs.metrics());
+        }
+        Ok(RunReport { wall_time: started.elapsed(), plan, per_task_time, stats: snapshot, adapt })
     }
 }
 

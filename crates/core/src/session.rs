@@ -65,6 +65,7 @@ use crate::stats::StatsSnapshot;
 use crate::task::OrwlProgram;
 use orwl_comm::metrics::TrafficBreakdown;
 use orwl_numasim::workload::PhasedWorkload;
+use orwl_obs::{ClockKind, ObsConfig, Recorder, RunTelemetry};
 use orwl_topo::binding::Binder;
 use orwl_topo::topology::Topology;
 use orwl_treematch::policies::Policy;
@@ -276,6 +277,9 @@ pub struct Report {
     /// Cumulative inter-node vs intra-node traffic split; `None` on
     /// single-machine backends.
     pub fabric: Option<ClusterTraffic>,
+    /// Structured run telemetry (events + metrics); `None` unless the
+    /// session was built with [`SessionBuilder::observe`].
+    pub obs: Option<RunTelemetry>,
 }
 
 /// The validated, backend-independent settings of a [`Session`].
@@ -291,6 +295,9 @@ pub struct SessionConfig {
     pub binder: Arc<dyn Binder>,
     /// The run mode.
     pub mode: Mode,
+    /// Telemetry settings; `None` (the default) records nothing and keeps
+    /// the hot paths on their one-load disabled fast path.
+    pub observe: Option<ObsConfig>,
 }
 
 impl std::fmt::Debug for SessionConfig {
@@ -301,6 +308,7 @@ impl std::fmt::Debug for SessionConfig {
             .field("control_threads", &self.control_threads)
             .field("binder", &self.binder.name())
             .field("mode", &self.mode.name())
+            .field("observe", &self.observe.is_some())
             .finish()
     }
 }
@@ -374,6 +382,7 @@ pub struct SessionBuilder {
     binder: Option<Arc<dyn Binder>>,
     mode: Mode,
     backend: Option<Arc<dyn ExecutionBackend>>,
+    observe: Option<ObsConfig>,
 }
 
 impl Default for SessionBuilder {
@@ -385,6 +394,7 @@ impl Default for SessionBuilder {
             binder: None,
             mode: Mode::Static,
             backend: None,
+            observe: None,
         }
     }
 }
@@ -439,6 +449,14 @@ impl SessionBuilder {
         self
     }
 
+    /// Enables structured run telemetry: the backend records events and
+    /// metrics during the run and hangs the drained [`RunTelemetry`] off
+    /// [`Report::obs`].  Default: off (the zero-overhead path).
+    pub fn observe(mut self, config: ObsConfig) -> Self {
+        self.observe = Some(config);
+        self
+    }
+
     /// Validates the configuration into a [`Session`].
     pub fn build(self) -> Result<Session, ConfigError> {
         let topology = self.topology.ok_or(ConfigError::MissingTopology)?;
@@ -460,6 +478,7 @@ impl SessionBuilder {
                 control_threads: self.control_threads,
                 binder,
                 mode: self.mode,
+                observe: self.observe,
             },
             backend,
         })
@@ -501,14 +520,22 @@ impl ExecutionBackend for ThreadBackend {
                 .into());
             }
         };
+        // Observation: a wall-clock recorder, installed globally for the
+        // duration of the run so deep hooks (lock waits, rebinds, solve
+        // phases) reach it, and handed to the runtime for epoch stamping.
+        let recorder = config.observe.map(|cfg| Recorder::new(ClockKind::Wall, cfg));
+        let registration = recorder.as_ref().map(orwl_obs::install);
         let runtime = OrwlRuntime::new(RuntimeConfig {
             topology: config.topology.clone(),
             policy: config.policy,
             control_threads: config.control_threads,
             binder: Arc::clone(&config.binder),
             adaptive,
+            observer: recorder.clone(),
         });
-        let RunReport { wall_time, plan, per_task_time, stats, adapt } = runtime.run(program)?;
+        let run_result = runtime.run(program);
+        drop(registration);
+        let RunReport { wall_time, plan, per_task_time, stats, adapt } = run_result?;
         let breakdown = plan.breakdown(&config.topology);
         let hop_bytes = plan.hop_bytes(&config.topology);
         Ok(Report {
@@ -521,6 +548,7 @@ impl ExecutionBackend for ThreadBackend {
             adapt,
             thread: Some(ThreadDetails { per_task_time, stats }),
             fabric: None,
+            obs: recorder.map(|r| r.finish(self.name())),
         })
     }
 }

@@ -45,6 +45,16 @@ impl RuntimeStats {
         self.wait_nanos.fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    /// Merges a snapshot's counts into these counters (used when partial
+    /// runs or per-chunk stats blocks are folded into one run-wide block).
+    pub fn absorb(&self, snap: &StatsSnapshot) {
+        self.tasks_started.fetch_add(snap.tasks_started, Ordering::Relaxed);
+        self.tasks_finished.fetch_add(snap.tasks_finished, Ordering::Relaxed);
+        self.control_events.fetch_add(snap.control_events, Ordering::Relaxed);
+        self.lock_acquisitions.fetch_add(snap.lock_acquisitions, Ordering::Relaxed);
+        self.wait_nanos.fetch_add(snap.total_wait.as_nanos() as u64, Ordering::Relaxed);
+    }
+
     /// Takes an immutable snapshot of the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -70,6 +80,31 @@ pub struct StatsSnapshot {
     pub lock_acquisitions: u64,
     /// Total time tasks spent blocked waiting for locks.
     pub total_wait: Duration,
+}
+
+impl StatsSnapshot {
+    /// The element-wise sum of two snapshots.
+    #[must_use]
+    pub fn merged(&self, other: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            tasks_started: self.tasks_started + other.tasks_started,
+            tasks_finished: self.tasks_finished + other.tasks_finished,
+            control_events: self.control_events + other.control_events,
+            lock_acquisitions: self.lock_acquisitions + other.lock_acquisitions,
+            total_wait: self.total_wait + other.total_wait,
+        }
+    }
+
+    /// Publishes the counters into an observability metrics registry (the
+    /// registry generalises this block: same counts, plus histograms and
+    /// everything else the run recorded).
+    pub fn publish(&self, metrics: &orwl_obs::metrics::MetricsRegistry) {
+        metrics.counter("tasks_started").add(self.tasks_started);
+        metrics.counter("tasks_finished").add(self.tasks_finished);
+        metrics.counter("control_events").add(self.control_events);
+        metrics.counter("lock_acquisitions").add(self.lock_acquisitions);
+        metrics.counter("lock_wait_total_ns").add(self.total_wait.as_nanos() as u64);
+    }
 }
 
 #[cfg(test)]

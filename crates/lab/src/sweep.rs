@@ -27,6 +27,7 @@ use orwl_core::runtime::AdaptiveSpec;
 use orwl_core::session::{Mode, Report, Session, ThreadBackend};
 use orwl_numasim::costmodel::CostParams;
 use orwl_numasim::machine::SimMachine;
+use orwl_obs::{ObsConfig, RunTelemetry};
 use orwl_topo::binding::RecordingBinder;
 use orwl_topo::synthetic;
 use orwl_treematch::policies::Policy;
@@ -308,19 +309,26 @@ fn run_cell(
     spec: &ScenarioSpec,
     policy: Policy,
     mode: ModeKind,
+    observe: Option<ObsConfig>,
 ) -> Result<(Report, String), OrwlError> {
+    let observed = |b: orwl_core::session::SessionBuilder| match observe {
+        Some(cfg) => b.observe(cfg),
+        None => b,
+    };
     match *backend {
         BackendSpec::Threads => {
             let topology = synthetic::laptop();
             let name = topology.name().to_string();
-            let session = Session::builder()
-                .topology(topology)
-                .policy(policy)
-                .binder(Arc::new(RecordingBinder::new()))
-                .mode(mode.to_mode(config.epoch_iterations))
-                .backend(ThreadBackend)
-                .build()
-                .expect("static thread session configuration is valid");
+            let session = observed(
+                Session::builder()
+                    .topology(topology)
+                    .policy(policy)
+                    .binder(Arc::new(RecordingBinder::new()))
+                    .mode(mode.to_mode(config.epoch_iterations))
+                    .backend(ThreadBackend),
+            )
+            .build()
+            .expect("static thread session configuration is valid");
             Ok((session.run(spec.program(config.thread_iterations))?, name))
         }
         BackendSpec::NumaSim { sockets } => {
@@ -328,27 +336,31 @@ fn run_cell(
                 .expect("sweep grids use socket counts within the paper machine");
             let machine = SimMachine::new(topology, CostParams::cluster2016());
             let name = machine.topology().name().to_string();
-            let session = Session::builder()
-                .topology(machine.topology().clone())
-                .policy(policy)
-                .control_threads(0)
-                .mode(mode.to_mode(config.epoch_iterations))
-                .backend(SimBackend::new(machine).with_adapt_config(AdaptConfig::evaluation()))
-                .build()
-                .expect("simulator session configuration is valid");
+            let session = observed(
+                Session::builder()
+                    .topology(machine.topology().clone())
+                    .policy(policy)
+                    .control_threads(0)
+                    .mode(mode.to_mode(config.epoch_iterations))
+                    .backend(SimBackend::new(machine).with_adapt_config(AdaptConfig::evaluation())),
+            )
+            .build()
+            .expect("simulator session configuration is valid");
             Ok((session.run(spec.workload())?, name))
         }
         BackendSpec::Cluster { nodes, .. } => {
             let machine = ClusterMachine::paper(nodes);
             let name = machine.topology().name().to_string();
-            let session = Session::builder()
-                .topology(machine.topology().clone())
-                .policy(policy)
-                .control_threads(0)
-                .mode(mode.to_mode(config.epoch_iterations))
-                .backend(ClusterBackend::new(machine).with_adapt_config(AdaptConfig::evaluation()))
-                .build()
-                .expect("cluster session configuration is valid");
+            let session = observed(
+                Session::builder()
+                    .topology(machine.topology().clone())
+                    .policy(policy)
+                    .control_threads(0)
+                    .mode(mode.to_mode(config.epoch_iterations))
+                    .backend(ClusterBackend::new(machine).with_adapt_config(AdaptConfig::evaluation())),
+            )
+            .build()
+            .expect("cluster session configuration is valid");
             Ok((session.run(spec.workload())?, name))
         }
     }
@@ -438,16 +450,69 @@ pub fn run_sweep(config: &SweepConfig) -> Result<SweepResult, OrwlError> {
 /// is byte-for-byte identical whatever `threads` is (pinned by the
 /// `parallel_sweep` integration test and the CI `lab_smoke` `cmp`).
 pub fn run_sweep_with_threads(config: &SweepConfig, threads: usize) -> Result<SweepResult, OrwlError> {
+    Ok(sweep_impl(config, threads, None)?.0)
+}
+
+/// One observed cell of [`run_sweep_observed`]: the grid coordinates as a
+/// filesystem-safe label, plus the run's full telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservedCell {
+    /// `section__scenario__backend__mode__policy`, sanitised to
+    /// `[a-z0-9._-]` (safe as a file stem).
+    pub label: String,
+    /// The cell's `orwl-obs/v1` telemetry.
+    pub telemetry: RunTelemetry,
+}
+
+/// [`run_sweep`] with observation enabled on every cell.
+///
+/// Cells run **sequentially**: observation installs a process-global
+/// recorder (that is how the placement-solve spans emitted from inside
+/// TreeMatch reach the cell's timeline), so concurrent cells would bleed
+/// into each other's telemetry.  The rows are byte-identical to an
+/// unobserved sweep — observation is read-only — which the `obs_sweep`
+/// integration test pins.
+pub fn run_sweep_observed(
+    config: &SweepConfig,
+    obs: ObsConfig,
+) -> Result<(SweepResult, Vec<ObservedCell>), OrwlError> {
+    sweep_impl(config, 1, Some(obs))
+}
+
+/// Filesystem-safe cell label: grid coordinates joined with `__`.
+fn cell_label(config: &SweepConfig, cell: &PlannedCell) -> String {
+    let raw = format!(
+        "{}__{}__{}__{}__{}",
+        config.sections[cell.section].label,
+        cell.spec.name(),
+        cell.backend.backend_name(),
+        cell.mode.name(),
+        cell.policy.name()
+    );
+    raw.chars()
+        .map(|c| match c {
+            'a'..='z' | '0'..='9' | '.' | '_' | '-' => c,
+            'A'..='Z' => c.to_ascii_lowercase(),
+            _ => '-',
+        })
+        .collect()
+}
+
+fn sweep_impl(
+    config: &SweepConfig,
+    threads: usize,
+    observe: Option<ObsConfig>,
+) -> Result<(SweepResult, Vec<ObservedCell>), OrwlError> {
     let cells = plan_cells(config);
     let n = cells.len();
 
     // Execute every cell, results indexed by planned position.
     let mut results: Vec<Option<Result<(Report, String), OrwlError>>> = Vec::with_capacity(n);
     results.resize_with(n, || None);
-    let workers = threads.min(n);
+    let workers = if observe.is_some() { 1 } else { threads.min(n) };
     if workers <= 1 {
         for (slot, cell) in results.iter_mut().zip(&cells) {
-            *slot = Some(run_cell(config, &cell.backend, &cell.spec, cell.policy, cell.mode));
+            *slot = Some(run_cell(config, &cell.backend, &cell.spec, cell.policy, cell.mode, observe));
         }
     } else {
         let next = std::sync::atomic::AtomicUsize::new(0);
@@ -462,7 +527,7 @@ pub fn run_sweep_with_threads(config: &SweepConfig, threads: usize) -> Result<Sw
                         break;
                     }
                     let cell = &cells[i];
-                    let result = run_cell(config, &cell.backend, &cell.spec, cell.policy, cell.mode);
+                    let result = run_cell(config, &cell.backend, &cell.spec, cell.policy, cell.mode, None);
                     if tx.send((i, result)).is_err() {
                         break;
                     }
@@ -479,12 +544,17 @@ pub fn run_sweep_with_threads(config: &SweepConfig, threads: usize) -> Result<Sw
     // sweep's error (the earliest in grid order, independent of which
     // worker hit it first).
     let mut rows = Vec::with_capacity(n);
+    let mut observed = Vec::new();
     let mut group_start = 0;
     let mut scatter_hop = None;
     let mut treematch_hop = None;
     let ratio = |hop: f64, base: Option<f64>| base.and_then(|b| if b > 0.0 { Some(hop / b) } else { None });
     for (i, cell) in cells.iter().enumerate() {
-        let (report, topology) = results[i].take().expect("every planned cell was executed exactly once")?;
+        let (mut report, topology) =
+            results[i].take().expect("every planned cell was executed exactly once")?;
+        if let Some(telemetry) = report.obs.take() {
+            observed.push(ObservedCell { label: cell_label(config, cell), telemetry });
+        }
         if cell.policy == Policy::Scatter {
             scatter_hop = Some(report.hop_bytes);
         }
@@ -533,7 +603,7 @@ pub fn run_sweep_with_threads(config: &SweepConfig, threads: usize) -> Result<Sw
             treematch_hop = None;
         }
     }
-    Ok(SweepResult { seed: config.seed, rows })
+    Ok((SweepResult { seed: config.seed, rows }, observed))
 }
 
 #[cfg(test)]

@@ -242,6 +242,50 @@ pub fn capture_trace(
     recorder.finish(format!("sim:{}:{}", machine.topology().name(), policy.name()))
 }
 
+/// Captures a trace from a *static* monitored run on the multi-node
+/// cluster simulator — [`capture_trace`]'s sibling for
+/// [`ClusterMachine`](orwl_cluster::ClusterMachine): the two-level (or
+/// flattened, for flat policies) placement is computed once from the first
+/// phase, exactly like `ClusterBackend` in static mode, and the recorder
+/// rolls an epoch every `epoch_iterations` iterations.
+///
+/// The returned trace replays through the same machine and policy to the
+/// originating run's hop-bytes (pinned within 1% by the
+/// `cluster_trace_replay` integration test).
+#[must_use]
+pub fn capture_cluster_trace(
+    machine: &orwl_cluster::ClusterMachine,
+    policy: Policy,
+    workload: &PhasedWorkload,
+    epoch_iterations: usize,
+) -> Trace {
+    let n = workload.n_tasks();
+    let matrix = workload.phases[0].graph.comm_matrix().symmetrized();
+    let mapping: Vec<usize> = match policy {
+        Policy::Hierarchical => {
+            orwl_cluster::placement::hierarchical_placement(machine, &matrix).global_mapping(machine)
+        }
+        policy => {
+            let flat = machine.topology();
+            let placement = compute_placement(policy, flat, &matrix, 0);
+            let pus = flat.pu_os_indices();
+            placement.compute_mapping_with(|t| pus[t % pus.len()])
+        }
+    };
+
+    let mut recorder = TraceRecorder::new(n);
+    for phase in &workload.phases {
+        let mut done = 0;
+        while done < phase.iterations {
+            let chunk = epoch_iterations.max(1).min(phase.iterations - done);
+            orwl_cluster::exec::simulate_cluster(machine, &phase.graph, &mapping, chunk, &mut recorder);
+            recorder.roll_epoch();
+            done += chunk;
+        }
+    }
+    recorder.finish(format!("cluster:{}:{}", machine.topology().name(), policy.name()))
+}
+
 /// An [`AccessSink`] that records the thread runtime's lock grants into
 /// trace epochs, attributing traffic with the ORWL data-flow rule: a grant
 /// of a location to task *t* moves that location's bytes from its **last

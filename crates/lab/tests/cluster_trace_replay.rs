@@ -1,0 +1,86 @@
+//! Acceptance pin: a trace captured from the *cluster* executor replayed
+//! through `ClusterBackend` reproduces the originating run's hop-bytes
+//! within 1% — the multi-node sibling of `trace_replay.rs`.
+//!
+//! `simulate_cluster` reports every halo transfer through the same
+//! `SimMonitor` hooks as the single-node executor, so the lab recorder
+//! captures fabric-crossing traffic exactly like local traffic; the replay
+//! runs through the ordinary `Session` front door on the same machine.
+
+use orwl_cluster::{ClusterBackend, ClusterMachine};
+use orwl_core::session::{Mode, Session};
+use orwl_lab::scenario::{ScenarioFamily, ScenarioSpec};
+use orwl_lab::trace::capture_cluster_trace;
+use orwl_treematch::policies::Policy;
+
+fn machine() -> ClusterMachine {
+    ClusterMachine::paper(4)
+}
+
+fn static_session(policy: Policy) -> Session {
+    Session::builder()
+        .topology(machine().topology().clone())
+        .policy(policy)
+        .control_threads(0)
+        .mode(Mode::Static)
+        .backend(ClusterBackend::new(machine()))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn cluster_replay_reproduces_hop_bytes_within_one_percent() {
+    for family in [ScenarioFamily::RotatedStencil, ScenarioFamily::Hotspot, ScenarioFamily::PowerLaw] {
+        let spec = ScenarioSpec::new(family, 16, 42);
+        let workload = spec.workload();
+
+        let original = static_session(Policy::Hierarchical).run(workload.clone()).unwrap();
+
+        let trace = capture_cluster_trace(&machine(), Policy::Hierarchical, &workload, 4);
+        assert!(trace.source.starts_with("cluster:"), "provenance label: {}", trace.source);
+        let replay = static_session(Policy::Hierarchical).run(trace.to_workload()).unwrap();
+
+        let relative = (replay.hop_bytes - original.hop_bytes).abs() / original.hop_bytes;
+        assert!(
+            relative < 0.01,
+            "{family:?}: replay hop-bytes {} vs original {} ({:.3}% off)",
+            replay.hop_bytes,
+            original.hop_bytes,
+            100.0 * relative
+        );
+
+        // The fabric split survives the round trip too: captured traffic
+        // re-crosses the same machine boundary when replayed.
+        let (of, rf) = (original.fabric.unwrap(), replay.fabric.unwrap());
+        let fabric_relative = if of.inter_node_hop_bytes > 0.0 {
+            (rf.inter_node_hop_bytes - of.inter_node_hop_bytes).abs() / of.inter_node_hop_bytes
+        } else {
+            rf.inter_node_hop_bytes
+        };
+        assert!(
+            fabric_relative < 0.01,
+            "{family:?}: replay fabric hop-bytes {} vs original {} ({:.3}% off)",
+            rf.inter_node_hop_bytes,
+            of.inter_node_hop_bytes,
+            100.0 * fabric_relative
+        );
+    }
+}
+
+#[test]
+fn cluster_capture_round_trips_through_json_and_flat_policies() {
+    let spec = ScenarioSpec::new(ScenarioFamily::DriftMix, 16, 5);
+    let trace = capture_cluster_trace(&machine(), Policy::Packed, &spec.workload(), 5);
+    assert_eq!(trace.n_tasks, 16);
+    assert_eq!(trace.total_iterations(), spec.total_iterations());
+    assert!(trace.total_bytes() > 0.0);
+
+    let text = trace.to_json().pretty();
+    let reloaded = orwl_lab::trace::Trace::from_json(&orwl_core::json::Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(reloaded, trace);
+
+    let a = static_session(Policy::Packed).run(trace.to_workload()).unwrap();
+    let b = static_session(Policy::Packed).run(reloaded.to_workload()).unwrap();
+    assert_eq!(a.hop_bytes, b.hop_bytes);
+    assert_eq!(a.time.seconds(), b.time.seconds());
+}

@@ -1,0 +1,231 @@
+//! The event model: what a run's flight recorder can say.
+//!
+//! Every [`ObsEvent`] carries a timestamp on the owning recorder's clock
+//! (monotonic wall time on thread backends, simulated seconds on the
+//! simulators — see [`ClockKind`]), a recorder-wide sequence number that
+//! makes the drained timeline totally ordered even when timestamps tie
+//! (simulated events of one epoch all share the epoch's clock value), the
+//! logical thread id of the emitting thread, and a typed [`EventKind`]
+//! payload.
+
+/// The clock a recorder stamps events with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockKind {
+    /// Monotonic wall time since the recorder was created (thread and
+    /// cluster-control backends).
+    Wall,
+    /// The simulator's virtual clock, advanced by the backend as simulated
+    /// seconds accumulate.
+    Simulated,
+}
+
+impl ClockKind {
+    /// Stable artifact name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClockKind::Wall => "wall",
+            ClockKind::Simulated => "simulated",
+        }
+    }
+}
+
+/// Phase of a placement solve (the TreeMatch pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolvePhase {
+    /// `GroupProcesses` across all tree levels (includes the swap
+    /// refinement it runs internally).
+    Group,
+    /// `AggregateComMatrix` across all tree levels (the coarsening step).
+    Coarsen,
+    /// The Kernighan–Lin-style swap refinement inside the grouping.
+    Refine,
+    /// The whole placement computation, whatever the policy.
+    Total,
+}
+
+impl SolvePhase {
+    /// Stable artifact name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            SolvePhase::Group => "group",
+            SolvePhase::Coarsen => "coarsen",
+            SolvePhase::Refine => "refine",
+            SolvePhase::Total => "total",
+        }
+    }
+}
+
+/// What the drift detector decided at an epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftOutcome {
+    /// Drift exceeded the patience threshold: a re-placement was requested.
+    Fired,
+    /// Over threshold, but the patience counter has not filled yet.
+    SuppressedByPatience,
+    /// A recent migration's cooldown swallowed the observation.
+    Cooldown,
+    /// Under threshold: nothing to do.
+    Quiet,
+}
+
+impl DriftOutcome {
+    /// Stable artifact name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            DriftOutcome::Fired => "fired",
+            DriftOutcome::SuppressedByPatience => "suppressed_by_patience",
+            DriftOutcome::Cooldown => "cooldown",
+            DriftOutcome::Quiet => "quiet",
+        }
+    }
+}
+
+/// Locality class of fabric traffic, mirroring the cluster topology's
+/// `FabricClass` without depending on it (this crate is a leaf).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricLane {
+    /// Both endpoints on one machine (NUMA links only).
+    SameNode,
+    /// Different machines, one rack.
+    SameRack,
+    /// Different racks.
+    CrossRack,
+}
+
+impl FabricLane {
+    /// Stable artifact name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            FabricLane::SameNode => "same_node",
+            FabricLane::SameRack => "same_rack",
+            FabricLane::CrossRack => "cross_rack",
+        }
+    }
+
+    /// Metric-name suffix (`fabric_bytes_<lane>`).
+    #[must_use]
+    pub(crate) fn metric(&self) -> &'static str {
+        match self {
+            FabricLane::SameNode => "fabric_bytes_same_node",
+            FabricLane::SameRack => "fabric_bytes_same_rack",
+            FabricLane::CrossRack => "fabric_bytes_cross_rack",
+        }
+    }
+}
+
+/// A typed event payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A monitoring epoch boundary (epochs count from 1).
+    Epoch {
+        /// The epoch that just closed.
+        epoch: u64,
+        /// Bytes the monitor observed during the epoch (0 when the backend
+        /// does not tally them).
+        bytes: f64,
+    },
+    /// One phase of a placement or re-placement solve.  `wall_ns` is
+    /// always wall time, even on simulated clocks — the solve runs on the
+    /// host, not in the simulation.
+    PlacementSolve {
+        /// Which phase of the pipeline.
+        phase: SolvePhase,
+        /// Host wall-clock nanoseconds spent.
+        wall_ns: u64,
+    },
+    /// A drift-detector decision at an epoch boundary.
+    DriftDecision {
+        /// What the detector decided.
+        outcome: DriftOutcome,
+        /// The normalised structural drift it measured.
+        delta: f64,
+    },
+    /// A lock grant whose wait exceeded the configured threshold.
+    LockWait {
+        /// The location id waited on.
+        location: u64,
+        /// Nanoseconds spent blocked in the FIFO.
+        wait_ns: u64,
+    },
+    /// Aggregated fabric traffic of one monitoring chunk.
+    FabricTransfer {
+        /// Locality class of the traffic.
+        lane: FabricLane,
+        /// Bytes moved in the chunk.
+        bytes: f64,
+    },
+    /// A task thread re-bound to a new PU after a published re-placement.
+    Rebind {
+        /// The task that moved.
+        task: usize,
+        /// The PU it is now bound to.
+        pu: usize,
+    },
+    /// An accepted migration (re-placement that was actually paid for).
+    Migration {
+        /// Tasks whose binding changed.
+        tasks_moved: usize,
+        /// State bytes billed for the move.
+        bytes: f64,
+        /// Whether any task changed machines (cluster backend only).
+        cross_node: bool,
+    },
+}
+
+impl EventKind {
+    /// Stable artifact name of the event kind.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Epoch { .. } => "epoch",
+            EventKind::PlacementSolve { .. } => "placement_solve",
+            EventKind::DriftDecision { .. } => "drift_decision",
+            EventKind::LockWait { .. } => "lock_wait",
+            EventKind::FabricTransfer { .. } => "fabric_transfer",
+            EventKind::Rebind { .. } => "rebind",
+            EventKind::Migration { .. } => "migration",
+        }
+    }
+}
+
+/// One recorded event: a stamped [`EventKind`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObsEvent {
+    /// Timestamp in microseconds on the recorder's clock.
+    pub ts_us: f64,
+    /// Span duration in microseconds (0 for instant events; placement
+    /// solves report their wall duration here).
+    pub dur_us: f64,
+    /// Recorder-wide sequence number: drained timelines sort by
+    /// `(ts_us, seq)`, so simultaneous simulated events keep their
+    /// emission order.
+    pub seq: u64,
+    /// Logical thread id within the recorder (assigned in first-emission
+    /// order).
+    pub tid: u64,
+    /// The payload.
+    pub kind: EventKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ClockKind::Wall.name(), "wall");
+        assert_eq!(ClockKind::Simulated.name(), "simulated");
+        assert_eq!(SolvePhase::Coarsen.name(), "coarsen");
+        assert_eq!(DriftOutcome::SuppressedByPatience.name(), "suppressed_by_patience");
+        assert_eq!(FabricLane::CrossRack.name(), "cross_rack");
+        assert_eq!(EventKind::Epoch { epoch: 1, bytes: 0.0 }.name(), "epoch");
+        assert_eq!(
+            EventKind::Migration { tasks_moved: 2, bytes: 1.0, cross_node: false }.name(),
+            "migration"
+        );
+    }
+}

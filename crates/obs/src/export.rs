@@ -1,0 +1,314 @@
+//! Exporters: the versioned `orwl-obs/v1` artifact and a Chrome
+//! trace-event timeline (loadable in Perfetto / `chrome://tracing`), plus
+//! the schema validators the lab's smoke jobs run against both.
+
+use crate::event::{EventKind, ObsEvent};
+use crate::json::{Json, ToJson};
+use crate::metrics::MetricsSnapshot;
+use crate::RunTelemetry;
+
+/// Schema tag of the telemetry artifact.
+pub const OBS_SCHEMA: &str = "orwl-obs/v1";
+
+fn event_to_json(ev: &ObsEvent) -> Json {
+    let mut j = Json::obj();
+    j.push("ts_us", ev.ts_us)
+        .push("dur_us", ev.dur_us)
+        .push("seq", ev.seq)
+        .push("tid", ev.tid)
+        .push("kind", ev.kind.name());
+    match ev.kind {
+        EventKind::Epoch { epoch, bytes } => {
+            j.push("epoch", epoch).push("bytes", bytes);
+        }
+        EventKind::PlacementSolve { phase, wall_ns } => {
+            j.push("phase", phase.name()).push("wall_ns", wall_ns);
+        }
+        EventKind::DriftDecision { outcome, delta } => {
+            j.push("outcome", outcome.name()).push("delta", delta);
+        }
+        EventKind::LockWait { location, wait_ns } => {
+            j.push("location", location).push("wait_ns", wait_ns);
+        }
+        EventKind::FabricTransfer { lane, bytes } => {
+            j.push("lane", lane.name()).push("bytes", bytes);
+        }
+        EventKind::Rebind { task, pu } => {
+            j.push("task", task).push("pu", pu);
+        }
+        EventKind::Migration { tasks_moved, bytes, cross_node } => {
+            j.push("tasks_moved", tasks_moved).push("bytes", bytes).push("cross_node", cross_node);
+        }
+    }
+    j
+}
+
+fn metrics_to_json(m: &MetricsSnapshot) -> Json {
+    let mut counters = Json::obj();
+    for (name, value) in &m.counters {
+        counters.push(name, *value);
+    }
+    let mut gauges = Json::obj();
+    for (name, value) in &m.gauges {
+        gauges.push(name, *value);
+    }
+    let mut histograms = Json::obj();
+    for (name, h) in &m.histograms {
+        let mut hj = Json::obj();
+        hj.push("count", h.count).push("sum", h.sum).push(
+            "buckets",
+            Json::Arr(
+                h.buckets
+                    .iter()
+                    .map(|&(log2, n)| Json::Arr(vec![Json::from(log2 as usize), Json::from(n)]))
+                    .collect(),
+            ),
+        );
+        histograms.push(name, hj);
+    }
+    let mut j = Json::obj();
+    j.push("counters", counters).push("gauges", gauges).push("histograms", histograms);
+    j
+}
+
+impl ToJson for RunTelemetry {
+    /// The `orwl-obs/v1` artifact: run identity, the full event timeline,
+    /// and the final metric values.
+    fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.push("schema", OBS_SCHEMA)
+            .push("backend", self.backend.as_str())
+            .push("clock", self.clock.name())
+            .push("dropped", self.dropped)
+            .push("events", Json::Arr(self.events.iter().map(event_to_json).collect()))
+            .push("metrics", metrics_to_json(&self.metrics));
+        j
+    }
+}
+
+impl RunTelemetry {
+    /// The timeline as a Chrome trace-event document (the JSON object
+    /// format with a `traceEvents` array), loadable in Perfetto or
+    /// `chrome://tracing`.
+    ///
+    /// Placement solves become complete (`"X"`) spans with real durations;
+    /// everything else is a thread-scoped instant (`"i"`).  Timestamps are
+    /// microseconds on the run's clock, so simulated runs render simulated
+    /// time.
+    #[must_use]
+    pub fn chrome_trace(&self) -> Json {
+        let events: Vec<Json> = self
+            .events
+            .iter()
+            .map(|ev| {
+                let label = match ev.kind {
+                    EventKind::Epoch { epoch, .. } => format!("epoch {epoch}"),
+                    EventKind::PlacementSolve { phase, .. } => {
+                        format!("solve:{}", phase.name())
+                    }
+                    EventKind::DriftDecision { outcome, .. } => {
+                        format!("drift:{}", outcome.name())
+                    }
+                    EventKind::LockWait { location, .. } => format!("lock-wait L{location}"),
+                    EventKind::FabricTransfer { lane, .. } => {
+                        format!("fabric:{}", lane.name())
+                    }
+                    EventKind::Rebind { task, .. } => format!("rebind T{task}"),
+                    EventKind::Migration { .. } => "migration".to_string(),
+                };
+                let complete = matches!(ev.kind, EventKind::PlacementSolve { .. });
+                let mut j = Json::obj();
+                j.push("name", label.as_str())
+                    .push("cat", ev.kind.name())
+                    .push("ph", if complete { "X" } else { "i" })
+                    .push("ts", ev.ts_us)
+                    .push("pid", 1usize)
+                    .push("tid", ev.tid);
+                if complete {
+                    j.push("dur", ev.dur_us);
+                } else {
+                    j.push("s", "t");
+                }
+                j.push("args", event_to_json(ev));
+                j
+            })
+            .collect();
+        let mut doc = Json::obj();
+        doc.push("traceEvents", Json::Arr(events)).push("displayTimeUnit", "ms").push("otherData", {
+            let mut meta = Json::obj();
+            meta.push("backend", self.backend.as_str()).push("clock", self.clock.name());
+            meta
+        });
+        doc
+    }
+}
+
+fn require_num(obj: &Json, key: &str, at: &str) -> Result<(), String> {
+    match obj.get(key) {
+        Some(v) if v.as_f64().is_some() => Ok(()),
+        Some(_) => Err(format!("{at}: field {key:?} is not a number")),
+        None => Err(format!("{at}: missing field {key:?}")),
+    }
+}
+
+fn require_str(obj: &Json, key: &str, at: &str) -> Result<(), String> {
+    match obj.get(key) {
+        Some(v) if v.as_str().is_some() => Ok(()),
+        Some(_) => Err(format!("{at}: field {key:?} is not a string")),
+        None => Err(format!("{at}: missing field {key:?}")),
+    }
+}
+
+/// Validates an `orwl-obs/v1` document: schema tag, clock name, the
+/// per-kind required fields of every event, and the metrics shape.
+pub fn validate_obs(doc: &Json) -> Result<(), String> {
+    match doc.get("schema").and_then(Json::as_str) {
+        Some(OBS_SCHEMA) => {}
+        Some(other) => return Err(format!("unexpected schema {other:?}")),
+        None => return Err("missing schema tag".to_string()),
+    }
+    require_str(doc, "backend", "document")?;
+    match doc.get("clock").and_then(Json::as_str) {
+        Some("wall" | "simulated") => {}
+        Some(other) => return Err(format!("unknown clock {other:?}")),
+        None => return Err("missing clock".to_string()),
+    }
+    require_num(doc, "dropped", "document")?;
+    let events =
+        doc.get("events").and_then(Json::as_arr).ok_or_else(|| "missing events array".to_string())?;
+    for (i, ev) in events.iter().enumerate() {
+        let at = format!("events[{i}]");
+        for key in ["ts_us", "dur_us", "seq", "tid"] {
+            require_num(ev, key, &at)?;
+        }
+        let kind = ev.get("kind").and_then(Json::as_str).ok_or_else(|| format!("{at}: missing kind"))?;
+        let required: &[&str] = match kind {
+            "epoch" => &["epoch", "bytes"],
+            "placement_solve" => &["phase", "wall_ns"],
+            "drift_decision" => &["outcome", "delta"],
+            "lock_wait" => &["location", "wait_ns"],
+            "fabric_transfer" => &["lane", "bytes"],
+            "rebind" => &["task", "pu"],
+            "migration" => &["tasks_moved", "bytes", "cross_node"],
+            other => return Err(format!("{at}: unknown kind {other:?}")),
+        };
+        for key in required {
+            if ev.get(key).is_none() {
+                return Err(format!("{at}: kind {kind:?} missing field {key:?}"));
+            }
+        }
+    }
+    let metrics = doc.get("metrics").ok_or_else(|| "missing metrics object".to_string())?;
+    for table in ["counters", "gauges", "histograms"] {
+        if !matches!(metrics.get(table), Some(Json::Obj(_))) {
+            return Err(format!("metrics.{table} missing or not an object"));
+        }
+    }
+    if let Some(Json::Obj(pairs)) = metrics.get("histograms") {
+        for (name, h) in pairs {
+            let at = format!("metrics.histograms.{name}");
+            require_num(h, "count", &at)?;
+            require_num(h, "sum", &at)?;
+            if h.get("buckets").and_then(Json::as_arr).is_none() {
+                return Err(format!("{at}: missing buckets array"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates a Chrome trace-event document: a `traceEvents` array whose
+/// entries carry `name`/`ph`/`ts`/`pid`/`tid`, with durations on complete
+/// (`"X"`) events.
+pub fn validate_chrome_trace(doc: &Json) -> Result<(), String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| "missing traceEvents array".to_string())?;
+    for (i, ev) in events.iter().enumerate() {
+        let at = format!("traceEvents[{i}]");
+        require_str(ev, "name", &at)?;
+        require_num(ev, "ts", &at)?;
+        require_num(ev, "pid", &at)?;
+        require_num(ev, "tid", &at)?;
+        match ev.get("ph").and_then(Json::as_str) {
+            Some("X") => require_num(ev, "dur", &at)?,
+            Some("i") => {}
+            Some(other) => return Err(format!("{at}: unknown phase {other:?}")),
+            None => return Err(format!("{at}: missing ph")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ClockKind, DriftOutcome, FabricLane, SolvePhase};
+    use crate::{ObsConfig, Recorder};
+
+    fn sample_telemetry() -> RunTelemetry {
+        let rec = Recorder::new(ClockKind::Simulated, ObsConfig::default());
+        rec.set_sim_now(0.5);
+        rec.record(EventKind::Epoch { epoch: 1, bytes: 4096.0 });
+        rec.record(EventKind::PlacementSolve { phase: SolvePhase::Total, wall_ns: 1_500_000 });
+        rec.record(EventKind::DriftDecision { outcome: DriftOutcome::Fired, delta: 0.4 });
+        rec.record(EventKind::FabricTransfer { lane: FabricLane::CrossRack, bytes: 2048.0 });
+        rec.record(EventKind::Migration { tasks_moved: 3, bytes: 96.0, cross_node: true });
+        rec.record_lock_wait(11, 50_000);
+        rec.record(EventKind::Rebind { task: 2, pu: 5 });
+        rec.finish("sim-test")
+    }
+
+    #[test]
+    fn obs_artifact_round_trips_and_validates() {
+        let t = sample_telemetry();
+        let doc = t.to_json();
+        validate_obs(&doc).unwrap();
+        let reparsed = Json::parse(&doc.pretty()).unwrap();
+        assert_eq!(reparsed, doc);
+        validate_obs(&reparsed).unwrap();
+        assert_eq!(reparsed.get("schema").unwrap().as_str(), Some(OBS_SCHEMA));
+        assert_eq!(reparsed.get("events").unwrap().as_arr().unwrap().len(), t.events.len());
+        let counters = reparsed.get("metrics").unwrap().get("counters").unwrap();
+        assert_eq!(counters.get("epochs").unwrap().as_f64(), Some(1.0));
+        assert_eq!(counters.get("migrations").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn chrome_trace_validates_and_spans_solves() {
+        let t = sample_telemetry();
+        let doc = t.chrome_trace();
+        validate_chrome_trace(&doc).unwrap();
+        let reparsed = Json::parse(&doc.to_string()).unwrap();
+        validate_chrome_trace(&reparsed).unwrap();
+        let events = reparsed.get("traceEvents").unwrap().as_arr().unwrap();
+        assert_eq!(events.len(), t.events.len());
+        let solve =
+            events.iter().find(|e| e.get("cat").unwrap().as_str() == Some("placement_solve")).unwrap();
+        assert_eq!(solve.get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(solve.get("dur").unwrap().as_f64(), Some(1500.0));
+        let instant =
+            events.iter().find(|e| e.get("cat").unwrap().as_str() == Some("drift_decision")).unwrap();
+        assert_eq!(instant.get("ph").unwrap().as_str(), Some("i"));
+        assert_eq!(instant.get("s").unwrap().as_str(), Some("t"));
+    }
+
+    #[test]
+    fn validators_reject_malformed_documents() {
+        let mut doc = Json::obj();
+        doc.push("schema", "orwl-obs/v0");
+        assert!(validate_obs(&doc).unwrap_err().contains("unexpected schema"));
+
+        let t = sample_telemetry();
+        let mut good = t.to_json();
+        if let Json::Obj(pairs) = &mut good {
+            pairs.retain(|(k, _)| k != "metrics");
+        }
+        assert!(validate_obs(&good).unwrap_err().contains("metrics"));
+
+        let mut trace = Json::obj();
+        trace.push("traceEvents", Json::Arr(vec![Json::obj()]));
+        assert!(validate_chrome_trace(&trace).is_err());
+    }
+}

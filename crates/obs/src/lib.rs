@@ -1,0 +1,490 @@
+//! `orwl-obs` — structured run telemetry for every backend.
+//!
+//! A [`Recorder`] is a per-run flight recorder: typed events
+//! ([`EventKind`]) land in per-thread ring buffers, metrics
+//! ([`metrics::MetricsRegistry`]) aggregate counters/gauges/histograms,
+//! and [`Recorder::finish`] drains everything into a [`RunTelemetry`] that
+//! exports as a versioned `orwl-obs/v1` JSON artifact or a Chrome
+//! trace-event timeline (see [`export`]).
+//!
+//! Recording is **default-off** and the disabled fast path is one relaxed
+//! atomic load: deep hot paths (lock grants, rebinds, solve phases) call
+//! [`enabled`] — a mirror of `orwl_core::monitor`'s `ACTIVE_SINKS` gate —
+//! and return immediately when no recorder is installed.  Backends that
+//! hold their own `Arc<Recorder>` record through it directly; library code
+//! with no handle emits through the process-global registry
+//! ([`install`]/[`emit`]), exactly like the monitor's sink registry.
+//!
+//! Clocks: a recorder is created with a [`ClockKind`].  Thread backends
+//! stamp monotonic wall time; simulator backends advance the virtual clock
+//! with [`Recorder::set_sim_now`] as simulated seconds accumulate, so one
+//! timeline viewer works for all execution paths.
+
+pub mod event;
+pub mod export;
+pub mod json;
+pub mod metrics;
+
+pub use event::{ClockKind, DriftOutcome, EventKind, FabricLane, ObsEvent, SolvePhase};
+pub use json::{Json, JsonError, ToJson};
+
+use metrics::{MetricsRegistry, MetricsSnapshot};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+/// Tuning of a [`Recorder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Capacity of each per-thread event ring; the oldest events are
+    /// overwritten (and counted as dropped) once a thread exceeds it.
+    pub ring_capacity: usize,
+    /// Lock waits at least this long (in nanoseconds) become events; all
+    /// waits land in the `lock_wait_ns` histogram regardless.
+    pub lock_wait_threshold_ns: u64,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig { ring_capacity: 1 << 16, lock_wait_threshold_ns: 10_000 }
+    }
+}
+
+/// One thread's event ring: overwrite-oldest with a drop counter.
+#[derive(Debug)]
+struct Ring {
+    tid: u64,
+    state: Mutex<RingState>,
+}
+
+#[derive(Debug, Default)]
+struct RingState {
+    buf: Vec<ObsEvent>,
+    /// Overwrite cursor once `buf` is at capacity.
+    next: usize,
+    dropped: u64,
+}
+
+impl Ring {
+    fn record(&self, capacity: usize, ev: ObsEvent) {
+        let mut s = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if s.buf.len() < capacity.max(1) {
+            s.buf.push(ev);
+        } else {
+            let at = s.next;
+            s.buf[at] = ev;
+            s.next = (s.next + 1) % capacity.max(1);
+            s.dropped += 1;
+        }
+    }
+
+    fn drain(&self) -> (Vec<ObsEvent>, u64) {
+        let mut s = self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        s.next = 0;
+        let dropped = std::mem::take(&mut s.dropped);
+        (std::mem::take(&mut s.buf), dropped)
+    }
+}
+
+static NEXT_RECORDER_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A per-run flight recorder; create with [`Recorder::new`], drain with
+/// [`Recorder::finish`].
+#[derive(Debug)]
+pub struct Recorder {
+    id: u64,
+    clock: ClockKind,
+    config: ObsConfig,
+    origin: Instant,
+    /// Simulated "now" in microseconds, as `f64` bits.
+    sim_now_us: AtomicU64,
+    seq: AtomicU64,
+    next_tid: AtomicU64,
+    rings: Mutex<Vec<Arc<Ring>>>,
+    metrics: MetricsRegistry,
+}
+
+thread_local! {
+    /// Per-thread cache of `(recorder id, ring)` so steady-state recording
+    /// touches no recorder-wide lock.
+    static TL_RINGS: RefCell<Vec<(u64, Arc<Ring>)>> = const { RefCell::new(Vec::new()) };
+}
+
+impl Recorder {
+    /// A fresh recorder on the given clock.
+    #[must_use]
+    pub fn new(clock: ClockKind, config: ObsConfig) -> Arc<Recorder> {
+        Arc::new(Recorder {
+            id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+            clock,
+            config,
+            origin: Instant::now(),
+            sim_now_us: AtomicU64::new(0f64.to_bits()),
+            seq: AtomicU64::new(0),
+            next_tid: AtomicU64::new(0),
+            rings: Mutex::new(Vec::new()),
+            metrics: MetricsRegistry::new(),
+        })
+    }
+
+    /// The clock events are stamped with.
+    #[must_use]
+    pub fn clock(&self) -> ClockKind {
+        self.clock
+    }
+
+    /// The recorder's tuning.
+    #[must_use]
+    pub fn config(&self) -> &ObsConfig {
+        &self.config
+    }
+
+    /// The metrics registry of this run.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Advances the simulated clock (no-op on wall recorders).
+    pub fn set_sim_now(&self, seconds: f64) {
+        self.sim_now_us.store((seconds * 1.0e6).to_bits(), Ordering::Relaxed);
+    }
+
+    /// "Now" in microseconds on this recorder's clock.
+    #[must_use]
+    pub fn now_us(&self) -> f64 {
+        match self.clock {
+            ClockKind::Wall => self.origin.elapsed().as_nanos() as f64 / 1.0e3,
+            ClockKind::Simulated => f64::from_bits(self.sim_now_us.load(Ordering::Relaxed)),
+        }
+    }
+
+    fn ring_for_current_thread(&self) -> Arc<Ring> {
+        TL_RINGS.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            if let Some((_, ring)) = cache.iter().find(|(id, _)| *id == self.id) {
+                return Arc::clone(ring);
+            }
+            // Miss: drop cache entries whose recorder is gone (their ring's
+            // only other owner was the recorder), then register a new ring.
+            cache.retain(|(_, ring)| Arc::strong_count(ring) > 1);
+            let ring = Arc::new(Ring {
+                tid: self.next_tid.fetch_add(1, Ordering::Relaxed),
+                state: Mutex::new(RingState::default()),
+            });
+            self.rings.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(Arc::clone(&ring));
+            cache.push((self.id, Arc::clone(&ring)));
+            ring
+        })
+    }
+
+    /// Records an event, stamping it with the recorder's clock, and feeds
+    /// the corresponding metric instruments.
+    pub fn record(&self, kind: EventKind) {
+        self.update_metrics(&kind);
+        self.push_event(kind);
+    }
+
+    fn push_event(&self, kind: EventKind) {
+        let dur_us = match kind {
+            EventKind::PlacementSolve { wall_ns, .. } => wall_ns as f64 / 1.0e3,
+            _ => 0.0,
+        };
+        let ev = ObsEvent {
+            ts_us: self.now_us(),
+            dur_us,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            tid: 0, // overwritten below with the ring's tid
+            kind,
+        };
+        let ring = self.ring_for_current_thread();
+        self.metrics.counter("events_recorded").incr();
+        ring.record(self.config.ring_capacity, ObsEvent { tid: ring.tid, ..ev });
+    }
+
+    fn update_metrics(&self, kind: &EventKind) {
+        match kind {
+            EventKind::Epoch { bytes, .. } => {
+                self.metrics.counter("epochs").incr();
+                if *bytes > 0.0 {
+                    self.metrics.histogram("epoch_bytes").observe(*bytes as u64);
+                }
+            }
+            EventKind::PlacementSolve { phase, wall_ns } => {
+                if *phase == SolvePhase::Total {
+                    self.metrics.counter("placement_solves").incr();
+                    self.metrics.histogram("placement_solve_wall_ns").observe(*wall_ns);
+                }
+            }
+            EventKind::DriftDecision { outcome, delta } => {
+                let name = match outcome {
+                    DriftOutcome::Fired => "drift_fired",
+                    DriftOutcome::SuppressedByPatience => "drift_suppressed_by_patience",
+                    DriftOutcome::Cooldown => "drift_cooldown",
+                    DriftOutcome::Quiet => "drift_quiet",
+                };
+                self.metrics.counter(name).incr();
+                self.metrics.gauge("drift_delta_last").set(*delta);
+            }
+            EventKind::LockWait { wait_ns, .. } => {
+                // The histogram sample was already taken by
+                // `record_lock_wait`; this counts the over-threshold tail.
+                self.metrics.counter("lock_waits_over_threshold").incr();
+                let _ = wait_ns;
+            }
+            EventKind::FabricTransfer { lane, bytes } => {
+                self.metrics.histogram(lane.metric()).observe(*bytes as u64);
+            }
+            EventKind::Rebind { .. } => {
+                self.metrics.counter("rebinds").incr();
+            }
+            EventKind::Migration { bytes, .. } => {
+                self.metrics.counter("migrations").incr();
+                self.metrics.histogram("migration_bytes").observe(*bytes as u64);
+            }
+        }
+    }
+
+    /// Records one lock wait: every wait lands in the `lock_wait_ns`
+    /// histogram; waits over the configured threshold also become events.
+    pub fn record_lock_wait(&self, location: u64, wait_ns: u64) {
+        self.metrics.histogram("lock_wait_ns").observe(wait_ns);
+        if wait_ns >= self.config.lock_wait_threshold_ns {
+            self.record(EventKind::LockWait { location, wait_ns });
+        }
+    }
+
+    /// Drains every thread's ring into one `(ts, seq)`-ordered timeline
+    /// plus a metrics snapshot.  Rings are left empty, so telemetry is
+    /// whatever was recorded since the last `finish`.
+    #[must_use]
+    pub fn finish(&self, backend: &str) -> RunTelemetry {
+        let rings: Vec<Arc<Ring>> =
+            self.rings.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
+        let mut events = Vec::new();
+        let mut dropped = 0u64;
+        for ring in rings {
+            let (evs, d) = ring.drain();
+            events.extend(evs);
+            dropped += d;
+        }
+        events.sort_by(|a, b| {
+            a.ts_us.partial_cmp(&b.ts_us).unwrap_or(std::cmp::Ordering::Equal).then(a.seq.cmp(&b.seq))
+        });
+        RunTelemetry {
+            backend: backend.to_string(),
+            clock: self.clock,
+            events,
+            dropped,
+            metrics: self.metrics.snapshot(),
+        }
+    }
+}
+
+/// The drained telemetry of one run: the sorted event timeline plus the
+/// final metric values.  Hangs off `Report::obs` in `orwl-core` and
+/// exports via [`export`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTelemetry {
+    /// Name of the backend that produced the run.
+    pub backend: String,
+    /// The clock the events are stamped with.
+    pub clock: ClockKind,
+    /// All recorded events, ordered by `(ts_us, seq)`.
+    pub events: Vec<ObsEvent>,
+    /// Events lost to ring-buffer overwrites.
+    pub dropped: u64,
+    /// Final metric values.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunTelemetry {
+    /// Number of events of the given kind name.
+    #[must_use]
+    pub fn count_kind(&self, name: &str) -> usize {
+        self.events.iter().filter(|e| e.kind.name() == name).count()
+    }
+}
+
+// --- The process-global gate (the `ACTIVE_SINKS` pattern) ----------------
+
+/// Number of installed recorders; the one-load disabled fast path.
+static ACTIVE: AtomicU64 = AtomicU64::new(0);
+
+fn registry() -> &'static RwLock<Vec<Arc<Recorder>>> {
+    static REGISTRY: OnceLock<RwLock<Vec<Arc<Recorder>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| RwLock::new(Vec::new()))
+}
+
+/// True when at least one recorder is installed — one relaxed load, so hot
+/// paths can gate on it without measurable cost.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ACTIVE.load(Ordering::Relaxed) != 0
+}
+
+/// Keeps a recorder installed in the global registry; uninstalls on drop.
+#[must_use = "dropping the registration immediately uninstalls the recorder"]
+#[derive(Debug)]
+pub struct ObsRegistration {
+    recorder_id: u64,
+}
+
+/// Installs `recorder` so library code with no handle ([`emit`],
+/// [`time_phase`], [`lock_wait`]) reaches it; uninstall by dropping the
+/// returned registration.
+pub fn install(recorder: &Arc<Recorder>) -> ObsRegistration {
+    let id = recorder.id;
+    registry().write().unwrap_or_else(std::sync::PoisonError::into_inner).push(Arc::clone(recorder));
+    ACTIVE.fetch_add(1, Ordering::SeqCst);
+    ObsRegistration { recorder_id: id }
+}
+
+impl Drop for ObsRegistration {
+    fn drop(&mut self) {
+        let mut recorders = registry().write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        recorders.retain(|r| r.id != self.recorder_id);
+        drop(recorders);
+        ACTIVE.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Runs `f` for every installed recorder (no-op when disabled).
+pub fn with_recorders(mut f: impl FnMut(&Recorder)) {
+    if !enabled() {
+        return;
+    }
+    for r in registry().read().unwrap_or_else(std::sync::PoisonError::into_inner).iter() {
+        f(r);
+    }
+}
+
+/// Emits an event to every installed recorder (no-op when disabled).
+pub fn emit(kind: EventKind) {
+    with_recorders(|r| r.record(kind));
+}
+
+/// Reports a lock wait to every installed recorder (no-op when disabled).
+pub fn lock_wait(location: u64, wait_ns: u64) {
+    with_recorders(|r| r.record_lock_wait(location, wait_ns));
+}
+
+/// Times `f` as a solve-phase span when recording is enabled; otherwise
+/// runs it untouched (no `Instant` call on the disabled path).
+pub fn time_phase<R>(phase: SolvePhase, f: impl FnOnce() -> R) -> R {
+    if !enabled() {
+        return f();
+    }
+    let t0 = Instant::now();
+    let result = f();
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+    emit(EventKind::PlacementSolve { phase, wall_ns });
+    result
+}
+
+/// Reports an already-measured solve-phase duration (for pipelines that
+/// accumulate per-level timings themselves).
+pub fn solve_phase_ns(phase: SolvePhase, wall_ns: u64) {
+    emit(EventKind::PlacementSolve { phase, wall_ns });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_the_default_and_emit_is_a_noop() {
+        // No recorder installed by this test: emitting goes nowhere and the
+        // gate reports disabled (other tests install their own recorders,
+        // so only assert the no-crash property of the emit path).
+        emit(EventKind::Epoch { epoch: 1, bytes: 0.0 });
+        lock_wait(7, 1_000_000);
+        assert_eq!(time_phase(SolvePhase::Total, || 41 + 1), 42);
+    }
+
+    #[test]
+    fn install_records_and_finish_drains_in_order() {
+        let rec = Recorder::new(ClockKind::Simulated, ObsConfig::default());
+        let reg = install(&rec);
+        assert!(enabled());
+        rec.set_sim_now(1.0);
+        emit(EventKind::Epoch { epoch: 1, bytes: 512.0 });
+        rec.set_sim_now(2.0);
+        emit(EventKind::DriftDecision { outcome: DriftOutcome::Quiet, delta: 0.01 });
+        emit(EventKind::Epoch { epoch: 2, bytes: 256.0 });
+        drop(reg);
+
+        let t = rec.finish("sim");
+        assert_eq!(t.backend, "sim");
+        assert_eq!(t.clock, ClockKind::Simulated);
+        assert_eq!(t.events.len(), 3);
+        assert_eq!(t.dropped, 0);
+        assert_eq!(t.events[0].ts_us, 1.0e6);
+        assert_eq!(t.events[1].ts_us, 2.0e6);
+        // Equal timestamps keep emission order through seq.
+        assert!(t.events[1].seq < t.events[2].seq);
+        assert_eq!(t.count_kind("epoch"), 2);
+        assert_eq!(t.metrics.counter("epochs"), Some(2));
+        assert_eq!(t.metrics.counter("drift_quiet"), Some(1));
+        // A second finish sees an empty timeline (rings were drained).
+        assert!(rec.finish("sim").events.is_empty());
+    }
+
+    #[test]
+    fn ring_overflow_counts_drops() {
+        let rec = Recorder::new(ClockKind::Simulated, ObsConfig { ring_capacity: 4, ..Default::default() });
+        for epoch in 0..10 {
+            rec.record(EventKind::Epoch { epoch, bytes: 0.0 });
+        }
+        let t = rec.finish("sim");
+        assert_eq!(t.events.len(), 4);
+        assert_eq!(t.dropped, 6);
+        // The ring kept the newest events.
+        assert!(t.events.iter().all(|e| matches!(e.kind, EventKind::Epoch { epoch, .. } if epoch >= 6)));
+        assert_eq!(t.metrics.counter("events_recorded"), Some(10));
+    }
+
+    #[test]
+    fn lock_wait_threshold_splits_histogram_from_events() {
+        let rec =
+            Recorder::new(ClockKind::Wall, ObsConfig { lock_wait_threshold_ns: 1_000, ..Default::default() });
+        rec.record_lock_wait(1, 10); // histogram only
+        rec.record_lock_wait(1, 5_000); // histogram + event
+        let t = rec.finish("threads");
+        assert_eq!(t.count_kind("lock_wait"), 1);
+        let h = t.metrics.histogram("lock_wait_ns").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(t.metrics.counter("lock_waits_over_threshold"), Some(1));
+    }
+
+    #[test]
+    fn threads_get_distinct_tids() {
+        let rec = Recorder::new(ClockKind::Wall, ObsConfig::default());
+        rec.record(EventKind::Epoch { epoch: 1, bytes: 0.0 });
+        let rec2 = Arc::clone(&rec);
+        std::thread::spawn(move || rec2.record(EventKind::Epoch { epoch: 2, bytes: 0.0 })).join().unwrap();
+        let t = rec.finish("threads");
+        let tids: std::collections::HashSet<u64> = t.events.iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 2);
+    }
+
+    #[test]
+    fn placement_solve_events_carry_duration() {
+        let rec = Recorder::new(ClockKind::Wall, ObsConfig::default());
+        let reg = install(&rec);
+        let v = time_phase(SolvePhase::Total, || std::hint::black_box((0..1000).sum::<u64>()));
+        assert_eq!(v, 499_500);
+        solve_phase_ns(SolvePhase::Group, 2_000);
+        drop(reg);
+        let t = rec.finish("x");
+        // This recorder saw exactly its own two solve events (other tests'
+        // recorders are separate instances).
+        let solves: Vec<&ObsEvent> = t.events.iter().filter(|e| e.kind.name() == "placement_solve").collect();
+        assert_eq!(solves.len(), 2);
+        assert!(solves[0].dur_us > 0.0);
+        assert_eq!(t.metrics.counter("placement_solves"), Some(1)); // Total only
+        assert!(t.metrics.histogram("placement_solve_wall_ns").unwrap().count == 1);
+    }
+}

@@ -234,11 +234,26 @@ pub fn tree_match_assign_with(
     // warm.
     let mut partitions: Vec<Groups> = Vec::with_capacity(levels);
     scratch.cur.copy_from(m);
+    // Per-phase timing accumulates across levels into one `group` and one
+    // `coarsen` span per solve; the clock is only read when recording is on.
+    let observing = orwl_obs::enabled();
+    let mut group_ns = 0u64;
+    let mut coarsen_ns = 0u64;
     for l in (0..levels).rev() {
+        let t0 = observing.then(std::time::Instant::now);
         let groups = group_processes_with(&scratch.cur, arities[l], &mut scratch.grouping);
+        let t1 = observing.then(std::time::Instant::now);
         aggregate_into(&scratch.cur, &groups, &mut scratch.agg, &mut scratch.next);
+        if let (Some(t0), Some(t1)) = (t0, t1) {
+            group_ns += (t1 - t0).as_nanos() as u64;
+            coarsen_ns += t1.elapsed().as_nanos() as u64;
+        }
         std::mem::swap(&mut scratch.cur, &mut scratch.next);
         partitions.push(groups);
+    }
+    if observing {
+        orwl_obs::solve_phase_ns(orwl_obs::SolvePhase::Group, group_ns);
+        orwl_obs::solve_phase_ns(orwl_obs::SolvePhase::Coarsen, coarsen_ns);
     }
 
     // Line 8 (MapGroups): walk the hierarchy of groups top-down, assigning

@@ -104,7 +104,9 @@ pub(crate) fn group_processes_with(m: &CommMatrix, arity: usize, scratch: &mut G
     let n_groups = p.div_ceil(arity);
 
     let mut groups = greedy_grouping(arity, n_groups, scratch);
-    refine_by_swaps(&scratch.sym, &mut groups, &mut scratch.gconn, &mut scratch.gg, &mut scratch.owner);
+    orwl_obs::time_phase(orwl_obs::SolvePhase::Refine, || {
+        refine_by_swaps(&scratch.sym, &mut groups, &mut scratch.gconn, &mut scratch.gg, &mut scratch.owner);
+    });
 
     // Canonical order: sort members, then groups by first member.
     for g in &mut groups {

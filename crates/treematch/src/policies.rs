@@ -76,6 +76,12 @@ impl Policy {
 /// threads; the baselines ignore both (mirroring what non-topology-aware
 /// runtimes actually do).
 pub fn compute_placement(policy: Policy, topo: &Topology, m: &CommMatrix, n_control: usize) -> Placement {
+    // Observability: every placement solve — initial or re-placement, any
+    // policy — is one `total` solve span (no-op when recording is off).
+    orwl_obs::time_phase(orwl_obs::SolvePhase::Total, || compute_placement_inner(policy, topo, m, n_control))
+}
+
+fn compute_placement_inner(policy: Policy, topo: &Topology, m: &CommMatrix, n_control: usize) -> Placement {
     let n_compute = m.order();
     match policy {
         Policy::NoBind => Placement::unbound(n_compute, n_control),
