@@ -1,0 +1,133 @@
+//! `obs_diff` — compare two telemetry captures (single documents or whole
+//! `--obs-dir` directories) within tolerances, the `lab_diff` counterpart
+//! for `orwl-obs/v1` artifacts.
+//!
+//! ```sh
+//! cargo run -p orwl-bench --bin obs_diff -- a.obs.json b.obs.json
+//! cargo run -p orwl-bench --bin obs_diff -- obs_run_a/ obs_run_b/ --tol-ratio 0.05
+//! ```
+//!
+//! Directories are paired by `*.obs.json` filename; a capture present on
+//! one side only is drift.  Only the stable surface of each document is
+//! compared (identity fields, per-kind event counts, metric instruments —
+//! see `orwl_obs::diff`), so two runs of the same deterministic sweep
+//! agree exactly while wall-clock noise never trips the gate.
+//!
+//! Exit status: `0` when every pair agrees within the tolerance, `1` on
+//! any drift, `2` on usage or parse errors.
+
+use orwl_obs::diff::diff_telemetry;
+use orwl_obs::json::Json;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: obs_diff A(.json|dir) B(.json|dir) [--tol-ratio F]";
+
+fn load(path: &Path) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// The `*.obs.json` captures of one directory, keyed by filename.
+fn captures(dir: &Path) -> Result<BTreeSet<String>, String> {
+    let mut names = BTreeSet::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".obs.json") {
+            names.insert(name);
+        }
+    }
+    Ok(names)
+}
+
+/// Diffs one document pair; returns the number of disagreements printed.
+fn diff_pair(label: &str, a: &Path, b: &Path, tol_ratio: f64) -> Result<usize, String> {
+    let entries = diff_telemetry(&load(a)?, &load(b)?, tol_ratio).map_err(|e| format!("{label}: {e}"))?;
+    for entry in &entries {
+        eprintln!("  {label}: {entry}");
+    }
+    Ok(entries.len())
+}
+
+fn run(first: &Path, second: &Path, tol_ratio: f64) -> Result<usize, String> {
+    if first.is_dir() != second.is_dir() {
+        return Err("cannot compare a directory with a single document".to_string());
+    }
+    if !first.is_dir() {
+        return diff_pair(&first.display().to_string(), first, second, tol_ratio);
+    }
+    let (a, b) = (captures(first)?, captures(second)?);
+    let mut drift = 0usize;
+    for missing in b.difference(&a) {
+        eprintln!("  {missing}: only in {}", second.display());
+        drift += 1;
+    }
+    for name in &a {
+        if !b.contains(name) {
+            eprintln!("  {name}: only in {}", first.display());
+            drift += 1;
+            continue;
+        }
+        drift += diff_pair(name, &first.join(name), &second.join(name), tol_ratio)?;
+    }
+    if a.is_empty() && b.is_empty() {
+        return Err(format!("no *.obs.json captures under {} or {}", first.display(), second.display()));
+    }
+    Ok(drift)
+}
+
+fn main() -> ExitCode {
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut tol_ratio = 0.0f64;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--tol-ratio" => {
+                tol_ratio = match it.next().and_then(|s| s.parse().ok()).filter(|t: &f64| *t >= 0.0) {
+                    Some(t) => t,
+                    None => {
+                        eprintln!("--tol-ratio expects a non-negative number");
+                        eprintln!("{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    if paths.len() != 2 {
+        eprintln!("expected exactly two paths, got {}", paths.len());
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    match run(&paths[0], &paths[1], tol_ratio) {
+        Ok(0) => {
+            println!(
+                "obs_diff: {} and {} agree (tol-ratio {tol_ratio})",
+                paths[0].display(),
+                paths[1].display()
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(n) => {
+            eprintln!(
+                "obs_diff: {n} disagreement(s) between {} and {} (tol-ratio {tol_ratio})",
+                paths[0].display(),
+                paths[1].display()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("obs_diff: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -9,7 +9,11 @@
 //!   oversubscription studies referenced in DESIGN.md (experiments A1–A3);
 //! * [`scaling`] — placement cost at scale (experiment E-scaling): the
 //!   timed grid behind `BENCH_scaling.json` and the `placement_scaling`
-//!   criterion bench.
+//!   criterion bench;
+//! * [`proc_corr`] — the sim-vs-real correlation study (experiment
+//!   E-proc): predicted vs measured inter-node bytes across the
+//!   simulator and multi-process backends, behind `BENCH_proc_corr.json`
+//!   and the `proc_correlate` binary.
 //!
 //! The Criterion benchmarks under `benches/` and the `figure1_sim` example
 //! are thin wrappers around these functions, so the numbers reported in
@@ -17,6 +21,7 @@
 
 pub mod ablations;
 pub mod figure1;
+pub mod proc_corr;
 pub mod scaling;
 
 pub use figure1::{figure1_sweep, headline, render_table, Figure1Row, Headline};

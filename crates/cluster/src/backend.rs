@@ -21,7 +21,7 @@
 use crate::exec::simulate_cluster;
 use crate::machine::ClusterMachine;
 use crate::metrics::{cluster_cost, inter_node_bytes, split_hop_bytes};
-use crate::placement::{hierarchical_placement, ClusterPlacement};
+use crate::placement::{hierarchical_placement, policy_placement, ClusterPlacement};
 use orwl_adapt::drift::DriftDetector;
 use orwl_adapt::engine::AdaptConfig;
 use orwl_adapt::online::OnlineCommMatrix;
@@ -34,7 +34,7 @@ use orwl_numasim::workload::PhasedWorkload;
 use orwl_obs::{ClockKind, EventKind, FabricLane, Recorder};
 use orwl_topo::cluster::FabricClass;
 use orwl_treematch::mapping::Placement;
-use orwl_treematch::policies::{compute_placement, Policy};
+use orwl_treematch::policies::Policy;
 
 fn lane_of(class: FabricClass) -> FabricLane {
     match class {
@@ -90,36 +90,14 @@ impl ClusterBackend {
         &self.machine
     }
 
-    /// Two-level placement for [`Policy::Hierarchical`]; flat policies run
-    /// on the flattened topology and get their node assignment read back
-    /// from the mapping (this is what makes Scatter-on-a-cluster the
-    /// instructive baseline: it round-robins blissfully across machines).
-    /// [`Policy::NoBind`] is the OS-spread model: a seeded random PU
-    /// permutation with no affinity, mirroring `SimBackend` (migration
+    /// The two-level placement of this run's policy — shared with the
+    /// multi-process backend through
+    /// [`policy_placement`](crate::placement::policy_placement), so
+    /// simulated and real runs shard tasks over nodes identically.
+    /// `NoBind` mirrors `SimBackend`'s OS-spread model (migration
     /// penalties and data non-locality are not modelled at cluster scale).
     fn placement_for(&self, config: &SessionConfig, matrix: &CommMatrix) -> ClusterPlacement {
-        let mapping: Vec<usize> = match config.policy {
-            Policy::Hierarchical => return hierarchical_placement(&self.machine, matrix),
-            Policy::NoBind => {
-                use rand::seq::SliceRandom;
-                use rand::SeedableRng;
-                let mut pus = self.machine.topology().pu_os_indices();
-                let mut rng = rand::rngs::StdRng::seed_from_u64(self.nobind_seed);
-                pus.shuffle(&mut rng);
-                (0..matrix.order()).map(|t| pus[t % pus.len()]).collect()
-            }
-            policy => {
-                let flat = self.machine.topology();
-                let placement = compute_placement(policy, flat, matrix, config.control_threads);
-                let pus = flat.pu_os_indices();
-                placement.compute_mapping_with(|t| pus[t % pus.len()])
-            }
-        };
-        let node_of_task = mapping.iter().map(|&pu| self.machine.cluster().node_of_pu(pu)).collect();
-        ClusterPlacement {
-            node_of_task,
-            placement: Placement { compute: mapping.into_iter().map(Some).collect(), control: Vec::new() },
-        }
+        policy_placement(&self.machine, config.policy, config.control_threads, self.nobind_seed, matrix)
     }
 
     /// One simulated phase chunk, with its metrics folded into `totals`.

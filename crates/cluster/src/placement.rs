@@ -14,6 +14,7 @@ use orwl_comm::matrix::CommMatrix;
 use orwl_treematch::algorithm::TreeMatchMapper;
 use orwl_treematch::mapping::Placement;
 use orwl_treematch::partition::{cut_bytes, partition, treematch_within_parts, PartCosts};
+use orwl_treematch::policies::{compute_placement, Policy};
 
 /// A two-level placement: where every task runs, and on which node its
 /// working set (its owned locations) lives.
@@ -116,6 +117,49 @@ pub fn hierarchical_placement(machine: &ClusterMachine, m: &CommMatrix) -> Clust
     }
 }
 
+/// The two-level placement any `policy` produces on `machine` — the
+/// shared node-sharding step of the cluster-simulator and multi-process
+/// backends, so both lay the same tasks on the same nodes and the
+/// simulator's predicted inter-node traffic is directly comparable with
+/// the measured one.
+///
+/// [`Policy::Hierarchical`] runs the full two-level pipeline
+/// ([`hierarchical_placement`]); flat policies run on the flattened
+/// topology and get their node assignment read back from the mapping
+/// (this is what makes Scatter-on-a-cluster the instructive baseline: it
+/// round-robins blissfully across machines).  [`Policy::NoBind`] is the
+/// OS-spread model: a seeded random PU permutation with no affinity.
+pub fn policy_placement(
+    machine: &ClusterMachine,
+    policy: Policy,
+    control_threads: usize,
+    nobind_seed: u64,
+    matrix: &CommMatrix,
+) -> ClusterPlacement {
+    let mapping: Vec<usize> = match policy {
+        Policy::Hierarchical => return hierarchical_placement(machine, matrix),
+        Policy::NoBind => {
+            use rand::seq::SliceRandom;
+            use rand::SeedableRng;
+            let mut pus = machine.topology().pu_os_indices();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(nobind_seed);
+            pus.shuffle(&mut rng);
+            (0..matrix.order()).map(|t| pus[t % pus.len()]).collect()
+        }
+        policy => {
+            let flat = machine.topology();
+            let placement = compute_placement(policy, flat, matrix, control_threads);
+            let pus = flat.pu_os_indices();
+            placement.compute_mapping_with(|t| pus[t % pus.len()])
+        }
+    };
+    let node_of_task = mapping.iter().map(|&pu| machine.cluster().node_of_pu(pu)).collect();
+    ClusterPlacement {
+        node_of_task,
+        placement: Placement { compute: mapping.into_iter().map(Some).collect(), control: Vec::new() },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,6 +204,29 @@ mod tests {
         let p = hierarchical_placement(&machine, &CommMatrix::zeros(0));
         assert!(p.node_of_task.is_empty());
         assert_eq!(p.placement.n_compute(), 0);
+    }
+
+    #[test]
+    fn policy_placement_matches_its_ingredients() {
+        let machine = ClusterMachine::paper(2);
+        let m = patterns::clustered(2, 16, 1000.0, 1.0);
+        // Hierarchical delegates to the two-level pipeline.
+        assert_eq!(
+            policy_placement(&machine, Policy::Hierarchical, 0, 0, &m),
+            hierarchical_placement(&machine, &m)
+        );
+        // Flat policies read their node assignment back from the mapping.
+        let scatter = policy_placement(&machine, Policy::Scatter, 0, 0, &m);
+        assert!(scatter.placement.compute.iter().all(Option::is_some));
+        for (t, pu) in scatter.placement.compute.iter().enumerate() {
+            assert_eq!(machine.cluster().node_of_pu(pu.unwrap()), scatter.node_of_task[t]);
+        }
+        // NoBind is reproducible per seed and differs across seeds.
+        let a = policy_placement(&machine, Policy::NoBind, 0, 42, &m);
+        let b = policy_placement(&machine, Policy::NoBind, 0, 42, &m);
+        let c = policy_placement(&machine, Policy::NoBind, 0, 7, &m);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
     }
 
     #[test]

@@ -132,6 +132,15 @@ pub enum OrwlError {
     Binding(String),
     /// A task panicked; the message carries the task name.
     TaskPanicked(String),
+    /// A worker process of a multi-process backend failed (exited, panicked
+    /// or stopped responding); `detail` carries the failure reason and the
+    /// tail of the worker's stderr.
+    WorkerFailed {
+        /// Node index of the failed worker.
+        node: usize,
+        /// Failure reason plus the worker's captured stderr tail.
+        detail: String,
+    },
     /// The session configuration was rejected (see [`ConfigError`]).
     Config(ConfigError),
 }
@@ -152,6 +161,9 @@ impl fmt::Display for OrwlError {
             OrwlError::UnknownLocation(id) => write!(f, "unknown location id {id}"),
             OrwlError::Binding(m) => write!(f, "thread binding failed: {m}"),
             OrwlError::TaskPanicked(name) => write!(f, "task {name:?} panicked"),
+            OrwlError::WorkerFailed { node, detail } => {
+                write!(f, "worker process for node {node} failed: {detail}")
+            }
             OrwlError::Config(e) => write!(f, "invalid session configuration: {e}"),
         }
     }
@@ -172,6 +184,9 @@ mod tests {
         assert!(OrwlError::TaskPanicked("t3".into()).to_string().contains("t3"));
         assert!(OrwlError::EmptyProgram.to_string().contains("no tasks"));
         assert!(OrwlError::WriteThroughReadGuard.to_string().contains("read guard"));
+        let worker = OrwlError::WorkerFailed { node: 3, detail: "exit code 101".into() };
+        assert!(worker.to_string().contains("node 3"));
+        assert!(worker.to_string().contains("exit code 101"));
     }
 
     #[test]

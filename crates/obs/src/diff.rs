@@ -1,0 +1,260 @@
+//! Tolerant comparison of two `orwl-obs/v1` telemetry documents — the
+//! library behind the `obs_diff` tool (`cargo run -p orwl-bench --bin
+//! obs_diff`), mirroring what `orwl_lab::diff` does for sweep artifacts.
+//!
+//! Telemetry is inherently noisier than a sweep artifact (timestamps,
+//! wall-clock durations, thread interleavings), so the diff deliberately
+//! compares only the *stable* surface of a document: the identity fields
+//! (`backend`, `clock`), the per-kind event counts, the drop counter, and
+//! every metric instrument (counter values, gauge values, histogram
+//! count/sum).  Event timestamps and orderings are never compared.
+//!
+//! Numeric fields compare within a relative tolerance; a field present in
+//! one document but absent in the other is an infinite drift, exactly like
+//! `lab_diff`'s null-vs-number rule.  An empty report means agreement.
+
+use crate::export::validate_obs;
+use crate::json::Json;
+
+/// One disagreement between two telemetry documents.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsDiffEntry {
+    /// An identity field (`backend` or `clock`) differs — the documents do
+    /// not describe comparable runs.
+    FieldMismatch {
+        /// The differing field.
+        field: &'static str,
+        /// Value in the first document.
+        first: String,
+        /// Value in the second document.
+        second: String,
+    },
+    /// A stable numeric field drifted beyond the tolerance.
+    MetricDrift {
+        /// The drifted field (`dropped`, `events.<kind>`,
+        /// `counters.<name>`, `gauges.<name>`, `histograms.<name>.count`
+        /// or `histograms.<name>.sum`).
+        field: String,
+        /// Value in the first document (`None` = absent).
+        first: Option<f64>,
+        /// Value in the second document.
+        second: Option<f64>,
+        /// The relative difference that exceeded the tolerance.
+        relative: f64,
+    },
+}
+
+impl std::fmt::Display for ObsDiffEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ObsDiffEntry::FieldMismatch { field, first, second } => {
+                write!(f, "{field} mismatch: {first:?} vs {second:?}")
+            }
+            ObsDiffEntry::MetricDrift { field, first, second, relative } => {
+                let show = |v: &Option<f64>| v.map_or("absent".to_string(), |x| format!("{x}"));
+                write!(f, "{field} drifted {:.3}% ({} vs {})", 100.0 * relative, show(first), show(second))
+            }
+        }
+    }
+}
+
+/// The relative difference used by the tolerance test: `|a − b|` scaled by
+/// the larger magnitude (`0` when both are zero).
+fn relative_diff(a: f64, b: f64) -> f64 {
+    let scale = a.abs().max(b.abs());
+    if scale == 0.0 {
+        0.0
+    } else {
+        (a - b).abs() / scale
+    }
+}
+
+/// The stable numeric surface of one document, as sorted
+/// `(field, value)` pairs.
+fn numeric_fields(doc: &Json) -> Vec<(String, f64)> {
+    let mut fields: Vec<(String, f64)> = Vec::new();
+    if let Some(dropped) = doc.get("dropped").and_then(Json::as_f64) {
+        fields.push(("dropped".to_string(), dropped));
+    }
+    if let Some(events) = doc.get("events").and_then(Json::as_arr) {
+        for ev in events {
+            let Some(kind) = ev.get("kind").and_then(Json::as_str) else { continue };
+            let field = format!("events.{kind}");
+            match fields.iter_mut().find(|(f, _)| *f == field) {
+                Some((_, n)) => *n += 1.0,
+                None => fields.push((field, 1.0)),
+            }
+        }
+    }
+    let metrics = doc.get("metrics");
+    let table = |name: &str| -> Vec<(String, Json)> {
+        match metrics.and_then(|m| m.get(name)) {
+            Some(Json::Obj(pairs)) => pairs.clone(),
+            _ => Vec::new(),
+        }
+    };
+    for (name, v) in table("counters") {
+        if let Some(x) = v.as_f64() {
+            fields.push((format!("counters.{name}"), x));
+        }
+    }
+    for (name, v) in table("gauges") {
+        if let Some(x) = v.as_f64() {
+            fields.push((format!("gauges.{name}"), x));
+        }
+    }
+    for (name, v) in table("histograms") {
+        if let Some(count) = v.get("count").and_then(Json::as_f64) {
+            fields.push((format!("histograms.{name}.count"), count));
+        }
+        if let Some(sum) = v.get("sum").and_then(Json::as_f64) {
+            fields.push((format!("histograms.{name}.sum"), sum));
+        }
+    }
+    fields.sort_by(|a, b| a.0.cmp(&b.0));
+    fields
+}
+
+/// Compares two `orwl-obs/v1` documents (validated with
+/// [`validate_obs`] first, so the shape errors are precise).  Returns the
+/// disagreements — empty means the documents agree within `tol_ratio`.
+pub fn diff_telemetry(first: &Json, second: &Json, tol_ratio: f64) -> Result<Vec<ObsDiffEntry>, String> {
+    validate_obs(first).map_err(|e| format!("first document: {e}"))?;
+    validate_obs(second).map_err(|e| format!("second document: {e}"))?;
+
+    let mut entries = Vec::new();
+    for field in ["backend", "clock"] {
+        let a = first.get(field).and_then(Json::as_str).unwrap_or_default();
+        let b = second.get(field).and_then(Json::as_str).unwrap_or_default();
+        if a != b {
+            entries.push(ObsDiffEntry::FieldMismatch {
+                field: if field == "backend" { "backend" } else { "clock" },
+                first: a.to_string(),
+                second: b.to_string(),
+            });
+        }
+    }
+
+    let first_fields = numeric_fields(first);
+    let second_fields = numeric_fields(second);
+    let mut matched = vec![false; second_fields.len()];
+    for (field, a) in &first_fields {
+        match second_fields.iter().position(|(f, _)| f == field) {
+            Some(pos) => {
+                matched[pos] = true;
+                let b = second_fields[pos].1;
+                let relative = relative_diff(*a, b);
+                if relative > tol_ratio {
+                    entries.push(ObsDiffEntry::MetricDrift {
+                        field: field.clone(),
+                        first: Some(*a),
+                        second: Some(b),
+                        relative,
+                    });
+                }
+            }
+            None => entries.push(ObsDiffEntry::MetricDrift {
+                field: field.clone(),
+                first: Some(*a),
+                second: None,
+                relative: f64::INFINITY,
+            }),
+        }
+    }
+    for (pos, (field, b)) in second_fields.iter().enumerate() {
+        if !matched[pos] {
+            entries.push(ObsDiffEntry::MetricDrift {
+                field: field.clone(),
+                first: None,
+                second: Some(*b),
+                relative: f64::INFINITY,
+            });
+        }
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ClockKind, EventKind};
+    use crate::json::ToJson;
+    use crate::{ObsConfig, Recorder};
+
+    fn doc(epochs: u64, bytes: f64) -> Json {
+        let rec = Recorder::new(ClockKind::Simulated, ObsConfig::default());
+        for epoch in 1..=epochs {
+            rec.set_sim_now(epoch as f64);
+            rec.record(EventKind::Epoch { epoch, bytes });
+        }
+        rec.finish("sim").to_json()
+    }
+
+    #[test]
+    fn identical_documents_agree_exactly() {
+        let a = doc(3, 512.0);
+        assert_eq!(diff_telemetry(&a, &a, 0.0).unwrap(), Vec::new());
+        let b = Json::parse(&a.pretty()).unwrap();
+        assert_eq!(diff_telemetry(&a, &b, 0.0).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn timestamps_are_not_compared() {
+        // Same events at different simulated times: still agreement.
+        let rec = Recorder::new(ClockKind::Simulated, ObsConfig::default());
+        rec.set_sim_now(40.0);
+        rec.record(EventKind::Epoch { epoch: 1, bytes: 512.0 });
+        let shifted = rec.finish("sim").to_json();
+        assert_eq!(diff_telemetry(&doc(1, 512.0), &shifted, 0.0).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn event_count_and_metric_drift_are_reported() {
+        let a = doc(3, 512.0);
+        let b = doc(4, 512.0);
+        let drift = diff_telemetry(&a, &b, 0.0).unwrap();
+        assert!(!drift.is_empty());
+        assert!(drift.iter().any(|e| matches!(
+            e,
+            ObsDiffEntry::MetricDrift { field, .. } if field == "events.epoch"
+        )));
+        assert!(drift.iter().any(|e| matches!(
+            e,
+            ObsDiffEntry::MetricDrift { field, .. } if field == "counters.epochs"
+        )));
+        // A generous tolerance absorbs the 3-vs-4 difference.
+        assert_eq!(diff_telemetry(&a, &b, 0.5).unwrap(), Vec::new());
+        // The rendering names the field and both values.
+        let text = drift[0].to_string();
+        assert!(text.contains("events.epoch") || text.contains("counters"));
+    }
+
+    #[test]
+    fn absent_fields_are_infinite_drift() {
+        let a = doc(2, 512.0); // has the epoch_bytes histogram
+        let b = doc(2, 0.0); // zero bytes: the histogram never appears
+        let drift = diff_telemetry(&a, &b, 1.0e9).unwrap();
+        assert!(drift.iter().any(|e| matches!(
+            e,
+            ObsDiffEntry::MetricDrift { field, second: None, relative, .. }
+                if field == "histograms.epoch_bytes.count" && relative.is_infinite()
+        )));
+    }
+
+    #[test]
+    fn backend_and_clock_mismatches_are_identity_errors() {
+        let rec = Recorder::new(ClockKind::Wall, ObsConfig::default());
+        rec.record(EventKind::Epoch { epoch: 1, bytes: 512.0 });
+        let wall = rec.finish("threads").to_json();
+        let drift = diff_telemetry(&doc(1, 512.0), &wall, 1.0e9).unwrap();
+        assert!(drift.iter().any(|e| matches!(e, ObsDiffEntry::FieldMismatch { field: "backend", .. })));
+        assert!(drift.iter().any(|e| matches!(e, ObsDiffEntry::FieldMismatch { field: "clock", .. })));
+    }
+
+    #[test]
+    fn invalid_documents_are_a_typed_error() {
+        let junk = Json::parse("{\"hello\": 1}").unwrap();
+        let err = diff_telemetry(&junk, &doc(1, 1.0), 0.0).unwrap_err();
+        assert!(err.contains("first document"));
+    }
+}

@@ -190,6 +190,74 @@ impl EventKind {
             EventKind::Migration { .. } => "migration",
         }
     }
+
+    /// The fieldless class of this kind, for filtering and sampling.
+    #[must_use]
+    pub fn class(&self) -> EventClass {
+        match self {
+            EventKind::Epoch { .. } => EventClass::Epoch,
+            EventKind::PlacementSolve { .. } => EventClass::PlacementSolve,
+            EventKind::DriftDecision { .. } => EventClass::DriftDecision,
+            EventKind::LockWait { .. } => EventClass::LockWait,
+            EventKind::FabricTransfer { .. } => EventClass::FabricTransfer,
+            EventKind::Rebind { .. } => EventClass::Rebind,
+            EventKind::Migration { .. } => EventClass::Migration,
+        }
+    }
+}
+
+/// A fieldless mirror of the [`EventKind`] variants, used by
+/// `ObsConfig::event_filter` and per-class sampling to select kinds
+/// without constructing a payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventClass {
+    /// [`EventKind::Epoch`].
+    Epoch,
+    /// [`EventKind::PlacementSolve`].
+    PlacementSolve,
+    /// [`EventKind::DriftDecision`].
+    DriftDecision,
+    /// [`EventKind::LockWait`].
+    LockWait,
+    /// [`EventKind::FabricTransfer`].
+    FabricTransfer,
+    /// [`EventKind::Rebind`].
+    Rebind,
+    /// [`EventKind::Migration`].
+    Migration,
+}
+
+impl EventClass {
+    /// Every event class, in declaration order.
+    pub const ALL: [EventClass; 7] = [
+        EventClass::Epoch,
+        EventClass::PlacementSolve,
+        EventClass::DriftDecision,
+        EventClass::LockWait,
+        EventClass::FabricTransfer,
+        EventClass::Rebind,
+        EventClass::Migration,
+    ];
+
+    /// Stable artifact name (matches [`EventKind::name`]).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventClass::Epoch => "epoch",
+            EventClass::PlacementSolve => "placement_solve",
+            EventClass::DriftDecision => "drift_decision",
+            EventClass::LockWait => "lock_wait",
+            EventClass::FabricTransfer => "fabric_transfer",
+            EventClass::Rebind => "rebind",
+            EventClass::Migration => "migration",
+        }
+    }
+
+    /// Dense index of the class (position in [`EventClass::ALL`]).
+    #[must_use]
+    pub fn index(&self) -> usize {
+        *self as usize
+    }
 }
 
 /// One recorded event: a stamped [`EventKind`].
@@ -227,5 +295,31 @@ mod tests {
             EventKind::Migration { tasks_moved: 2, bytes: 1.0, cross_node: false }.name(),
             "migration"
         );
+    }
+
+    #[test]
+    fn classes_mirror_kinds() {
+        assert_eq!(EventKind::LockWait { location: 0, wait_ns: 1 }.class(), EventClass::LockWait);
+        assert_eq!(EventKind::Epoch { epoch: 1, bytes: 0.0 }.class(), EventClass::Epoch);
+        for (i, c) in EventClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(c.name(), kind_of(*c).name(), "class/kind name mismatch at {i}");
+        }
+    }
+
+    fn kind_of(class: EventClass) -> EventKind {
+        match class {
+            EventClass::Epoch => EventKind::Epoch { epoch: 0, bytes: 0.0 },
+            EventClass::PlacementSolve => EventKind::PlacementSolve { phase: SolvePhase::Total, wall_ns: 0 },
+            EventClass::DriftDecision => {
+                EventKind::DriftDecision { outcome: DriftOutcome::Quiet, delta: 0.0 }
+            }
+            EventClass::LockWait => EventKind::LockWait { location: 0, wait_ns: 0 },
+            EventClass::FabricTransfer => {
+                EventKind::FabricTransfer { lane: FabricLane::SameNode, bytes: 0.0 }
+            }
+            EventClass::Rebind => EventKind::Rebind { task: 0, pu: 0 },
+            EventClass::Migration => EventKind::Migration { tasks_moved: 0, bytes: 0.0, cross_node: false },
+        }
     }
 }

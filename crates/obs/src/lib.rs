@@ -20,12 +20,13 @@
 //! with [`Recorder::set_sim_now`] as simulated seconds accumulate, so one
 //! timeline viewer works for all execution paths.
 
+pub mod diff;
 pub mod event;
 pub mod export;
 pub mod json;
 pub mod metrics;
 
-pub use event::{ClockKind, DriftOutcome, EventKind, FabricLane, ObsEvent, SolvePhase};
+pub use event::{ClockKind, DriftOutcome, EventClass, EventKind, FabricLane, ObsEvent, SolvePhase};
 pub use json::{Json, JsonError, ToJson};
 
 use metrics::{MetricsRegistry, MetricsSnapshot};
@@ -33,6 +34,60 @@ use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
+
+/// A per-class event admission mask (one bit per [`EventClass`]).
+///
+/// Filtering applies to the event timeline only: metric instruments keep
+/// aggregating for every recorded kind, so a filtered run still reports
+/// exact totals while its rings hold only the classes of interest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EventFilter {
+    bits: u8,
+}
+
+impl EventFilter {
+    /// Admits every event class.
+    #[must_use]
+    pub fn all() -> Self {
+        EventFilter { bits: (1 << EventClass::ALL.len()) - 1 }
+    }
+
+    /// Admits no event class (metrics-only recording).
+    #[must_use]
+    pub fn none() -> Self {
+        EventFilter { bits: 0 }
+    }
+
+    /// Admits exactly the given classes.
+    #[must_use]
+    pub fn only(classes: &[EventClass]) -> Self {
+        classes.iter().fold(Self::none(), |f, c| f.with(*c))
+    }
+
+    /// This filter plus one more admitted class.
+    #[must_use]
+    pub fn with(self, class: EventClass) -> Self {
+        EventFilter { bits: self.bits | (1 << class.index()) }
+    }
+
+    /// This filter with one class removed.
+    #[must_use]
+    pub fn without(self, class: EventClass) -> Self {
+        EventFilter { bits: self.bits & !(1 << class.index()) }
+    }
+
+    /// Whether events of `class` reach the rings.
+    #[must_use]
+    pub fn allows(&self, class: EventClass) -> bool {
+        self.bits & (1 << class.index()) != 0
+    }
+}
+
+impl Default for EventFilter {
+    fn default() -> Self {
+        EventFilter::all()
+    }
+}
 
 /// Tuning of a [`Recorder`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,11 +98,24 @@ pub struct ObsConfig {
     /// Lock waits at least this long (in nanoseconds) become events; all
     /// waits land in the `lock_wait_ns` histogram regardless.
     pub lock_wait_threshold_ns: u64,
+    /// Which event classes reach the rings (metrics always aggregate).
+    /// Long observed runs can drop high-volume classes instead of letting
+    /// the rings overwrite-oldest.
+    pub event_filter: EventFilter,
+    /// Keep every n-th event per class (1 = keep all, the default; 0 is
+    /// treated as 1).  Sampling counts per class, so a chatty class cannot
+    /// starve a quiet one, and applies after `event_filter`.
+    pub sample_every: u32,
 }
 
 impl Default for ObsConfig {
     fn default() -> Self {
-        ObsConfig { ring_capacity: 1 << 16, lock_wait_threshold_ns: 10_000 }
+        ObsConfig {
+            ring_capacity: 1 << 16,
+            lock_wait_threshold_ns: 10_000,
+            event_filter: EventFilter::all(),
+            sample_every: 1,
+        }
     }
 }
 
@@ -103,6 +171,9 @@ pub struct Recorder {
     next_tid: AtomicU64,
     rings: Mutex<Vec<Arc<Ring>>>,
     metrics: MetricsRegistry,
+    /// Per-class admission counters for `sample_every` (indexed by
+    /// [`EventClass::index`]).
+    class_seen: [AtomicU64; EventClass::ALL.len()],
 }
 
 thread_local! {
@@ -125,6 +196,7 @@ impl Recorder {
             next_tid: AtomicU64::new(0),
             rings: Mutex::new(Vec::new()),
             metrics: MetricsRegistry::new(),
+            class_seen: std::array::from_fn(|_| AtomicU64::new(0)),
         })
     }
 
@@ -187,6 +259,15 @@ impl Recorder {
     }
 
     fn push_event(&self, kind: EventKind) {
+        let class = kind.class();
+        if !self.config.event_filter.allows(class) {
+            return;
+        }
+        let seen = self.class_seen[class.index()].fetch_add(1, Ordering::Relaxed);
+        let every = u64::from(self.config.sample_every.max(1));
+        if !seen.is_multiple_of(every) {
+            return;
+        }
         let dur_us = match kind {
             EventKind::PlacementSolve { wall_ns, .. } => wall_ns as f64 / 1.0e3,
             _ => 0.0,
@@ -457,6 +538,65 @@ mod tests {
         let h = t.metrics.histogram("lock_wait_ns").unwrap();
         assert_eq!(h.count, 2);
         assert_eq!(t.metrics.counter("lock_waits_over_threshold"), Some(1));
+    }
+
+    #[test]
+    fn event_filter_drops_classes_but_keeps_metrics() {
+        let rec = Recorder::new(
+            ClockKind::Simulated,
+            ObsConfig {
+                event_filter: EventFilter::only(&[EventClass::FabricTransfer]),
+                ..Default::default()
+            },
+        );
+        rec.record(EventKind::Epoch { epoch: 1, bytes: 64.0 });
+        rec.record(EventKind::FabricTransfer { lane: FabricLane::SameRack, bytes: 128.0 });
+        rec.record(EventKind::Rebind { task: 0, pu: 3 });
+        let t = rec.finish("sim");
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.count_kind("fabric_transfer"), 1);
+        // Metrics still saw every kind; only the timeline is filtered.
+        assert_eq!(t.metrics.counter("epochs"), Some(1));
+        assert_eq!(t.metrics.counter("rebinds"), Some(1));
+        // `events_recorded` counts kept events.
+        assert_eq!(t.metrics.counter("events_recorded"), Some(1));
+    }
+
+    #[test]
+    fn filter_combinators_compose() {
+        let f = EventFilter::all().without(EventClass::LockWait);
+        assert!(!f.allows(EventClass::LockWait));
+        assert!(f.allows(EventClass::Epoch));
+        let g = EventFilter::none().with(EventClass::Migration);
+        assert!(g.allows(EventClass::Migration));
+        assert!(!g.allows(EventClass::Epoch));
+        assert_eq!(EventFilter::default(), EventFilter::all());
+        assert_eq!(EventFilter::only(&[]), EventFilter::none());
+    }
+
+    #[test]
+    fn sampling_keeps_every_nth_event_per_class() {
+        let rec = Recorder::new(ClockKind::Simulated, ObsConfig { sample_every: 4, ..Default::default() });
+        for epoch in 0..10 {
+            rec.record(EventKind::Epoch { epoch, bytes: 0.0 });
+        }
+        // A second, quieter class is sampled independently.
+        rec.record(EventKind::Rebind { task: 1, pu: 2 });
+        let t = rec.finish("sim");
+        // Epochs 0, 4 and 8 survive (keep-first, then every 4th).
+        let kept: Vec<u64> = t
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Epoch { epoch, .. } => Some(epoch),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kept, vec![0, 4, 8]);
+        assert_eq!(t.count_kind("rebind"), 1);
+        // Metric totals are unaffected by sampling.
+        assert_eq!(t.metrics.counter("epochs"), Some(10));
+        assert_eq!(t.metrics.counter("events_recorded"), Some(4));
     }
 
     #[test]

@@ -1,0 +1,338 @@
+//! The run assignment a coordinator ships to each worker.
+//!
+//! An [`Assignment`] is everything a freshly-exec'd worker process needs
+//! to reconstruct its slice of the run: the cluster shape (node topology
+//! levels, rack layout), the task → node sharding the placement policy
+//! chose, the socket rendezvous points, and the per-phase read schedule
+//! filtered to the tasks this worker hosts.  It travels as the JSON
+//! payload of [`Message::Assignment`](crate::wire::Message::Assignment)
+//! under the versioned `orwl-proc-assign/v1` schema, so a worker from a
+//! different build fails loudly on schema drift instead of
+//! misinterpreting fields.
+
+use orwl_obs::json::Json;
+
+/// Schema identifier of the assignment document.
+pub const ASSIGN_SCHEMA: &str = "orwl-proc-assign/v1";
+
+/// One read edge of the protocol: `reader` pulls `bytes` from the
+/// location owned by `src`, once per iteration of the enclosing phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadEdge {
+    /// Global index of the reading task.
+    pub reader: usize,
+    /// Global index of the task owning the location read.
+    pub src: usize,
+    /// Bytes transferred per iteration.
+    pub bytes: f64,
+}
+
+/// One phase of the read schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasePlan {
+    /// Iterations of this phase.
+    pub iterations: usize,
+    /// Every read performed per iteration, filtered to readers hosted on
+    /// the receiving worker.
+    pub reads: Vec<ReadEdge>,
+}
+
+/// The complete per-worker run description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// This worker's node index.
+    pub node: usize,
+    /// Total number of nodes in the run.
+    pub n_nodes: usize,
+    /// Total number of tasks across all nodes.
+    pub n_tasks: usize,
+    /// Deadline applied to every blocking socket read, in milliseconds.
+    pub io_timeout_ms: u64,
+    /// Name of the per-node topology (for the worker's local session).
+    pub topo_name: String,
+    /// The per-node topology as `(object short name, count)` levels.
+    pub levels: Vec<(String, usize)>,
+    /// Rack index of each node (fabric lane classification).
+    pub rack_of_node: Vec<usize>,
+    /// Node hosting each task — the placement policy's sharding.
+    pub node_of_task: Vec<usize>,
+    /// Filesystem path of this worker's peer listener socket.
+    pub listen: String,
+    /// Peer listener paths, indexed by node.
+    pub peer_listen: Vec<String>,
+    /// The read schedule (filtered to this worker's tasks).
+    pub phases: Vec<PhasePlan>,
+}
+
+impl Assignment {
+    /// Global indices of the tasks this worker hosts.
+    #[must_use]
+    pub fn local_tasks(&self) -> Vec<usize> {
+        (0..self.n_tasks).filter(|&t| self.node_of_task[t] == self.node).collect()
+    }
+
+    /// Serialises under the `orwl-proc-assign/v1` schema.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::obj();
+        doc.push("schema", ASSIGN_SCHEMA);
+        doc.push("node", self.node);
+        doc.push("n_nodes", self.n_nodes);
+        doc.push("n_tasks", self.n_tasks);
+        doc.push("io_timeout_ms", self.io_timeout_ms);
+        doc.push("topo_name", self.topo_name.as_str());
+        doc.push(
+            "levels",
+            Json::Arr(
+                self.levels
+                    .iter()
+                    .map(|(name, count)| Json::Arr(vec![Json::Str(name.clone()), Json::from(*count)]))
+                    .collect(),
+            ),
+        );
+        doc.push("rack_of_node", usize_arr(&self.rack_of_node));
+        doc.push("node_of_task", usize_arr(&self.node_of_task));
+        doc.push("listen", self.listen.as_str());
+        doc.push("peer_listen", Json::Arr(self.peer_listen.iter().map(|p| Json::Str(p.clone())).collect()));
+        doc.push(
+            "phases",
+            Json::Arr(
+                self.phases
+                    .iter()
+                    .map(|phase| {
+                        let mut p = Json::obj();
+                        p.push("iterations", phase.iterations);
+                        p.push(
+                            "reads",
+                            Json::Arr(
+                                phase
+                                    .reads
+                                    .iter()
+                                    .map(|r| {
+                                        Json::Arr(vec![
+                                            Json::from(r.reader),
+                                            Json::from(r.src),
+                                            Json::from(r.bytes),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        );
+                        p
+                    })
+                    .collect(),
+            ),
+        );
+        doc
+    }
+
+    /// Parses and validates an assignment document.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let schema = req_str(doc, "schema")?;
+        if schema != ASSIGN_SCHEMA {
+            return Err(format!("schema is {schema:?}, expected {ASSIGN_SCHEMA:?}"));
+        }
+        let assignment = Assignment {
+            node: req_usize(doc, "node")?,
+            n_nodes: req_usize(doc, "n_nodes")?,
+            n_tasks: req_usize(doc, "n_tasks")?,
+            io_timeout_ms: req_usize(doc, "io_timeout_ms")? as u64,
+            topo_name: req_str(doc, "topo_name")?.to_string(),
+            levels: req_arr(doc, "levels")?
+                .iter()
+                .map(|level| {
+                    let pair = level.as_arr().ok_or("levels entries must be [name, count] pairs")?;
+                    match pair {
+                        [name, count] => Ok((
+                            name.as_str().ok_or("level name must be a string")?.to_string(),
+                            count.as_f64().ok_or("level count must be a number")? as usize,
+                        )),
+                        _ => Err("levels entries must be [name, count] pairs".to_string()),
+                    }
+                })
+                .collect::<Result<_, String>>()?,
+            rack_of_node: usize_vec(doc, "rack_of_node")?,
+            node_of_task: usize_vec(doc, "node_of_task")?,
+            listen: req_str(doc, "listen")?.to_string(),
+            peer_listen: req_arr(doc, "peer_listen")?
+                .iter()
+                .map(|p| {
+                    p.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "peer_listen entries must be strings".to_string())
+                })
+                .collect::<Result<_, String>>()?,
+            phases: req_arr(doc, "phases")?
+                .iter()
+                .enumerate()
+                .map(|(k, phase)| {
+                    Ok(PhasePlan {
+                        iterations: req_usize(phase, "iterations").map_err(|e| format!("phase {k}: {e}"))?,
+                        reads: req_arr(phase, "reads")
+                            .map_err(|e| format!("phase {k}: {e}"))?
+                            .iter()
+                            .map(|r| {
+                                let triple =
+                                    r.as_arr().ok_or("reads entries must be [reader, src, bytes]")?;
+                                match triple {
+                                    [reader, src, bytes] => Ok(ReadEdge {
+                                        reader: reader.as_f64().ok_or("reader must be a number")? as usize,
+                                        src: src.as_f64().ok_or("src must be a number")? as usize,
+                                        bytes: bytes.as_f64().ok_or("bytes must be a number")?,
+                                    }),
+                                    _ => Err("reads entries must be [reader, src, bytes]".to_string()),
+                                }
+                            })
+                            .collect::<Result<_, String>>()?,
+                    })
+                })
+                .collect::<Result<_, String>>()?,
+        };
+        assignment.validate()?;
+        Ok(assignment)
+    }
+
+    /// Structural consistency checks beyond field presence.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.node >= self.n_nodes {
+            return Err(format!("node {} out of range for {} nodes", self.node, self.n_nodes));
+        }
+        if self.rack_of_node.len() != self.n_nodes {
+            return Err(format!(
+                "rack_of_node has {} entries for {} nodes",
+                self.rack_of_node.len(),
+                self.n_nodes
+            ));
+        }
+        if self.node_of_task.len() != self.n_tasks {
+            return Err(format!(
+                "node_of_task has {} entries for {} tasks",
+                self.node_of_task.len(),
+                self.n_tasks
+            ));
+        }
+        if self.peer_listen.len() != self.n_nodes {
+            return Err(format!(
+                "peer_listen has {} entries for {} nodes",
+                self.peer_listen.len(),
+                self.n_nodes
+            ));
+        }
+        if let Some(&bad) = self.node_of_task.iter().find(|&&n| n >= self.n_nodes) {
+            return Err(format!("node_of_task references node {bad} of {}", self.n_nodes));
+        }
+        for (k, phase) in self.phases.iter().enumerate() {
+            for r in &phase.reads {
+                if r.reader >= self.n_tasks || r.src >= self.n_tasks {
+                    return Err(format!(
+                        "phase {k}: read edge ({}, {}) out of range for {} tasks",
+                        r.reader, r.src, self.n_tasks
+                    ));
+                }
+                if self.node_of_task[r.reader] != self.node {
+                    return Err(format!(
+                        "phase {k}: read edge for task {} is not local to node {}",
+                        r.reader, self.node
+                    ));
+                }
+                if !r.bytes.is_finite() || r.bytes < 0.0 {
+                    return Err(format!("phase {k}: read bytes {} are not a valid size", r.bytes));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn usize_arr(values: &[usize]) -> Json {
+    Json::Arr(values.iter().map(|&v| Json::from(v)).collect())
+}
+
+fn req<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, String> {
+    doc.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn req_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, String> {
+    req(doc, key)?.as_str().ok_or_else(|| format!("field {key:?} must be a string"))
+}
+
+fn req_usize(doc: &Json, key: &str) -> Result<usize, String> {
+    let x = req(doc, key)?.as_f64().ok_or_else(|| format!("field {key:?} must be a number"))?;
+    if x < 0.0 || x.fract() != 0.0 {
+        return Err(format!("field {key:?} must be a non-negative integer, got {x}"));
+    }
+    Ok(x as usize)
+}
+
+fn req_arr<'a>(doc: &'a Json, key: &str) -> Result<&'a [Json], String> {
+    req(doc, key)?.as_arr().ok_or_else(|| format!("field {key:?} must be an array"))
+}
+
+fn usize_vec(doc: &Json, key: &str) -> Result<Vec<usize>, String> {
+    req_arr(doc, key)?
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .filter(|x| *x >= 0.0 && x.fract() == 0.0)
+                .map(|x| x as usize)
+                .ok_or_else(|| format!("field {key:?} must hold non-negative integers"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Assignment {
+        Assignment {
+            node: 1,
+            n_nodes: 2,
+            n_tasks: 4,
+            io_timeout_ms: 30_000,
+            topo_name: "cluster2016-node".to_string(),
+            levels: vec![("machine".to_string(), 1), ("package".to_string(), 2), ("core".to_string(), 8)],
+            rack_of_node: vec![0, 0],
+            node_of_task: vec![0, 0, 1, 1],
+            listen: "/tmp/w1.sock".to_string(),
+            peer_listen: vec!["/tmp/w0.sock".to_string(), "/tmp/w1.sock".to_string()],
+            phases: vec![PhasePlan {
+                iterations: 3,
+                reads: vec![
+                    ReadEdge { reader: 2, src: 1, bytes: 4096.0 },
+                    ReadEdge { reader: 3, src: 2, bytes: 128.5 },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let a = sample();
+        let text = a.to_json().pretty();
+        let parsed = Assignment::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(parsed, a);
+        assert_eq!(parsed.local_tasks(), vec![2, 3]);
+    }
+
+    #[test]
+    fn schema_and_structure_are_enforced() {
+        let mut wrong_schema = sample().to_json();
+        if let Json::Obj(pairs) = &mut wrong_schema {
+            pairs[0].1 = Json::Str("orwl-proc-assign/v999".to_string());
+        }
+        assert!(Assignment::from_json(&wrong_schema).unwrap_err().contains("schema"));
+
+        let mut bad = sample();
+        bad.node_of_task = vec![0, 0, 9, 1];
+        assert!(bad.validate().unwrap_err().contains("references node 9"));
+
+        let mut foreign = sample();
+        foreign.phases[0].reads[0].reader = 0; // task 0 lives on node 0
+        assert!(foreign.validate().unwrap_err().contains("not local"));
+
+        let mut short = sample();
+        short.peer_listen.pop();
+        assert!(short.validate().unwrap_err().contains("peer_listen"));
+    }
+}

@@ -1,0 +1,353 @@
+//! Coordinator-side process management: spawn one worker per node, speak
+//! the control protocol, and guarantee cleanup.
+//!
+//! The pool owns the run's rendezvous directory (under the system temp
+//! dir), the control listener, one [`Child`] per node and one bounded
+//! stderr-tail collector per child.  Every blocking wait is a short-tick
+//! poll against a deadline that also watches for child death, so a worker
+//! that crashes, hangs or exits early surfaces as a typed
+//! [`WorkerFailure`] carrying the worker's stderr tail — never as a hung
+//! coordinator.  Dropping the pool kills and reaps whatever is still
+//! running and removes the rendezvous directory.
+
+use crate::transport::{FramedStream, RecvError};
+use crate::wire::Message;
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read};
+use std::os::unix::net::UnixListener;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStderr, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Bytes of each worker's stderr kept for failure reports.
+pub const STDERR_TAIL_BYTES: usize = 4096;
+
+/// Environment variable selecting the worker role in a re-exec'd binary.
+pub const ENV_ROLE: &str = "ORWL_PROC_ROLE";
+/// Environment variable carrying the worker's node index.
+pub const ENV_NODE: &str = "ORWL_PROC_NODE";
+/// Environment variable carrying the coordinator socket path.
+pub const ENV_COORD: &str = "ORWL_PROC_COORD";
+
+static RUN_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A worker failure attributable to one node.
+#[derive(Debug)]
+pub struct WorkerFailure {
+    /// The failing worker's node index.
+    pub node: usize,
+    /// What happened, with the worker's stderr tail appended.
+    pub detail: String,
+}
+
+fn tail_collector(mut stderr: ChildStderr) -> JoinHandle<String> {
+    std::thread::spawn(move || {
+        let mut kept: VecDeque<u8> = VecDeque::new();
+        let mut buf = [0u8; 1024];
+        loop {
+            match stderr.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    kept.extend(&buf[..n]);
+                    while kept.len() > STDERR_TAIL_BYTES {
+                        kept.pop_front();
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+        String::from_utf8_lossy(kept.make_contiguous()).into_owned()
+    })
+}
+
+struct WorkerChild {
+    child: Child,
+    tail: Option<JoinHandle<String>>,
+    exit: Option<std::process::ExitStatus>,
+}
+
+impl WorkerChild {
+    /// Non-blocking exit check, remembering the status once reaped.
+    fn poll_exit(&mut self) -> Option<std::process::ExitStatus> {
+        if self.exit.is_none() {
+            if let Ok(Some(status)) = self.child.try_wait() {
+                self.exit = Some(status);
+            }
+        }
+        self.exit
+    }
+
+    /// Kills (if still running), reaps, and returns the stderr tail.
+    fn kill_and_tail(&mut self) -> String {
+        if self.poll_exit().is_none() {
+            let _ = self.child.kill();
+            if let Ok(status) = self.child.wait() {
+                self.exit = Some(status);
+            }
+        }
+        match self.tail.take() {
+            Some(handle) => handle.join().unwrap_or_default(),
+            None => String::new(),
+        }
+    }
+}
+
+/// One run's worth of worker processes plus their control connections.
+pub struct WorkerPool {
+    dir: PathBuf,
+    listener: UnixListener,
+    children: Vec<WorkerChild>,
+    controls: Vec<Option<FramedStream>>,
+    io_timeout: Duration,
+}
+
+impl WorkerPool {
+    /// Creates the rendezvous directory, binds the control listener and
+    /// spawns `n_nodes` workers by re-exec'ing the current binary with
+    /// `worker_args`, the worker-role environment and `extra_env`.
+    pub fn spawn(
+        n_nodes: usize,
+        worker_args: &[String],
+        extra_env: &[(String, String)],
+        io_timeout: Duration,
+    ) -> std::io::Result<WorkerPool> {
+        let dir = std::env::temp_dir().join(format!(
+            "orwl-proc-{}-{}",
+            std::process::id(),
+            RUN_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir)?;
+        let coord_sock = dir.join("coord.sock");
+        let listener = UnixListener::bind(&coord_sock)?;
+        listener.set_nonblocking(true)?;
+
+        let exe = std::env::current_exe()?;
+        let mut children = Vec::with_capacity(n_nodes);
+        let mut pool_guard = PoolDirGuard { dir: Some(dir.clone()), children: &mut children };
+        for node in 0..n_nodes {
+            let mut command = Command::new(&exe);
+            command
+                .args(worker_args)
+                .env(ENV_ROLE, "worker")
+                .env(ENV_NODE, node.to_string())
+                .env(ENV_COORD, &coord_sock)
+                .stdin(Stdio::null())
+                .stdout(Stdio::null())
+                .stderr(Stdio::piped());
+            for (key, value) in extra_env {
+                command.env(key, value);
+            }
+            let mut child = command.spawn()?;
+            let tail = child.stderr.take().map(tail_collector);
+            pool_guard.children.push(WorkerChild { child, tail, exit: None });
+        }
+        pool_guard.dir = None; // spawns succeeded: the pool takes ownership
+        drop(pool_guard);
+        let controls = (0..n_nodes).map(|_| None).collect();
+        Ok(WorkerPool { dir, listener, children, controls, io_timeout })
+    }
+
+    /// Path of the peer listener socket assigned to `node`.
+    #[must_use]
+    pub fn peer_socket(&self, node: usize) -> PathBuf {
+        self.dir.join(format!("worker{node}.sock"))
+    }
+
+    /// The rendezvous directory (owned by the pool until drop).
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Kills every worker, joins the stderr tails and composes the typed
+    /// failure for `node` (or the most informative node when `None`: the
+    /// first child that exited with a failure status, else node 0).
+    pub fn fail(&mut self, node: Option<usize>, reason: impl Into<String>) -> WorkerFailure {
+        let statuses: Vec<Option<std::process::ExitStatus>> =
+            self.children.iter_mut().map(WorkerChild::poll_exit).collect();
+        let node =
+            node.or_else(|| statuses.iter().position(|s| s.is_some_and(|s| !s.success()))).unwrap_or(0);
+        let tails: Vec<String> = self.children.iter_mut().map(WorkerChild::kill_and_tail).collect();
+        let mut detail = reason.into();
+        if let Some(status) = statuses.get(node).copied().flatten() {
+            detail.push_str(&format!(" ({status})"));
+        }
+        let tail = tails.get(node).map(String::as_str).unwrap_or("").trim();
+        if tail.is_empty() {
+            detail.push_str("; stderr: <empty>");
+        } else {
+            detail.push_str(&format!("; stderr tail:\n{tail}"));
+        }
+        WorkerFailure { node, detail }
+    }
+
+    /// Accepts one control connection per worker; each must open with
+    /// [`Message::Hello`].  Polls for child death while waiting, so a
+    /// worker that dies before connecting fails the run immediately.
+    pub fn accept_controls(&mut self) -> Result<(), WorkerFailure> {
+        let deadline = Instant::now() + self.io_timeout;
+        let mut accepted = 0;
+        while accepted < self.children.len() {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let mut control = FramedStream::new(stream);
+                    match control.recv(Some(self.io_timeout)) {
+                        Ok(Message::Hello { node }) => {
+                            let node = node as usize;
+                            if node >= self.children.len() {
+                                return Err(self.fail(None, format!("hello from unknown node {node}")));
+                            }
+                            if self.controls[node].is_some() {
+                                return Err(self.fail(Some(node), "duplicate hello"));
+                            }
+                            self.controls[node] = Some(control);
+                            accepted += 1;
+                        }
+                        Ok(other) => {
+                            return Err(self.fail(None, format!("expected hello, got {}", other.name())));
+                        }
+                        Err(e) => {
+                            return Err(self.fail(None, format!("control handshake failed: {e}")));
+                        }
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    if let Some(node) = self.first_dead_child() {
+                        return Err(
+                            self.fail(Some(node), "worker exited before connecting to the coordinator")
+                        );
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(self.fail(None, "timed out waiting for workers to connect"));
+                    }
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(self.fail(None, format!("control accept failed: {e}"))),
+            }
+        }
+        Ok(())
+    }
+
+    fn first_dead_child(&mut self) -> Option<usize> {
+        (0..self.children.len()).find(|&k| self.children[k].poll_exit().is_some())
+    }
+
+    /// Sends one message to `node`'s control connection.
+    pub fn send_to(&mut self, node: usize, message: &Message) -> Result<(), WorkerFailure> {
+        let Some(control) = self.controls[node].as_mut() else {
+            return Err(self.fail(Some(node), "no control connection"));
+        };
+        if let Err(e) = control.send(message) {
+            return Err(self.fail(Some(node), format!("control send failed: {e}")));
+        }
+        Ok(())
+    }
+
+    /// Broadcasts one message to every worker.
+    pub fn broadcast(&mut self, message: &Message) -> Result<(), WorkerFailure> {
+        for node in 0..self.children.len() {
+            self.send_to(node, message)?;
+        }
+        Ok(())
+    }
+
+    /// Waits (deadline-bounded, death-aware) for one message of kind
+    /// `expect` from `node`.  Anything else — a worker-reported error, an
+    /// unexpected kind, a dead or silent worker — fails the whole run.
+    pub fn recv_from(&mut self, node: usize, expect: &'static str) -> Result<Message, WorkerFailure> {
+        let deadline = Instant::now() + self.io_timeout;
+        loop {
+            let Some(control) = self.controls[node].as_mut() else {
+                return Err(self.fail(Some(node), "no control connection"));
+            };
+            match control.recv(Some(Duration::from_millis(100))) {
+                Ok(message) if message.name() == expect => return Ok(message),
+                Ok(Message::Error { message }) => {
+                    return Err(self.fail(Some(node), format!("worker reported: {message}")));
+                }
+                Ok(other) => {
+                    return Err(self.fail(Some(node), format!("expected {expect}, got {}", other.name())));
+                }
+                Err(RecvError::Timeout) => {
+                    if let Some(status) = self.children[node].poll_exit() {
+                        return Err(self.fail(
+                            Some(node),
+                            format!("worker exited ({status}) while the coordinator awaited {expect}"),
+                        ));
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(self.fail(Some(node), format!("timed out waiting for {expect}")));
+                    }
+                }
+                Err(RecvError::Closed) => {
+                    // Drain the exit status first: a crash shows up as a
+                    // closed socket, and the status plus stderr tail is the
+                    // useful part of the report.
+                    std::thread::sleep(Duration::from_millis(20));
+                    let status = self.children[node].poll_exit();
+                    let detail = match status {
+                        Some(status) => {
+                            format!("worker exited ({status}) while the coordinator awaited {expect}")
+                        }
+                        None => format!("worker closed its control connection awaiting {expect}"),
+                    };
+                    return Err(self.fail(Some(node), detail));
+                }
+                Err(e) => {
+                    return Err(self.fail(Some(node), format!("control receive failed: {e}")));
+                }
+            }
+        }
+    }
+
+    /// Waits for every worker to exit cleanly (deadline-bounded); a
+    /// non-zero exit or an overdue worker fails the run.
+    pub fn wait_all(&mut self) -> Result<(), WorkerFailure> {
+        let deadline = Instant::now() + self.io_timeout;
+        for node in 0..self.children.len() {
+            loop {
+                if let Some(status) = self.children[node].poll_exit() {
+                    if status.success() {
+                        break;
+                    }
+                    return Err(self.fail(Some(node), format!("worker exited with {status}")));
+                }
+                if Instant::now() >= deadline {
+                    return Err(self.fail(Some(node), "worker did not exit after shutdown"));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for child in &mut self.children {
+            child.kill_and_tail();
+        }
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Cleans up the rendezvous directory and any already-spawned children if
+/// spawning aborts partway.
+struct PoolDirGuard<'a> {
+    dir: Option<PathBuf>,
+    children: &'a mut Vec<WorkerChild>,
+}
+
+impl Drop for PoolDirGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(dir) = self.dir.take() {
+            for child in self.children.iter_mut() {
+                child.kill_and_tail();
+            }
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}

@@ -1,0 +1,394 @@
+//! # orwl-proc — multi-process cluster backend with the ORWL lock
+//! protocol over the wire
+//!
+//! The other backends run in one address space (threads) or none at all
+//! (discrete-event simulation).  This crate runs an ORWL program as
+//! actual operating-system processes: a coordinator spawns one worker per
+//! simulated cluster node, workers rendezvous over Unix-domain sockets,
+//! and every remote ORWL section — request, FIFO grant, data payload,
+//! release — travels as a versioned frame of the [`wire`] codec.  The
+//! framing is plain length-prefixed bytes, so the same protocol runs over
+//! TCP between real hosts; only the connect calls are socket-family
+//! specific.
+//!
+//! The backend reuses the whole placement stack: node sharding comes from
+//! [`orwl_cluster::policy_placement`] — the exact
+//! function the cluster simulator uses, so `Policy::Hierarchical` lays
+//! the same tasks on the same nodes in both worlds — and each worker
+//! drives its local tasks through a real `orwl_core` session.  Reports
+//! carry wall time, the plan's hop-bytes (identical to `ThreadBackend`
+//! on the same communication matrix), and a
+//! [`ClusterTraffic`] split whose inter-node component is *measured*
+//! from transport accounting rather than modelled — the committed
+//! `BENCH_proc_corr.json` artifact pins measured against predicted per
+//! lab scenario family (see [`corr`]).
+//!
+//! Any binary or test harness that drives [`ProcBackend`] must call
+//! [`maybe_worker`] as the first statement of `main` (or expose a test
+//! named in [`ProcBackend::with_worker_args`]): workers are the current
+//! executable re-exec'd with the worker-role environment.
+
+pub mod assignment;
+pub mod coordinator;
+pub mod corr;
+pub mod metrics;
+pub mod transport;
+pub mod wire;
+pub mod worker;
+
+pub use assignment::Assignment;
+pub use coordinator::{WorkerFailure, WorkerPool};
+pub use corr::{corr_document, validate_corr, CorrRow, CORR_SCHEMA, CORR_TOLERANCE};
+pub use metrics::{WorkerMetrics, METRICS_SCHEMA};
+pub use worker::maybe_worker;
+
+use crate::assignment::{PhasePlan, ReadEdge};
+use crate::wire::Message;
+use orwl_cluster::{inter_node_bytes, policy_placement, split_hop_bytes, ClusterMachine};
+use orwl_core::error::{ConfigError, OrwlError};
+use orwl_core::placement::PlacementPlan;
+use orwl_core::session::{ClusterTraffic, ExecutionBackend, Mode, Report, RunTime, SessionConfig, Workload};
+use orwl_numasim::workload::PhasedWorkload;
+use orwl_obs::json::Json;
+use orwl_obs::{ClockKind, EventKind, FabricLane, Recorder};
+use orwl_treematch::mapping::Placement;
+use orwl_treematch::policies::Policy;
+use std::time::{Duration, Instant};
+
+/// The multi-process cluster executor as a `Session` backend: one OS
+/// process per node of the wrapped [`ClusterMachine`], the ORWL lock
+/// protocol over sockets between them.
+#[derive(Debug, Clone)]
+pub struct ProcBackend {
+    machine: ClusterMachine,
+    nobind_seed: u64,
+    io_timeout: Duration,
+    worker_args: Vec<String>,
+    worker_env: Vec<(String, String)>,
+}
+
+impl ProcBackend {
+    /// Wraps a cluster machine: one worker process per node.
+    #[must_use]
+    pub fn new(machine: ClusterMachine) -> Self {
+        ProcBackend {
+            machine,
+            nobind_seed: 0xC0FFEE,
+            io_timeout: Duration::from_secs(30),
+            worker_args: Vec::new(),
+            worker_env: Vec::new(),
+        }
+    }
+
+    /// The paper's cluster shape with `n_nodes` nodes.
+    #[must_use]
+    pub fn paper(n_nodes: usize) -> Self {
+        ProcBackend::new(ClusterMachine::paper(n_nodes))
+    }
+
+    /// Arguments appended when re-exec'ing the current binary as a
+    /// worker.  Test harnesses must pin their worker-entry hook here
+    /// (e.g. `["proc_worker_entry", "--exact", "--nocapture"]`) so the
+    /// re-exec'd test binary runs only the hook instead of recursing
+    /// into the whole suite.
+    #[must_use]
+    pub fn with_worker_args(mut self, args: Vec<String>) -> Self {
+        self.worker_args = args;
+        self
+    }
+
+    /// Adds an environment variable to every spawned worker (the
+    /// robustness tests use this to inject failures).
+    #[must_use]
+    pub fn with_worker_env(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.worker_env.push((key.into(), value.into()));
+        self
+    }
+
+    /// Replaces the deadline applied to every blocking protocol step.
+    #[must_use]
+    pub fn with_io_timeout(mut self, io_timeout: Duration) -> Self {
+        self.io_timeout = io_timeout;
+        self
+    }
+
+    /// Replaces the seed of the `NoBind` OS-spread placement model
+    /// (shared with [`ClusterBackend`](orwl_cluster::ClusterBackend)).
+    #[must_use]
+    pub fn with_nobind_seed(mut self, seed: u64) -> Self {
+        self.nobind_seed = seed;
+        self
+    }
+
+    /// The cluster machine the processes emulate.
+    #[must_use]
+    pub fn machine(&self) -> &ClusterMachine {
+        &self.machine
+    }
+
+    /// Builds each worker's assignment from the node sharding and the
+    /// phase schedule: every positive off-diagonal matrix entry
+    /// `m[src][dst]` becomes one read of that many bytes by task `dst`
+    /// from task `src`'s location per iteration, filtered to the readers
+    /// hosted on each node.  This is the same ordered-pair traversal the
+    /// cluster simulator prices, which is what makes measured and
+    /// predicted inter-node bytes comparable.
+    fn assignments(
+        &self,
+        workload: &PhasedWorkload,
+        node_of_task: &[usize],
+        pool: &WorkerPool,
+    ) -> Vec<Assignment> {
+        let cluster = self.machine.cluster();
+        let n_nodes = cluster.n_nodes();
+        let n_tasks = workload.n_tasks();
+        let node_topo = cluster.node_topology();
+        let levels: Vec<(String, usize)> = node_topo
+            .level_spec()
+            .iter()
+            .map(|level| (level.obj_type.short_name().to_string(), level.count))
+            .collect();
+        let rack_of_node: Vec<usize> = (0..n_nodes).map(|k| cluster.rack_of_node(k)).collect();
+        let peer_listen: Vec<String> =
+            (0..n_nodes).map(|k| pool.peer_socket(k).to_string_lossy().into_owned()).collect();
+
+        (0..n_nodes)
+            .map(|node| Assignment {
+                node,
+                n_nodes,
+                n_tasks,
+                io_timeout_ms: self.io_timeout.as_millis() as u64,
+                topo_name: node_topo.name().to_string(),
+                levels: levels.clone(),
+                rack_of_node: rack_of_node.clone(),
+                node_of_task: node_of_task.to_vec(),
+                listen: peer_listen[node].clone(),
+                peer_listen: peer_listen.clone(),
+                phases: workload
+                    .phases
+                    .iter()
+                    .map(|phase| {
+                        let m = phase.graph.comm_matrix();
+                        let mut reads = Vec::new();
+                        for src in 0..n_tasks {
+                            for (dst, &dst_node) in node_of_task.iter().enumerate() {
+                                let bytes = m.get(src, dst);
+                                if src != dst && bytes > 0.0 && dst_node == node {
+                                    reads.push(ReadEdge { reader: dst, src, bytes });
+                                }
+                            }
+                        }
+                        PhasePlan { iterations: phase.iterations, reads }
+                    })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Drives the coordinator side of the control protocol to completion:
+    /// handshake, assignments, synchronized start, the wall-clocked
+    /// execution span, shutdown, and one metrics document per worker.
+    fn run_protocol(
+        &self,
+        mut pool: WorkerPool,
+        workload: &PhasedWorkload,
+        node_of_task: &[usize],
+    ) -> Result<(Duration, Vec<WorkerMetrics>), WorkerFailure> {
+        let assignments = self.assignments(workload, node_of_task, &pool);
+        let n_nodes = assignments.len();
+        pool.accept_controls()?;
+        for (node, assignment) in assignments.iter().enumerate() {
+            pool.send_to(node, &Message::Assignment { json: assignment.to_json().pretty() })?;
+        }
+        for node in 0..n_nodes {
+            pool.recv_from(node, "ready")?;
+        }
+        let started = Instant::now();
+        pool.broadcast(&Message::Start)?;
+        for node in 0..n_nodes {
+            pool.recv_from(node, "done")?;
+        }
+        let elapsed = started.elapsed();
+        pool.broadcast(&Message::Shutdown)?;
+        let mut metrics = Vec::with_capacity(n_nodes);
+        for node in 0..n_nodes {
+            let Message::Metrics { json, .. } = pool.recv_from(node, "metrics")? else {
+                unreachable!("recv_from returns the requested kind");
+            };
+            let parsed = Json::parse(&json)
+                .map_err(|e| format!("metrics document is not valid JSON: {e}"))
+                .and_then(|doc| WorkerMetrics::from_json(&doc));
+            match parsed {
+                Ok(m) => metrics.push(m),
+                Err(e) => return Err(pool.fail(Some(node), format!("bad metrics report: {e}"))),
+            }
+        }
+        pool.wait_all()?;
+        Ok((elapsed, metrics))
+    }
+
+    /// Tree hops a byte pays on each fabric lane of this machine, probed
+    /// from representative cross-node PU pairs (constant per lane in the
+    /// balanced trees the machines model): `(same_rack, cross_rack)`.
+    fn lane_hops(&self) -> (f64, f64) {
+        let cluster = self.machine.cluster();
+        let per_node = cluster.pus_per_node();
+        let mut same_rack = 0.0;
+        let mut cross_rack = 0.0;
+        for node in 1..cluster.n_nodes() {
+            let hops = cluster.hop_distance(0, node * per_node) as f64;
+            if cluster.rack_of_node(node) == cluster.rack_of_node(0) {
+                same_rack = hops;
+            } else {
+                cross_rack = hops;
+            }
+        }
+        (same_rack, cross_rack)
+    }
+}
+
+impl ExecutionBackend for ProcBackend {
+    fn name(&self) -> &'static str {
+        "proc"
+    }
+
+    fn run(&self, config: &SessionConfig, workload: Workload) -> Result<Report, OrwlError> {
+        if std::env::var(coordinator::ENV_ROLE).is_ok() {
+            // A worker must never spawn grand-workers: reaching this
+            // point means a harness forgot `maybe_worker()` or its
+            // worker-args filter, and recursing would fork-bomb.
+            return Err(OrwlError::WorkerFailed {
+                node: 0,
+                detail: "ProcBackend invoked inside a worker process (recursive spawn guard)".to_string(),
+            });
+        }
+        let Workload::Phased(workload) = workload else {
+            return Err(ConfigError::WorkloadMismatch {
+                backend: self.name().to_string(),
+                expected: "phased".to_string(),
+            }
+            .into());
+        };
+        let modelled = self.machine.topology();
+        if config.topology.name() != modelled.name()
+            || config.topology.nb_pus() != modelled.nb_pus()
+            || config.topology.level_spec() != modelled.level_spec()
+        {
+            return Err(ConfigError::TopologyMismatch {
+                backend: self.name().to_string(),
+                expected: modelled.name().to_string(),
+                got: config.topology.name().to_string(),
+            }
+            .into());
+        }
+        if !matches!(config.mode, Mode::Static) {
+            return Err(ConfigError::UnsupportedMode {
+                backend: self.name().to_string(),
+                mode: config.mode.name().to_string(),
+            }
+            .into());
+        }
+
+        // The same sharding step as the cluster simulator, from the same
+        // symmetrized first-phase matrix — the keystone of sim-vs-real
+        // comparability.
+        let cp = policy_placement(
+            &self.machine,
+            config.policy,
+            config.control_threads,
+            self.nobind_seed,
+            &workload.phases[0].graph.comm_matrix().symmetrized(),
+        );
+        let mapping = cp.global_mapping(&self.machine);
+        let cluster = self.machine.cluster();
+
+        // Intra-node traffic never touches a socket (it stays inside one
+        // worker's address space), so its hop-bytes and the same-node
+        // telemetry lane come from the plan, exactly as the simulator
+        // prices them; only the inter-node side is measured.
+        let mut intra_hop_model = 0.0;
+        let mut same_node_bytes_model = 0.0;
+        for phase in &workload.phases {
+            let m = phase.graph.comm_matrix();
+            let iters = phase.iterations as f64;
+            let (intra, _) = split_hop_bytes(cluster, &m, &mapping);
+            intra_hop_model += iters * intra;
+            let mut off_diagonal = 0.0;
+            for src in 0..m.order() {
+                for dst in 0..m.order() {
+                    if src != dst {
+                        off_diagonal += m.get(src, dst);
+                    }
+                }
+            }
+            same_node_bytes_model += iters * (off_diagonal - inter_node_bytes(cluster, &m, &mapping));
+        }
+
+        let pool = WorkerPool::spawn(cluster.n_nodes(), &self.worker_args, &self.worker_env, self.io_timeout)
+            .map_err(|e| OrwlError::WorkerFailed { node: 0, detail: format!("spawning workers: {e}") })?;
+        let (elapsed, metrics) = self
+            .run_protocol(pool, &workload, &cp.node_of_task)
+            .map_err(|f| OrwlError::WorkerFailed { node: f.node, detail: f.detail })?;
+
+        let mut same_rack_bytes = 0u64;
+        let mut cross_rack_bytes = 0u64;
+        for m in &metrics {
+            same_rack_bytes += m.same_rack_payload_bytes;
+            cross_rack_bytes += m.cross_rack_payload_bytes;
+        }
+        let measured_inter_bytes = (same_rack_bytes + cross_rack_bytes) as f64;
+        let (hops_same_rack, hops_cross_rack) = self.lane_hops();
+
+        let recorder = config.observe.map(|cfg| Recorder::new(ClockKind::Wall, cfg));
+        if let Some(obs) = recorder.as_ref() {
+            for (lane, bytes) in [
+                (FabricLane::SameNode, same_node_bytes_model),
+                (FabricLane::SameRack, same_rack_bytes as f64),
+                (FabricLane::CrossRack, cross_rack_bytes as f64),
+            ] {
+                if bytes > 0.0 {
+                    obs.record(EventKind::FabricTransfer { lane, bytes });
+                }
+            }
+            for m in &metrics {
+                for &(location, wait_ns) in &m.lock_wait_samples {
+                    obs.record_lock_wait(location, wait_ns);
+                }
+            }
+        }
+
+        // The plan mirrors `ThreadBackend`'s: raw first-phase matrix plus
+        // the policy's compute placement, so `report.hop_bytes` is
+        // directly comparable across the two executors on one program.
+        let matrix = workload.phases[0].graph.comm_matrix();
+        let placement = match config.policy {
+            Policy::NoBind => Placement::unbound(matrix.order(), config.control_threads),
+            _ => {
+                let mut p = cp.placement;
+                p.control = vec![None; config.control_threads];
+                p
+            }
+        };
+        let plan = PlacementPlan::new(config.policy, matrix, placement);
+        let breakdown = plan.breakdown(&config.topology);
+        let hop_bytes = plan.hop_bytes(&config.topology);
+        Ok(Report {
+            backend: self.name().to_string(),
+            mode: config.mode.name(),
+            time: RunTime::Wall(elapsed),
+            plan,
+            breakdown,
+            hop_bytes,
+            adapt: None,
+            thread: None,
+            fabric: Some(ClusterTraffic {
+                n_nodes: self.machine.n_nodes(),
+                intra_node_hop_bytes: intra_hop_model,
+                inter_node_hop_bytes: same_rack_bytes as f64 * hops_same_rack
+                    + cross_rack_bytes as f64 * hops_cross_rack,
+                inter_node_bytes: measured_inter_bytes,
+            }),
+            obs: recorder.map(|r| r.finish(self.name())),
+        })
+    }
+}

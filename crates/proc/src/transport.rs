@@ -1,0 +1,227 @@
+//! Framed message transport over a stream socket.
+//!
+//! [`FramedStream`] wraps a connected [`UnixStream`] with the wire codec
+//! from [`crate::wire`]: `send` writes one whole frame, `recv` blocks (up
+//! to a deadline) until one whole message decoded.  The framing is pure
+//! length-prefixed bytes, so the same code works over TCP for inter-host
+//! deployment — only the connect/accept calls differ.
+//!
+//! Every stream counts frames and payload bytes in both directions; the
+//! worker folds these tallies into its metrics report, which is where the
+//! backend's *measured* hop-bytes come from.
+
+use crate::wire::{FrameReader, Message, WireError};
+use std::io::{ErrorKind, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+/// Why a `recv` failed.
+#[derive(Debug)]
+pub enum RecvError {
+    /// The deadline passed with no complete message.
+    Timeout,
+    /// The peer closed the connection.
+    Closed,
+    /// The peer sent a malformed frame.
+    Wire(WireError),
+    /// The socket itself failed.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecvError::Timeout => write!(f, "timed out waiting for a message"),
+            RecvError::Closed => write!(f, "peer closed the connection"),
+            RecvError::Wire(e) => write!(f, "protocol error: {e}"),
+            RecvError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// A connected stream speaking whole [`Message`]s.
+pub struct FramedStream {
+    stream: UnixStream,
+    reader: FrameReader,
+    read_buf: [u8; 64 * 1024],
+    frames_sent: u64,
+    frames_received: u64,
+    bytes_sent: u64,
+    bytes_received: u64,
+}
+
+impl FramedStream {
+    /// Wraps a connected socket.
+    #[must_use]
+    pub fn new(stream: UnixStream) -> Self {
+        FramedStream {
+            stream,
+            reader: FrameReader::new(),
+            read_buf: [0; 64 * 1024],
+            frames_sent: 0,
+            frames_received: 0,
+            bytes_sent: 0,
+            bytes_received: 0,
+        }
+    }
+
+    /// Connects to a Unix-domain listener at `path`.
+    pub fn connect(path: &std::path::Path) -> std::io::Result<Self> {
+        UnixStream::connect(path).map(FramedStream::new)
+    }
+
+    /// Frames written so far.
+    #[must_use]
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent
+    }
+
+    /// Frames decoded so far.
+    #[must_use]
+    pub fn frames_received(&self) -> u64 {
+        self.frames_received
+    }
+
+    /// Total bytes written (headers included).
+    #[must_use]
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Total bytes read (headers included).
+    #[must_use]
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received
+    }
+
+    /// Writes one message as a single frame.
+    pub fn send(&mut self, message: &Message) -> std::io::Result<()> {
+        let frame = message.encode();
+        self.stream.write_all(&frame)?;
+        self.frames_sent += 1;
+        self.bytes_sent += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Blocks until one whole message arrives, up to `deadline` from now.
+    ///
+    /// The wait is implemented with short socket read timeouts so a hung
+    /// peer can never park the caller forever; a `None` deadline still
+    /// polls but never gives up (the coordinator always passes `Some`).
+    pub fn recv(&mut self, deadline: Option<Duration>) -> Result<Message, RecvError> {
+        let start = Instant::now();
+        loop {
+            if let Some(message) = self.reader.try_next().map_err(RecvError::Wire)? {
+                self.frames_received += 1;
+                return Ok(message);
+            }
+            if let Some(limit) = deadline {
+                if start.elapsed() >= limit {
+                    return Err(RecvError::Timeout);
+                }
+            }
+            self.stream.set_read_timeout(Some(Duration::from_millis(100))).map_err(RecvError::Io)?;
+            match self.stream.read(&mut self.read_buf) {
+                Ok(0) => return Err(RecvError::Closed),
+                Ok(n) => {
+                    self.bytes_received += n as u64;
+                    self.reader.push(&self.read_buf[..n]);
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(RecvError::Io(e)),
+            }
+        }
+    }
+
+    /// `recv` restricted to one expected kind; anything else — including a
+    /// peer-reported [`Message::Error`] — becomes a descriptive error
+    /// string for the caller's typed failure.
+    pub fn recv_expect(
+        &mut self,
+        expect: &'static str,
+        deadline: Option<Duration>,
+    ) -> Result<Message, String> {
+        match self.recv(deadline) {
+            Ok(message) if message.name() == expect => Ok(message),
+            Ok(Message::Error { message }) => Err(format!("peer reported: {message}")),
+            Ok(other) => Err(format!("expected {expect}, got {}", other.name())),
+            Err(e) => Err(format!("while waiting for {expect}: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::MAX_DATA;
+    use std::time::Duration;
+
+    fn pair() -> (FramedStream, FramedStream) {
+        let (a, b) = UnixStream::pair().unwrap();
+        (FramedStream::new(a), FramedStream::new(b))
+    }
+
+    #[test]
+    fn send_recv_roundtrip_with_counters() {
+        let (mut a, mut b) = pair();
+        let msg =
+            Message::LockRequest { seq: 1, location: 9, access: crate::wire::WireAccess::Read, bytes: 4096 };
+        a.send(&msg).unwrap();
+        let got = b.recv(Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(got, msg);
+        assert_eq!(a.frames_sent(), 1);
+        assert_eq!(b.frames_received(), 1);
+        assert_eq!(a.bytes_sent(), b.bytes_received());
+        assert!(a.bytes_sent() > 0);
+    }
+
+    #[test]
+    fn large_grant_crosses_the_socket() {
+        let (mut a, mut b) = pair();
+        let msg = Message::LockGrant { seq: 7, location: 3, data: vec![0xAB; MAX_DATA] };
+        let writer = std::thread::spawn(move || {
+            a.send(&msg).unwrap();
+            (a, msg)
+        });
+        let got = b.recv(Some(Duration::from_secs(10))).unwrap();
+        let (_a, msg) = writer.join().unwrap();
+        assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn recv_times_out_instead_of_hanging() {
+        let (_a, mut b) = pair();
+        let start = std::time::Instant::now();
+        match b.recv(Some(Duration::from_millis(150))) {
+            Err(RecvError::Timeout) => {}
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn closed_peer_is_not_a_timeout() {
+        let (a, mut b) = pair();
+        drop(a);
+        match b.recv(Some(Duration::from_secs(5))) {
+            Err(RecvError::Closed) => {}
+            other => panic!("expected closed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recv_expect_names_the_mismatch() {
+        let (mut a, mut b) = pair();
+        a.send(&Message::Start).unwrap();
+        let err = b.recv_expect("ready", Some(Duration::from_secs(5))).unwrap_err();
+        assert!(err.contains("expected ready"), "{err}");
+        assert!(err.contains("start"), "{err}");
+
+        a.send(&Message::Error { message: "boom".to_string() }).unwrap();
+        let err = b.recv_expect("ready", Some(Duration::from_secs(5))).unwrap_err();
+        assert!(err.contains("boom"), "{err}");
+    }
+}

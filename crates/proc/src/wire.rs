@@ -1,0 +1,613 @@
+//! The versioned wire codec of the ORWL lock protocol.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! | magic "ORWL" (4) | version u16 LE (2) | kind u8 (1) | len u32 LE (4) | payload (len) |
+//! ```
+//!
+//! The framing is transport-agnostic — the backend speaks it over
+//! Unix-domain sockets today, and the same length-prefixed frames work
+//! over TCP for inter-host deployment later.  Payload fields are
+//! little-endian and fixed-layout per kind; variable-length tails
+//! (assignment/metrics JSON, grant data) occupy the remainder of the
+//! frame, so no field needs its own length prefix.
+//!
+//! The lock protocol proper is three kinds: [`Message::LockRequest`]
+//! enters the owner's FIFO for a location, [`Message::LockGrant`] answers
+//! once the FIFO grants the section *and carries the location buffer as
+//! its payload*, and [`Message::Release`] closes the section.  The
+//! remaining kinds run the coordinator↔worker lifecycle (hello,
+//! assignment, ready/start barrier, metrics/done, shutdown) and error
+//! reporting.
+//!
+//! [`FrameReader`] decodes incrementally: push whatever bytes arrived,
+//! take out whole messages — partial headers, split payloads and multiple
+//! frames per read all work, which the proptests pin.
+
+use std::fmt;
+
+/// Frame magic: `"ORWL"`.
+pub const MAGIC: [u8; 4] = *b"ORWL";
+
+/// Protocol version carried in every frame header.
+pub const VERSION: u16 = 1;
+
+/// Frame header length in bytes (magic + version + kind + payload len).
+pub const HEADER_LEN: usize = 11;
+
+/// Hard cap on a location buffer carried by a [`Message::LockGrant`].
+pub const MAX_DATA: usize = 1 << 20;
+
+/// Hard cap on any frame payload: the largest grant plus its fixed
+/// fields, with headroom for the JSON-bearing kinds.
+pub const MAX_PAYLOAD: usize = MAX_DATA + 64;
+
+/// Access mode of a remote lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireAccess {
+    /// Shared read section.
+    Read,
+    /// Exclusive write section.
+    Write,
+}
+
+impl WireAccess {
+    fn code(self) -> u8 {
+        match self {
+            WireAccess::Read => 0,
+            WireAccess::Write => 1,
+        }
+    }
+
+    fn from_code(code: u8) -> Result<Self, WireError> {
+        match code {
+            0 => Ok(WireAccess::Read),
+            1 => Ok(WireAccess::Write),
+            other => Err(WireError::BadField { kind: KIND_LOCK_REQUEST, what: "access mode", got: other }),
+        }
+    }
+}
+
+const KIND_HELLO: u8 = 0;
+const KIND_ASSIGNMENT: u8 = 1;
+const KIND_READY: u8 = 2;
+const KIND_START: u8 = 3;
+const KIND_LOCK_REQUEST: u8 = 4;
+const KIND_LOCK_GRANT: u8 = 5;
+const KIND_RELEASE: u8 = 6;
+const KIND_DONE: u8 = 7;
+const KIND_METRICS: u8 = 8;
+const KIND_ERROR: u8 = 9;
+const KIND_SHUTDOWN: u8 = 10;
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Worker → coordinator: first message on the control connection.
+    Hello {
+        /// The worker's node index.
+        node: u32,
+    },
+    /// Coordinator → worker: the run assignment (an
+    /// `orwl-proc-assign/v1` JSON document, see `assignment`).
+    Assignment {
+        /// The assignment document text.
+        json: String,
+    },
+    /// Worker → coordinator: the worker's peer listener is bound.
+    Ready {
+        /// The worker's node index.
+        node: u32,
+    },
+    /// Coordinator → worker: every listener is up; start executing.
+    Start,
+    /// Peer → owner: enter the FIFO of `location` (the location owned by
+    /// the task with that global index).
+    LockRequest {
+        /// Requester-chosen id echoed by the grant.
+        seq: u64,
+        /// Global task index owning the location.
+        location: u64,
+        /// Requested section mode.
+        access: WireAccess,
+        /// Bytes of the location buffer the requester wants carried back.
+        bytes: u64,
+    },
+    /// Owner → peer: the FIFO granted the section; `data` is the location
+    /// buffer (truncated to the requested size, capped at [`MAX_DATA`]).
+    LockGrant {
+        /// Echo of the request's `seq`.
+        seq: u64,
+        /// Echo of the request's `location`.
+        location: u64,
+        /// The location buffer.
+        data: Vec<u8>,
+    },
+    /// Peer → owner: close the granted section.
+    Release {
+        /// Echo of the grant's `seq`.
+        seq: u64,
+        /// Echo of the grant's `location`.
+        location: u64,
+    },
+    /// Worker → coordinator: all local tasks finished.
+    Done {
+        /// The worker's node index.
+        node: u32,
+    },
+    /// Worker → coordinator: transport and lock-wait accounting (an
+    /// `orwl-proc-metrics/v1` JSON document), sent just before `Done`.
+    Metrics {
+        /// The worker's node index.
+        node: u32,
+        /// The metrics document text.
+        json: String,
+    },
+    /// Either direction: a fatal failure, with a human-readable reason.
+    Error {
+        /// The failure description.
+        message: String,
+    },
+    /// Coordinator → worker: every worker is done; exit now.
+    Shutdown,
+}
+
+impl Message {
+    fn kind(&self) -> u8 {
+        match self {
+            Message::Hello { .. } => KIND_HELLO,
+            Message::Assignment { .. } => KIND_ASSIGNMENT,
+            Message::Ready { .. } => KIND_READY,
+            Message::Start => KIND_START,
+            Message::LockRequest { .. } => KIND_LOCK_REQUEST,
+            Message::LockGrant { .. } => KIND_LOCK_GRANT,
+            Message::Release { .. } => KIND_RELEASE,
+            Message::Done { .. } => KIND_DONE,
+            Message::Metrics { .. } => KIND_METRICS,
+            Message::Error { .. } => KIND_ERROR,
+            Message::Shutdown => KIND_SHUTDOWN,
+        }
+    }
+
+    /// Stable name of the message kind (diagnostics).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Message::Hello { .. } => "hello",
+            Message::Assignment { .. } => "assignment",
+            Message::Ready { .. } => "ready",
+            Message::Start => "start",
+            Message::LockRequest { .. } => "lock_request",
+            Message::LockGrant { .. } => "lock_grant",
+            Message::Release { .. } => "release",
+            Message::Done { .. } => "done",
+            Message::Metrics { .. } => "metrics",
+            Message::Error { .. } => "error",
+            Message::Shutdown => "shutdown",
+        }
+    }
+
+    /// Encodes the message as one complete frame.
+    ///
+    /// # Panics
+    /// If the payload would exceed [`MAX_PAYLOAD`] (grant data is the only
+    /// unbounded field and callers cap it at [`MAX_DATA`]).
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        match self {
+            Message::Hello { node } | Message::Ready { node } | Message::Done { node } => {
+                payload.extend_from_slice(&node.to_le_bytes());
+            }
+            Message::Assignment { json } | Message::Error { message: json } => {
+                payload.extend_from_slice(json.as_bytes());
+            }
+            Message::Start | Message::Shutdown => {}
+            Message::LockRequest { seq, location, access, bytes } => {
+                payload.extend_from_slice(&seq.to_le_bytes());
+                payload.extend_from_slice(&location.to_le_bytes());
+                payload.push(access.code());
+                payload.extend_from_slice(&bytes.to_le_bytes());
+            }
+            Message::LockGrant { seq, location, data } => {
+                assert!(data.len() <= MAX_DATA, "grant data over MAX_DATA");
+                payload.extend_from_slice(&seq.to_le_bytes());
+                payload.extend_from_slice(&location.to_le_bytes());
+                payload.extend_from_slice(data);
+            }
+            Message::Release { seq, location } => {
+                payload.extend_from_slice(&seq.to_le_bytes());
+                payload.extend_from_slice(&location.to_le_bytes());
+            }
+            Message::Metrics { node, json } => {
+                payload.extend_from_slice(&node.to_le_bytes());
+                payload.extend_from_slice(json.as_bytes());
+            }
+        }
+        assert!(payload.len() <= MAX_PAYLOAD, "payload over MAX_PAYLOAD");
+        let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
+        frame.extend_from_slice(&MAGIC);
+        frame.extend_from_slice(&VERSION.to_le_bytes());
+        frame.push(self.kind());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame
+    }
+}
+
+/// A malformed frame or payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame does not start with `"ORWL"`.
+    BadMagic {
+        /// The four bytes found instead.
+        got: [u8; 4],
+    },
+    /// The frame carries an unsupported protocol version.
+    BadVersion {
+        /// The version found.
+        got: u16,
+    },
+    /// The frame's kind byte names no message.
+    UnknownKind(u8),
+    /// The declared payload length exceeds [`MAX_PAYLOAD`].
+    PayloadTooLarge {
+        /// The declared length.
+        len: u32,
+    },
+    /// The payload is shorter than the kind's fixed fields.
+    Truncated {
+        /// The kind whose payload was short.
+        kind: u8,
+    },
+    /// A JSON-bearing payload is not valid UTF-8.
+    BadUtf8 {
+        /// The kind whose payload was malformed.
+        kind: u8,
+    },
+    /// A field value outside its domain.
+    BadField {
+        /// The kind carrying the field.
+        kind: u8,
+        /// Which field.
+        what: &'static str,
+        /// The raw value found.
+        got: u8,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic { got } => write!(f, "bad frame magic {got:?}"),
+            WireError::BadVersion { got } => {
+                write!(f, "unsupported protocol version {got} (speaking {VERSION})")
+            }
+            WireError::UnknownKind(kind) => write!(f, "unknown message kind {kind}"),
+            WireError::PayloadTooLarge { len } => {
+                write!(f, "payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte cap")
+            }
+            WireError::Truncated { kind } => write!(f, "payload of kind {kind} is truncated"),
+            WireError::BadUtf8 { kind } => write!(f, "payload of kind {kind} is not valid UTF-8"),
+            WireError::BadField { kind, what, got } => {
+                write!(f, "kind {kind}: bad {what} value {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn take_u32(payload: &[u8], at: usize, kind: u8) -> Result<u32, WireError> {
+    payload
+        .get(at..at + 4)
+        .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+        .ok_or(WireError::Truncated { kind })
+}
+
+fn take_u64(payload: &[u8], at: usize, kind: u8) -> Result<u64, WireError> {
+    payload
+        .get(at..at + 8)
+        .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+        .ok_or(WireError::Truncated { kind })
+}
+
+fn take_string(payload: &[u8], at: usize, kind: u8) -> Result<String, WireError> {
+    let tail = payload.get(at..).ok_or(WireError::Truncated { kind })?;
+    String::from_utf8(tail.to_vec()).map_err(|_| WireError::BadUtf8 { kind })
+}
+
+fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, WireError> {
+    Ok(match kind {
+        KIND_HELLO => Message::Hello { node: take_u32(payload, 0, kind)? },
+        KIND_ASSIGNMENT => Message::Assignment { json: take_string(payload, 0, kind)? },
+        KIND_READY => Message::Ready { node: take_u32(payload, 0, kind)? },
+        KIND_START => Message::Start,
+        KIND_LOCK_REQUEST => {
+            let access_code = *payload.get(16).ok_or(WireError::Truncated { kind })?;
+            Message::LockRequest {
+                seq: take_u64(payload, 0, kind)?,
+                location: take_u64(payload, 8, kind)?,
+                access: WireAccess::from_code(access_code)?,
+                bytes: take_u64(payload, 17, kind)?,
+            }
+        }
+        KIND_LOCK_GRANT => Message::LockGrant {
+            seq: take_u64(payload, 0, kind)?,
+            location: take_u64(payload, 8, kind)?,
+            data: payload.get(16..).ok_or(WireError::Truncated { kind })?.to_vec(),
+        },
+        KIND_RELEASE => {
+            Message::Release { seq: take_u64(payload, 0, kind)?, location: take_u64(payload, 8, kind)? }
+        }
+        KIND_DONE => Message::Done { node: take_u32(payload, 0, kind)? },
+        KIND_METRICS => {
+            Message::Metrics { node: take_u32(payload, 0, kind)?, json: take_string(payload, 4, kind)? }
+        }
+        KIND_ERROR => Message::Error { message: take_string(payload, 0, kind)? },
+        KIND_SHUTDOWN => Message::Shutdown,
+        other => return Err(WireError::UnknownKind(other)),
+    })
+}
+
+/// Incremental frame decoder: push arriving bytes, take whole messages.
+///
+/// Survives partial headers, split payloads and several frames per push —
+/// whatever chunking the socket produces.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    /// An empty reader.
+    #[must_use]
+    pub fn new() -> Self {
+        FrameReader::default()
+    }
+
+    /// Appends bytes read from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Decodes the next complete message, if one is buffered.  A decode
+    /// error is fatal for the stream: the reader makes no attempt to
+    /// resynchronise.
+    pub fn try_next(&mut self) -> Result<Option<Message>, WireError> {
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let magic: [u8; 4] = self.buf[0..4].try_into().unwrap();
+        if magic != MAGIC {
+            return Err(WireError::BadMagic { got: magic });
+        }
+        let version = u16::from_le_bytes(self.buf[4..6].try_into().unwrap());
+        if version != VERSION {
+            return Err(WireError::BadVersion { got: version });
+        }
+        let kind = self.buf[6];
+        let len = u32::from_le_bytes(self.buf[7..11].try_into().unwrap());
+        if len as usize > MAX_PAYLOAD {
+            return Err(WireError::PayloadTooLarge { len });
+        }
+        let total = HEADER_LEN + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let message = decode_payload(kind, &self.buf[HEADER_LEN..total])?;
+        self.buf.drain(..total);
+        Ok(Some(message))
+    }
+}
+
+/// Decodes exactly one message from a complete frame.
+pub fn decode_frame(frame: &[u8]) -> Result<Message, WireError> {
+    let mut reader = FrameReader::new();
+    reader.push(frame);
+    match reader.try_next()? {
+        Some(message) if reader.pending() == 0 => Ok(message),
+        Some(_) => Err(WireError::Truncated { kind: frame.get(6).copied().unwrap_or(0) }),
+        None => Err(WireError::Truncated { kind: frame.get(6).copied().unwrap_or(0) }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(message: &Message) {
+        let frame = message.encode();
+        assert_eq!(&decode_frame(&frame).unwrap(), message, "frame {frame:?}");
+    }
+
+    #[test]
+    fn every_kind_roundtrips() {
+        for message in [
+            Message::Hello { node: 0 },
+            Message::Assignment { json: "{\"schema\":\"orwl-proc-assign/v1\"}".to_string() },
+            Message::Ready { node: 7 },
+            Message::Start,
+            Message::LockRequest { seq: 1, location: 2, access: WireAccess::Read, bytes: 65536 },
+            Message::LockRequest { seq: u64::MAX, location: 0, access: WireAccess::Write, bytes: 0 },
+            Message::LockGrant { seq: 1, location: 2, data: vec![1, 2, 3] },
+            Message::LockGrant { seq: 0, location: 0, data: Vec::new() },
+            Message::Release { seq: 9, location: 4 },
+            Message::Done { node: 3 },
+            Message::Metrics { node: 3, json: "{\"node\":3}".to_string() },
+            Message::Error { message: "worker 2 panicked".to_string() },
+            Message::Shutdown,
+        ] {
+            roundtrip(&message);
+        }
+    }
+
+    #[test]
+    fn max_size_grant_roundtrips() {
+        let data: Vec<u8> = (0..MAX_DATA).map(|i| (i % 251) as u8).collect();
+        let message = Message::LockGrant { seq: 42, location: 17, data };
+        let frame = message.encode();
+        assert_eq!(frame.len(), HEADER_LEN + 16 + MAX_DATA);
+        assert_eq!(decode_frame(&frame).unwrap(), message);
+    }
+
+    #[test]
+    #[should_panic(expected = "MAX_DATA")]
+    fn oversize_grant_is_refused_at_encode() {
+        let _ = Message::LockGrant { seq: 0, location: 0, data: vec![0; MAX_DATA + 1] }.encode();
+    }
+
+    #[test]
+    fn malformed_frames_are_typed_errors() {
+        let good = Message::Start.encode();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(decode_frame(&bad_magic), Err(WireError::BadMagic { .. })));
+
+        let mut bad_version = good.clone();
+        bad_version[4] = 99;
+        assert!(matches!(decode_frame(&bad_version), Err(WireError::BadVersion { got: 99 })));
+
+        let mut bad_kind = good.clone();
+        bad_kind[6] = 200;
+        assert!(matches!(decode_frame(&bad_kind), Err(WireError::UnknownKind(200))));
+
+        let mut huge = good.clone();
+        huge[7..11].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(matches!(decode_frame(&huge), Err(WireError::PayloadTooLarge { .. })));
+
+        // A hello frame with a short payload.
+        let mut short = Message::Hello { node: 1 }.encode();
+        short.truncate(HEADER_LEN + 2);
+        short[7..11].copy_from_slice(&2u32.to_le_bytes());
+        assert!(matches!(decode_frame(&short), Err(WireError::Truncated { .. })));
+
+        // A lock request with an out-of-domain access mode.
+        let mut bad_access =
+            Message::LockRequest { seq: 1, location: 1, access: WireAccess::Read, bytes: 8 }.encode();
+        bad_access[HEADER_LEN + 16] = 9;
+        assert!(matches!(decode_frame(&bad_access), Err(WireError::BadField { .. })));
+
+        // Errors render something human-readable.
+        for err in [
+            WireError::BadMagic { got: *b"XXXX" },
+            WireError::BadVersion { got: 9 },
+            WireError::UnknownKind(99),
+            WireError::PayloadTooLarge { len: u32::MAX },
+            WireError::Truncated { kind: 1 },
+            WireError::BadUtf8 { kind: 1 },
+            WireError::BadField { kind: 4, what: "access mode", got: 9 },
+        ] {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn reader_survives_byte_at_a_time_delivery() {
+        let messages = [Message::Hello { node: 5 }, Message::Start, Message::Release { seq: 3, location: 1 }];
+        let stream: Vec<u8> = messages.iter().flat_map(Message::encode).collect();
+        let mut reader = FrameReader::new();
+        let mut decoded = Vec::new();
+        for byte in stream {
+            reader.push(&[byte]);
+            while let Some(m) = reader.try_next().unwrap() {
+                decoded.push(m);
+            }
+        }
+        assert_eq!(decoded.as_slice(), messages.as_slice());
+        assert_eq!(reader.pending(), 0);
+    }
+
+    /// A strategy-driven arbitrary message: kind selector plus generously
+    /// sized field material.
+    fn build_message(
+        selector: usize,
+        a: u64,
+        b: u64,
+        small: u8,
+        text_bytes: Vec<u8>,
+        data: Vec<u8>,
+    ) -> Message {
+        let text: String = text_bytes.iter().map(|&b| char::from(b % 94 + 32)).collect();
+        match selector % 11 {
+            0 => Message::Hello { node: a as u32 },
+            1 => Message::Assignment { json: text },
+            2 => Message::Ready { node: b as u32 },
+            3 => Message::Start,
+            4 => Message::LockRequest {
+                seq: a,
+                location: b,
+                access: if small.is_multiple_of(2) { WireAccess::Read } else { WireAccess::Write },
+                bytes: a ^ b,
+            },
+            5 => Message::LockGrant { seq: a, location: b, data },
+            6 => Message::Release { seq: a, location: b },
+            7 => Message::Done { node: a as u32 },
+            8 => Message::Metrics { node: b as u32, json: text },
+            9 => Message::Error { message: text },
+            _ => Message::Shutdown,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn any_message_roundtrips(
+            selector in 0usize..11,
+            a in 0u64..u64::MAX,
+            b in 0u64..u64::MAX,
+            small in 0u8..255,
+            text in proptest::collection::vec(0u8..255, 0..200),
+            data in proptest::collection::vec(0u8..255, 0..2048),
+        ) {
+            let message = build_message(selector, a, b, small, text, data);
+            let frame = message.encode();
+            prop_assert_eq!(decode_frame(&frame).unwrap(), message);
+        }
+
+        #[test]
+        fn split_reads_reassemble_any_stream(
+            selectors in proptest::collection::vec(0usize..11, 1..6),
+            a in 0u64..u64::MAX,
+            b in 0u64..1_000_000,
+            small in 0u8..255,
+            data in proptest::collection::vec(0u8..255, 0..512),
+            chunk_sizes in proptest::collection::vec(1usize..40, 1..64),
+        ) {
+            let messages: Vec<Message> = selectors
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| {
+                    build_message(s, a.wrapping_add(i as u64), b + i as u64, small, vec![small; i], data.clone())
+                })
+                .collect();
+            let stream: Vec<u8> = messages.iter().flat_map(Message::encode).collect();
+
+            let mut reader = FrameReader::new();
+            let mut decoded = Vec::new();
+            let mut at = 0usize;
+            let mut chunk = 0usize;
+            while at < stream.len() {
+                let take = chunk_sizes[chunk % chunk_sizes.len()].min(stream.len() - at);
+                chunk += 1;
+                reader.push(&stream[at..at + take]);
+                at += take;
+                while let Some(m) = reader.try_next().map_err(|e| TestCaseError(e.to_string()))? {
+                    decoded.push(m);
+                }
+            }
+            prop_assert_eq!(decoded, messages);
+            prop_assert_eq!(reader.pending(), 0);
+        }
+    }
+}

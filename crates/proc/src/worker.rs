@@ -1,0 +1,487 @@
+//! The worker side of the multi-process backend.
+//!
+//! A worker is the current binary re-exec'd with the worker-role
+//! environment set.  Binaries and test harnesses that drive
+//! [`ProcBackend`](crate::ProcBackend) call [`maybe_worker`] as their
+//! first statement: in the parent it is a no-op, in a spawned worker it
+//! runs the whole worker lifecycle and exits the process.
+//!
+//! Lifecycle: connect to the coordinator → `Hello` → receive the
+//! [`Assignment`] → bind the peer listener and start the serving thread →
+//! `Ready` → `Start` → run the local tasks through a real
+//! `orwl_core` session (one-shot ORWL handles for local sections, the
+//! wire protocol for remote ones) → `Done` → keep serving peers until
+//! `Shutdown` → report [`WorkerMetrics`] → exit.
+//!
+//! Remote sections run the ORWL FIFO discipline over the wire: the
+//! reader's `LockRequest` enters the owner's local FIFO (a one-shot read
+//! handle on the owned location), the `LockGrant` carries the location
+//! buffer back, and the reader's `Release` closes the section.  Each
+//! (reader, owner) pair shares one connection and the reader holds it for
+//! the whole request→grant→release exchange, so a connection never
+//! interleaves two sections and the server side needs no demultiplexer.
+
+use crate::assignment::Assignment;
+use crate::coordinator::{ENV_COORD, ENV_NODE, ENV_ROLE};
+use crate::metrics::{WorkerMetrics, MAX_WAIT_SAMPLES};
+use crate::transport::{FramedStream, RecvError};
+use crate::wire::{Message, WireAccess, MAX_DATA};
+use orwl_core::location::Location;
+use orwl_core::request::AccessMode;
+use orwl_core::session::{Session, ThreadBackend};
+use orwl_core::task::{LocationLink, OrwlProgram, TaskSpec};
+use orwl_obs::json::Json;
+use orwl_topo::binding::RecordingBinder;
+use orwl_topo::object::ObjectType;
+use orwl_topo::topology::{LevelSpec, Topology};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::os::unix::net::UnixListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Environment variable that makes the named worker panic right after
+/// `Start` — the failure-injection hook of the robustness tests.
+pub const ENV_PANIC_NODE: &str = "ORWL_PROC_PANIC_NODE";
+
+/// Runs the worker lifecycle and exits iff this process was spawned as an
+/// `orwl-proc` worker; returns immediately otherwise.  Call first thing
+/// in `main` of any binary that drives `ProcBackend`.
+pub fn maybe_worker() {
+    if std::env::var(ENV_ROLE).as_deref() != Ok("worker") {
+        return;
+    }
+    match worker_main() {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("orwl-proc worker failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn env_usize(key: &str) -> Result<usize, String> {
+    std::env::var(key)
+        .map_err(|_| format!("{key} is not set"))?
+        .parse()
+        .map_err(|e| format!("{key} is not a number: {e}"))
+}
+
+fn worker_main() -> Result<(), String> {
+    let node = env_usize(ENV_NODE)?;
+    let coord = std::env::var(ENV_COORD).map_err(|_| format!("{ENV_COORD} is not set"))?;
+    let mut control = FramedStream::connect(std::path::Path::new(&coord))
+        .map_err(|e| format!("connecting to coordinator at {coord}: {e}"))?;
+    control.send(&Message::Hello { node: node as u32 }).map_err(|e| format!("sending hello: {e}"))?;
+    let Message::Assignment { json } = control.recv_expect("assignment", Some(Duration::from_secs(30)))?
+    else {
+        unreachable!("recv_expect returns the expected kind");
+    };
+    let doc = Json::parse(&json).map_err(|e| format!("assignment is not valid JSON: {e}"))?;
+    let assignment = Assignment::from_json(&doc).map_err(|e| format!("bad assignment: {e}"))?;
+    if assignment.node != node {
+        return Err(format!("assignment for node {} delivered to node {node}", assignment.node));
+    }
+    match run_worker(&mut control, &assignment) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = control.send(&Message::Error { message: e.clone() });
+            Err(e)
+        }
+    }
+}
+
+/// Shared tallies of the reader side (remote sections this worker opened).
+#[derive(Default)]
+struct ReaderTallies {
+    same_rack_payload_bytes: AtomicU64,
+    cross_rack_payload_bytes: AtomicU64,
+    remote_reads: AtomicU64,
+    lock_wait_count: AtomicU64,
+    lock_wait_total_ns: AtomicU64,
+    lock_wait_samples: Mutex<Vec<(u64, u64)>>,
+}
+
+/// The reader-side gateway: one serialized connection per owner peer.
+struct PeerGateway {
+    conns: BTreeMap<usize, Mutex<FramedStream>>,
+    node_of_task: Vec<usize>,
+    rack_of_node: Vec<usize>,
+    my_rack: usize,
+    io_timeout: Duration,
+    seq: AtomicU64,
+    tallies: ReaderTallies,
+}
+
+impl PeerGateway {
+    fn connect(assignment: &Assignment) -> Result<PeerGateway, String> {
+        let mut peers = BTreeSet::new();
+        for phase in &assignment.phases {
+            for read in &phase.reads {
+                let owner = assignment.node_of_task[read.src];
+                if owner != assignment.node {
+                    peers.insert(owner);
+                }
+            }
+        }
+        let mut conns = BTreeMap::new();
+        for peer in peers {
+            let path = std::path::Path::new(&assignment.peer_listen[peer]);
+            let stream =
+                FramedStream::connect(path).map_err(|e| format!("connecting to peer {peer}: {e}"))?;
+            conns.insert(peer, Mutex::new(stream));
+        }
+        Ok(PeerGateway {
+            conns,
+            node_of_task: assignment.node_of_task.clone(),
+            rack_of_node: assignment.rack_of_node.clone(),
+            my_rack: assignment.rack_of_node[assignment.node],
+            io_timeout: Duration::from_millis(assignment.io_timeout_ms),
+            seq: AtomicU64::new(0),
+            tallies: ReaderTallies::default(),
+        })
+    }
+
+    /// One remote read section: request → grant (with payload) → release.
+    fn remote_read(&self, src: usize, bytes: f64) -> Result<(), String> {
+        let owner = self.node_of_task[src];
+        let conn =
+            self.conns.get(&owner).ok_or_else(|| format!("no connection to peer {owner} for task {src}"))?;
+        let mut stream = conn.lock().map_err(|_| "gateway connection poisoned".to_string())?;
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let want = (bytes.round().max(0.0) as u64).min(MAX_DATA as u64);
+        let location = src as u64;
+        stream
+            .send(&Message::LockRequest { seq, location, access: WireAccess::Read, bytes: want })
+            .map_err(|e| format!("lock request to peer {owner}: {e}"))?;
+        let requested = Instant::now();
+        let granted = match stream.recv(Some(self.io_timeout)) {
+            Ok(Message::LockGrant { seq: s, location: l, data }) if s == seq && l == location => data,
+            Ok(Message::Error { message }) => return Err(format!("peer {owner}: {message}")),
+            Ok(other) => {
+                return Err(format!("peer {owner}: expected lock_grant, got {}", other.name()));
+            }
+            Err(e) => return Err(format!("peer {owner}: waiting for grant: {e}")),
+        };
+        let wait_ns = requested.elapsed().as_nanos() as u64;
+        stream
+            .send(&Message::Release { seq, location })
+            .map_err(|e| format!("release to peer {owner}: {e}"))?;
+        drop(stream);
+
+        let lane = if self.rack_of_node[owner] == self.my_rack {
+            &self.tallies.same_rack_payload_bytes
+        } else {
+            &self.tallies.cross_rack_payload_bytes
+        };
+        lane.fetch_add(granted.len() as u64, Ordering::Relaxed);
+        self.tallies.remote_reads.fetch_add(1, Ordering::Relaxed);
+        self.tallies.lock_wait_count.fetch_add(1, Ordering::Relaxed);
+        self.tallies.lock_wait_total_ns.fetch_add(wait_ns, Ordering::Relaxed);
+        if let Ok(mut samples) = self.tallies.lock_wait_samples.lock() {
+            if samples.len() < MAX_WAIT_SAMPLES {
+                samples.push((location, wait_ns));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serves one inbound peer connection: each `LockRequest` runs a one-shot
+/// handle through the owned location's ORWL FIFO, the grant ships the
+/// buffer, and the section stays open until the peer's `Release`.
+fn serve_connection(
+    mut stream: FramedStream,
+    locations: Arc<HashMap<u64, Arc<Location<u64>>>>,
+    shutdown: Arc<AtomicBool>,
+    io_timeout: Duration,
+) -> (u64, u64, u64, u64) {
+    loop {
+        match stream.recv(Some(Duration::from_millis(200))) {
+            Ok(Message::LockRequest { seq, location, access, bytes }) => {
+                let Some(loc) = locations.get(&location) else {
+                    let _ = stream
+                        .send(&Message::Error { message: format!("location {location} is not hosted here") });
+                    break;
+                };
+                let mode = match access {
+                    WireAccess::Read => AccessMode::Read,
+                    WireAccess::Write => AccessMode::Write,
+                };
+                let mut handle = loc.handle(mode);
+                if let Err(e) = handle.request() {
+                    let _ = stream.send(&Message::Error { message: format!("lock request: {e}") });
+                    break;
+                }
+                let guard = match handle.acquire() {
+                    Ok(guard) => guard,
+                    Err(e) => {
+                        let _ = stream.send(&Message::Error { message: format!("lock acquisition: {e}") });
+                        break;
+                    }
+                };
+                let len = (bytes.min(MAX_DATA as u64)) as usize;
+                let mut data = vec![0u8; len];
+                let value = (*guard).to_le_bytes();
+                let head = len.min(value.len());
+                data[..head].copy_from_slice(&value[..head]);
+                if stream.send(&Message::LockGrant { seq, location, data }).is_err() {
+                    break;
+                }
+                match stream.recv(Some(io_timeout)) {
+                    Ok(Message::Release { seq: s, location: l }) if s == seq && l == location => {
+                        drop(guard);
+                    }
+                    _ => break, // broken section: the guard drops with the loop
+                }
+            }
+            Ok(_) => break,
+            Err(RecvError::Timeout) => {
+                if shutdown.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    (stream.frames_sent(), stream.frames_received(), stream.bytes_sent(), stream.bytes_received())
+}
+
+/// The accept loop: hands every inbound connection to its own serving
+/// thread and, once shut down, joins them and returns the summed socket
+/// counters as `(frames_sent, frames_received, bytes_sent, bytes_received)`.
+fn accept_loop(
+    listener: UnixListener,
+    locations: Arc<HashMap<u64, Arc<Location<u64>>>>,
+    shutdown: Arc<AtomicBool>,
+    io_timeout: Duration,
+) -> (u64, u64, u64, u64) {
+    let mut handlers = Vec::new();
+    while !shutdown.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let locations = Arc::clone(&locations);
+                let shutdown = Arc::clone(&shutdown);
+                handlers.push(std::thread::spawn(move || {
+                    serve_connection(FramedStream::new(stream), locations, shutdown, io_timeout)
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    let mut totals = (0, 0, 0, 0);
+    for handler in handlers {
+        if let Ok((fs, fr, bs, br)) = handler.join() {
+            totals = (totals.0 + fs, totals.1 + fr, totals.2 + bs, totals.3 + br);
+        }
+    }
+    totals
+}
+
+/// The per-task schedule: for every phase, the iterations and this task's
+/// read list as `(src, bytes, src_is_local)`.
+type TaskSchedule = Vec<(usize, Vec<(usize, f64, bool)>)>;
+
+fn run_worker(control: &mut FramedStream, assignment: &Assignment) -> Result<(), String> {
+    let io_timeout = Duration::from_millis(assignment.io_timeout_ms);
+    let local_tasks = assignment.local_tasks();
+
+    // The locations this worker owns, keyed by global task index.  The
+    // serving thread and the local task bodies share the same Arcs, so
+    // remote and local sections contend in the same ORWL FIFO.
+    let mut locations: HashMap<u64, Arc<Location<u64>>> = HashMap::new();
+    for &t in &local_tasks {
+        locations.insert(t as u64, Location::new(format!("loc-{t}"), 0u64));
+    }
+    let locations = Arc::new(locations);
+
+    let listener = UnixListener::bind(&assignment.listen)
+        .map_err(|e| format!("binding peer listener at {}: {e}", assignment.listen))?;
+    listener.set_nonblocking(true).map_err(|e| format!("peer listener: {e}"))?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let server = {
+        let locations = Arc::clone(&locations);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || accept_loop(listener, locations, shutdown, io_timeout))
+    };
+
+    control.send(&Message::Ready { node: assignment.node as u32 }).map_err(|e| e.to_string())?;
+    control.recv_expect("start", Some(io_timeout))?;
+
+    if std::env::var(ENV_PANIC_NODE).ok().and_then(|v| v.parse::<usize>().ok()) == Some(assignment.node) {
+        panic!("injected failure on node {} (for robustness tests)", assignment.node);
+    }
+
+    let gateway = Arc::new(PeerGateway::connect(assignment)?);
+    let started = Instant::now();
+    run_local_tasks(assignment, &local_tasks, &locations, &gateway)?;
+    let wall_seconds = started.elapsed().as_secs_f64();
+
+    control.send(&Message::Done { node: assignment.node as u32 }).map_err(|e| e.to_string())?;
+    control.recv_expect("shutdown", Some(io_timeout))?;
+
+    // Order matters: every task body has returned by now (the session run
+    // joined them), so the gateway Arc is unique again; closing its
+    // connections makes every peer's serving thread observe the hangup,
+    // and only then is joining our own server deadlock-free (peers close
+    // their gateways at the same protocol step).
+    let gateway = Arc::try_unwrap(gateway).map_err(|_| "gateway still shared after the run".to_string())?;
+    let mut gateway_counters = (0u64, 0u64, 0u64, 0u64);
+    for conn in gateway.conns.values() {
+        if let Ok(stream) = conn.lock() {
+            gateway_counters.0 += stream.frames_sent();
+            gateway_counters.1 += stream.frames_received();
+            gateway_counters.2 += stream.bytes_sent();
+            gateway_counters.3 += stream.bytes_received();
+        }
+    }
+    let PeerGateway { conns, tallies, .. } = gateway;
+    drop(conns); // hang up on every owner peer
+    shutdown.store(true, Ordering::Relaxed);
+    let server_counters = server.join().unwrap_or_default();
+
+    let metrics = compose_metrics(assignment, wall_seconds, &tallies, gateway_counters, server_counters);
+    control
+        .send(&Message::Metrics { node: assignment.node as u32, json: metrics.to_json().pretty() })
+        .map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn compose_metrics(
+    assignment: &Assignment,
+    wall_seconds: f64,
+    t: &ReaderTallies,
+    gateway_counters: (u64, u64, u64, u64),
+    server_counters: (u64, u64, u64, u64),
+) -> WorkerMetrics {
+    WorkerMetrics {
+        node: assignment.node,
+        wall_seconds,
+        same_rack_payload_bytes: t.same_rack_payload_bytes.load(Ordering::Relaxed),
+        cross_rack_payload_bytes: t.cross_rack_payload_bytes.load(Ordering::Relaxed),
+        frames_sent: gateway_counters.0 + server_counters.0,
+        frames_received: gateway_counters.1 + server_counters.1,
+        bytes_sent: gateway_counters.2 + server_counters.2,
+        bytes_received: gateway_counters.3 + server_counters.3,
+        remote_reads: t.remote_reads.load(Ordering::Relaxed),
+        lock_wait_count: t.lock_wait_count.load(Ordering::Relaxed),
+        lock_wait_total_ns: t.lock_wait_total_ns.load(Ordering::Relaxed),
+        lock_wait_samples: t.lock_wait_samples.lock().map(|samples| samples.clone()).unwrap_or_default(),
+    }
+}
+
+/// Runs this worker's tasks through a real `orwl_core` session on the
+/// reconstructed node topology.  Each iteration of each task writes its
+/// own location under a one-shot write section, then reads its in-edges
+/// one section at a time — locally through the shared FIFO, remotely
+/// through the gateway.  At most one lock is ever held, so the schedule
+/// cannot deadlock whatever the interleaving across processes.
+fn run_local_tasks(
+    assignment: &Assignment,
+    local_tasks: &[usize],
+    locations: &Arc<HashMap<u64, Arc<Location<u64>>>>,
+    gateway: &Arc<PeerGateway>,
+) -> Result<(), String> {
+    if local_tasks.is_empty() {
+        return Ok(());
+    }
+    let levels: Vec<LevelSpec> = assignment
+        .levels
+        .iter()
+        .map(|(name, count)| ObjectType::parse(name).map(|obj_type| LevelSpec::new(obj_type, *count)))
+        .collect::<Result<_, String>>()?;
+    let topology = Topology::from_levels(&assignment.topo_name, &levels)
+        .map_err(|e| format!("reconstructing the node topology: {e}"))?;
+
+    // Per-task schedules and the local-read link structure for placement.
+    let mut schedules: HashMap<usize, TaskSchedule> = HashMap::new();
+    for phase in &assignment.phases {
+        let mut per_task: HashMap<usize, Vec<(usize, f64, bool)>> = HashMap::new();
+        for read in &phase.reads {
+            let local = assignment.node_of_task[read.src] == assignment.node;
+            per_task.entry(read.reader).or_default().push((read.src, read.bytes, local));
+        }
+        for &t in local_tasks {
+            schedules.entry(t).or_default().push((phase.iterations, per_task.remove(&t).unwrap_or_default()));
+        }
+    }
+
+    let failure: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
+    let mut program = OrwlProgram::new();
+    for &t in local_tasks {
+        let own = Arc::clone(&locations[&(t as u64)]);
+        let schedule = schedules.remove(&t).unwrap_or_default();
+        let mut links = vec![LocationLink::write(own.id(), 8.0)];
+        let mut local_read_bytes: BTreeMap<usize, f64> = BTreeMap::new();
+        for (_, reads) in &schedule {
+            for &(src, bytes, local) in reads {
+                if local {
+                    *local_read_bytes.entry(src).or_insert(0.0) += bytes;
+                }
+            }
+        }
+        for (src, bytes) in local_read_bytes {
+            links.push(LocationLink::read(locations[&(src as u64)].id(), bytes));
+        }
+
+        let locations = Arc::clone(locations);
+        let gateway = Arc::clone(gateway);
+        let failure = Arc::clone(&failure);
+        program.add_task(TaskSpec::new(format!("task-{t}"), links), move |ctx| {
+            let mut acquisitions = 0u64;
+            'phases: for (iterations, reads) in &schedule {
+                for _ in 0..*iterations {
+                    if failure.lock().map(|f| f.is_some()).unwrap_or(true) {
+                        break 'phases;
+                    }
+                    let outcome = (|| -> Result<(), String> {
+                        let mut write = own.handle(AccessMode::Write);
+                        write.request().map_err(|e| e.to_string())?;
+                        *write.acquire().map_err(|e| e.to_string())? += 1;
+                        drop(write);
+                        acquisitions += 1;
+                        for &(src, bytes, local) in reads {
+                            if local {
+                                let src_loc = &locations[&(src as u64)];
+                                let mut read = src_loc.handle(AccessMode::Read);
+                                read.request().map_err(|e| e.to_string())?;
+                                let guard = read.acquire().map_err(|e| e.to_string())?;
+                                std::hint::black_box(*guard);
+                                drop(guard);
+                            } else {
+                                gateway.remote_read(src, bytes)?;
+                            }
+                            acquisitions += 1;
+                        }
+                        Ok(())
+                    })();
+                    if let Err(e) = outcome {
+                        if let Ok(mut slot) = failure.lock() {
+                            slot.get_or_insert(format!("task {t}: {e}"));
+                        }
+                        break 'phases;
+                    }
+                }
+            }
+            ctx.stats.record_acquisitions(acquisitions);
+        });
+    }
+
+    let session = Session::builder()
+        .topology(topology)
+        .control_threads(0)
+        .binder(Arc::new(RecordingBinder::new()))
+        .backend(ThreadBackend)
+        .build()
+        .map_err(|e| format!("building the worker session: {e}"))?;
+    let _report = session.run(program).map_err(|e| format!("worker session run: {e}"))?;
+
+    let mut slot = failure.lock().map_err(|_| "failure flag poisoned".to_string())?;
+    match slot.take() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}

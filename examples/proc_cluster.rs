@@ -1,0 +1,83 @@
+//! Multi-process cluster run: the dense stencil executed by real worker
+//! processes speaking the ORWL lock protocol over sockets, with the
+//! cluster simulator's prediction alongside the measured traffic.
+//!
+//! ```sh
+//! cargo run --release --example proc_cluster            # 2 nodes
+//! cargo run --release --example proc_cluster -- 4       # 4 nodes
+//! cargo run --release --example proc_cluster -- 8       # 8 nodes
+//! ```
+//!
+//! For each placement policy the example spawns one worker process per
+//! node, runs the stencil, and prints the inter-node bytes the workers
+//! actually moved next to what the simulator predicted for the same
+//! `policy_placement` sharding — the paper's locality claim, demonstrated
+//! on real processes: `Hierarchical` must move no more bytes than
+//! `Scatter`.
+
+use orwl_lab::{ScenarioFamily, ScenarioSpec};
+use orwl_repro::{ClusterBackend, ClusterMachine, Policy, ProcBackend, Session};
+
+fn session(
+    machine: &ClusterMachine,
+    policy: Policy,
+    backend: impl orwl_repro::ExecutionBackend + 'static,
+) -> Session {
+    Session::builder()
+        .topology(machine.topology().clone())
+        .policy(policy)
+        .control_threads(0)
+        .backend(backend)
+        .build()
+        .expect("the proc backend plugs into the unchanged builder surface")
+}
+
+fn main() {
+    orwl_proc::maybe_worker(); // worker re-entry point: must run first
+
+    let n_nodes: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2);
+    let machine = ClusterMachine::paper(n_nodes);
+    let tasks = 16 * n_nodes;
+    let spec = ScenarioSpec::new(ScenarioFamily::DenseStencil, tasks, 1).with_phases(vec![2]);
+    println!("{}", orwl_repro::banner());
+    println!(
+        "proc backend: {} worker processes x {} PUs, {} tasks ({})",
+        n_nodes,
+        machine.cluster().pus_per_node(),
+        spec.n_tasks(),
+        spec.name(),
+    );
+    println!(
+        "{:<14} {:>22} {:>22} {:>12}",
+        "policy", "measured inter-node B", "predicted inter-node B", "wall ms"
+    );
+
+    let mut measured_by_policy = Vec::new();
+    for policy in [Policy::Hierarchical, Policy::Scatter] {
+        let predicted = session(&machine, policy, ClusterBackend::new(machine.clone()))
+            .run(spec.workload())
+            .expect("the simulator prices the same sharding")
+            .fabric
+            .expect("cluster reports carry the fabric split")
+            .inter_node_bytes;
+        let report = session(&machine, policy, ProcBackend::new(machine.clone()))
+            .run(spec.workload())
+            .expect("the multi-process run completes");
+        let fabric = report.fabric.expect("proc reports carry the fabric split");
+        println!(
+            "{:<14} {:>22.0} {:>22.0} {:>12.1}",
+            format!("{policy:?}"),
+            fabric.inter_node_bytes,
+            predicted,
+            report.time.seconds() * 1e3,
+        );
+        measured_by_policy.push(fabric.inter_node_bytes);
+    }
+
+    let (hier, scatter) = (measured_by_policy[0], measured_by_policy[1]);
+    assert!(
+        hier <= scatter,
+        "hierarchical placement must move no more bytes across processes than scatter ({hier} vs {scatter})"
+    );
+    println!("hierarchical moves {:.1}% of scatter's inter-process traffic", 100.0 * hier / scatter.max(1.0));
+}

@@ -15,6 +15,7 @@
 //! | [`orwl_core`] | the ORWL runtime (locations, FIFOs, handles, tasks, event runtime, placement add-on, the `Session` API) |
 //! | [`orwl_adapt`] | online monitoring, drift detection, adaptive re-placement, the simulator backend |
 //! | [`orwl_cluster`] | hierarchical multi-node backend: two-level placement, fabric-coupled simulator |
+//! | [`orwl_proc`] | multi-process cluster backend: real worker processes, the ORWL lock protocol over sockets |
 //! | [`orwl_lab`] | experiment subsystem: scenario DSL, trace capture/replay, sweep runner, JSON reporting |
 //! | [`orwl_lk23`] | Livermore Kernel 23: sequential, OpenMP-like, ORWL, simulator models |
 //! | [`orwl_bench`] | experiment harness regenerating Figure 1 and the ablations |
@@ -30,7 +31,9 @@
 //! ORWL programs on the event runtime; [`SimBackend`] executes phased
 //! task-graph workloads on the simulated NUMA machine; [`ClusterBackend`]
 //! executes them on a simulated multi-node cluster with two-level
-//! topology-aware placement.  All three return the same [`Report`].
+//! topology-aware placement; [`ProcBackend`] executes them as real worker
+//! processes speaking the ORWL lock protocol over sockets.  All four
+//! return the same [`Report`].
 
 pub use orwl_adapt;
 pub use orwl_bench;
@@ -40,6 +43,7 @@ pub use orwl_core;
 pub use orwl_lab;
 pub use orwl_lk23;
 pub use orwl_numasim;
+pub use orwl_proc;
 pub use orwl_topo;
 pub use orwl_treematch;
 
@@ -56,6 +60,7 @@ pub use orwl_core::session::{
 pub use orwl_core::task::OrwlProgram;
 pub use orwl_lab::{ScenarioFamily, ScenarioSpec, SweepConfig, Trace};
 pub use orwl_numasim::workload::PhasedWorkload;
+pub use orwl_proc::ProcBackend;
 pub use orwl_topo::cluster::ClusterTopology;
 pub use orwl_treematch::policies::Policy;
 

@@ -1,0 +1,214 @@
+//! End-to-end acceptance of the multi-process backend: real worker
+//! processes speaking the ORWL lock protocol over sockets must (a) report
+//! plan hop-bytes identical to `ThreadBackend` on the same communication
+//! matrix, (b) measure inter-node traffic that agrees with the cluster
+//! simulator's prediction within the documented tolerance, (c) surface
+//! worker crashes as typed errors instead of hangs, and (d) attach
+//! wall-clock telemetry when observed.
+//!
+//! Every test drives `ProcBackend` with worker args pinning
+//! [`proc_worker_entry`] so the re-exec'd test binary runs only the worker
+//! hook.
+
+use orwl_core::error::{ConfigError, OrwlError};
+use orwl_core::session::{Mode, Session, ThreadBackend};
+use orwl_lab::{ScenarioFamily, ScenarioSpec};
+use orwl_obs::{ClockKind, EventKind, ObsConfig};
+use orwl_proc::{ProcBackend, CORR_TOLERANCE};
+use orwl_repro::{ClusterBackend, ClusterMachine, Policy};
+use orwl_topo::binding::RecordingBinder;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Worker re-entry point: spawned workers re-exec this test binary with
+/// args selecting exactly this test, which hands control to the worker
+/// lifecycle and exits the process.  In the parent run it is a no-op.
+#[test]
+fn proc_worker_entry() {
+    orwl_proc::maybe_worker();
+}
+
+fn worker_args() -> Vec<String> {
+    vec!["proc_worker_entry".to_string(), "--exact".to_string(), "--nocapture".to_string()]
+}
+
+fn backend(n_nodes: usize) -> ProcBackend {
+    ProcBackend::paper(n_nodes).with_worker_args(worker_args()).with_io_timeout(Duration::from_secs(60))
+}
+
+fn scenario() -> ScenarioSpec {
+    ScenarioSpec::new(ScenarioFamily::DenseStencil, 36, 1).with_phases(vec![2])
+}
+
+fn proc_session(n_nodes: usize, policy: Policy) -> Session {
+    let machine = ClusterMachine::paper(n_nodes);
+    Session::builder()
+        .topology(machine.topology().clone())
+        .policy(policy)
+        .control_threads(0)
+        .backend(backend(n_nodes))
+        .build()
+        .unwrap()
+}
+
+fn cluster_session(n_nodes: usize, policy: Policy) -> Session {
+    let machine = ClusterMachine::paper(n_nodes);
+    Session::builder()
+        .topology(machine.topology().clone())
+        .policy(policy)
+        .control_threads(0)
+        .backend(ClusterBackend::new(machine))
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn scatter_hop_bytes_equal_the_thread_backend() {
+    // Same communication matrix, same flattened topology, same
+    // matrix-independent policy: the multi-process plan must price
+    // exactly like the single-process thread executor's.
+    let spec = scenario();
+    let proc_report = proc_session(2, Policy::Scatter).run(spec.workload()).unwrap();
+    let thread_report = Session::builder()
+        .topology(ClusterMachine::paper(2).topology().clone())
+        .policy(Policy::Scatter)
+        .control_threads(0)
+        .binder(Arc::new(RecordingBinder::new()))
+        .backend(ThreadBackend)
+        .build()
+        .unwrap()
+        .run(spec.program(1))
+        .unwrap();
+    assert_eq!(proc_report.backend, "proc");
+    assert!(proc_report.hop_bytes > 0.0);
+    assert!(
+        (proc_report.hop_bytes - thread_report.hop_bytes).abs() < 1e-6,
+        "proc plan hop-bytes {} must equal thread backend's {}",
+        proc_report.hop_bytes,
+        thread_report.hop_bytes
+    );
+    // The wall clock is real on both sides.
+    assert!(proc_report.time.as_wall().is_some());
+}
+
+#[test]
+fn measured_traffic_matches_the_simulator_prediction() {
+    let spec = scenario();
+    for policy in [Policy::Hierarchical, Policy::Scatter] {
+        let predicted =
+            cluster_session(2, policy).run(spec.workload()).unwrap().fabric.unwrap().inter_node_bytes;
+        let measured = proc_session(2, policy).run(spec.workload()).unwrap().fabric.unwrap().inter_node_bytes;
+        let relative = (measured - predicted).abs() / predicted.max(1.0);
+        assert!(
+            relative <= CORR_TOLERANCE,
+            "{policy:?}: measured {measured} vs predicted {predicted} (relative error {relative})"
+        );
+    }
+}
+
+#[test]
+fn hierarchical_measures_no_more_fabric_bytes_than_scatter() {
+    let spec = scenario();
+    let hier = proc_session(2, Policy::Hierarchical).run(spec.workload()).unwrap();
+    let scatter = proc_session(2, Policy::Scatter).run(spec.workload()).unwrap();
+    let (hb, sb) = (hier.fabric.unwrap().inter_node_bytes, scatter.fabric.unwrap().inter_node_bytes);
+    assert!(hb <= sb, "hierarchical must not move more bytes across processes than scatter: {hb} vs {sb}");
+}
+
+#[test]
+fn a_crashing_worker_is_a_typed_error_not_a_hang() {
+    let machine = ClusterMachine::paper(2);
+    let session = Session::builder()
+        .topology(machine.topology().clone())
+        .policy(Policy::Hierarchical)
+        .control_threads(0)
+        .backend(
+            backend(2)
+                .with_io_timeout(Duration::from_secs(20))
+                .with_worker_env(orwl_proc::worker::ENV_PANIC_NODE, "1"),
+        )
+        .build()
+        .unwrap();
+    match session.run(scenario().workload()).unwrap_err() {
+        OrwlError::WorkerFailed { node, detail } => {
+            assert_eq!(node, 1, "the failure must be attributed to the injected node: {detail}");
+            assert!(
+                detail.contains("injected failure on node 1"),
+                "the stderr tail must carry the panic message: {detail}"
+            );
+        }
+        other => panic!("expected WorkerFailed, got {other:?}"),
+    }
+}
+
+#[test]
+fn observed_runs_attach_wall_clock_fabric_telemetry() {
+    let machine = ClusterMachine::paper(2);
+    let session = Session::builder()
+        .topology(machine.topology().clone())
+        .policy(Policy::Hierarchical)
+        .control_threads(0)
+        .observe(ObsConfig::default())
+        .backend(backend(2))
+        .build()
+        .unwrap();
+    let report = session.run(scenario().workload()).unwrap();
+    let obs = report.obs.expect("observed runs carry telemetry");
+    assert_eq!(obs.clock, ClockKind::Wall);
+    let transferred: f64 = obs
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            EventKind::FabricTransfer { bytes, .. } => Some(bytes),
+            _ => None,
+        })
+        .sum();
+    assert!(transferred > 0.0, "fabric transfer events must be present");
+    // The measured inter-node bytes are part of the telemetry volume.
+    assert!(transferred >= report.fabric.unwrap().inter_node_bytes);
+}
+
+#[test]
+fn mismatched_configurations_are_rejected_before_spawning() {
+    // Wrong workload shape.
+    let mut program = orwl_core::task::OrwlProgram::new();
+    program.add_task(orwl_core::task::TaskSpec::new("t", vec![]), |_| {});
+    match proc_session(2, Policy::Hierarchical).run(program).unwrap_err() {
+        OrwlError::Config(ConfigError::WorkloadMismatch { backend, expected }) => {
+            assert_eq!(backend, "proc");
+            assert_eq!(expected, "phased");
+        }
+        other => panic!("expected WorkloadMismatch, got {other:?}"),
+    }
+    // Wrong topology.
+    let wrong_topo = Session::builder()
+        .topology(orwl_topo::synthetic::laptop())
+        .control_threads(0)
+        .backend(backend(2))
+        .build()
+        .unwrap();
+    match wrong_topo.run(scenario().workload()).unwrap_err() {
+        OrwlError::Config(ConfigError::TopologyMismatch { backend, got, .. }) => {
+            assert_eq!(backend, "proc");
+            assert_eq!(got, "laptop");
+        }
+        other => panic!("expected TopologyMismatch, got {other:?}"),
+    }
+    // Unsupported mode.
+    let machine = ClusterMachine::paper(2);
+    let oracle = Session::builder()
+        .topology(machine.topology().clone())
+        .policy(Policy::Hierarchical)
+        .control_threads(0)
+        .mode(Mode::Oracle)
+        .backend(backend(2))
+        .build()
+        .unwrap();
+    match oracle.run(scenario().workload()).unwrap_err() {
+        OrwlError::Config(ConfigError::UnsupportedMode { backend, mode }) => {
+            assert_eq!(backend, "proc");
+            assert_eq!(mode, "oracle");
+        }
+        other => panic!("expected UnsupportedMode, got {other:?}"),
+    }
+}
