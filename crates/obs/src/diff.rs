@@ -19,8 +19,9 @@ use crate::json::Json;
 /// One disagreement between two telemetry documents.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ObsDiffEntry {
-    /// An identity field (`backend` or `clock`) differs — the documents do
-    /// not describe comparable runs.
+    /// An identity field (`backend`, `clock`, or the `tracks` table of a
+    /// merged document) differs — the documents do not describe comparable
+    /// runs.
     FieldMismatch {
         /// The differing field.
         field: &'static str,
@@ -79,7 +80,14 @@ fn numeric_fields(doc: &Json) -> Vec<(String, f64)> {
     if let Some(events) = doc.get("events").and_then(Json::as_arr) {
         for ev in events {
             let Some(kind) = ev.get("kind").and_then(Json::as_str) else { continue };
-            let field = format!("events.{kind}");
+            // Merged multi-node documents tag events with a track id; key
+            // them per track so "node0 did the waiting" vs "node1 did the
+            // waiting" is a drift, not agreement.  Track 0 (or absent, for
+            // pre-merge documents) keeps the bare key, so single-process
+            // artifacts diff exactly as before.
+            let track = ev.get("track").and_then(Json::as_f64).unwrap_or(0.0);
+            let field =
+                if track == 0.0 { format!("events.{kind}") } else { format!("events.track{track}.{kind}") };
             match fields.iter_mut().find(|(f, _)| *f == field) {
                 Some((_, n)) => *n += 1.0,
                 None => fields.push((field, 1.0)),
@@ -133,6 +141,29 @@ pub fn diff_telemetry(first: &Json, second: &Json, tol_ratio: f64) -> Result<Vec
                 second: b.to_string(),
             });
         }
+    }
+
+    // The track table is identity, too: two merged documents with
+    // different process sets are not comparable runs.
+    let track_list = |doc: &Json| -> String {
+        doc.get("tracks")
+            .and_then(Json::as_arr)
+            .map(|tracks| {
+                tracks
+                    .iter()
+                    .filter_map(|t| {
+                        let id = t.get("track").and_then(Json::as_f64)?;
+                        let label = t.get("label").and_then(Json::as_str)?;
+                        Some(format!("{id}:{label}"))
+                    })
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .unwrap_or_default()
+    };
+    let (a, b) = (track_list(first), track_list(second));
+    if a != b {
+        entries.push(ObsDiffEntry::FieldMismatch { field: "tracks", first: a, second: b });
     }
 
     let first_fields = numeric_fields(first);
@@ -249,6 +280,65 @@ mod tests {
         let drift = diff_telemetry(&doc(1, 512.0), &wall, 1.0e9).unwrap();
         assert!(drift.iter().any(|e| matches!(e, ObsDiffEntry::FieldMismatch { field: "backend", .. })));
         assert!(drift.iter().any(|e| matches!(e, ObsDiffEntry::FieldMismatch { field: "clock", .. })));
+    }
+
+    #[test]
+    fn merged_documents_key_events_by_track() {
+        use crate::metrics::MetricsSnapshot;
+        use crate::{ObsEvent, RunTelemetry, TrackInfo};
+        let merged = |grant_track: u32| -> Json {
+            RunTelemetry {
+                backend: "proc".to_string(),
+                clock: ClockKind::Wall,
+                events: vec![ObsEvent {
+                    ts_us: 1.0,
+                    dur_us: 0.0,
+                    seq: 0,
+                    tid: 0,
+                    track: grant_track,
+                    kind: EventKind::LockWait { location: 3, wait_ns: 500 },
+                }],
+                dropped: 0,
+                metrics: MetricsSnapshot::default(),
+                tracks: vec![
+                    TrackInfo { track: 1, label: "node0".to_string() },
+                    TrackInfo { track: 2, label: "node1".to_string() },
+                ],
+            }
+            .to_json()
+        };
+        // Same event on the same track: agreement.
+        assert_eq!(diff_telemetry(&merged(1), &merged(1), 0.0).unwrap(), Vec::new());
+        // Same event, different track: two infinite drifts, keyed by track.
+        let drift = diff_telemetry(&merged(1), &merged(2), 1.0e9).unwrap();
+        assert!(drift.iter().any(|e| matches!(
+            e,
+            ObsDiffEntry::MetricDrift { field, second: None, .. } if field == "events.track1.lock_wait"
+        )));
+        assert!(drift.iter().any(|e| matches!(
+            e,
+            ObsDiffEntry::MetricDrift { field, first: None, .. } if field == "events.track2.lock_wait"
+        )));
+    }
+
+    #[test]
+    fn differing_track_tables_are_identity_errors() {
+        use crate::metrics::MetricsSnapshot;
+        use crate::{RunTelemetry, TrackInfo};
+        let with_tracks = |n: u32| -> Json {
+            RunTelemetry {
+                backend: "proc".to_string(),
+                clock: ClockKind::Wall,
+                events: Vec::new(),
+                dropped: 0,
+                metrics: MetricsSnapshot::default(),
+                tracks: (0..n).map(|t| TrackInfo { track: t, label: format!("t{t}") }).collect(),
+            }
+            .to_json()
+        };
+        assert_eq!(diff_telemetry(&with_tracks(3), &with_tracks(3), 0.0).unwrap(), Vec::new());
+        let drift = diff_telemetry(&with_tracks(3), &with_tracks(2), 0.0).unwrap();
+        assert!(drift.iter().any(|e| matches!(e, ObsDiffEntry::FieldMismatch { field: "tracks", .. })));
     }
 
     #[test]

@@ -28,6 +28,16 @@ impl ClockKind {
             ClockKind::Simulated => "simulated",
         }
     }
+
+    /// Inverse of [`ClockKind::name`].
+    #[must_use]
+    pub fn parse(name: &str) -> Option<ClockKind> {
+        match name {
+            "wall" => Some(ClockKind::Wall),
+            "simulated" => Some(ClockKind::Simulated),
+            _ => None,
+        }
+    }
 }
 
 /// Phase of a placement solve (the TreeMatch pipeline).
@@ -53,6 +63,18 @@ impl SolvePhase {
             SolvePhase::Coarsen => "coarsen",
             SolvePhase::Refine => "refine",
             SolvePhase::Total => "total",
+        }
+    }
+
+    /// Inverse of [`SolvePhase::name`].
+    #[must_use]
+    pub fn parse(name: &str) -> Option<SolvePhase> {
+        match name {
+            "group" => Some(SolvePhase::Group),
+            "coarsen" => Some(SolvePhase::Coarsen),
+            "refine" => Some(SolvePhase::Refine),
+            "total" => Some(SolvePhase::Total),
+            _ => None,
         }
     }
 }
@@ -81,6 +103,18 @@ impl DriftOutcome {
             DriftOutcome::Quiet => "quiet",
         }
     }
+
+    /// Inverse of [`DriftOutcome::name`].
+    #[must_use]
+    pub fn parse(name: &str) -> Option<DriftOutcome> {
+        match name {
+            "fired" => Some(DriftOutcome::Fired),
+            "suppressed_by_patience" => Some(DriftOutcome::SuppressedByPatience),
+            "cooldown" => Some(DriftOutcome::Cooldown),
+            "quiet" => Some(DriftOutcome::Quiet),
+            _ => None,
+        }
+    }
 }
 
 /// Locality class of fabric traffic, mirroring the cluster topology's
@@ -103,6 +137,17 @@ impl FabricLane {
             FabricLane::SameNode => "same_node",
             FabricLane::SameRack => "same_rack",
             FabricLane::CrossRack => "cross_rack",
+        }
+    }
+
+    /// Inverse of [`FabricLane::name`].
+    #[must_use]
+    pub fn parse(name: &str) -> Option<FabricLane> {
+        match name {
+            "same_node" => Some(FabricLane::SameNode),
+            "same_rack" => Some(FabricLane::SameRack),
+            "cross_rack" => Some(FabricLane::CrossRack),
+            _ => None,
         }
     }
 
@@ -174,6 +219,41 @@ pub enum EventKind {
         /// Whether any task changed machines (cluster backend only).
         cross_node: bool,
     },
+    /// A remote-read request leaving for the owning process (emitted on
+    /// the *reader's* track when the wire frame is sent).
+    LockRequest {
+        /// Requester-chosen wire sequence number; globally unique across
+        /// processes (namespaced by node id), it matches the grant and
+        /// release of the same remote section.
+        rseq: u64,
+        /// Global location id (the owning task's index).
+        location: u64,
+        /// The node that owns the location.
+        owner: u32,
+    },
+    /// A remote-read grant leaving the owner (emitted on the *owner's*
+    /// track when the grant frame is sent; cross-track happens-after the
+    /// matching [`EventKind::LockRequest`]).
+    LockGrant {
+        /// The request's wire sequence number.
+        rseq: u64,
+        /// Global location id (the owning task's index).
+        location: u64,
+        /// Nanoseconds the serving handle waited in the location's FIFO
+        /// before the section could be granted.
+        wait_ns: u64,
+    },
+    /// A remote section released by the reader (emitted on the *reader's*
+    /// track when the release frame is sent).
+    LockRelease {
+        /// The request's wire sequence number.
+        rseq: u64,
+        /// Global location id (the owning task's index).
+        location: u64,
+        /// Nanoseconds the reader held the section (grant receipt to
+        /// release).
+        held_ns: u64,
+    },
 }
 
 impl EventKind {
@@ -188,6 +268,9 @@ impl EventKind {
             EventKind::FabricTransfer { .. } => "fabric_transfer",
             EventKind::Rebind { .. } => "rebind",
             EventKind::Migration { .. } => "migration",
+            EventKind::LockRequest { .. } => "lock_request",
+            EventKind::LockGrant { .. } => "lock_grant",
+            EventKind::LockRelease { .. } => "lock_release",
         }
     }
 
@@ -202,6 +285,9 @@ impl EventKind {
             EventKind::FabricTransfer { .. } => EventClass::FabricTransfer,
             EventKind::Rebind { .. } => EventClass::Rebind,
             EventKind::Migration { .. } => EventClass::Migration,
+            EventKind::LockRequest { .. } => EventClass::LockRequest,
+            EventKind::LockGrant { .. } => EventClass::LockGrant,
+            EventKind::LockRelease { .. } => EventClass::LockRelease,
         }
     }
 }
@@ -225,11 +311,17 @@ pub enum EventClass {
     Rebind,
     /// [`EventKind::Migration`].
     Migration,
+    /// [`EventKind::LockRequest`].
+    LockRequest,
+    /// [`EventKind::LockGrant`].
+    LockGrant,
+    /// [`EventKind::LockRelease`].
+    LockRelease,
 }
 
 impl EventClass {
     /// Every event class, in declaration order.
-    pub const ALL: [EventClass; 7] = [
+    pub const ALL: [EventClass; 10] = [
         EventClass::Epoch,
         EventClass::PlacementSolve,
         EventClass::DriftDecision,
@@ -237,6 +329,9 @@ impl EventClass {
         EventClass::FabricTransfer,
         EventClass::Rebind,
         EventClass::Migration,
+        EventClass::LockRequest,
+        EventClass::LockGrant,
+        EventClass::LockRelease,
     ];
 
     /// Stable artifact name (matches [`EventKind::name`]).
@@ -250,6 +345,9 @@ impl EventClass {
             EventClass::FabricTransfer => "fabric_transfer",
             EventClass::Rebind => "rebind",
             EventClass::Migration => "migration",
+            EventClass::LockRequest => "lock_request",
+            EventClass::LockGrant => "lock_grant",
+            EventClass::LockRelease => "lock_release",
         }
     }
 
@@ -275,6 +373,11 @@ pub struct ObsEvent {
     /// Logical thread id within the recorder (assigned in first-emission
     /// order).
     pub tid: u64,
+    /// Which process timeline the event belongs to in a merged
+    /// multi-process document: 0 is the coordinator (and the only track of
+    /// single-process runs); worker node `k` is track `k + 1`.  Recorders
+    /// always stamp 0 — tracks are assigned by `merge`.
+    pub track: u32,
     /// The payload.
     pub kind: EventKind,
 }
@@ -295,6 +398,31 @@ mod tests {
             EventKind::Migration { tasks_moved: 2, bytes: 1.0, cross_node: false }.name(),
             "migration"
         );
+        assert_eq!(EventKind::LockRequest { rseq: 1, location: 2, owner: 0 }.name(), "lock_request");
+        assert_eq!(EventKind::LockGrant { rseq: 1, location: 2, wait_ns: 3 }.name(), "lock_grant");
+        assert_eq!(EventKind::LockRelease { rseq: 1, location: 2, held_ns: 3 }.name(), "lock_release");
+    }
+
+    #[test]
+    fn parse_inverts_name() {
+        for clock in [ClockKind::Wall, ClockKind::Simulated] {
+            assert_eq!(ClockKind::parse(clock.name()), Some(clock));
+        }
+        for phase in [SolvePhase::Group, SolvePhase::Coarsen, SolvePhase::Refine, SolvePhase::Total] {
+            assert_eq!(SolvePhase::parse(phase.name()), Some(phase));
+        }
+        for outcome in [
+            DriftOutcome::Fired,
+            DriftOutcome::SuppressedByPatience,
+            DriftOutcome::Cooldown,
+            DriftOutcome::Quiet,
+        ] {
+            assert_eq!(DriftOutcome::parse(outcome.name()), Some(outcome));
+        }
+        for lane in [FabricLane::SameNode, FabricLane::SameRack, FabricLane::CrossRack] {
+            assert_eq!(FabricLane::parse(lane.name()), Some(lane));
+        }
+        assert_eq!(ClockKind::parse("lunar"), None);
     }
 
     #[test]
@@ -320,6 +448,9 @@ mod tests {
             }
             EventClass::Rebind => EventKind::Rebind { task: 0, pu: 0 },
             EventClass::Migration => EventKind::Migration { tasks_moved: 0, bytes: 0.0, cross_node: false },
+            EventClass::LockRequest => EventKind::LockRequest { rseq: 0, location: 0, owner: 0 },
+            EventClass::LockGrant => EventKind::LockGrant { rseq: 0, location: 0, wait_ns: 0 },
+            EventClass::LockRelease => EventKind::LockRelease { rseq: 0, location: 0, held_ns: 0 },
         }
     }
 }

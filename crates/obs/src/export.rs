@@ -2,10 +2,10 @@
 //! trace-event timeline (loadable in Perfetto / `chrome://tracing`), plus
 //! the schema validators the lab's smoke jobs run against both.
 
-use crate::event::{EventKind, ObsEvent};
+use crate::event::{ClockKind, DriftOutcome, EventKind, FabricLane, ObsEvent, SolvePhase};
 use crate::json::{Json, ToJson};
-use crate::metrics::MetricsSnapshot;
-use crate::RunTelemetry;
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use crate::{RunTelemetry, TrackInfo};
 
 /// Schema tag of the telemetry artifact.
 pub const OBS_SCHEMA: &str = "orwl-obs/v1";
@@ -16,6 +16,7 @@ fn event_to_json(ev: &ObsEvent) -> Json {
         .push("dur_us", ev.dur_us)
         .push("seq", ev.seq)
         .push("tid", ev.tid)
+        .push("track", u64::from(ev.track))
         .push("kind", ev.kind.name());
     match ev.kind {
         EventKind::Epoch { epoch, bytes } => {
@@ -38,6 +39,15 @@ fn event_to_json(ev: &ObsEvent) -> Json {
         }
         EventKind::Migration { tasks_moved, bytes, cross_node } => {
             j.push("tasks_moved", tasks_moved).push("bytes", bytes).push("cross_node", cross_node);
+        }
+        EventKind::LockRequest { rseq, location, owner } => {
+            j.push("rseq", rseq).push("location", location).push("owner", u64::from(owner));
+        }
+        EventKind::LockGrant { rseq, location, wait_ns } => {
+            j.push("rseq", rseq).push("location", location).push("wait_ns", wait_ns);
+        }
+        EventKind::LockRelease { rseq, location, held_ns } => {
+            j.push("rseq", rseq).push("location", location).push("held_ns", held_ns);
         }
     }
     j
@@ -80,6 +90,19 @@ impl ToJson for RunTelemetry {
             .push("backend", self.backend.as_str())
             .push("clock", self.clock.name())
             .push("dropped", self.dropped)
+            .push(
+                "tracks",
+                Json::Arr(
+                    self.tracks
+                        .iter()
+                        .map(|t| {
+                            let mut tj = Json::obj();
+                            tj.push("track", u64::from(t.track)).push("label", t.label.as_str());
+                            tj
+                        })
+                        .collect(),
+                ),
+            )
             .push("events", Json::Arr(self.events.iter().map(event_to_json).collect()))
             .push("metrics", metrics_to_json(&self.metrics));
         j
@@ -94,45 +117,62 @@ impl RunTelemetry {
     /// Placement solves become complete (`"X"`) spans with real durations;
     /// everything else is a thread-scoped instant (`"i"`).  Timestamps are
     /// microseconds on the run's clock, so simulated runs render simulated
-    /// time.
+    /// time.  Merged multi-process documents render one Perfetto process
+    /// per track (`pid = track + 1`), named by `"M"` process-name metadata
+    /// events.
     #[must_use]
     pub fn chrome_trace(&self) -> Json {
-        let events: Vec<Json> = self
-            .events
+        let mut events: Vec<Json> = self
+            .tracks
             .iter()
-            .map(|ev| {
-                let label = match ev.kind {
-                    EventKind::Epoch { epoch, .. } => format!("epoch {epoch}"),
-                    EventKind::PlacementSolve { phase, .. } => {
-                        format!("solve:{}", phase.name())
-                    }
-                    EventKind::DriftDecision { outcome, .. } => {
-                        format!("drift:{}", outcome.name())
-                    }
-                    EventKind::LockWait { location, .. } => format!("lock-wait L{location}"),
-                    EventKind::FabricTransfer { lane, .. } => {
-                        format!("fabric:{}", lane.name())
-                    }
-                    EventKind::Rebind { task, .. } => format!("rebind T{task}"),
-                    EventKind::Migration { .. } => "migration".to_string(),
-                };
-                let complete = matches!(ev.kind, EventKind::PlacementSolve { .. });
+            .map(|t| {
                 let mut j = Json::obj();
-                j.push("name", label.as_str())
-                    .push("cat", ev.kind.name())
-                    .push("ph", if complete { "X" } else { "i" })
-                    .push("ts", ev.ts_us)
-                    .push("pid", 1usize)
-                    .push("tid", ev.tid);
-                if complete {
-                    j.push("dur", ev.dur_us);
-                } else {
-                    j.push("s", "t");
-                }
-                j.push("args", event_to_json(ev));
+                let mut args = Json::obj();
+                args.push("name", t.label.as_str());
+                j.push("name", "process_name")
+                    .push("ph", "M")
+                    .push("ts", 0.0)
+                    .push("pid", u64::from(t.track) + 1)
+                    .push("tid", 0u64)
+                    .push("args", args);
                 j
             })
             .collect();
+        events.extend(self.events.iter().map(|ev| {
+            let label = match ev.kind {
+                EventKind::Epoch { epoch, .. } => format!("epoch {epoch}"),
+                EventKind::PlacementSolve { phase, .. } => {
+                    format!("solve:{}", phase.name())
+                }
+                EventKind::DriftDecision { outcome, .. } => {
+                    format!("drift:{}", outcome.name())
+                }
+                EventKind::LockWait { location, .. } => format!("lock-wait L{location}"),
+                EventKind::FabricTransfer { lane, .. } => {
+                    format!("fabric:{}", lane.name())
+                }
+                EventKind::Rebind { task, .. } => format!("rebind T{task}"),
+                EventKind::Migration { .. } => "migration".to_string(),
+                EventKind::LockRequest { location, .. } => format!("lock-request L{location}"),
+                EventKind::LockGrant { location, .. } => format!("lock-grant L{location}"),
+                EventKind::LockRelease { location, .. } => format!("lock-release L{location}"),
+            };
+            let complete = matches!(ev.kind, EventKind::PlacementSolve { .. });
+            let mut j = Json::obj();
+            j.push("name", label.as_str())
+                .push("cat", ev.kind.name())
+                .push("ph", if complete { "X" } else { "i" })
+                .push("ts", ev.ts_us)
+                .push("pid", u64::from(ev.track) + 1)
+                .push("tid", ev.tid);
+            if complete {
+                j.push("dur", ev.dur_us);
+            } else {
+                j.push("s", "t");
+            }
+            j.push("args", event_to_json(ev));
+            j
+        }));
         let mut doc = Json::obj();
         doc.push("traceEvents", Json::Arr(events)).push("displayTimeUnit", "ms").push("otherData", {
             let mut meta = Json::obj();
@@ -174,12 +214,23 @@ pub fn validate_obs(doc: &Json) -> Result<(), String> {
         None => return Err("missing clock".to_string()),
     }
     require_num(doc, "dropped", "document")?;
+    if let Some(tracks) = doc.get("tracks") {
+        let tracks = tracks.as_arr().ok_or_else(|| "tracks is not an array".to_string())?;
+        for (i, t) in tracks.iter().enumerate() {
+            let at = format!("tracks[{i}]");
+            require_num(t, "track", &at)?;
+            require_str(t, "label", &at)?;
+        }
+    }
     let events =
         doc.get("events").and_then(Json::as_arr).ok_or_else(|| "missing events array".to_string())?;
     for (i, ev) in events.iter().enumerate() {
         let at = format!("events[{i}]");
         for key in ["ts_us", "dur_us", "seq", "tid"] {
             require_num(ev, key, &at)?;
+        }
+        if ev.get("track").is_some() {
+            require_num(ev, "track", &at)?;
         }
         let kind = ev.get("kind").and_then(Json::as_str).ok_or_else(|| format!("{at}: missing kind"))?;
         let required: &[&str] = match kind {
@@ -190,6 +241,9 @@ pub fn validate_obs(doc: &Json) -> Result<(), String> {
             "fabric_transfer" => &["lane", "bytes"],
             "rebind" => &["task", "pu"],
             "migration" => &["tasks_moved", "bytes", "cross_node"],
+            "lock_request" => &["rseq", "location", "owner"],
+            "lock_grant" => &["rseq", "location", "wait_ns"],
+            "lock_release" => &["rseq", "location", "held_ns"],
             other => return Err(format!("{at}: unknown kind {other:?}")),
         };
         for key in required {
@@ -219,7 +273,7 @@ pub fn validate_obs(doc: &Json) -> Result<(), String> {
 
 /// Validates a Chrome trace-event document: a `traceEvents` array whose
 /// entries carry `name`/`ph`/`ts`/`pid`/`tid`, with durations on complete
-/// (`"X"`) events.
+/// (`"X"`) events and `args` on metadata (`"M"`) events.
 pub fn validate_chrome_trace(doc: &Json) -> Result<(), String> {
     let events = doc
         .get("traceEvents")
@@ -234,11 +288,165 @@ pub fn validate_chrome_trace(doc: &Json) -> Result<(), String> {
         match ev.get("ph").and_then(Json::as_str) {
             Some("X") => require_num(ev, "dur", &at)?,
             Some("i") => {}
+            Some("M") => {
+                if ev.get("args").is_none() {
+                    return Err(format!("{at}: metadata event missing args"));
+                }
+            }
             Some(other) => return Err(format!("{at}: unknown phase {other:?}")),
             None => return Err(format!("{at}: missing ph")),
         }
     }
     Ok(())
+}
+
+fn field_f64(obj: &Json, key: &str, at: &str) -> Result<f64, String> {
+    obj.get(key).and_then(Json::as_f64).ok_or_else(|| format!("{at}: missing number {key:?}"))
+}
+
+fn field_u64(obj: &Json, key: &str, at: &str) -> Result<u64, String> {
+    let v = field_f64(obj, key, at)?;
+    if v < 0.0 || v.fract() != 0.0 {
+        return Err(format!("{at}: field {key:?} is not a non-negative integer"));
+    }
+    Ok(v as u64)
+}
+
+fn field_str<'j>(obj: &'j Json, key: &str, at: &str) -> Result<&'j str, String> {
+    obj.get(key).and_then(Json::as_str).ok_or_else(|| format!("{at}: missing string {key:?}"))
+}
+
+fn event_from_json(ev: &Json, at: &str) -> Result<ObsEvent, String> {
+    let kind_name = field_str(ev, "kind", at)?;
+    let kind = match kind_name {
+        "epoch" => {
+            EventKind::Epoch { epoch: field_u64(ev, "epoch", at)?, bytes: field_f64(ev, "bytes", at)? }
+        }
+        "placement_solve" => EventKind::PlacementSolve {
+            phase: SolvePhase::parse(field_str(ev, "phase", at)?)
+                .ok_or_else(|| format!("{at}: unknown phase"))?,
+            wall_ns: field_u64(ev, "wall_ns", at)?,
+        },
+        "drift_decision" => EventKind::DriftDecision {
+            outcome: DriftOutcome::parse(field_str(ev, "outcome", at)?)
+                .ok_or_else(|| format!("{at}: unknown outcome"))?,
+            delta: field_f64(ev, "delta", at)?,
+        },
+        "lock_wait" => EventKind::LockWait {
+            location: field_u64(ev, "location", at)?,
+            wait_ns: field_u64(ev, "wait_ns", at)?,
+        },
+        "fabric_transfer" => EventKind::FabricTransfer {
+            lane: FabricLane::parse(field_str(ev, "lane", at)?)
+                .ok_or_else(|| format!("{at}: unknown lane"))?,
+            bytes: field_f64(ev, "bytes", at)?,
+        },
+        "rebind" => EventKind::Rebind {
+            task: field_u64(ev, "task", at)? as usize,
+            pu: field_u64(ev, "pu", at)? as usize,
+        },
+        "migration" => EventKind::Migration {
+            tasks_moved: field_u64(ev, "tasks_moved", at)? as usize,
+            bytes: field_f64(ev, "bytes", at)?,
+            cross_node: matches!(ev.get("cross_node"), Some(Json::Bool(true))),
+        },
+        "lock_request" => EventKind::LockRequest {
+            rseq: field_u64(ev, "rseq", at)?,
+            location: field_u64(ev, "location", at)?,
+            owner: field_u64(ev, "owner", at)? as u32,
+        },
+        "lock_grant" => EventKind::LockGrant {
+            rseq: field_u64(ev, "rseq", at)?,
+            location: field_u64(ev, "location", at)?,
+            wait_ns: field_u64(ev, "wait_ns", at)?,
+        },
+        "lock_release" => EventKind::LockRelease {
+            rseq: field_u64(ev, "rseq", at)?,
+            location: field_u64(ev, "location", at)?,
+            held_ns: field_u64(ev, "held_ns", at)?,
+        },
+        other => return Err(format!("{at}: unknown kind {other:?}")),
+    };
+    Ok(ObsEvent {
+        ts_us: field_f64(ev, "ts_us", at)?,
+        dur_us: field_f64(ev, "dur_us", at)?,
+        seq: field_u64(ev, "seq", at)?,
+        tid: field_u64(ev, "tid", at)?,
+        track: ev.get("track").and_then(Json::as_f64).map_or(0, |t| t as u32),
+        kind,
+    })
+}
+
+fn metrics_from_json(doc: &Json) -> Result<MetricsSnapshot, String> {
+    let metrics = doc.get("metrics").ok_or_else(|| "missing metrics object".to_string())?;
+    let mut snap = MetricsSnapshot::default();
+    if let Some(Json::Obj(pairs)) = metrics.get("counters") {
+        for (name, v) in pairs {
+            let x = v.as_f64().ok_or_else(|| format!("counters.{name}: not a number"))?;
+            if x < 0.0 || x.fract() != 0.0 {
+                return Err(format!("counters.{name}: not a non-negative integer"));
+            }
+            snap.counters.push((name.clone(), x as u64));
+        }
+    }
+    if let Some(Json::Obj(pairs)) = metrics.get("gauges") {
+        for (name, v) in pairs {
+            let x = v.as_f64().ok_or_else(|| format!("gauges.{name}: not a number"))?;
+            snap.gauges.push((name.clone(), x));
+        }
+    }
+    if let Some(Json::Obj(pairs)) = metrics.get("histograms") {
+        for (name, h) in pairs {
+            let at = format!("histograms.{name}");
+            let mut buckets = Vec::new();
+            for (i, b) in h.get("buckets").and_then(Json::as_arr).unwrap_or(&[]).iter().enumerate() {
+                let pair = b.as_arr().ok_or_else(|| format!("{at}.buckets[{i}]: not a pair"))?;
+                if pair.len() != 2 {
+                    return Err(format!("{at}.buckets[{i}]: not a pair"));
+                }
+                let log2 = pair[0].as_f64().ok_or_else(|| format!("{at}.buckets[{i}]: bad bucket"))?;
+                let n = pair[1].as_f64().ok_or_else(|| format!("{at}.buckets[{i}]: bad count"))?;
+                buckets.push((log2 as u32, n as u64));
+            }
+            snap.histograms.push((
+                name.clone(),
+                HistogramSnapshot {
+                    count: field_u64(h, "count", &at)?,
+                    sum: field_u64(h, "sum", &at)?,
+                    buckets,
+                },
+            ));
+        }
+    }
+    Ok(snap)
+}
+
+impl RunTelemetry {
+    /// Parses an `orwl-obs/v1` document back into telemetry (the inverse
+    /// of [`ToJson::to_json`]); validates first so shape errors are
+    /// precise.
+    pub fn from_json(doc: &Json) -> Result<RunTelemetry, String> {
+        validate_obs(doc)?;
+        let backend = field_str(doc, "backend", "document")?.to_string();
+        let clock = ClockKind::parse(field_str(doc, "clock", "document")?)
+            .ok_or_else(|| "unknown clock".to_string())?;
+        let dropped = field_u64(doc, "dropped", "document")?;
+        let mut tracks = Vec::new();
+        if let Some(arr) = doc.get("tracks").and_then(Json::as_arr) {
+            for (i, t) in arr.iter().enumerate() {
+                let at = format!("tracks[{i}]");
+                tracks.push(TrackInfo {
+                    track: field_u64(t, "track", &at)? as u32,
+                    label: field_str(t, "label", &at)?.to_string(),
+                });
+            }
+        }
+        let mut events = Vec::new();
+        for (i, ev) in doc.get("events").and_then(Json::as_arr).unwrap_or(&[]).iter().enumerate() {
+            events.push(event_from_json(ev, &format!("events[{i}]"))?);
+        }
+        Ok(RunTelemetry { backend, clock, events, dropped, metrics: metrics_from_json(doc)?, tracks })
+    }
 }
 
 #[cfg(test)]
@@ -257,6 +465,9 @@ mod tests {
         rec.record(EventKind::Migration { tasks_moved: 3, bytes: 96.0, cross_node: true });
         rec.record_lock_wait(11, 50_000);
         rec.record(EventKind::Rebind { task: 2, pu: 5 });
+        rec.record(EventKind::LockRequest { rseq: (1 << 32) | 1, location: 4, owner: 0 });
+        rec.record(EventKind::LockGrant { rseq: (1 << 32) | 1, location: 4, wait_ns: 2_000 });
+        rec.record(EventKind::LockRelease { rseq: (1 << 32) | 1, location: 4, held_ns: 900 });
         rec.finish("sim-test")
     }
 
@@ -310,5 +521,63 @@ mod tests {
         let mut trace = Json::obj();
         trace.push("traceEvents", Json::Arr(vec![Json::obj()]));
         assert!(validate_chrome_trace(&trace).is_err());
+    }
+
+    #[test]
+    fn from_json_inverts_to_json() {
+        let t = sample_telemetry();
+        let doc = t.to_json();
+        let back = RunTelemetry::from_json(&doc).unwrap();
+        assert_eq!(back, t);
+        // Through text too (the artifact path).
+        let reparsed = Json::parse(&doc.pretty()).unwrap();
+        assert_eq!(RunTelemetry::from_json(&reparsed).unwrap(), t);
+        // A document without the optional track fields parses as track 0.
+        let mut stripped = doc.clone();
+        if let Json::Obj(pairs) = &mut stripped {
+            pairs.retain(|(k, _)| k != "tracks");
+        }
+        if let Some(Json::Arr(events)) = stripped.get("events").cloned() {
+            let rewritten: Vec<Json> = events
+                .into_iter()
+                .map(|mut ev| {
+                    if let Json::Obj(pairs) = &mut ev {
+                        pairs.retain(|(k, _)| k != "track");
+                    }
+                    ev
+                })
+                .collect();
+            if let Json::Obj(pairs) = &mut stripped {
+                for (k, v) in pairs.iter_mut() {
+                    if k == "events" {
+                        *v = Json::Arr(rewritten.clone());
+                    }
+                }
+            }
+        }
+        let legacy = RunTelemetry::from_json(&stripped).unwrap();
+        assert!(legacy.tracks.is_empty());
+        assert!(legacy.events.iter().all(|e| e.track == 0));
+    }
+
+    #[test]
+    fn merged_trace_gets_one_pid_per_track_and_metadata() {
+        let mut t = sample_telemetry();
+        t.tracks = vec![
+            crate::TrackInfo { track: 0, label: "coordinator".to_string() },
+            crate::TrackInfo { track: 1, label: "node0".to_string() },
+        ];
+        t.events[0].track = 1;
+        let doc = t.chrome_trace();
+        validate_chrome_trace(&doc).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // Two metadata events lead, naming pids 1 and 2.
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("M"));
+        assert_eq!(events[0].get("pid").unwrap().as_f64(), Some(1.0));
+        assert_eq!(events[0].get("args").unwrap().get("name").unwrap().as_str(), Some("coordinator"));
+        assert_eq!(events[1].get("pid").unwrap().as_f64(), Some(2.0));
+        // The re-tracked event renders on pid 2, the rest on pid 1.
+        assert_eq!(events[2].get("pid").unwrap().as_f64(), Some(2.0));
+        assert_eq!(events[3].get("pid").unwrap().as_f64(), Some(1.0));
     }
 }

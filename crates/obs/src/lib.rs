@@ -20,14 +20,18 @@
 //! with [`Recorder::set_sim_now`] as simulated seconds accumulate, so one
 //! timeline viewer works for all execution paths.
 
+pub mod analyze;
 pub mod diff;
 pub mod event;
 pub mod export;
 pub mod json;
+pub mod merge;
 pub mod metrics;
+pub mod snapshot;
 
 pub use event::{ClockKind, DriftOutcome, EventClass, EventKind, FabricLane, ObsEvent, SolvePhase};
 pub use json::{Json, JsonError, ToJson};
+pub use snapshot::TelemetrySnapshot;
 
 use metrics::{MetricsRegistry, MetricsSnapshot};
 use std::cell::RefCell;
@@ -42,7 +46,7 @@ use std::time::Instant;
 /// exact totals while its rings hold only the classes of interest.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EventFilter {
-    bits: u8,
+    bits: u16,
 }
 
 impl EventFilter {
@@ -80,6 +84,19 @@ impl EventFilter {
     #[must_use]
     pub fn allows(&self, class: EventClass) -> bool {
         self.bits & (1 << class.index()) != 0
+    }
+
+    /// The raw admission mask, for wire transport of the filter.
+    #[must_use]
+    pub fn bits(&self) -> u16 {
+        self.bits
+    }
+
+    /// Rebuilds a filter from [`EventFilter::bits`]; unknown high bits are
+    /// masked off so a newer peer's mask stays valid here.
+    #[must_use]
+    pub fn from_bits(bits: u16) -> Self {
+        EventFilter { bits: bits & EventFilter::all().bits }
     }
 }
 
@@ -165,6 +182,9 @@ pub struct Recorder {
     clock: ClockKind,
     config: ObsConfig,
     origin: Instant,
+    /// [`process_clock_us`] at creation: locates this recorder's time zero
+    /// on the process-wide clock so cross-process merges can rebase.
+    origin_us: u64,
     /// Simulated "now" in microseconds, as `f64` bits.
     sim_now_us: AtomicU64,
     seq: AtomicU64,
@@ -191,6 +211,7 @@ impl Recorder {
             clock,
             config,
             origin: Instant::now(),
+            origin_us: process_clock_us(),
             sim_now_us: AtomicU64::new(0f64.to_bits()),
             seq: AtomicU64::new(0),
             next_tid: AtomicU64::new(0),
@@ -204,6 +225,13 @@ impl Recorder {
     #[must_use]
     pub fn clock(&self) -> ClockKind {
         self.clock
+    }
+
+    /// [`process_clock_us`] at the moment this recorder was created (its
+    /// event time zero on the process-wide clock).
+    #[must_use]
+    pub fn origin_us(&self) -> u64 {
+        self.origin_us
     }
 
     /// The recorder's tuning.
@@ -277,6 +305,7 @@ impl Recorder {
             dur_us,
             seq: self.seq.fetch_add(1, Ordering::Relaxed),
             tid: 0, // overwritten below with the ring's tid
+            track: 0,
             kind,
         };
         let ring = self.ring_for_current_thread();
@@ -324,6 +353,16 @@ impl Recorder {
                 self.metrics.counter("migrations").incr();
                 self.metrics.histogram("migration_bytes").observe(*bytes as u64);
             }
+            EventKind::LockRequest { .. } => {
+                self.metrics.counter("remote_requests").incr();
+            }
+            EventKind::LockGrant { wait_ns, .. } => {
+                self.metrics.counter("remote_grants").incr();
+                self.metrics.histogram("owner_fifo_wait_ns").observe(*wait_ns);
+            }
+            EventKind::LockRelease { held_ns, .. } => {
+                self.metrics.histogram("remote_held_ns").observe(*held_ns);
+            }
         }
     }
 
@@ -359,8 +398,19 @@ impl Recorder {
             events,
             dropped,
             metrics: self.metrics.snapshot(),
+            tracks: Vec::new(),
         }
     }
+}
+
+/// One process timeline of a merged multi-process document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrackInfo {
+    /// Track id events reference via [`ObsEvent::track`].
+    pub track: u32,
+    /// Human-readable label (`coordinator`, `node0`, ...); also the
+    /// Perfetto process name of the exported track.
+    pub label: String,
 }
 
 /// The drained telemetry of one run: the sorted event timeline plus the
@@ -378,6 +428,9 @@ pub struct RunTelemetry {
     pub dropped: u64,
     /// Final metric values.
     pub metrics: MetricsSnapshot,
+    /// Process timelines of a merged multi-process run; empty for
+    /// single-process telemetry (every event on implicit track 0).
+    pub tracks: Vec<TrackInfo>,
 }
 
 impl RunTelemetry {
@@ -386,6 +439,21 @@ impl RunTelemetry {
     pub fn count_kind(&self, name: &str) -> usize {
         self.events.iter().filter(|e| e.kind.name() == name).count()
     }
+}
+
+/// Microseconds on a process-wide monotonic clock (anchored the first
+/// time any code in this process asks).
+///
+/// Two cooperating processes each report times on their own anchor; the
+/// anchors differ by an unknown offset that `orwl-proc` estimates from its
+/// Hello/Assignment handshake (both anchors tick the same underlying
+/// monotonic clock, so the *rates* agree).  [`Recorder::origin_us`] pins a
+/// recorder's event time zero to this clock.
+#[must_use]
+pub fn process_clock_us() -> u64 {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    let anchor = *ANCHOR.get_or_init(Instant::now);
+    anchor.elapsed().as_micros() as u64
 }
 
 // --- The process-global gate (the `ACTIVE_SINKS` pattern) ----------------

@@ -1,0 +1,518 @@
+//! The binary telemetry snapshot: how a worker process's drained recorder
+//! crosses a process boundary.
+//!
+//! `orwl-proc` workers record locally (their recorder dies with the
+//! process) and ship the drained result to the coordinator inside a
+//! `TelemetryUpload` wire frame.  JSON would work but costs ~10× the
+//! bytes and a float-formatting round-trip per event; this module defines
+//! a compact little-endian binary layout instead, versioned independently
+//! of the wire codec that carries it:
+//!
+//! ```text
+//! | magic "OSNP" (4) | version u16 | clock u8 | origin_us f64 |
+//! | clock_offset_us f64 | backend (len-prefixed str) | dropped u64 |
+//! | events u32 × event | counters, gauges, histograms (sparse) |
+//! ```
+//!
+//! Each event is `ts_us f64 | dur_us f64 | seq u64 | tid u64 | track u32 |
+//! tag u8 | payload`, with one tag per [`EventKind`] variant.  Decoding is
+//! strict: bad magic, unknown versions, unknown tags, non-finite
+//! timestamps, truncated buffers and trailing bytes are all typed errors —
+//! a corrupt upload must never poison the coordinator's merged timeline.
+
+use crate::event::{ClockKind, DriftOutcome, EventKind, FabricLane, ObsEvent, SolvePhase};
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
+use crate::RunTelemetry;
+
+/// Magic prefix of a serialized snapshot.
+pub const SNAPSHOT_MAGIC: &[u8; 4] = b"OSNP";
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u16 = 1;
+
+/// A decode failure (encoding is infallible).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The buffer does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// A version this build does not speak.
+    BadVersion {
+        /// The version the peer wrote.
+        got: u16,
+    },
+    /// An enum code outside the known range.
+    BadCode {
+        /// Which field carried the code.
+        field: &'static str,
+        /// The offending code.
+        got: u8,
+    },
+    /// The buffer ended inside a field.
+    Truncated,
+    /// Bytes left over after the last field.
+    TrailingBytes,
+    /// A string field was not UTF-8.
+    BadUtf8,
+    /// A numeric field failed a range check (non-finite timestamp,
+    /// oversized length).
+    BadField(&'static str),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "snapshot does not start with OSNP"),
+            SnapshotError::BadVersion { got } => write!(f, "unsupported snapshot version {got}"),
+            SnapshotError::BadCode { field, got } => write!(f, "unknown {field} code {got}"),
+            SnapshotError::Truncated => write!(f, "snapshot truncated"),
+            SnapshotError::TrailingBytes => write!(f, "trailing bytes after snapshot"),
+            SnapshotError::BadUtf8 => write!(f, "snapshot string is not UTF-8"),
+            SnapshotError::BadField(field) => write!(f, "snapshot field {field} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Hard caps on collection lengths: a malformed length prefix must fail
+/// fast instead of asking the allocator for terabytes.
+const MAX_EVENTS: u32 = 1 << 22;
+const MAX_INSTRUMENTS: u32 = 1 << 16;
+const MAX_STRING: u32 = 1 << 12;
+
+/// One worker's drained telemetry plus the clock metadata the coordinator
+/// needs to rebase it: where the recorder's time zero sits on the worker's
+/// process clock, and the estimated offset between the two process clocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// The clock the events are stamped with.
+    pub clock: ClockKind,
+    /// The recorder's time zero on the worker's process clock
+    /// (`Recorder::origin_us`).
+    pub origin_us: f64,
+    /// Estimated `coordinator_clock − worker_clock` in microseconds
+    /// (midpoint method over the handshake); adding it to a worker-clock
+    /// time yields a coordinator-clock time.
+    pub clock_offset_us: f64,
+    /// Backend name the worker recorded under.
+    pub backend: String,
+    /// The drained events, `(ts_us, seq)`-ordered.
+    pub events: Vec<ObsEvent>,
+    /// Events lost to ring overwrites (plus any the worker shed to fit the
+    /// wire-frame budget).
+    pub dropped: u64,
+    /// Final metric values.
+    pub metrics: MetricsSnapshot,
+}
+
+impl TelemetrySnapshot {
+    /// Wraps a drained [`RunTelemetry`] with the clock metadata.
+    #[must_use]
+    pub fn from_telemetry(t: RunTelemetry, origin_us: f64, clock_offset_us: f64) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            clock: t.clock,
+            origin_us,
+            clock_offset_us,
+            backend: t.backend,
+            events: t.events,
+            dropped: t.dropped,
+            metrics: t.metrics,
+        }
+    }
+
+    /// Serializes to the versioned binary layout.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.events.len() * 48);
+        out.extend_from_slice(SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.push(clock_code(self.clock));
+        out.extend_from_slice(&self.origin_us.to_le_bytes());
+        out.extend_from_slice(&self.clock_offset_us.to_le_bytes());
+        put_str(&mut out, &self.backend);
+        out.extend_from_slice(&self.dropped.to_le_bytes());
+        out.extend_from_slice(&(self.events.len() as u32).to_le_bytes());
+        for ev in &self.events {
+            put_event(&mut out, ev);
+        }
+        out.extend_from_slice(&(self.metrics.counters.len() as u32).to_le_bytes());
+        for (name, value) in &self.metrics.counters {
+            put_str(&mut out, name);
+            out.extend_from_slice(&value.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.metrics.gauges.len() as u32).to_le_bytes());
+        for (name, value) in &self.metrics.gauges {
+            put_str(&mut out, name);
+            out.extend_from_slice(&value.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.metrics.histograms.len() as u32).to_le_bytes());
+        for (name, h) in &self.metrics.histograms {
+            put_str(&mut out, name);
+            out.extend_from_slice(&h.count.to_le_bytes());
+            out.extend_from_slice(&h.sum.to_le_bytes());
+            out.extend_from_slice(&(h.buckets.len() as u32).to_le_bytes());
+            for &(log2, n) in &h.buckets {
+                out.push(log2 as u8);
+                out.extend_from_slice(&n.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Strictly decodes a buffer produced by [`TelemetrySnapshot::encode`].
+    pub fn decode(buf: &[u8]) -> Result<TelemetrySnapshot, SnapshotError> {
+        let mut r = Reader { buf, at: 0 };
+        if r.take(4)? != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::BadVersion { got: version });
+        }
+        let clock = clock_from(r.u8()?)?;
+        let origin_us = r.finite_f64("origin_us")?;
+        let clock_offset_us = r.finite_f64("clock_offset_us")?;
+        let backend = r.string()?;
+        let dropped = r.u64()?;
+        let n_events = r.len_prefix(MAX_EVENTS, "events")?;
+        let mut events = Vec::with_capacity(n_events);
+        for _ in 0..n_events {
+            events.push(take_event(&mut r)?);
+        }
+        let mut metrics = MetricsSnapshot::default();
+        for _ in 0..r.len_prefix(MAX_INSTRUMENTS, "counters")? {
+            let name = r.string()?;
+            metrics.counters.push((name, r.u64()?));
+        }
+        for _ in 0..r.len_prefix(MAX_INSTRUMENTS, "gauges")? {
+            let name = r.string()?;
+            metrics.gauges.push((name, r.finite_f64("gauge")?));
+        }
+        for _ in 0..r.len_prefix(MAX_INSTRUMENTS, "histograms")? {
+            let name = r.string()?;
+            let count = r.u64()?;
+            let sum = r.u64()?;
+            let n_buckets = r.len_prefix(64, "buckets")?;
+            let mut buckets = Vec::with_capacity(n_buckets);
+            for _ in 0..n_buckets {
+                let log2 = r.u8()?;
+                if log2 >= 64 {
+                    return Err(SnapshotError::BadField("bucket log2"));
+                }
+                buckets.push((u32::from(log2), r.u64()?));
+            }
+            metrics.histograms.push((name, HistogramSnapshot { count, sum, buckets }));
+        }
+        if r.at != r.buf.len() {
+            return Err(SnapshotError::TrailingBytes);
+        }
+        Ok(TelemetrySnapshot { clock, origin_us, clock_offset_us, backend, events, dropped, metrics })
+    }
+}
+
+fn clock_code(clock: ClockKind) -> u8 {
+    match clock {
+        ClockKind::Wall => 0,
+        ClockKind::Simulated => 1,
+    }
+}
+
+fn clock_from(code: u8) -> Result<ClockKind, SnapshotError> {
+    match code {
+        0 => Ok(ClockKind::Wall),
+        1 => Ok(ClockKind::Simulated),
+        got => Err(SnapshotError::BadCode { field: "clock", got }),
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = &s.as_bytes()[..s.len().min(MAX_STRING as usize)];
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn put_event(out: &mut Vec<u8>, ev: &ObsEvent) {
+    out.extend_from_slice(&ev.ts_us.to_le_bytes());
+    out.extend_from_slice(&ev.dur_us.to_le_bytes());
+    out.extend_from_slice(&ev.seq.to_le_bytes());
+    out.extend_from_slice(&ev.tid.to_le_bytes());
+    out.extend_from_slice(&ev.track.to_le_bytes());
+    match ev.kind {
+        EventKind::Epoch { epoch, bytes } => {
+            out.push(0);
+            out.extend_from_slice(&epoch.to_le_bytes());
+            out.extend_from_slice(&bytes.to_le_bytes());
+        }
+        EventKind::PlacementSolve { phase, wall_ns } => {
+            out.push(1);
+            out.push(match phase {
+                SolvePhase::Group => 0,
+                SolvePhase::Coarsen => 1,
+                SolvePhase::Refine => 2,
+                SolvePhase::Total => 3,
+            });
+            out.extend_from_slice(&wall_ns.to_le_bytes());
+        }
+        EventKind::DriftDecision { outcome, delta } => {
+            out.push(2);
+            out.push(match outcome {
+                DriftOutcome::Fired => 0,
+                DriftOutcome::SuppressedByPatience => 1,
+                DriftOutcome::Cooldown => 2,
+                DriftOutcome::Quiet => 3,
+            });
+            out.extend_from_slice(&delta.to_le_bytes());
+        }
+        EventKind::LockWait { location, wait_ns } => {
+            out.push(3);
+            out.extend_from_slice(&location.to_le_bytes());
+            out.extend_from_slice(&wait_ns.to_le_bytes());
+        }
+        EventKind::FabricTransfer { lane, bytes } => {
+            out.push(4);
+            out.push(match lane {
+                FabricLane::SameNode => 0,
+                FabricLane::SameRack => 1,
+                FabricLane::CrossRack => 2,
+            });
+            out.extend_from_slice(&bytes.to_le_bytes());
+        }
+        EventKind::Rebind { task, pu } => {
+            out.push(5);
+            out.extend_from_slice(&(task as u64).to_le_bytes());
+            out.extend_from_slice(&(pu as u64).to_le_bytes());
+        }
+        EventKind::Migration { tasks_moved, bytes, cross_node } => {
+            out.push(6);
+            out.extend_from_slice(&(tasks_moved as u64).to_le_bytes());
+            out.extend_from_slice(&bytes.to_le_bytes());
+            out.push(u8::from(cross_node));
+        }
+        EventKind::LockRequest { rseq, location, owner } => {
+            out.push(7);
+            out.extend_from_slice(&rseq.to_le_bytes());
+            out.extend_from_slice(&location.to_le_bytes());
+            out.extend_from_slice(&owner.to_le_bytes());
+        }
+        EventKind::LockGrant { rseq, location, wait_ns } => {
+            out.push(8);
+            out.extend_from_slice(&rseq.to_le_bytes());
+            out.extend_from_slice(&location.to_le_bytes());
+            out.extend_from_slice(&wait_ns.to_le_bytes());
+        }
+        EventKind::LockRelease { rseq, location, held_ns } => {
+            out.push(9);
+            out.extend_from_slice(&rseq.to_le_bytes());
+            out.extend_from_slice(&location.to_le_bytes());
+            out.extend_from_slice(&held_ns.to_le_bytes());
+        }
+    }
+}
+
+fn take_event(r: &mut Reader<'_>) -> Result<ObsEvent, SnapshotError> {
+    let ts_us = r.finite_f64("ts_us")?;
+    let dur_us = r.finite_f64("dur_us")?;
+    let seq = r.u64()?;
+    let tid = r.u64()?;
+    let track = r.u32()?;
+    let tag = r.u8()?;
+    let kind = match tag {
+        0 => EventKind::Epoch { epoch: r.u64()?, bytes: r.finite_f64("bytes")? },
+        1 => EventKind::PlacementSolve {
+            phase: match r.u8()? {
+                0 => SolvePhase::Group,
+                1 => SolvePhase::Coarsen,
+                2 => SolvePhase::Refine,
+                3 => SolvePhase::Total,
+                got => return Err(SnapshotError::BadCode { field: "phase", got }),
+            },
+            wall_ns: r.u64()?,
+        },
+        2 => EventKind::DriftDecision {
+            outcome: match r.u8()? {
+                0 => DriftOutcome::Fired,
+                1 => DriftOutcome::SuppressedByPatience,
+                2 => DriftOutcome::Cooldown,
+                3 => DriftOutcome::Quiet,
+                got => return Err(SnapshotError::BadCode { field: "outcome", got }),
+            },
+            delta: r.finite_f64("delta")?,
+        },
+        3 => EventKind::LockWait { location: r.u64()?, wait_ns: r.u64()? },
+        4 => EventKind::FabricTransfer {
+            lane: match r.u8()? {
+                0 => FabricLane::SameNode,
+                1 => FabricLane::SameRack,
+                2 => FabricLane::CrossRack,
+                got => return Err(SnapshotError::BadCode { field: "lane", got }),
+            },
+            bytes: r.finite_f64("bytes")?,
+        },
+        5 => EventKind::Rebind { task: r.u64()? as usize, pu: r.u64()? as usize },
+        6 => EventKind::Migration {
+            tasks_moved: r.u64()? as usize,
+            bytes: r.finite_f64("bytes")?,
+            cross_node: match r.u8()? {
+                0 => false,
+                1 => true,
+                got => return Err(SnapshotError::BadCode { field: "cross_node", got }),
+            },
+        },
+        7 => EventKind::LockRequest { rseq: r.u64()?, location: r.u64()?, owner: r.u32()? },
+        8 => EventKind::LockGrant { rseq: r.u64()?, location: r.u64()?, wait_ns: r.u64()? },
+        9 => EventKind::LockRelease { rseq: r.u64()?, location: r.u64()?, held_ns: r.u64()? },
+        got => return Err(SnapshotError::BadCode { field: "event tag", got }),
+    };
+    Ok(ObsEvent { ts_us, dur_us, seq, tid, track, kind })
+}
+
+struct Reader<'b> {
+    buf: &'b [u8],
+    at: usize,
+}
+
+impl<'b> Reader<'b> {
+    fn take(&mut self, n: usize) -> Result<&'b [u8], SnapshotError> {
+        if self.buf.len() - self.at < n {
+            return Err(SnapshotError::Truncated);
+        }
+        let slice = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, SnapshotError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn finite_f64(&mut self, field: &'static str) -> Result<f64, SnapshotError> {
+        let x = f64::from_le_bytes(self.take(8)?.try_into().unwrap());
+        if x.is_finite() {
+            Ok(x)
+        } else {
+            Err(SnapshotError::BadField(field))
+        }
+    }
+
+    fn len_prefix(&mut self, max: u32, field: &'static str) -> Result<usize, SnapshotError> {
+        let n = self.u32()?;
+        if n > max {
+            return Err(SnapshotError::BadField(field));
+        }
+        Ok(n as usize)
+    }
+
+    fn string(&mut self) -> Result<String, SnapshotError> {
+        let n = self.len_prefix(MAX_STRING, "string length")?;
+        std::str::from_utf8(self.take(n)?).map(str::to_string).map_err(|_| SnapshotError::BadUtf8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ObsConfig, Recorder};
+
+    fn sample() -> TelemetrySnapshot {
+        let rec = Recorder::new(ClockKind::Wall, ObsConfig::default());
+        rec.record(EventKind::Epoch { epoch: 1, bytes: 4096.0 });
+        rec.record(EventKind::PlacementSolve { phase: SolvePhase::Total, wall_ns: 1_500_000 });
+        rec.record(EventKind::DriftDecision { outcome: DriftOutcome::Quiet, delta: 0.01 });
+        rec.record(EventKind::FabricTransfer { lane: FabricLane::SameRack, bytes: 2048.0 });
+        rec.record(EventKind::Rebind { task: 2, pu: 5 });
+        rec.record(EventKind::Migration { tasks_moved: 3, bytes: 96.0, cross_node: true });
+        rec.record(EventKind::LockRequest { rseq: (2 << 32) | 7, location: 4, owner: 0 });
+        rec.record(EventKind::LockGrant { rseq: (2 << 32) | 7, location: 4, wait_ns: 9_000 });
+        rec.record(EventKind::LockRelease { rseq: (2 << 32) | 7, location: 4, held_ns: 700 });
+        rec.record_lock_wait(3, 60_000);
+        let origin = rec.origin_us() as f64;
+        TelemetrySnapshot::from_telemetry(rec.finish("proc"), origin, -123.5)
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        let snap = sample();
+        let bytes = snap.encode();
+        let back = TelemetrySnapshot::decode(&bytes).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.events.len(), 10);
+        assert_eq!(back.clock_offset_us, -123.5);
+        assert_eq!(back.metrics.counter("remote_grants"), Some(1));
+        assert!(back.metrics.histogram("lock_wait_ns").is_some());
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let rec = Recorder::new(ClockKind::Wall, ObsConfig::default());
+        let snap = TelemetrySnapshot::from_telemetry(rec.finish("proc"), 0.0, 0.0);
+        assert_eq!(TelemetrySnapshot::decode(&snap.encode()).unwrap(), snap);
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors() {
+        let good = sample().encode();
+
+        assert_eq!(TelemetrySnapshot::decode(b"JUNK"), Err(SnapshotError::BadMagic));
+
+        let mut wrong_version = good.clone();
+        wrong_version[4] = 9;
+        assert_eq!(TelemetrySnapshot::decode(&wrong_version), Err(SnapshotError::BadVersion { got: 9 }));
+
+        let mut bad_clock = good.clone();
+        bad_clock[6] = 7;
+        assert_eq!(
+            TelemetrySnapshot::decode(&bad_clock),
+            Err(SnapshotError::BadCode { field: "clock", got: 7 })
+        );
+
+        // Truncation at any prefix length never panics and fails typed.
+        for cut in 0..good.len() {
+            let err = TelemetrySnapshot::decode(&good[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated
+                        | SnapshotError::BadMagic
+                        | SnapshotError::BadField(_)
+                        | SnapshotError::BadCode { .. }
+                ),
+                "cut at {cut}: {err:?}"
+            );
+        }
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert_eq!(TelemetrySnapshot::decode(&trailing), Err(SnapshotError::TrailingBytes));
+
+        // A non-finite origin is rejected.
+        let mut nan_origin = good;
+        nan_origin[7..15].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(TelemetrySnapshot::decode(&nan_origin), Err(SnapshotError::BadField("origin_us")));
+    }
+
+    #[test]
+    fn absurd_length_prefixes_fail_fast() {
+        // magic + version + clock + origin + offset, then a backend length
+        // claiming 4 GiB: must be BadField, not an allocation attempt.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(SNAPSHOT_MAGIC);
+        buf.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        buf.push(0);
+        buf.extend_from_slice(&0f64.to_le_bytes());
+        buf.extend_from_slice(&0f64.to_le_bytes());
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(TelemetrySnapshot::decode(&buf), Err(SnapshotError::BadField("string length")));
+    }
+}

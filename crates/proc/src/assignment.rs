@@ -11,9 +11,81 @@
 //! misinterpreting fields.
 
 use orwl_obs::json::Json;
+use orwl_obs::{EventFilter, ObsConfig};
 
 /// Schema identifier of the assignment document.
 pub const ASSIGN_SCHEMA: &str = "orwl-proc-assign/v1";
+
+/// The observation request riding along in an assignment: the worker's
+/// recorder configuration plus the coordinator-side handshake timestamps
+/// the worker needs to estimate its clock offset (midpoint method — see
+/// `orwl_obs::merge`).  Optional: absent means "run dark", and v1
+/// documents (which never carry it) keep parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsSpec {
+    /// Recorder ring capacity (events per thread).
+    pub ring_capacity: usize,
+    /// Lock-wait event threshold, nanoseconds.
+    pub lock_wait_threshold_ns: u64,
+    /// Event-class filter, as [`EventFilter`] bits.
+    pub event_filter_bits: u16,
+    /// Keep every n-th event per class.
+    pub sample_every: u32,
+    /// Coordinator clock (µs) when this worker's `Hello` arrived.
+    pub hello_recv_us: u64,
+    /// Coordinator clock (µs) when this assignment was sent.
+    pub assign_send_us: u64,
+}
+
+impl ObsSpec {
+    /// Builds the spec from a recorder config plus the two
+    /// coordinator-side handshake timestamps.
+    #[must_use]
+    pub fn new(cfg: &ObsConfig, hello_recv_us: u64, assign_send_us: u64) -> Self {
+        ObsSpec {
+            ring_capacity: cfg.ring_capacity,
+            lock_wait_threshold_ns: cfg.lock_wait_threshold_ns,
+            event_filter_bits: cfg.event_filter.bits(),
+            sample_every: cfg.sample_every,
+            hello_recv_us,
+            assign_send_us,
+        }
+    }
+
+    /// The worker-side recorder configuration this spec describes.
+    #[must_use]
+    pub fn config(&self) -> ObsConfig {
+        ObsConfig {
+            ring_capacity: self.ring_capacity,
+            lock_wait_threshold_ns: self.lock_wait_threshold_ns,
+            event_filter: EventFilter::from_bits(self.event_filter_bits),
+            sample_every: self.sample_every,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut obs = Json::obj();
+        obs.push("ring_capacity", self.ring_capacity)
+            .push("lock_wait_threshold_ns", self.lock_wait_threshold_ns)
+            .push("event_filter_bits", u64::from(self.event_filter_bits))
+            .push("sample_every", u64::from(self.sample_every))
+            .push("hello_recv_us", self.hello_recv_us)
+            .push("assign_send_us", self.assign_send_us);
+        obs
+    }
+
+    fn from_json(doc: &Json) -> Result<Self, String> {
+        Ok(ObsSpec {
+            ring_capacity: req_usize(doc, "ring_capacity")?,
+            lock_wait_threshold_ns: req_usize(doc, "lock_wait_threshold_ns")? as u64,
+            event_filter_bits: u16::try_from(req_usize(doc, "event_filter_bits")?)
+                .map_err(|_| "event_filter_bits out of u16 range".to_string())?,
+            sample_every: req_usize(doc, "sample_every")? as u32,
+            hello_recv_us: req_usize(doc, "hello_recv_us")? as u64,
+            assign_send_us: req_usize(doc, "assign_send_us")? as u64,
+        })
+    }
+}
 
 /// One read edge of the protocol: `reader` pulls `bytes` from the
 /// location owned by `src`, once per iteration of the enclosing phase.
@@ -62,6 +134,8 @@ pub struct Assignment {
     pub peer_listen: Vec<String>,
     /// The read schedule (filtered to this worker's tasks).
     pub phases: Vec<PhasePlan>,
+    /// The observation request, when the run is observed.
+    pub obs: Option<ObsSpec>,
 }
 
 impl Assignment {
@@ -123,6 +197,9 @@ impl Assignment {
                     .collect(),
             ),
         );
+        if let Some(obs) = &self.obs {
+            doc.push("obs", obs.to_json());
+        }
         doc
     }
 
@@ -187,6 +264,10 @@ impl Assignment {
                     })
                 })
                 .collect::<Result<_, String>>()?,
+            obs: match doc.get("obs") {
+                Some(obs) => Some(ObsSpec::from_json(obs).map_err(|e| format!("obs: {e}"))?),
+                None => None,
+            },
         };
         assignment.validate()?;
         Ok(assignment)
@@ -303,6 +384,7 @@ mod tests {
                     ReadEdge { reader: 3, src: 2, bytes: 128.5 },
                 ],
             }],
+            obs: None,
         }
     }
 
@@ -313,6 +395,35 @@ mod tests {
         let parsed = Assignment::from_json(&Json::parse(&text).unwrap()).unwrap();
         assert_eq!(parsed, a);
         assert_eq!(parsed.local_tasks(), vec![2, 3]);
+    }
+
+    #[test]
+    fn obs_spec_roundtrips_and_stays_optional() {
+        // A document without "obs" (every v1 assignment) parses to None —
+        // already covered by json_roundtrip_is_lossless; here the observed
+        // variant round-trips including the handshake timestamps.
+        let mut a = sample();
+        a.obs = Some(ObsSpec::new(&ObsConfig::default(), 1234, 5678));
+        let parsed = Assignment::from_json(&Json::parse(&a.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(parsed, a);
+        let spec = parsed.obs.unwrap();
+        assert_eq!(spec.hello_recv_us, 1234);
+        assert_eq!(spec.assign_send_us, 5678);
+        // The round-tripped config matches what the coordinator asked for.
+        let cfg = spec.config();
+        assert_eq!(cfg.ring_capacity, ObsConfig::default().ring_capacity);
+        assert_eq!(cfg.event_filter.bits(), EventFilter::all().bits());
+
+        // A malformed obs object is a loud error, not a silent None.
+        let mut bad = a.to_json();
+        if let Json::Obj(pairs) = &mut bad {
+            for (k, v) in pairs.iter_mut() {
+                if k == "obs" {
+                    *v = Json::obj();
+                }
+            }
+        }
+        assert!(Assignment::from_json(&bad).unwrap_err().contains("obs:"));
     }
 
     #[test]

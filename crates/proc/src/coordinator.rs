@@ -101,6 +101,7 @@ pub struct WorkerPool {
     listener: UnixListener,
     children: Vec<WorkerChild>,
     controls: Vec<Option<FramedStream>>,
+    hello_recv_us: Vec<u64>,
     io_timeout: Duration,
 }
 
@@ -147,7 +148,15 @@ impl WorkerPool {
         pool_guard.dir = None; // spawns succeeded: the pool takes ownership
         drop(pool_guard);
         let controls = (0..n_nodes).map(|_| None).collect();
-        Ok(WorkerPool { dir, listener, children, controls, io_timeout })
+        Ok(WorkerPool { dir, listener, children, controls, hello_recv_us: vec![0; n_nodes], io_timeout })
+    }
+
+    /// The coordinator's process clock (µs) when `node`'s `Hello` arrived
+    /// — one side of the clock-offset handshake (see `orwl_obs::merge`);
+    /// `0` until [`WorkerPool::accept_controls`] has seen that node.
+    #[must_use]
+    pub fn hello_recv_us(&self, node: usize) -> u64 {
+        self.hello_recv_us[node]
     }
 
     /// Path of the peer listener socket assigned to `node`.
@@ -196,6 +205,7 @@ impl WorkerPool {
                     let mut control = FramedStream::new(stream);
                     match control.recv(Some(self.io_timeout)) {
                         Ok(Message::Hello { node }) => {
+                            let hello_us = orwl_obs::process_clock_us();
                             let node = node as usize;
                             if node >= self.children.len() {
                                 return Err(self.fail(None, format!("hello from unknown node {node}")));
@@ -204,6 +214,7 @@ impl WorkerPool {
                                 return Err(self.fail(Some(node), "duplicate hello"));
                             }
                             self.controls[node] = Some(control);
+                            self.hello_recv_us[node] = hello_us;
                             accepted += 1;
                         }
                         Ok(other) => {

@@ -38,11 +38,14 @@ pub mod worker;
 
 pub use assignment::Assignment;
 pub use coordinator::{WorkerFailure, WorkerPool};
-pub use corr::{corr_document, validate_corr, CorrRow, CORR_SCHEMA, CORR_TOLERANCE};
+pub use corr::{
+    corr_document, deterministic_view, validate_corr, CorrRow, CORR_NONDETERMINISTIC, CORR_SCHEMA,
+    CORR_TOLERANCE,
+};
 pub use metrics::{WorkerMetrics, METRICS_SCHEMA};
 pub use worker::maybe_worker;
 
-use crate::assignment::{PhasePlan, ReadEdge};
+use crate::assignment::{ObsSpec, PhasePlan, ReadEdge};
 use crate::wire::Message;
 use orwl_cluster::{inter_node_bytes, policy_placement, split_hop_bytes, ClusterMachine};
 use orwl_core::error::{ConfigError, OrwlError};
@@ -50,10 +53,16 @@ use orwl_core::placement::PlacementPlan;
 use orwl_core::session::{ClusterTraffic, ExecutionBackend, Mode, Report, RunTime, SessionConfig, Workload};
 use orwl_numasim::workload::PhasedWorkload;
 use orwl_obs::json::Json;
-use orwl_obs::{ClockKind, EventKind, FabricLane, Recorder};
+use orwl_obs::merge::merge_run;
+use orwl_obs::{ClockKind, EventKind, FabricLane, ObsConfig, Recorder, TelemetrySnapshot};
 use orwl_treematch::mapping::Placement;
 use orwl_treematch::policies::Policy;
 use std::time::{Duration, Instant};
+
+/// What a completed control protocol hands back: the wall-clocked
+/// execution span, one metrics document per worker, and (observed runs
+/// only) the per-node telemetry snapshots.
+type ProtocolOutcome = (Duration, Vec<WorkerMetrics>, Vec<(u32, TelemetrySnapshot)>);
 
 /// The multi-process cluster executor as a `Session` backend: one OS
 /// process per node of the wrapped [`ClusterMachine`], the ORWL lock
@@ -181,23 +190,34 @@ impl ProcBackend {
                         PhasePlan { iterations: phase.iterations, reads }
                     })
                     .collect(),
+                obs: None, // stamped per node at send time when observed
             })
             .collect()
     }
 
     /// Drives the coordinator side of the control protocol to completion:
     /// handshake, assignments, synchronized start, the wall-clocked
-    /// execution span, shutdown, and one metrics document per worker.
+    /// execution span, telemetry collection (observed runs), shutdown,
+    /// and one metrics document per worker.
     fn run_protocol(
         &self,
         mut pool: WorkerPool,
         workload: &PhasedWorkload,
         node_of_task: &[usize],
-    ) -> Result<(Duration, Vec<WorkerMetrics>), WorkerFailure> {
-        let assignments = self.assignments(workload, node_of_task, &pool);
+        observe: Option<&ObsConfig>,
+    ) -> Result<ProtocolOutcome, WorkerFailure> {
+        let mut assignments = self.assignments(workload, node_of_task, &pool);
         let n_nodes = assignments.len();
         pool.accept_controls()?;
-        for (node, assignment) in assignments.iter().enumerate() {
+        for (node, assignment) in assignments.iter_mut().enumerate() {
+            // The obs spec is stamped per node at send time: it carries
+            // the two coordinator-side handshake timestamps the worker
+            // needs for its clock-offset estimate, and the send stamp
+            // must be taken as late as possible.
+            if let Some(cfg) = observe {
+                assignment.obs =
+                    Some(ObsSpec::new(cfg, pool.hello_recv_us(node), orwl_obs::process_clock_us()));
+            }
             pool.send_to(node, &Message::Assignment { json: assignment.to_json().pretty() })?;
         }
         for node in 0..n_nodes {
@@ -209,7 +229,28 @@ impl ProcBackend {
             pool.recv_from(node, "done")?;
         }
         let elapsed = started.elapsed();
+        // Shutdown is broadcast *before* collecting telemetry: once every
+        // node has reported Done, every section anywhere has been granted
+        // and released, so a worker that drains its recorder after seeing
+        // Shutdown misses no owner-side events.  (Draining at Done would
+        // race a slow peer's read storm against the drain.)
         pool.broadcast(&Message::Shutdown)?;
+        let mut uploads = Vec::new();
+        if observe.is_some() {
+            for node in 0..n_nodes {
+                let Message::TelemetryUpload { node: from, snapshot } =
+                    pool.recv_from(node, "telemetry_upload")?
+                else {
+                    unreachable!("recv_from returns the requested kind");
+                };
+                match TelemetrySnapshot::decode(&snapshot) {
+                    Ok(snap) => uploads.push((from, snap)),
+                    Err(e) => {
+                        return Err(pool.fail(Some(node), format!("bad telemetry snapshot: {e}")));
+                    }
+                }
+            }
+        }
         let mut metrics = Vec::with_capacity(n_nodes);
         for node in 0..n_nodes {
             let Message::Metrics { json, .. } = pool.recv_from(node, "metrics")? else {
@@ -224,7 +265,7 @@ impl ProcBackend {
             }
         }
         pool.wait_all()?;
-        Ok((elapsed, metrics))
+        Ok((elapsed, metrics, uploads))
     }
 
     /// Tree hops a byte pays on each fabric lane of this machine, probed
@@ -289,6 +330,11 @@ impl ExecutionBackend for ProcBackend {
             .into());
         }
 
+        // The coordinator's recorder anchors the merged timeline's clock:
+        // created before any worker spawns so every handshake and worker
+        // event lands after its origin.
+        let recorder = config.observe.map(|cfg| Recorder::new(ClockKind::Wall, cfg));
+
         // The same sharding step as the cluster simulator, from the same
         // symmetrized first-phase matrix — the keystone of sim-vs-real
         // comparability.
@@ -326,8 +372,8 @@ impl ExecutionBackend for ProcBackend {
 
         let pool = WorkerPool::spawn(cluster.n_nodes(), &self.worker_args, &self.worker_env, self.io_timeout)
             .map_err(|e| OrwlError::WorkerFailed { node: 0, detail: format!("spawning workers: {e}") })?;
-        let (elapsed, metrics) = self
-            .run_protocol(pool, &workload, &cp.node_of_task)
+        let (elapsed, metrics, uploads) = self
+            .run_protocol(pool, &workload, &cp.node_of_task, config.observe.as_ref())
             .map_err(|f| OrwlError::WorkerFailed { node: f.node, detail: f.detail })?;
 
         let mut same_rack_bytes = 0u64;
@@ -339,8 +385,10 @@ impl ExecutionBackend for ProcBackend {
         let measured_inter_bytes = (same_rack_bytes + cross_rack_bytes) as f64;
         let (hops_same_rack, hops_cross_rack) = self.lane_hops();
 
-        let recorder = config.observe.map(|cfg| Recorder::new(ClockKind::Wall, cfg));
         if let Some(obs) = recorder.as_ref() {
+            // The coordinator's own track carries the run-level fabric
+            // summary; per-section lock telemetry now arrives from the
+            // workers as first-class events in the uploads.
             for (lane, bytes) in [
                 (FabricLane::SameNode, same_node_bytes_model),
                 (FabricLane::SameRack, same_rack_bytes as f64),
@@ -348,11 +396,6 @@ impl ExecutionBackend for ProcBackend {
             ] {
                 if bytes > 0.0 {
                     obs.record(EventKind::FabricTransfer { lane, bytes });
-                }
-            }
-            for m in &metrics {
-                for &(location, wait_ns) in &m.lock_wait_samples {
-                    obs.record_lock_wait(location, wait_ns);
                 }
             }
         }
@@ -388,7 +431,10 @@ impl ExecutionBackend for ProcBackend {
                     + cross_rack_bytes as f64 * hops_cross_rack,
                 inter_node_bytes: measured_inter_bytes,
             }),
-            obs: recorder.map(|r| r.finish(self.name())),
+            obs: recorder.map(|r| {
+                let origin_us = r.origin_us() as f64;
+                merge_run(r.finish(self.name()), origin_us, &uploads)
+            }),
         })
     }
 }

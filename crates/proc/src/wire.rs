@@ -31,7 +31,14 @@ use std::fmt;
 pub const MAGIC: [u8; 4] = *b"ORWL";
 
 /// Protocol version carried in every frame header.
-pub const VERSION: u16 = 1;
+///
+/// v2 added [`Message::TelemetryUpload`]; every v1 frame is still decoded
+/// byte-for-byte (the v1 kinds' layouts are frozen), so a v2 peer accepts
+/// any version in `MIN_VERSION..=VERSION`.
+pub const VERSION: u16 = 2;
+
+/// Oldest protocol version this codec still decodes.
+pub const MIN_VERSION: u16 = 1;
 
 /// Frame header length in bytes (magic + version + kind + payload len).
 pub const HEADER_LEN: usize = 11;
@@ -39,9 +46,14 @@ pub const HEADER_LEN: usize = 11;
 /// Hard cap on a location buffer carried by a [`Message::LockGrant`].
 pub const MAX_DATA: usize = 1 << 20;
 
-/// Hard cap on any frame payload: the largest grant plus its fixed
+/// Hard cap on most frame payloads: the largest grant plus its fixed
 /// fields, with headroom for the JSON-bearing kinds.
 pub const MAX_PAYLOAD: usize = MAX_DATA + 64;
+
+/// Hard cap on a telemetry snapshot carried by a
+/// [`Message::TelemetryUpload`] — event rings are bigger than any single
+/// location buffer, so this kind gets its own budget.
+pub const MAX_SNAPSHOT: usize = 8 << 20;
 
 /// Access mode of a remote lock request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,6 +92,7 @@ const KIND_DONE: u8 = 7;
 const KIND_METRICS: u8 = 8;
 const KIND_ERROR: u8 = 9;
 const KIND_SHUTDOWN: u8 = 10;
+const KIND_TELEMETRY_UPLOAD: u8 = 11; // v2
 
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -151,6 +164,18 @@ pub enum Message {
     },
     /// Coordinator → worker: every worker is done; exit now.
     Shutdown,
+    /// Worker → coordinator (v2): the worker's drained telemetry, sent
+    /// after `Shutdown` (once every node's sections are served) when the
+    /// assignment asked for observation.  The snapshot bytes are the
+    /// `orwl-obs` binary
+    /// [`TelemetrySnapshot`](orwl_obs::TelemetrySnapshot) encoding —
+    /// opaque at this layer.
+    TelemetryUpload {
+        /// The worker's node index.
+        node: u32,
+        /// The encoded snapshot.
+        snapshot: Vec<u8>,
+    },
 }
 
 impl Message {
@@ -167,6 +192,7 @@ impl Message {
             Message::Metrics { .. } => KIND_METRICS,
             Message::Error { .. } => KIND_ERROR,
             Message::Shutdown => KIND_SHUTDOWN,
+            Message::TelemetryUpload { .. } => KIND_TELEMETRY_UPLOAD,
         }
     }
 
@@ -185,14 +211,25 @@ impl Message {
             Message::Metrics { .. } => "metrics",
             Message::Error { .. } => "error",
             Message::Shutdown => "shutdown",
+            Message::TelemetryUpload { .. } => "telemetry_upload",
+        }
+    }
+
+    /// Payload budget of one kind; telemetry snapshots get their own.
+    fn max_payload_of(kind: u8) -> usize {
+        if kind == KIND_TELEMETRY_UPLOAD {
+            MAX_SNAPSHOT + 16
+        } else {
+            MAX_PAYLOAD
         }
     }
 
     /// Encodes the message as one complete frame.
     ///
     /// # Panics
-    /// If the payload would exceed [`MAX_PAYLOAD`] (grant data is the only
-    /// unbounded field and callers cap it at [`MAX_DATA`]).
+    /// If the payload would exceed its kind's cap ([`MAX_PAYLOAD`], or
+    /// [`MAX_SNAPSHOT`] + fixed fields for a telemetry upload); callers
+    /// cap grant data at [`MAX_DATA`] and snapshots at [`MAX_SNAPSHOT`].
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
         let mut payload = Vec::new();
@@ -224,8 +261,13 @@ impl Message {
                 payload.extend_from_slice(&node.to_le_bytes());
                 payload.extend_from_slice(json.as_bytes());
             }
+            Message::TelemetryUpload { node, snapshot } => {
+                assert!(snapshot.len() <= MAX_SNAPSHOT, "snapshot over MAX_SNAPSHOT");
+                payload.extend_from_slice(&node.to_le_bytes());
+                payload.extend_from_slice(snapshot);
+            }
         }
-        assert!(payload.len() <= MAX_PAYLOAD, "payload over MAX_PAYLOAD");
+        assert!(payload.len() <= Message::max_payload_of(self.kind()), "payload over its kind's cap");
         let mut frame = Vec::with_capacity(HEADER_LEN + payload.len());
         frame.extend_from_slice(&MAGIC);
         frame.extend_from_slice(&VERSION.to_le_bytes());
@@ -318,7 +360,13 @@ fn take_string(payload: &[u8], at: usize, kind: u8) -> Result<String, WireError>
     String::from_utf8(tail.to_vec()).map_err(|_| WireError::BadUtf8 { kind })
 }
 
-fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, WireError> {
+fn decode_payload(version: u16, kind: u8, payload: &[u8]) -> Result<Message, WireError> {
+    // Kinds introduced after v1 are unknown inside an older frame: a peer
+    // must not emit them under a version that predates them, and decoding
+    // them anyway would mask that bug.
+    if kind >= KIND_TELEMETRY_UPLOAD && version < 2 {
+        return Err(WireError::UnknownKind(kind));
+    }
     Ok(match kind {
         KIND_HELLO => Message::Hello { node: take_u32(payload, 0, kind)? },
         KIND_ASSIGNMENT => Message::Assignment { json: take_string(payload, 0, kind)? },
@@ -347,6 +395,10 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, WireError> {
         }
         KIND_ERROR => Message::Error { message: take_string(payload, 0, kind)? },
         KIND_SHUTDOWN => Message::Shutdown,
+        KIND_TELEMETRY_UPLOAD => Message::TelemetryUpload {
+            node: take_u32(payload, 0, kind)?,
+            snapshot: payload.get(4..).ok_or(WireError::Truncated { kind })?.to_vec(),
+        },
         other => return Err(WireError::UnknownKind(other)),
     })
 }
@@ -354,17 +406,34 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, WireError> {
 /// Incremental frame decoder: push arriving bytes, take whole messages.
 ///
 /// Survives partial headers, split payloads and several frames per push —
-/// whatever chunking the socket produces.
-#[derive(Debug, Default)]
+/// whatever chunking the socket produces.  Accepts frame versions in
+/// `MIN_VERSION..=max_version` (the codec's own [`VERSION`] by default);
+/// anything outside that window is a typed [`WireError::BadVersion`], so
+/// an old peer fed a newer frame fails fast instead of mis-parsing it.
+#[derive(Debug)]
 pub struct FrameReader {
     buf: Vec<u8>,
+    max_version: u16,
+}
+
+impl Default for FrameReader {
+    fn default() -> Self {
+        FrameReader { buf: Vec::new(), max_version: VERSION }
+    }
 }
 
 impl FrameReader {
-    /// An empty reader.
+    /// An empty reader speaking the current [`VERSION`].
     #[must_use]
     pub fn new() -> Self {
         FrameReader::default()
+    }
+
+    /// An empty reader that tops out at `max_version` — models (and
+    /// tests) an older peer receiving newer frames.
+    #[must_use]
+    pub fn with_max_version(max_version: u16) -> Self {
+        FrameReader { buf: Vec::new(), max_version }
     }
 
     /// Appends bytes read from the transport.
@@ -390,19 +459,19 @@ impl FrameReader {
             return Err(WireError::BadMagic { got: magic });
         }
         let version = u16::from_le_bytes(self.buf[4..6].try_into().unwrap());
-        if version != VERSION {
+        if !(MIN_VERSION..=self.max_version).contains(&version) {
             return Err(WireError::BadVersion { got: version });
         }
         let kind = self.buf[6];
         let len = u32::from_le_bytes(self.buf[7..11].try_into().unwrap());
-        if len as usize > MAX_PAYLOAD {
+        if len as usize > Message::max_payload_of(kind) {
             return Err(WireError::PayloadTooLarge { len });
         }
         let total = HEADER_LEN + len as usize;
         if self.buf.len() < total {
             return Ok(None);
         }
-        let message = decode_payload(kind, &self.buf[HEADER_LEN..total])?;
+        let message = decode_payload(version, kind, &self.buf[HEADER_LEN..total])?;
         self.buf.drain(..total);
         Ok(Some(message))
     }
@@ -445,9 +514,85 @@ mod tests {
             Message::Metrics { node: 3, json: "{\"node\":3}".to_string() },
             Message::Error { message: "worker 2 panicked".to_string() },
             Message::Shutdown,
+            Message::TelemetryUpload { node: 1, snapshot: vec![0x4f, 0x53, 0x4e, 0x50] },
+            Message::TelemetryUpload { node: 0, snapshot: Vec::new() },
         ] {
             roundtrip(&message);
         }
+    }
+
+    /// The exact bytes of a v2 telemetry-upload frame, pinned so the
+    /// layout can never drift silently: magic, version 2 LE, kind 11,
+    /// payload length LE, node LE, snapshot bytes.
+    #[test]
+    fn telemetry_upload_frame_bytes_are_pinned() {
+        let frame = Message::TelemetryUpload { node: 3, snapshot: vec![0xAA, 0xBB] }.encode();
+        assert_eq!(
+            frame,
+            vec![
+                b'O', b'R', b'W', b'L', // magic
+                0x02, 0x00, // version 2
+                0x0B, // kind 11
+                0x06, 0x00, 0x00, 0x00, // payload length 6
+                0x03, 0x00, 0x00, 0x00, // node 3
+                0xAA, 0xBB, // snapshot
+            ]
+        );
+    }
+
+    #[test]
+    fn v1_frames_still_decode() {
+        // A v2 codec must accept every v1 frame unchanged: patch the
+        // version field of a freshly encoded v1-era kind down to 1.
+        for message in [
+            Message::Hello { node: 4 },
+            Message::LockRequest { seq: 8, location: 2, access: WireAccess::Write, bytes: 64 },
+            Message::LockGrant { seq: 8, location: 2, data: vec![9, 9] },
+            Message::Shutdown,
+        ] {
+            let mut frame = message.encode();
+            frame[4..6].copy_from_slice(&1u16.to_le_bytes());
+            assert_eq!(decode_frame(&frame).unwrap(), message, "v1 frame of {}", message.name());
+        }
+
+        // ... but a v2-only kind inside a v1 frame is a protocol bug, not
+        // a message.
+        let mut frame = Message::TelemetryUpload { node: 0, snapshot: vec![1] }.encode();
+        frame[4..6].copy_from_slice(&1u16.to_le_bytes());
+        assert!(matches!(decode_frame(&frame), Err(WireError::UnknownKind(11))));
+    }
+
+    #[test]
+    fn v1_only_peer_rejects_v2_frames_with_a_typed_error() {
+        // An old binary (max version 1) fed a v2 frame must fail fast
+        // with BadVersion — never hang waiting for more bytes, never
+        // panic, never mis-parse.
+        let mut reader = FrameReader::with_max_version(1);
+        reader.push(&Message::TelemetryUpload { node: 2, snapshot: vec![7; 32] }.encode());
+        assert_eq!(reader.try_next(), Err(WireError::BadVersion { got: 2 }));
+
+        // A v1 frame still flows through the same reader.
+        let mut reader = FrameReader::with_max_version(1);
+        let mut frame = Message::Hello { node: 2 }.encode();
+        frame[4..6].copy_from_slice(&1u16.to_le_bytes());
+        reader.push(&frame);
+        assert_eq!(reader.try_next(), Ok(Some(Message::Hello { node: 2 })));
+    }
+
+    #[test]
+    fn snapshot_budget_is_enforced_both_ways() {
+        // Encode refuses oversize snapshots...
+        let caught = std::panic::catch_unwind(|| {
+            Message::TelemetryUpload { node: 0, snapshot: vec![0; MAX_SNAPSHOT + 1] }.encode()
+        });
+        assert!(caught.is_err());
+        // ...and decode refuses oversize declared lengths for kind 11,
+        // while still allowing it to exceed the ordinary MAX_PAYLOAD.
+        let mut over = Message::TelemetryUpload { node: 0, snapshot: Vec::new() }.encode();
+        over[7..11].copy_from_slice(&((MAX_SNAPSHOT + 17) as u32).to_le_bytes());
+        assert!(matches!(decode_frame(&over), Err(WireError::PayloadTooLarge { .. })));
+        let big = Message::TelemetryUpload { node: 0, snapshot: vec![5; MAX_PAYLOAD + 1] }.encode();
+        assert!(matches!(decode_frame(&big), Ok(Message::TelemetryUpload { .. })));
     }
 
     #[test]
@@ -538,7 +683,7 @@ mod tests {
         data: Vec<u8>,
     ) -> Message {
         let text: String = text_bytes.iter().map(|&b| char::from(b % 94 + 32)).collect();
-        match selector % 11 {
+        match selector % 12 {
             0 => Message::Hello { node: a as u32 },
             1 => Message::Assignment { json: text },
             2 => Message::Ready { node: b as u32 },
@@ -554,7 +699,8 @@ mod tests {
             7 => Message::Done { node: a as u32 },
             8 => Message::Metrics { node: b as u32, json: text },
             9 => Message::Error { message: text },
-            _ => Message::Shutdown,
+            10 => Message::Shutdown,
+            _ => Message::TelemetryUpload { node: a as u32, snapshot: data },
         }
     }
 
@@ -563,7 +709,7 @@ mod tests {
 
         #[test]
         fn any_message_roundtrips(
-            selector in 0usize..11,
+            selector in 0usize..12,
             a in 0u64..u64::MAX,
             b in 0u64..u64::MAX,
             small in 0u8..255,
@@ -577,7 +723,7 @@ mod tests {
 
         #[test]
         fn split_reads_reassemble_any_stream(
-            selectors in proptest::collection::vec(0usize..11, 1..6),
+            selectors in proptest::collection::vec(0usize..12, 1..6),
             a in 0u64..u64::MAX,
             b in 0u64..1_000_000,
             small in 0u8..255,

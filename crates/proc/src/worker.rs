@@ -11,7 +11,8 @@
 //! `Ready` → `Start` → run the local tasks through a real
 //! `orwl_core` session (one-shot ORWL handles for local sections, the
 //! wire protocol for remote ones) → `Done` → keep serving peers until
-//! `Shutdown` → report [`WorkerMetrics`] → exit.
+//! `Shutdown` → drain and upload telemetry (observed runs) → report
+//! [`WorkerMetrics`] → exit.
 //!
 //! Remote sections run the ORWL FIFO discipline over the wire: the
 //! reader's `LockRequest` enters the owner's local FIFO (a one-shot read
@@ -31,6 +32,7 @@ use orwl_core::request::AccessMode;
 use orwl_core::session::{Session, ThreadBackend};
 use orwl_core::task::{LocationLink, OrwlProgram, TaskSpec};
 use orwl_obs::json::Json;
+use orwl_obs::{ClockKind, EventKind, Recorder, RunTelemetry, TelemetrySnapshot};
 use orwl_topo::binding::RecordingBinder;
 use orwl_topo::object::ObjectType;
 use orwl_topo::topology::{LevelSpec, Topology};
@@ -43,6 +45,11 @@ use std::time::{Duration, Instant};
 /// Environment variable that makes the named worker panic right after
 /// `Start` — the failure-injection hook of the robustness tests.
 pub const ENV_PANIC_NODE: &str = "ORWL_PROC_PANIC_NODE";
+
+/// Events kept in an uploaded snapshot (newest win; the remainder joins
+/// the drop counter).  Keeps the upload well under the wire's
+/// `MAX_SNAPSHOT` budget.
+const MAX_UPLOAD_EVENTS: usize = 100_000;
 
 /// Runs the worker lifecycle and exits iff this process was spawned as an
 /// `orwl-proc` worker; returns immediately otherwise.  Call first thing
@@ -72,17 +79,23 @@ fn worker_main() -> Result<(), String> {
     let coord = std::env::var(ENV_COORD).map_err(|_| format!("{ENV_COORD} is not set"))?;
     let mut control = FramedStream::connect(std::path::Path::new(&coord))
         .map_err(|e| format!("connecting to coordinator at {coord}: {e}"))?;
+    // The two worker-side timestamps of the clock-offset handshake: the
+    // coordinator stamps the matching receive/send instants into the
+    // assignment's obs spec, and the midpoint of the two one-way legs
+    // estimates this process's clock offset (see `orwl_obs::merge`).
+    let hello_send_us = orwl_obs::process_clock_us();
     control.send(&Message::Hello { node: node as u32 }).map_err(|e| format!("sending hello: {e}"))?;
     let Message::Assignment { json } = control.recv_expect("assignment", Some(Duration::from_secs(30)))?
     else {
         unreachable!("recv_expect returns the expected kind");
     };
+    let assign_recv_us = orwl_obs::process_clock_us();
     let doc = Json::parse(&json).map_err(|e| format!("assignment is not valid JSON: {e}"))?;
     let assignment = Assignment::from_json(&doc).map_err(|e| format!("bad assignment: {e}"))?;
     if assignment.node != node {
         return Err(format!("assignment for node {} delivered to node {node}", assignment.node));
     }
-    match run_worker(&mut control, &assignment) {
+    match run_worker(&mut control, &assignment, hello_send_us, assign_recv_us) {
         Ok(()) => Ok(()),
         Err(e) => {
             let _ = control.send(&Message::Error { message: e.clone() });
@@ -137,7 +150,10 @@ impl PeerGateway {
             rack_of_node: assignment.rack_of_node.clone(),
             my_rack: assignment.rack_of_node[assignment.node],
             io_timeout: Duration::from_millis(assignment.io_timeout_ms),
-            seq: AtomicU64::new(0),
+            // Seqs are namespaced by node (high 32 bits) so a request id
+            // is unique across every reader process of the run — the
+            // merged timeline matches requests to grants by this id.
+            seq: AtomicU64::new((assignment.node as u64) << 32),
             tallies: ReaderTallies::default(),
         })
     }
@@ -151,6 +167,7 @@ impl PeerGateway {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let want = (bytes.round().max(0.0) as u64).min(MAX_DATA as u64);
         let location = src as u64;
+        orwl_obs::emit(EventKind::LockRequest { rseq: seq, location, owner: owner as u32 });
         stream
             .send(&Message::LockRequest { seq, location, access: WireAccess::Read, bytes: want })
             .map_err(|e| format!("lock request to peer {owner}: {e}"))?;
@@ -164,9 +181,15 @@ impl PeerGateway {
             Err(e) => return Err(format!("peer {owner}: waiting for grant: {e}")),
         };
         let wait_ns = requested.elapsed().as_nanos() as u64;
+        let granted_at = Instant::now();
         stream
             .send(&Message::Release { seq, location })
             .map_err(|e| format!("release to peer {owner}: {e}"))?;
+        orwl_obs::emit(EventKind::LockRelease {
+            rseq: seq,
+            location,
+            held_ns: granted_at.elapsed().as_nanos() as u64,
+        });
         drop(stream);
 
         let lane = if self.rack_of_node[owner] == self.my_rack {
@@ -209,6 +232,7 @@ fn serve_connection(
                     WireAccess::Write => AccessMode::Write,
                 };
                 let mut handle = loc.handle(mode);
+                let entered_fifo = Instant::now();
                 if let Err(e) = handle.request() {
                     let _ = stream.send(&Message::Error { message: format!("lock request: {e}") });
                     break;
@@ -225,6 +249,11 @@ fn serve_connection(
                 let value = (*guard).to_le_bytes();
                 let head = len.min(value.len());
                 data[..head].copy_from_slice(&value[..head]);
+                orwl_obs::emit(EventKind::LockGrant {
+                    rseq: seq,
+                    location,
+                    wait_ns: entered_fifo.elapsed().as_nanos() as u64,
+                });
                 if stream.send(&Message::LockGrant { seq, location, data }).is_err() {
                     break;
                 }
@@ -285,9 +314,29 @@ fn accept_loop(
 /// read list as `(src, bytes, src_is_local)`.
 type TaskSchedule = Vec<(usize, Vec<(usize, f64, bool)>)>;
 
-fn run_worker(control: &mut FramedStream, assignment: &Assignment) -> Result<(), String> {
+fn run_worker(
+    control: &mut FramedStream,
+    assignment: &Assignment,
+    hello_send_us: u64,
+    assign_recv_us: u64,
+) -> Result<(), String> {
     let io_timeout = Duration::from_millis(assignment.io_timeout_ms);
     let local_tasks = assignment.local_tasks();
+
+    // When the assignment asks for observation, install a wall-clock
+    // recorder process-wide: the core session's lock-wait hooks, the
+    // gateway's request/release events and the serving threads' grant
+    // events all land in it.  The offset estimate is the NTP midpoint of
+    // the Hello→Assignment handshake's two one-way legs, in coordinator
+    // clock minus worker clock.
+    let obs = assignment.obs.as_ref().map(|spec| {
+        let offset_us = ((spec.hello_recv_us as f64 - hello_send_us as f64)
+            + (spec.assign_send_us as f64 - assign_recv_us as f64))
+            / 2.0;
+        let recorder = Arc::new(Recorder::new(ClockKind::Wall, spec.config()));
+        let registration = orwl_obs::install(&recorder);
+        (recorder, registration, offset_us)
+    });
 
     // The locations this worker owns, keyed by global task index.  The
     // serving thread and the local task bodies share the same Arcs, so
@@ -321,7 +370,27 @@ fn run_worker(control: &mut FramedStream, assignment: &Assignment) -> Result<(),
     let wall_seconds = started.elapsed().as_secs_f64();
 
     control.send(&Message::Done { node: assignment.node as u32 }).map_err(|e| e.to_string())?;
+
     control.recv_expect("shutdown", Some(io_timeout))?;
+
+    // Drain and ship the telemetry after the Shutdown barrier: the
+    // coordinator only broadcasts it once *every* node has reported Done,
+    // at which point every section anywhere has been granted and released
+    // — so the serving threads' grant events are all in the rings by now
+    // and the drain loses nothing.  (Draining at Done instead would race
+    // a slow peer's read storm against our own early finish.)
+    if let Some((recorder, registration, offset_us)) = obs {
+        drop(registration); // stop the hooks before draining
+        let origin_us = recorder.origin_us() as f64;
+        let recorder = Arc::try_unwrap(recorder).map_err(|_| "recorder still shared at drain".to_string())?;
+        let mut telemetry = recorder.finish("proc");
+        remap_lock_wait_locations(&mut telemetry, &locations);
+        cap_events(&mut telemetry, MAX_UPLOAD_EVENTS);
+        let snapshot = TelemetrySnapshot::from_telemetry(telemetry, origin_us, offset_us).encode();
+        control
+            .send(&Message::TelemetryUpload { node: assignment.node as u32, snapshot })
+            .map_err(|e| format!("uploading telemetry: {e}"))?;
+    }
 
     // Order matters: every task body has returned by now (the session run
     // joined them), so the gateway Arc is unique again; closing its
@@ -348,6 +417,31 @@ fn run_worker(control: &mut FramedStream, assignment: &Assignment) -> Result<(),
         .send(&Message::Metrics { node: assignment.node as u32, json: metrics.to_json().pretty() })
         .map_err(|e| e.to_string())?;
     Ok(())
+}
+
+/// Rewrites the `location` of core-emitted `LockWait` events from the
+/// process-local `LocationId` to the global task index, so merged
+/// timelines speak one location namespace.  (The wire-level
+/// request/grant/release events already carry global indices.)
+fn remap_lock_wait_locations(t: &mut RunTelemetry, locations: &HashMap<u64, Arc<Location<u64>>>) {
+    let global_of: HashMap<u64, u64> = locations.iter().map(|(&task, loc)| (loc.id().0, task)).collect();
+    for ev in &mut t.events {
+        if let EventKind::LockWait { location, .. } = &mut ev.kind {
+            if let Some(&task) = global_of.get(location) {
+                *location = task;
+            }
+        }
+    }
+}
+
+/// Keeps the newest `max` events (by sequence), folding the remainder
+/// into the drop counter — bounds the upload independent of ring sizing.
+fn cap_events(t: &mut RunTelemetry, max: usize) {
+    if t.events.len() > max {
+        let excess = t.events.len() - max;
+        t.events.drain(..excess);
+        t.dropped += excess as u64;
+    }
 }
 
 fn compose_metrics(

@@ -6,6 +6,7 @@
 //! cargo run --release --example proc_cluster            # 2 nodes
 //! cargo run --release --example proc_cluster -- 4       # 4 nodes
 //! cargo run --release --example proc_cluster -- 8       # 8 nodes
+//! cargo run --release --example proc_cluster -- 2 --obs-dir obs_proc
 //! ```
 //!
 //! For each placement policy the example spawns one worker process per
@@ -14,28 +15,74 @@
 //! `policy_placement` sharding — the paper's locality claim, demonstrated
 //! on real processes: `Hierarchical` must move no more bytes than
 //! `Scatter`.
+//!
+//! With `--obs-dir DIR` the hierarchical proc run is observed: every
+//! worker ships its telemetry back over the control socket and the merged
+//! clock-aligned timeline lands in `DIR` as `merged.obs.json` (one
+//! `orwl-obs/v1` document spanning every process), `node<k>.obs.json`
+//! per worker track, and `merged.trace.json` (a Chrome trace with one
+//! Perfetto process per track).  Feed `merged.obs.json` to the
+//! `obs_report` bin for the contention table.
 
 use orwl_lab::{ScenarioFamily, ScenarioSpec};
+use orwl_obs::export::{validate_chrome_trace, validate_obs};
+use orwl_obs::merge::split_tracks;
+use orwl_obs::{ObsConfig, RunTelemetry, ToJson};
 use orwl_repro::{ClusterBackend, ClusterMachine, Policy, ProcBackend, Session};
 
 fn session(
     machine: &ClusterMachine,
     policy: Policy,
     backend: impl orwl_repro::ExecutionBackend + 'static,
+    observe: bool,
 ) -> Session {
-    Session::builder()
+    let mut builder = Session::builder()
         .topology(machine.topology().clone())
         .policy(policy)
         .control_threads(0)
-        .backend(backend)
-        .build()
-        .expect("the proc backend plugs into the unchanged builder surface")
+        .backend(backend);
+    if observe {
+        builder = builder.observe(ObsConfig::default());
+    }
+    builder.build().expect("the proc backend plugs into the unchanged builder surface")
+}
+
+/// Writes the merged timeline, its per-worker splits, and the Chrome
+/// trace into `dir`, re-validating every artifact before it lands.
+fn write_obs_artifacts(dir: &str, merged: &RunTelemetry) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let doc = merged.to_json();
+    validate_obs(&doc).map_err(|e| format!("merged: invalid orwl-obs/v1 artifact: {e}"))?;
+    std::fs::write(format!("{dir}/merged.obs.json"), doc.pretty())
+        .map_err(|e| format!("cannot write {dir}/merged.obs.json: {e}"))?;
+    let trace = merged.chrome_trace();
+    validate_chrome_trace(&trace).map_err(|e| format!("merged: invalid Chrome trace: {e}"))?;
+    std::fs::write(format!("{dir}/merged.trace.json"), trace.pretty())
+        .map_err(|e| format!("cannot write {dir}/merged.trace.json: {e}"))?;
+    for (info, telemetry) in split_tracks(merged) {
+        if info.track == 0 {
+            continue; // the coordinator's own events stay in the merged doc
+        }
+        let doc = telemetry.to_json();
+        validate_obs(&doc).map_err(|e| format!("{}: invalid orwl-obs/v1 artifact: {e}", info.label))?;
+        std::fs::write(format!("{dir}/{}.obs.json", info.label), doc.pretty())
+            .map_err(|e| format!("cannot write {dir}/{}.obs.json: {e}", info.label))?;
+    }
+    Ok(())
 }
 
 fn main() {
     orwl_proc::maybe_worker(); // worker re-entry point: must run first
 
-    let n_nodes: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(2);
+    let mut n_nodes: usize = 2;
+    let mut obs_dir: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--obs-dir" => obs_dir = Some(it.next().expect("--obs-dir expects a directory")),
+            other => n_nodes = other.parse().expect("expected a node count or --obs-dir DIR"),
+        }
+    }
     let machine = ClusterMachine::paper(n_nodes);
     let tasks = 16 * n_nodes;
     let spec = ScenarioSpec::new(ScenarioFamily::DenseStencil, tasks, 1).with_phases(vec![2]);
@@ -54,15 +101,27 @@ fn main() {
 
     let mut measured_by_policy = Vec::new();
     for policy in [Policy::Hierarchical, Policy::Scatter] {
-        let predicted = session(&machine, policy, ClusterBackend::new(machine.clone()))
+        let predicted = session(&machine, policy, ClusterBackend::new(machine.clone()), false)
             .run(spec.workload())
             .expect("the simulator prices the same sharding")
             .fabric
             .expect("cluster reports carry the fabric split")
             .inter_node_bytes;
-        let report = session(&machine, policy, ProcBackend::new(machine.clone()))
+        let observed = obs_dir.is_some() && policy == Policy::Hierarchical;
+        let report = session(&machine, policy, ProcBackend::new(machine.clone()), observed)
             .run(spec.workload())
             .expect("the multi-process run completes");
+        if observed {
+            let dir = obs_dir.as_deref().expect("observed implies a directory");
+            let merged = report.obs.as_ref().expect("observed runs carry telemetry");
+            write_obs_artifacts(dir, merged).expect("telemetry artifacts validate and write");
+            println!(
+                "wrote {dir}/merged.obs.json (+{} per-node splits, +merged.trace.json): {} events across {} tracks",
+                merged.tracks.len() - 1,
+                merged.events.len(),
+                merged.tracks.len(),
+            );
+        }
         let fabric = report.fabric.expect("proc reports carry the fabric split");
         println!(
             "{:<14} {:>22.0} {:>22.0} {:>12.1}",
