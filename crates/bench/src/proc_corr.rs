@@ -1,9 +1,9 @@
 //! The sim-vs-real correlation study (experiment E-proc): for a battery
-//! of lab scenario families × placement policies, run the cluster
-//! *simulator* and the *multi-process* backend over the same
-//! `policy_placement` sharding and pin the simulator's predicted
-//! inter-node bytes against the bytes the worker processes actually moved
-//! over their sockets.
+//! of lab scenario families × placement policies × cluster sizes
+//! ([`CORR_NODE_SWEEP`]), run the cluster *simulator* and the
+//! *multi-process* backend over the same `policy_placement` sharding and
+//! pin the simulator's predicted inter-node bytes against the bytes the
+//! worker processes actually moved over their sockets.
 //!
 //! Both pipelines traverse the same ordered communication-matrix pairs
 //! (every positive off-diagonal entry is one read per iteration), so the
@@ -25,8 +25,11 @@ use orwl_obs::json::Json;
 use orwl_proc::{corr_document, CorrRow, ProcBackend};
 use orwl_treematch::policies::Policy;
 
-/// Nodes in every correlation run.
-pub const CORR_NODES: usize = 2;
+/// Node counts of the correlation sweep: every (scenario, policy) cell
+/// is measured at each cluster size, so the artifact records how the
+/// measured wall clock scales with the number of worker processes while
+/// the byte columns stay exactly predictable at every size.
+pub const CORR_NODE_SWEEP: [usize; 3] = [2, 4, 8];
 /// Tasks in every correlation run (beyond the 32 PUs of the two-node
 /// machine, so placement must oversubscribe and split every family across
 /// nodes).
@@ -90,40 +93,46 @@ pub fn proc_correlation(worker_args: &[String]) -> Result<Json, String> {
     let mut rows = Vec::new();
     for spec in corr_scenarios() {
         for policy in [Policy::Hierarchical, Policy::Scatter] {
-            let machine = orwl_cluster::ClusterMachine::paper(CORR_NODES);
-            let (predicted, _) =
-                run_backend(&spec, policy, ClusterBackend::new(machine.clone()), machine.topology().clone())?;
-            let mut measured = None;
-            let mut walls = Vec::with_capacity(CORR_REPEATS);
-            for _ in 0..CORR_REPEATS {
-                let (bytes, seconds) = run_backend(
+            for n_nodes in CORR_NODE_SWEEP {
+                let machine = orwl_cluster::ClusterMachine::paper(n_nodes);
+                let (predicted, _) = run_backend(
                     &spec,
                     policy,
-                    ProcBackend::new(machine.clone()).with_worker_args(worker_args.to_vec()),
+                    ClusterBackend::new(machine.clone()),
                     machine.topology().clone(),
                 )?;
-                match measured {
-                    None => measured = Some(bytes),
-                    Some(first) if first != bytes => {
-                        return Err(format!(
-                            "{} ({policy:?}): byte counts diverged across repeats: {first} vs {bytes}",
-                            spec.name()
-                        ));
+                let mut measured = None;
+                let mut walls = Vec::with_capacity(CORR_REPEATS);
+                for _ in 0..CORR_REPEATS {
+                    let (bytes, seconds) = run_backend(
+                        &spec,
+                        policy,
+                        ProcBackend::new(machine.clone()).with_worker_args(worker_args.to_vec()),
+                        machine.topology().clone(),
+                    )?;
+                    match measured {
+                        None => measured = Some(bytes),
+                        Some(first) if first != bytes => {
+                            return Err(format!(
+                                "{} ({policy:?}, {n_nodes} nodes): byte counts diverged across repeats: {first} vs {bytes}",
+                                spec.name()
+                            ));
+                        }
+                        Some(_) => {}
                     }
-                    Some(_) => {}
+                    walls.push(seconds);
                 }
-                walls.push(seconds);
+                walls.sort_by(f64::total_cmp);
+                rows.push(CorrRow {
+                    scenario: spec.name(),
+                    policy: format!("{policy:?}").to_lowercase(),
+                    n_nodes,
+                    tasks: spec.n_tasks(),
+                    predicted_inter_node_bytes: predicted,
+                    measured_inter_node_bytes: measured.expect("at least one repeat ran"),
+                    wall_seconds: walls[walls.len() / 2],
+                });
             }
-            walls.sort_by(f64::total_cmp);
-            rows.push(CorrRow {
-                scenario: spec.name(),
-                policy: format!("{policy:?}").to_lowercase(),
-                n_nodes: CORR_NODES,
-                tasks: spec.n_tasks(),
-                predicted_inter_node_bytes: predicted,
-                measured_inter_node_bytes: measured.expect("at least one repeat ran"),
-                wall_seconds: walls[walls.len() / 2],
-            });
         }
     }
     Ok(corr_document(&rows))

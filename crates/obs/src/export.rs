@@ -6,6 +6,7 @@ use crate::event::{ClockKind, DriftOutcome, EventKind, FabricLane, ObsEvent, Sol
 use crate::json::{Json, ToJson};
 use crate::metrics::{HistogramSnapshot, MetricsSnapshot};
 use crate::{RunTelemetry, TrackInfo};
+use std::collections::BTreeMap;
 
 /// Schema tag of the telemetry artifact.
 pub const OBS_SCHEMA: &str = "orwl-obs/v1";
@@ -120,6 +121,12 @@ impl RunTelemetry {
     /// time.  Merged multi-process documents render one Perfetto process
     /// per track (`pid = track + 1`), named by `"M"` process-name metadata
     /// events.
+    ///
+    /// Each track additionally gets Perfetto counter (`"C"`) tracks —
+    /// `grants`, `lock_wait_ns` and a per-lane `fabric_bytes` — derived by
+    /// bucketing the track's lock and fabric events into
+    /// [`COUNTER_BUCKETS`] fixed-width intervals, so the time series render
+    /// alongside the event timeline (see [`RunTelemetry::counter_events`]).
     #[must_use]
     pub fn chrome_trace(&self) -> Json {
         let mut events: Vec<Json> = self
@@ -173,6 +180,7 @@ impl RunTelemetry {
             j.push("args", event_to_json(ev));
             j
         }));
+        events.extend(self.counter_events());
         let mut doc = Json::obj();
         doc.push("traceEvents", Json::Arr(events)).push("displayTimeUnit", "ms").push("otherData", {
             let mut meta = Json::obj();
@@ -181,7 +189,93 @@ impl RunTelemetry {
         });
         doc
     }
+
+    /// The counter (`"C"`) events of [`RunTelemetry::chrome_trace`]: per
+    /// track, the timeline's span is cut into [`COUNTER_BUCKETS`] intervals
+    /// and every interval emits one sample per series — `grants` (lock
+    /// grants in the interval), `lock_wait_ns` (summed wait nanoseconds of
+    /// lock-wait and grant events) and `fabric_bytes` (one stacked `args`
+    /// series per lane).  Tracks with no lock or fabric activity emit no
+    /// counter samples; active tracks emit every interval between their
+    /// first and last contributing event, zeros included, so the rendered
+    /// lines return to the axis between bursts.
+    #[must_use]
+    pub fn counter_events(&self) -> Vec<Json> {
+        #[derive(Default, Clone, Copy)]
+        struct Bucket {
+            grants: u64,
+            wait_ns: u64,
+            fabric: [f64; 3],
+        }
+        let Some(first) = self.events.first().map(|e| e.ts_us) else {
+            return Vec::new();
+        };
+        let last = self.events.last().map_or(first, |e| e.ts_us);
+        let width = ((last - first) / COUNTER_BUCKETS as f64).max(1.0);
+        let mut per_track: BTreeMap<u32, BTreeMap<u64, Bucket>> = BTreeMap::new();
+        for ev in &self.events {
+            let at = (((ev.ts_us - first) / width).floor().max(0.0) as u64).min(COUNTER_BUCKETS - 1);
+            match ev.kind {
+                EventKind::LockGrant { wait_ns, .. } => {
+                    let b = per_track.entry(ev.track).or_default().entry(at).or_default();
+                    b.grants += 1;
+                    b.wait_ns += wait_ns;
+                }
+                EventKind::LockWait { wait_ns, .. } => {
+                    per_track.entry(ev.track).or_default().entry(at).or_default().wait_ns += wait_ns;
+                }
+                EventKind::FabricTransfer { lane, bytes } => {
+                    let slot = match lane {
+                        FabricLane::SameNode => 0,
+                        FabricLane::SameRack => 1,
+                        FabricLane::CrossRack => 2,
+                    };
+                    per_track.entry(ev.track).or_default().entry(at).or_default().fabric[slot] += bytes;
+                }
+                _ => {}
+            }
+        }
+        let mut out = Vec::new();
+        for (track, buckets) in &per_track {
+            let (lo, hi) = match (buckets.keys().next(), buckets.keys().next_back()) {
+                (Some(&lo), Some(&hi)) => (lo, hi),
+                _ => continue,
+            };
+            for at in lo..=hi {
+                let b = buckets.get(&at).copied().unwrap_or_default();
+                let ts = first + at as f64 * width;
+                let counter = |name: &str, args: Json| {
+                    let mut j = Json::obj();
+                    j.push("name", name)
+                        .push("ph", "C")
+                        .push("ts", ts)
+                        .push("pid", u64::from(*track) + 1)
+                        .push("tid", 0u64)
+                        .push("args", args);
+                    j
+                };
+                let mut grants = Json::obj();
+                grants.push("grants", b.grants);
+                out.push(counter("grants", grants));
+                let mut wait = Json::obj();
+                wait.push("lock_wait_ns", b.wait_ns);
+                out.push(counter("lock_wait_ns", wait));
+                let mut fabric = Json::obj();
+                fabric
+                    .push("same_node", b.fabric[0])
+                    .push("same_rack", b.fabric[1])
+                    .push("cross_rack", b.fabric[2]);
+                out.push(counter("fabric_bytes", fabric));
+            }
+        }
+        out
+    }
 }
+
+/// How many fixed-width intervals [`RunTelemetry::counter_events`] cuts a
+/// timeline into (events exactly at the end of the span fold into the last
+/// interval).
+pub const COUNTER_BUCKETS: u64 = 50;
 
 fn require_num(obj: &Json, key: &str, at: &str) -> Result<(), String> {
     match obj.get(key) {
@@ -273,7 +367,8 @@ pub fn validate_obs(doc: &Json) -> Result<(), String> {
 
 /// Validates a Chrome trace-event document: a `traceEvents` array whose
 /// entries carry `name`/`ph`/`ts`/`pid`/`tid`, with durations on complete
-/// (`"X"`) events and `args` on metadata (`"M"`) events.
+/// (`"X"`) events and `args` on metadata (`"M"`) and counter (`"C"`)
+/// events.
 pub fn validate_chrome_trace(doc: &Json) -> Result<(), String> {
     let events = doc
         .get("traceEvents")
@@ -293,6 +388,16 @@ pub fn validate_chrome_trace(doc: &Json) -> Result<(), String> {
                     return Err(format!("{at}: metadata event missing args"));
                 }
             }
+            Some("C") => match ev.get("args") {
+                Some(Json::Obj(series)) => {
+                    for (name, v) in series {
+                        if v.as_f64().is_none() {
+                            return Err(format!("{at}: counter series {name:?} is not a number"));
+                        }
+                    }
+                }
+                _ => return Err(format!("{at}: counter event missing args object")),
+            },
             Some(other) => return Err(format!("{at}: unknown phase {other:?}")),
             None => return Err(format!("{at}: missing ph")),
         }
@@ -494,7 +599,9 @@ mod tests {
         let reparsed = Json::parse(&doc.to_string()).unwrap();
         validate_chrome_trace(&reparsed).unwrap();
         let events = reparsed.get("traceEvents").unwrap().as_arr().unwrap();
-        assert_eq!(events.len(), t.events.len());
+        // Every recorded event renders, plus the derived counter samples.
+        let rendered = events.iter().filter(|e| e.get("ph").unwrap().as_str() != Some("C")).count();
+        assert_eq!(rendered, t.events.len());
         let solve =
             events.iter().find(|e| e.get("cat").unwrap().as_str() == Some("placement_solve")).unwrap();
         assert_eq!(solve.get("ph").unwrap().as_str(), Some("X"));
@@ -503,6 +610,82 @@ mod tests {
             events.iter().find(|e| e.get("cat").unwrap().as_str() == Some("drift_decision")).unwrap();
         assert_eq!(instant.get("ph").unwrap().as_str(), Some("i"));
         assert_eq!(instant.get("s").unwrap().as_str(), Some("t"));
+    }
+
+    #[test]
+    fn counter_events_pin_shape_and_validate() {
+        let t = sample_telemetry();
+        let counters = t.counter_events();
+        assert!(!counters.is_empty(), "lock/fabric activity must derive counter samples");
+        // All recorded events share one timestamp (simulated clock), so
+        // everything folds into a single interval per series.
+        assert_eq!(counters.len(), 3);
+        let grants = &counters[0];
+        assert_eq!(grants.get("name").unwrap().as_str(), Some("grants"));
+        assert_eq!(grants.get("ph").unwrap().as_str(), Some("C"));
+        assert_eq!(grants.get("pid").unwrap().as_f64(), Some(1.0));
+        assert_eq!(grants.get("tid").unwrap().as_f64(), Some(0.0));
+        assert_eq!(grants.get("ts").unwrap().as_f64(), Some(0.5e6));
+        assert_eq!(grants.get("args").unwrap().get("grants").unwrap().as_f64(), Some(1.0));
+        let wait = &counters[1];
+        assert_eq!(wait.get("name").unwrap().as_str(), Some("lock_wait_ns"));
+        // The lock_wait event (50 000 ns) plus the grant's fifo wait (2 000).
+        assert_eq!(wait.get("args").unwrap().get("lock_wait_ns").unwrap().as_f64(), Some(52_000.0));
+        let fabric = &counters[2];
+        assert_eq!(fabric.get("name").unwrap().as_str(), Some("fabric_bytes"));
+        let lanes = fabric.get("args").unwrap();
+        assert_eq!(lanes.get("same_node").unwrap().as_f64(), Some(0.0));
+        assert_eq!(lanes.get("same_rack").unwrap().as_f64(), Some(0.0));
+        assert_eq!(lanes.get("cross_rack").unwrap().as_f64(), Some(2048.0));
+        // The full trace (with counters embedded) passes the validator,
+        // and a counter with a non-numeric series is rejected.
+        validate_chrome_trace(&t.chrome_trace()).unwrap();
+        let mut bad = Json::obj();
+        let mut broken = counters[0].clone();
+        if let Json::Obj(pairs) = &mut broken {
+            for (k, v) in pairs.iter_mut() {
+                if k == "args" {
+                    let mut args = Json::obj();
+                    args.push("grants", "not-a-number");
+                    *v = args;
+                }
+            }
+        }
+        bad.push("traceEvents", Json::Arr(vec![broken]));
+        let err = validate_chrome_trace(&bad).unwrap_err();
+        assert!(err.contains("counter series"), "{err}");
+        // Counters spread over the span: give the fabric event its own
+        // interval and the series emits intermediate zeros.
+        let mut spread = sample_telemetry();
+        let span = 10.0e6;
+        for ev in &mut spread.events {
+            if matches!(ev.kind, EventKind::FabricTransfer { .. }) {
+                ev.ts_us += span;
+            }
+        }
+        spread.events.sort_by(|a, b| a.ts_us.partial_cmp(&b.ts_us).unwrap());
+        let spread_counters = spread.counter_events();
+        assert_eq!(spread_counters.len(), 3 * COUNTER_BUCKETS as usize);
+        let zeros = spread_counters
+            .iter()
+            .filter(|c| {
+                c.get("name").unwrap().as_str() == Some("grants")
+                    && c.get("args").unwrap().get("grants").unwrap().as_f64() == Some(0.0)
+            })
+            .count();
+        assert_eq!(zeros, COUNTER_BUCKETS as usize - 1);
+        // An event-free run derives no counters.
+        assert!(!RunTelemetry::from_json(&sample_telemetry().to_json()).unwrap().counter_events().is_empty());
+        let empty = RunTelemetry {
+            backend: "x".to_string(),
+            clock: ClockKind::Wall,
+            events: vec![],
+            dropped: 0,
+            metrics: MetricsSnapshot::default(),
+            tracks: vec![],
+        };
+        assert!(empty.counter_events().is_empty());
+        assert!(validate_chrome_trace(&empty.chrome_trace()).is_ok());
     }
 
     #[test]

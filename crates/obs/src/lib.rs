@@ -28,10 +28,12 @@ pub mod json;
 pub mod merge;
 pub mod metrics;
 pub mod snapshot;
+pub mod timeseries;
 
 pub use event::{ClockKind, DriftOutcome, EventClass, EventKind, FabricLane, ObsEvent, SolvePhase};
 pub use json::{Json, JsonError, ToJson};
 pub use snapshot::TelemetrySnapshot;
+pub use timeseries::{fold_deltas, DeltaSampler, IntervalStats, LiveAggregator, TelemetryDelta};
 
 use metrics::{MetricsRegistry, MetricsSnapshot};
 use std::cell::RefCell;
@@ -375,11 +377,13 @@ impl Recorder {
         }
     }
 
-    /// Drains every thread's ring into one `(ts, seq)`-ordered timeline
-    /// plus a metrics snapshot.  Rings are left empty, so telemetry is
-    /// whatever was recorded since the last `finish`.
-    #[must_use]
-    pub fn finish(&self, backend: &str) -> RunTelemetry {
+    /// Drains every thread's ring into one `(ts, seq)`-ordered event list
+    /// plus the drop count accumulated since the previous drain.  Rings are
+    /// left empty and their drop counters reset, so consecutive drains are
+    /// disjoint: an event (and a drop) is reported exactly once, whether it
+    /// leaves through [`Recorder::finish`] or a mid-run
+    /// [`timeseries::DeltaSampler`].
+    pub(crate) fn drain_rings(&self) -> (Vec<ObsEvent>, u64) {
         let rings: Vec<Arc<Ring>> =
             self.rings.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
         let mut events = Vec::new();
@@ -392,6 +396,15 @@ impl Recorder {
         events.sort_by(|a, b| {
             a.ts_us.partial_cmp(&b.ts_us).unwrap_or(std::cmp::Ordering::Equal).then(a.seq.cmp(&b.seq))
         });
+        (events, dropped)
+    }
+
+    /// Drains every thread's ring into one `(ts, seq)`-ordered timeline
+    /// plus a metrics snapshot.  Rings are left empty, so telemetry is
+    /// whatever was recorded since the last `finish`.
+    #[must_use]
+    pub fn finish(&self, backend: &str) -> RunTelemetry {
+        let (events, dropped) = self.drain_rings();
         RunTelemetry {
             backend: backend.to_string(),
             clock: self.clock,

@@ -77,8 +77,8 @@ impl std::error::Error for SnapshotError {}
 /// Hard caps on collection lengths: a malformed length prefix must fail
 /// fast instead of asking the allocator for terabytes.
 const MAX_EVENTS: u32 = 1 << 22;
-const MAX_INSTRUMENTS: u32 = 1 << 16;
-const MAX_STRING: u32 = 1 << 12;
+pub(crate) const MAX_INSTRUMENTS: u32 = 1 << 16;
+pub(crate) const MAX_STRING: u32 = 1 << 12;
 
 /// One worker's drained telemetry plus the clock metadata the coordinator
 /// needs to rebase it: where the recorder's time zero sits on the worker's
@@ -225,13 +225,13 @@ fn clock_from(code: u8) -> Result<ClockKind, SnapshotError> {
     }
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     let bytes = &s.as_bytes()[..s.len().min(MAX_STRING as usize)];
     out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
     out.extend_from_slice(bytes);
 }
 
-fn put_event(out: &mut Vec<u8>, ev: &ObsEvent) {
+pub(crate) fn put_event(out: &mut Vec<u8>, ev: &ObsEvent) {
     out.extend_from_slice(&ev.ts_us.to_le_bytes());
     out.extend_from_slice(&ev.dur_us.to_le_bytes());
     out.extend_from_slice(&ev.seq.to_le_bytes());
@@ -309,7 +309,7 @@ fn put_event(out: &mut Vec<u8>, ev: &ObsEvent) {
     }
 }
 
-fn take_event(r: &mut Reader<'_>) -> Result<ObsEvent, SnapshotError> {
+pub(crate) fn take_event(r: &mut Reader<'_>) -> Result<ObsEvent, SnapshotError> {
     let ts_us = r.finite_f64("ts_us")?;
     let dur_us = r.finite_f64("dur_us")?;
     let seq = r.u64()?;
@@ -366,13 +366,13 @@ fn take_event(r: &mut Reader<'_>) -> Result<ObsEvent, SnapshotError> {
     Ok(ObsEvent { ts_us, dur_us, seq, tid, track, kind })
 }
 
-struct Reader<'b> {
-    buf: &'b [u8],
-    at: usize,
+pub(crate) struct Reader<'b> {
+    pub(crate) buf: &'b [u8],
+    pub(crate) at: usize,
 }
 
 impl<'b> Reader<'b> {
-    fn take(&mut self, n: usize) -> Result<&'b [u8], SnapshotError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'b [u8], SnapshotError> {
         if self.buf.len() - self.at < n {
             return Err(SnapshotError::Truncated);
         }
@@ -381,23 +381,23 @@ impl<'b> Reader<'b> {
         Ok(slice)
     }
 
-    fn u8(&mut self) -> Result<u8, SnapshotError> {
+    pub(crate) fn u8(&mut self) -> Result<u8, SnapshotError> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, SnapshotError> {
+    pub(crate) fn u16(&mut self) -> Result<u16, SnapshotError> {
         Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
     }
 
-    fn u32(&mut self) -> Result<u32, SnapshotError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, SnapshotError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
-    fn u64(&mut self) -> Result<u64, SnapshotError> {
+    pub(crate) fn u64(&mut self) -> Result<u64, SnapshotError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
     }
 
-    fn finite_f64(&mut self, field: &'static str) -> Result<f64, SnapshotError> {
+    pub(crate) fn finite_f64(&mut self, field: &'static str) -> Result<f64, SnapshotError> {
         let x = f64::from_le_bytes(self.take(8)?.try_into().unwrap());
         if x.is_finite() {
             Ok(x)
@@ -406,7 +406,7 @@ impl<'b> Reader<'b> {
         }
     }
 
-    fn len_prefix(&mut self, max: u32, field: &'static str) -> Result<usize, SnapshotError> {
+    pub(crate) fn len_prefix(&mut self, max: u32, field: &'static str) -> Result<usize, SnapshotError> {
         let n = self.u32()?;
         if n > max {
             return Err(SnapshotError::BadField(field));
@@ -414,7 +414,7 @@ impl<'b> Reader<'b> {
         Ok(n as usize)
     }
 
-    fn string(&mut self) -> Result<String, SnapshotError> {
+    pub(crate) fn string(&mut self) -> Result<String, SnapshotError> {
         let n = self.len_prefix(MAX_STRING, "string length")?;
         std::str::from_utf8(self.take(n)?).map(str::to_string).map_err(|_| SnapshotError::BadUtf8)
     }

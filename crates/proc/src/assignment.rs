@@ -35,6 +35,11 @@ pub struct ObsSpec {
     pub hello_recv_us: u64,
     /// Coordinator clock (µs) when this assignment was sent.
     pub assign_send_us: u64,
+    /// Live-streaming interval in milliseconds: every interval the worker
+    /// sends a heartbeat and drains an interval delta to the coordinator.
+    /// `0` (the default, and what older documents parse to) disables
+    /// streaming — the run uploads one post-run snapshot only.
+    pub stream_interval_ms: u64,
 }
 
 impl ObsSpec {
@@ -49,7 +54,16 @@ impl ObsSpec {
             sample_every: cfg.sample_every,
             hello_recv_us,
             assign_send_us,
+            stream_interval_ms: 0,
         }
+    }
+
+    /// Asks the worker to stream heartbeats and interval deltas every
+    /// `interval_ms` milliseconds during the run.
+    #[must_use]
+    pub fn with_stream_interval_ms(mut self, interval_ms: u64) -> Self {
+        self.stream_interval_ms = interval_ms;
+        self
     }
 
     /// The worker-side recorder configuration this spec describes.
@@ -70,7 +84,8 @@ impl ObsSpec {
             .push("event_filter_bits", u64::from(self.event_filter_bits))
             .push("sample_every", u64::from(self.sample_every))
             .push("hello_recv_us", self.hello_recv_us)
-            .push("assign_send_us", self.assign_send_us);
+            .push("assign_send_us", self.assign_send_us)
+            .push("stream_interval_ms", self.stream_interval_ms);
         obs
     }
 
@@ -83,6 +98,14 @@ impl ObsSpec {
             sample_every: req_usize(doc, "sample_every")? as u32,
             hello_recv_us: req_usize(doc, "hello_recv_us")? as u64,
             assign_send_us: req_usize(doc, "assign_send_us")? as u64,
+            // Absent in documents written before live streaming existed:
+            // parse tolerantly to "no streaming" instead of rejecting.
+            stream_interval_ms: match doc.get("stream_interval_ms") {
+                Some(v) => req_usize(doc, "stream_interval_ms").map_err(|_| {
+                    format!("field \"stream_interval_ms\" must be a non-negative integer, got {v:?}")
+                })? as u64,
+                None => 0,
+            },
         })
     }
 }
@@ -413,6 +436,27 @@ mod tests {
         let cfg = spec.config();
         assert_eq!(cfg.ring_capacity, ObsConfig::default().ring_capacity);
         assert_eq!(cfg.event_filter.bits(), EventFilter::all().bits());
+
+        // The streaming interval rides along when requested...
+        let mut live = sample();
+        live.obs = Some(ObsSpec::new(&ObsConfig::default(), 1, 2).with_stream_interval_ms(250));
+        let parsed = Assignment::from_json(&Json::parse(&live.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(parsed.obs.unwrap().stream_interval_ms, 250);
+
+        // ...and a document written before live streaming existed (no
+        // "stream_interval_ms" key) still parses, to "no streaming".
+        let mut old = a.to_json();
+        if let Json::Obj(pairs) = &mut old {
+            for (k, v) in pairs.iter_mut() {
+                if k == "obs" {
+                    if let Json::Obj(obs_pairs) = v {
+                        obs_pairs.retain(|(key, _)| key != "stream_interval_ms");
+                    }
+                }
+            }
+        }
+        let parsed = Assignment::from_json(&old).unwrap();
+        assert_eq!(parsed.obs.unwrap().stream_interval_ms, 0);
 
         // A malformed obs object is a loud error, not a silent None.
         let mut bad = a.to_json();

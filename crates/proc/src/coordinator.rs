@@ -103,6 +103,7 @@ pub struct WorkerPool {
     controls: Vec<Option<FramedStream>>,
     hello_recv_us: Vec<u64>,
     io_timeout: Duration,
+    stray: Vec<(usize, Message)>,
 }
 
 impl WorkerPool {
@@ -148,7 +149,15 @@ impl WorkerPool {
         pool_guard.dir = None; // spawns succeeded: the pool takes ownership
         drop(pool_guard);
         let controls = (0..n_nodes).map(|_| None).collect();
-        Ok(WorkerPool { dir, listener, children, controls, hello_recv_us: vec![0; n_nodes], io_timeout })
+        Ok(WorkerPool {
+            dir,
+            listener,
+            children,
+            controls,
+            hello_recv_us: vec![0; n_nodes],
+            io_timeout,
+            stray: Vec::new(),
+        })
     }
 
     /// The coordinator's process clock (µs) when `node`'s `Hello` arrived
@@ -191,6 +200,37 @@ impl WorkerPool {
             detail.push_str(&format!("; stderr tail:\n{tail}"));
         }
         WorkerFailure { node, detail }
+    }
+
+    /// Like [`WorkerPool::fail`], but for failures observed on `node`
+    /// that may be collateral damage: when some *other* worker already
+    /// exited with a failure status, that death is the root cause (a
+    /// dying peer tears down every connection it serves) and its stderr
+    /// tail carries the original panic — blame it instead of `node`.
+    pub fn fail_cascade(&mut self, node: usize, reason: impl Into<String>) -> WorkerFailure {
+        // A peer's cascade error can race the dying worker's reaping by a
+        // few milliseconds, so give the root cause a short grace window
+        // to show up as an exited child before settling blame — unless
+        // `node` itself already died, which settles it immediately.
+        let mut root = None;
+        for _ in 0..5 {
+            if self.children[node].poll_exit().is_some_and(|s| !s.success()) {
+                break;
+            }
+            root = (0..self.children.len())
+                .find(|&n| n != node && self.children[n].poll_exit().is_some_and(|s| !s.success()));
+            if root.is_some() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        match root {
+            Some(root) => self.fail(
+                Some(root),
+                format!("worker exited during the run (a peer then saw: {})", reason.into()),
+            ),
+            None => self.fail(Some(node), reason),
+        }
     }
 
     /// Accepts one control connection per worker; each must open with
@@ -246,6 +286,12 @@ impl WorkerPool {
         (0..self.children.len()).find(|&k| self.children[k].poll_exit().is_some())
     }
 
+    /// Non-blocking probe: has `node`'s worker process exited?
+    #[must_use]
+    pub fn worker_exited(&mut self, node: usize) -> Option<std::process::ExitStatus> {
+        self.children.get_mut(node).and_then(WorkerChild::poll_exit)
+    }
+
     /// Sends one message to `node`'s control connection.
     pub fn send_to(&mut self, node: usize, message: &Message) -> Result<(), WorkerFailure> {
         let Some(control) = self.controls[node].as_mut() else {
@@ -265,9 +311,50 @@ impl WorkerPool {
         Ok(())
     }
 
+    /// One short-slice receive attempt on `node`'s control connection:
+    /// `Ok(None)` when nothing whole arrived within `slice`, the decoded
+    /// message otherwise.  A worker-reported error, a closed socket or a
+    /// dead worker is still a typed failure — only silence is `None`.
+    /// This is the live monitor's building block: round-robin `poll_from`
+    /// over every node multiplexes heartbeats, deltas and `Done` reports
+    /// without parking the coordinator on any single worker.
+    pub fn poll_from(&mut self, node: usize, slice: Duration) -> Result<Option<Message>, WorkerFailure> {
+        let Some(control) = self.controls[node].as_mut() else {
+            return Err(self.fail(Some(node), "no control connection"));
+        };
+        match control.recv(Some(slice)) {
+            Ok(Message::Error { message }) => {
+                Err(self.fail_cascade(node, format!("worker reported: {message}")))
+            }
+            Ok(message) => Ok(Some(message)),
+            Err(RecvError::Timeout) => Ok(None),
+            Err(RecvError::Closed) => {
+                std::thread::sleep(Duration::from_millis(20));
+                let status = self.children[node].poll_exit();
+                let detail = match status {
+                    Some(status) => format!("worker exited ({status}) during the run"),
+                    None => "worker closed its control connection during the run".to_string(),
+                };
+                Err(self.fail_cascade(node, detail))
+            }
+            Err(e) => Err(self.fail(Some(node), format!("control receive failed: {e}"))),
+        }
+    }
+
+    /// Streaming frames that arrived while a specific kind was awaited —
+    /// [`WorkerPool::recv_from`] sets them aside instead of failing, and
+    /// the live monitor drains them here so no delta is ever lost to
+    /// protocol-step racing.
+    pub fn take_stray(&mut self) -> Vec<(usize, Message)> {
+        std::mem::take(&mut self.stray)
+    }
+
     /// Waits (deadline-bounded, death-aware) for one message of kind
-    /// `expect` from `node`.  Anything else — a worker-reported error, an
-    /// unexpected kind, a dead or silent worker — fails the whole run.
+    /// `expect` from `node`.  Live-streaming frames (heartbeats, interval
+    /// deltas) may race any protocol step, so they are set aside for
+    /// [`WorkerPool::take_stray`] rather than failing the run; anything
+    /// else unexpected — a worker-reported error, an unexpected kind, a
+    /// dead or silent worker — fails the whole run.
     pub fn recv_from(&mut self, node: usize, expect: &'static str) -> Result<Message, WorkerFailure> {
         let deadline = Instant::now() + self.io_timeout;
         loop {
@@ -278,6 +365,9 @@ impl WorkerPool {
                 Ok(message) if message.name() == expect => return Ok(message),
                 Ok(Message::Error { message }) => {
                     return Err(self.fail(Some(node), format!("worker reported: {message}")));
+                }
+                Ok(message @ (Message::Heartbeat { .. } | Message::TelemetryDelta { .. })) => {
+                    self.stray.push((node, message));
                 }
                 Ok(other) => {
                     return Err(self.fail(Some(node), format!("expected {expect}, got {}", other.name())));

@@ -54,10 +54,207 @@ use orwl_core::session::{ClusterTraffic, ExecutionBackend, Mode, Report, RunTime
 use orwl_numasim::workload::PhasedWorkload;
 use orwl_obs::json::Json;
 use orwl_obs::merge::merge_run;
-use orwl_obs::{ClockKind, EventKind, FabricLane, ObsConfig, Recorder, TelemetrySnapshot};
+use orwl_obs::{
+    fold_deltas, ClockKind, EventKind, FabricLane, IntervalStats, LiveAggregator, ObsConfig, Recorder,
+    TelemetryDelta, TelemetrySnapshot,
+};
 use orwl_treematch::mapping::Placement;
 use orwl_treematch::policies::Policy;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Configuration of live telemetry: while the run executes, every worker
+/// streams a heartbeat and an interval delta per `interval`, and the
+/// coordinator folds them into a [`LiveAggregator`], surfaces each
+/// arrival through `on_event`, and flags any node silent for more than
+/// `straggler_intervals` intervals as a straggler — *before* the run's
+/// recv deadline turns the silence into a hard failure.
+///
+/// Live streaming requires an observed run (`SessionConfig::observe`):
+/// the deltas are drained from the worker's recorder, so a dark run has
+/// nothing to stream and the config is ignored.
+#[derive(Clone)]
+pub struct LiveConfig {
+    /// Streaming interval: one heartbeat (plus one delta, when anything
+    /// happened) per worker per interval.
+    pub interval: Duration,
+    /// Heartbeat intervals a node may miss before it is flagged.
+    pub straggler_intervals: u32,
+    /// Observer invoked on the coordinator thread for every live event.
+    pub on_event: Option<LiveObserver>,
+}
+
+/// The live-event observer callback: invoked on the coordinator thread
+/// for every [`LiveEvent`] as it arrives.
+pub type LiveObserver = Arc<dyn Fn(&LiveEvent) + Send + Sync>;
+
+impl LiveConfig {
+    /// Streams on `interval`, flagging after 4 missed intervals.
+    #[must_use]
+    pub fn new(interval: Duration) -> Self {
+        LiveConfig { interval, straggler_intervals: 4, on_event: None }
+    }
+
+    /// Replaces the missed-interval budget before a straggler flag.
+    #[must_use]
+    pub fn with_straggler_intervals(mut self, straggler_intervals: u32) -> Self {
+        self.straggler_intervals = straggler_intervals;
+        self
+    }
+
+    /// Installs the live-event observer (the `--live` ticker, a test's
+    /// heartbeat counter, ...).
+    #[must_use]
+    pub fn with_on_event(mut self, on_event: impl Fn(&LiveEvent) + Send + Sync + 'static) -> Self {
+        self.on_event = Some(Arc::new(on_event));
+        self
+    }
+}
+
+impl std::fmt::Debug for LiveConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LiveConfig")
+            .field("interval", &self.interval)
+            .field("straggler_intervals", &self.straggler_intervals)
+            .field("on_event", &self.on_event.as_ref().map(|_| "<fn>"))
+            .finish()
+    }
+}
+
+/// One observation of the live monitor, as delivered to
+/// [`LiveConfig::on_event`].
+#[derive(Debug, Clone)]
+pub enum LiveEvent {
+    /// A worker's liveness beacon arrived.
+    Heartbeat {
+        /// The reporting node.
+        node: usize,
+        /// The worker's beat counter.
+        seq: u64,
+    },
+    /// A worker's interval delta arrived and was folded into the
+    /// aggregator.
+    Delta {
+        /// The reporting node.
+        node: usize,
+        /// Encoded size of the delta on the wire.
+        bytes: usize,
+        /// The delta's folded rates.
+        stats: IntervalStats,
+    },
+    /// A node exceeded its missed-heartbeat budget — the typed warning
+    /// that precedes the eventual `WorkerFailed` if the silence persists
+    /// to the recv deadline.
+    Straggler {
+        /// The silent node.
+        node: usize,
+        /// How long the node has been silent.
+        silent_for: Duration,
+        /// Whole heartbeat intervals that silence spans.
+        missed: u64,
+    },
+    /// A previously-flagged straggler resumed heartbeating.
+    Recovered {
+        /// The recovered node.
+        node: usize,
+    },
+    /// A worker reported all local tasks finished.
+    Done {
+        /// The finishing node.
+        node: usize,
+    },
+}
+
+/// The coordinator-side live monitor: consumes streaming frames during
+/// the done-wait, rebases deltas onto the coordinator clock (each delta
+/// carries its track's NTP-midpoint offset), aggregates them, tracks
+/// per-node liveness and keeps every delta for the post-run fold.
+struct LiveMonitor<'a> {
+    cfg: &'a LiveConfig,
+    aggregator: LiveAggregator,
+    deltas: Vec<Vec<TelemetryDelta>>,
+    last_beat: Vec<Instant>,
+    flagged: Vec<bool>,
+    heartbeats: u64,
+    delta_bytes: u64,
+    stragglers_flagged: u64,
+}
+
+impl<'a> LiveMonitor<'a> {
+    fn new(n_nodes: usize, cfg: &'a LiveConfig) -> LiveMonitor<'a> {
+        LiveMonitor {
+            cfg,
+            aggregator: LiveAggregator::new(cfg.interval.as_secs_f64().max(1e-3) * 1e6),
+            deltas: vec![Vec::new(); n_nodes],
+            last_beat: vec![Instant::now(); n_nodes],
+            flagged: vec![false; n_nodes],
+            heartbeats: 0,
+            delta_bytes: 0,
+            stragglers_flagged: 0,
+        }
+    }
+
+    fn emit(&self, event: &LiveEvent) {
+        if let Some(observer) = &self.cfg.on_event {
+            observer(event);
+        }
+    }
+
+    fn heartbeat(&mut self, node: usize, seq: u64) {
+        self.heartbeats += 1;
+        self.last_beat[node] = Instant::now();
+        if std::mem::take(&mut self.flagged[node]) {
+            self.emit(&LiveEvent::Recovered { node });
+        }
+        self.emit(&LiveEvent::Heartbeat { node, seq });
+    }
+
+    fn delta(&mut self, node: usize, bytes: &[u8]) -> Result<(), String> {
+        let delta = TelemetryDelta::decode(bytes).map_err(|e| format!("bad telemetry delta: {e}"))?;
+        self.delta_bytes += bytes.len() as u64;
+        // Workers merge onto track node+1 (track 0 is the coordinator);
+        // the aggregator's series use the same numbering.
+        self.aggregator.ingest(node as u32 + 1, &delta);
+        let stats = IntervalStats::of_delta(&delta);
+        self.deltas[node].push(delta);
+        self.emit(&LiveEvent::Delta { node, bytes: bytes.len(), stats });
+        Ok(())
+    }
+
+    fn done(&mut self, node: usize) {
+        self.emit(&LiveEvent::Done { node });
+    }
+
+    /// Flags any not-yet-done node whose silence exceeds the budget; a
+    /// node is flagged once per silence episode (a heartbeat clears it).
+    fn check_stragglers(&mut self, done: &[bool]) {
+        let budget = self.cfg.interval * self.cfg.straggler_intervals.max(1);
+        for (node, &node_done) in done.iter().enumerate().take(self.flagged.len()) {
+            if node_done || self.flagged[node] {
+                continue;
+            }
+            let silent_for = self.last_beat[node].elapsed();
+            if silent_for >= budget {
+                self.flagged[node] = true;
+                self.stragglers_flagged += 1;
+                let missed = (silent_for.as_secs_f64() / self.cfg.interval.as_secs_f64()) as u64;
+                self.emit(&LiveEvent::Straggler { node, silent_for, missed });
+            }
+        }
+    }
+
+    /// Streams the run summary into the coordinator recorder's metrics,
+    /// so the merged telemetry records that (and how much) the run was
+    /// watched live.
+    fn record_summary(&self, recorder: &Recorder) {
+        let metrics = recorder.metrics();
+        metrics.counter("live.heartbeats").add(self.heartbeats);
+        metrics.counter("live.deltas").add(self.deltas.iter().map(|d| d.len() as u64).sum());
+        metrics.counter("live.delta_bytes").add(self.delta_bytes);
+        metrics.counter("live.stragglers_flagged").add(self.stragglers_flagged);
+        metrics.counter("live.duplicate_deltas").add(self.aggregator.duplicates());
+    }
+}
 
 /// What a completed control protocol hands back: the wall-clocked
 /// execution span, one metrics document per worker, and (observed runs
@@ -74,6 +271,7 @@ pub struct ProcBackend {
     io_timeout: Duration,
     worker_args: Vec<String>,
     worker_env: Vec<(String, String)>,
+    live: Option<LiveConfig>,
 }
 
 impl ProcBackend {
@@ -86,6 +284,7 @@ impl ProcBackend {
             io_timeout: Duration::from_secs(30),
             worker_args: Vec::new(),
             worker_env: Vec::new(),
+            live: None,
         }
     }
 
@@ -118,6 +317,17 @@ impl ProcBackend {
     #[must_use]
     pub fn with_io_timeout(mut self, io_timeout: Duration) -> Self {
         self.io_timeout = io_timeout;
+        self
+    }
+
+    /// Enables live telemetry on observed runs: workers stream heartbeats
+    /// and interval deltas on [`LiveConfig::interval`], the coordinator
+    /// aggregates them mid-run and flags stragglers.  Ignored unless the
+    /// session asks for observation (`SessionConfig::observe`), because
+    /// the stream is drained from the run's recorder.
+    #[must_use]
+    pub fn with_live(mut self, live: LiveConfig) -> Self {
+        self.live = Some(live);
         self
     }
 
@@ -205,9 +415,13 @@ impl ProcBackend {
         workload: &PhasedWorkload,
         node_of_task: &[usize],
         observe: Option<&ObsConfig>,
+        recorder: Option<&Recorder>,
     ) -> Result<ProtocolOutcome, WorkerFailure> {
         let mut assignments = self.assignments(workload, node_of_task, &pool);
         let n_nodes = assignments.len();
+        // Live streaming needs a worker recorder to drain, so the live
+        // config takes effect only on observed runs.
+        let live = self.live.as_ref().filter(|_| observe.is_some());
         pool.accept_controls()?;
         for (node, assignment) in assignments.iter_mut().enumerate() {
             // The obs spec is stamped per node at send time: it carries
@@ -215,8 +429,11 @@ impl ProcBackend {
             // needs for its clock-offset estimate, and the send stamp
             // must be taken as late as possible.
             if let Some(cfg) = observe {
-                assignment.obs =
-                    Some(ObsSpec::new(cfg, pool.hello_recv_us(node), orwl_obs::process_clock_us()));
+                let mut spec = ObsSpec::new(cfg, pool.hello_recv_us(node), orwl_obs::process_clock_us());
+                if let Some(live) = live {
+                    spec = spec.with_stream_interval_ms((live.interval.as_millis() as u64).max(1));
+                }
+                assignment.obs = Some(spec);
             }
             pool.send_to(node, &Message::Assignment { json: assignment.to_json().pretty() })?;
         }
@@ -225,8 +442,14 @@ impl ProcBackend {
         }
         let started = Instant::now();
         pool.broadcast(&Message::Start)?;
-        for node in 0..n_nodes {
-            pool.recv_from(node, "done")?;
+        let mut monitor = live.map(|cfg| LiveMonitor::new(n_nodes, cfg));
+        match monitor.as_mut() {
+            None => {
+                for node in 0..n_nodes {
+                    pool.recv_from(node, "done")?;
+                }
+            }
+            Some(monitor) => self.monitor_run(&mut pool, monitor, n_nodes)?,
         }
         let elapsed = started.elapsed();
         // Shutdown is broadcast *before* collecting telemetry: once every
@@ -251,6 +474,33 @@ impl ProcBackend {
                 }
             }
         }
+        if let Some(monitor) = monitor.as_mut() {
+            // Streaming frames can race any protocol step (a worker's last
+            // interval fires while its Done or upload is in flight);
+            // `recv_from` stashed them instead of failing, so no delta is
+            // lost.  A worker stops streaming before it uploads, so by now
+            // the stash is complete.
+            for (node, message) in pool.take_stray() {
+                match message {
+                    Message::Heartbeat { seq, .. } => monitor.heartbeat(node, seq),
+                    Message::TelemetryDelta { delta, .. } => {
+                        monitor.delta(node, &delta).map_err(|e| pool.fail(Some(node), e))?;
+                    }
+                    _ => unreachable!("recv_from stashes only streaming frames"),
+                }
+            }
+            // Mid-run deltas drained events the final snapshots no longer
+            // hold: fold them back so the merged timeline is identical to
+            // a non-streaming observed run (delta events dedup by seq;
+            // metric state needs no fold — registry snapshots are
+            // cumulative, so the final snapshot subsumes every delta).
+            for (from, snap) in &mut uploads {
+                fold_deltas(snap, &monitor.deltas[*from as usize]);
+            }
+            if let Some(recorder) = recorder {
+                monitor.record_summary(recorder);
+            }
+        }
         let mut metrics = Vec::with_capacity(n_nodes);
         for node in 0..n_nodes {
             let Message::Metrics { json, .. } = pool.recv_from(node, "metrics")? else {
@@ -266,6 +516,74 @@ impl ProcBackend {
         }
         pool.wait_all()?;
         Ok((elapsed, metrics, uploads))
+    }
+
+    /// The live done-wait: round-robins a short-slice poll over every
+    /// worker's control connection, dispatching heartbeats and deltas to
+    /// the monitor as they stream in, until every node reports `Done`.
+    /// Silence on one node never parks the coordinator — each cycle ends
+    /// with a straggler sweep, and a node with no control traffic for the
+    /// whole io timeout (heartbeats reset the clock) fails the run.
+    fn monitor_run(
+        &self,
+        pool: &mut WorkerPool,
+        monitor: &mut LiveMonitor<'_>,
+        n_nodes: usize,
+    ) -> Result<(), WorkerFailure> {
+        let mut done = vec![false; n_nodes];
+        let mut last_activity = vec![Instant::now(); n_nodes];
+        while done.iter().any(|&d| !d) {
+            for node in 0..n_nodes {
+                if done[node] {
+                    continue;
+                }
+                // Drain what this node has buffered, then move on.  Both
+                // bounds matter: a short poll slice so an idle peer never
+                // parks the loop for long, and a message cap so a chatty
+                // peer beating faster than the slice cannot capture it —
+                // either way every node is visited (and the straggler
+                // clock consulted) several times per heartbeat interval.
+                let mut drained = 0;
+                while drained < 64 {
+                    let Some(message) = pool.poll_from(node, Duration::from_millis(5))? else {
+                        break;
+                    };
+                    drained += 1;
+                    last_activity[node] = Instant::now();
+                    match message {
+                        Message::Done { .. } => {
+                            done[node] = true;
+                            monitor.done(node);
+                            break;
+                        }
+                        Message::Heartbeat { seq, .. } => monitor.heartbeat(node, seq),
+                        Message::TelemetryDelta { delta, .. } => {
+                            monitor.delta(node, &delta).map_err(|e| pool.fail(Some(node), e))?;
+                        }
+                        other => {
+                            return Err(pool.fail(Some(node), format!("expected done, got {}", other.name())));
+                        }
+                    }
+                }
+                if done[node] {
+                    continue;
+                }
+                if let Some(status) = pool.worker_exited(node) {
+                    return Err(pool.fail_cascade(
+                        node,
+                        format!("worker exited ({status}) while the coordinator awaited done"),
+                    ));
+                }
+                if last_activity[node].elapsed() >= self.io_timeout {
+                    return Err(pool.fail(
+                        Some(node),
+                        "timed out waiting for done (no heartbeat within the io timeout)",
+                    ));
+                }
+            }
+            monitor.check_stragglers(&done);
+        }
+        Ok(())
     }
 
     /// Tree hops a byte pays on each fabric lane of this machine, probed
@@ -373,7 +691,7 @@ impl ExecutionBackend for ProcBackend {
         let pool = WorkerPool::spawn(cluster.n_nodes(), &self.worker_args, &self.worker_env, self.io_timeout)
             .map_err(|e| OrwlError::WorkerFailed { node: 0, detail: format!("spawning workers: {e}") })?;
         let (elapsed, metrics, uploads) = self
-            .run_protocol(pool, &workload, &cp.node_of_task, config.observe.as_ref())
+            .run_protocol(pool, &workload, &cp.node_of_task, config.observe.as_ref(), recorder.as_deref())
             .map_err(|f| OrwlError::WorkerFailed { node: f.node, detail: f.detail })?;
 
         let mut same_rack_bytes = 0u64;

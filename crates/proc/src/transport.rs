@@ -117,12 +117,19 @@ impl FramedStream {
                 self.frames_received += 1;
                 return Ok(message);
             }
+            // One socket wait never overshoots the caller's deadline by
+            // more than a millisecond, so short deadlines make `recv` a
+            // cheap poll — the live monitor and the worker's streaming
+            // thread both interleave on sub-100ms slices.
+            let mut tick = Duration::from_millis(100);
             if let Some(limit) = deadline {
-                if start.elapsed() >= limit {
+                let elapsed = start.elapsed();
+                if elapsed >= limit {
                     return Err(RecvError::Timeout);
                 }
+                tick = tick.min(limit - elapsed).max(Duration::from_millis(1));
             }
-            self.stream.set_read_timeout(Some(Duration::from_millis(100))).map_err(RecvError::Io)?;
+            self.stream.set_read_timeout(Some(tick)).map_err(RecvError::Io)?;
             match self.stream.read(&mut self.read_buf) {
                 Ok(0) => return Err(RecvError::Closed),
                 Ok(n) => {

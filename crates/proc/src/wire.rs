@@ -32,10 +32,12 @@ pub const MAGIC: [u8; 4] = *b"ORWL";
 
 /// Protocol version carried in every frame header.
 ///
-/// v2 added [`Message::TelemetryUpload`]; every v1 frame is still decoded
-/// byte-for-byte (the v1 kinds' layouts are frozen), so a v2 peer accepts
-/// any version in `MIN_VERSION..=VERSION`.
-pub const VERSION: u16 = 2;
+/// v2 added [`Message::TelemetryUpload`]; v3 added the live-streaming
+/// kinds [`Message::Heartbeat`] and [`Message::TelemetryDelta`].  Every
+/// older frame is still decoded byte-for-byte (released kinds' layouts
+/// are frozen), so a v3 peer accepts any version in
+/// `MIN_VERSION..=VERSION`.
+pub const VERSION: u16 = 3;
 
 /// Oldest protocol version this codec still decodes.
 pub const MIN_VERSION: u16 = 1;
@@ -54,6 +56,12 @@ pub const MAX_PAYLOAD: usize = MAX_DATA + 64;
 /// [`Message::TelemetryUpload`] — event rings are bigger than any single
 /// location buffer, so this kind gets its own budget.
 pub const MAX_SNAPSHOT: usize = 8 << 20;
+
+/// Hard cap on an encoded interval delta carried by a
+/// [`Message::TelemetryDelta`].  One interval drains at most one ring's
+/// worth of events, so deltas are far smaller than final snapshots, but
+/// the cap stays generous: a blown budget mid-run would kill the stream.
+pub const MAX_DELTA: usize = 4 << 20;
 
 /// Access mode of a remote lock request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +101,8 @@ const KIND_METRICS: u8 = 8;
 const KIND_ERROR: u8 = 9;
 const KIND_SHUTDOWN: u8 = 10;
 const KIND_TELEMETRY_UPLOAD: u8 = 11; // v2
+const KIND_HEARTBEAT: u8 = 12; // v3
+const KIND_TELEMETRY_DELTA: u8 = 13; // v3
 
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -176,6 +186,27 @@ pub enum Message {
         /// The encoded snapshot.
         snapshot: Vec<u8>,
     },
+    /// Worker → coordinator (v3): a liveness beacon sent once per
+    /// streaming interval while the run executes.  The coordinator's
+    /// monitor flags a node as a straggler when beats stop arriving.
+    Heartbeat {
+        /// The worker's node index.
+        node: u32,
+        /// Monotonic beat counter, starting at 0 on `Start`.
+        seq: u64,
+    },
+    /// Worker → coordinator (v3): one interval's drained telemetry — the
+    /// `orwl-obs` binary
+    /// [`TelemetryDelta`](orwl_obs::TelemetryDelta) encoding, opaque at
+    /// this layer.  Sent alongside heartbeats while the run executes;
+    /// the final post-run [`Message::TelemetryUpload`] subsumes the
+    /// metric state, and delta events are deduplicated by sequence.
+    TelemetryDelta {
+        /// The worker's node index.
+        node: u32,
+        /// The encoded interval delta.
+        delta: Vec<u8>,
+    },
 }
 
 impl Message {
@@ -193,6 +224,8 @@ impl Message {
             Message::Error { .. } => KIND_ERROR,
             Message::Shutdown => KIND_SHUTDOWN,
             Message::TelemetryUpload { .. } => KIND_TELEMETRY_UPLOAD,
+            Message::Heartbeat { .. } => KIND_HEARTBEAT,
+            Message::TelemetryDelta { .. } => KIND_TELEMETRY_DELTA,
         }
     }
 
@@ -212,15 +245,18 @@ impl Message {
             Message::Error { .. } => "error",
             Message::Shutdown => "shutdown",
             Message::TelemetryUpload { .. } => "telemetry_upload",
+            Message::Heartbeat { .. } => "heartbeat",
+            Message::TelemetryDelta { .. } => "telemetry_delta",
         }
     }
 
-    /// Payload budget of one kind; telemetry snapshots get their own.
+    /// Payload budget of one kind; telemetry snapshots and interval
+    /// deltas get their own.
     fn max_payload_of(kind: u8) -> usize {
-        if kind == KIND_TELEMETRY_UPLOAD {
-            MAX_SNAPSHOT + 16
-        } else {
-            MAX_PAYLOAD
+        match kind {
+            KIND_TELEMETRY_UPLOAD => MAX_SNAPSHOT + 16,
+            KIND_TELEMETRY_DELTA => MAX_DELTA + 16,
+            _ => MAX_PAYLOAD,
         }
     }
 
@@ -265,6 +301,15 @@ impl Message {
                 assert!(snapshot.len() <= MAX_SNAPSHOT, "snapshot over MAX_SNAPSHOT");
                 payload.extend_from_slice(&node.to_le_bytes());
                 payload.extend_from_slice(snapshot);
+            }
+            Message::Heartbeat { node, seq } => {
+                payload.extend_from_slice(&node.to_le_bytes());
+                payload.extend_from_slice(&seq.to_le_bytes());
+            }
+            Message::TelemetryDelta { node, delta } => {
+                assert!(delta.len() <= MAX_DELTA, "delta over MAX_DELTA");
+                payload.extend_from_slice(&node.to_le_bytes());
+                payload.extend_from_slice(delta);
             }
         }
         assert!(payload.len() <= Message::max_payload_of(self.kind()), "payload over its kind's cap");
@@ -367,6 +412,9 @@ fn decode_payload(version: u16, kind: u8, payload: &[u8]) -> Result<Message, Wir
     if kind >= KIND_TELEMETRY_UPLOAD && version < 2 {
         return Err(WireError::UnknownKind(kind));
     }
+    if kind >= KIND_HEARTBEAT && version < 3 {
+        return Err(WireError::UnknownKind(kind));
+    }
     Ok(match kind {
         KIND_HELLO => Message::Hello { node: take_u32(payload, 0, kind)? },
         KIND_ASSIGNMENT => Message::Assignment { json: take_string(payload, 0, kind)? },
@@ -398,6 +446,13 @@ fn decode_payload(version: u16, kind: u8, payload: &[u8]) -> Result<Message, Wir
         KIND_TELEMETRY_UPLOAD => Message::TelemetryUpload {
             node: take_u32(payload, 0, kind)?,
             snapshot: payload.get(4..).ok_or(WireError::Truncated { kind })?.to_vec(),
+        },
+        KIND_HEARTBEAT => {
+            Message::Heartbeat { node: take_u32(payload, 0, kind)?, seq: take_u64(payload, 4, kind)? }
+        }
+        KIND_TELEMETRY_DELTA => Message::TelemetryDelta {
+            node: take_u32(payload, 0, kind)?,
+            delta: payload.get(4..).ok_or(WireError::Truncated { kind })?.to_vec(),
         },
         other => return Err(WireError::UnknownKind(other)),
     })
@@ -516,14 +571,18 @@ mod tests {
             Message::Shutdown,
             Message::TelemetryUpload { node: 1, snapshot: vec![0x4f, 0x53, 0x4e, 0x50] },
             Message::TelemetryUpload { node: 0, snapshot: Vec::new() },
+            Message::Heartbeat { node: 2, seq: 0 },
+            Message::Heartbeat { node: 0, seq: u64::MAX },
+            Message::TelemetryDelta { node: 1, delta: vec![0x4f, 0x44, 0x4c, 0x54] },
+            Message::TelemetryDelta { node: 3, delta: Vec::new() },
         ] {
             roundtrip(&message);
         }
     }
 
-    /// The exact bytes of a v2 telemetry-upload frame, pinned so the
-    /// layout can never drift silently: magic, version 2 LE, kind 11,
-    /// payload length LE, node LE, snapshot bytes.
+    /// The exact bytes of a telemetry-upload frame, pinned so the layout
+    /// can never drift silently: magic, version LE, kind 11, payload
+    /// length LE, node LE, snapshot bytes.
     #[test]
     fn telemetry_upload_frame_bytes_are_pinned() {
         let frame = Message::TelemetryUpload { node: 3, snapshot: vec![0xAA, 0xBB] }.encode();
@@ -531,7 +590,7 @@ mod tests {
             frame,
             vec![
                 b'O', b'R', b'W', b'L', // magic
-                0x02, 0x00, // version 2
+                0x03, 0x00, // version 3
                 0x0B, // kind 11
                 0x06, 0x00, 0x00, 0x00, // payload length 6
                 0x03, 0x00, 0x00, 0x00, // node 3
@@ -540,9 +599,39 @@ mod tests {
         );
     }
 
+    /// The exact bytes of the v3 streaming frames, pinned the same way.
+    #[test]
+    fn v3_frame_bytes_are_pinned() {
+        let beat = Message::Heartbeat { node: 2, seq: 7 }.encode();
+        assert_eq!(
+            beat,
+            vec![
+                b'O', b'R', b'W', b'L', // magic
+                0x03, 0x00, // version 3
+                0x0C, // kind 12
+                0x0C, 0x00, 0x00, 0x00, // payload length 12
+                0x02, 0x00, 0x00, 0x00, // node 2
+                0x07, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, // seq 7
+            ]
+        );
+
+        let delta = Message::TelemetryDelta { node: 1, delta: vec![0xCC, 0xDD, 0xEE] }.encode();
+        assert_eq!(
+            delta,
+            vec![
+                b'O', b'R', b'W', b'L', // magic
+                0x03, 0x00, // version 3
+                0x0D, // kind 13
+                0x07, 0x00, 0x00, 0x00, // payload length 7
+                0x01, 0x00, 0x00, 0x00, // node 1
+                0xCC, 0xDD, 0xEE, // delta
+            ]
+        );
+    }
+
     #[test]
     fn v1_frames_still_decode() {
-        // A v2 codec must accept every v1 frame unchanged: patch the
+        // A v3 codec must accept every v1 frame unchanged: patch the
         // version field of a freshly encoded v1-era kind down to 1.
         for message in [
             Message::Hello { node: 4 },
@@ -563,20 +652,55 @@ mod tests {
     }
 
     #[test]
-    fn v1_only_peer_rejects_v2_frames_with_a_typed_error() {
-        // An old binary (max version 1) fed a v2 frame must fail fast
-        // with BadVersion — never hang waiting for more bytes, never
-        // panic, never mis-parse.
-        let mut reader = FrameReader::with_max_version(1);
-        reader.push(&Message::TelemetryUpload { node: 2, snapshot: vec![7; 32] }.encode());
-        assert_eq!(reader.try_next(), Err(WireError::BadVersion { got: 2 }));
+    fn v2_frames_still_decode() {
+        // A v3 reader must accept every v2 frame unchanged, including the
+        // v2-era telemetry upload.
+        for message in [
+            Message::TelemetryUpload { node: 1, snapshot: vec![0xAA, 0xBB, 0xCC] },
+            Message::Metrics { node: 1, json: "{}".to_string() },
+            Message::Done { node: 1 },
+        ] {
+            let mut frame = message.encode();
+            frame[4..6].copy_from_slice(&2u16.to_le_bytes());
+            assert_eq!(decode_frame(&frame).unwrap(), message, "v2 frame of {}", message.name());
+        }
 
-        // A v1 frame still flows through the same reader.
+        // ... but a v3-only kind inside an older frame is a protocol bug,
+        // not a message, under both v2 and v1 headers.
+        for old_version in [1u16, 2] {
+            let mut beat = Message::Heartbeat { node: 0, seq: 1 }.encode();
+            beat[4..6].copy_from_slice(&old_version.to_le_bytes());
+            assert!(matches!(decode_frame(&beat), Err(WireError::UnknownKind(12))));
+
+            let mut delta = Message::TelemetryDelta { node: 0, delta: vec![1] }.encode();
+            delta[4..6].copy_from_slice(&old_version.to_le_bytes());
+            assert!(matches!(decode_frame(&delta), Err(WireError::UnknownKind(13))));
+        }
+    }
+
+    #[test]
+    fn older_peers_reject_v3_frames_with_a_typed_error() {
+        // An old binary (max version 1 or 2) fed a current frame must
+        // fail fast with BadVersion — never hang waiting for more bytes,
+        // never panic, never mis-parse.
+        for max_version in [1u16, 2] {
+            let mut reader = FrameReader::with_max_version(max_version);
+            reader.push(&Message::Heartbeat { node: 2, seq: 5 }.encode());
+            assert_eq!(reader.try_next(), Err(WireError::BadVersion { got: 3 }), "max version {max_version}");
+        }
+
+        // A frame at the peer's own version still flows through.
         let mut reader = FrameReader::with_max_version(1);
         let mut frame = Message::Hello { node: 2 }.encode();
         frame[4..6].copy_from_slice(&1u16.to_le_bytes());
         reader.push(&frame);
         assert_eq!(reader.try_next(), Ok(Some(Message::Hello { node: 2 })));
+
+        let mut reader = FrameReader::with_max_version(2);
+        let mut frame = Message::TelemetryUpload { node: 2, snapshot: vec![7; 32] }.encode();
+        frame[4..6].copy_from_slice(&2u16.to_le_bytes());
+        reader.push(&frame);
+        assert!(matches!(reader.try_next(), Ok(Some(Message::TelemetryUpload { .. }))));
     }
 
     #[test]
@@ -593,6 +717,19 @@ mod tests {
         assert!(matches!(decode_frame(&over), Err(WireError::PayloadTooLarge { .. })));
         let big = Message::TelemetryUpload { node: 0, snapshot: vec![5; MAX_PAYLOAD + 1] }.encode();
         assert!(matches!(decode_frame(&big), Ok(Message::TelemetryUpload { .. })));
+    }
+
+    #[test]
+    fn delta_budget_is_enforced_both_ways() {
+        let caught = std::panic::catch_unwind(|| {
+            Message::TelemetryDelta { node: 0, delta: vec![0; MAX_DELTA + 1] }.encode()
+        });
+        assert!(caught.is_err());
+        let mut over = Message::TelemetryDelta { node: 0, delta: Vec::new() }.encode();
+        over[7..11].copy_from_slice(&((MAX_DELTA + 17) as u32).to_le_bytes());
+        assert!(matches!(decode_frame(&over), Err(WireError::PayloadTooLarge { .. })));
+        let big = Message::TelemetryDelta { node: 0, delta: vec![5; MAX_PAYLOAD + 1] }.encode();
+        assert!(matches!(decode_frame(&big), Ok(Message::TelemetryDelta { .. })));
     }
 
     #[test]
@@ -683,7 +820,7 @@ mod tests {
         data: Vec<u8>,
     ) -> Message {
         let text: String = text_bytes.iter().map(|&b| char::from(b % 94 + 32)).collect();
-        match selector % 12 {
+        match selector % 14 {
             0 => Message::Hello { node: a as u32 },
             1 => Message::Assignment { json: text },
             2 => Message::Ready { node: b as u32 },
@@ -700,7 +837,9 @@ mod tests {
             8 => Message::Metrics { node: b as u32, json: text },
             9 => Message::Error { message: text },
             10 => Message::Shutdown,
-            _ => Message::TelemetryUpload { node: a as u32, snapshot: data },
+            11 => Message::TelemetryUpload { node: a as u32, snapshot: data },
+            12 => Message::Heartbeat { node: a as u32, seq: b },
+            _ => Message::TelemetryDelta { node: b as u32, delta: data },
         }
     }
 
@@ -709,7 +848,7 @@ mod tests {
 
         #[test]
         fn any_message_roundtrips(
-            selector in 0usize..12,
+            selector in 0usize..14,
             a in 0u64..u64::MAX,
             b in 0u64..u64::MAX,
             small in 0u8..255,
@@ -723,7 +862,7 @@ mod tests {
 
         #[test]
         fn split_reads_reassemble_any_stream(
-            selectors in proptest::collection::vec(0usize..12, 1..6),
+            selectors in proptest::collection::vec(0usize..14, 1..6),
             a in 0u64..u64::MAX,
             b in 0u64..1_000_000,
             small in 0u8..255,

@@ -32,7 +32,7 @@ use orwl_core::request::AccessMode;
 use orwl_core::session::{Session, ThreadBackend};
 use orwl_core::task::{LocationLink, OrwlProgram, TaskSpec};
 use orwl_obs::json::Json;
-use orwl_obs::{ClockKind, EventKind, Recorder, RunTelemetry, TelemetrySnapshot};
+use orwl_obs::{ClockKind, DeltaSampler, EventKind, ObsEvent, Recorder, RunTelemetry, TelemetrySnapshot};
 use orwl_topo::binding::RecordingBinder;
 use orwl_topo::object::ObjectType;
 use orwl_topo::topology::{LevelSpec, Topology};
@@ -46,10 +46,25 @@ use std::time::{Duration, Instant};
 /// `Start` — the failure-injection hook of the robustness tests.
 pub const ENV_PANIC_NODE: &str = "ORWL_PROC_PANIC_NODE";
 
+/// Environment variable naming the worker whose telemetry streamer holds
+/// its first heartbeat back by [`ENV_STALL_MS`] milliseconds — the
+/// straggler-injection hook of the live-telemetry tests.  Only the
+/// streamer stalls; the worker's tasks keep running, so a healthy run
+/// exercises the flagged→recovered straggler path end to end.
+pub const ENV_STALL_NODE: &str = "ORWL_PROC_STALL_NODE";
+
+/// Milliseconds of initial heartbeat silence for [`ENV_STALL_NODE`].
+pub const ENV_STALL_MS: &str = "ORWL_PROC_STALL_MS";
+
 /// Events kept in an uploaded snapshot (newest win; the remainder joins
 /// the drop counter).  Keeps the upload well under the wire's
 /// `MAX_SNAPSHOT` budget.
 const MAX_UPLOAD_EVENTS: usize = 100_000;
+
+/// Events kept in one streamed interval delta (newest win; the remainder
+/// joins the delta's drop counter).  Keeps every delta well under the
+/// wire's `MAX_DELTA` budget however bursty the interval was.
+const MAX_DELTA_EVENTS: usize = 50_000;
 
 /// Runs the worker lifecycle and exits iff this process was spawned as an
 /// `orwl-proc` worker; returns immediately otherwise.  Call first thing
@@ -77,17 +92,22 @@ fn env_usize(key: &str) -> Result<usize, String> {
 fn worker_main() -> Result<(), String> {
     let node = env_usize(ENV_NODE)?;
     let coord = std::env::var(ENV_COORD).map_err(|_| format!("{ENV_COORD} is not set"))?;
-    let mut control = FramedStream::connect(std::path::Path::new(&coord))
-        .map_err(|e| format!("connecting to coordinator at {coord}: {e}"))?;
+    // The control stream is shared between the main protocol thread and
+    // (on live runs) the telemetry streamer, so it lives behind a mutex
+    // from the start; every receive takes the lock in short slices so a
+    // blocked wait never starves the streamer's sends.
+    let control = Arc::new(Mutex::new(
+        FramedStream::connect(std::path::Path::new(&coord))
+            .map_err(|e| format!("connecting to coordinator at {coord}: {e}"))?,
+    ));
     // The two worker-side timestamps of the clock-offset handshake: the
     // coordinator stamps the matching receive/send instants into the
     // assignment's obs spec, and the midpoint of the two one-way legs
     // estimates this process's clock offset (see `orwl_obs::merge`).
     let hello_send_us = orwl_obs::process_clock_us();
-    control.send(&Message::Hello { node: node as u32 }).map_err(|e| format!("sending hello: {e}"))?;
-    let Message::Assignment { json } = control.recv_expect("assignment", Some(Duration::from_secs(30)))?
-    else {
-        unreachable!("recv_expect returns the expected kind");
+    send_ctl(&control, &Message::Hello { node: node as u32 }).map_err(|e| format!("sending hello: {e}"))?;
+    let Message::Assignment { json } = recv_ctl(&control, "assignment", Duration::from_secs(30))? else {
+        unreachable!("recv_ctl returns the expected kind");
     };
     let assign_recv_us = orwl_obs::process_clock_us();
     let doc = Json::parse(&json).map_err(|e| format!("assignment is not valid JSON: {e}"))?;
@@ -95,11 +115,48 @@ fn worker_main() -> Result<(), String> {
     if assignment.node != node {
         return Err(format!("assignment for node {} delivered to node {node}", assignment.node));
     }
-    match run_worker(&mut control, &assignment, hello_send_us, assign_recv_us) {
+    match run_worker(&control, &assignment, hello_send_us, assign_recv_us) {
         Ok(()) => Ok(()),
         Err(e) => {
-            let _ = control.send(&Message::Error { message: e.clone() });
+            let _ = send_ctl(&control, &Message::Error { message: e.clone() });
             Err(e)
+        }
+    }
+}
+
+/// Sends one control message under the shared-stream lock.
+fn send_ctl(control: &Arc<Mutex<FramedStream>>, message: &Message) -> Result<(), String> {
+    control
+        .lock()
+        .map_err(|_| "control stream poisoned".to_string())?
+        .send(message)
+        .map_err(|e| e.to_string())
+}
+
+/// `recv_expect` against the shared control stream, holding the lock only
+/// in 50 ms slices so the streamer thread can interleave its sends while
+/// the main thread waits out a long protocol step.
+fn recv_ctl(
+    control: &Arc<Mutex<FramedStream>>,
+    expect: &'static str,
+    deadline: Duration,
+) -> Result<Message, String> {
+    let start = Instant::now();
+    loop {
+        let outcome = control
+            .lock()
+            .map_err(|_| "control stream poisoned".to_string())?
+            .recv(Some(Duration::from_millis(50)));
+        match outcome {
+            Ok(message) if message.name() == expect => return Ok(message),
+            Ok(Message::Error { message }) => return Err(format!("peer reported: {message}")),
+            Ok(other) => return Err(format!("expected {expect}, got {}", other.name())),
+            Err(RecvError::Timeout) => {
+                if start.elapsed() >= deadline {
+                    return Err(format!("while waiting for {expect}: timed out"));
+                }
+            }
+            Err(e) => return Err(format!("while waiting for {expect}: {e}")),
         }
     }
 }
@@ -315,7 +372,7 @@ fn accept_loop(
 type TaskSchedule = Vec<(usize, Vec<(usize, f64, bool)>)>;
 
 fn run_worker(
-    control: &mut FramedStream,
+    control: &Arc<Mutex<FramedStream>>,
     assignment: &Assignment,
     hello_send_us: u64,
     assign_recv_us: u64,
@@ -357,21 +414,68 @@ fn run_worker(
         std::thread::spawn(move || accept_loop(listener, locations, shutdown, io_timeout))
     };
 
-    control.send(&Message::Ready { node: assignment.node as u32 }).map_err(|e| e.to_string())?;
-    control.recv_expect("start", Some(io_timeout))?;
+    send_ctl(control, &Message::Ready { node: assignment.node as u32 })?;
+    recv_ctl(control, "start", io_timeout)?;
 
     if std::env::var(ENV_PANIC_NODE).ok().and_then(|v| v.parse::<usize>().ok()) == Some(assignment.node) {
         panic!("injected failure on node {} (for robustness tests)", assignment.node);
     }
 
+    // Maps the process-local `LocationId` of every owned location to its
+    // global task index — both the streamed deltas and the final snapshot
+    // must speak the global location namespace.
+    let global_of: Arc<HashMap<u64, u64>> =
+        Arc::new(locations.iter().map(|(&task, loc)| (loc.id().0, task)).collect());
+
     let gateway = Arc::new(PeerGateway::connect(assignment)?);
+
+    // Live runs stream telemetry from `Start` until `Shutdown`: one
+    // heartbeat (and, when anything happened, one interval delta) per
+    // configured interval, interleaved on the shared control stream.
+    let streamer = obs.as_ref().and_then(|(recorder, _, offset_us)| {
+        let interval_ms = assignment.obs.as_ref().map_or(0, |spec| spec.stream_interval_ms);
+        let stall = if std::env::var(ENV_STALL_NODE).ok().and_then(|v| v.parse::<usize>().ok())
+            == Some(assignment.node)
+        {
+            let ms = std::env::var(ENV_STALL_MS).ok().and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+            Duration::from_millis(ms)
+        } else {
+            Duration::ZERO
+        };
+        (interval_ms > 0).then(|| {
+            Streamer::spawn(
+                Arc::clone(control),
+                Arc::clone(recorder),
+                Arc::clone(&global_of),
+                assignment.node as u32,
+                Duration::from_millis(interval_ms),
+                *offset_us,
+                stall,
+            )
+        })
+    });
     let started = Instant::now();
-    run_local_tasks(assignment, &local_tasks, &locations, &gateway)?;
+    let task_outcome = run_local_tasks(assignment, &local_tasks, &locations, &gateway);
     let wall_seconds = started.elapsed().as_secs_f64();
+    if let Err(e) = task_outcome {
+        // Stop the streamer before reporting: the error send and the
+        // coordinator's teardown must not race interval deltas.
+        if let Some(streamer) = streamer {
+            streamer.stop();
+        }
+        return Err(e);
+    }
 
-    control.send(&Message::Done { node: assignment.node as u32 }).map_err(|e| e.to_string())?;
+    send_ctl(control, &Message::Done { node: assignment.node as u32 })?;
 
-    control.recv_expect("shutdown", Some(io_timeout))?;
+    let shutdown_outcome = recv_ctl(control, "shutdown", io_timeout);
+    // The streamer owns a recorder Arc and the drain below needs the
+    // recorder unique, so the join happens before any telemetry work —
+    // and before bailing on a failed shutdown wait.
+    if let Some(streamer) = streamer {
+        streamer.stop();
+    }
+    shutdown_outcome?;
 
     // Drain and ship the telemetry after the Shutdown barrier: the
     // coordinator only broadcasts it once *every* node has reported Done,
@@ -384,11 +488,10 @@ fn run_worker(
         let origin_us = recorder.origin_us() as f64;
         let recorder = Arc::try_unwrap(recorder).map_err(|_| "recorder still shared at drain".to_string())?;
         let mut telemetry = recorder.finish("proc");
-        remap_lock_wait_locations(&mut telemetry, &locations);
+        remap_lock_wait_locations(&mut telemetry.events, &global_of);
         cap_events(&mut telemetry, MAX_UPLOAD_EVENTS);
         let snapshot = TelemetrySnapshot::from_telemetry(telemetry, origin_us, offset_us).encode();
-        control
-            .send(&Message::TelemetryUpload { node: assignment.node as u32, snapshot })
+        send_ctl(control, &Message::TelemetryUpload { node: assignment.node as u32, snapshot })
             .map_err(|e| format!("uploading telemetry: {e}"))?;
     }
 
@@ -413,19 +516,93 @@ fn run_worker(
     let server_counters = server.join().unwrap_or_default();
 
     let metrics = compose_metrics(assignment, wall_seconds, &tallies, gateway_counters, server_counters);
-    control
-        .send(&Message::Metrics { node: assignment.node as u32, json: metrics.to_json().pretty() })
-        .map_err(|e| e.to_string())?;
+    send_ctl(control, &Message::Metrics { node: assignment.node as u32, json: metrics.to_json().pretty() })?;
     Ok(())
+}
+
+/// The worker's live-telemetry streamer: one background thread sampling
+/// the recorder into interval deltas and interleaving `Heartbeat` /
+/// `TelemetryDelta` frames on the shared control stream, from `Start`
+/// until [`Streamer::stop`].
+struct Streamer {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl Streamer {
+    fn spawn(
+        control: Arc<Mutex<FramedStream>>,
+        recorder: Arc<Recorder>,
+        global_of: Arc<HashMap<u64, u64>>,
+        node: u32,
+        interval: Duration,
+        offset_us: f64,
+        stall: Duration,
+    ) -> Streamer {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut sampler = DeltaSampler::new(recorder, offset_us);
+            let mut seq = 0u64;
+            // Injected initial silence (straggler tests only; zero in
+            // production runs), waited out in stop-aware ticks.
+            let stalled = Instant::now();
+            while stalled.elapsed() < stall {
+                if stop_flag.load(Ordering::Relaxed) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            'beats: loop {
+                // Sleep out the interval in short ticks so a stop request
+                // never waits out a long interval.
+                let tick_started = Instant::now();
+                while tick_started.elapsed() < interval {
+                    if stop_flag.load(Ordering::Relaxed) {
+                        break 'beats;
+                    }
+                    std::thread::sleep(Duration::from_millis(5).min(interval));
+                }
+                if stop_flag.load(Ordering::Relaxed) {
+                    break;
+                }
+                let mut delta = sampler.sample();
+                remap_lock_wait_locations(&mut delta.events, &global_of);
+                if delta.events.len() > MAX_DELTA_EVENTS {
+                    let excess = delta.events.len() - MAX_DELTA_EVENTS;
+                    delta.events.drain(..excess);
+                    delta.dropped += excess as u64;
+                }
+                let Ok(mut stream) = control.lock() else { break };
+                if stream.send(&Message::Heartbeat { node, seq }).is_err() {
+                    break; // coordinator gone: the main thread will fail too
+                }
+                if !delta.is_empty()
+                    && stream.send(&Message::TelemetryDelta { node, delta: delta.encode() }).is_err()
+                {
+                    break;
+                }
+                drop(stream);
+                seq += 1;
+            }
+        });
+        Streamer { stop, handle }
+    }
+
+    /// Signals the streaming thread and joins it, releasing its recorder
+    /// Arc so the caller can drain.
+    fn stop(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = self.handle.join();
+    }
 }
 
 /// Rewrites the `location` of core-emitted `LockWait` events from the
 /// process-local `LocationId` to the global task index, so merged
 /// timelines speak one location namespace.  (The wire-level
 /// request/grant/release events already carry global indices.)
-fn remap_lock_wait_locations(t: &mut RunTelemetry, locations: &HashMap<u64, Arc<Location<u64>>>) {
-    let global_of: HashMap<u64, u64> = locations.iter().map(|(&task, loc)| (loc.id().0, task)).collect();
-    for ev in &mut t.events {
+fn remap_lock_wait_locations(events: &mut [ObsEvent], global_of: &HashMap<u64, u64>) {
+    for ev in events {
         if let EventKind::LockWait { location, .. } = &mut ev.kind {
             if let Some(&task) = global_of.get(location) {
                 *location = task;

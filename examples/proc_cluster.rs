@@ -23,12 +23,29 @@
 //! per worker track, and `merged.trace.json` (a Chrome trace with one
 //! Perfetto process per track).  Feed `merged.obs.json` to the
 //! `obs_report` bin for the contention table.
+//!
+//! With `--live` (optionally `--interval-ms N`, default 100) the
+//! hierarchical run additionally streams telemetry *mid-run*: every
+//! worker heartbeats each interval and ships an interval delta, and a
+//! text ticker prints the per-node rates as they arrive, plus straggler
+//! flags for nodes whose heartbeats stall:
+//!
+//! ```sh
+//! cargo run --release --example proc_cluster -- 4 --live
+//! cargo run --release --example proc_cluster -- 2 --live --interval-ms 50
+//! ```
+//!
+//! Live runs use a longer schedule so the run spans many intervals; the
+//! merged post-run document is identical either way (streamed deltas are
+//! folded back into the final upload, deduplicated by event sequence).
 
 use orwl_lab::{ScenarioFamily, ScenarioSpec};
 use orwl_obs::export::{validate_chrome_trace, validate_obs};
 use orwl_obs::merge::split_tracks;
 use orwl_obs::{ObsConfig, RunTelemetry, ToJson};
+use orwl_proc::{LiveConfig, LiveEvent};
 use orwl_repro::{ClusterBackend, ClusterMachine, Policy, ProcBackend, Session};
+use std::time::Duration;
 
 fn session(
     machine: &ClusterMachine,
@@ -71,21 +88,63 @@ fn write_obs_artifacts(dir: &str, merged: &RunTelemetry) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--live` text ticker: one line per interval delta with that
+/// node's rates, plus straggler / recovery / completion flags.
+fn live_ticker(event: &LiveEvent) {
+    match event {
+        LiveEvent::Heartbeat { .. } => {}
+        LiveEvent::Delta { node, bytes, stats } => {
+            let fabric: u64 = stats.fabric_bytes.iter().sum();
+            println!(
+                "[live] node{node} interval: {} events, {} grants, lock-wait {:.2} ms, fabric {} B ({} B streamed)",
+                stats.events,
+                stats.grants,
+                stats.lock_wait_ns as f64 / 1e6,
+                fabric,
+                bytes,
+            );
+        }
+        LiveEvent::Straggler { node, silent_for, missed } => {
+            println!(
+                "[live] node{node} straggler: silent for {:.0} ms (~{missed} heartbeat intervals missed)",
+                silent_for.as_secs_f64() * 1e3,
+            );
+        }
+        LiveEvent::Recovered { node } => println!("[live] node{node} recovered"),
+        LiveEvent::Done { node } => println!("[live] node{node} done"),
+    }
+}
+
 fn main() {
     orwl_proc::maybe_worker(); // worker re-entry point: must run first
 
     let mut n_nodes: usize = 2;
     let mut obs_dir: Option<String> = None;
+    let mut live = false;
+    let mut interval_ms: u64 = 100;
+    let mut iters: Option<usize> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--obs-dir" => obs_dir = Some(it.next().expect("--obs-dir expects a directory")),
-            other => n_nodes = other.parse().expect("expected a node count or --obs-dir DIR"),
+            "--live" => live = true,
+            "--interval-ms" => {
+                interval_ms =
+                    it.next().and_then(|v| v.parse().ok()).expect("--interval-ms expects a positive integer")
+            }
+            "--iters" => {
+                iters =
+                    Some(it.next().and_then(|v| v.parse().ok()).expect("--iters expects a positive integer"))
+            }
+            other => n_nodes = other.parse().expect("expected a node count, --live, or --obs-dir DIR"),
         }
     }
     let machine = ClusterMachine::paper(n_nodes);
     let tasks = 16 * n_nodes;
-    let spec = ScenarioSpec::new(ScenarioFamily::DenseStencil, tasks, 1).with_phases(vec![2]);
+    // Live runs default to a longer schedule so the run genuinely spans
+    // several heartbeat intervals — the point is watching it mid-flight.
+    let iterations = iters.unwrap_or(if live { 3000 } else { 2 });
+    let spec = ScenarioSpec::new(ScenarioFamily::DenseStencil, tasks, 1).with_phases(vec![iterations]);
     println!("{}", orwl_repro::banner());
     println!(
         "proc backend: {} worker processes x {} PUs, {} tasks ({})",
@@ -107,11 +166,29 @@ fn main() {
             .fabric
             .expect("cluster reports carry the fabric split")
             .inter_node_bytes;
-        let observed = obs_dir.is_some() && policy == Policy::Hierarchical;
-        let report = session(&machine, policy, ProcBackend::new(machine.clone()), observed)
+        let observed = (obs_dir.is_some() || live) && policy == Policy::Hierarchical;
+        let mut backend = ProcBackend::new(machine.clone());
+        if live && observed {
+            backend = backend
+                .with_live(LiveConfig::new(Duration::from_millis(interval_ms)).with_on_event(live_ticker));
+        }
+        let report = session(&machine, policy, backend, observed)
             .run(spec.workload())
             .expect("the multi-process run completes");
-        if observed {
+        if live && observed {
+            let merged = report.obs.as_ref().expect("observed runs carry telemetry");
+            let count =
+                |name: &str| merged.metrics.counters.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v);
+            println!(
+                "[live] summary: {} heartbeats, {} deltas ({} B streamed), {} straggler flags, {} duplicate deltas",
+                count("live.heartbeats"),
+                count("live.deltas"),
+                count("live.delta_bytes"),
+                count("live.stragglers_flagged"),
+                count("live.duplicate_deltas"),
+            );
+        }
+        if obs_dir.is_some() && observed {
             let dir = obs_dir.as_deref().expect("observed implies a directory");
             let merged = report.obs.as_ref().expect("observed runs carry telemetry");
             write_obs_artifacts(dir, merged).expect("telemetry artifacts validate and write");
