@@ -27,9 +27,11 @@ pub mod drift;
 pub mod engine;
 pub mod online;
 pub mod replace;
+pub mod reshard;
 
 pub use backend::SimBackend;
 pub use drift::{DriftConfig, DriftDetector, DriftObservation};
 pub use engine::{adaptive_session_spec, AdaptConfig, AdaptiveEngine, EpochRecord};
 pub use online::OnlineCommMatrix;
 pub use replace::{Decision, KeepReason, MigrationCostModel, Replacer, ReplacerConfig};
+pub use reshard::{reshard_after_loss, ReshardPlan};

@@ -56,4 +56,4 @@ pub use backend::ClusterBackend;
 pub use exec::{simulate_cluster, ClusterSimReport};
 pub use machine::ClusterMachine;
 pub use metrics::{cluster_cost, inter_node_bytes, split_hop_bytes};
-pub use placement::{hierarchical_placement, policy_placement, ClusterPlacement};
+pub use placement::{hierarchical_placement, policy_placement, reshard_after_node_loss, ClusterPlacement};

@@ -117,6 +117,48 @@ pub fn hierarchical_placement(machine: &ClusterMachine, m: &CommMatrix) -> Clust
     }
 }
 
+/// Re-homes a dead node's tasks onto the survivors — the cluster-level
+/// entry to [`orwl_adapt::reshard_after_loss`], with the attraction
+/// weights derived from the *shrunk* topology
+/// ([`ClusterTopology::without_node`](orwl_topo::cluster::ClusterTopology::without_node)):
+/// a survivor in the same rack as a traffic partner attracts more than
+/// one across the spine, under the post-loss rack layout (a loss that
+/// empties a rack collapses its fabric distances).  Only the dead node's
+/// shard moves; survivors keep their tasks and node indices.  `down`
+/// names nodes lost in earlier episodes: they host nothing any more but
+/// must never be offered as a home again.
+///
+/// # Panics
+/// Panics when `dead` is out of range or the cluster has no survivor.
+#[must_use]
+pub fn reshard_after_node_loss(
+    machine: &ClusterMachine,
+    m: &CommMatrix,
+    node_of_task: &[usize],
+    dead: usize,
+    down: &[usize],
+) -> orwl_adapt::ReshardPlan {
+    use orwl_topo::cluster::FabricClass;
+    let cluster = machine.cluster();
+    let shrunk = cluster.without_node(dead).expect("a reshard needs at least one survivor");
+    // Survivors keep their relative order in the shrunk cluster, so the
+    // original index maps by rank among survivors.
+    let shrunk_of = |node: usize| if node < dead { node } else { node - 1 };
+    let same_rack = machine.fabric().per_byte(FabricClass::SameRack);
+    let affinity = move |a: usize, b: usize| {
+        if a == b {
+            return 1.0;
+        }
+        let class = if shrunk.rack_of_node(shrunk_of(a)) == shrunk.rack_of_node(shrunk_of(b)) {
+            FabricClass::SameRack
+        } else {
+            FabricClass::CrossRack
+        };
+        1.0 / (1.0 + machine.fabric().per_byte(class) / same_rack)
+    };
+    orwl_adapt::reshard_after_loss(m, node_of_task, cluster.n_nodes(), dead, down, &affinity)
+}
+
 /// The two-level placement any `policy` produces on `machine` — the
 /// shared node-sharding step of the cluster-simulator and multi-process
 /// backends, so both lay the same tasks on the same nodes and the
@@ -227,6 +269,25 @@ mod tests {
         let c = policy_placement(&machine, Policy::NoBind, 0, 7, &m);
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn node_loss_reshard_moves_only_the_dead_shard() {
+        let machine = ClusterMachine::paper(4);
+        let m = patterns::clustered(4, 9, 1000.0, 1.0);
+        let p = hierarchical_placement(&machine, &m);
+        let dead = p.node_of_task[0];
+        let plan = reshard_after_node_loss(&machine, &m, &p.node_of_task, dead, &[]);
+        assert_eq!(plan.dead, dead);
+        assert!(!plan.migrated_tasks.is_empty());
+        assert!(!plan.node_of_task.contains(&dead), "the dead node must host nothing");
+        for (t, &node) in p.node_of_task.iter().enumerate() {
+            if node != dead {
+                assert_eq!(plan.node_of_task[t], node, "survivor task {t} must not move");
+            }
+        }
+        // Deterministic: the same loss re-shards the same way.
+        assert_eq!(plan, reshard_after_node_loss(&machine, &m, &p.node_of_task, dead, &[]));
     }
 
     #[test]

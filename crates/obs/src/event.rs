@@ -254,6 +254,24 @@ pub enum EventKind {
         /// release).
         held_ns: u64,
     },
+    /// A node was confirmed dead mid-run (emitted on the coordinator's
+    /// track when the kill-confirmation budget fires).  Opens the
+    /// degradation window that the matching [`EventKind::Recovery`]
+    /// closes.
+    NodeLoss {
+        /// The node that died.
+        node: u32,
+        /// Tasks orphaned by the loss.
+        tasks_lost: usize,
+    },
+    /// Survivors resumed under a re-shard after a node loss (emitted on
+    /// the coordinator's track when the resume barrier clears).
+    Recovery {
+        /// The node whose loss this recovery answers.
+        node: u32,
+        /// Orphaned tasks re-homed onto survivors.
+        tasks_migrated: usize,
+    },
 }
 
 impl EventKind {
@@ -271,6 +289,8 @@ impl EventKind {
             EventKind::LockRequest { .. } => "lock_request",
             EventKind::LockGrant { .. } => "lock_grant",
             EventKind::LockRelease { .. } => "lock_release",
+            EventKind::NodeLoss { .. } => "node_loss",
+            EventKind::Recovery { .. } => "recovery",
         }
     }
 
@@ -288,6 +308,8 @@ impl EventKind {
             EventKind::LockRequest { .. } => EventClass::LockRequest,
             EventKind::LockGrant { .. } => EventClass::LockGrant,
             EventKind::LockRelease { .. } => EventClass::LockRelease,
+            EventKind::NodeLoss { .. } => EventClass::NodeLoss,
+            EventKind::Recovery { .. } => EventClass::Recovery,
         }
     }
 }
@@ -317,11 +339,15 @@ pub enum EventClass {
     LockGrant,
     /// [`EventKind::LockRelease`].
     LockRelease,
+    /// [`EventKind::NodeLoss`].
+    NodeLoss,
+    /// [`EventKind::Recovery`].
+    Recovery,
 }
 
 impl EventClass {
     /// Every event class, in declaration order.
-    pub const ALL: [EventClass; 10] = [
+    pub const ALL: [EventClass; 12] = [
         EventClass::Epoch,
         EventClass::PlacementSolve,
         EventClass::DriftDecision,
@@ -332,6 +358,8 @@ impl EventClass {
         EventClass::LockRequest,
         EventClass::LockGrant,
         EventClass::LockRelease,
+        EventClass::NodeLoss,
+        EventClass::Recovery,
     ];
 
     /// Stable artifact name (matches [`EventKind::name`]).
@@ -348,6 +376,8 @@ impl EventClass {
             EventClass::LockRequest => "lock_request",
             EventClass::LockGrant => "lock_grant",
             EventClass::LockRelease => "lock_release",
+            EventClass::NodeLoss => "node_loss",
+            EventClass::Recovery => "recovery",
         }
     }
 
@@ -401,6 +431,8 @@ mod tests {
         assert_eq!(EventKind::LockRequest { rseq: 1, location: 2, owner: 0 }.name(), "lock_request");
         assert_eq!(EventKind::LockGrant { rseq: 1, location: 2, wait_ns: 3 }.name(), "lock_grant");
         assert_eq!(EventKind::LockRelease { rseq: 1, location: 2, held_ns: 3 }.name(), "lock_release");
+        assert_eq!(EventKind::NodeLoss { node: 1, tasks_lost: 9 }.name(), "node_loss");
+        assert_eq!(EventKind::Recovery { node: 1, tasks_migrated: 9 }.name(), "recovery");
     }
 
     #[test]
@@ -451,6 +483,8 @@ mod tests {
             EventClass::LockRequest => EventKind::LockRequest { rseq: 0, location: 0, owner: 0 },
             EventClass::LockGrant => EventKind::LockGrant { rseq: 0, location: 0, wait_ns: 0 },
             EventClass::LockRelease => EventKind::LockRelease { rseq: 0, location: 0, held_ns: 0 },
+            EventClass::NodeLoss => EventKind::NodeLoss { node: 0, tasks_lost: 0 },
+            EventClass::Recovery => EventKind::Recovery { node: 0, tasks_migrated: 0 },
         }
     }
 }

@@ -50,6 +50,12 @@ fn event_to_json(ev: &ObsEvent) -> Json {
         EventKind::LockRelease { rseq, location, held_ns } => {
             j.push("rseq", rseq).push("location", location).push("held_ns", held_ns);
         }
+        EventKind::NodeLoss { node, tasks_lost } => {
+            j.push("node", u64::from(node)).push("tasks_lost", tasks_lost);
+        }
+        EventKind::Recovery { node, tasks_migrated } => {
+            j.push("node", u64::from(node)).push("tasks_migrated", tasks_migrated);
+        }
     }
     j
 }
@@ -163,6 +169,8 @@ impl RunTelemetry {
                 EventKind::LockRequest { location, .. } => format!("lock-request L{location}"),
                 EventKind::LockGrant { location, .. } => format!("lock-grant L{location}"),
                 EventKind::LockRelease { location, .. } => format!("lock-release L{location}"),
+                EventKind::NodeLoss { node, .. } => format!("node-loss N{node}"),
+                EventKind::Recovery { node, .. } => format!("recovery N{node}"),
             };
             let complete = matches!(ev.kind, EventKind::PlacementSolve { .. });
             let mut j = Json::obj();
@@ -338,6 +346,8 @@ pub fn validate_obs(doc: &Json) -> Result<(), String> {
             "lock_request" => &["rseq", "location", "owner"],
             "lock_grant" => &["rseq", "location", "wait_ns"],
             "lock_release" => &["rseq", "location", "held_ns"],
+            "node_loss" => &["node", "tasks_lost"],
+            "recovery" => &["node", "tasks_migrated"],
             other => return Err(format!("{at}: unknown kind {other:?}")),
         };
         for key in required {
@@ -470,6 +480,14 @@ fn event_from_json(ev: &Json, at: &str) -> Result<ObsEvent, String> {
             location: field_u64(ev, "location", at)?,
             held_ns: field_u64(ev, "held_ns", at)?,
         },
+        "node_loss" => EventKind::NodeLoss {
+            node: field_u64(ev, "node", at)? as u32,
+            tasks_lost: field_u64(ev, "tasks_lost", at)? as usize,
+        },
+        "recovery" => EventKind::Recovery {
+            node: field_u64(ev, "node", at)? as u32,
+            tasks_migrated: field_u64(ev, "tasks_migrated", at)? as usize,
+        },
         other => return Err(format!("{at}: unknown kind {other:?}")),
     };
     Ok(ObsEvent {
@@ -573,6 +591,8 @@ mod tests {
         rec.record(EventKind::LockRequest { rseq: (1 << 32) | 1, location: 4, owner: 0 });
         rec.record(EventKind::LockGrant { rseq: (1 << 32) | 1, location: 4, wait_ns: 2_000 });
         rec.record(EventKind::LockRelease { rseq: (1 << 32) | 1, location: 4, held_ns: 900 });
+        rec.record(EventKind::NodeLoss { node: 1, tasks_lost: 9 });
+        rec.record(EventKind::Recovery { node: 1, tasks_migrated: 9 });
         rec.finish("sim-test")
     }
 

@@ -365,6 +365,14 @@ impl Recorder {
             EventKind::LockRelease { held_ns, .. } => {
                 self.metrics.histogram("remote_held_ns").observe(*held_ns);
             }
+            EventKind::NodeLoss { tasks_lost, .. } => {
+                self.metrics.counter("node_losses").incr();
+                self.metrics.histogram("node_loss_tasks").observe(*tasks_lost as u64);
+            }
+            EventKind::Recovery { tasks_migrated, .. } => {
+                self.metrics.counter("recoveries").incr();
+                self.metrics.histogram("recovery_tasks_migrated").observe(*tasks_migrated as u64);
+            }
         }
     }
 

@@ -306,6 +306,16 @@ pub(crate) fn put_event(out: &mut Vec<u8>, ev: &ObsEvent) {
             out.extend_from_slice(&location.to_le_bytes());
             out.extend_from_slice(&held_ns.to_le_bytes());
         }
+        EventKind::NodeLoss { node, tasks_lost } => {
+            out.push(10);
+            out.extend_from_slice(&node.to_le_bytes());
+            out.extend_from_slice(&(tasks_lost as u64).to_le_bytes());
+        }
+        EventKind::Recovery { node, tasks_migrated } => {
+            out.push(11);
+            out.extend_from_slice(&node.to_le_bytes());
+            out.extend_from_slice(&(tasks_migrated as u64).to_le_bytes());
+        }
     }
 }
 
@@ -361,6 +371,8 @@ pub(crate) fn take_event(r: &mut Reader<'_>) -> Result<ObsEvent, SnapshotError> 
         7 => EventKind::LockRequest { rseq: r.u64()?, location: r.u64()?, owner: r.u32()? },
         8 => EventKind::LockGrant { rseq: r.u64()?, location: r.u64()?, wait_ns: r.u64()? },
         9 => EventKind::LockRelease { rseq: r.u64()?, location: r.u64()?, held_ns: r.u64()? },
+        10 => EventKind::NodeLoss { node: r.u32()?, tasks_lost: r.u64()? as usize },
+        11 => EventKind::Recovery { node: r.u32()?, tasks_migrated: r.u64()? as usize },
         got => return Err(SnapshotError::BadCode { field: "event tag", got }),
     };
     Ok(ObsEvent { ts_us, dur_us, seq, tid, track, kind })
@@ -436,6 +448,8 @@ mod tests {
         rec.record(EventKind::LockRequest { rseq: (2 << 32) | 7, location: 4, owner: 0 });
         rec.record(EventKind::LockGrant { rseq: (2 << 32) | 7, location: 4, wait_ns: 9_000 });
         rec.record(EventKind::LockRelease { rseq: (2 << 32) | 7, location: 4, held_ns: 700 });
+        rec.record(EventKind::NodeLoss { node: 1, tasks_lost: 9 });
+        rec.record(EventKind::Recovery { node: 1, tasks_migrated: 9 });
         rec.record_lock_wait(3, 60_000);
         let origin = rec.origin_us() as f64;
         TelemetrySnapshot::from_telemetry(rec.finish("proc"), origin, -123.5)
@@ -447,7 +461,7 @@ mod tests {
         let bytes = snap.encode();
         let back = TelemetrySnapshot::decode(&bytes).unwrap();
         assert_eq!(back, snap);
-        assert_eq!(back.events.len(), 10);
+        assert_eq!(back.events.len(), 12);
         assert_eq!(back.clock_offset_us, -123.5);
         assert_eq!(back.metrics.counter("remote_grants"), Some(1));
         assert!(back.metrics.histogram("lock_wait_ns").is_some());

@@ -16,6 +16,10 @@ use orwl_obs::{EventFilter, ObsConfig};
 /// Schema identifier of the assignment document.
 pub const ASSIGN_SCHEMA: &str = "orwl-proc-assign/v1";
 
+/// Schema identifier of the re-assignment document shipped after a node
+/// loss ([`Message::ReAssignment`](crate::wire::Message::ReAssignment)).
+pub const REASSIGN_SCHEMA: &str = "orwl-proc-reassign/v1";
+
 /// The observation request riding along in an assignment: the worker's
 /// recorder configuration plus the coordinator-side handshake timestamps
 /// the worker needs to estimate its clock offset (midpoint method — see
@@ -159,6 +163,13 @@ pub struct Assignment {
     pub phases: Vec<PhasePlan>,
     /// The observation request, when the run is observed.
     pub obs: Option<ObsSpec>,
+    /// Whether the coordinator may interrupt this run for node-loss
+    /// recovery: the worker then executes round-by-round, watching for
+    /// `Quiesce` frames between rounds, and parks instead of failing when
+    /// a peer read breaks.  `false` (the default, and what documents
+    /// written before recovery existed parse to) keeps the original
+    /// run-to-completion behaviour.
+    pub recovery: bool,
 }
 
 impl Assignment {
@@ -191,38 +202,11 @@ impl Assignment {
         doc.push("node_of_task", usize_arr(&self.node_of_task));
         doc.push("listen", self.listen.as_str());
         doc.push("peer_listen", Json::Arr(self.peer_listen.iter().map(|p| Json::Str(p.clone())).collect()));
-        doc.push(
-            "phases",
-            Json::Arr(
-                self.phases
-                    .iter()
-                    .map(|phase| {
-                        let mut p = Json::obj();
-                        p.push("iterations", phase.iterations);
-                        p.push(
-                            "reads",
-                            Json::Arr(
-                                phase
-                                    .reads
-                                    .iter()
-                                    .map(|r| {
-                                        Json::Arr(vec![
-                                            Json::from(r.reader),
-                                            Json::from(r.src),
-                                            Json::from(r.bytes),
-                                        ])
-                                    })
-                                    .collect(),
-                            ),
-                        );
-                        p
-                    })
-                    .collect(),
-            ),
-        );
+        doc.push("phases", phases_json(&self.phases));
         if let Some(obs) = &self.obs {
             doc.push("obs", obs.to_json());
         }
+        doc.push("recovery", self.recovery);
         doc
     }
 
@@ -262,34 +246,17 @@ impl Assignment {
                         .ok_or_else(|| "peer_listen entries must be strings".to_string())
                 })
                 .collect::<Result<_, String>>()?,
-            phases: req_arr(doc, "phases")?
-                .iter()
-                .enumerate()
-                .map(|(k, phase)| {
-                    Ok(PhasePlan {
-                        iterations: req_usize(phase, "iterations").map_err(|e| format!("phase {k}: {e}"))?,
-                        reads: req_arr(phase, "reads")
-                            .map_err(|e| format!("phase {k}: {e}"))?
-                            .iter()
-                            .map(|r| {
-                                let triple =
-                                    r.as_arr().ok_or("reads entries must be [reader, src, bytes]")?;
-                                match triple {
-                                    [reader, src, bytes] => Ok(ReadEdge {
-                                        reader: reader.as_f64().ok_or("reader must be a number")? as usize,
-                                        src: src.as_f64().ok_or("src must be a number")? as usize,
-                                        bytes: bytes.as_f64().ok_or("bytes must be a number")?,
-                                    }),
-                                    _ => Err("reads entries must be [reader, src, bytes]".to_string()),
-                                }
-                            })
-                            .collect::<Result<_, String>>()?,
-                    })
-                })
-                .collect::<Result<_, String>>()?,
+            phases: phases_from_json(doc)?,
             obs: match doc.get("obs") {
                 Some(obs) => Some(ObsSpec::from_json(obs).map_err(|e| format!("obs: {e}"))?),
                 None => None,
+            },
+            // Absent in documents written before recovery existed: parse
+            // tolerantly to "not interruptible" instead of rejecting.
+            recovery: match doc.get("recovery") {
+                Some(Json::Bool(b)) => *b,
+                Some(v) => return Err(format!("field \"recovery\" must be a boolean, got {v:?}")),
+                None => false,
             },
         };
         assignment.validate()?;
@@ -346,6 +313,152 @@ impl Assignment {
         }
         Ok(())
     }
+}
+
+/// The per-survivor recovery document a coordinator ships after a node
+/// loss is confirmed: the post-loss task routing, the tasks this worker
+/// adopts from the dead node, and the remaining read schedule for the
+/// adopted tasks.  Travels as the JSON payload of
+/// [`Message::ReAssignment`](crate::wire::Message::ReAssignment) under
+/// the versioned `orwl-proc-reassign/v1` schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReAssignment {
+    /// The receiving worker's node index.
+    pub node: usize,
+    /// The recovery round this document answers (matches the `Quiesce`
+    /// frame that opened it).
+    pub round: u32,
+    /// The node whose loss triggered this re-shard.
+    pub dead: usize,
+    /// The complete post-loss routing: node hosting each task.
+    pub node_of_task: Vec<usize>,
+    /// Global indices of the tasks this worker adopts from the dead node.
+    pub adopted: Vec<usize>,
+    /// The remaining read schedule for the adopted tasks only (survivor
+    /// tasks keep the schedules they already hold).
+    pub phases: Vec<PhasePlan>,
+}
+
+impl ReAssignment {
+    /// Serialises under the `orwl-proc-reassign/v1` schema.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::obj();
+        doc.push("schema", REASSIGN_SCHEMA);
+        doc.push("node", self.node);
+        doc.push("round", u64::from(self.round));
+        doc.push("dead", self.dead);
+        doc.push("node_of_task", usize_arr(&self.node_of_task));
+        doc.push("adopted", usize_arr(&self.adopted));
+        doc.push("phases", phases_json(&self.phases));
+        doc
+    }
+
+    /// Parses and validates a re-assignment document.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let schema = req_str(doc, "schema")?;
+        if schema != REASSIGN_SCHEMA {
+            return Err(format!("schema is {schema:?}, expected {REASSIGN_SCHEMA:?}"));
+        }
+        let reassignment = ReAssignment {
+            node: req_usize(doc, "node")?,
+            round: req_usize(doc, "round")? as u32,
+            dead: req_usize(doc, "dead")?,
+            node_of_task: usize_vec(doc, "node_of_task")?,
+            adopted: usize_vec(doc, "adopted")?,
+            phases: phases_from_json(doc)?,
+        };
+        reassignment.validate()?;
+        Ok(reassignment)
+    }
+
+    /// Structural consistency checks beyond field presence.
+    pub fn validate(&self) -> Result<(), String> {
+        let n_tasks = self.node_of_task.len();
+        if self.node_of_task.contains(&self.dead) {
+            return Err(format!("node_of_task still routes tasks to dead node {}", self.dead));
+        }
+        for &t in &self.adopted {
+            if t >= n_tasks {
+                return Err(format!("adopted task {t} out of range for {n_tasks} tasks"));
+            }
+            if self.node_of_task[t] != self.node {
+                return Err(format!(
+                    "adopted task {t} is routed to node {}, not the receiving node {}",
+                    self.node_of_task[t], self.node
+                ));
+            }
+        }
+        for (k, phase) in self.phases.iter().enumerate() {
+            for r in &phase.reads {
+                if r.reader >= n_tasks || r.src >= n_tasks {
+                    return Err(format!(
+                        "phase {k}: read edge ({}, {}) out of range for {n_tasks} tasks",
+                        r.reader, r.src
+                    ));
+                }
+                if !self.adopted.contains(&r.reader) {
+                    return Err(format!("phase {k}: read edge for task {} is not adopted", r.reader));
+                }
+                if !r.bytes.is_finite() || r.bytes < 0.0 {
+                    return Err(format!("phase {k}: read bytes {} are not a valid size", r.bytes));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn phases_json(phases: &[PhasePlan]) -> Json {
+    Json::Arr(
+        phases
+            .iter()
+            .map(|phase| {
+                let mut p = Json::obj();
+                p.push("iterations", phase.iterations);
+                p.push(
+                    "reads",
+                    Json::Arr(
+                        phase
+                            .reads
+                            .iter()
+                            .map(|r| {
+                                Json::Arr(vec![Json::from(r.reader), Json::from(r.src), Json::from(r.bytes)])
+                            })
+                            .collect(),
+                    ),
+                );
+                p
+            })
+            .collect(),
+    )
+}
+
+fn phases_from_json(doc: &Json) -> Result<Vec<PhasePlan>, String> {
+    req_arr(doc, "phases")?
+        .iter()
+        .enumerate()
+        .map(|(k, phase)| {
+            Ok(PhasePlan {
+                iterations: req_usize(phase, "iterations").map_err(|e| format!("phase {k}: {e}"))?,
+                reads: req_arr(phase, "reads")
+                    .map_err(|e| format!("phase {k}: {e}"))?
+                    .iter()
+                    .map(|r| {
+                        let triple = r.as_arr().ok_or("reads entries must be [reader, src, bytes]")?;
+                        match triple {
+                            [reader, src, bytes] => Ok(ReadEdge {
+                                reader: reader.as_f64().ok_or("reader must be a number")? as usize,
+                                src: src.as_f64().ok_or("src must be a number")? as usize,
+                                bytes: bytes.as_f64().ok_or("bytes must be a number")?,
+                            }),
+                            _ => Err("reads entries must be [reader, src, bytes]".to_string()),
+                        }
+                    })
+                    .collect::<Result<_, String>>()?,
+            })
+        })
+        .collect()
 }
 
 fn usize_arr(values: &[usize]) -> Json {
@@ -408,6 +521,21 @@ mod tests {
                 ],
             }],
             obs: None,
+            recovery: false,
+        }
+    }
+
+    fn sample_reassign() -> ReAssignment {
+        ReAssignment {
+            node: 0,
+            round: 1,
+            dead: 1,
+            node_of_task: vec![0, 0, 0, 0],
+            adopted: vec![2, 3],
+            phases: vec![PhasePlan {
+                iterations: 2,
+                reads: vec![ReadEdge { reader: 2, src: 1, bytes: 4096.0 }],
+            }],
         }
     }
 
@@ -489,5 +617,65 @@ mod tests {
         let mut short = sample();
         short.peer_listen.pop();
         assert!(short.validate().unwrap_err().contains("peer_listen"));
+    }
+
+    #[test]
+    fn recovery_flag_roundtrips_and_stays_optional() {
+        let mut a = sample();
+        a.recovery = true;
+        let parsed = Assignment::from_json(&Json::parse(&a.to_json().pretty()).unwrap()).unwrap();
+        assert!(parsed.recovery);
+
+        // A document written before recovery existed (no "recovery" key)
+        // parses to run-to-completion.
+        let mut old = sample().to_json();
+        if let Json::Obj(pairs) = &mut old {
+            pairs.retain(|(k, _)| k != "recovery");
+        }
+        let parsed = Assignment::from_json(&old).unwrap();
+        assert!(!parsed.recovery);
+
+        // A malformed flag is a loud error, not a silent default.
+        let mut bad = sample().to_json();
+        if let Json::Obj(pairs) = &mut bad {
+            for (k, v) in pairs.iter_mut() {
+                if k == "recovery" {
+                    *v = Json::Str("yes".to_string());
+                }
+            }
+        }
+        assert!(Assignment::from_json(&bad).unwrap_err().contains("recovery"));
+    }
+
+    #[test]
+    fn reassignment_roundtrip_is_lossless() {
+        let r = sample_reassign();
+        let parsed = ReAssignment::from_json(&Json::parse(&r.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn reassignment_structure_is_enforced() {
+        let mut wrong_schema = sample_reassign().to_json();
+        if let Json::Obj(pairs) = &mut wrong_schema {
+            pairs[0].1 = Json::Str("orwl-proc-reassign/v999".to_string());
+        }
+        assert!(ReAssignment::from_json(&wrong_schema).unwrap_err().contains("schema"));
+
+        // The post-loss routing must not route anything to the dead node.
+        let mut stale = sample_reassign();
+        stale.node_of_task[3] = 1;
+        assert!(stale.validate().unwrap_err().contains("dead node"));
+
+        // Adopted tasks must be routed to the receiving node.
+        let mut foreign = sample_reassign();
+        foreign.node_of_task = vec![0, 0, 2, 0];
+        assert!(foreign.validate().unwrap_err().contains("not the receiving node"));
+
+        // Read edges must belong to adopted tasks (survivor tasks keep
+        // their existing schedules).
+        let mut extra = sample_reassign();
+        extra.phases[0].reads.push(ReadEdge { reader: 0, src: 1, bytes: 8.0 });
+        assert!(extra.validate().unwrap_err().contains("not adopted"));
     }
 }

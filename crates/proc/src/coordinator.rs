@@ -95,6 +95,24 @@ impl WorkerChild {
     }
 }
 
+/// What one lossy poll attempt observed on a control connection.
+///
+/// [`WorkerPool::poll_from`] turns `Lost` into a fatal cascade failure;
+/// recovery-enabled coordinators use [`WorkerPool::poll_from_lossy`]
+/// directly so a lost node can trigger a re-shard instead of ending the
+/// run.
+#[derive(Debug)]
+pub enum Polled {
+    /// A whole message arrived.
+    Message(Message),
+    /// Nothing whole arrived within the slice; the worker may simply be
+    /// busy.
+    Silence,
+    /// The connection is gone (closed socket or receive error) — the
+    /// worker is lost, with the best available diagnosis attached.
+    Lost(String),
+}
+
 /// One run's worth of worker processes plus their control connections.
 pub struct WorkerPool {
     dir: PathBuf,
@@ -104,6 +122,7 @@ pub struct WorkerPool {
     hello_recv_us: Vec<u64>,
     io_timeout: Duration,
     stray: Vec<(usize, Message)>,
+    dead: Vec<bool>,
 }
 
 impl WorkerPool {
@@ -157,7 +176,34 @@ impl WorkerPool {
             hello_recv_us: vec![0; n_nodes],
             io_timeout,
             stray: Vec::new(),
+            dead: vec![false; n_nodes],
         })
+    }
+
+    /// True once `node` has been confirmed lost and written off — its
+    /// control connection dropped, its process reaped.  Dead nodes are
+    /// skipped by broadcasts, waits and auto-blame.
+    #[must_use]
+    pub fn is_dead(&self, node: usize) -> bool {
+        self.dead[node]
+    }
+
+    /// The OS process id of `node`'s worker (for signal-based tests).
+    #[must_use]
+    pub fn worker_pid(&self, node: usize) -> u32 {
+        self.children[node].child.id()
+    }
+
+    /// Writes `node` off as lost: kills and reaps its process, joins its
+    /// stderr tail, drops its control connection and marks it dead.
+    /// Returns the exit status (when the process already exited) and the
+    /// stderr tail, for the recovery telemetry.
+    pub fn confirm_loss(&mut self, node: usize) -> (Option<std::process::ExitStatus>, String) {
+        let status = self.children[node].poll_exit();
+        let tail = self.children[node].kill_and_tail();
+        self.controls[node] = None;
+        self.dead[node] = true;
+        (status.or(self.children[node].exit), tail)
     }
 
     /// The coordinator's process clock (µs) when `node`'s `Hello` arrived
@@ -182,12 +228,20 @@ impl WorkerPool {
 
     /// Kills every worker, joins the stderr tails and composes the typed
     /// failure for `node` (or the most informative node when `None`: the
-    /// first child that exited with a failure status, else node 0).
+    /// first still-credited child that exited with a failure status, else
+    /// node 0).  Nodes already written off by a completed recovery are
+    /// never auto-blamed — their deaths were already accounted for.
     pub fn fail(&mut self, node: Option<usize>, reason: impl Into<String>) -> WorkerFailure {
         let statuses: Vec<Option<std::process::ExitStatus>> =
             self.children.iter_mut().map(WorkerChild::poll_exit).collect();
-        let node =
-            node.or_else(|| statuses.iter().position(|s| s.is_some_and(|s| !s.success()))).unwrap_or(0);
+        let node = node
+            .or_else(|| {
+                statuses
+                    .iter()
+                    .enumerate()
+                    .position(|(n, s)| !self.dead[n] && s.is_some_and(|s| !s.success()))
+            })
+            .unwrap_or(0);
         let tails: Vec<String> = self.children.iter_mut().map(WorkerChild::kill_and_tail).collect();
         let mut detail = reason.into();
         if let Some(status) = statuses.get(node).copied().flatten() {
@@ -217,8 +271,9 @@ impl WorkerPool {
             if self.children[node].poll_exit().is_some_and(|s| !s.success()) {
                 break;
             }
-            root = (0..self.children.len())
-                .find(|&n| n != node && self.children[n].poll_exit().is_some_and(|s| !s.success()));
+            root = (0..self.children.len()).find(|&n| {
+                n != node && !self.dead[n] && self.children[n].poll_exit().is_some_and(|s| !s.success())
+            });
             if root.is_some() {
                 break;
             }
@@ -292,21 +347,27 @@ impl WorkerPool {
         self.children.get_mut(node).and_then(WorkerChild::poll_exit)
     }
 
-    /// Sends one message to `node`'s control connection.
+    /// Sends one message to `node`'s control connection.  The write is
+    /// deadline-bounded by the pool's io timeout, so a worker whose
+    /// socket buffer filled up (e.g. one that was SIGSTOPped mid-run)
+    /// stalls the coordinator for at most one timeout, never forever.
     pub fn send_to(&mut self, node: usize, message: &Message) -> Result<(), WorkerFailure> {
+        let io_timeout = self.io_timeout;
         let Some(control) = self.controls[node].as_mut() else {
             return Err(self.fail(Some(node), "no control connection"));
         };
-        if let Err(e) = control.send(message) {
+        if let Err(e) = control.send_with_deadline(message, io_timeout) {
             return Err(self.fail(Some(node), format!("control send failed: {e}")));
         }
         Ok(())
     }
 
-    /// Broadcasts one message to every worker.
+    /// Broadcasts one message to every live (not written-off) worker.
     pub fn broadcast(&mut self, message: &Message) -> Result<(), WorkerFailure> {
         for node in 0..self.children.len() {
-            self.send_to(node, message)?;
+            if !self.dead[node] {
+                self.send_to(node, message)?;
+            }
         }
         Ok(())
     }
@@ -319,6 +380,20 @@ impl WorkerPool {
     /// over every node multiplexes heartbeats, deltas and `Done` reports
     /// without parking the coordinator on any single worker.
     pub fn poll_from(&mut self, node: usize, slice: Duration) -> Result<Option<Message>, WorkerFailure> {
+        match self.poll_from_lossy(node, slice)? {
+            Polled::Message(message) => Ok(Some(message)),
+            Polled::Silence => Ok(None),
+            Polled::Lost(detail) => Err(self.fail_cascade(node, detail)),
+        }
+    }
+
+    /// The loss-tolerant poll underneath [`WorkerPool::poll_from`]: a
+    /// vanished connection comes back as [`Polled::Lost`] instead of
+    /// tearing the run down, so a recovery-enabled coordinator can
+    /// confirm the loss and re-shard.  A worker-*reported* error is still
+    /// fatal — the worker chose to fail, and the failure would recur on
+    /// any survivor.
+    pub fn poll_from_lossy(&mut self, node: usize, slice: Duration) -> Result<Polled, WorkerFailure> {
         let Some(control) = self.controls[node].as_mut() else {
             return Err(self.fail(Some(node), "no control connection"));
         };
@@ -326,18 +401,19 @@ impl WorkerPool {
             Ok(Message::Error { message }) => {
                 Err(self.fail_cascade(node, format!("worker reported: {message}")))
             }
-            Ok(message) => Ok(Some(message)),
-            Err(RecvError::Timeout) => Ok(None),
+            Ok(message) => Ok(Polled::Message(message)),
+            Err(RecvError::Timeout) => Ok(Polled::Silence),
             Err(RecvError::Closed) => {
+                // Drain the exit status first: a crash shows up as a closed
+                // socket, and the status is the useful part of the report.
                 std::thread::sleep(Duration::from_millis(20));
                 let status = self.children[node].poll_exit();
-                let detail = match status {
+                Ok(Polled::Lost(match status {
                     Some(status) => format!("worker exited ({status}) during the run"),
                     None => "worker closed its control connection during the run".to_string(),
-                };
-                Err(self.fail_cascade(node, detail))
+                }))
             }
-            Err(e) => Err(self.fail(Some(node), format!("control receive failed: {e}"))),
+            Err(e) => Ok(Polled::Lost(format!("control receive failed: {e}"))),
         }
     }
 
@@ -404,11 +480,15 @@ impl WorkerPool {
         }
     }
 
-    /// Waits for every worker to exit cleanly (deadline-bounded); a
-    /// non-zero exit or an overdue worker fails the run.
+    /// Waits for every live worker to exit cleanly (deadline-bounded); a
+    /// non-zero exit or an overdue worker fails the run.  Nodes written
+    /// off by recovery were already reaped and are skipped.
     pub fn wait_all(&mut self) -> Result<(), WorkerFailure> {
         let deadline = Instant::now() + self.io_timeout;
         for node in 0..self.children.len() {
+            if self.dead[node] {
+                continue;
+            }
             loop {
                 if let Some(status) = self.children[node].poll_exit() {
                     if status.success() {
@@ -428,6 +508,22 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
+        // Graceful first: SIGTERM everything still running, so a healthy
+        // worker gets to unwind (flush stderr, drop sockets) instead of
+        // dying mid-write.  A worker that ignores the courtesy — or one
+        // that is SIGSTOPped and cannot even see it — is SIGKILLed after
+        // a bounded grace, so teardown always completes.
+        for child in &mut self.children {
+            if child.poll_exit().is_none() {
+                unsafe {
+                    libc::kill(child.child.id() as libc::pid_t, libc::SIGTERM);
+                }
+            }
+        }
+        let grace = Instant::now() + Duration::from_millis(500);
+        while Instant::now() < grace && self.children.iter_mut().any(|c| c.poll_exit().is_none()) {
+            std::thread::sleep(Duration::from_millis(10));
+        }
         for child in &mut self.children {
             child.kill_and_tail();
         }

@@ -31,25 +31,30 @@
 pub mod assignment;
 pub mod coordinator;
 pub mod corr;
+pub mod fault;
 pub mod metrics;
 pub mod transport;
 pub mod wire;
 pub mod worker;
 
-pub use assignment::Assignment;
-pub use coordinator::{WorkerFailure, WorkerPool};
+pub use assignment::{Assignment, ReAssignment, REASSIGN_SCHEMA};
+pub use coordinator::{Polled, WorkerFailure, WorkerPool};
 pub use corr::{
     corr_document, deterministic_view, validate_corr, CorrRow, CORR_NONDETERMINISTIC, CORR_SCHEMA,
     CORR_TOLERANCE,
 };
+pub use fault::{Fault, FaultParseError, FaultPlan, ENV_FAULTS};
 pub use metrics::{WorkerMetrics, METRICS_SCHEMA};
 pub use worker::maybe_worker;
 
 use crate::assignment::{ObsSpec, PhasePlan, ReadEdge};
 use crate::wire::Message;
-use orwl_cluster::{inter_node_bytes, policy_placement, split_hop_bytes, ClusterMachine};
+use orwl_cluster::{
+    inter_node_bytes, policy_placement, reshard_after_node_loss, split_hop_bytes, ClusterMachine,
+};
 use orwl_core::error::{ConfigError, OrwlError};
 use orwl_core::placement::PlacementPlan;
+use orwl_core::runtime::AdaptReport;
 use orwl_core::session::{ClusterTraffic, ExecutionBackend, Mode, Report, RunTime, SessionConfig, Workload};
 use orwl_numasim::workload::PhasedWorkload;
 use orwl_obs::json::Json;
@@ -178,6 +183,9 @@ struct LiveMonitor<'a> {
     heartbeats: u64,
     delta_bytes: u64,
     stragglers_flagged: u64,
+    node_losses: u64,
+    reshards: u64,
+    tasks_migrated: u64,
 }
 
 impl<'a> LiveMonitor<'a> {
@@ -191,6 +199,9 @@ impl<'a> LiveMonitor<'a> {
             heartbeats: 0,
             delta_bytes: 0,
             stragglers_flagged: 0,
+            node_losses: 0,
+            reshards: 0,
+            tasks_migrated: 0,
         }
     }
 
@@ -253,13 +264,84 @@ impl<'a> LiveMonitor<'a> {
         metrics.counter("live.delta_bytes").add(self.delta_bytes);
         metrics.counter("live.stragglers_flagged").add(self.stragglers_flagged);
         metrics.counter("live.duplicate_deltas").add(self.aggregator.duplicates());
+        // Recovery counters appear only when a loss actually happened, so
+        // a fault-free run's telemetry is identical to a build without
+        // recovery enabled.
+        if self.node_losses > 0 {
+            metrics.counter("live.node_losses").add(self.node_losses);
+            metrics.counter("live.reshards").add(self.reshards);
+            metrics.counter("live.tasks_migrated").add(self.tasks_migrated);
+        }
     }
 }
 
+/// Configuration of failure-driven recovery: when a worker is confirmed
+/// lost mid-run (its process exited, its control socket closed, or it
+/// stayed silent past the kill-confirmation budget), the coordinator
+/// quiesces the survivors at their next iteration boundary, re-shards
+/// the lost node's tasks onto them ([`orwl_cluster::reshard_after_node_loss`] —
+/// only the affected shard moves) and resumes the run degraded.
+///
+/// Recovery requires live telemetry on an observed run
+/// ([`ProcBackend::with_live`] + `SessionConfig::observe`): loss
+/// detection rides the heartbeat stream, so a dark run has no liveness
+/// signal to act on and the config is ignored.
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// Heartbeat silence after which a node is declared dead (capped by
+    /// the backend's io timeout).  Process exit and socket closure are
+    /// confirmed immediately; the budget only gates the silent-hang case.
+    pub kill_confirmation: Duration,
+    /// Losses tolerated before the run fails anyway.  A loss *during*
+    /// recovery is always fatal, whatever the budget says.
+    pub max_node_losses: usize,
+}
+
+impl RecoveryConfig {
+    /// Replaces the heartbeat-silence budget before a node is declared
+    /// dead.
+    #[must_use]
+    pub fn with_kill_confirmation(mut self, kill_confirmation: Duration) -> Self {
+        self.kill_confirmation = kill_confirmation;
+        self
+    }
+
+    /// Replaces the number of node losses survived before failing.
+    #[must_use]
+    pub fn with_max_node_losses(mut self, max_node_losses: usize) -> Self {
+        self.max_node_losses = max_node_losses;
+        self
+    }
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig { kill_confirmation: Duration::from_secs(10), max_node_losses: 1 }
+    }
+}
+
+/// What the protocol's recovery machinery did, folded into the report's
+/// [`AdaptReport`] when any re-shard happened.  (The per-episode task
+/// counts travel as [`EventKind::Recovery`] events and `live.*` counters
+/// instead.)
+#[derive(Debug, Clone, Copy, Default)]
+struct RecoverySummary {
+    node_reshards: u64,
+}
+
+/// The coordinator's mutable recovery state across one run: the current
+/// routing table (updated by every re-shard) and the casualty list.
+struct RecoveryState {
+    cfg: RecoveryConfig,
+    node_of_task: Vec<usize>,
+    down: Vec<usize>,
+    round: u32,
+}
+
 /// What a completed control protocol hands back: the wall-clocked
-/// execution span, one metrics document per worker, and (observed runs
-/// only) the per-node telemetry snapshots.
-type ProtocolOutcome = (Duration, Vec<WorkerMetrics>, Vec<(u32, TelemetrySnapshot)>);
+/// execution span, one metrics document per worker, (observed runs
+/// only) the per-node telemetry snapshots, and the recovery summary.
+type ProtocolOutcome = (Duration, Vec<WorkerMetrics>, Vec<(u32, TelemetrySnapshot)>, RecoverySummary);
 
 /// The multi-process cluster executor as a `Session` backend: one OS
 /// process per node of the wrapped [`ClusterMachine`], the ORWL lock
@@ -272,6 +354,8 @@ pub struct ProcBackend {
     worker_args: Vec<String>,
     worker_env: Vec<(String, String)>,
     live: Option<LiveConfig>,
+    faults: FaultPlan,
+    recovery: Option<RecoveryConfig>,
 }
 
 impl ProcBackend {
@@ -285,6 +369,8 @@ impl ProcBackend {
             worker_args: Vec::new(),
             worker_env: Vec::new(),
             live: None,
+            faults: FaultPlan::new(),
+            recovery: None,
         }
     }
 
@@ -305,11 +391,29 @@ impl ProcBackend {
         self
     }
 
-    /// Adds an environment variable to every spawned worker (the
-    /// robustness tests use this to inject failures).
+    /// Adds an environment variable to every spawned worker.
     #[must_use]
     pub fn with_worker_env(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
         self.worker_env.push((key.into(), value.into()));
+        self
+    }
+
+    /// Installs a fault-injection plan: the typed chaos knob the
+    /// robustness tests turn.  The plan ships to every worker through the
+    /// [`ENV_FAULTS`] environment variable; each clause names the node it
+    /// hits, so one plan describes the whole cluster's chaos.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Enables failure-driven recovery: a confirmed node loss re-shards
+    /// the lost tasks onto the survivors instead of failing the run.
+    /// Takes effect only on live observed runs (see [`RecoveryConfig`]).
+    #[must_use]
+    pub fn with_recovery(mut self, recovery: RecoveryConfig) -> Self {
+        self.recovery = Some(recovery);
         self
     }
 
@@ -357,6 +461,7 @@ impl ProcBackend {
         workload: &PhasedWorkload,
         node_of_task: &[usize],
         pool: &WorkerPool,
+        recovering: bool,
     ) -> Vec<Assignment> {
         let cluster = self.machine.cluster();
         let n_nodes = cluster.n_nodes();
@@ -383,6 +488,7 @@ impl ProcBackend {
                 node_of_task: node_of_task.to_vec(),
                 listen: peer_listen[node].clone(),
                 peer_listen: peer_listen.clone(),
+                recovery: recovering,
                 phases: workload
                     .phases
                     .iter()
@@ -417,11 +523,19 @@ impl ProcBackend {
         observe: Option<&ObsConfig>,
         recorder: Option<&Recorder>,
     ) -> Result<ProtocolOutcome, WorkerFailure> {
-        let mut assignments = self.assignments(workload, node_of_task, &pool);
-        let n_nodes = assignments.len();
         // Live streaming needs a worker recorder to drain, so the live
-        // config takes effect only on observed runs.
+        // config takes effect only on observed runs.  Recovery in turn
+        // needs the heartbeat stream as its liveness signal, so it takes
+        // effect only on live runs.
         let live = self.live.as_ref().filter(|_| observe.is_some());
+        let mut recovery = live.and(self.recovery.as_ref()).map(|cfg| RecoveryState {
+            cfg: cfg.clone(),
+            node_of_task: node_of_task.to_vec(),
+            down: Vec::new(),
+            round: 0,
+        });
+        let mut assignments = self.assignments(workload, node_of_task, &pool, recovery.is_some());
+        let n_nodes = assignments.len();
         pool.accept_controls()?;
         for (node, assignment) in assignments.iter_mut().enumerate() {
             // The obs spec is stamped per node at send time: it carries
@@ -449,7 +563,9 @@ impl ProcBackend {
                     pool.recv_from(node, "done")?;
                 }
             }
-            Some(monitor) => self.monitor_run(&mut pool, monitor, n_nodes)?,
+            Some(monitor) => {
+                self.monitor_run(&mut pool, monitor, n_nodes, workload, &mut recovery, recorder)?;
+            }
         }
         let elapsed = started.elapsed();
         // Shutdown is broadcast *before* collecting telemetry: once every
@@ -460,7 +576,12 @@ impl ProcBackend {
         pool.broadcast(&Message::Shutdown)?;
         let mut uploads = Vec::new();
         if observe.is_some() {
-            for node in 0..n_nodes {
+            // A lost node uploads nothing: its telemetry died with it.
+            // (Its pre-loss streamed deltas have no snapshot to fold
+            // into, so they survive only as live counters — documented
+            // in DESIGN.md's recovery limits.)
+            let alive: Vec<usize> = (0..n_nodes).filter(|&node| !pool.is_dead(node)).collect();
+            for node in alive {
                 let Message::TelemetryUpload { node: from, snapshot } =
                     pool.recv_from(node, "telemetry_upload")?
                 else {
@@ -502,7 +623,8 @@ impl ProcBackend {
             }
         }
         let mut metrics = Vec::with_capacity(n_nodes);
-        for node in 0..n_nodes {
+        let alive: Vec<usize> = (0..n_nodes).filter(|&node| !pool.is_dead(node)).collect();
+        for node in alive {
             let Message::Metrics { json, .. } = pool.recv_from(node, "metrics")? else {
                 unreachable!("recv_from returns the requested kind");
             };
@@ -515,7 +637,10 @@ impl ProcBackend {
             }
         }
         pool.wait_all()?;
-        Ok((elapsed, metrics, uploads))
+        let summary = recovery
+            .map(|state| RecoverySummary { node_reshards: state.down.len() as u64 })
+            .unwrap_or_default();
+        Ok((elapsed, metrics, uploads, summary))
     }
 
     /// The live done-wait: round-robins a short-slice poll over every
@@ -524,17 +649,26 @@ impl ProcBackend {
     /// Silence on one node never parks the coordinator — each cycle ends
     /// with a straggler sweep, and a node with no control traffic for the
     /// whole io timeout (heartbeats reset the clock) fails the run.
+    ///
+    /// With recovery enabled, a confirmed loss (socket closed + process
+    /// reaped, observed exit, or silence past the kill-confirmation
+    /// budget) triggers [`ProcBackend::recover`] instead of failing,
+    /// while the loss budget lasts.
+    #[allow(clippy::too_many_lines)]
     fn monitor_run(
         &self,
         pool: &mut WorkerPool,
         monitor: &mut LiveMonitor<'_>,
         n_nodes: usize,
+        workload: &PhasedWorkload,
+        recovery: &mut Option<RecoveryState>,
+        recorder: Option<&Recorder>,
     ) -> Result<(), WorkerFailure> {
         let mut done = vec![false; n_nodes];
         let mut last_activity = vec![Instant::now(); n_nodes];
-        while done.iter().any(|&d| !d) {
+        while (0..n_nodes).any(|node| !done[node] && !pool.is_dead(node)) {
             for node in 0..n_nodes {
-                if done[node] {
+                if done[node] || pool.is_dead(node) {
                     continue;
                 }
                 // Drain what this node has buffered, then move on.  Both
@@ -543,47 +677,244 @@ impl ProcBackend {
                 // peer beating faster than the slice cannot capture it —
                 // either way every node is visited (and the straggler
                 // clock consulted) several times per heartbeat interval.
+                let mut lost: Option<String> = None;
                 let mut drained = 0;
                 while drained < 64 {
-                    let Some(message) = pool.poll_from(node, Duration::from_millis(5))? else {
-                        break;
-                    };
-                    drained += 1;
-                    last_activity[node] = Instant::now();
-                    match message {
-                        Message::Done { .. } => {
-                            done[node] = true;
-                            monitor.done(node);
+                    match pool.poll_from_lossy(node, Duration::from_millis(5))? {
+                        Polled::Silence => break,
+                        Polled::Lost(detail) => {
+                            lost = Some(detail);
                             break;
                         }
-                        Message::Heartbeat { seq, .. } => monitor.heartbeat(node, seq),
-                        Message::TelemetryDelta { delta, .. } => {
-                            monitor.delta(node, &delta).map_err(|e| pool.fail(Some(node), e))?;
-                        }
-                        other => {
-                            return Err(pool.fail(Some(node), format!("expected done, got {}", other.name())));
+                        Polled::Message(message) => {
+                            drained += 1;
+                            last_activity[node] = Instant::now();
+                            match message {
+                                Message::Done { .. } => {
+                                    done[node] = true;
+                                    monitor.done(node);
+                                    break;
+                                }
+                                Message::Heartbeat { seq, .. } => monitor.heartbeat(node, seq),
+                                Message::TelemetryDelta { delta, .. } => {
+                                    monitor.delta(node, &delta).map_err(|e| pool.fail(Some(node), e))?;
+                                }
+                                other => {
+                                    return Err(
+                                        pool.fail(Some(node), format!("expected done, got {}", other.name()))
+                                    );
+                                }
+                            }
                         }
                     }
                 }
                 if done[node] {
                     continue;
                 }
-                if let Some(status) = pool.worker_exited(node) {
-                    return Err(pool.fail_cascade(
-                        node,
-                        format!("worker exited ({status}) while the coordinator awaited done"),
-                    ));
+                let can_recover = recovery.as_ref().is_some_and(|s| s.down.len() < s.cfg.max_node_losses);
+                // Loss is confirmed three ways, cheapest signal first:
+                // the control socket closed under a read, the child
+                // process is observably gone, or the node stayed silent
+                // past the confirmation budget.
+                if lost.is_none() {
+                    if let Some(status) = pool.worker_exited(node) {
+                        lost = Some(format!("worker exited ({status}) while the coordinator awaited done"));
+                    }
                 }
-                if last_activity[node].elapsed() >= self.io_timeout {
-                    return Err(pool.fail(
-                        Some(node),
-                        "timed out waiting for done (no heartbeat within the io timeout)",
-                    ));
+                if lost.is_none() {
+                    let budget = match recovery.as_ref() {
+                        Some(state) if can_recover => state.cfg.kill_confirmation.min(self.io_timeout),
+                        _ => self.io_timeout,
+                    };
+                    if last_activity[node].elapsed() >= budget {
+                        if can_recover {
+                            lost = Some(format!(
+                                "no control traffic for {budget:?} (the kill-confirmation budget)"
+                            ));
+                        } else {
+                            return Err(pool.fail(
+                                Some(node),
+                                "timed out waiting for done (no heartbeat within the io timeout)",
+                            ));
+                        }
+                    }
+                }
+                if let Some(detail) = lost {
+                    if !can_recover {
+                        return Err(pool.fail_cascade(node, detail));
+                    }
+                    let state = recovery.as_mut().expect("can_recover implies recovery state");
+                    self.recover(
+                        pool,
+                        monitor,
+                        state,
+                        workload,
+                        node,
+                        &detail,
+                        &mut done,
+                        &mut last_activity,
+                        recorder,
+                    )?;
                 }
             }
-            monitor.check_stragglers(&done);
+            let settled: Vec<bool> = (0..n_nodes).map(|n| done[n] || pool.is_dead(n)).collect();
+            monitor.check_stragglers(&settled);
         }
         Ok(())
+    }
+
+    /// One recovery episode: confirm the loss, quiesce the survivors at
+    /// their next iteration boundary, re-shard the dead node's tasks onto
+    /// them (only the affected shard moves), ship each survivor its
+    /// [`ReAssignment`], and resume.  The quiesce/ack/ready/resume
+    /// exchange is a barrier: no survivor computes while the routing
+    /// table is inconsistent.
+    #[allow(clippy::too_many_arguments)]
+    fn recover(
+        &self,
+        pool: &mut WorkerPool,
+        monitor: &mut LiveMonitor<'_>,
+        state: &mut RecoveryState,
+        workload: &PhasedWorkload,
+        dead: usize,
+        detail: &str,
+        done: &mut [bool],
+        last_activity: &mut [Instant],
+        recorder: Option<&Recorder>,
+    ) -> Result<(), WorkerFailure> {
+        let n_nodes = done.len();
+        let tasks_lost = state.node_of_task.iter().filter(|&&n| n == dead).count();
+        // Confirm first: reap (or kill) the child and drop its control
+        // connection, so nothing below can block on the dead node.
+        let (_status, _stderr_tail) = pool.confirm_loss(dead);
+        if let Some(recorder) = recorder {
+            recorder.record(EventKind::NodeLoss { node: dead as u32, tasks_lost });
+        }
+        let alive: Vec<usize> = (0..n_nodes).filter(|&n| !pool.is_dead(n)).collect();
+        if alive.is_empty() {
+            return Err(
+                pool.fail(Some(dead), format!("node lost with no survivors to re-shard onto ({detail})"))
+            );
+        }
+        state.round += 1;
+        let round = state.round;
+        pool.broadcast(&Message::Quiesce { round })?;
+        for &node in &alive {
+            self.await_recovery_frame(pool, monitor, node, "quiesce_ack", round, done)?;
+        }
+        // The same shard-migration step the simulator and the unit tests
+        // exercise: survivors keep their tasks, orphans follow their
+        // traffic partners under the capacity bound.
+        let m = workload.phases[0].graph.comm_matrix();
+        let plan = reshard_after_node_loss(&self.machine, &m, &state.node_of_task, dead, &state.down);
+        let n_tasks = state.node_of_task.len();
+        for &node in &alive {
+            let adopted: Vec<usize> =
+                plan.migrated_tasks.iter().copied().filter(|&t| plan.node_of_task[t] == node).collect();
+            let phases = workload
+                .phases
+                .iter()
+                .map(|phase| {
+                    let pm = phase.graph.comm_matrix();
+                    let mut reads = Vec::new();
+                    for src in 0..n_tasks {
+                        for &dst in &adopted {
+                            let bytes = pm.get(src, dst);
+                            if src != dst && bytes > 0.0 {
+                                reads.push(ReadEdge { reader: dst, src, bytes });
+                            }
+                        }
+                    }
+                    PhasePlan { iterations: phase.iterations, reads }
+                })
+                .collect();
+            let reassign =
+                ReAssignment { node, round, dead, node_of_task: plan.node_of_task.clone(), adopted, phases };
+            pool.send_to(node, &Message::ReAssignment { json: reassign.to_json().pretty() })?;
+        }
+        for &node in &alive {
+            self.await_recovery_frame(pool, monitor, node, "ready", round, done)?;
+        }
+        let migrated = plan.migrated_tasks.len();
+        state.node_of_task = plan.node_of_task;
+        state.down.push(dead);
+        monitor.node_losses += 1;
+        monitor.reshards += 1;
+        monitor.tasks_migrated += migrated as u64;
+        if let Some(recorder) = recorder {
+            recorder.record(EventKind::Recovery { node: dead as u32, tasks_migrated: migrated });
+        }
+        pool.broadcast(&Message::Resume { round })?;
+        // Survivors go back to work (possibly with adopted tasks), so
+        // their done flags and silence clocks restart.
+        for &node in &alive {
+            done[node] = false;
+            last_activity[node] = Instant::now();
+        }
+        Ok(())
+    }
+
+    /// Waits for one survivor's recovery frame (`quiesce_ack` or
+    /// `ready`), dispatching the streaming frames that keep arriving in
+    /// the meantime.  A `Done` here is the quiesce racing the worker's
+    /// natural finish — recorded, not an error (the worker still acks).
+    /// Any loss during recovery is fatal: the routing table is mid-flight
+    /// and a second re-shard on top of it has no consistent base.
+    fn await_recovery_frame(
+        &self,
+        pool: &mut WorkerPool,
+        monitor: &mut LiveMonitor<'_>,
+        node: usize,
+        expect: &'static str,
+        round: u32,
+        done: &mut [bool],
+    ) -> Result<(), WorkerFailure> {
+        let deadline = Instant::now() + self.io_timeout;
+        loop {
+            match pool.poll_from_lossy(node, Duration::from_millis(50))? {
+                Polled::Message(message) => match message {
+                    Message::QuiesceAck { round: acked, .. } if expect == "quiesce_ack" => {
+                        if acked != round {
+                            return Err(pool.fail(
+                                Some(node),
+                                format!("quiesce_ack for round {acked}, expected round {round}"),
+                            ));
+                        }
+                        return Ok(());
+                    }
+                    Message::Ready { .. } if expect == "ready" => return Ok(()),
+                    Message::Done { .. } => {
+                        done[node] = true;
+                        monitor.done(node);
+                    }
+                    Message::Heartbeat { seq, .. } => monitor.heartbeat(node, seq),
+                    Message::TelemetryDelta { delta, .. } => {
+                        monitor.delta(node, &delta).map_err(|e| pool.fail(Some(node), e))?;
+                    }
+                    other => {
+                        return Err(pool.fail(
+                            Some(node),
+                            format!("expected {expect} during recovery, got {}", other.name()),
+                        ));
+                    }
+                },
+                Polled::Silence => {
+                    if pool.worker_exited(node).is_some() || Instant::now() >= deadline {
+                        return Err(pool.fail_cascade(
+                            node,
+                            format!(
+                                "worker lost while the coordinator awaited {expect} (recovery round {round})"
+                            ),
+                        ));
+                    }
+                }
+                Polled::Lost(detail) => {
+                    return Err(
+                        pool.fail_cascade(node, format!("second node loss during recovery: {detail}"))
+                    );
+                }
+            }
+        }
     }
 
     /// Tree hops a byte pays on each fabric lane of this machine, probed
@@ -688,9 +1019,13 @@ impl ExecutionBackend for ProcBackend {
             same_node_bytes_model += iters * (off_diagonal - inter_node_bytes(cluster, &m, &mapping));
         }
 
-        let pool = WorkerPool::spawn(cluster.n_nodes(), &self.worker_args, &self.worker_env, self.io_timeout)
+        let mut worker_env = self.worker_env.clone();
+        if !self.faults.is_empty() {
+            worker_env.push((fault::ENV_FAULTS.to_string(), self.faults.to_env_value()));
+        }
+        let pool = WorkerPool::spawn(cluster.n_nodes(), &self.worker_args, &worker_env, self.io_timeout)
             .map_err(|e| OrwlError::WorkerFailed { node: 0, detail: format!("spawning workers: {e}") })?;
-        let (elapsed, metrics, uploads) = self
+        let (elapsed, metrics, uploads, recovery) = self
             .run_protocol(pool, &workload, &cp.node_of_task, config.observe.as_ref(), recorder.as_deref())
             .map_err(|f| OrwlError::WorkerFailed { node: f.node, detail: f.detail })?;
 
@@ -740,7 +1075,11 @@ impl ExecutionBackend for ProcBackend {
             plan,
             breakdown,
             hop_bytes,
-            adapt: None,
+            // Present only when a loss actually re-sharded something, so
+            // fault-free reports stay byte-identical to builds without
+            // recovery wired in.
+            adapt: (recovery.node_reshards > 0)
+                .then(|| AdaptReport { node_reshards: recovery.node_reshards, ..AdaptReport::default() }),
             thread: None,
             fabric: Some(ClusterTraffic {
                 n_nodes: self.machine.n_nodes(),

@@ -15,6 +15,35 @@ use std::io::{ErrorKind, Read, Write};
 use std::os::unix::net::UnixStream;
 use std::time::{Duration, Instant};
 
+/// Rendezvous connect gave up: the listener never appeared (or never
+/// accepted) within the budget.
+#[derive(Debug)]
+pub struct RendezvousTimeout {
+    /// The socket path that was tried.
+    pub path: std::path::PathBuf,
+    /// How many connect attempts were made.
+    pub attempts: u32,
+    /// The total budget that elapsed.
+    pub budget: Duration,
+    /// The last io error seen.
+    pub last: std::io::Error,
+}
+
+impl std::fmt::Display for RendezvousTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "rendezvous with {} timed out after {} attempts over {:?}: {}",
+            self.path.display(),
+            self.attempts,
+            self.budget,
+            self.last
+        )
+    }
+}
+
+impl std::error::Error for RendezvousTimeout {}
+
 /// Why a `recv` failed.
 #[derive(Debug)]
 pub enum RecvError {
@@ -72,6 +101,42 @@ impl FramedStream {
         UnixStream::connect(path).map(FramedStream::new)
     }
 
+    /// Connects to a Unix-domain listener at `path`, retrying with
+    /// jittered backoff until `budget` elapses.
+    ///
+    /// A worker races the peer it reads from: both bind their listeners
+    /// after `Ready`, but nothing orders one worker's connect after
+    /// another worker's bind, and under recovery a survivor may dial a
+    /// peer that is still re-binding.  A single-attempt connect turns
+    /// that race into a raw `ECONNREFUSED`/`ENOENT`; this retries at
+    /// ~1–20 ms spacing (deterministic per-path jitter, no RNG state)
+    /// and gives up with a typed [`RendezvousTimeout`].
+    pub fn connect_retry(path: &std::path::Path, budget: Duration) -> Result<Self, RendezvousTimeout> {
+        let start = Instant::now();
+        let mut attempts: u32 = 0;
+        loop {
+            attempts += 1;
+            let last = match UnixStream::connect(path) {
+                Ok(stream) => return Ok(FramedStream::new(stream)),
+                Err(e) => e,
+            };
+            if start.elapsed() >= budget {
+                return Err(RendezvousTimeout { path: path.to_path_buf(), attempts, budget, last });
+            }
+            // Deterministic jitter off the path bytes and attempt count:
+            // spreads simultaneous dialers without pulling in an RNG.
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for &b in path.as_os_str().as_encoded_bytes() {
+                seed = (seed ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+            }
+            seed = (seed ^ u64::from(attempts)).wrapping_mul(0x100_0000_01b3);
+            let base = 1u64 << attempts.min(4); // 2, 4, 8, 16 ms, then flat
+            let pause = Duration::from_millis(base + seed % base);
+            let left = budget.saturating_sub(start.elapsed());
+            std::thread::sleep(pause.min(left).max(Duration::from_millis(1)));
+        }
+    }
+
     /// Frames written so far.
     #[must_use]
     pub fn frames_sent(&self) -> u64 {
@@ -100,6 +165,49 @@ impl FramedStream {
     pub fn send(&mut self, message: &Message) -> std::io::Result<()> {
         let frame = message.encode();
         self.stream.write_all(&frame)?;
+        self.frames_sent += 1;
+        self.bytes_sent += frame.len() as u64;
+        Ok(())
+    }
+
+    /// Writes one message as a single frame, bounded by `deadline`.
+    ///
+    /// A plain `write_all` against a peer that stopped reading blocks
+    /// until the kernel buffer drains — potentially forever.  Control
+    /// frames (quiesce, re-assignment, shutdown) must instead fail
+    /// within the io budget so the coordinator can blame the wedged
+    /// node.  Short write timeouts are retried until the deadline; a
+    /// partial frame past the deadline is a hard `TimedOut` (the stream
+    /// is unusable after that — framing is broken).
+    pub fn send_with_deadline(&mut self, message: &Message, deadline: Duration) -> std::io::Result<()> {
+        let frame = message.encode();
+        let start = Instant::now();
+        let mut written = 0usize;
+        while written < frame.len() {
+            let left = deadline.saturating_sub(start.elapsed());
+            if left.is_zero() {
+                self.stream.set_write_timeout(None)?;
+                return Err(std::io::Error::new(
+                    ErrorKind::TimedOut,
+                    format!("send of {} stalled at {written}/{} bytes", message.name(), frame.len()),
+                ));
+            }
+            self.stream.set_write_timeout(Some(left.min(Duration::from_millis(100))))?;
+            match self.stream.write(&frame[written..]) {
+                Ok(0) => {
+                    self.stream.set_write_timeout(None)?;
+                    return Err(std::io::Error::new(ErrorKind::WriteZero, "peer closed mid-frame"));
+                }
+                Ok(n) => written += n,
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => {
+                    self.stream.set_write_timeout(None)?;
+                    return Err(e);
+                }
+            }
+        }
+        self.stream.set_write_timeout(None)?;
         self.frames_sent += 1;
         self.bytes_sent += frame.len() as u64;
         Ok(())
@@ -217,6 +325,77 @@ mod tests {
             Err(RecvError::Closed) => {}
             other => panic!("expected closed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn connect_retry_reaches_a_late_binding_listener() {
+        let dir = std::env::temp_dir().join(format!("orwl-rdv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("late.sock");
+        let binder = {
+            let path = path.clone();
+            std::thread::spawn(move || {
+                // Bind only after the dialer has already failed a few
+                // attempts against the missing socket.
+                std::thread::sleep(Duration::from_millis(60));
+                let listener = std::os::unix::net::UnixListener::bind(&path).unwrap();
+                let (_stream, _) = listener.accept().unwrap();
+            })
+        };
+        let connected = FramedStream::connect_retry(&path, Duration::from_secs(10));
+        assert!(connected.is_ok(), "late bind must be reached: {:?}", connected.err());
+        binder.join().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn connect_retry_times_out_with_a_typed_error() {
+        let dir = std::env::temp_dir().join(format!("orwl-rdv-none-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("never.sock");
+        let start = std::time::Instant::now();
+        let err = match FramedStream::connect_retry(&path, Duration::from_millis(120)) {
+            Ok(_) => panic!("connected to a socket that never existed"),
+            Err(e) => e,
+        };
+        assert!(err.attempts >= 2, "retried before giving up (attempts {})", err.attempts);
+        assert_eq!(err.budget, Duration::from_millis(120));
+        assert!(err.to_string().contains("never.sock"), "{err}");
+        assert!(start.elapsed() < Duration::from_secs(5), "the budget bounds the wait");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn send_with_deadline_fails_instead_of_blocking_on_a_full_pipe() {
+        let (mut a, b) = pair();
+        // Never read from `b`: the kernel buffer fills and a plain
+        // write_all would park forever.  Keep `b` alive so the failure
+        // is a timeout, not a broken pipe.
+        let start = std::time::Instant::now();
+        let mut hit_deadline = false;
+        for _ in 0..256 {
+            let msg = Message::LockGrant { seq: 1, location: 1, data: vec![0xEE; MAX_DATA] };
+            match a.send_with_deadline(&msg, Duration::from_millis(200)) {
+                Ok(()) => {}
+                Err(e) => {
+                    assert_eq!(e.kind(), ErrorKind::TimedOut, "unexpected error: {e}");
+                    hit_deadline = true;
+                    break;
+                }
+            }
+        }
+        assert!(hit_deadline, "the socket buffer never filled — test needs a bigger payload");
+        assert!(start.elapsed() < Duration::from_secs(60), "every send was deadline-bounded");
+        drop(b);
+    }
+
+    #[test]
+    fn send_with_deadline_delivers_when_the_peer_reads() {
+        let (mut a, mut b) = pair();
+        let msg = Message::QuiesceAck { node: 3, round: 1 };
+        a.send_with_deadline(&msg, Duration::from_secs(5)).unwrap();
+        assert_eq!(b.recv(Some(Duration::from_secs(5))).unwrap(), msg);
+        assert_eq!(a.frames_sent(), 1);
     }
 
     #[test]

@@ -33,11 +33,13 @@ pub const MAGIC: [u8; 4] = *b"ORWL";
 /// Protocol version carried in every frame header.
 ///
 /// v2 added [`Message::TelemetryUpload`]; v3 added the live-streaming
-/// kinds [`Message::Heartbeat`] and [`Message::TelemetryDelta`].  Every
-/// older frame is still decoded byte-for-byte (released kinds' layouts
-/// are frozen), so a v3 peer accepts any version in
-/// `MIN_VERSION..=VERSION`.
-pub const VERSION: u16 = 3;
+/// kinds [`Message::Heartbeat`] and [`Message::TelemetryDelta`]; v4
+/// added the recovery kinds [`Message::Quiesce`],
+/// [`Message::QuiesceAck`], [`Message::ReAssignment`] and
+/// [`Message::Resume`].  Every older frame is still decoded
+/// byte-for-byte (released kinds' layouts are frozen), so a v4 peer
+/// accepts any version in `MIN_VERSION..=VERSION`.
+pub const VERSION: u16 = 4;
 
 /// Oldest protocol version this codec still decodes.
 pub const MIN_VERSION: u16 = 1;
@@ -103,6 +105,10 @@ const KIND_SHUTDOWN: u8 = 10;
 const KIND_TELEMETRY_UPLOAD: u8 = 11; // v2
 const KIND_HEARTBEAT: u8 = 12; // v3
 const KIND_TELEMETRY_DELTA: u8 = 13; // v3
+const KIND_QUIESCE: u8 = 14; // v4
+const KIND_QUIESCE_ACK: u8 = 15; // v4
+const KIND_REASSIGNMENT: u8 = 16; // v4
+const KIND_RESUME: u8 = 17; // v4
 
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -207,6 +213,33 @@ pub enum Message {
         /// The encoded interval delta.
         delta: Vec<u8>,
     },
+    /// Coordinator → worker (v4): a node died; park at the next
+    /// iteration boundary and acknowledge.  `round` numbers the recovery
+    /// episode so late acks can never be confused across episodes.
+    Quiesce {
+        /// Recovery episode counter, starting at 1 on the first loss.
+        round: u32,
+    },
+    /// Worker → coordinator (v4): this worker is parked and will accept
+    /// a re-assignment for the echoed `round`.
+    QuiesceAck {
+        /// The worker's node index.
+        node: u32,
+        /// Echo of the quiesce's `round`.
+        round: u32,
+    },
+    /// Coordinator → worker (v4): the post-loss work distribution (an
+    /// `orwl-proc-reassign/v1` JSON document, see `assignment`).
+    ReAssignment {
+        /// The re-assignment document text.
+        json: String,
+    },
+    /// Coordinator → worker (v4): every survivor re-acknowledged ready;
+    /// resume executing under the new distribution.
+    Resume {
+        /// Echo of the quiesce's `round`.
+        round: u32,
+    },
 }
 
 impl Message {
@@ -226,6 +259,10 @@ impl Message {
             Message::TelemetryUpload { .. } => KIND_TELEMETRY_UPLOAD,
             Message::Heartbeat { .. } => KIND_HEARTBEAT,
             Message::TelemetryDelta { .. } => KIND_TELEMETRY_DELTA,
+            Message::Quiesce { .. } => KIND_QUIESCE,
+            Message::QuiesceAck { .. } => KIND_QUIESCE_ACK,
+            Message::ReAssignment { .. } => KIND_REASSIGNMENT,
+            Message::Resume { .. } => KIND_RESUME,
         }
     }
 
@@ -247,6 +284,10 @@ impl Message {
             Message::TelemetryUpload { .. } => "telemetry_upload",
             Message::Heartbeat { .. } => "heartbeat",
             Message::TelemetryDelta { .. } => "telemetry_delta",
+            Message::Quiesce { .. } => "quiesce",
+            Message::QuiesceAck { .. } => "quiesce_ack",
+            Message::ReAssignment { .. } => "reassignment",
+            Message::Resume { .. } => "resume",
         }
     }
 
@@ -310,6 +351,16 @@ impl Message {
                 assert!(delta.len() <= MAX_DELTA, "delta over MAX_DELTA");
                 payload.extend_from_slice(&node.to_le_bytes());
                 payload.extend_from_slice(delta);
+            }
+            Message::Quiesce { round } | Message::Resume { round } => {
+                payload.extend_from_slice(&round.to_le_bytes());
+            }
+            Message::QuiesceAck { node, round } => {
+                payload.extend_from_slice(&node.to_le_bytes());
+                payload.extend_from_slice(&round.to_le_bytes());
+            }
+            Message::ReAssignment { json } => {
+                payload.extend_from_slice(json.as_bytes());
             }
         }
         assert!(payload.len() <= Message::max_payload_of(self.kind()), "payload over its kind's cap");
@@ -415,6 +466,9 @@ fn decode_payload(version: u16, kind: u8, payload: &[u8]) -> Result<Message, Wir
     if kind >= KIND_HEARTBEAT && version < 3 {
         return Err(WireError::UnknownKind(kind));
     }
+    if kind >= KIND_QUIESCE && version < 4 {
+        return Err(WireError::UnknownKind(kind));
+    }
     Ok(match kind {
         KIND_HELLO => Message::Hello { node: take_u32(payload, 0, kind)? },
         KIND_ASSIGNMENT => Message::Assignment { json: take_string(payload, 0, kind)? },
@@ -454,6 +508,12 @@ fn decode_payload(version: u16, kind: u8, payload: &[u8]) -> Result<Message, Wir
             node: take_u32(payload, 0, kind)?,
             delta: payload.get(4..).ok_or(WireError::Truncated { kind })?.to_vec(),
         },
+        KIND_QUIESCE => Message::Quiesce { round: take_u32(payload, 0, kind)? },
+        KIND_QUIESCE_ACK => {
+            Message::QuiesceAck { node: take_u32(payload, 0, kind)?, round: take_u32(payload, 4, kind)? }
+        }
+        KIND_REASSIGNMENT => Message::ReAssignment { json: take_string(payload, 0, kind)? },
+        KIND_RESUME => Message::Resume { round: take_u32(payload, 0, kind)? },
         other => return Err(WireError::UnknownKind(other)),
     })
 }
@@ -575,6 +635,11 @@ mod tests {
             Message::Heartbeat { node: 0, seq: u64::MAX },
             Message::TelemetryDelta { node: 1, delta: vec![0x4f, 0x44, 0x4c, 0x54] },
             Message::TelemetryDelta { node: 3, delta: Vec::new() },
+            Message::Quiesce { round: 1 },
+            Message::Quiesce { round: u32::MAX },
+            Message::QuiesceAck { node: 2, round: 1 },
+            Message::ReAssignment { json: "{\"schema\":\"orwl-proc-reassign/v1\"}".to_string() },
+            Message::Resume { round: 1 },
         ] {
             roundtrip(&message);
         }
@@ -590,7 +655,7 @@ mod tests {
             frame,
             vec![
                 b'O', b'R', b'W', b'L', // magic
-                0x03, 0x00, // version 3
+                0x04, 0x00, // version 4
                 0x0B, // kind 11
                 0x06, 0x00, 0x00, 0x00, // payload length 6
                 0x03, 0x00, 0x00, 0x00, // node 3
@@ -607,7 +672,7 @@ mod tests {
             beat,
             vec![
                 b'O', b'R', b'W', b'L', // magic
-                0x03, 0x00, // version 3
+                0x04, 0x00, // version 4
                 0x0C, // kind 12
                 0x0C, 0x00, 0x00, 0x00, // payload length 12
                 0x02, 0x00, 0x00, 0x00, // node 2
@@ -620,11 +685,64 @@ mod tests {
             delta,
             vec![
                 b'O', b'R', b'W', b'L', // magic
-                0x03, 0x00, // version 3
+                0x04, 0x00, // version 4
                 0x0D, // kind 13
                 0x07, 0x00, 0x00, 0x00, // payload length 7
                 0x01, 0x00, 0x00, 0x00, // node 1
                 0xCC, 0xDD, 0xEE, // delta
+            ]
+        );
+    }
+
+    /// The exact bytes of the v4 recovery frames, pinned the same way.
+    #[test]
+    fn v4_frame_bytes_are_pinned() {
+        let quiesce = Message::Quiesce { round: 1 }.encode();
+        assert_eq!(
+            quiesce,
+            vec![
+                b'O', b'R', b'W', b'L', // magic
+                0x04, 0x00, // version 4
+                0x0E, // kind 14
+                0x04, 0x00, 0x00, 0x00, // payload length 4
+                0x01, 0x00, 0x00, 0x00, // round 1
+            ]
+        );
+
+        let ack = Message::QuiesceAck { node: 3, round: 2 }.encode();
+        assert_eq!(
+            ack,
+            vec![
+                b'O', b'R', b'W', b'L', // magic
+                0x04, 0x00, // version 4
+                0x0F, // kind 15
+                0x08, 0x00, 0x00, 0x00, // payload length 8
+                0x03, 0x00, 0x00, 0x00, // node 3
+                0x02, 0x00, 0x00, 0x00, // round 2
+            ]
+        );
+
+        let resume = Message::Resume { round: 2 }.encode();
+        assert_eq!(
+            resume,
+            vec![
+                b'O', b'R', b'W', b'L', // magic
+                0x04, 0x00, // version 4
+                0x11, // kind 17
+                0x04, 0x00, 0x00, 0x00, // payload length 4
+                0x02, 0x00, 0x00, 0x00, // round 2
+            ]
+        );
+
+        let reassign = Message::ReAssignment { json: "{}".to_string() }.encode();
+        assert_eq!(
+            reassign,
+            vec![
+                b'O', b'R', b'W', b'L', // magic
+                0x04, 0x00, // version 4
+                0x10, // kind 16
+                0x02, 0x00, 0x00, 0x00, // payload length 2
+                b'{', b'}', // document
             ]
         );
     }
@@ -679,14 +797,54 @@ mod tests {
     }
 
     #[test]
-    fn older_peers_reject_v3_frames_with_a_typed_error() {
-        // An old binary (max version 1 or 2) fed a current frame must
+    fn v3_frames_still_decode() {
+        // A v4 reader must accept every v3 frame unchanged, including the
+        // v3-era streaming kinds.
+        for message in [
+            Message::Heartbeat { node: 1, seq: 9 },
+            Message::TelemetryDelta { node: 1, delta: vec![0xAA] },
+            Message::TelemetryUpload { node: 1, snapshot: vec![0xBB] },
+            Message::Done { node: 1 },
+        ] {
+            let mut frame = message.encode();
+            frame[4..6].copy_from_slice(&3u16.to_le_bytes());
+            assert_eq!(decode_frame(&frame).unwrap(), message, "v3 frame of {}", message.name());
+        }
+
+        // ... but a v4-only kind inside an older frame is a protocol bug,
+        // not a message, under v3, v2 and v1 headers alike.
+        for old_version in [1u16, 2, 3] {
+            for (message, kind) in [
+                (Message::Quiesce { round: 1 }, 14u8),
+                (Message::QuiesceAck { node: 0, round: 1 }, 15),
+                (Message::ReAssignment { json: "{}".to_string() }, 16),
+                (Message::Resume { round: 1 }, 17),
+            ] {
+                let mut frame = message.encode();
+                frame[4..6].copy_from_slice(&old_version.to_le_bytes());
+                match decode_frame(&frame) {
+                    Err(WireError::UnknownKind(got)) => assert_eq!(got, kind),
+                    other => {
+                        panic!("v{old_version} frame of kind {kind}: expected UnknownKind, got {other:?}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn older_peers_reject_v4_frames_with_a_typed_error() {
+        // An old binary (max version 1, 2 or 3) fed a current frame must
         // fail fast with BadVersion — never hang waiting for more bytes,
         // never panic, never mis-parse.
-        for max_version in [1u16, 2] {
+        for max_version in [1u16, 2, 3] {
             let mut reader = FrameReader::with_max_version(max_version);
             reader.push(&Message::Heartbeat { node: 2, seq: 5 }.encode());
-            assert_eq!(reader.try_next(), Err(WireError::BadVersion { got: 3 }), "max version {max_version}");
+            assert_eq!(reader.try_next(), Err(WireError::BadVersion { got: 4 }), "max version {max_version}");
+
+            let mut reader = FrameReader::with_max_version(max_version);
+            reader.push(&Message::Quiesce { round: 1 }.encode());
+            assert_eq!(reader.try_next(), Err(WireError::BadVersion { got: 4 }), "max version {max_version}");
         }
 
         // A frame at the peer's own version still flows through.
@@ -820,7 +978,7 @@ mod tests {
         data: Vec<u8>,
     ) -> Message {
         let text: String = text_bytes.iter().map(|&b| char::from(b % 94 + 32)).collect();
-        match selector % 14 {
+        match selector % 18 {
             0 => Message::Hello { node: a as u32 },
             1 => Message::Assignment { json: text },
             2 => Message::Ready { node: b as u32 },
@@ -839,7 +997,11 @@ mod tests {
             10 => Message::Shutdown,
             11 => Message::TelemetryUpload { node: a as u32, snapshot: data },
             12 => Message::Heartbeat { node: a as u32, seq: b },
-            _ => Message::TelemetryDelta { node: b as u32, delta: data },
+            13 => Message::TelemetryDelta { node: b as u32, delta: data },
+            14 => Message::Quiesce { round: a as u32 },
+            15 => Message::QuiesceAck { node: a as u32, round: b as u32 },
+            16 => Message::ReAssignment { json: text },
+            _ => Message::Resume { round: b as u32 },
         }
     }
 
@@ -848,7 +1010,7 @@ mod tests {
 
         #[test]
         fn any_message_roundtrips(
-            selector in 0usize..14,
+            selector in 0usize..18,
             a in 0u64..u64::MAX,
             b in 0u64..u64::MAX,
             small in 0u8..255,
@@ -862,7 +1024,7 @@ mod tests {
 
         #[test]
         fn split_reads_reassemble_any_stream(
-            selectors in proptest::collection::vec(0usize..14, 1..6),
+            selectors in proptest::collection::vec(0usize..18, 1..6),
             a in 0u64..u64::MAX,
             b in 0u64..1_000_000,
             small in 0u8..255,

@@ -14,6 +14,19 @@
 //! `Shutdown` → drain and upload telemetry (observed runs) → report
 //! [`WorkerMetrics`] → exit.
 //!
+//! On recovery-enabled runs the execution span is a *loop of rounds*: a
+//! coordinator `Quiesce` (a peer died) interrupts the running round at
+//! the next iteration boundary, the worker acks, adopts whatever orphans
+//! the [`ReAssignment`] routes here (fresh locations, zero progress —
+//! the dead node's state died with it), and `Resume` starts the next
+//! round on the remaining work.  Surviving tasks keep their iteration
+//! progress across rounds.
+//!
+//! Fault injection comes exclusively from the typed plan in
+//! [`ENV_FAULTS`](crate::fault::ENV_FAULTS) (see [`crate::fault`]); a
+//! malformed plan fails the worker at startup rather than silently
+//! running a different experiment.
+//!
 //! Remote sections run the ORWL FIFO discipline over the wire: the
 //! reader's `LockRequest` enters the owner's local FIFO (a one-shot read
 //! handle on the owned location), the `LockGrant` carries the location
@@ -22,8 +35,9 @@
 //! the whole request→grant→release exchange, so a connection never
 //! interleaves two sections and the server side needs no demultiplexer.
 
-use crate::assignment::Assignment;
+use crate::assignment::{Assignment, ReAssignment};
 use crate::coordinator::{ENV_COORD, ENV_NODE, ENV_ROLE};
+use crate::fault::FaultPlan;
 use crate::metrics::{WorkerMetrics, MAX_WAIT_SAMPLES};
 use crate::transport::{FramedStream, RecvError};
 use crate::wire::{Message, WireAccess, MAX_DATA};
@@ -38,23 +52,9 @@ use orwl_topo::object::ObjectType;
 use orwl_topo::topology::{LevelSpec, Topology};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::os::unix::net::UnixListener;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
-
-/// Environment variable that makes the named worker panic right after
-/// `Start` — the failure-injection hook of the robustness tests.
-pub const ENV_PANIC_NODE: &str = "ORWL_PROC_PANIC_NODE";
-
-/// Environment variable naming the worker whose telemetry streamer holds
-/// its first heartbeat back by [`ENV_STALL_MS`] milliseconds — the
-/// straggler-injection hook of the live-telemetry tests.  Only the
-/// streamer stalls; the worker's tasks keep running, so a healthy run
-/// exercises the flagged→recovered straggler path end to end.
-pub const ENV_STALL_NODE: &str = "ORWL_PROC_STALL_NODE";
-
-/// Milliseconds of initial heartbeat silence for [`ENV_STALL_NODE`].
-pub const ENV_STALL_MS: &str = "ORWL_PROC_STALL_MS";
 
 /// Events kept in an uploaded snapshot (newest win; the remainder joins
 /// the drop counter).  Keeps the upload well under the wire's
@@ -65,6 +65,17 @@ const MAX_UPLOAD_EVENTS: usize = 100_000;
 /// joins the delta's drop counter).  Keeps every delta well under the
 /// wire's `MAX_DELTA` budget however bursty the interval was.
 const MAX_DELTA_EVENTS: usize = 50_000;
+
+/// The owned-locations map, shared by the serving threads, the task
+/// bodies and the recovery path (which inserts adopted locations between
+/// rounds).  Readers clone the `Arc` out and drop the guard before any
+/// blocking FIFO work, so a between-rounds write never deadlocks against
+/// a section in flight.
+type SharedLocations = Arc<RwLock<HashMap<u64, Arc<Location<u64>>>>>;
+
+/// Process-local `LocationId` → global task index, shared with the
+/// telemetry streamer and grown by every adoption.
+type SharedGlobals = Arc<RwLock<HashMap<u64, u64>>>;
 
 /// Runs the worker lifecycle and exits iff this process was spawned as an
 /// `orwl-proc` worker; returns immediately otherwise.  Call first thing
@@ -95,10 +106,13 @@ fn worker_main() -> Result<(), String> {
     // The control stream is shared between the main protocol thread and
     // (on live runs) the telemetry streamer, so it lives behind a mutex
     // from the start; every receive takes the lock in short slices so a
-    // blocked wait never starves the streamer's sends.
+    // blocked wait never starves the streamer's sends.  The connect
+    // retries under a bounded budget: the coordinator binds the
+    // rendezvous socket before spawning, but a loaded machine can still
+    // delay the listener's backlog.
     let control = Arc::new(Mutex::new(
-        FramedStream::connect(std::path::Path::new(&coord))
-            .map_err(|e| format!("connecting to coordinator at {coord}: {e}"))?,
+        FramedStream::connect_retry(std::path::Path::new(&coord), Duration::from_secs(10))
+            .map_err(|e| format!("connecting to coordinator: {e}"))?,
     ));
     // The two worker-side timestamps of the clock-offset handshake: the
     // coordinator stamps the matching receive/send instants into the
@@ -141,6 +155,17 @@ fn recv_ctl(
     expect: &'static str,
     deadline: Duration,
 ) -> Result<Message, String> {
+    recv_ctl_any(control, &[expect], deadline)
+}
+
+/// [`recv_ctl`] accepting any of several kinds — the post-`Done` wait can
+/// legitimately see either `Shutdown` (run over) or `Quiesce` (a peer
+/// died and this worker is being pulled into a recovery round).
+fn recv_ctl_any(
+    control: &Arc<Mutex<FramedStream>>,
+    expect: &[&'static str],
+    deadline: Duration,
+) -> Result<Message, String> {
     let start = Instant::now();
     loop {
         let outcome = control
@@ -148,15 +173,17 @@ fn recv_ctl(
             .map_err(|_| "control stream poisoned".to_string())?
             .recv(Some(Duration::from_millis(50)));
         match outcome {
-            Ok(message) if message.name() == expect => return Ok(message),
+            Ok(message) if expect.contains(&message.name()) => return Ok(message),
             Ok(Message::Error { message }) => return Err(format!("peer reported: {message}")),
-            Ok(other) => return Err(format!("expected {expect}, got {}", other.name())),
+            Ok(other) => {
+                return Err(format!("expected {}, got {}", expect.join(" or "), other.name()));
+            }
             Err(RecvError::Timeout) => {
                 if start.elapsed() >= deadline {
-                    return Err(format!("while waiting for {expect}: timed out"));
+                    return Err(format!("while waiting for {}: timed out", expect.join(" or ")));
                 }
             }
-            Err(e) => return Err(format!("while waiting for {expect}: {e}")),
+            Err(e) => return Err(format!("while waiting for {}: {e}", expect.join(" or "))),
         }
     }
 }
@@ -173,18 +200,41 @@ struct ReaderTallies {
 }
 
 /// The reader-side gateway: one serialized connection per owner peer.
+/// Recovery rewrites the routing table and drops the dead peer's
+/// connection between rounds; connections to new owners open lazily on
+/// first use.
 struct PeerGateway {
-    conns: BTreeMap<usize, Mutex<FramedStream>>,
-    node_of_task: Vec<usize>,
+    conns: RwLock<BTreeMap<usize, Arc<Mutex<FramedStream>>>>,
+    routing: RwLock<Vec<usize>>,
+    peer_listen: Vec<String>,
     rack_of_node: Vec<usize>,
+    my_node: usize,
     my_rack: usize,
     io_timeout: Duration,
+    wire_delay: Duration,
     seq: AtomicU64,
     tallies: ReaderTallies,
 }
 
 impl PeerGateway {
-    fn connect(assignment: &Assignment) -> Result<PeerGateway, String> {
+    fn connect(assignment: &Assignment, faults: &FaultPlan) -> Result<PeerGateway, String> {
+        let gateway = PeerGateway {
+            conns: RwLock::new(BTreeMap::new()),
+            routing: RwLock::new(assignment.node_of_task.clone()),
+            peer_listen: assignment.peer_listen.clone(),
+            rack_of_node: assignment.rack_of_node.clone(),
+            my_node: assignment.node,
+            my_rack: assignment.rack_of_node[assignment.node],
+            io_timeout: Duration::from_millis(assignment.io_timeout_ms),
+            wire_delay: Duration::from_millis(faults.wire_delay_ms(assignment.node).unwrap_or(0)),
+            // Seqs are namespaced by node (high 32 bits) so a request id
+            // is unique across every reader process of the run — the
+            // merged timeline matches requests to grants by this id.
+            seq: AtomicU64::new((assignment.node as u64) << 32),
+            tallies: ReaderTallies::default(),
+        };
+        // Eagerly dial every owner the initial schedule names; peers
+        // adopted into the routing later connect lazily on first read.
         let mut peers = BTreeSet::new();
         for phase in &assignment.phases {
             for read in &phase.reads {
@@ -194,32 +244,60 @@ impl PeerGateway {
                 }
             }
         }
-        let mut conns = BTreeMap::new();
         for peer in peers {
-            let path = std::path::Path::new(&assignment.peer_listen[peer]);
-            let stream =
-                FramedStream::connect(path).map_err(|e| format!("connecting to peer {peer}: {e}"))?;
-            conns.insert(peer, Mutex::new(stream));
+            gateway.conn_for(peer)?;
         }
-        Ok(PeerGateway {
-            conns,
-            node_of_task: assignment.node_of_task.clone(),
-            rack_of_node: assignment.rack_of_node.clone(),
-            my_rack: assignment.rack_of_node[assignment.node],
-            io_timeout: Duration::from_millis(assignment.io_timeout_ms),
-            // Seqs are namespaced by node (high 32 bits) so a request id
-            // is unique across every reader process of the run — the
-            // merged timeline matches requests to grants by this id.
-            seq: AtomicU64::new((assignment.node as u64) << 32),
-            tallies: ReaderTallies::default(),
-        })
+        Ok(gateway)
+    }
+
+    /// The serialized connection to `owner`, dialling it (bounded retry:
+    /// peers bind their listeners concurrently) on first use.
+    fn conn_for(&self, owner: usize) -> Result<Arc<Mutex<FramedStream>>, String> {
+        if let Some(conn) = self.conns.read().ok().and_then(|map| map.get(&owner).cloned()) {
+            return Ok(conn);
+        }
+        let mut map = self.conns.write().map_err(|_| "gateway connection map poisoned".to_string())?;
+        if let Some(conn) = map.get(&owner) {
+            return Ok(Arc::clone(conn));
+        }
+        let path = std::path::Path::new(&self.peer_listen[owner]);
+        let stream = FramedStream::connect_retry(path, self.io_timeout)
+            .map_err(|e| format!("connecting to peer {owner}: {e}"))?;
+        let conn = Arc::new(Mutex::new(stream));
+        map.insert(owner, Arc::clone(&conn));
+        Ok(conn)
+    }
+
+    /// Swaps in the post-loss routing table and hangs up on the dead
+    /// peer.  Runs between rounds only (the quiesce barrier guarantees no
+    /// section is in flight).
+    fn apply_reassignment(&self, node_of_task: &[usize], dead: usize) {
+        if let Ok(mut routing) = self.routing.write() {
+            node_of_task.clone_into(&mut routing);
+        }
+        if let Ok(mut conns) = self.conns.write() {
+            conns.remove(&dead);
+        }
     }
 
     /// One remote read section: request → grant (with payload) → release.
     fn remote_read(&self, src: usize, bytes: f64) -> Result<(), String> {
-        let owner = self.node_of_task[src];
-        let conn =
-            self.conns.get(&owner).ok_or_else(|| format!("no connection to peer {owner} for task {src}"))?;
+        let owner = self
+            .routing
+            .read()
+            .map_err(|_| "gateway routing table poisoned".to_string())?
+            .get(src)
+            .copied()
+            .ok_or_else(|| format!("task {src} is not in the routing table"))?;
+        if owner == self.my_node {
+            return Err(format!("task {src} is routed here but its location is absent"));
+        }
+        let conn = self.conn_for(owner)?;
+        if !self.wire_delay.is_zero() {
+            // Injected link latency (fault plans only; zero in production
+            // runs), paid before the section opens.
+            std::thread::sleep(self.wire_delay);
+        }
         let mut stream = conn.lock().map_err(|_| "gateway connection poisoned".to_string())?;
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let want = (bytes.round().max(0.0) as u64).min(MAX_DATA as u64);
@@ -265,6 +343,12 @@ impl PeerGateway {
         }
         Ok(())
     }
+
+    /// Tears the gateway apart for the teardown accounting.
+    fn into_parts(self) -> (BTreeMap<usize, Arc<Mutex<FramedStream>>>, ReaderTallies) {
+        let conns = self.conns.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+        (conns, self.tallies)
+    }
 }
 
 /// Serves one inbound peer connection: each `LockRequest` runs a one-shot
@@ -272,14 +356,18 @@ impl PeerGateway {
 /// buffer, and the section stays open until the peer's `Release`.
 fn serve_connection(
     mut stream: FramedStream,
-    locations: Arc<HashMap<u64, Arc<Location<u64>>>>,
+    locations: SharedLocations,
     shutdown: Arc<AtomicBool>,
     io_timeout: Duration,
 ) -> (u64, u64, u64, u64) {
     loop {
         match stream.recv(Some(Duration::from_millis(200))) {
             Ok(Message::LockRequest { seq, location, access, bytes }) => {
-                let Some(loc) = locations.get(&location) else {
+                // Clone the Arc out and release the map guard before any
+                // FIFO work: a blocked acquire must not hold the map
+                // against the recovery path's adoption write.
+                let loc = locations.read().ok().and_then(|map| map.get(&location).cloned());
+                let Some(loc) = loc else {
                     let _ = stream
                         .send(&Message::Error { message: format!("location {location} is not hosted here") });
                     break;
@@ -338,7 +426,7 @@ fn serve_connection(
 /// counters as `(frames_sent, frames_received, bytes_sent, bytes_received)`.
 fn accept_loop(
     listener: UnixListener,
-    locations: Arc<HashMap<u64, Arc<Location<u64>>>>,
+    locations: SharedLocations,
     shutdown: Arc<AtomicBool>,
     io_timeout: Duration,
 ) -> (u64, u64, u64, u64) {
@@ -367,10 +455,191 @@ fn accept_loop(
     totals
 }
 
-/// The per-task schedule: for every phase, the iterations and this task's
-/// read list as `(src, bytes, src_is_local)`.
-type TaskSchedule = Vec<(usize, Vec<(usize, f64, bool)>)>;
+/// Why one iteration failed: a broken peer exchange (the worker-side
+/// symptom of a node loss — recoverable) or anything local (never).
+enum IterError {
+    Remote(String),
+    Local(String),
+}
 
+/// The park-on-peer-failure switch shared by every task body of a round.
+/// On recovery-enabled runs a remote failure (or a coordinator `Quiesce`
+/// relayed by the watcher) flips it, and every task breaks out at its
+/// next iteration boundary instead of failing the worker.
+struct Interrupt {
+    enabled: bool,
+    quiesce: AtomicBool,
+    reason: Mutex<Option<String>>,
+}
+
+impl Interrupt {
+    fn new(enabled: bool) -> Interrupt {
+        Interrupt { enabled, quiesce: AtomicBool::new(false), reason: Mutex::new(None) }
+    }
+
+    fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn parked(&self) -> bool {
+        self.enabled && self.quiesce.load(Ordering::Relaxed)
+    }
+
+    /// A task hit a broken peer: remember the first cause and park.
+    fn park(&self, reason: String) {
+        if let Ok(mut slot) = self.reason.lock() {
+            slot.get_or_insert(reason);
+        }
+        self.quiesce.store(true, Ordering::Relaxed);
+    }
+
+    /// The coordinator asked for a quiesce (no local symptom needed).
+    fn interrupt(&self) {
+        self.quiesce.store(true, Ordering::Relaxed);
+    }
+
+    fn clear(&self) {
+        self.quiesce.store(false, Ordering::Relaxed);
+        if let Ok(mut slot) = self.reason.lock() {
+            *slot = None;
+        }
+    }
+
+    fn parked_reason(&self) -> Option<String> {
+        self.reason.lock().ok().and_then(|slot| slot.clone())
+    }
+}
+
+/// Listens for the coordinator's `Quiesce` while a round runs, so a
+/// worker whose own tasks never touch the dead node still parks promptly.
+/// The main thread joins the watcher *before* its next control receive,
+/// so the two never contend for a frame.
+struct QuiesceWatcher {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<Option<u32>>,
+}
+
+impl QuiesceWatcher {
+    fn spawn(control: Arc<Mutex<FramedStream>>, interrupt: Arc<Interrupt>) -> QuiesceWatcher {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || loop {
+            if stop_flag.load(Ordering::Relaxed) {
+                return None;
+            }
+            // Short lock slices with an unlocked sleep between them: the
+            // telemetry streamer shares this stream and must get the lock
+            // once per interval.
+            let outcome = {
+                let Ok(mut stream) = control.lock() else { return None };
+                stream.recv(Some(Duration::from_millis(10)))
+            };
+            match outcome {
+                Ok(Message::Quiesce { round }) => {
+                    interrupt.interrupt();
+                    return Some(round);
+                }
+                // Mid-round the coordinator sends nothing else; an
+                // unexpected frame is left to the main thread's own
+                // post-round receive to diagnose.
+                Ok(_) => {}
+                Err(RecvError::Timeout) => std::thread::sleep(Duration::from_millis(5)),
+                Err(_) => return None,
+            }
+        });
+        QuiesceWatcher { stop, handle }
+    }
+
+    /// Joins the watcher; `Some(round)` if it consumed a `Quiesce`.
+    fn stop(self) -> Option<u32> {
+        self.stop.store(true, Ordering::Relaxed);
+        self.handle.join().unwrap_or(None)
+    }
+}
+
+/// One task's plan: per phase, `(iterations, reads as (src, bytes))`.
+type PhaseSchedule = Vec<(usize, Vec<(usize, f64)>)>;
+
+/// A [`PhaseSchedule`] with each read's locality resolved for the
+/// current round: `Some(location)` when the source lives on this node.
+type ResolvedSchedule = Vec<(usize, Vec<(usize, f64, Option<Arc<Location<u64>>>)>)>;
+
+/// The worker's mutable work ledger across rounds: per-task phase
+/// schedules and completed-iteration progress.  Surviving tasks carry
+/// their progress into the next round; adopted tasks enter at zero (the
+/// run is checkpoint-free — the dead node's progress died with it).
+struct WorkState {
+    /// Per task: for each phase, `(iterations, reads as (src, bytes))`.
+    schedules: HashMap<usize, PhaseSchedule>,
+    /// Per task: completed iterations per phase, shared with the round's
+    /// task closure.
+    progress: HashMap<usize, Arc<Vec<AtomicUsize>>>,
+}
+
+impl WorkState {
+    fn new(assignment: &Assignment) -> WorkState {
+        let local_tasks = assignment.local_tasks();
+        let n_phases = assignment.phases.len();
+        let mut schedules: HashMap<usize, PhaseSchedule> = HashMap::new();
+        for phase in &assignment.phases {
+            let mut per_task: HashMap<usize, Vec<(usize, f64)>> = HashMap::new();
+            for read in &phase.reads {
+                per_task.entry(read.reader).or_default().push((read.src, read.bytes));
+            }
+            for &t in &local_tasks {
+                schedules
+                    .entry(t)
+                    .or_default()
+                    .push((phase.iterations, per_task.remove(&t).unwrap_or_default()));
+            }
+        }
+        let progress = local_tasks
+            .iter()
+            .map(|&t| (t, Arc::new((0..n_phases).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>())))
+            .collect();
+        WorkState { schedules, progress }
+    }
+
+    /// Enters the adopted orphans into the ledger at zero progress.
+    fn adopt(&mut self, reassign: &ReAssignment) {
+        for &t in &reassign.adopted {
+            let schedule: PhaseSchedule = reassign
+                .phases
+                .iter()
+                .map(|phase| {
+                    let reads = phase
+                        .reads
+                        .iter()
+                        .filter(|read| read.reader == t)
+                        .map(|read| (read.src, read.bytes))
+                        .collect();
+                    (phase.iterations, reads)
+                })
+                .collect();
+            let n_phases = schedule.len();
+            self.schedules.insert(t, schedule);
+            self.progress.insert(t, Arc::new((0..n_phases).map(|_| AtomicUsize::new(0)).collect()));
+        }
+    }
+
+    /// The tasks with any iterations left, in deterministic order.
+    fn tasks_with_work(&self) -> Vec<usize> {
+        let mut tasks: Vec<usize> =
+            self.schedules
+                .iter()
+                .filter(|(t, schedule)| {
+                    schedule.iter().enumerate().any(|(k, (iterations, _))| {
+                        self.progress[*t][k].load(Ordering::Relaxed) < *iterations
+                    })
+                })
+                .map(|(&t, _)| t)
+                .collect();
+        tasks.sort_unstable();
+        tasks
+    }
+}
+
+#[allow(clippy::too_many_lines)]
 fn run_worker(
     control: &Arc<Mutex<FramedStream>>,
     assignment: &Assignment,
@@ -378,6 +647,7 @@ fn run_worker(
     assign_recv_us: u64,
 ) -> Result<(), String> {
     let io_timeout = Duration::from_millis(assignment.io_timeout_ms);
+    let faults = FaultPlan::from_env().map_err(|e| format!("fault plan: {e}"))?;
     let local_tasks = assignment.local_tasks();
 
     // When the assignment asks for observation, install a wall-clock
@@ -398,11 +668,13 @@ fn run_worker(
     // The locations this worker owns, keyed by global task index.  The
     // serving thread and the local task bodies share the same Arcs, so
     // remote and local sections contend in the same ORWL FIFO.
-    let mut locations: HashMap<u64, Arc<Location<u64>>> = HashMap::new();
-    for &t in &local_tasks {
-        locations.insert(t as u64, Location::new(format!("loc-{t}"), 0u64));
+    let locations: SharedLocations = Arc::new(RwLock::new(HashMap::new()));
+    {
+        let mut map = locations.write().map_err(|_| "location map poisoned".to_string())?;
+        for &t in &local_tasks {
+            map.insert(t as u64, Location::new(format!("loc-{t}"), 0u64));
+        }
     }
-    let locations = Arc::new(locations);
 
     let listener = UnixListener::bind(&assignment.listen)
         .map_err(|e| format!("binding peer listener at {}: {e}", assignment.listen))?;
@@ -417,31 +689,43 @@ fn run_worker(
     send_ctl(control, &Message::Ready { node: assignment.node as u32 })?;
     recv_ctl(control, "start", io_timeout)?;
 
-    if std::env::var(ENV_PANIC_NODE).ok().and_then(|v| v.parse::<usize>().ok()) == Some(assignment.node) {
+    if faults.panics_after_start(assignment.node) {
         panic!("injected failure on node {} (for robustness tests)", assignment.node);
+    }
+    if let Some(after_ms) = faults.sigkill_after_ms(assignment.node) {
+        // The hard-crash fault: this process disappears mid-run with no
+        // goodbye of any kind — exactly what a powered-off host looks
+        // like to the survivors.
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(after_ms));
+            // SAFETY: raising a signal against our own pid.
+            unsafe {
+                libc::kill(std::process::id() as libc::pid_t, libc::SIGKILL);
+            }
+        });
     }
 
     // Maps the process-local `LocationId` of every owned location to its
     // global task index — both the streamed deltas and the final snapshot
     // must speak the global location namespace.
-    let global_of: Arc<HashMap<u64, u64>> =
-        Arc::new(locations.iter().map(|(&task, loc)| (loc.id().0, task)).collect());
+    let global_of: SharedGlobals = Arc::new(RwLock::new(
+        locations
+            .read()
+            .map_err(|_| "location map poisoned".to_string())?
+            .iter()
+            .map(|(&task, loc)| (loc.id().0, task))
+            .collect(),
+    ));
 
-    let gateway = Arc::new(PeerGateway::connect(assignment)?);
+    let gateway = Arc::new(PeerGateway::connect(assignment, &faults)?);
 
     // Live runs stream telemetry from `Start` until `Shutdown`: one
     // heartbeat (and, when anything happened, one interval delta) per
     // configured interval, interleaved on the shared control stream.
     let streamer = obs.as_ref().and_then(|(recorder, _, offset_us)| {
         let interval_ms = assignment.obs.as_ref().map_or(0, |spec| spec.stream_interval_ms);
-        let stall = if std::env::var(ENV_STALL_NODE).ok().and_then(|v| v.parse::<usize>().ok())
-            == Some(assignment.node)
-        {
-            let ms = std::env::var(ENV_STALL_MS).ok().and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
-            Duration::from_millis(ms)
-        } else {
-            Duration::ZERO
-        };
+        let stall = Duration::from_millis(faults.stall_ms(assignment.node).unwrap_or(0));
+        let drop_first = faults.drop_heartbeats(assignment.node);
         (interval_ms > 0).then(|| {
             Streamer::spawn(
                 Arc::clone(control),
@@ -451,31 +735,91 @@ fn run_worker(
                 Duration::from_millis(interval_ms),
                 *offset_us,
                 stall,
+                drop_first,
             )
         })
     });
-    let started = Instant::now();
-    let task_outcome = run_local_tasks(assignment, &local_tasks, &locations, &gateway);
-    let wall_seconds = started.elapsed().as_secs_f64();
-    if let Err(e) = task_outcome {
-        // Stop the streamer before reporting: the error send and the
-        // coordinator's teardown must not race interval deltas.
-        if let Some(streamer) = streamer {
-            streamer.stop();
+
+    let mut work = WorkState::new(assignment);
+    let interrupt = Arc::new(Interrupt::new(assignment.recovery));
+    let mut wall_seconds = 0.0;
+
+    // The execution span: one round on a fault-free run; on recovery
+    // rounds, quiesce → ack → adopt → resume and go again until the
+    // coordinator is satisfied and sends Shutdown.
+    let run_outcome = (|| -> Result<(), String> {
+        loop {
+            let watcher = assignment
+                .recovery
+                .then(|| QuiesceWatcher::spawn(Arc::clone(control), Arc::clone(&interrupt)));
+            let started = Instant::now();
+            let round_outcome = run_round(assignment, &work, &locations, &gateway, &interrupt);
+            wall_seconds += started.elapsed().as_secs_f64();
+            // Join before any receive: the watcher and the main thread
+            // must never race for a control frame.
+            let quiesce_round = watcher.and_then(QuiesceWatcher::stop);
+            round_outcome?;
+            if interrupt.parked() {
+                // Parked on a peer failure (or the watcher's quiesce).
+                // The coordinator's Quiesce is either already consumed by
+                // the watcher or still in flight.
+                let round = match quiesce_round {
+                    Some(round) => round,
+                    None => {
+                        let message =
+                            recv_ctl(control, "quiesce", io_timeout).map_err(|e| {
+                                match interrupt.parked_reason() {
+                                    Some(cause) => {
+                                        format!(
+                                        "parked on a peer failure ({cause}) but recovery never arrived: {e}"
+                                    )
+                                    }
+                                    None => e,
+                                }
+                            })?;
+                        let Message::Quiesce { round } = message else {
+                            unreachable!("recv_ctl returns the expected kind");
+                        };
+                        round
+                    }
+                };
+                apply_recovery(
+                    control, assignment, round, io_timeout, &mut work, &locations, &global_of, &gateway,
+                )?;
+                interrupt.clear();
+                continue;
+            }
+            send_ctl(control, &Message::Done { node: assignment.node as u32 })?;
+            if let Some(round) = quiesce_round {
+                // The quiesce raced our natural finish: the Done above is
+                // tolerated by the coordinator, and we still join the
+                // recovery round (we may adopt orphans).
+                apply_recovery(
+                    control, assignment, round, io_timeout, &mut work, &locations, &global_of, &gateway,
+                )?;
+                interrupt.clear();
+                continue;
+            }
+            match recv_ctl_any(control, &["shutdown", "quiesce"], io_timeout)? {
+                Message::Quiesce { round } => {
+                    apply_recovery(
+                        control, assignment, round, io_timeout, &mut work, &locations, &global_of, &gateway,
+                    )?;
+                    interrupt.clear();
+                }
+                _ => break, // shutdown
+            }
         }
-        return Err(e);
-    }
+        Ok(())
+    })();
 
-    send_ctl(control, &Message::Done { node: assignment.node as u32 })?;
-
-    let shutdown_outcome = recv_ctl(control, "shutdown", io_timeout);
     // The streamer owns a recorder Arc and the drain below needs the
     // recorder unique, so the join happens before any telemetry work —
-    // and before bailing on a failed shutdown wait.
+    // and before bailing on a failed run.
     if let Some(streamer) = streamer {
         streamer.stop();
     }
-    shutdown_outcome?;
+    run_outcome?;
 
     // Drain and ship the telemetry after the Shutdown barrier: the
     // coordinator only broadcasts it once *every* node has reported Done,
@@ -488,7 +832,10 @@ fn run_worker(
         let origin_us = recorder.origin_us() as f64;
         let recorder = Arc::try_unwrap(recorder).map_err(|_| "recorder still shared at drain".to_string())?;
         let mut telemetry = recorder.finish("proc");
-        remap_lock_wait_locations(&mut telemetry.events, &global_of);
+        {
+            let globals = global_of.read().map_err(|_| "location namespace map poisoned".to_string())?;
+            remap_lock_wait_locations(&mut telemetry.events, &globals);
+        }
         cap_events(&mut telemetry, MAX_UPLOAD_EVENTS);
         let snapshot = TelemetrySnapshot::from_telemetry(telemetry, origin_us, offset_us).encode();
         send_ctl(control, &Message::TelemetryUpload { node: assignment.node as u32, snapshot })
@@ -501,8 +848,9 @@ fn run_worker(
     // and only then is joining our own server deadlock-free (peers close
     // their gateways at the same protocol step).
     let gateway = Arc::try_unwrap(gateway).map_err(|_| "gateway still shared after the run".to_string())?;
+    let (conns, tallies) = gateway.into_parts();
     let mut gateway_counters = (0u64, 0u64, 0u64, 0u64);
-    for conn in gateway.conns.values() {
+    for conn in conns.values() {
         if let Ok(stream) = conn.lock() {
             gateway_counters.0 += stream.frames_sent();
             gateway_counters.1 += stream.frames_received();
@@ -510,13 +858,67 @@ fn run_worker(
             gateway_counters.3 += stream.bytes_received();
         }
     }
-    let PeerGateway { conns, tallies, .. } = gateway;
     drop(conns); // hang up on every owner peer
     shutdown.store(true, Ordering::Relaxed);
     let server_counters = server.join().unwrap_or_default();
 
     let metrics = compose_metrics(assignment, wall_seconds, &tallies, gateway_counters, server_counters);
     send_ctl(control, &Message::Metrics { node: assignment.node as u32, json: metrics.to_json().pretty() })?;
+    Ok(())
+}
+
+/// One recovery exchange, entered after the round stopped (parked or
+/// finished): ack the quiesce, receive and validate this node's
+/// [`ReAssignment`], adopt the orphans routed here (fresh locations at
+/// zero progress), swap the gateway's routing table, signal `Ready` and
+/// wait out the `Resume` barrier.
+#[allow(clippy::too_many_arguments)]
+fn apply_recovery(
+    control: &Arc<Mutex<FramedStream>>,
+    assignment: &Assignment,
+    round: u32,
+    io_timeout: Duration,
+    work: &mut WorkState,
+    locations: &SharedLocations,
+    global_of: &SharedGlobals,
+    gateway: &PeerGateway,
+) -> Result<(), String> {
+    let node = assignment.node as u32;
+    send_ctl(control, &Message::QuiesceAck { node, round })?;
+    let Message::ReAssignment { json } = recv_ctl(control, "reassignment", io_timeout)? else {
+        unreachable!("recv_ctl returns the expected kind");
+    };
+    let doc = Json::parse(&json).map_err(|e| format!("re-assignment is not valid JSON: {e}"))?;
+    let reassign = ReAssignment::from_json(&doc).map_err(|e| format!("bad re-assignment: {e}"))?;
+    if reassign.node != assignment.node {
+        return Err(format!(
+            "re-assignment for node {} delivered to node {}",
+            reassign.node, assignment.node
+        ));
+    }
+    if reassign.round != round {
+        return Err(format!("re-assignment answers round {}, quiesce was round {round}", reassign.round));
+    }
+    // Adopt the orphans: fresh locations (the dead node's state is gone)
+    // entering the same maps the serving threads and the streamer read.
+    {
+        let mut map = locations.write().map_err(|_| "location map poisoned".to_string())?;
+        let mut globals = global_of.write().map_err(|_| "location namespace map poisoned".to_string())?;
+        for &t in &reassign.adopted {
+            let loc = Location::new(format!("loc-{t}"), 0u64);
+            globals.insert(loc.id().0, t as u64);
+            map.insert(t as u64, loc);
+        }
+    }
+    work.adopt(&reassign);
+    gateway.apply_reassignment(&reassign.node_of_task, reassign.dead);
+    send_ctl(control, &Message::Ready { node })?;
+    let Message::Resume { round: resumed } = recv_ctl(control, "resume", io_timeout)? else {
+        unreachable!("recv_ctl returns the expected kind");
+    };
+    if resumed != round {
+        return Err(format!("resume for round {resumed}, expected round {round}"));
+    }
     Ok(())
 }
 
@@ -530,14 +932,16 @@ struct Streamer {
 }
 
 impl Streamer {
+    #[allow(clippy::too_many_arguments)]
     fn spawn(
         control: Arc<Mutex<FramedStream>>,
         recorder: Arc<Recorder>,
-        global_of: Arc<HashMap<u64, u64>>,
+        global_of: SharedGlobals,
         node: u32,
         interval: Duration,
         offset_us: f64,
         stall: Duration,
+        drop_first: u64,
     ) -> Streamer {
         let stop = Arc::new(AtomicBool::new(false));
         let stop_flag = Arc::clone(&stop);
@@ -567,14 +971,19 @@ impl Streamer {
                     break;
                 }
                 let mut delta = sampler.sample();
-                remap_lock_wait_locations(&mut delta.events, &global_of);
+                if let Ok(globals) = global_of.read() {
+                    remap_lock_wait_locations(&mut delta.events, &globals);
+                }
                 if delta.events.len() > MAX_DELTA_EVENTS {
                     let excess = delta.events.len() - MAX_DELTA_EVENTS;
                     delta.events.drain(..excess);
                     delta.dropped += excess as u64;
                 }
                 let Ok(mut stream) = control.lock() else { break };
-                if stream.send(&Message::Heartbeat { node, seq }).is_err() {
+                // The heartbeat-drop fault swallows the first `drop_first`
+                // beats (the seq keeps counting, deltas keep flowing) —
+                // the minimal signal loss that trips straggler detection.
+                if seq >= drop_first && stream.send(&Message::Heartbeat { node, seq }).is_err() {
                     break; // coordinator gone: the main thread will fail too
                 }
                 if !delta.is_empty()
@@ -644,19 +1053,25 @@ fn compose_metrics(
     }
 }
 
-/// Runs this worker's tasks through a real `orwl_core` session on the
-/// reconstructed node topology.  Each iteration of each task writes its
-/// own location under a one-shot write section, then reads its in-edges
-/// one section at a time — locally through the shared FIFO, remotely
-/// through the gateway.  At most one lock is ever held, so the schedule
-/// cannot deadlock whatever the interleaving across processes.
-fn run_local_tasks(
+/// Runs one round of this worker's unfinished tasks through a real
+/// `orwl_core` session on the reconstructed node topology.  Each
+/// iteration of each task writes its own location under a one-shot write
+/// section, then reads its in-edges one section at a time — locally
+/// through the shared FIFO, remotely through the gateway.  At most one
+/// lock is ever held, so the schedule cannot deadlock whatever the
+/// interleaving across processes.  Locality is resolved against the
+/// location map at round start: it only changes at the quiesce barrier,
+/// where a re-shard can adopt a source here and turn its reads local.
+#[allow(clippy::too_many_lines)]
+fn run_round(
     assignment: &Assignment,
-    local_tasks: &[usize],
-    locations: &Arc<HashMap<u64, Arc<Location<u64>>>>,
+    work: &WorkState,
+    locations: &SharedLocations,
     gateway: &Arc<PeerGateway>,
+    interrupt: &Arc<Interrupt>,
 ) -> Result<(), String> {
-    if local_tasks.is_empty() {
+    let tasks = work.tasks_with_work();
+    if tasks.is_empty() {
         return Ok(());
     }
     let levels: Vec<LevelSpec> = assignment
@@ -667,73 +1082,92 @@ fn run_local_tasks(
     let topology = Topology::from_levels(&assignment.topo_name, &levels)
         .map_err(|e| format!("reconstructing the node topology: {e}"))?;
 
-    // Per-task schedules and the local-read link structure for placement.
-    let mut schedules: HashMap<usize, TaskSchedule> = HashMap::new();
-    for phase in &assignment.phases {
-        let mut per_task: HashMap<usize, Vec<(usize, f64, bool)>> = HashMap::new();
-        for read in &phase.reads {
-            let local = assignment.node_of_task[read.src] == assignment.node;
-            per_task.entry(read.reader).or_default().push((read.src, read.bytes, local));
-        }
-        for &t in local_tasks {
-            schedules.entry(t).or_default().push((phase.iterations, per_task.remove(&t).unwrap_or_default()));
-        }
-    }
-
     let failure: Arc<Mutex<Option<String>>> = Arc::new(Mutex::new(None));
     let mut program = OrwlProgram::new();
-    for &t in local_tasks {
-        let own = Arc::clone(&locations[&(t as u64)]);
-        let schedule = schedules.remove(&t).unwrap_or_default();
+    for &t in &tasks {
+        let map = locations.read().map_err(|_| "location map poisoned".to_string())?;
+        let own = map
+            .get(&(t as u64))
+            .cloned()
+            .ok_or_else(|| format!("task {t} is scheduled here but owns no location"))?;
+        // Resolve each read's locality for this round and build the
+        // session's link structure from the local ones.
+        let schedule: ResolvedSchedule = work.schedules[&t]
+            .iter()
+            .map(|(iterations, reads)| {
+                let reads =
+                    reads.iter().map(|&(src, bytes)| (src, bytes, map.get(&(src as u64)).cloned())).collect();
+                (*iterations, reads)
+            })
+            .collect();
+        drop(map);
         let mut links = vec![LocationLink::write(own.id(), 8.0)];
-        let mut local_read_bytes: BTreeMap<usize, f64> = BTreeMap::new();
+        let mut local_read_bytes: BTreeMap<usize, (f64, Arc<Location<u64>>)> = BTreeMap::new();
         for (_, reads) in &schedule {
-            for &(src, bytes, local) in reads {
-                if local {
-                    *local_read_bytes.entry(src).or_insert(0.0) += bytes;
+            for (src, bytes, loc) in reads {
+                if let Some(loc) = loc {
+                    let entry = local_read_bytes.entry(*src).or_insert_with(|| (0.0, Arc::clone(loc)));
+                    entry.0 += bytes;
                 }
             }
         }
-        for (src, bytes) in local_read_bytes {
-            links.push(LocationLink::read(locations[&(src as u64)].id(), bytes));
+        for (_, (bytes, loc)) in local_read_bytes {
+            links.push(LocationLink::read(loc.id(), bytes));
         }
 
-        let locations = Arc::clone(locations);
+        let progress = Arc::clone(&work.progress[&t]);
         let gateway = Arc::clone(gateway);
         let failure = Arc::clone(&failure);
+        let interrupt = Arc::clone(interrupt);
         program.add_task(TaskSpec::new(format!("task-{t}"), links), move |ctx| {
             let mut acquisitions = 0u64;
-            'phases: for (iterations, reads) in &schedule {
-                for _ in 0..*iterations {
-                    if failure.lock().map(|f| f.is_some()).unwrap_or(true) {
+            'phases: for (k, (iterations, reads)) in schedule.iter().enumerate() {
+                while progress[k].load(Ordering::Relaxed) < *iterations {
+                    if interrupt.parked() || failure.lock().map(|f| f.is_some()).unwrap_or(true) {
                         break 'phases;
                     }
-                    let outcome = (|| -> Result<(), String> {
+                    let outcome = (|| -> Result<(), IterError> {
                         let mut write = own.handle(AccessMode::Write);
-                        write.request().map_err(|e| e.to_string())?;
-                        *write.acquire().map_err(|e| e.to_string())? += 1;
+                        write.request().map_err(|e| IterError::Local(e.to_string()))?;
+                        *write.acquire().map_err(|e| IterError::Local(e.to_string()))? += 1;
                         drop(write);
                         acquisitions += 1;
-                        for &(src, bytes, local) in reads {
-                            if local {
-                                let src_loc = &locations[&(src as u64)];
-                                let mut read = src_loc.handle(AccessMode::Read);
-                                read.request().map_err(|e| e.to_string())?;
-                                let guard = read.acquire().map_err(|e| e.to_string())?;
-                                std::hint::black_box(*guard);
-                                drop(guard);
-                            } else {
-                                gateway.remote_read(src, bytes)?;
+                        for (src, bytes, loc) in reads {
+                            match loc {
+                                Some(src_loc) => {
+                                    let mut read = src_loc.handle(AccessMode::Read);
+                                    read.request().map_err(|e| IterError::Local(e.to_string()))?;
+                                    let guard =
+                                        read.acquire().map_err(|e| IterError::Local(e.to_string()))?;
+                                    std::hint::black_box(*guard);
+                                    drop(guard);
+                                }
+                                None => {
+                                    gateway.remote_read(*src, *bytes).map_err(IterError::Remote)?;
+                                }
                             }
                             acquisitions += 1;
                         }
                         Ok(())
                     })();
-                    if let Err(e) = outcome {
-                        if let Ok(mut slot) = failure.lock() {
-                            slot.get_or_insert(format!("task {t}: {e}"));
+                    match outcome {
+                        Ok(()) => {
+                            progress[k].fetch_add(1, Ordering::Relaxed);
                         }
-                        break 'phases;
+                        Err(IterError::Remote(e)) if interrupt.enabled() => {
+                            // A broken peer exchange is the worker-side
+                            // symptom of a node loss: park and wait for
+                            // the coordinator's quiesce instead of
+                            // failing the whole worker.
+                            interrupt.park(format!("task {t}: {e}"));
+                            break 'phases;
+                        }
+                        Err(IterError::Remote(e) | IterError::Local(e)) => {
+                            if let Ok(mut slot) = failure.lock() {
+                                slot.get_or_insert(format!("task {t}: {e}"));
+                            }
+                            break 'phases;
+                        }
                     }
                 }
             }

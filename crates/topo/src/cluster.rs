@@ -212,6 +212,31 @@ impl ClusterTopology {
     pub fn flatten(&self) -> &Topology {
         &self.flat
     }
+
+    /// The cluster with `node` removed — the topology a run degrades to
+    /// after a node loss.  Surviving nodes keep their relative order;
+    /// rack ids are re-densified (in ascending order of the old ids) when
+    /// the loss empties a rack, so the result is always a valid cluster.
+    ///
+    /// Returns [`ClusterError::NoNodes`] when `node` is the last node.
+    ///
+    /// # Panics
+    /// Panics when `node` is out of range.
+    pub fn without_node(&self, node: usize) -> Result<Self, ClusterError> {
+        assert!(node < self.n_nodes(), "node {node} out of range ({} nodes)", self.n_nodes());
+        let mut racks: Vec<usize> =
+            self.rack_of.iter().enumerate().filter(|&(i, _)| i != node).map(|(_, &r)| r).collect();
+        if racks.is_empty() {
+            return Err(ClusterError::NoNodes);
+        }
+        let mut surviving: Vec<usize> = racks.clone();
+        surviving.sort_unstable();
+        surviving.dedup();
+        for r in &mut racks {
+            *r = surviving.binary_search(r).unwrap();
+        }
+        Self::with_racks(&self.name, self.node.clone(), racks)
+    }
 }
 
 /// A small multi-node preset: `n_nodes` nodes, each a 2-socket × 8-core
@@ -314,6 +339,27 @@ mod tests {
         // Cross-node pairs share only the cluster root.
         assert_eq!(c.shared_level_of_pus(0, 16), 0);
         assert!(c.shared_level_of_pus(0, 1) > 1);
+    }
+
+    #[test]
+    fn without_node_shrinks_and_redensifies_racks() {
+        let node = synthetic::cluster2016_subset(1).unwrap();
+        let c = ClusterTopology::with_racks("racked", node, vec![0, 0, 1, 2, 2]).unwrap();
+        // Losing a node from a populated rack keeps every rack.
+        let s = c.without_node(0).unwrap();
+        assert_eq!(s.n_nodes(), 4);
+        assert_eq!(s.n_racks(), 3);
+        assert_eq!((0..4).map(|n| s.rack_of_node(n)).collect::<Vec<_>>(), vec![0, 1, 2, 2]);
+        // Losing the only node of rack 1 re-densifies the ids.
+        let s = c.without_node(2).unwrap();
+        assert_eq!(s.n_nodes(), 4);
+        assert_eq!(s.n_racks(), 2);
+        assert_eq!((0..4).map(|n| s.rack_of_node(n)).collect::<Vec<_>>(), vec![0, 0, 1, 1]);
+        // The shrunk cluster flattens like any other.
+        assert_eq!(s.flatten().nb_pus(), 4 * s.pus_per_node());
+        // Shrinking to nothing is a typed error.
+        let one = paper_cluster(1).unwrap();
+        assert_eq!(one.without_node(0).unwrap_err(), ClusterError::NoNodes);
     }
 
     #[test]

@@ -38,12 +38,25 @@
 //! Live runs use a longer schedule so the run spans many intervals; the
 //! merged post-run document is identical either way (streamed deltas are
 //! folded back into the final upload, deduplicated by event sequence).
+//!
+//! With `--kill NODE:MS` the hierarchical run doubles as a chaos drill:
+//! worker `NODE` SIGKILLs itself `MS` milliseconds after Start (no
+//! unwinding, no goodbye) and the coordinator must confirm the loss,
+//! re-shard the dead node's tasks onto the survivors, and complete the
+//! run degraded.  `--kill` implies `--live` (recovery rides the live
+//! monitor) and prints a `[recover]` summary line; the hierarchical ≤
+//! scatter traffic assertion is skipped because a degraded run's traffic
+//! is not comparable:
+//!
+//! ```sh
+//! cargo run --release --example proc_cluster -- 4 --kill 2:500
+//! ```
 
 use orwl_lab::{ScenarioFamily, ScenarioSpec};
 use orwl_obs::export::{validate_chrome_trace, validate_obs};
 use orwl_obs::merge::split_tracks;
 use orwl_obs::{ObsConfig, RunTelemetry, ToJson};
-use orwl_proc::{LiveConfig, LiveEvent};
+use orwl_proc::{Fault, FaultPlan, LiveConfig, LiveEvent, RecoveryConfig};
 use orwl_repro::{ClusterBackend, ClusterMachine, Policy, ProcBackend, Session};
 use std::time::Duration;
 
@@ -123,6 +136,7 @@ fn main() {
     let mut live = false;
     let mut interval_ms: u64 = 100;
     let mut iters: Option<usize> = None;
+    let mut kill: Option<(usize, u64)> = None;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -136,9 +150,22 @@ fn main() {
                 iters =
                     Some(it.next().and_then(|v| v.parse().ok()).expect("--iters expects a positive integer"))
             }
-            other => n_nodes = other.parse().expect("expected a node count, --live, or --obs-dir DIR"),
+            "--kill" => {
+                let spec = it.next().expect("--kill expects NODE:MS");
+                let (node, ms) = spec.split_once(':').expect("--kill expects NODE:MS");
+                kill = Some((
+                    node.parse().expect("--kill node must be an integer"),
+                    ms.parse().expect("--kill delay must be in milliseconds"),
+                ));
+            }
+            other => {
+                n_nodes =
+                    other.parse().expect("expected a node count, --live, --kill NODE:MS, or --obs-dir DIR")
+            }
         }
     }
+    // Recovery rides the live monitor, so a chaos drill is a live run.
+    let live = live || kill.is_some();
     let machine = ClusterMachine::paper(n_nodes);
     let tasks = 16 * n_nodes;
     // Live runs default to a longer schedule so the run genuinely spans
@@ -172,9 +199,26 @@ fn main() {
             backend = backend
                 .with_live(LiveConfig::new(Duration::from_millis(interval_ms)).with_on_event(live_ticker));
         }
+        if let (Some((node, after_ms)), true) = (kill, observed) {
+            backend = backend
+                .with_faults(FaultPlan::new().with(Fault::Sigkill { node, after_ms }))
+                .with_recovery(RecoveryConfig::default());
+        }
         let report = session(&machine, policy, backend, observed)
             .run(spec.workload())
             .expect("the multi-process run completes");
+        if let (Some((node, _)), true) = (kill, observed) {
+            let merged = report.obs.as_ref().expect("observed runs carry telemetry");
+            let count =
+                |name: &str| merged.metrics.counters.iter().find(|(n, _)| n == name).map_or(0, |(_, v)| *v);
+            let adapt = report.adapt.as_ref().expect("a recovered run carries an adapt report");
+            println!(
+                "[recover] node {node} lost: {} reshard(s), {} task(s) migrated onto {} survivor(s); run completed degraded",
+                adapt.node_reshards,
+                count("live.tasks_migrated"),
+                n_nodes - count("live.node_losses") as usize,
+            );
+        }
         if live && observed {
             let merged = report.obs.as_ref().expect("observed runs carry telemetry");
             let count =
@@ -211,6 +255,12 @@ fn main() {
     }
 
     let (hier, scatter) = (measured_by_policy[0], measured_by_policy[1]);
+    if kill.is_some() {
+        // A degraded run re-ran adopted tasks from scratch on fewer
+        // nodes; its traffic is not comparable to the fault-free scatter.
+        println!("hierarchical ran degraded (node loss injected); traffic comparison skipped");
+        return;
+    }
     assert!(
         hier <= scatter,
         "hierarchical placement must move no more bytes across processes than scatter ({hier} vs {scatter})"

@@ -16,7 +16,7 @@ use orwl_lab::{ScenarioFamily, ScenarioSpec};
 use orwl_numasim::taskgraph::TaskGraph;
 use orwl_numasim::workload::{Phase, PhasedWorkload};
 use orwl_obs::{ClockKind, EventKind, ObsConfig};
-use orwl_proc::{ProcBackend, CORR_TOLERANCE};
+use orwl_proc::{Fault, FaultPlan, ProcBackend, CORR_TOLERANCE};
 use orwl_repro::{ClusterBackend, ClusterMachine, Policy};
 use orwl_topo::binding::RecordingBinder;
 use std::sync::Arc;
@@ -127,7 +127,7 @@ fn a_crashing_worker_is_a_typed_error_not_a_hang() {
         .backend(
             backend(2)
                 .with_io_timeout(Duration::from_secs(20))
-                .with_worker_env(orwl_proc::worker::ENV_PANIC_NODE, "1"),
+                .with_faults(FaultPlan::new().with(Fault::PanicAfterStart { node: 1 })),
         )
         .build()
         .unwrap();

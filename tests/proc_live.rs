@@ -15,8 +15,7 @@ use orwl_core::session::Session;
 use orwl_lab::{ScenarioFamily, ScenarioSpec};
 use orwl_obs::diff::{diff_telemetry, ObsDiffEntry};
 use orwl_obs::{Json, ObsConfig, ToJson};
-use orwl_proc::worker::{ENV_PANIC_NODE, ENV_STALL_MS, ENV_STALL_NODE};
-use orwl_proc::{LiveConfig, LiveEvent, ProcBackend};
+use orwl_proc::{Fault, FaultPlan, LiveConfig, LiveEvent, ProcBackend};
 use orwl_repro::{ClusterMachine, Policy};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
@@ -216,7 +215,9 @@ fn one_stalled_run() -> Vec<LiveEvent> {
     let spec = ScenarioSpec::new(ScenarioFamily::DenseStencil, 36, 1).with_phases(vec![900]);
     let _ = observed_session(
         2,
-        backend(2).with_worker_env(ENV_STALL_NODE, "1").with_worker_env(ENV_STALL_MS, "500").with_live(live),
+        backend(2)
+            .with_faults(FaultPlan::new().with(Fault::StallStreamer { node: 1, ms: 500 }))
+            .with_live(live),
     )
     .run(spec.workload())
     .expect("a straggler flag is a warning, not a failure");
@@ -230,7 +231,7 @@ fn a_crashing_worker_stays_a_typed_error_under_the_live_monitor() {
         2,
         backend(2)
             .with_io_timeout(Duration::from_secs(20))
-            .with_worker_env(ENV_PANIC_NODE, "0")
+            .with_faults(FaultPlan::new().with(Fault::PanicAfterStart { node: 0 }))
             .with_live(LiveConfig::new(Duration::from_millis(20))),
     );
     match session.run(scenario().workload()).unwrap_err() {

@@ -11,6 +11,18 @@
 /// Process/thread id, as in `<sys/types.h>`.
 pub type pid_t = i32;
 
+/// Plain C `int`, as used by the signal interface.
+pub type c_int = i32;
+
+/// Immediate, uncatchable termination.
+pub const SIGKILL: c_int = 9;
+/// Polite termination request.
+pub const SIGTERM: c_int = 15;
+/// Stops (freezes) a process until `SIGCONT`.
+pub const SIGSTOP: c_int = 19;
+/// Resumes a stopped process.
+pub const SIGCONT: c_int = 18;
+
 const CPU_SETSIZE: usize = 1024;
 const BITS: usize = 64;
 
@@ -44,6 +56,8 @@ extern "C" {
     pub fn sched_setaffinity(pid: pid_t, cpusetsize: usize, mask: *const cpu_set_t) -> i32;
     /// Reads the affinity mask of thread `pid` (0 = caller) into `mask`.
     pub fn sched_getaffinity(pid: pid_t, cpusetsize: usize, mask: *mut cpu_set_t) -> i32;
+    /// Sends signal `sig` to process `pid`, as in `<signal.h>`.
+    pub fn kill(pid: pid_t, sig: c_int) -> c_int;
 }
 
 #[cfg(test)]
